@@ -1,0 +1,23 @@
+"""Shared benchmark fixtures and workload builders."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(19980328)
+
+
+def fig3_system(n=500, nrhs=2, dtype=np.float32, seed=1):
+    """The paper Fig. 3 workload: random A, B built so X(:, j) = j."""
+    rng = np.random.default_rng(seed)
+    a = rng.random((n, n)).astype(dtype)
+    b = np.column_stack([a.sum(axis=1) * j
+                         for j in range(1, nrhs + 1)]).astype(dtype)
+    return a, b
+
+
+def poisson1d(n):
+    return (np.diag(np.full(n, 2.0)) + np.diag(np.full(n - 1, -1.0), 1)
+            + np.diag(np.full(n - 1, -1.0), -1))

@@ -1,0 +1,76 @@
+"""XB5 — what the expert driver's extras cost.
+
+LA_GESVX adds condition estimation, iterative refinement and error
+bounds on top of LA_GESV's factor+solve.  Each extra is O(n²) per RHS
+against the O(n³) factorization, so the full expert pipeline should cost
+a bounded multiple of the simple driver — measured here, stage by stage.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import la_gesv, la_gesvx
+from repro.lapack77 import gecon, gerfs, getrf, getrs, lange
+
+N = 200
+
+
+@pytest.fixture
+def system(rng):
+    a = rng.standard_normal((N, N)) + np.eye(N) * N
+    b = rng.standard_normal(N)
+    return a, b
+
+
+def test_simple_driver(benchmark, system):
+    a, b = system
+    benchmark(lambda: la_gesv(a.copy(), b.copy()))
+
+
+def test_expert_driver(benchmark, system):
+    a, b = system
+    benchmark(lambda: la_gesvx(a.copy(), b.copy()))
+
+
+def test_stage_factor(benchmark, system):
+    a, _ = system
+    benchmark(lambda: getrf(a.copy()))
+
+
+def test_stage_condition(benchmark, system):
+    a, _ = system
+    af = a.copy()
+    getrf(af)
+    anorm = lange("1", a)
+    benchmark(lambda: gecon(af, anorm))
+
+
+def test_stage_refine(benchmark, system):
+    a, b = system
+    af = a.copy()
+    ipiv, _ = getrf(af)
+    x = b.copy()
+    getrs(af, ipiv, x)
+    benchmark(lambda: gerfs(a, af, ipiv, b.copy(), x.copy()))
+
+
+def test_expert_premium_bounded(system):
+    """The decomposition claim: expert ≤ a few × simple at N = 200."""
+    a, b = system
+
+    def best_of(fn, reps=3):
+        best = np.inf
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    t_simple = best_of(lambda: la_gesv(a.copy(), b.copy()))
+    t_expert = best_of(lambda: la_gesvx(a.copy(), b.copy()))
+    premium = t_expert / t_simple
+    print(f"\nXB5  n={N}: LA_GESV {t_simple:.4f}s  LA_GESVX "
+          f"{t_expert:.4f}s  premium {premium:.2f}x")
+    assert premium < 15, "expert extras are lower-order terms"

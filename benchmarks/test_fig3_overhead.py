@@ -1,0 +1,88 @@
+"""FIG3 — paper Figure 3: CPU time of F77GESV vs F90GESV (N=500, NRHS=2).
+
+The paper's Example 3 times the same solve through both modules to show
+the convenience layer's cost.  The F90 wrapper adds only argument
+validation and (optionally) pivot-array allocation on top of the F77
+call, so the two times should be indistinguishable at N = 500 — that is
+the experiment's claim, and the ``test_overhead_is_negligible`` assertion
+checks exactly it.
+"""
+
+import numpy as np
+import pytest
+
+from repro import f77, la_gesv
+
+from .conftest import fig3_system
+
+N = 500
+NRHS = 2
+
+
+@pytest.fixture
+def system():
+    return fig3_system(N, NRHS)
+
+
+def test_f77gesv(benchmark, system):
+    """The paper's `CALL F77GESV( N, NRHS, A, LDA, IPIV, B, LDB, INFO )`."""
+    a0, b0 = system
+    ipiv = np.zeros(N, dtype=np.int64)
+
+    def run():
+        a, b = a0.copy(), b0.copy()
+        return f77.la_gesv(N, NRHS, a, N, ipiv, b, N)
+
+    info = benchmark(run)
+    assert info == 0
+
+
+def test_f90gesv(benchmark, system):
+    """The paper's `CALL F90GESV( A, B )`."""
+    a0, b0 = system
+
+    def run():
+        a, b = a0.copy(), b0.copy()
+        la_gesv(a, b)
+        return b
+
+    b = benchmark(run)
+    # X(:, j) = j by construction.
+    np.testing.assert_allclose(b[:, 0], 1.0, atol=1e-2)
+
+
+def test_f90gesv_with_ipiv(benchmark, system):
+    """The wrapper with the optional IPIV supplied (no allocation path)."""
+    a0, b0 = system
+    ipiv = np.zeros(N, dtype=np.int64)
+
+    def run():
+        a, b = a0.copy(), b0.copy()
+        la_gesv(a, b, ipiv=ipiv)
+        return b
+
+    benchmark(run)
+
+
+def test_overhead_is_negligible(system):
+    """The paper's point, asserted: at N = 500 the F90 interface costs
+    within a few percent of the F77 interface (pure per-call overhead)."""
+    import time
+    a0, b0 = system
+    ipiv = np.zeros(N, dtype=np.int64)
+
+    def time_call(fn, reps=3):
+        best = np.inf
+        for _ in range(reps):
+            a, b = a0.copy(), b0.copy()
+            t0 = time.perf_counter()
+            fn(a, b)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    t77 = time_call(lambda a, b: f77.la_gesv(N, NRHS, a, N, ipiv, b, N))
+    t90 = time_call(lambda a, b: la_gesv(a, b))
+    ratio = t90 / t77
+    print(f"\nFIG3  N={N}: F77GESV {t77:.4f}s  F90GESV {t90:.4f}s  "
+          f"ratio {ratio:.3f}")
+    assert ratio < 1.25, "wrapper overhead should be a few percent at most"

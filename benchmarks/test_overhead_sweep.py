@@ -1,0 +1,72 @@
+"""XB1 — wrapper overhead vs problem size.
+
+Extends FIG3 into a sweep: the F90 layer's cost is per-call and constant,
+so its *relative* overhead must vanish as N grows — the quantitative
+version of the paper's "the program is shorter and the call is simpler"
+claim coming for free.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import f77, la_gesv
+from repro.lapack77 import gesv as substrate_gesv
+
+SIZES = [10, 50, 100, 250]
+
+
+def _sys(n, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n)) + np.eye(n) * n
+    b = a @ np.ones((n, 1))
+    return a, b
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_f90_layer(benchmark, n):
+    a0, b0 = _sys(n)
+
+    def run():
+        a, b = a0.copy(), b0.copy()
+        la_gesv(a, b)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_substrate_direct(benchmark, n):
+    a0, b0 = _sys(n)
+
+    def run():
+        a, b = a0.copy(), b0.copy()
+        substrate_gesv(a, b)
+
+    benchmark(run)
+
+
+def test_relative_overhead_vanishes():
+    """The crossover claim: overhead fraction decays with N."""
+    fractions = {}
+    for n in SIZES:
+        a0, b0 = _sys(n)
+
+        def best_of(fn, reps=5):
+            best = np.inf
+            for _ in range(reps):
+                a, b = a0.copy(), b0.copy()
+                t0 = time.perf_counter()
+                fn(a, b)
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        t_sub = best_of(lambda a, b: substrate_gesv(a, b))
+        t_f90 = best_of(lambda a, b: la_gesv(a, b))
+        fractions[n] = (t_f90 - t_sub) / t_sub
+    print("\nXB1 wrapper overhead fraction:",
+          "  ".join(f"n={n}: {100 * f:+.1f}%"
+                    for n, f in fractions.items()))
+    # Noise can make individual points negative; the large-n point must
+    # be small.
+    assert fractions[SIZES[-1]] < 0.30

@@ -1,0 +1,81 @@
+"""XB4 — structured drivers beat the dense driver on their structures.
+
+One physical problem (the 1-D Poisson chain) through four Appendix-G
+drivers: dense LU, dense Cholesky, band Cholesky, SPD tridiagonal.  The
+expected ordering — GESV > POSV > PBSV > PTSV in time — is the
+driver-selection guidance the LAPACK90 catalogue encodes, asserted here.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import la_gesv, la_pbsv, la_posv, la_ptsv
+from repro.storage import full_to_sym_band
+
+from .conftest import poisson1d
+
+N = 400
+
+
+@pytest.fixture
+def problem():
+    a = poisson1d(N)
+    rng = np.random.default_rng(3)
+    f = rng.standard_normal(N)
+    return a, f
+
+
+def test_dense_gesv(benchmark, problem):
+    a, f = problem
+    benchmark(lambda: la_gesv(a.copy(), f.copy()))
+
+
+def test_dense_posv(benchmark, problem):
+    a, f = problem
+    benchmark(lambda: la_posv(a.copy(), f.copy()))
+
+
+def test_band_pbsv(benchmark, problem):
+    a, f = problem
+    ab = full_to_sym_band(a, 1, "U")
+    benchmark(lambda: la_pbsv(ab.copy(), f.copy()))
+
+
+def test_tridiag_ptsv(benchmark, problem):
+    _, f = problem
+    d = np.full(N, 2.0)
+    e = np.full(N - 1, -1.0)
+    benchmark(lambda: la_ptsv(d.copy(), e.copy(), f.copy()))
+
+
+def test_structure_exploitation_ordering(problem):
+    """The crossover claim: O(n) tridiagonal < O(n·k²) band < O(n³) dense."""
+    a, f = problem
+    ab = full_to_sym_band(a, 1, "U")
+    d = np.full(N, 2.0)
+    e = np.full(N - 1, -1.0)
+
+    def best_of(fn, reps=3):
+        best = np.inf
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    t_dense = best_of(lambda: la_gesv(a.copy(), f.copy()))
+    t_band = best_of(lambda: la_pbsv(ab.copy(), f.copy()))
+    t_tri = best_of(lambda: la_ptsv(d.copy(), e.copy(), f.copy()))
+    print(f"\nXB4  n={N}: GESV {t_dense:.4f}s  PBSV {t_band:.4f}s  "
+          f"PTSV {t_tri:.4f}s")
+    assert t_tri < t_dense, "tridiagonal must beat dense"
+    assert t_band < t_dense, "band must beat dense"
+    # All agree numerically.
+    x1, x2, x3 = f.copy(), f.copy(), f.copy()
+    la_gesv(a.copy(), x1)
+    la_pbsv(ab.copy(), x2)
+    la_ptsv(d.copy(), e.copy(), x3)
+    np.testing.assert_allclose(x2, x1, atol=1e-8)
+    np.testing.assert_allclose(x3, x1, atol=1e-8)

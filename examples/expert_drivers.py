@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""The expert drivers: condition estimation, equilibration, iterative
+refinement and error bounds (LA_GESVX and friends).
+
+Scenario: the same linear system in three states of health —
+well-conditioned, badly scaled (equilibration rescues it), and genuinely
+ill-conditioned (the error bounds warn honestly).
+
+Run:  python examples/expert_drivers.py
+"""
+
+import numpy as np
+
+from repro import Info, la_gesvx, la_posvx
+from repro.lapack77.generators import latms_like
+
+
+def well_conditioned():
+    print("=== Healthy system ===")
+    rng = np.random.default_rng(0)
+    n = 50
+    a = rng.standard_normal((n, n)) + np.eye(n) * n
+    x_true = rng.standard_normal(n)
+    b = a @ x_true
+    res = la_gesvx(a.copy(), b)
+    err = np.abs(res.x - x_true).max() / np.abs(x_true).max()
+    print(f"  rcond estimate      = {res.rcond:.2e} "
+          f"(true {1 / np.linalg.cond(a, 1):.2e})")
+    print(f"  forward error bound = {res.ferr[0]:.2e},  actual = {err:.2e}")
+    print(f"  backward error      = {res.berr[0]:.2e} (≈ eps: backward "
+          "stable)")
+    print(f"  pivot growth        = {res.rpvgrw:.2f}\n")
+
+
+def badly_scaled():
+    print("=== Badly scaled system: fact='E' equilibrates ===")
+    rng = np.random.default_rng(1)
+    n = 30
+    a = rng.standard_normal((n, n)) + np.eye(n) * n
+    a[0] *= 1e12
+    a[:, 1] *= 1e-9
+    x_true = rng.standard_normal(n)
+    b = a @ x_true
+    plain = la_gesvx(a.copy(), b.copy())
+    equil = la_gesvx(a.copy(), b.copy(), fact="E")
+    err_p = np.abs(plain.x - x_true).max() / np.abs(x_true).max()
+    err_e = np.abs(equil.x - x_true).max() / np.abs(x_true).max()
+    print(f"  without equilibration: rcond = {plain.rcond:.2e}, "
+          f"error = {err_p:.2e}")
+    print(f"  with    equilibration: rcond = {equil.rcond:.2e}, "
+          f"error = {err_e:.2e}, equed = {equil.equed!r}")
+    print("  (the scaled system's condition estimate reflects the true "
+          "difficulty)\n")
+
+
+def genuinely_ill_conditioned():
+    print("=== Genuinely ill-conditioned: the bounds warn ===")
+    rng = np.random.default_rng(2)
+    n = 40
+    for cond in (1e2, 1e6, 1e10, 1e14):
+        a, _ = latms_like(n, n, cond=cond, rng=rng)
+        x_true = rng.standard_normal(n)
+        b = a @ x_true
+        info = Info()
+        res = la_gesvx(a.copy(), b, info=info)
+        err = np.abs(res.x - x_true).max() / np.abs(x_true).max()
+        flag = "  << info = n+1 (singular to working precision)" \
+            if info.value == n + 1 else ""
+        print(f"  cond = {cond:8.0e}:  rcond = {res.rcond:.1e}  "
+              f"ferr = {res.ferr[0]:.1e}  actual = {err:.1e}{flag}")
+    print()
+
+
+def spd_expert():
+    print("=== SPD expert driver (LA_POSVX) with factor reuse ===")
+    rng = np.random.default_rng(3)
+    n = 40
+    g = rng.standard_normal((n, n))
+    a = g @ g.T + np.eye(n) * n
+    b1 = rng.standard_normal(n)
+    res1 = la_posvx(a.copy(), b1)
+    print(f"  first solve : rcond = {res1.rcond:.2e}, "
+          f"berr = {res1.berr[0]:.1e}")
+    # Re-solve with the cached Cholesky factor: no refactorization.
+    b2 = rng.standard_normal(n)
+    res2 = la_posvx(a.copy(), b2, af=res1.af, fact="F")
+    ref = np.linalg.solve(a, b2)
+    print(f"  factor reuse: max error vs direct solve = "
+          f"{np.abs(res2.x - ref).max():.2e}")
+
+
+if __name__ == "__main__":
+    well_conditioned()
+    badly_scaled()
+    genuinely_ill_conditioned()
+    spd_expert()

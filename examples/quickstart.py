@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's Figures 1–3, side by side.
+
+Figure 1 uses the F77_LAPACK generic interface (explicit N/NRHS/LDA…);
+Figure 2 the LAPACK90 interface (``la_gesv(A, B)``); Figure 3 runs both
+on the same N=500 system and times them — the paper's motivating
+demonstration that the convenient interface costs almost nothing.
+
+Run:  python examples/quickstart.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import f77, la_gesv
+from repro.core.precision import SP, DP, wp
+
+
+def example1_f77():
+    """Paper Figure 1 — PROGRAM EXAMPLE with USE F77_LAPACK."""
+    print("=== Example 1 (Fig. 1): F77_LAPACK generic interface ===")
+    WP = wp(SP)                     # USE LA_PRECISION, ONLY: WP => SP
+    n, nrhs = 5, 2
+    rng = np.random.default_rng(1)
+    a = rng.random((n, n)).astype(WP)          # CALL RANDOM_NUMBER(A)
+    b = np.column_stack([a.sum(axis=1) * j     # B(:,J) = SUM(A, DIM=2)*J
+                         for j in range(1, nrhs + 1)]).astype(WP)
+    ipiv = np.zeros(n, dtype=np.int64)
+    lda = ldb = n
+    info = f77.la_gesv(n, nrhs, a, lda, ipiv, b, ldb)
+    print("INFO =", info)
+    if nrhs < 6 and n < 11:
+        print("The solution:")
+        for j in range(nrhs):
+            print("  " + " ".join(f"{v:9.3f}" for v in b[:, j]))
+    print()
+
+
+def example2_f90():
+    """Paper Figure 2 — the same computation via CALL LA_GESV(A, B)."""
+    print("=== Example 2 (Fig. 2): LAPACK90 interface ===")
+    WP = wp(SP)
+    n, nrhs = 5, 2
+    rng = np.random.default_rng(1)
+    a = rng.random((n, n)).astype(WP)
+    b = np.column_stack([a.sum(axis=1) * j
+                         for j in range(1, nrhs + 1)]).astype(WP)
+    la_gesv(a, b)                   # shapes inferred, workspace internal
+    if nrhs < 6 and n < 11:
+        print("The solution:")
+        for j in range(nrhs):
+            print("  " + " ".join(f"{v:9.3f}" for v in b[:, j]))
+    print()
+
+
+def example3_both():
+    """Paper Figure 3 — time F77GESV vs F90GESV on N = 500."""
+    print("=== Example 3 (Fig. 3): timing both interfaces, N = 500 ===")
+    WP = wp(SP)
+    n, nrhs = 500, 2
+    rng = np.random.default_rng(1)
+    a0 = rng.random((n, n)).astype(WP)
+    b0 = np.column_stack([a0.sum(axis=1) * j
+                          for j in range(1, nrhs + 1)]).astype(WP)
+    ipiv = np.zeros(n, dtype=np.int64)
+
+    a, b = a0.copy(), b0.copy()
+    t1 = time.perf_counter()
+    info = f77.la_gesv(n, nrhs, a, n, ipiv, b, n)
+    t2 = time.perf_counter()
+    print(f"INFO and CPUTIME of F77GESV  {info}  {t2 - t1:.4f} s")
+
+    a, b = a0.copy(), b0.copy()
+    t1 = time.perf_counter()
+    la_gesv(a, b)
+    t2 = time.perf_counter()
+    print(f"CPUTIME of F90GESV  {t2 - t1:.4f} s")
+    print("(the wrapper overhead is per-call and constant; see "
+          "benchmarks/test_fig3_overhead.py)")
+    print()
+
+
+def double_precision_and_complex():
+    """The genericity claim: the same code in DP and in COMPLEX."""
+    print("=== Generic dispatch: DP and COMPLEX through one name ===")
+    for kind, cplx, label in [(DP, False, "REAL(DP)"),
+                              (SP, True, "COMPLEX(SP)"),
+                              (DP, True, "COMPLEX(DP)")]:
+        WP = wp(kind, complex=cplx)
+        rng = np.random.default_rng(2)
+        n = 5
+        a = rng.random((n, n)).astype(WP)
+        if cplx:
+            a = a + 1j * rng.random((n, n)).astype(WP)
+        x_true = np.ones(n, dtype=WP)
+        b = (a @ x_true).astype(WP)
+        la_gesv(a, b)
+        err = np.abs(b - 1).max()
+        print(f"  {label:12s} -> max |x - 1| = {err:.2e}")
+    print()
+
+
+if __name__ == "__main__":
+    example1_f77()
+    example2_f90()
+    example3_both()
+    double_precision_and_complex()

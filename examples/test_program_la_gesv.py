@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""The LA_GESV "easy-to-use test program" of paper Section 6 /
+Appendix F.
+
+Runs the Appendix-F workload (three matrices, four call forms, NRHS 50
+and one, single precision) at a chosen threshold and prints the report
+in the paper's exact layout — including the "Test Partly Fails" variant
+when the threshold is set below the hardest case's ratio.
+
+Run:  python examples/test_program_la_gesv.py [threshold]
+"""
+
+import sys
+
+from repro.testing import GesvTestProgram
+
+
+def main():
+    threshold = float(sys.argv[1]) if len(sys.argv) > 1 else 10.0
+    report = GesvTestProgram(threshold=threshold).run()
+    print(report.format())
+    if threshold >= 10.0:
+        print()
+        print("To see the paper's 'Test Partly Fails' outcome, rerun with")
+        worst = max(c.ratio for c in report.cases)
+        print(f"a threshold below the hardest ratio ({worst:.3f}):")
+        print(f"    python examples/test_program_la_gesv.py "
+              f"{worst * 0.95:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro — a reproduction of LAPACK90 (Waśniewski & Dongarra, IPPS 1998).
+
+Three layers, mirroring the paper's architecture:
+
+* :mod:`repro.core` (the ``F90_LAPACK`` module) — the paper's
+  contribution: generic high-level drivers with assumed-shape arrays,
+  optional arguments and uniform ERINFO error handling.  Re-exported
+  here: ``la_gesv``, ``la_posv``, ``la_syev``, … (Appendix G catalogue).
+* :mod:`repro.f77` (the ``F77_LAPACK`` module) — the same routines with
+  explicit FORTRAN 77 argument lists (paper Example 1/3).
+* :mod:`repro.lapack77` — the from-scratch pure-NumPy LAPACK substrate
+  both interfaces sit on (factorizations, eigensolvers, SVD…), with
+  :mod:`repro.blas` underneath.
+
+Quickstart (paper Fig. 2, the LAPACK90 interface)::
+
+    import numpy as np
+    from repro import la_gesv
+
+    rng = np.random.default_rng()
+    a = rng.random((5, 5))
+    b = a.sum(axis=1)           # exact solution: all ones
+    la_gesv(a, b)               # b now holds the solution
+"""
+
+from . import blas, config, core, f77, lapack77, storage, testing
+from .errors import (ComputationalError, IllegalArgument, Info, LinAlgError,
+                     NoConvergence, NotPositiveDefinite, SingularMatrix,
+                     WorkspaceError)
+from .core import *  # noqa: F401,F403 — the Appendix G catalogue
+from .core import __all__ as _core_all
+
+__version__ = "1.0.0"
+
+__all__ = list(_core_all) + [
+    "Info", "LinAlgError", "IllegalArgument", "ComputationalError",
+    "SingularMatrix", "NotPositiveDefinite", "NoConvergence",
+    "WorkspaceError", "blas", "config", "core", "f77", "lapack77",
+    "storage", "testing",
+]

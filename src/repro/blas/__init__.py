@@ -1,0 +1,37 @@
+"""From-scratch BLAS layer (the substrate LAPACK requires, per paper §1.1).
+
+LAPACK is structured so that "as much of the computation as possible is
+performed by calls to the BLAS"; the Level-3 kernels are where blocked
+algorithms earn their efficiency.  This package provides the same three
+levels with NumPy-vectorized implementations:
+
+* :mod:`repro.blas.level1` — vector-vector kernels (axpy, dot, nrm2, rot…),
+* :mod:`repro.blas.level2` — matrix-vector kernels (gemv, ger, symv, trsv…),
+* :mod:`repro.blas.level3` — matrix-matrix kernels (gemm, syrk, trsm…).
+
+All kernels follow BLAS semantics (in-place updates, ``uplo``/``trans``/
+``diag`` option characters, conjugation rules for the complex forms) but use
+Pythonic signatures: dimensions come from array shapes, and the updated
+operand is both modified in place and returned.
+"""
+
+from .level1 import (
+    asum, axpy, copy, dot, dotc, dotu, iamax, nrm2, rot, rotg, scal, swap,
+)
+from .level2 import (
+    gbmv, gemv, ger, gerc, geru, hemv, her, her2, hpmv, hpr, hpr2, sbmv,
+    spmv, spr, spr2, symv, syr, syr2, tbmv, tbsv, tpmv, tpsv, trmv, trsv,
+)
+from .level3 import gemm, hemm, her2k, herk, symm, syr2k, syrk, trmm, trsm
+
+__all__ = [
+    # level 1
+    "asum", "axpy", "copy", "dot", "dotc", "dotu", "iamax", "nrm2",
+    "rot", "rotg", "scal", "swap",
+    # level 2
+    "gbmv", "gemv", "ger", "gerc", "geru", "hemv", "her", "her2", "hpmv",
+    "hpr", "hpr2", "sbmv", "spmv", "spr", "spr2", "symv", "syr", "syr2",
+    "tbmv", "tbsv", "tpmv", "tpsv", "trmv", "trsv",
+    # level 3
+    "gemm", "hemm", "her2k", "herk", "symm", "syr2k", "syrk", "trmm", "trsm",
+]

@@ -1,0 +1,125 @@
+"""Level-1 BLAS: O(n) vector-vector kernels.
+
+These are the kernels LINPACK/EISPACK were built on (paper §1.1); LAPACK
+retains them for the unblocked inner factorizations.  Each kernel accepts
+NumPy 1-D views (slices of matrices work naturally) and performs BLAS
+semantics: in-place updates where the reference BLAS updates an operand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "axpy", "scal", "copy", "swap", "dot", "dotu", "dotc",
+    "nrm2", "asum", "iamax", "rot", "rotg",
+]
+
+
+def axpy(alpha, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """``y := alpha*x + y`` (in place). Returns ``y``."""
+    if alpha != 0:
+        y += alpha * x
+    return y
+
+
+def scal(alpha, x: np.ndarray) -> np.ndarray:
+    """``x := alpha*x`` (in place). Returns ``x``."""
+    x *= alpha
+    return x
+
+
+def copy(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """``y := x`` (in place). Returns ``y``."""
+    y[...] = x
+    return y
+
+
+def swap(x: np.ndarray, y: np.ndarray) -> None:
+    """Exchange the contents of ``x`` and ``y`` in place."""
+    tmp = x.copy()
+    x[...] = y
+    y[...] = tmp
+
+
+def dot(x: np.ndarray, y: np.ndarray):
+    """Real dot product ``xᵀ y`` (``sdot``/``ddot``)."""
+    return np.dot(x, y)
+
+
+def dotu(x: np.ndarray, y: np.ndarray):
+    """Unconjugated complex dot product ``xᵀ y`` (``cdotu``/``zdotu``)."""
+    return np.dot(x, y)
+
+
+def dotc(x: np.ndarray, y: np.ndarray):
+    """Conjugated complex dot product ``xᴴ y`` (``cdotc``/``zdotc``)."""
+    return np.vdot(x, y)
+
+
+def nrm2(x: np.ndarray):
+    """Euclidean norm with scaling against overflow (``snrm2`` semantics)."""
+    if x.size == 0:
+        return x.real.dtype.type(0)
+    amax = np.max(np.abs(x))
+    if amax == 0 or not np.isfinite(amax):
+        return x.real.dtype.type(amax)
+    # Scale to avoid overflow/underflow in the square, like the reference.
+    scaled = x / amax
+    return amax * np.sqrt(np.real(np.vdot(scaled, scaled)))
+
+
+def asum(x: np.ndarray):
+    """``sum(|Re x_i| + |Im x_i|)`` — the BLAS ``asum`` (1-norm variant)."""
+    if np.iscomplexobj(x):
+        return np.sum(np.abs(x.real) + np.abs(x.imag))
+    return np.sum(np.abs(x))
+
+
+def iamax(x: np.ndarray) -> int:
+    """0-based index of the element of largest ``|Re|+|Im|`` magnitude.
+
+    (The reference BLAS returns a 1-based index; the substrate code here is
+    all 0-based, so we return 0-based and document it.)
+    """
+    if x.size == 0:
+        return -1
+    if np.iscomplexobj(x):
+        return int(np.argmax(np.abs(x.real) + np.abs(x.imag)))
+    return int(np.argmax(np.abs(x)))
+
+
+def rot(x: np.ndarray, y: np.ndarray, c, s) -> None:
+    """Apply a plane rotation: ``[x; y] := [[c, s], [-conj(s), c]] [x; y]``.
+
+    Matches ``zrot``: ``c`` real, ``s`` possibly complex.
+    """
+    tmp = c * x + s * y
+    y[...] = c * y - np.conj(s) * x
+    x[...] = tmp
+
+
+def rotg(a, b):
+    """Generate a plane rotation: return ``(c, s, r)`` with
+    ``[[c, s], [-conj(s), c]] [a; b] = [r; 0]``.
+
+    Follows the LAPACK ``xLARTG`` convention (``c`` real and non-negative)
+    rather than the legacy BLAS ``srotg`` sign convention, since that is
+    what the eigen/SVD substrate needs.
+    """
+    if b == 0:
+        return 1.0, 0.0 * b, a
+    if a == 0:
+        if np.iscomplexobj(np.asarray(b)):
+            absb = abs(b)
+            return 0.0, np.conj(b) / absb, absb
+        return 0.0, 1.0 if b > 0 else -1.0, abs(b)
+    if np.iscomplexobj(np.asarray(a)) or np.iscomplexobj(np.asarray(b)):
+        norm = np.sqrt(abs(a) ** 2 + abs(b) ** 2)
+        alpha = a / abs(a)
+        c = abs(a) / norm
+        s = alpha * np.conj(b) / norm
+        return c, s, alpha * norm
+    r = np.hypot(a, b)
+    r = r if a >= 0 else -r
+    return a / r, b / r, r

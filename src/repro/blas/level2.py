@@ -1,0 +1,428 @@
+"""Level-2 BLAS: O(n²) matrix-vector kernels.
+
+Implemented with NumPy matrix-vector products and per-diagonal vector
+operations for the band forms.  Option characters (``trans``, ``uplo``,
+``diag``) follow the BLAS; updated operands are modified in place and
+returned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..storage import packed_index
+
+__all__ = [
+    "gemv", "gbmv", "ger", "geru", "gerc",
+    "symv", "hemv", "sbmv", "spmv", "hpmv",
+    "syr", "syr2", "her", "her2", "spr", "spr2", "hpr", "hpr2",
+    "trmv", "trsv", "tbmv", "tbsv", "tpmv", "tpsv",
+]
+
+
+def _op(a: np.ndarray, trans: str) -> np.ndarray:
+    t = trans.upper()
+    if t == "N":
+        return a
+    if t == "T":
+        return a.T
+    if t == "C":
+        return np.conj(a.T)
+    raise ValueError(f"illegal trans option {trans!r}")
+
+
+def gemv(alpha, a: np.ndarray, x: np.ndarray, beta, y: np.ndarray,
+         trans: str = "N") -> np.ndarray:
+    """``y := alpha*op(A)*x + beta*y`` (in place). Returns ``y``."""
+    prod = _op(a, trans) @ x
+    if beta == 0:
+        y[...] = alpha * prod
+    else:
+        y *= beta
+        y += alpha * prod
+    return y
+
+
+def gbmv(alpha, ab: np.ndarray, x: np.ndarray, beta, y: np.ndarray,
+         m: int, kl: int, ku: int, trans: str = "N") -> np.ndarray:
+    """Band matrix-vector product, A in LAPACK band storage (ku+kl+1, n).
+
+    ``y := alpha*op(A)*x + beta*y``; one vectorized pass per stored diagonal.
+    """
+    n = ab.shape[1]
+    t = trans.upper()
+    rows = m if t == "N" else n
+    acc = np.zeros(rows, dtype=np.result_type(ab.dtype, x.dtype))
+    for d in range(-kl, ku + 1):
+        # Diagonal d holds A[i, i+d]: stored at ab[ku - d, j] with j = i + d.
+        i_lo = max(0, -d)
+        i_hi = min(m - 1, n - 1 - d)
+        if i_hi < i_lo:
+            continue
+        j_lo, j_hi = i_lo + d, i_hi + d
+        diag = ab[ku - d, j_lo: j_hi + 1]
+        if t == "N":
+            acc[i_lo: i_hi + 1] += diag * x[j_lo: j_hi + 1]
+        elif t == "T":
+            acc[j_lo: j_hi + 1] += diag * x[i_lo: i_hi + 1]
+        else:
+            acc[j_lo: j_hi + 1] += np.conj(diag) * x[i_lo: i_hi + 1]
+    if beta == 0:
+        y[...] = alpha * acc
+    else:
+        y *= beta
+        y += alpha * acc
+    return y
+
+
+def ger(alpha, x: np.ndarray, y: np.ndarray, a: np.ndarray) -> np.ndarray:
+    """Real rank-1 update ``A := alpha*x*yᵀ + A`` (in place)."""
+    a += alpha * np.outer(x, y)
+    return a
+
+
+def geru(alpha, x: np.ndarray, y: np.ndarray, a: np.ndarray) -> np.ndarray:
+    """Unconjugated complex rank-1 update ``A := alpha*x*yᵀ + A``."""
+    a += alpha * np.outer(x, y)
+    return a
+
+
+def gerc(alpha, x: np.ndarray, y: np.ndarray, a: np.ndarray) -> np.ndarray:
+    """Conjugated rank-1 update ``A := alpha*x*yᴴ + A``."""
+    a += alpha * np.outer(x, np.conj(y))
+    return a
+
+
+def _sym_full(a: np.ndarray, uplo: str, hermitian: bool) -> np.ndarray:
+    """Materialize the full matrix from a triangle (helper for symv/hemv)."""
+    if uplo.upper() == "U":
+        tri = np.triu(a)
+        other = np.triu(a, 1)
+    else:
+        tri = np.tril(a)
+        other = np.tril(a, -1)
+    full = tri + (np.conj(other).T if hermitian else other.T)
+    if hermitian:
+        np.fill_diagonal(full, full.diagonal().real)
+    return full
+
+
+def symv(alpha, a: np.ndarray, x: np.ndarray, beta, y: np.ndarray,
+         uplo: str = "U") -> np.ndarray:
+    """Symmetric matrix-vector product; only the ``uplo`` triangle of A is
+    referenced. ``y := alpha*A*x + beta*y``."""
+    return gemv(alpha, _sym_full(a, uplo, False), x, beta, y)
+
+
+def hemv(alpha, a: np.ndarray, x: np.ndarray, beta, y: np.ndarray,
+         uplo: str = "U") -> np.ndarray:
+    """Hermitian matrix-vector product (only ``uplo`` triangle referenced)."""
+    return gemv(alpha, _sym_full(a, uplo, True), x, beta, y)
+
+
+def sbmv(alpha, ab: np.ndarray, x: np.ndarray, beta, y: np.ndarray,
+         uplo: str = "U", hermitian: bool = False) -> np.ndarray:
+    """Symmetric/Hermitian band matrix-vector product, (k+1, n) storage."""
+    n = ab.shape[1]
+    k = ab.shape[0] - 1
+    acc = np.zeros(n, dtype=np.result_type(ab.dtype, x.dtype))
+    up = uplo.upper() == "U"
+    for d in range(0, k + 1):
+        # superdiagonal d of the symmetric matrix: elements A[i, i+d]
+        i_hi = n - 1 - d
+        if i_hi < 0:
+            continue
+        if up:
+            diag = ab[k - d, d: d + i_hi + 1]
+        else:
+            diag = ab[d, 0: i_hi + 1]
+            if hermitian:
+                diag = np.conj(diag)
+        acc[0: i_hi + 1] += diag * x[d: d + i_hi + 1]
+        if d > 0:
+            lo_diag = np.conj(diag) if hermitian else diag
+            acc[d: d + i_hi + 1] += lo_diag * x[0: i_hi + 1]
+    if hermitian:
+        # Diagonal of a Hermitian matrix is real; re-add any imaginary drift.
+        pass
+    if beta == 0:
+        y[...] = alpha * acc
+    else:
+        y *= beta
+        y += alpha * acc
+    return y
+
+
+def spmv(alpha, ap: np.ndarray, x: np.ndarray, beta, y: np.ndarray,
+         uplo: str = "U", hermitian: bool = False) -> np.ndarray:
+    """Packed symmetric/Hermitian matrix-vector product."""
+    n = x.shape[0]
+    acc = np.zeros(n, dtype=np.result_type(ap.dtype, x.dtype))
+    if uplo.upper() == "U":
+        pos = 0
+        for j in range(n):
+            col = ap[pos: pos + j + 1]          # A[0:j+1, j]
+            acc[: j + 1] += col * x[j]
+            off = np.conj(col[:j]) if hermitian else col[:j]
+            acc[j] += np.dot(off, x[:j])
+            pos += j + 1
+    else:
+        pos = 0
+        for j in range(n):
+            col = ap[pos: pos + n - j]          # A[j:, j]
+            acc[j:] += col * x[j]
+            off = np.conj(col[1:]) if hermitian else col[1:]
+            acc[j] += np.dot(off, x[j + 1:])
+            pos += n - j
+    if beta == 0:
+        y[...] = alpha * acc
+    else:
+        y *= beta
+        y += alpha * acc
+    return y
+
+
+def hpmv(alpha, ap, x, beta, y, uplo="U"):
+    """Packed Hermitian matrix-vector product."""
+    return spmv(alpha, ap, x, beta, y, uplo=uplo, hermitian=True)
+
+
+def syr(alpha, x: np.ndarray, a: np.ndarray, uplo: str = "U") -> np.ndarray:
+    """Symmetric rank-1 update of the ``uplo`` triangle: ``A += alpha x xᵀ``."""
+    upd = alpha * np.outer(x, x)
+    _add_triangle(a, upd, uplo)
+    return a
+
+
+def her(alpha, x: np.ndarray, a: np.ndarray, uplo: str = "U") -> np.ndarray:
+    """Hermitian rank-1 update ``A += alpha x xᴴ`` (alpha real)."""
+    upd = alpha * np.outer(x, np.conj(x))
+    _add_triangle(a, upd, uplo)
+    return a
+
+
+def syr2(alpha, x: np.ndarray, y: np.ndarray, a: np.ndarray,
+         uplo: str = "U") -> np.ndarray:
+    """Symmetric rank-2 update ``A += alpha x yᵀ + alpha y xᵀ``."""
+    upd = alpha * np.outer(x, y)
+    upd = upd + upd.T
+    _add_triangle(a, upd, uplo)
+    return a
+
+
+def her2(alpha, x: np.ndarray, y: np.ndarray, a: np.ndarray,
+         uplo: str = "U") -> np.ndarray:
+    """Hermitian rank-2 update ``A += alpha x yᴴ + conj(alpha) y xᴴ``."""
+    upd = alpha * np.outer(x, np.conj(y))
+    upd = upd + np.conj(upd).T
+    _add_triangle(a, upd, uplo)
+    return a
+
+
+def _add_triangle(a: np.ndarray, upd: np.ndarray, uplo: str) -> None:
+    if uplo.upper() == "U":
+        iu = np.triu_indices_from(a)
+        a[iu] += upd[iu]
+    else:
+        il = np.tril_indices_from(a)
+        a[il] += upd[il]
+
+
+def _packed_update(ap: np.ndarray, upd: np.ndarray, uplo: str) -> None:
+    n = upd.shape[0]
+    if uplo.upper() == "U":
+        pos = 0
+        for j in range(n):
+            ap[pos: pos + j + 1] += upd[: j + 1, j]
+            pos += j + 1
+    else:
+        pos = 0
+        for j in range(n):
+            ap[pos: pos + n - j] += upd[j:, j]
+            pos += n - j
+
+
+def spr(alpha, x, ap, uplo="U"):
+    """Packed symmetric rank-1 update."""
+    _packed_update(ap, alpha * np.outer(x, x), uplo)
+    return ap
+
+
+def hpr(alpha, x, ap, uplo="U"):
+    """Packed Hermitian rank-1 update (alpha real)."""
+    _packed_update(ap, alpha * np.outer(x, np.conj(x)), uplo)
+    return ap
+
+
+def spr2(alpha, x, y, ap, uplo="U"):
+    """Packed symmetric rank-2 update."""
+    upd = alpha * np.outer(x, y)
+    _packed_update(ap, upd + upd.T, uplo)
+    return ap
+
+
+def hpr2(alpha, x, y, ap, uplo="U"):
+    """Packed Hermitian rank-2 update."""
+    upd = alpha * np.outer(x, np.conj(y))
+    _packed_update(ap, upd + np.conj(upd).T, uplo)
+    return ap
+
+
+def _tri_matrix(a: np.ndarray, uplo: str, diag: str) -> np.ndarray:
+    t = np.triu(a) if uplo.upper() == "U" else np.tril(a)
+    if diag.upper() == "U":
+        np.fill_diagonal(t, 1)
+    return t
+
+
+def trmv(a: np.ndarray, x: np.ndarray, uplo: str = "U", trans: str = "N",
+         diag: str = "N") -> np.ndarray:
+    """Triangular matrix-vector product ``x := op(A)*x`` (in place)."""
+    t = _tri_matrix(a, uplo, diag)
+    x[...] = _op(t, trans) @ x
+    return x
+
+
+def trsv(a: np.ndarray, x: np.ndarray, uplo: str = "U", trans: str = "N",
+         diag: str = "N") -> np.ndarray:
+    """Triangular solve ``op(A) x = b``, solution overwrites ``x``.
+
+    Column-sweep substitution: O(n) Python iterations, each a vector op.
+    """
+    n = x.shape[0]
+    t = trans.upper()
+    up = uplo.upper() == "U"
+    unit = diag.upper() == "U"
+    if t == "C":
+        m = np.conj(a)
+        t, mat = "T", m
+    else:
+        mat = a
+    if (t == "N") == up:
+        # Backward substitution (upper-N or lower-T)
+        for j in range(n - 1, -1, -1):
+            if t == "N":
+                if not unit:
+                    x[j] = x[j] / mat[j, j]
+                if j > 0:
+                    x[:j] -= mat[:j, j] * x[j]
+            else:  # lower-transpose == effective upper
+                if not unit:
+                    x[j] = x[j] / mat[j, j]
+                if j > 0:
+                    x[:j] -= mat[j, :j] * x[j]
+    else:
+        # Forward substitution (lower-N or upper-T)
+        for j in range(n):
+            if t == "N":
+                if not unit:
+                    x[j] = x[j] / mat[j, j]
+                if j < n - 1:
+                    x[j + 1:] -= mat[j + 1:, j] * x[j]
+            else:  # upper-transpose == effective lower
+                if not unit:
+                    x[j] = x[j] / mat[j, j]
+                if j < n - 1:
+                    x[j + 1:] -= mat[j, j + 1:] * x[j]
+    return x
+
+
+def tbmv(ab: np.ndarray, x: np.ndarray, uplo: str = "U", trans: str = "N",
+         diag: str = "N") -> np.ndarray:
+    """Triangular band matrix-vector product, (k+1, n) storage."""
+    n = x.shape[0]
+    k = ab.shape[0] - 1
+    full = np.zeros((n, n), dtype=ab.dtype)
+    if uplo.upper() == "U":
+        for j in range(n):
+            lo = max(0, j - k)
+            full[lo: j + 1, j] = ab[k + lo - j: k + 1, j]
+    else:
+        for j in range(n):
+            hi = min(n - 1, j + k)
+            full[j: hi + 1, j] = ab[0: hi - j + 1, j]
+    return trmv(full, x, uplo=uplo, trans=trans, diag=diag)
+
+
+def tbsv(ab: np.ndarray, x: np.ndarray, uplo: str = "U", trans: str = "N",
+         diag: str = "N") -> np.ndarray:
+    """Triangular band solve ``op(A) x = b`` in (k+1, n) band storage.
+
+    Substitution sweeps touch only the k in-band entries per step.
+    """
+    n = x.shape[0]
+    k = ab.shape[0] - 1
+    up = uplo.upper() == "U"
+    unit = diag.upper() == "U"
+    t = trans.upper()
+    conj = t == "C"
+    tr = t in ("T", "C")
+
+    def elem(i, j):
+        v = ab[k + i - j, j] if up else ab[i - j, j]
+        return np.conj(v) if conj else v
+
+    if (not tr and up) or (tr and not up):
+        order = range(n - 1, -1, -1)
+    else:
+        order = range(n)
+    for j in order:
+        if not tr:
+            if not unit:
+                x[j] = x[j] / elem(j, j)
+            if up:
+                lo = max(0, j - k)
+                if lo < j:
+                    col = ab[k + lo - j: k, j]
+                    x[lo:j] -= (np.conj(col) if conj else col) * x[j]
+            else:
+                hi = min(n - 1, j + k)
+                if hi > j:
+                    col = ab[1: hi - j + 1, j]
+                    x[j + 1: hi + 1] -= (np.conj(col) if conj else col) * x[j]
+        else:
+            # op(A) = A^T (or A^H): row j of op(A) is column j of A.
+            if up:
+                lo = max(0, j - k)
+                col = ab[k + lo - j: k, j]
+                s = np.dot(np.conj(col) if conj else col, x[lo:j])
+            else:
+                hi = min(n - 1, j + k)
+                col = ab[1: hi - j + 1, j]
+                s = np.dot(np.conj(col) if conj else col, x[j + 1: hi + 1])
+            x[j] = x[j] - s
+            if not unit:
+                x[j] = x[j] / elem(j, j)
+    return x
+
+
+def tpmv(ap: np.ndarray, x: np.ndarray, n: int, uplo: str = "U",
+         trans: str = "N", diag: str = "N") -> np.ndarray:
+    """Packed triangular matrix-vector product."""
+    full = _packed_tri_full(ap, n, uplo, diag)
+    x[...] = _op(full, trans) @ x
+    return x
+
+
+def tpsv(ap: np.ndarray, x: np.ndarray, n: int, uplo: str = "U",
+         trans: str = "N", diag: str = "N") -> np.ndarray:
+    """Packed triangular solve."""
+    full = _packed_tri_full(ap, n, uplo, diag)
+    return trsv(full, x, uplo=uplo, trans=trans, diag=diag)
+
+
+def _packed_tri_full(ap: np.ndarray, n: int, uplo: str, diag: str) -> np.ndarray:
+    full = np.zeros((n, n), dtype=ap.dtype)
+    if uplo.upper() == "U":
+        pos = 0
+        for j in range(n):
+            full[: j + 1, j] = ap[pos: pos + j + 1]
+            pos += j + 1
+    else:
+        pos = 0
+        for j in range(n):
+            full[j:, j] = ap[pos: pos + n - j]
+            pos += n - j
+    if diag.upper() == "U":
+        np.fill_diagonal(full, 1)
+    return full

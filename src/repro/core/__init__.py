@@ -1,0 +1,49 @@
+"""The LAPACK90 layer — the paper's contribution.
+
+Generic, high-level drivers (``la_*``) over the :mod:`repro.lapack77`
+substrate, reproducing the interface design of Waśniewski & Dongarra's
+LAPACK90:
+
+* **generic dispatch** — one name covers ``float32``/``float64``/
+  ``complex64``/``complex128`` and vector- or matrix-shaped right-hand
+  sides (F90's generic interfaces → Python dynamic dispatch),
+* **assumed shape** — problem sizes come from ``ndarray.shape``
+  (no ``N``/``LDA`` arguments),
+* **optional arguments** — workspace outputs (``ipiv`` …) may be supplied
+  or omitted; diagnostics are optional,
+* **uniform error handling** — every driver validates its arguments into
+  LAPACK-style negative ``INFO`` codes and reports through
+  :func:`repro.errors.erinfo`: pass ``info=Info()`` to inspect the code,
+  omit it to get an exception (the analogue of ERINFO's ``STOP``).
+
+The catalogue follows the paper's Appendix G section by section.
+"""
+
+from .linear_equations import (la_gesv, la_gbsv, la_gtsv, la_posv, la_ppsv,
+                               la_pbsv, la_ptsv, la_sysv, la_hesv, la_spsv,
+                               la_hpsv)
+from .expert_linear import (la_gesvx, la_gbsvx, la_gtsvx, la_posvx,
+                            la_ppsvx, la_pbsvx, la_ptsvx, la_sysvx,
+                            la_hesvx, la_spsvx, la_hpsvx, ExpertResult)
+from .least_squares import la_gels, la_gelsx, la_gelss
+from .generalized_lls import la_gglse, la_ggglm
+from .eigen import (la_syev, la_heev, la_spev, la_hpev, la_sbev, la_hbev,
+                    la_stev, la_gees, la_geev, la_gesvd)
+from .eigen_dc import (la_syevd, la_heevd, la_spevd, la_hpevd, la_sbevd,
+                       la_hbevd, la_stevd)
+from .eigen_expert import (la_syevx, la_heevx, la_spevx, la_hpevx,
+                           la_sbevx, la_hbevx, la_stevx, la_geesx,
+                           la_geevx)
+from .generalized_eigen import (la_sygv, la_hegv, la_spgv, la_hpgv,
+                                la_sbgv, la_hbgv, la_gegs, la_gegv,
+                                la_ggsvd)
+from .computational import (la_getrf, la_getrs, la_getri, la_gerfs,
+                            la_geequ, la_potrf, la_sygst, la_hegst,
+                            la_sytrd, la_hetrd, la_orgtr, la_ungtr)
+from .matrix_util import la_lange, la_lagge
+from .auxmod import lsame, la_ws_gels, la_ws_gelss
+from .precision import SP, DP, wp
+
+__all__ = [name for name in dir() if name.startswith("la_")] + [
+    "ExpertResult", "lsame", "SP", "DP", "wp",
+]

@@ -1,0 +1,318 @@
+"""Some Computational Routines for Linear Equations and Eigenproblems
+(Appendix G, §9) — the non-driver routines LAPACK90 exposes with full
+generic interfaces, including the ``LA_GETRI`` of the paper's Appendix C
+listing (workspace sizing via ``ilaenv`` and the −200 reduced-workspace
+warning path)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ilaenv
+from ..errors import (Info, NoConvergence, SingularMatrix, erinfo,
+                      NotPositiveDefinite, WORK_REDUCED)
+from ..lapack77 import (gecon, geequ, gerfs, getrf, getri, getrs, hegst,
+                        hetrd, lange, lanhe, lansy, orgtr, pocon, potrf,
+                        sygst, sytrd, ungtr)
+from .auxmod import as_matrix, check_rhs, check_square, lsame
+
+__all__ = ["la_getrf", "la_getrs", "la_getri", "la_gerfs", "la_geequ",
+           "la_potrf", "la_sygst", "la_hegst", "la_sytrd", "la_hetrd",
+           "la_orgtr", "la_ungtr"]
+
+
+def la_getrf(a: np.ndarray, ipiv: np.ndarray | None = None,
+             rcond: bool = False, norm: str = "1",
+             info: Info | None = None):
+    """Computes an LU factorization of a general rectangular matrix using
+    partial pivoting with row interchanges; optionally estimates the
+    reciprocal condition number when A is square (paper: ``CALL LA_GETRF(
+    A, IPIV, RCOND=rcond, NORM=norm, INFO=info )``).
+
+    Returns ``(ipiv, rcond_value)`` — ``rcond_value`` is ``None`` unless
+    requested with ``rcond=True``.
+    """
+    srname = "LA_GETRF"
+    linfo = 0
+    exc = None
+    rc = None
+    lpiv = np.zeros(0, dtype=np.int64)
+    if not isinstance(a, np.ndarray) or a.ndim != 2:
+        linfo = -1
+    elif ipiv is not None and ipiv.shape[0] != min(a.shape):
+        linfo = -2
+    elif rcond and a.shape[0] != a.shape[1]:
+        linfo = -3
+    elif not (lsame(norm, "1") or lsame(norm, "O") or lsame(norm, "I")):
+        linfo = -4
+    else:
+        anorm = lange(norm, a) if rcond else 0.0
+        lpiv, linfo = getrf(a)
+        if ipiv is not None:
+            ipiv[:] = lpiv
+        if linfo > 0:
+            exc = SingularMatrix(srname, linfo)
+            rc = 0.0 if rcond else None
+        elif rcond:
+            rc, _ = gecon(a, anorm, norm=norm)
+            rc = min(rc, 1.0)
+    erinfo(linfo, srname, info, exc=exc)
+    return (ipiv if ipiv is not None else lpiv), rc
+
+
+def la_getrs(a: np.ndarray, ipiv: np.ndarray, b: np.ndarray,
+             trans: str = "N", info: Info | None = None) -> np.ndarray:
+    """Solves a general system using the LU factorization computed by
+    :func:`la_getrf` (paper: ``CALL LA_GETRS( A, IPIV, B, TRANS=trans,
+    INFO=info )``)."""
+    srname = "LA_GETRS"
+    linfo = 0
+    n = a.shape[0] if isinstance(a, np.ndarray) and a.ndim == 2 else -1
+    if check_square(a, 1):
+        linfo = -1
+    elif not isinstance(ipiv, np.ndarray) or ipiv.shape[0] != n:
+        linfo = -2
+    elif check_rhs(n, b, 3):
+        linfo = -3
+    elif trans.upper() not in ("N", "T", "C"):
+        linfo = -4
+    else:
+        bmat, _ = as_matrix(b)
+        linfo = getrs(a, ipiv, bmat, trans=trans)
+    erinfo(linfo, srname, info)
+    return b
+
+
+def la_getri(a: np.ndarray, ipiv: np.ndarray,
+             info: Info | None = None) -> np.ndarray:
+    """Computes the inverse of a matrix from its LU factorization
+    (paper Appendix C: ``LA_GETRI``).
+
+    Mirrors the listing's workspace logic: size ``n·nb`` from ``ilaenv``,
+    with the −200 warning path (reduced workspace → unblocked updates)
+    reproduced through the substrate's ``lwork`` handling.
+    """
+    srname = "LA_GETRI"
+    linfo = 0
+    exc = None
+    n = a.shape[0] if isinstance(a, np.ndarray) and a.ndim == 2 else -1
+    if check_square(a, 1):
+        linfo = -1
+    elif not isinstance(ipiv, np.ndarray) or ipiv.shape[0] != n:
+        linfo = -2
+    elif n > 0:
+        nb = ilaenv(1, "getri", "", n)
+        if nb < 1 or nb >= n:
+            nb = 1
+        lwork = max(n * nb, 1)
+        linfo = getri(a, ipiv, lwork=lwork)
+        if linfo > 0:
+            exc = SingularMatrix(srname, linfo)
+    erinfo(linfo, srname, info, exc=exc)
+    return a
+
+
+def la_gerfs(a: np.ndarray, af: np.ndarray, ipiv: np.ndarray,
+             b: np.ndarray, x: np.ndarray, trans: str = "N",
+             info: Info | None = None):
+    """Improves the computed solution of ``A X = B`` (or ``AᵀX = B``) and
+    provides forward/backward error bounds (paper: ``CALL LA_GERFS( A,
+    AF, IPIV, B, X, TRANS=trans, FERR=ferr, BERR=berr, INFO=info )``).
+
+    ``x`` is refined in place; returns ``(ferr, berr)``.
+    """
+    srname = "LA_GERFS"
+    linfo = 0
+    ferr = berr = np.zeros(0)
+    n = a.shape[0] if isinstance(a, np.ndarray) and a.ndim == 2 else -1
+    if check_square(a, 1):
+        linfo = -1
+    elif check_square(af, 2) or af.shape[0] != n:
+        linfo = -2
+    elif not isinstance(ipiv, np.ndarray) or ipiv.shape[0] != n:
+        linfo = -3
+    elif check_rhs(n, b, 4):
+        linfo = -4
+    elif check_rhs(n, x, 5) or np.shape(x) != np.shape(b):
+        linfo = -5
+    elif trans.upper() not in ("N", "T", "C"):
+        linfo = -6
+    else:
+        bmat, _ = as_matrix(b)
+        xmat, _ = as_matrix(x)
+        ferr, berr, linfo = gerfs(a, af, ipiv, bmat, xmat, trans=trans)
+    erinfo(linfo, srname, info)
+    return ferr, berr
+
+
+def la_geequ(a: np.ndarray, info: Info | None = None):
+    """Computes row and column scalings intended to equilibrate a
+    rectangular matrix and reduce its condition number (paper: ``CALL
+    LA_GEEQU( A, R, C, ROWCND=rowcnd, COLCND=colcnd, AMAX=amax,
+    INFO=info )``).
+
+    Returns ``(r, c, rowcnd, colcnd, amax)``.
+    """
+    srname = "LA_GEEQU"
+    if not isinstance(a, np.ndarray) or a.ndim != 2:
+        erinfo(-1, srname, info)
+        return None
+    r, c, rowcnd, colcnd, amax, linfo = geequ(a)
+    erinfo(linfo, srname, info)
+    return r, c, rowcnd, colcnd, amax
+
+
+def la_potrf(a: np.ndarray, uplo: str = "U", rcond: bool = False,
+             norm: str = "1", info: Info | None = None):
+    """Computes the Cholesky factorization and optionally estimates the
+    reciprocal condition number of a positive definite matrix (paper:
+    ``CALL LA_POTRF( A, UPLO=uplo, RCOND=rcond, NORM=norm,
+    INFO=info )``).
+
+    Returns the condition estimate (``None`` unless requested).
+    """
+    srname = "LA_POTRF"
+    linfo = 0
+    exc = None
+    rc = None
+    if check_square(a, 1):
+        linfo = -1
+    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
+        linfo = -2
+    else:
+        hermitian = np.iscomplexobj(a)
+        anorm = (lanhe(norm, a, uplo) if hermitian
+                 else lansy(norm, a, uplo)) if rcond else 0.0
+        linfo = potrf(a, uplo)
+        if linfo > 0:
+            exc = NotPositiveDefinite(srname, linfo)
+            rc = 0.0 if rcond else None
+        elif rcond:
+            rc, _ = pocon(a, anorm, uplo)
+            rc = min(rc, 1.0)
+    erinfo(linfo, srname, info, exc=exc)
+    return rc
+
+
+def la_sygst(a: np.ndarray, b: np.ndarray, itype: int = 1,
+             uplo: str = "U", info: Info | None = None) -> np.ndarray:
+    """Reduces a real symmetric-definite generalized eigenproblem to
+    standard form, with B already Cholesky-factored by :func:`la_potrf`
+    (paper: ``CALL LA_SYGST( A, B, ITYPE=itype, UPLO=uplo,
+    INFO=info )``)."""
+    srname = "LA_SYGST"
+    linfo = 0
+    if check_square(a, 1):
+        linfo = -1
+    elif check_square(b, 2) or b.shape[0] != a.shape[0]:
+        linfo = -2
+    elif itype not in (1, 2, 3):
+        linfo = -3
+    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
+        linfo = -4
+    else:
+        linfo = sygst(a, b, itype=itype, uplo=uplo)
+    erinfo(linfo, srname, info)
+    return a
+
+
+def la_hegst(a: np.ndarray, b: np.ndarray, itype: int = 1,
+             uplo: str = "U", info: Info | None = None) -> np.ndarray:
+    """Hermitian-definite analogue of :func:`la_sygst`
+    (paper ``LA_HEGST``)."""
+    srname = "LA_HEGST"
+    linfo = 0
+    if check_square(a, 1):
+        linfo = -1
+    elif check_square(b, 2) or b.shape[0] != a.shape[0]:
+        linfo = -2
+    elif itype not in (1, 2, 3):
+        linfo = -3
+    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
+        linfo = -4
+    else:
+        linfo = hegst(a, b, itype=itype, uplo=uplo)
+    erinfo(linfo, srname, info)
+    return a
+
+
+def la_sytrd(a: np.ndarray, tau: np.ndarray | None = None,
+             uplo: str = "U", info: Info | None = None):
+    """Reduces a real symmetric matrix to tridiagonal form
+    ``Qᴴ A Q = T`` (paper: ``CALL LA_SYTRD( A, TAU, UPLO=uplo,
+    INFO=info )``).
+
+    Returns ``(d, e, tau)`` — the tridiagonal and the reflector scalars
+    (the reflector vectors overwrite ``a``'s triangle).
+    """
+    srname = "LA_SYTRD"
+    linfo = 0
+    if check_square(a, 1):
+        erinfo(-1, srname, info)
+        return None
+    if not (lsame(uplo, "U") or lsame(uplo, "L")):
+        erinfo(-3, srname, info)
+        return None
+    d, e, tau_out = sytrd(a, uplo)
+    if tau is not None:
+        tau[:] = tau_out
+        tau_out = tau
+    erinfo(0, srname, info)
+    return d, e, tau_out
+
+
+def la_hetrd(a: np.ndarray, tau: np.ndarray | None = None,
+             uplo: str = "U", info: Info | None = None):
+    """Hermitian tridiagonal reduction (paper ``LA_HETRD``); ``d``/``e``
+    are real."""
+    srname = "LA_HETRD"
+    if check_square(a, 1):
+        erinfo(-1, srname, info)
+        return None
+    if not (lsame(uplo, "U") or lsame(uplo, "L")):
+        erinfo(-3, srname, info)
+        return None
+    d, e, tau_out = hetrd(a, uplo)
+    if tau is not None:
+        tau[:] = tau_out
+        tau_out = tau
+    erinfo(0, srname, info)
+    return d, e, tau_out
+
+
+def la_orgtr(a: np.ndarray, tau: np.ndarray, uplo: str = "U",
+             info: Info | None = None) -> np.ndarray:
+    """Generates the orthogonal matrix Q of the tridiagonal reduction
+    from its reflectors (paper: ``CALL LA_ORGTR( A, TAU, UPLO=uplo,
+    INFO=info )``)."""
+    srname = "LA_ORGTR"
+    linfo = 0
+    if check_square(a, 1):
+        linfo = -1
+    elif not isinstance(tau, np.ndarray) \
+            or tau.shape[0] < max(0, a.shape[0] - 1):
+        linfo = -2
+    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
+        linfo = -3
+    else:
+        orgtr(a, tau, uplo)
+    erinfo(linfo, srname, info)
+    return a
+
+
+def la_ungtr(a: np.ndarray, tau: np.ndarray, uplo: str = "U",
+             info: Info | None = None) -> np.ndarray:
+    """Unitary analogue of :func:`la_orgtr` (paper ``LA_UNGTR``)."""
+    srname = "LA_UNGTR"
+    linfo = 0
+    if check_square(a, 1):
+        linfo = -1
+    elif not isinstance(tau, np.ndarray) \
+            or tau.shape[0] < max(0, a.shape[0] - 1):
+        linfo = -2
+    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
+        linfo = -3
+    else:
+        ungtr(a, tau, uplo)
+    erinfo(linfo, srname, info)
+    return a

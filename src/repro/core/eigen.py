@@ -1,0 +1,335 @@
+"""Driver Routines for Standard Eigenvalue and Singular Value Problems
+(Appendix G, §5).
+
+Optional-output conventions (the Python rendering of F90 optional
+arguments):
+
+* ``jobz``/vector requests — passing an output array (or ``True``) for
+  ``z``/``vs``/``vl``/``vr``/``u``/``vt`` requests that quantity, exactly
+  like supplying the optional argument in LAPACK90.
+* Eigenvalues are returned (``w``; complex for the nonsymmetric drivers —
+  the paper's ``ω ::= WR, WI | W`` collapses to one complex array).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import Info, NoConvergence, erinfo
+from ..lapack77 import (gees, geev, gesvd, hbev, heev, hpev, sbev, spev,
+                        stev, syev)
+from .auxmod import check_square, lsame
+
+__all__ = ["la_syev", "la_heev", "la_spev", "la_hpev", "la_sbev",
+           "la_hbev", "la_stev", "la_gees", "la_geev", "la_gesvd"]
+
+
+def _want(flag) -> bool:
+    return flag is not None and flag is not False
+
+
+def _store(target, value):
+    if isinstance(target, np.ndarray):
+        target[...] = value
+        return target
+    return value
+
+
+def la_syev(a: np.ndarray, w: np.ndarray | None = None, jobz: str = "N",
+            uplo: str = "U", info: Info | None = None) -> np.ndarray:
+    """Computes all eigenvalues and, optionally, eigenvectors of a real
+    symmetric matrix A (paper: ``CALL LA_SYEV( A, W, JOBZ=jobz,
+    UPLO=uplo, INFO=info )``).
+
+    With ``jobz='V'`` the eigenvectors overwrite ``a`` (column *i* pairs
+    with ``w[i]``).  Returns the ascending eigenvalues.
+    """
+    srname = "LA_SYEV"
+    linfo = 0
+    exc = None
+    wout = np.zeros(0)
+    if check_square(a, 1):
+        linfo = -1
+    elif w is not None and w.shape[0] != a.shape[0]:
+        linfo = -2
+    elif not (lsame(jobz, "N") or lsame(jobz, "V")):
+        linfo = -3
+    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
+        linfo = -4
+    else:
+        wout, linfo = syev(a, jobz=jobz, uplo=uplo)
+        if linfo > 0:
+            exc = NoConvergence(srname, linfo)
+        if w is not None:
+            w[:] = wout
+            wout = w
+    erinfo(linfo, srname, info, exc=exc)
+    return wout
+
+
+def la_heev(a: np.ndarray, w: np.ndarray | None = None, jobz: str = "N",
+            uplo: str = "U", info: Info | None = None) -> np.ndarray:
+    """Hermitian analogue of :func:`la_syev` (paper ``LA_HEEV``);
+    eigenvalues are real."""
+    srname = "LA_HEEV"
+    linfo = 0
+    exc = None
+    wout = np.zeros(0)
+    if check_square(a, 1):
+        linfo = -1
+    elif w is not None and w.shape[0] != a.shape[0]:
+        linfo = -2
+    elif not (lsame(jobz, "N") or lsame(jobz, "V")):
+        linfo = -3
+    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
+        linfo = -4
+    else:
+        from ..lapack77 import heev as _heev
+        wout, linfo = _heev(a, jobz=jobz, uplo=uplo)
+        if linfo > 0:
+            exc = NoConvergence(srname, linfo)
+        if w is not None:
+            w[:] = wout
+            wout = w
+    erinfo(linfo, srname, info, exc=exc)
+    return wout
+
+
+def _packed_ev(srname, driver, ap, w, uplo, z, info):
+    linfo = 0
+    exc = None
+    wout = np.zeros(0)
+    zout = None
+    ln = ap.shape[0] if isinstance(ap, np.ndarray) and ap.ndim == 1 else -1
+    n = int((np.sqrt(8.0 * max(ln, 0) + 1.0) - 1.0) / 2.0 + 0.5)
+    if ln < 0 or n * (n + 1) // 2 != ln:
+        linfo = -1
+    elif w is not None and w.shape[0] != n:
+        linfo = -2
+    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
+        linfo = -3
+    else:
+        jobz = "V" if _want(z) else "N"
+        wout, zv, linfo = driver(ap, n, jobz=jobz, uplo=uplo)
+        if linfo > 0:
+            exc = NoConvergence(srname, linfo)
+        if _want(z):
+            zout = _store(z if isinstance(z, np.ndarray) else None, zv)
+        if w is not None:
+            w[:] = wout
+            wout = w
+    erinfo(linfo, srname, info, exc=exc)
+    return (wout, zout) if _want(z) else wout
+
+
+def la_spev(ap: np.ndarray, w: np.ndarray | None = None, uplo: str = "U",
+            z=None, info: Info | None = None):
+    """Computes all eigenvalues and, optionally, eigenvectors of a real
+    symmetric matrix A in packed storage (paper ``LA_SPEV``).
+
+    Pass ``z=True`` (or an output array) to request eigenvectors; then
+    ``(w, z)`` is returned.
+    """
+    return _packed_ev("LA_SPEV", spev, ap, w, uplo, z, info)
+
+
+def la_hpev(ap: np.ndarray, w: np.ndarray | None = None, uplo: str = "U",
+            z=None, info: Info | None = None):
+    """Packed Hermitian eigen driver (paper ``LA_HPEV``)."""
+    return _packed_ev("LA_HPEV", hpev, ap, w, uplo, z, info)
+
+
+def _band_ev(srname, driver, ab, w, uplo, z, info):
+    linfo = 0
+    exc = None
+    wout = np.zeros(0)
+    zout = None
+    if not isinstance(ab, np.ndarray) or ab.ndim != 2:
+        linfo = -1
+    else:
+        n = ab.shape[1]
+        if w is not None and w.shape[0] != n:
+            linfo = -2
+        elif not (lsame(uplo, "U") or lsame(uplo, "L")):
+            linfo = -3
+        else:
+            jobz = "V" if _want(z) else "N"
+            wout, zv, linfo = driver(ab, n, jobz=jobz, uplo=uplo)
+            if linfo > 0:
+                exc = NoConvergence(srname, linfo)
+            if _want(z):
+                zout = _store(z if isinstance(z, np.ndarray) else None, zv)
+            if w is not None:
+                w[:] = wout
+                wout = w
+    erinfo(linfo, srname, info, exc=exc)
+    return (wout, zout) if _want(z) else wout
+
+
+def la_sbev(ab: np.ndarray, w: np.ndarray | None = None, uplo: str = "U",
+            z=None, info: Info | None = None):
+    """Symmetric band eigen driver (paper ``LA_SBEV``); ``ab`` is the
+    ``(kd+1, n)`` symmetric band storage."""
+    return _band_ev("LA_SBEV", sbev, ab, w, uplo, z, info)
+
+
+def la_hbev(ab: np.ndarray, w: np.ndarray | None = None, uplo: str = "U",
+            z=None, info: Info | None = None):
+    """Hermitian band eigen driver (paper ``LA_HBEV``)."""
+    return _band_ev("LA_HBEV", hbev, ab, w, uplo, z, info)
+
+
+def la_stev(d: np.ndarray, e: np.ndarray, z=None,
+            info: Info | None = None):
+    """Computes all eigenvalues (and optionally eigenvectors) of a real
+    symmetric tridiagonal matrix (paper: ``CALL LA_STEV( D, E, Z=z,
+    INFO=info )``).
+
+    Eigenvalues overwrite ``d`` (ascending); ``e`` is destroyed.
+    """
+    srname = "LA_STEV"
+    linfo = 0
+    exc = None
+    n = d.shape[0] if isinstance(d, np.ndarray) else -1
+    zout = None
+    if n < 0:
+        linfo = -1
+    elif not isinstance(e, np.ndarray) or e.shape[0] < max(0, n - 1):
+        linfo = -2
+    else:
+        if _want(z):
+            zbuf = z if isinstance(z, np.ndarray) else \
+                np.empty((n, n), dtype=d.dtype)
+            linfo = stev(d, e, zbuf, jobz="V")
+            zout = zbuf
+        else:
+            linfo = stev(d, e, jobz="N")
+        if linfo > 0:
+            exc = NoConvergence(srname, linfo)
+    erinfo(linfo, srname, info, exc=exc)
+    return (d, zout) if _want(z) else d
+
+
+def la_gees(a: np.ndarray, w: np.ndarray | None = None, vs=None,
+            select=None, info: Info | None = None):
+    """Computes the eigenvalues and Schur form of a nonsymmetric matrix,
+    and optionally the Schur vectors (paper: ``CALL LA_GEES( A, ω,
+    VS=vs, SELECT=select, SDIM=sdim, INFO=info )``).
+
+    ``a`` is overwritten with the (quasi-)triangular Schur form T.  The
+    paper's ``ω`` (WR/WI or W) is the returned complex ``w``.  With a
+    ``select`` callable the chosen eigenvalues are moved to the leading
+    block.  Returns ``(w, sdim)`` — or ``(w, vs, sdim)`` when Schur
+    vectors were requested.
+    """
+    srname = "LA_GEES"
+    linfo = 0
+    exc = None
+    wout = np.zeros(0, dtype=complex)
+    sdim = 0
+    vsout = None
+    if check_square(a, 1):
+        linfo = -1
+    else:
+        jobvs = "V" if _want(vs) else "N"
+        wout, vsv, sdim, linfo = gees(a, jobvs=jobvs, select=select)
+        if linfo > 0:
+            exc = NoConvergence(srname, linfo)
+        if _want(vs):
+            vsout = _store(vs if isinstance(vs, np.ndarray) else None, vsv)
+        if w is not None:
+            w[:] = wout
+            wout = w
+    erinfo(linfo, srname, info, exc=exc)
+    if _want(vs):
+        return wout, vsout, sdim
+    return wout, sdim
+
+
+def la_geev(a: np.ndarray, w: np.ndarray | None = None, vl=None, vr=None,
+            info: Info | None = None):
+    """Computes the eigenvalues and, optionally, left/right eigenvectors
+    of a nonsymmetric matrix (paper: ``CALL LA_GEEV( A, ω, VL=vl,
+    VR=vr, INFO=info )``).
+
+    Returns ``w`` (complex), plus ``vl``/``vr`` (complex unit-norm
+    columns) in the order requested: ``(w[, vl][, vr])``.
+    """
+    srname = "LA_GEEV"
+    linfo = 0
+    exc = None
+    wout = np.zeros(0, dtype=complex)
+    vlout = vrout = None
+    if check_square(a, 1):
+        linfo = -1
+    else:
+        wout, vlv, vrv, linfo = geev(a,
+                                     jobvl="V" if _want(vl) else "N",
+                                     jobvr="V" if _want(vr) else "N")
+        if linfo > 0:
+            exc = NoConvergence(srname, linfo)
+        if _want(vl):
+            vlout = _store(vl if isinstance(vl, np.ndarray) else None, vlv)
+        if _want(vr):
+            vrout = _store(vr if isinstance(vr, np.ndarray) else None, vrv)
+        if w is not None:
+            w[:] = wout
+            wout = w
+    erinfo(linfo, srname, info, exc=exc)
+    out = [wout]
+    if _want(vl):
+        out.append(vlout)
+    if _want(vr):
+        out.append(vrout)
+    return out[0] if len(out) == 1 else tuple(out)
+
+
+def la_gesvd(a: np.ndarray, s: np.ndarray | None = None, u=None, vt=None,
+             ww: np.ndarray | None = None, job: str = "N",
+             info: Info | None = None):
+    """Computes the singular value decomposition ``A = U Σ Vᴴ``
+    (paper: ``CALL LA_GESVD( A, S, U=u, VT=vt, WW=ww, JOB=job,
+    INFO=info )``).
+
+    Request factors by passing ``u=True``/``vt=True`` (economy size) or
+    preallocated arrays (square m×m / n×n arrays select the full
+    factors).  ``a`` is destroyed.  Returns ``s`` (descending), plus the
+    requested factors: ``(s[, u][, vt])``.
+    """
+    srname = "LA_GESVD"
+    linfo = 0
+    exc = None
+    sout = np.zeros(0)
+    uout = vtout = None
+    if not isinstance(a, np.ndarray) or a.ndim != 2:
+        linfo = -1
+    else:
+        m, n = a.shape
+        jobu = "N"
+        if _want(u):
+            # A square preallocated array requests the full factor.
+            jobu = "A" if (isinstance(u, np.ndarray) and u.shape == (m, m)
+                           and m > min(m, n)) else "S"
+        jobvt = "N"
+        if _want(vt):
+            jobvt = "A" if (isinstance(vt, np.ndarray)
+                            and vt.shape == (n, n) and n > min(m, n)) \
+                else "S"
+        sout, uv, vtv, linfo = gesvd(a, jobu=jobu, jobvt=jobvt)
+        if linfo > 0:
+            exc = NoConvergence(srname, linfo,
+                                "bidiagonal QR failed to converge")
+        if _want(u):
+            uout = _store(u if isinstance(u, np.ndarray) else None, uv)
+        if _want(vt):
+            vtout = _store(vt if isinstance(vt, np.ndarray) else None, vtv)
+        if s is not None:
+            s[:] = sout
+            sout = s
+    erinfo(linfo, srname, info, exc=exc)
+    out = [sout]
+    if _want(u):
+        out.append(uout)
+    if _want(vt):
+        out.append(vtout)
+    return out[0] if len(out) == 1 else tuple(out)

@@ -1,0 +1,105 @@
+"""Divide and Conquer Driver Routines for Standard Eigenvalue Problems
+(Appendix G, §6): same interfaces as the §5 drivers, but eigenvectors
+come from the Cuppen divide-and-conquer algorithm (``stedc``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import Info, NoConvergence, erinfo
+from ..lapack77 import (hbevd, heevd, hpevd, sbevd, spevd, stevd, syevd)
+from .auxmod import check_square, lsame
+from .eigen import _band_ev, _packed_ev, _store, _want
+
+__all__ = ["la_syevd", "la_heevd", "la_spevd", "la_hpevd", "la_sbevd",
+           "la_hbevd", "la_stevd"]
+
+
+def _dense_evd(srname, driver, a, w, jobz, uplo, info):
+    linfo = 0
+    exc = None
+    wout = np.zeros(0)
+    if check_square(a, 1):
+        linfo = -1
+    elif w is not None and w.shape[0] != a.shape[0]:
+        linfo = -2
+    elif not (lsame(jobz, "N") or lsame(jobz, "V")):
+        linfo = -3
+    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
+        linfo = -4
+    else:
+        wout, linfo = driver(a, jobz=jobz, uplo=uplo)
+        if linfo > 0:
+            exc = NoConvergence(srname, linfo)
+        if w is not None:
+            w[:] = wout
+            wout = w
+    erinfo(linfo, srname, info, exc=exc)
+    return wout
+
+
+def la_syevd(a: np.ndarray, w: np.ndarray | None = None, jobz: str = "N",
+             uplo: str = "U", info: Info | None = None) -> np.ndarray:
+    """Divide-and-conquer eigensolver for a real symmetric matrix
+    (paper: ``CALL LA_SYEVD( A, W, JOBZ=jobz, UPLO=uplo, INFO=info )``).
+
+    With ``jobz='V'`` the eigenvectors overwrite ``a``.
+    """
+    return _dense_evd("LA_SYEVD", syevd, a, w, jobz, uplo, info)
+
+
+def la_heevd(a: np.ndarray, w: np.ndarray | None = None, jobz: str = "N",
+             uplo: str = "U", info: Info | None = None) -> np.ndarray:
+    """Divide-and-conquer Hermitian eigensolver (paper ``LA_HEEVD``)."""
+    return _dense_evd("LA_HEEVD", heevd, a, w, jobz, uplo, info)
+
+
+def la_spevd(ap: np.ndarray, w: np.ndarray | None = None,
+             uplo: str = "U", z=None, info: Info | None = None):
+    """Packed symmetric divide-and-conquer driver (paper ``LA_SPEVD``)."""
+    return _packed_ev("LA_SPEVD", spevd, ap, w, uplo, z, info)
+
+
+def la_hpevd(ap: np.ndarray, w: np.ndarray | None = None,
+             uplo: str = "U", z=None, info: Info | None = None):
+    """Packed Hermitian divide-and-conquer driver (paper ``LA_HPEVD``)."""
+    return _packed_ev("LA_HPEVD", hpevd, ap, w, uplo, z, info)
+
+
+def la_sbevd(ab: np.ndarray, w: np.ndarray | None = None,
+             uplo: str = "U", z=None, info: Info | None = None):
+    """Symmetric band divide-and-conquer driver (paper ``LA_SBEVD``)."""
+    return _band_ev("LA_SBEVD", sbevd, ab, w, uplo, z, info)
+
+
+def la_hbevd(ab: np.ndarray, w: np.ndarray | None = None,
+             uplo: str = "U", z=None, info: Info | None = None):
+    """Hermitian band divide-and-conquer driver (paper ``LA_HBEVD``)."""
+    return _band_ev("LA_HBEVD", hbevd, ab, w, uplo, z, info)
+
+
+def la_stevd(d: np.ndarray, e: np.ndarray, z=None,
+             info: Info | None = None):
+    """Divide-and-conquer tridiagonal driver (paper: ``CALL LA_STEVD( D,
+    E, Z=z, INFO=info )``): eigenvalues overwrite ``d``."""
+    srname = "LA_STEVD"
+    linfo = 0
+    exc = None
+    n = d.shape[0] if isinstance(d, np.ndarray) else -1
+    zout = None
+    if n < 0:
+        linfo = -1
+    elif not isinstance(e, np.ndarray) or e.shape[0] < max(0, n - 1):
+        linfo = -2
+    else:
+        if _want(z):
+            zbuf = z if isinstance(z, np.ndarray) else \
+                np.empty((n, n), dtype=np.float64)
+            linfo = stevd(d, e, zbuf, jobz="V")
+            zout = zbuf
+        else:
+            linfo = stevd(d, e, jobz="N")
+        if linfo > 0:
+            exc = NoConvergence(srname, linfo)
+    erinfo(linfo, srname, info, exc=exc)
+    return (d, zout) if _want(z) else d

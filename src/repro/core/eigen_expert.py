@@ -1,0 +1,213 @@
+"""Expert Driver Routines for Standard Eigenvalue Problems
+(Appendix G, §7): selected eigenvalues by value range ``(vl, vu]`` or
+0-based index range ``[il, iu]``, plus condition-number variants of the
+Schur/eigen drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import Info, NoConvergence, erinfo
+from ..lapack77 import (geesx, geevx, hbevx, heevx, hpevx, sbevx, spevx,
+                        stevx, syevx)
+from .auxmod import check_square, lsame
+from .eigen import _store, _want
+
+__all__ = ["la_syevx", "la_heevx", "la_spevx", "la_hpevx", "la_sbevx",
+           "la_hbevx", "la_stevx", "la_geesx", "la_geevx"]
+
+
+def _dense_evx(srname, driver, a, w, uplo, z, vl, vu, il, iu, abstol,
+               info):
+    linfo = 0
+    exc = None
+    wout = np.zeros(0)
+    zout = None
+    m = 0
+    ifail = np.zeros(0, dtype=np.int64)
+    if check_square(a, 1):
+        linfo = -1
+    elif vl is not None and vu is not None and vl >= vu:
+        linfo = -5
+    elif il is not None and iu is not None and not (0 <= il <= iu):
+        linfo = -7
+    else:
+        jobz = "V" if _want(z) else "N"
+        wout, zv, m, ifail, linfo = driver(a, jobz=jobz, uplo=uplo, vl=vl,
+                                           vu=vu, il=il, iu=iu,
+                                           abstol=abstol)
+        if linfo > 0:
+            exc = NoConvergence(srname, linfo,
+                                f"{linfo} eigenvector(s) failed")
+        if _want(z):
+            zout = _store(z if isinstance(z, np.ndarray) else None, zv)
+        if w is not None:
+            w[:m] = wout
+    erinfo(linfo, srname, info, exc=exc)
+    return (wout, zout, m, ifail) if _want(z) else (wout, m, ifail)
+
+
+def la_syevx(a, w=None, uplo="U", z=None, vl=None, vu=None, il=None,
+             iu=None, abstol=0.0, info: Info | None = None):
+    """Selected eigenvalues/vectors of a real symmetric matrix by
+    bisection + inverse iteration (paper: ``CALL LA_SYEVX( A, W,
+    UPLO=uplo, VL=vl, VU=vu, IL=il, IU=iu, M=m, IFAIL=ifail,
+    ABSTOL=abstol, INFO=info )``).
+
+    Returns ``(w, m, ifail)`` — or ``(w, z, m, ifail)`` with vectors.
+    """
+    return _dense_evx("LA_SYEVX", syevx, a, w, uplo, z, vl, vu, il, iu,
+                      abstol, info)
+
+
+def la_heevx(a, w=None, uplo="U", z=None, vl=None, vu=None, il=None,
+             iu=None, abstol=0.0, info: Info | None = None):
+    """Hermitian expert eigen driver (paper ``LA_HEEVX``)."""
+    return _dense_evx("LA_HEEVX", heevx, a, w, uplo, z, vl, vu, il, iu,
+                      abstol, info)
+
+
+def _structured_evx(srname, driver, data, n, w, uplo, z, vl, vu, il, iu,
+                    abstol, info):
+    linfo = 0
+    exc = None
+    jobz = "V" if _want(z) else "N"
+    wout, zv, m, ifail, linfo = driver(data, n, jobz=jobz, uplo=uplo,
+                                       vl=vl, vu=vu, il=il, iu=iu,
+                                       abstol=abstol)
+    zout = None
+    if linfo > 0:
+        exc = NoConvergence(srname, linfo)
+    if _want(z):
+        zout = _store(z if isinstance(z, np.ndarray) else None, zv)
+    if w is not None:
+        w[:m] = wout
+    erinfo(linfo, srname, info, exc=exc)
+    return (wout, zout, m, ifail) if _want(z) else (wout, m, ifail)
+
+
+def la_spevx(ap, w=None, uplo="U", z=None, vl=None, vu=None, il=None,
+             iu=None, abstol=0.0, info: Info | None = None):
+    """Packed symmetric expert driver (paper ``LA_SPEVX``)."""
+    ln = ap.shape[0]
+    n = int((np.sqrt(8.0 * ln + 1.0) - 1.0) / 2.0 + 0.5)
+    return _structured_evx("LA_SPEVX", spevx, ap, n, w, uplo, z, vl, vu,
+                           il, iu, abstol, info)
+
+
+def la_hpevx(ap, w=None, uplo="U", z=None, vl=None, vu=None, il=None,
+             iu=None, abstol=0.0, info: Info | None = None):
+    """Packed Hermitian expert driver (paper ``LA_HPEVX``)."""
+    ln = ap.shape[0]
+    n = int((np.sqrt(8.0 * ln + 1.0) - 1.0) / 2.0 + 0.5)
+    return _structured_evx("LA_HPEVX", hpevx, ap, n, w, uplo, z, vl, vu,
+                           il, iu, abstol, info)
+
+
+def la_sbevx(ab, w=None, uplo="U", z=None, vl=None, vu=None, il=None,
+             iu=None, abstol=0.0, info: Info | None = None):
+    """Symmetric band expert driver (paper ``LA_SBEVX``)."""
+    return _structured_evx("LA_SBEVX", sbevx, ab, ab.shape[1], w, uplo, z,
+                           vl, vu, il, iu, abstol, info)
+
+
+def la_hbevx(ab, w=None, uplo="U", z=None, vl=None, vu=None, il=None,
+             iu=None, abstol=0.0, info: Info | None = None):
+    """Hermitian band expert driver (paper ``LA_HBEVX``)."""
+    return _structured_evx("LA_HBEVX", hbevx, ab, ab.shape[1], w, uplo, z,
+                           vl, vu, il, iu, abstol, info)
+
+
+def la_stevx(d, e, w=None, z=None, vl=None, vu=None, il=None, iu=None,
+             abstol=0.0, info: Info | None = None):
+    """Tridiagonal expert driver (paper: ``CALL LA_STEVX( D, E, W, Z=z,
+    VL=vl, VU=vu, IL=il, IU=iu, M=m, IFAIL=ifail, ABSTOL=abstol,
+    INFO=info )``).
+
+    Returns ``(w, m, ifail)`` or ``(w, z, m, ifail)``.
+    """
+    srname = "LA_STEVX"
+    exc = None
+    jobz = "V" if _want(z) else "N"
+    wout, zv, m, ifail, linfo = stevx(d, e, jobz=jobz, vl=vl, vu=vu,
+                                      il=il, iu=iu, abstol=abstol)
+    zout = None
+    if linfo > 0:
+        exc = NoConvergence(srname, linfo)
+    if _want(z):
+        zout = _store(z if isinstance(z, np.ndarray) else None, zv)
+    if w is not None:
+        w[:m] = wout
+    erinfo(linfo, srname, info, exc=exc)
+    return (wout, zout, m, ifail) if _want(z) else (wout, m, ifail)
+
+
+def la_geesx(a, w=None, vs=None, select=None, sense: str = "B",
+             info: Info | None = None):
+    """Expert Schur driver: ordered Schur form plus reciprocal condition
+    numbers for the selected cluster and its invariant subspace (paper:
+    ``CALL LA_GEESX( A, ω, VS=vs, SELECT=select, SDIM=sdim,
+    RCONDE=rconde, RCONDV=rcondv, INFO=info )``).
+
+    Returns ``(w, sdim, rconde, rcondv)`` — with ``vs`` inserted after
+    ``w`` when Schur vectors were requested.
+    """
+    srname = "LA_GEESX"
+    linfo = 0
+    exc = None
+    wout = np.zeros(0, dtype=complex)
+    vsout = None
+    sdim = 0
+    rconde, rcondv = 1.0, 0.0
+    if check_square(a, 1):
+        linfo = -1
+    else:
+        jobvs = "V" if _want(vs) else "N"
+        wout, vsv, sdim, rconde, rcondv, linfo = geesx(
+            a, jobvs=jobvs, select=select, sense=sense)
+        if linfo > 0:
+            exc = NoConvergence(srname, linfo)
+        if _want(vs):
+            vsout = _store(vs if isinstance(vs, np.ndarray) else None, vsv)
+        if w is not None:
+            w[:] = wout
+            wout = w
+    erinfo(linfo, srname, info, exc=exc)
+    if _want(vs):
+        return wout, vsout, sdim, rconde, rcondv
+    return wout, sdim, rconde, rcondv
+
+
+def la_geevx(a, w=None, vl=None, vr=None, balanc: str = "B",
+             sense: str = "B", info: Info | None = None):
+    """Expert eigen driver: eigenvalues/vectors plus balancing data and
+    per-eigenvalue condition numbers (paper: ``CALL LA_GEEVX( A, ω,
+    VL=vl, VR=vr, BALANC=balanc, ILO=ilo, IHI=ihi, SCALE=scale,
+    ABNRM=abnrm, RCONDE=rconde, RCONDV=rcondv, INFO=info )``).
+
+    Returns ``(w, vl, vr, ilo, ihi, scale, abnrm, rconde, rcondv)``
+    (``vl``/``vr`` are ``None`` when not requested).
+    """
+    srname = "LA_GEEVX"
+    linfo = 0
+    exc = None
+    if check_square(a, 1):
+        erinfo(-1, srname, info)
+        return (np.zeros(0, dtype=complex), None, None, 0, -1,
+                np.zeros(0), 0.0, np.zeros(0), np.zeros(0))
+    (wout, vlv, vrv, ilo, ihi, scale, abnrm, rconde, rcondv,
+     linfo) = geevx(a, jobvl="V" if _want(vl) else "N",
+                    jobvr="V" if _want(vr) else "N", balanc=balanc,
+                    sense=sense)
+    if linfo > 0:
+        exc = NoConvergence(srname, linfo)
+    vlout = vrout = None
+    if _want(vl):
+        vlout = _store(vl if isinstance(vl, np.ndarray) else None, vlv)
+    if _want(vr):
+        vrout = _store(vr if isinstance(vr, np.ndarray) else None, vrv)
+    if w is not None:
+        w[:] = wout
+        wout = w
+    erinfo(linfo, srname, info, exc=exc)
+    return wout, vlout, vrout, ilo, ihi, scale, abnrm, rconde, rcondv

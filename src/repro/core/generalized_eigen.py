@@ -1,0 +1,236 @@
+"""Driver Routines for Generalized Eigenvalue and Singular Value Problems
+(Appendix G, §8)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import Info, NoConvergence, erinfo, NotPositiveDefinite
+from ..lapack77 import (gegs, gegv, ggsvd, hbgv, hegv, hpgv, sbgv, spgv,
+                        sygv)
+from .auxmod import check_rhs, check_square, lsame
+from .eigen import _store, _want
+
+__all__ = ["la_sygv", "la_hegv", "la_spgv", "la_hpgv", "la_sbgv",
+           "la_hbgv", "la_gegs", "la_gegv", "la_ggsvd"]
+
+
+def _gv(srname, driver, a, b, w, itype, jobz, uplo, info):
+    linfo = 0
+    exc = None
+    wout = np.zeros(0)
+    n = a.shape[0] if isinstance(a, np.ndarray) and a.ndim == 2 else -1
+    if check_square(a, 1):
+        linfo = -1
+    elif check_square(b, 2) or b.shape[0] != n:
+        linfo = -2
+    elif w is not None and w.shape[0] != n:
+        linfo = -3
+    elif itype not in (1, 2, 3):
+        linfo = -4
+    elif not (lsame(jobz, "N") or lsame(jobz, "V")):
+        linfo = -5
+    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
+        linfo = -6
+    else:
+        wout, linfo = driver(a, b, itype=itype, jobz=jobz, uplo=uplo)
+        if linfo > n:
+            exc = NotPositiveDefinite(srname, linfo - n)
+        elif linfo > 0:
+            exc = NoConvergence(srname, linfo)
+        if w is not None:
+            w[:] = wout
+            wout = w
+    erinfo(linfo, srname, info, exc=exc)
+    return wout
+
+
+def la_sygv(a: np.ndarray, b: np.ndarray, w: np.ndarray | None = None,
+            itype: int = 1, jobz: str = "N", uplo: str = "U",
+            info: Info | None = None) -> np.ndarray:
+    """Computes all eigenvalues (and optionally eigenvectors) of a real
+    generalized symmetric-definite eigenproblem (paper: ``CALL LA_SYGV(
+    A, B, W, ITYPE=itype, JOBZ=jobz, UPLO=uplo, INFO=info )``).
+
+    itype 1: ``A x = λ B x``; 2: ``A B x = λ x``; 3: ``B A x = λ x``.
+    With ``jobz='V'`` the eigenvectors overwrite ``a``; ``b`` receives
+    the Cholesky factor of B.  ``info = n + i`` flags B not positive
+    definite at minor *i*.
+    """
+    return _gv("LA_SYGV", sygv, a, b, w, itype, jobz, uplo, info)
+
+
+def la_hegv(a: np.ndarray, b: np.ndarray, w: np.ndarray | None = None,
+            itype: int = 1, jobz: str = "N", uplo: str = "U",
+            info: Info | None = None) -> np.ndarray:
+    """Complex Hermitian-definite generalized eigen driver
+    (paper ``LA_HEGV``)."""
+    return _gv("LA_HEGV", hegv, a, b, w, itype, jobz, uplo, info)
+
+
+def _packed_gv(srname, ap, bp, w, itype, uplo, z, info, method="qr"):
+    linfo = 0
+    exc = None
+    wout = np.zeros(0)
+    zout = None
+    ln = ap.shape[0] if isinstance(ap, np.ndarray) and ap.ndim == 1 else -1
+    n = int((np.sqrt(8.0 * max(ln, 0) + 1.0) - 1.0) / 2.0 + 0.5)
+    if ln < 0 or n * (n + 1) // 2 != ln:
+        linfo = -1
+    elif not isinstance(bp, np.ndarray) or bp.shape != ap.shape:
+        linfo = -2
+    else:
+        jobz = "V" if _want(z) else "N"
+        wout, zv, linfo = spgv(ap, bp, n, itype=itype, jobz=jobz,
+                               uplo=uplo, method=method)
+        if linfo > n:
+            exc = NotPositiveDefinite(srname, linfo - n)
+        elif linfo > 0:
+            exc = NoConvergence(srname, linfo)
+        if _want(z):
+            zout = _store(z if isinstance(z, np.ndarray) else None, zv)
+        if w is not None:
+            w[:] = wout
+            wout = w
+    erinfo(linfo, srname, info, exc=exc)
+    return (wout, zout) if _want(z) else wout
+
+
+def la_spgv(ap, bp, w=None, itype: int = 1, uplo: str = "U", z=None,
+            info: Info | None = None):
+    """Packed generalized symmetric-definite driver (paper ``LA_SPGV``)."""
+    return _packed_gv("LA_SPGV", ap, bp, w, itype, uplo, z, info)
+
+
+def la_hpgv(ap, bp, w=None, itype: int = 1, uplo: str = "U", z=None,
+            info: Info | None = None):
+    """Packed generalized Hermitian-definite driver (paper ``LA_HPGV``)."""
+    return _packed_gv("LA_HPGV", ap, bp, w, itype, uplo, z, info)
+
+
+def _band_gv(srname, ab, bb, w, uplo, z, info):
+    linfo = 0
+    exc = None
+    wout = np.zeros(0)
+    zout = None
+    if not isinstance(ab, np.ndarray) or ab.ndim != 2:
+        linfo = -1
+    elif not isinstance(bb, np.ndarray) or bb.ndim != 2 \
+            or bb.shape[1] != ab.shape[1]:
+        linfo = -2
+    else:
+        n = ab.shape[1]
+        jobz = "V" if _want(z) else "N"
+        wout, zv, linfo = sbgv(ab, bb, n, jobz=jobz, uplo=uplo)
+        if linfo > n:
+            exc = NotPositiveDefinite(srname, linfo - n)
+        elif linfo > 0:
+            exc = NoConvergence(srname, linfo)
+        if _want(z):
+            zout = _store(z if isinstance(z, np.ndarray) else None, zv)
+        if w is not None:
+            w[:] = wout
+            wout = w
+    erinfo(linfo, srname, info, exc=exc)
+    return (wout, zout) if _want(z) else wout
+
+
+def la_sbgv(ab, bb, w=None, uplo: str = "U", z=None,
+            info: Info | None = None):
+    """Band generalized symmetric-definite driver (paper ``LA_SBGV``)."""
+    return _band_gv("LA_SBGV", ab, bb, w, uplo, z, info)
+
+
+def la_hbgv(ab, bb, w=None, uplo: str = "U", z=None,
+            info: Info | None = None):
+    """Band generalized Hermitian-definite driver (paper ``LA_HBGV``)."""
+    return _band_gv("LA_HBGV", ab, bb, w, uplo, z, info)
+
+
+def la_gegs(a: np.ndarray, b: np.ndarray, vsl=None, vsr=None,
+            info: Info | None = None):
+    """Generalized Schur factorization of a nonsymmetric pencil (A, B)
+    (paper: ``CALL LA_GEGS( A, B, α=alpha, BETA=beta, VSL=vsl,
+    VSR=vsr, INFO=info )``).
+
+    ``a``/``b`` are replaced by the (complex) triangular Schur pair; the
+    generalized eigenvalues are the returned ``(alpha, beta)`` pairs (the
+    paper's ``α ::= ALPHAR, ALPHAI | ALPHA`` collapses to complex
+    ``alpha``).  Returns ``(alpha, beta[, vsl][, vsr])``.
+    """
+    srname = "LA_GEGS"
+    linfo = 0
+    exc = None
+    if check_square(a, 1) or check_square(b, 2) \
+            or a.shape != b.shape:
+        erinfo(-1 if check_square(a, 1) else -2, srname, info)
+        return np.zeros(0, complex), np.zeros(0, complex)
+    alpha, beta, s, t, q, z, linfo = gegs(a, b)
+    if np.iscomplexobj(a):
+        a[...] = s
+        b[...] = t
+    if linfo > 0:
+        exc = NoConvergence(srname, linfo)
+    out = [alpha, beta]
+    if _want(vsl):
+        out.append(_store(vsl if isinstance(vsl, np.ndarray) else None, q))
+    if _want(vsr):
+        out.append(_store(vsr if isinstance(vsr, np.ndarray) else None, z))
+    if not _want(vsl) and not _want(vsr):
+        out.extend([s, t])
+    erinfo(linfo, srname, info, exc=exc)
+    return tuple(out)
+
+
+def la_gegv(a: np.ndarray, b: np.ndarray, vl=None, vr=None,
+            info: Info | None = None):
+    """Generalized eigenvalues (and optionally eigenvectors) of a pair of
+    nonsymmetric matrices (paper: ``CALL LA_GEGV( A, B, α=alpha,
+    BETA=beta, VL=vl, VR=vr, INFO=info )``).
+
+    Returns ``(alpha, beta[, vl][, vr])``; eigenvalue *i* is
+    ``alpha[i]/beta[i]`` (``beta ≈ 0`` flags an infinite eigenvalue).
+    """
+    srname = "LA_GEGV"
+    linfo = 0
+    exc = None
+    if check_square(a, 1) or check_square(b, 2) or a.shape != b.shape:
+        erinfo(-1 if check_square(a, 1) else -2, srname, info)
+        return np.zeros(0, complex), np.zeros(0, complex)
+    alpha, beta, vlv, vrv, linfo = gegv(a, b, want_vl=_want(vl),
+                                        want_vr=_want(vr))
+    if linfo > 0:
+        exc = NoConvergence(srname, linfo)
+    out = [alpha, beta]
+    if _want(vl):
+        out.append(_store(vl if isinstance(vl, np.ndarray) else None, vlv))
+    if _want(vr):
+        out.append(_store(vr if isinstance(vr, np.ndarray) else None, vrv))
+    erinfo(linfo, srname, info, exc=exc)
+    return tuple(out)
+
+
+def la_ggsvd(a: np.ndarray, b: np.ndarray, info: Info | None = None):
+    """Computes the generalized singular value decomposition
+    (paper: ``CALL LA_GGSVD( A, B, ALPHA, BETA, K=k, L=l, U=u, V=v,
+    Q=q, INFO=info )``).
+
+    Returns ``(alpha, beta, k, l, u, v, q, r)`` with
+    ``A = U·D1·R·Qᴴ``, ``B = V·D2·R·Qᴴ`` (see
+    :func:`repro.lapack77.gsvd.ggsvd` for the D1/D2 layout).
+    """
+    srname = "LA_GGSVD"
+    linfo = 0
+    exc = None
+    if not isinstance(a, np.ndarray) or a.ndim != 2:
+        erinfo(-1, srname, info)
+        return None
+    if not isinstance(b, np.ndarray) or b.ndim != 2 \
+            or b.shape[1] != a.shape[1]:
+        erinfo(-2, srname, info)
+        return None
+    alpha, beta, k, l, u, v, q, r, linfo = ggsvd(a, b)
+    if linfo > 0:
+        exc = NoConvergence(srname, linfo)
+    erinfo(linfo, srname, info, exc=exc)
+    return alpha, beta, k, l, u, v, q, r

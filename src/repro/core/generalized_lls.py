@@ -1,0 +1,81 @@
+"""Driver Routines for generalized Linear Least Squares Problems
+(Appendix G, §4): the LSE and GLM problems."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import Info, erinfo
+from ..lapack77 import gglse, ggglm
+
+__all__ = ["la_gglse", "la_ggglm"]
+
+
+def la_gglse(a: np.ndarray, b: np.ndarray, c: np.ndarray, d: np.ndarray,
+             x: np.ndarray | None = None,
+             info: Info | None = None) -> np.ndarray:
+    """Solves the linear equality-constrained least squares (LSE)
+    problem: minimize ``‖c − A x‖₂`` subject to ``B x = d``
+    (paper: ``CALL LA_GGLSE( A, B, C, D, X, INFO=info )``).
+
+    ``a`` (m×n), ``b`` (p×n) with ``p ≤ n ≤ m+p``; all inputs are
+    destroyed.  The solution is returned (and written into ``x`` when
+    supplied).
+    """
+    srname = "LA_GGLSE"
+    linfo = 0
+    if not isinstance(a, np.ndarray) or a.ndim != 2:
+        linfo = -1
+    elif not isinstance(b, np.ndarray) or b.ndim != 2 \
+            or b.shape[1] != a.shape[1] \
+            or not (b.shape[0] <= a.shape[1] <= a.shape[0] + b.shape[0]):
+        linfo = -2
+    elif not isinstance(c, np.ndarray) or c.shape[0] != a.shape[0]:
+        linfo = -3
+    elif not isinstance(d, np.ndarray) or d.shape[0] != b.shape[0]:
+        linfo = -4
+    elif x is not None and x.shape[0] != a.shape[1]:
+        linfo = -5
+    if linfo == 0:
+        sol, linfo = gglse(a, b, c, d)
+        if x is not None:
+            x[:] = sol
+        erinfo(linfo, srname, info)
+        return sol
+    erinfo(linfo, srname, info)
+    return x
+
+
+def la_ggglm(a: np.ndarray, b: np.ndarray, d: np.ndarray,
+             x: np.ndarray | None = None, y: np.ndarray | None = None,
+             info: Info | None = None):
+    """Solves a general Gauss–Markov linear model (GLM) problem:
+    minimize ``‖y‖₂`` subject to ``d = A x + B y``
+    (paper: ``CALL LA_GGGLM( A, B, D, X, Y, INFO=info )``).
+
+    ``a`` (n×m), ``b`` (n×p) with ``m ≤ n ≤ m+p``.  Returns ``(x, y)``.
+    """
+    srname = "LA_GGGLM"
+    linfo = 0
+    if not isinstance(a, np.ndarray) or a.ndim != 2:
+        linfo = -1
+    elif not isinstance(b, np.ndarray) or b.ndim != 2 \
+            or b.shape[0] != a.shape[0] \
+            or not (a.shape[1] <= a.shape[0] <= a.shape[1] + b.shape[1]):
+        linfo = -2
+    elif not isinstance(d, np.ndarray) or d.shape[0] != a.shape[0]:
+        linfo = -3
+    elif x is not None and x.shape[0] != a.shape[1]:
+        linfo = -4
+    elif y is not None and y.shape[0] != b.shape[1]:
+        linfo = -5
+    if linfo == 0:
+        xs, ys, linfo = ggglm(a, b, d)
+        if x is not None:
+            x[:] = xs
+        if y is not None:
+            y[:] = ys
+        erinfo(linfo, srname, info)
+        return xs, ys
+    erinfo(linfo, srname, info)
+    return x, y

@@ -1,0 +1,334 @@
+"""Driver Routines for Linear Equations (paper Appendix G, §1).
+
+Each wrapper follows the code shape of the paper's Appendix C listings:
+initialize a local ``LINFO``, test the arguments (negative codes keyed to
+argument positions), allocate any omitted workspace output, call the
+LAPACK77 substrate, and report through ``ERINFO``.
+
+All drivers overwrite ``a`` with its factorization and ``b`` with the
+solution (the LAPACK90 in-place contract) and also *return* the solution
+array for Pythonic chaining.  ``b`` may be shape ``(n,)`` or
+``(n, nrhs)`` — the paper's ``xGESV1_F90`` vs ``xGESV_F90`` generic
+resolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import Info, erinfo, SingularMatrix, NotPositiveDefinite
+from ..lapack77 import (gbsv, gtsv, gesv, hesv, hpsv, pbsv, posv, ppsv,
+                        ptsv, spsv, sysv)
+from .auxmod import as_matrix, check_rhs, check_square, lsame
+
+__all__ = ["la_gesv", "la_gbsv", "la_gtsv", "la_posv", "la_ppsv",
+           "la_pbsv", "la_ptsv", "la_sysv", "la_hesv", "la_spsv",
+           "la_hpsv"]
+
+
+def _report(srname, linfo, info, exc=None):
+    erinfo(linfo, srname, info, exc=exc)
+
+
+def la_gesv(a: np.ndarray, b: np.ndarray, ipiv: np.ndarray | None = None,
+            info: Info | None = None) -> np.ndarray:
+    """Solves a general system of linear equations ``A X = B``
+    (paper: ``CALL LA_GESV( A, B, IPIV=ipiv, INFO=info )``).
+
+    Gaussian elimination with row interchanges factors ``A = Pᵀ L U``;
+    the factored form then solves the system.
+
+    Parameters
+    ----------
+    a : (n, n) array, REAL or COMPLEX
+        On entry the matrix A; on exit the factors L and U (unit diagonal
+        of L not stored).
+    b : (n,) or (n, nrhs) array
+        On entry the right-hand side(s); on exit the solution X.
+    ipiv : optional (n,) integer array, output
+        Pivot indices: row i was interchanged with row ``ipiv[i]``
+        (0-based; the paper's 1-based values are these plus one).
+    info : optional :class:`repro.errors.Info`
+        LAPACK status. ``info = i > 0`` means ``U[i-1, i-1]`` is exactly
+        zero (singular). Omit to have errors raised instead.
+
+    Returns
+    -------
+    The solution array ``b``.
+    """
+    srname = "LA_GESV"
+    linfo = 0
+    exc = None
+    n = a.shape[0] if isinstance(a, np.ndarray) and a.ndim == 2 else -1
+    if check_square(a, 1):
+        linfo = -1
+    elif check_rhs(n, b, 2):
+        linfo = -2
+    elif ipiv is not None and (not isinstance(ipiv, np.ndarray)
+                               or ipiv.shape[0] != n):
+        linfo = -3
+    elif n > 0:
+        bmat, _ = as_matrix(b)
+        lpiv, linfo = gesv(a, bmat)
+        if ipiv is not None:
+            ipiv[:] = lpiv
+        if linfo > 0:
+            exc = SingularMatrix(srname, linfo)
+    _report(srname, linfo, info, exc)
+    return b
+
+
+def la_gbsv(ab: np.ndarray, b: np.ndarray, kl: int | None = None,
+            ipiv: np.ndarray | None = None,
+            info: Info | None = None) -> np.ndarray:
+    """Solves a general band system of linear equations ``A X = B``
+    (paper: ``CALL LA_GBSV( AB, B, KL=kl, IPIV=ipiv, INFO=info )``).
+
+    ``ab`` uses LAPACK's factored-band layout with ``2·kl + ku + 1``
+    rows (the input matrix in rows ``kl``..; fill-in space above).  When
+    ``kl`` is omitted it defaults to ``(rows − 1) // 3`` — the LAPACK90
+    convention covering the common ``kl = ku`` case.
+    """
+    srname = "LA_GBSV"
+    linfo = 0
+    exc = None
+    if not isinstance(ab, np.ndarray) or ab.ndim != 2:
+        linfo = -1
+    else:
+        n = ab.shape[1]
+        rows = ab.shape[0]
+        if kl is None:
+            kl = (rows - 1) // 3
+        ku = rows - 2 * kl - 1
+        if kl < 0 or ku < 0:
+            linfo = -3
+        elif check_rhs(n, b, 2):
+            linfo = -2
+        elif ipiv is not None and (not isinstance(ipiv, np.ndarray)
+                                   or ipiv.shape[0] != n):
+            linfo = -4
+        else:
+            bmat, _ = as_matrix(b)
+            lpiv, linfo = gbsv(ab, kl, ku, bmat)
+            if ipiv is not None:
+                ipiv[:] = lpiv
+            if linfo > 0:
+                exc = SingularMatrix(srname, linfo)
+    _report(srname, linfo, info, exc)
+    return b
+
+
+def la_gtsv(dl: np.ndarray, d: np.ndarray, du: np.ndarray, b: np.ndarray,
+            info: Info | None = None) -> np.ndarray:
+    """Solves a general tridiagonal system of linear equations ``A X = B``
+    (paper: ``CALL LA_GTSV( DL, D, DU, B, INFO=info )``).
+
+    ``dl``/``d``/``du`` are the sub-, main and superdiagonal; all three
+    (and ``b``) are overwritten.
+    """
+    srname = "LA_GTSV"
+    linfo = 0
+    exc = None
+    n = d.shape[0] if isinstance(d, np.ndarray) else -1
+    if not isinstance(dl, np.ndarray) or dl.shape[0] != max(0, n - 1):
+        linfo = -1
+    elif n < 0:
+        linfo = -2
+    elif not isinstance(du, np.ndarray) or du.shape[0] != max(0, n - 1):
+        linfo = -3
+    elif check_rhs(n, b, 4):
+        linfo = -4
+    elif n > 0:
+        bmat, _ = as_matrix(b)
+        linfo = gtsv(dl, d, du, bmat)
+        if linfo > 0:
+            exc = SingularMatrix(srname, linfo)
+    _report(srname, linfo, info, exc)
+    return b
+
+
+def la_posv(a: np.ndarray, b: np.ndarray, uplo: str = "U",
+            info: Info | None = None) -> np.ndarray:
+    """Solves a symmetric/Hermitian positive definite system ``A X = B``
+    (paper: ``CALL LA_POSV( A, B, UPLO=uplo, INFO=info )``).
+
+    Only the ``uplo`` triangle of ``a`` is referenced; on exit it holds
+    the Cholesky factor.
+    """
+    srname = "LA_POSV"
+    linfo = 0
+    exc = None
+    n = a.shape[0] if isinstance(a, np.ndarray) and a.ndim == 2 else -1
+    if check_square(a, 1):
+        linfo = -1
+    elif check_rhs(n, b, 2):
+        linfo = -2
+    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
+        linfo = -3
+    elif n > 0:
+        bmat, _ = as_matrix(b)
+        linfo = posv(a, bmat, uplo)
+        if linfo > 0:
+            exc = NotPositiveDefinite(srname, linfo)
+    _report(srname, linfo, info, exc)
+    return b
+
+
+def la_ppsv(ap: np.ndarray, b: np.ndarray, uplo: str = "U",
+            info: Info | None = None) -> np.ndarray:
+    """Solves a symmetric/Hermitian positive definite system with A in
+    packed storage (paper: ``CALL LA_PPSV( AP, B, UPLO=uplo,
+    INFO=info )``)."""
+    srname = "LA_PPSV"
+    linfo = 0
+    exc = None
+    n = b.shape[0] if isinstance(b, np.ndarray) else -1
+    if not isinstance(ap, np.ndarray) or ap.ndim != 1 \
+            or (n >= 0 and ap.shape[0] != n * (n + 1) // 2):
+        linfo = -1
+    elif n < 0:
+        linfo = -2
+    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
+        linfo = -3
+    elif n > 0:
+        bmat, _ = as_matrix(b)
+        linfo = ppsv(ap, bmat, uplo)
+        if linfo > 0:
+            exc = NotPositiveDefinite(srname, linfo)
+    _report(srname, linfo, info, exc)
+    return b
+
+
+def la_pbsv(ab: np.ndarray, b: np.ndarray, uplo: str = "U",
+            info: Info | None = None) -> np.ndarray:
+    """Solves a symmetric/Hermitian positive definite band system
+    (paper: ``CALL LA_PBSV( AB, B, UPLO=uplo, INFO=info )``).
+
+    ``ab`` has ``kd + 1`` rows in LAPACK symmetric band storage.
+    """
+    srname = "LA_PBSV"
+    linfo = 0
+    exc = None
+    if not isinstance(ab, np.ndarray) or ab.ndim != 2:
+        linfo = -1
+    else:
+        n = ab.shape[1]
+        if check_rhs(n, b, 2):
+            linfo = -2
+        elif not (lsame(uplo, "U") or lsame(uplo, "L")):
+            linfo = -3
+        elif n > 0:
+            bmat, _ = as_matrix(b)
+            linfo = pbsv(ab, bmat, uplo)
+            if linfo > 0:
+                exc = NotPositiveDefinite(srname, linfo)
+    _report(srname, linfo, info, exc)
+    return b
+
+
+def la_ptsv(d: np.ndarray, e: np.ndarray, b: np.ndarray,
+            info: Info | None = None) -> np.ndarray:
+    """Solves a symmetric/Hermitian positive definite tridiagonal system
+    (paper: ``CALL LA_PTSV( D, E, B, INFO=info )``).
+
+    ``d`` is the (real) diagonal, ``e`` the subdiagonal; both receive the
+    ``L D Lᴴ`` factors.
+    """
+    srname = "LA_PTSV"
+    linfo = 0
+    exc = None
+    n = d.shape[0] if isinstance(d, np.ndarray) else -1
+    if n < 0:
+        linfo = -1
+    elif not isinstance(e, np.ndarray) or e.shape[0] != max(0, n - 1):
+        linfo = -2
+    elif check_rhs(n, b, 3):
+        linfo = -3
+    elif n > 0:
+        bmat, _ = as_matrix(b)
+        linfo = ptsv(d, e, bmat)
+        if linfo > 0:
+            exc = NotPositiveDefinite(srname, linfo)
+    _report(srname, linfo, info, exc)
+    return b
+
+
+def _indef_driver(srname, solver, a, b, uplo, ipiv, info):
+    linfo = 0
+    exc = None
+    n = a.shape[0] if isinstance(a, np.ndarray) and a.ndim == 2 else -1
+    if check_square(a, 1):
+        linfo = -1
+    elif check_rhs(n, b, 2):
+        linfo = -2
+    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
+        linfo = -3
+    elif ipiv is not None and (not isinstance(ipiv, np.ndarray)
+                               or ipiv.shape[0] != n):
+        linfo = -4
+    elif n > 0:
+        bmat, _ = as_matrix(b)
+        lpiv, linfo = solver(a, bmat, uplo)
+        if ipiv is not None:
+            ipiv[:] = lpiv
+        if linfo > 0:
+            exc = SingularMatrix(srname, linfo)
+    erinfo(linfo, srname, info, exc=exc)
+    return b
+
+
+def la_sysv(a: np.ndarray, b: np.ndarray, uplo: str = "U",
+            ipiv: np.ndarray | None = None,
+            info: Info | None = None) -> np.ndarray:
+    """Solves a symmetric (possibly complex symmetric) indefinite system
+    by Bunch–Kaufman diagonal pivoting (paper: ``CALL LA_SYSV( A, B,
+    UPLO=uplo, IPIV=ipiv, INFO=info )``)."""
+    return _indef_driver("LA_SYSV", sysv, a, b, uplo, ipiv, info)
+
+
+def la_hesv(a: np.ndarray, b: np.ndarray, uplo: str = "U",
+            ipiv: np.ndarray | None = None,
+            info: Info | None = None) -> np.ndarray:
+    """Solves a complex Hermitian indefinite system (``LA_HESV``)."""
+    return _indef_driver("LA_HESV", hesv, a, b, uplo, ipiv, info)
+
+
+def _packed_indef_driver(srname, solver, ap, b, uplo, ipiv, info):
+    linfo = 0
+    exc = None
+    n = b.shape[0] if isinstance(b, np.ndarray) else -1
+    if not isinstance(ap, np.ndarray) or ap.ndim != 1 \
+            or (n >= 0 and ap.shape[0] != n * (n + 1) // 2):
+        linfo = -1
+    elif n < 0:
+        linfo = -2
+    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
+        linfo = -3
+    elif ipiv is not None and (not isinstance(ipiv, np.ndarray)
+                               or ipiv.shape[0] != n):
+        linfo = -4
+    elif n > 0:
+        bmat, _ = as_matrix(b)
+        lpiv, linfo = solver(ap, bmat, uplo)
+        if ipiv is not None:
+            ipiv[:] = lpiv
+        if linfo > 0:
+            exc = SingularMatrix(srname, linfo)
+    erinfo(linfo, srname, info, exc=exc)
+    return b
+
+
+def la_spsv(ap: np.ndarray, b: np.ndarray, uplo: str = "U",
+            ipiv: np.ndarray | None = None,
+            info: Info | None = None) -> np.ndarray:
+    """Solves a symmetric indefinite system in packed storage
+    (``LA_SPSV``)."""
+    return _packed_indef_driver("LA_SPSV", spsv, ap, b, uplo, ipiv, info)
+
+
+def la_hpsv(ap: np.ndarray, b: np.ndarray, uplo: str = "U",
+            ipiv: np.ndarray | None = None,
+            info: Info | None = None) -> np.ndarray:
+    """Solves a complex Hermitian indefinite system in packed storage
+    (``LA_HPSV``)."""
+    return _packed_indef_driver("LA_HPSV", hpsv, ap, b, uplo, ipiv, info)

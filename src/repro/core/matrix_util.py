@@ -1,0 +1,64 @@
+"""Matrix Manipulation Routines (Appendix G, §10): ``LA_LANGE`` (norms)
+and ``LA_LAGGE`` (random test-matrix generation)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import Info, erinfo
+from ..lapack77 import lagge, lange
+from .auxmod import lsame
+
+__all__ = ["la_lange", "la_lagge"]
+
+
+def la_lange(a: np.ndarray, norm: str = "1",
+             info: Info | None = None) -> float:
+    """Returns the value of the one norm, the Frobenius norm, the
+    infinity norm, or the element of largest absolute value of a matrix
+    (paper: ``VNORM = LA_ANGE( A, NORM=norm, INFO=info )``).
+
+    ``norm`` ∈ {'M', '1'/'O', 'I', 'F'/'E'}.
+    """
+    srname = "LA_LANGE"
+    linfo = 0
+    value = 0.0
+    if not isinstance(a, np.ndarray) or a.ndim != 2:
+        linfo = -1
+    elif norm.upper()[0] not in ("M", "1", "O", "I", "F", "E"):
+        linfo = -2
+    else:
+        value = float(lange(norm, a))
+    erinfo(linfo, srname, info)
+    return value
+
+
+def la_lagge(a: np.ndarray, kl: int | None = None, ku: int | None = None,
+             d: np.ndarray | None = None, iseed: int | None = None,
+             info: Info | None = None) -> np.ndarray:
+    """Generates a general rectangular matrix by pre- and post-multiplying
+    a diagonal matrix D with random orthogonal matrices: ``A = U D V``
+    (paper: ``CALL LA_LAGGE( A, KL=kl, KU=ku, D=d, ISEED=iseed,
+    INFO=info )``).
+
+    Fills ``a`` in place; ``d`` defaults to uniform(0, 1] singular values.
+    ``kl``/``ku`` bound the generated bandwidth.
+    """
+    srname = "LA_LAGGE"
+    linfo = 0
+    if not isinstance(a, np.ndarray) or a.ndim != 2:
+        linfo = -1
+        erinfo(linfo, srname, info)
+        return a
+    m, n = a.shape
+    rng = np.random.default_rng(iseed)
+    if d is None:
+        d = rng.uniform(1e-3, 1.0, min(m, n))
+    elif len(d) < min(m, n):
+        linfo = -4
+        erinfo(linfo, srname, info)
+        return a
+    a[...] = lagge(m, n, np.asarray(d), kl=kl, ku=ku, dtype=a.dtype,
+                   rng=rng)
+    erinfo(linfo, srname, info)
+    return a

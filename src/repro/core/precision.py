@@ -1,0 +1,73 @@
+"""The ``LA_PRECISION`` module: working-precision selection.
+
+The paper's FORTRAN version is two lines::
+
+    MODULE LA_PRECISION
+    INTEGER, PARAMETER :: SP=KIND(1.0), DP=KIND(1.0D0)
+    END MODULE LA_PRECISION
+
+A program chooses its working precision with
+``USE LA_PRECISION, ONLY: WP => SP`` and declares ``REAL(WP)`` or
+``COMPLEX(WP)`` data; the generic interfaces then resolve to the right
+precision/type routine.  The NumPy analogue: ``SP``/``DP`` are dtype
+*kinds*, and :func:`wp` maps (kind, real-or-complex) to the concrete
+NumPy dtype, so the examples read almost identically::
+
+    WP = wp(SP)              # REAL(WP) with WP => SP
+    a = np.zeros((n, n), dtype=WP)
+    WPC = wp(DP, complex=True)   # COMPLEX(WP) with WP => DP
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SP", "DP", "wp", "real_dtype_of", "is_complex", "same_kind"]
+
+#: Single-precision kind (FORTRAN ``KIND(1.0)``).
+SP = "SP"
+#: Double-precision kind (FORTRAN ``KIND(1.0D0)``).
+DP = "DP"
+
+_MAP = {
+    (SP, False): np.float32,
+    (SP, True): np.complex64,
+    (DP, False): np.float64,
+    (DP, True): np.complex128,
+}
+
+_KIND_OF = {
+    np.dtype(np.float32): SP,
+    np.dtype(np.complex64): SP,
+    np.dtype(np.float64): DP,
+    np.dtype(np.complex128): DP,
+}
+
+
+def wp(kind: str = DP, complex: bool = False):
+    """Working-precision dtype for a precision kind (``SP``/``DP``)."""
+    try:
+        return _MAP[(kind, bool(complex))]
+    except KeyError:
+        raise ValueError(f"unknown precision kind {kind!r}") from None
+
+
+def real_dtype_of(dtype) -> np.dtype:
+    """The real dtype underlying ``dtype`` (eigenvalues, norms, rcond…)."""
+    d = np.dtype(dtype)
+    if d == np.complex64:
+        return np.dtype(np.float32)
+    if d == np.complex128:
+        return np.dtype(np.float64)
+    return d
+
+
+def is_complex(a) -> bool:
+    """True when the array's type resolves to a COMPLEX routine."""
+    return np.iscomplexobj(a)
+
+
+def same_kind(*arrays) -> bool:
+    """True when all arrays share one precision kind (SP or DP)."""
+    kinds = {_KIND_OF.get(np.dtype(a.dtype)) for a in arrays}
+    return len(kinds) == 1 and None not in kinds

@@ -1,0 +1,210 @@
+"""Error-handling machinery mirroring LAPACK90's ``ERINFO`` conventions.
+
+LAPACK90 (Waśniewski & Dongarra, 1998) funnels every driver's status through
+one routine, ``ERINFO(LINFO, SRNAME, INFO, ISTAT)``:
+
+* If the caller did **not** supply the optional ``INFO`` argument and the
+  local status ``LINFO`` signals an error, the program terminates with a
+  message naming the routine and the code.
+* If the caller **did** supply ``INFO``, the code is stored there and control
+  returns normally.
+* Codes follow the LAPACK convention: ``-i`` means the *i*-th argument is
+  illegal, positive codes are computational failures (e.g. a zero pivot),
+  and codes at or below ``-100`` are internal/allocation-class conditions
+  (``-100`` = workspace allocation failed, ``-200`` = a reduced-size
+  workspace warning).
+
+In Python, "terminate with a message" becomes raising an exception, and the
+``INFO`` output argument becomes the mutable :class:`Info` handle.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Info",
+    "LinAlgError",
+    "IllegalArgument",
+    "ComputationalError",
+    "SingularMatrix",
+    "NotPositiveDefinite",
+    "NoConvergence",
+    "WorkspaceError",
+    "erinfo",
+    "xerbla",
+    "ALLOC_FAILED",
+    "WORK_REDUCED",
+]
+
+#: LINFO code used by LAPACK90 when workspace allocation fails.
+ALLOC_FAILED = -100
+#: LINFO warning code used when a reduced (unblocked) workspace is used.
+WORK_REDUCED = -200
+
+
+class LinAlgError(Exception):
+    """Base class for every error raised by the repro library.
+
+    Carries the LAPACK ``info`` code and the name of the routine that
+    detected the condition, mirroring the message ``ERINFO`` prints before
+    terminating.
+    """
+
+    def __init__(self, srname: str, info: int, message: str | None = None):
+        self.srname = srname
+        self.info = info
+        if message is None:
+            message = f"Terminated in subroutine {srname}: INFO = {info}"
+        super().__init__(message)
+
+
+class IllegalArgument(LinAlgError, ValueError):
+    """An argument had an illegal value (``info = -i`` for argument *i*)."""
+
+    def __init__(self, srname: str, position: int, detail: str = ""):
+        info = -abs(position)
+        msg = f"{srname}: argument {abs(position)} had an illegal value"
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(srname, info, msg)
+
+
+class ComputationalError(LinAlgError):
+    """The computation failed with a positive ``info`` code."""
+
+
+class SingularMatrix(ComputationalError):
+    """``U(i,i)`` (or ``D(i,i)``) is exactly zero; the factor is singular."""
+
+    def __init__(self, srname: str, index: int):
+        super().__init__(
+            srname,
+            index,
+            f"{srname}: U({index},{index}) is exactly zero; "
+            "the matrix is singular and the solution could not be computed",
+        )
+
+
+class NotPositiveDefinite(ComputationalError):
+    """A leading minor was not positive definite (Cholesky-family failure)."""
+
+    def __init__(self, srname: str, order: int):
+        super().__init__(
+            srname,
+            order,
+            f"{srname}: the leading minor of order {order} is not positive "
+            "definite; the factorization could not be completed",
+        )
+
+
+class NoConvergence(ComputationalError):
+    """An iterative eigen/SVD process failed to converge."""
+
+    def __init__(self, srname: str, info: int, detail: str = ""):
+        msg = f"{srname}: the algorithm failed to converge (INFO = {info})"
+        if detail:
+            msg += f"; {detail}"
+        super().__init__(srname, info, msg)
+
+
+class WorkspaceError(LinAlgError):
+    """Workspace could not be allocated (LAPACK90's ``LINFO = -100``)."""
+
+    def __init__(self, srname: str):
+        super().__init__(srname, ALLOC_FAILED, f"{srname}: workspace allocation failed")
+
+
+class Info:
+    """Mutable stand-in for FORTRAN's optional ``INTEGER, INTENT(OUT) :: INFO``.
+
+    Passing an :class:`Info` instance to a driver suppresses the raise and
+    records the status code instead, exactly like supplying the optional
+    ``INFO`` argument in LAPACK90::
+
+        info = Info()
+        la_gesv(a, b, info=info)
+        if info:            # truthy when info.value != 0
+            handle(info.value)
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0):
+        self.value = int(value)
+
+    def __bool__(self) -> bool:
+        return self.value != 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __index__(self) -> int:
+        return self.value
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Info):
+            return self.value == other.value
+        if isinstance(other, int):
+            return self.value == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"Info({self.value})"
+
+
+def _error_for(srname: str, linfo: int) -> LinAlgError:
+    """Build the most specific exception class for a raw ``linfo`` code."""
+    if linfo == ALLOC_FAILED:
+        return WorkspaceError(srname)
+    if linfo < 0:
+        return IllegalArgument(srname, -linfo)
+    return ComputationalError(srname, linfo)
+
+
+def erinfo(
+    linfo: int,
+    srname: str,
+    info: Info | None = None,
+    istat: int = 0,
+    exc: LinAlgError | None = None,
+) -> None:
+    """Python rendering of LAPACK90's ``ERINFO`` subroutine.
+
+    Parameters
+    ----------
+    linfo
+        The local status code computed by the driver.
+    srname
+        Name of the LAPACK90 routine, e.g. ``'LA_GESV'``.
+    info
+        The caller's optional :class:`Info` handle. When ``None`` and
+        ``linfo`` signals an error, an exception is raised (the analogue of
+        ``STOP`` after the error message). When supplied, the code is stored
+        and no exception escapes.
+    istat
+        Allocation status, reported in the message for ``linfo = -100``.
+    exc
+        A pre-built specific exception to raise instead of the generic one
+        (lets drivers raise :class:`SingularMatrix` etc. while still
+        honouring the ``info=`` contract).
+
+    Notes
+    -----
+    Warning-class codes (``linfo <= -200``) never terminate: they are stored
+    in ``info`` when present, matching the paper's ``ERINFO`` listing.
+    """
+    is_error = (0 > linfo > WORK_REDUCED) or linfo > 0
+    if is_error and info is None:
+        raise exc if exc is not None else _error_for(srname, linfo)
+    if info is not None:
+        info.value = int(linfo)
+
+
+def xerbla(srname: str, position: int, detail: str = "") -> None:
+    """LAPACK77's argument-error handler: always raises.
+
+    The substrate layer (``repro.lapack77``) validates like the reference
+    F77 code and calls ``xerbla`` on the first bad argument; there is no
+    optional-INFO escape hatch at that level, exactly as in LAPACK77 where
+    ``XERBLA`` stops the program.
+    """
+    raise IllegalArgument(srname.upper(), position, detail)

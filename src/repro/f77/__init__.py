@@ -1,0 +1,306 @@
+"""The ``F77_LAPACK`` module: generic interfaces with explicit LAPACK77
+argument lists (paper Section 2 and Appendix A).
+
+These functions keep the full FORTRAN 77 calling convention — explicit
+orders, leading dimensions and workspace outputs — while remaining
+generic over precision and type (the paper's ``LA_GESV`` resolving to
+``SGESV``/``DGESV``/``CGESV``/``ZGESV``).  Paper Example 1::
+
+    CALL LA_GESV( N, NRHS, A, LDA, IPIV, B, LDB, INFO )
+
+becomes::
+
+    info = f77.la_gesv(n, nrhs, a, lda, ipiv, b, ldb)
+
+Conventions:
+
+* arrays are NumPy arrays whose first axis plays the leading-dimension
+  role; ``lda``/``ldb`` are validated exactly like LAPACK's argument
+  checks (``lda >= max(1, n)``, and the array must actually provide that
+  many rows),
+* ``info`` is the return value; argument errors raise through ``XERBLA``
+  (:class:`repro.errors.IllegalArgument`), matching LAPACK77 where
+  ``XERBLA`` stops the program,
+* outputs (``ipiv``, ``w``, …) are caller-supplied arrays, filled in
+  place — no allocation happens here, exactly as in F77.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import xerbla
+from .. import lapack77 as _l77
+from ..config import ilaenv
+
+__all__ = ["la_gesv", "la_getrf", "la_getrs", "la_getri", "la_gecon",
+           "la_posv", "la_potrf", "la_potrs", "la_gels", "la_syev",
+           "la_heev", "la_geev", "la_gesvd", "la_gbsv", "la_gtsv",
+           "la_ptsv", "la_sysv", "ilaenv"]
+
+
+def _check_order(srname, n, pos, name="N"):
+    if not isinstance(n, (int, np.integer)) or n < 0:
+        xerbla(srname, pos, f"{name} = {n!r} must be a non-negative integer")
+
+
+def _check_ld(srname, ld, minval, a, pos, name="LDA"):
+    if ld < max(1, minval):
+        xerbla(srname, pos, f"{name} = {ld} < max(1, {minval})")
+    if a.shape[0] < minval:
+        xerbla(srname, pos, f"array provides {a.shape[0]} rows, "
+                            f"need {minval}")
+
+
+def la_gesv(n: int, nrhs: int, a: np.ndarray, lda: int, ipiv: np.ndarray,
+            b: np.ndarray, ldb: int) -> int:
+    """``CALL LA_GESV( N, NRHS, A, LDA, IPIV, B, LDB, INFO )`` —
+    the F77 generic interface of paper Fig. 1 / Appendix A.
+
+    Returns ``info``.
+    """
+    srname = "GESV"
+    _check_order(srname, n, 1)
+    _check_order(srname, nrhs, 2, "NRHS")
+    _check_ld(srname, lda, n, a, 4)
+    if ipiv.shape[0] < n:
+        xerbla(srname, 5, "IPIV too short")
+    _check_ld(srname, ldb, n, b, 7, "LDB")
+    bmat = b[:n] if b.ndim == 2 else b[:n, None]
+    lpiv, info = _l77.gesv(a[:n, :n], bmat[:, :nrhs])
+    ipiv[:n] = lpiv
+    return info
+
+
+def la_getrf(m: int, n: int, a: np.ndarray, lda: int,
+             piv: np.ndarray) -> int:
+    """``CALL LA_GETRF( M, N, A, LDA, PIV, INFO )`` (paper Appendix A)."""
+    srname = "GETRF"
+    _check_order(srname, m, 1, "M")
+    _check_order(srname, n, 2)
+    _check_ld(srname, lda, m, a, 4)
+    if piv.shape[0] < min(m, n):
+        xerbla(srname, 5, "PIV too short")
+    lpiv, info = _l77.getrf(a[:m, :n])
+    piv[: min(m, n)] = lpiv
+    return info
+
+
+def la_getrs(trans: str, n: int, nrhs: int, a: np.ndarray, lda: int,
+             ipiv: np.ndarray, b: np.ndarray, ldb: int) -> int:
+    """``CALL LA_GETRS( TRANS, N, NRHS, A, LDA, IPIV, B, LDB, INFO )``."""
+    srname = "GETRS"
+    if trans.upper() not in ("N", "T", "C"):
+        xerbla(srname, 1, f"TRANS = {trans!r}")
+    _check_order(srname, n, 2)
+    _check_ld(srname, lda, n, a, 5)
+    _check_ld(srname, ldb, n, b, 8, "LDB")
+    bmat = b if b.ndim == 2 else b[:, None]
+    return _l77.getrs(a[:n, :n], ipiv[:n], bmat[:n, :nrhs], trans=trans)
+
+
+def la_getri(n: int, a: np.ndarray, lda: int, ipiv: np.ndarray,
+             work: np.ndarray | None, lwork: int) -> int:
+    """``CALL LA_GETRI( N, A, LDA, IPIV, WORK, LWORK, INFO )``.
+
+    ``lwork`` controls blocking exactly as in LAPACK (``n·nb`` optimal;
+    smaller values degrade gracefully to unblocked updates).
+    """
+    srname = "GETRI"
+    _check_order(srname, n, 1)
+    _check_ld(srname, lda, n, a, 3)
+    if lwork < max(1, n):
+        xerbla(srname, 6, f"LWORK = {lwork} < max(1, N)")
+    return _l77.getri(a[:n, :n], ipiv[:n], lwork=lwork)
+
+
+def la_gecon(norm: str, n: int, a: np.ndarray, lda: int,
+             anorm: float) -> tuple[float, int]:
+    """``CALL LA_GECON( NORM, N, A, LDA, ANORM, RCOND, ... )`` —
+    returns ``(rcond, info)``."""
+    srname = "GECON"
+    if norm.upper() not in ("1", "O", "I"):
+        xerbla(srname, 1, f"NORM = {norm!r}")
+    _check_order(srname, n, 2)
+    _check_ld(srname, lda, n, a, 4)
+    return _l77.gecon(a[:n, :n], anorm, norm=norm)
+
+
+def la_posv(uplo: str, n: int, nrhs: int, a: np.ndarray, lda: int,
+            b: np.ndarray, ldb: int) -> int:
+    """``CALL LA_POSV( UPLO, N, NRHS, A, LDA, B, LDB, INFO )``."""
+    srname = "POSV"
+    if uplo.upper() not in ("U", "L"):
+        xerbla(srname, 1, f"UPLO = {uplo!r}")
+    _check_order(srname, n, 2)
+    _check_ld(srname, lda, n, a, 5)
+    _check_ld(srname, ldb, n, b, 7, "LDB")
+    bmat = b if b.ndim == 2 else b[:, None]
+    return _l77.posv(a[:n, :n], bmat[:n, :nrhs], uplo)
+
+
+def la_potrf(uplo: str, n: int, a: np.ndarray, lda: int) -> int:
+    """``CALL LA_POTRF( UPLO, N, A, LDA, INFO )``."""
+    srname = "POTRF"
+    if uplo.upper() not in ("U", "L"):
+        xerbla(srname, 1, f"UPLO = {uplo!r}")
+    _check_order(srname, n, 2)
+    _check_ld(srname, lda, n, a, 4)
+    return _l77.potrf(a[:n, :n], uplo)
+
+
+def la_potrs(uplo: str, n: int, nrhs: int, a: np.ndarray, lda: int,
+             b: np.ndarray, ldb: int) -> int:
+    """``CALL LA_POTRS( UPLO, N, NRHS, A, LDA, B, LDB, INFO )``."""
+    srname = "POTRS"
+    if uplo.upper() not in ("U", "L"):
+        xerbla(srname, 1, f"UPLO = {uplo!r}")
+    _check_order(srname, n, 2)
+    _check_ld(srname, lda, n, a, 5)
+    _check_ld(srname, ldb, n, b, 7, "LDB")
+    bmat = b if b.ndim == 2 else b[:, None]
+    return _l77.potrs(a[:n, :n], bmat[:n, :nrhs], uplo)
+
+
+def la_gels(trans: str, m: int, n: int, nrhs: int, a: np.ndarray,
+            lda: int, b: np.ndarray, ldb: int) -> int:
+    """``CALL LA_GELS( TRANS, M, N, NRHS, A, LDA, B, LDB, ... )``."""
+    srname = "GELS"
+    if trans.upper() not in ("N", "T", "C"):
+        xerbla(srname, 1, f"TRANS = {trans!r}")
+    _check_order(srname, m, 2, "M")
+    _check_order(srname, n, 3)
+    _check_ld(srname, lda, m, a, 6)
+    _check_ld(srname, ldb, max(m, n), b, 8, "LDB")
+    bmat = b if b.ndim == 2 else b[:, None]
+    return _l77.gels(a[:m, :n], bmat[: max(m, n), :nrhs], trans=trans)
+
+
+def la_syev(jobz: str, uplo: str, n: int, a: np.ndarray, lda: int,
+            w: np.ndarray) -> int:
+    """``CALL LA_SYEV( JOBZ, UPLO, N, A, LDA, W, ... )``."""
+    srname = "SYEV"
+    if jobz.upper() not in ("N", "V"):
+        xerbla(srname, 1, f"JOBZ = {jobz!r}")
+    if uplo.upper() not in ("U", "L"):
+        xerbla(srname, 2, f"UPLO = {uplo!r}")
+    _check_order(srname, n, 3)
+    _check_ld(srname, lda, n, a, 5)
+    if w.shape[0] < n:
+        xerbla(srname, 6, "W too short")
+    wout, info = _l77.syev(a[:n, :n], jobz=jobz, uplo=uplo)
+    w[:n] = wout
+    return info
+
+
+def la_heev(jobz: str, uplo: str, n: int, a: np.ndarray, lda: int,
+            w: np.ndarray) -> int:
+    """``CALL LA_HEEV( JOBZ, UPLO, N, A, LDA, W, ... )``."""
+    srname = "HEEV"
+    if jobz.upper() not in ("N", "V"):
+        xerbla(srname, 1, f"JOBZ = {jobz!r}")
+    if uplo.upper() not in ("U", "L"):
+        xerbla(srname, 2, f"UPLO = {uplo!r}")
+    _check_order(srname, n, 3)
+    _check_ld(srname, lda, n, a, 5)
+    wout, info = _l77.heev(a[:n, :n], jobz=jobz, uplo=uplo)
+    w[:n] = wout
+    return info
+
+
+def la_geev(jobvl: str, jobvr: str, n: int, a: np.ndarray, lda: int,
+            w: np.ndarray, vl: np.ndarray | None, ldvl: int,
+            vr: np.ndarray | None, ldvr: int) -> int:
+    """``CALL LA_GEEV( JOBVL, JOBVR, N, A, LDA, W, VL, LDVL, VR,
+    LDVR, ... )`` — ``w`` receives complex eigenvalues."""
+    srname = "GEEV"
+    if jobvl.upper() not in ("N", "V"):
+        xerbla(srname, 1, f"JOBVL = {jobvl!r}")
+    if jobvr.upper() not in ("N", "V"):
+        xerbla(srname, 2, f"JOBVR = {jobvr!r}")
+    _check_order(srname, n, 3)
+    _check_ld(srname, lda, n, a, 5)
+    wout, vlv, vrv, info = _l77.geev(a[:n, :n], jobvl=jobvl, jobvr=jobvr)
+    w[:n] = wout
+    if jobvl.upper() == "V" and vl is not None:
+        vl[:n, :n] = vlv
+    if jobvr.upper() == "V" and vr is not None:
+        vr[:n, :n] = vrv
+    return info
+
+
+def la_gesvd(jobu: str, jobvt: str, m: int, n: int, a: np.ndarray,
+             lda: int, s: np.ndarray, u: np.ndarray | None, ldu: int,
+             vt: np.ndarray | None, ldvt: int) -> int:
+    """``CALL LA_GESVD( JOBU, JOBVT, M, N, A, LDA, S, U, LDU, VT,
+    LDVT, ... )``."""
+    srname = "GESVD"
+    if jobu.upper() not in ("N", "S", "A"):
+        xerbla(srname, 1, f"JOBU = {jobu!r}")
+    if jobvt.upper() not in ("N", "S", "A"):
+        xerbla(srname, 2, f"JOBVT = {jobvt!r}")
+    _check_order(srname, m, 3, "M")
+    _check_order(srname, n, 4)
+    _check_ld(srname, lda, m, a, 6)
+    sout, uv, vtv, info = _l77.gesvd(a[:m, :n], jobu=jobu, jobvt=jobvt)
+    s[: min(m, n)] = sout
+    if uv is not None and u is not None:
+        u[: uv.shape[0], : uv.shape[1]] = uv
+    if vtv is not None and vt is not None:
+        vt[: vtv.shape[0], : vtv.shape[1]] = vtv
+    return info
+
+
+def la_gbsv(n: int, kl: int, ku: int, nrhs: int, ab: np.ndarray,
+            ldab: int, ipiv: np.ndarray, b: np.ndarray, ldb: int) -> int:
+    """``CALL LA_GBSV( N, KL, KU, NRHS, AB, LDAB, IPIV, B, LDB, ... )``."""
+    srname = "GBSV"
+    _check_order(srname, n, 1)
+    if kl < 0:
+        xerbla(srname, 2, "KL < 0")
+    if ku < 0:
+        xerbla(srname, 3, "KU < 0")
+    if ldab < 2 * kl + ku + 1 or ab.shape[0] < 2 * kl + ku + 1:
+        xerbla(srname, 6, "LDAB < 2*KL+KU+1")
+    _check_ld(srname, ldb, n, b, 9, "LDB")
+    bmat = b if b.ndim == 2 else b[:, None]
+    lpiv, info = _l77.gbsv(ab[: 2 * kl + ku + 1, :n], kl, ku,
+                           bmat[:n, :nrhs])
+    ipiv[:n] = lpiv
+    return info
+
+
+def la_gtsv(n: int, nrhs: int, dl: np.ndarray, d: np.ndarray,
+            du: np.ndarray, b: np.ndarray, ldb: int) -> int:
+    """``CALL LA_GTSV( N, NRHS, DL, D, DU, B, LDB, INFO )``."""
+    srname = "GTSV"
+    _check_order(srname, n, 1)
+    _check_ld(srname, ldb, n, b, 7, "LDB")
+    bmat = b if b.ndim == 2 else b[:, None]
+    return _l77.gtsv(dl[: max(0, n - 1)], d[:n], du[: max(0, n - 1)],
+                     bmat[:n, :nrhs])
+
+
+def la_ptsv(n: int, nrhs: int, d: np.ndarray, e: np.ndarray,
+            b: np.ndarray, ldb: int) -> int:
+    """``CALL LA_PTSV( N, NRHS, D, E, B, LDB, INFO )``."""
+    srname = "PTSV"
+    _check_order(srname, n, 1)
+    _check_ld(srname, ldb, n, b, 6, "LDB")
+    bmat = b if b.ndim == 2 else b[:, None]
+    return _l77.ptsv(d[:n], e[: max(0, n - 1)], bmat[:n, :nrhs])
+
+
+def la_sysv(uplo: str, n: int, nrhs: int, a: np.ndarray, lda: int,
+            ipiv: np.ndarray, b: np.ndarray, ldb: int) -> int:
+    """``CALL LA_SYSV( UPLO, N, NRHS, A, LDA, IPIV, B, LDB, ... )``."""
+    srname = "SYSV"
+    if uplo.upper() not in ("U", "L"):
+        xerbla(srname, 1, f"UPLO = {uplo!r}")
+    _check_order(srname, n, 2)
+    _check_ld(srname, lda, n, a, 5)
+    _check_ld(srname, ldb, n, b, 8, "LDB")
+    bmat = b if b.ndim == 2 else b[:, None]
+    lpiv, info = _l77.sysv(a[:n, :n], bmat[:n, :nrhs], uplo)
+    ipiv[:n] = lpiv
+    return info

@@ -1,0 +1,69 @@
+"""The LAPACK77 substrate: from-scratch factorizations and solvers.
+
+This package reimplements, in pure NumPy, the slice of FORTRAN 77 LAPACK
+that the LAPACK90 interface layer (paper Appendix G) sits on:
+
+* LU / Cholesky / Bunch–Kaufman factorizations with blocked Level-3 forms,
+* band, tridiagonal and packed variants,
+* condition estimation, equilibration and iterative refinement,
+* QR/LQ (Householder) machinery, least squares (GELS/GELSX/GELSS),
+  constrained least squares (GGLSE/GGGLM),
+* symmetric/Hermitian eigensolvers (tridiagonalization + QL/QR implicit
+  shifts, divide and conquer, bisection + inverse iteration),
+* nonsymmetric eigensolvers (balancing, Hessenberg, Francis QR, Schur
+  vectors, eigenvector back-transformation),
+* SVD (bidiagonalization + Golub–Kahan implicit QR),
+* generalized problems (SYGV-family reductions, QZ, GSVD),
+* test-matrix generators (xLAGGE-family).
+
+Naming keeps LAPACK's (minus the precision prefix): routines are
+dtype-generic, arrays are modified in place where LAPACK does, and each
+routine returns its ``info`` code (plus any scalar outputs).  Argument
+errors raise via :func:`repro.errors.xerbla`, matching LAPACK77 where
+``XERBLA`` aborts.
+
+Submodules are imported lazily-by-hand here; the growing re-export list
+mirrors DESIGN.md §3.
+"""
+
+from .machine import lamch
+from .lautil import (lange, lansy, lanhe, langb, langt, lansp, lansb, lanhs,
+                     lanst, lantr, laswp, lacpy, laset, lassq, lapy2, lapy3,
+                     larnv)
+from .lacon import lacon
+from .lu import (gesv, getf2, getrf, getri, getrs, gecon, gerfs, geequ,
+                 laqge)
+from .chol import (posv, potf2, potrf, potrs, pocon, porfs, poequ, laqsy)
+from .tridiag import (gtsv, gttrf, gttrs, gtcon, gtrfs, ptsv, pttrf, pttrs,
+                      ptcon, ptrfs, gt_matvec, pt_matvec)
+from .banded import (gbsv, gbtrf, gbtrs, gbcon, gbrfs, gbequ,
+                     pbsv, pbtrf, pbtrs, pbcon, pbrfs, pbequ)
+from .sym_indef import (sytf2, sytrf, sytrs, sysv, sycon, syrfs,
+                        hetf2, hetrf, hetrs, hesv, hecon, herfs)
+from .packed import (pptrf, pptrs, ppsv, ppcon, pprfs, ppequ,
+                     sptrf, sptrs, spsv, spcon, hptrf, hptrs, hpsv, hpcon)
+from .qr import (geqr2, geqrf, orgqr, ungqr, ormqr, unmqr,
+                 gelq2, gelqf, orglq, unglq, ormlq, unmlq)
+from .qr_pivot import geqpf, tzrqf, latzm
+from .lls import gels, gelss, gelsx
+from .td_eigen import (sytd2, sytrd, hetrd, orgtr, ungtr, steqr, sterf,
+                       laev2, stebz, stein, stedc)
+from .syev import (syev, syevd, syevx, heev, heevd, heevx, stev, stevd,
+                   stevx, spev, spevd, spevx, hpev, hpevd, hpevx,
+                   sbev, sbevd, sbevx, hbev, hbevd, hbevx)
+from .gen_sym_eigen import sygst, hegst, sygv, hegv, spgv, hpgv, sbgv, hbgv
+from .band_eigen import sbtrd, hbtrd
+from .triangular import trtri, trti2, trtrs, trcon
+from .svd import gebd2, gebrd, orgbr, ormbr, bdsqr, gesvd
+from .hessenberg import gebal, gebak, gehd2, gehrd, orghr, unghr
+from .schur import (hseqr, trevc, trexc, trsyl, trsen, schur_blocks,
+                    eig_of_schur)
+from .nonsym_eigen import gees, geev, geesx, geevx
+from .qz import gghrd, hgeqz, gegs, gegv, tgevc
+from .gsvd import ggsvd
+from .ggls import gglse, ggglm
+from .generators import laror, lagge, lagsy, laghe, latms_like
+from .householder import larfg, larf_left, larf_right, larft, larfb
+from .givens import lartg, lartg_c, lanv2
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,447 @@
+"""Band solvers: general band LU (``xGBTRF/xGBTRS/xGBSV``) and positive
+definite band Cholesky (``xPBTRF/xPBTRS/xPBSV``), with condition
+estimation, refinement and equilibration.
+
+Substrate for the paper's ``LA_GBSV``/``LA_GBSVX``/``LA_PBSV``/``LA_PBSVX``.
+
+Storage (0-based): ``gbtrf`` works on the LAPACK factored-band layout —
+``ab`` has ``2·kl + ku + 1`` rows, the input matrix occupies rows
+``kl .. 2·kl+ku`` (``A[i, j] → ab[kl + ku + i - j, j]``) and the top ``kl``
+rows receive pivoting fill-in.  ``pbtrf`` uses the symmetric band layout
+``(kd+1, n)`` from :mod:`repro.storage`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import xerbla
+from ..blas.level2 import gbmv, tbsv
+from .lacon import lacon
+from .machine import lamch
+
+__all__ = ["gbtrf", "gbtrs", "gbsv", "gbcon", "gbrfs", "gbequ",
+           "pbtrf", "pbtrs", "pbsv", "pbcon", "pbrfs", "pbequ"]
+
+
+def _mag(x):
+    return (np.abs(x.real) + np.abs(x.imag)) if np.iscomplexobj(x) \
+        else np.abs(x)
+
+
+def gbtrf(ab: np.ndarray, kl: int, ku: int, m: int | None = None):
+    """LU factorization of an m×n band matrix with partial pivoting
+    (in place, factored-band layout).
+
+    Returns ``(ipiv, info)``.
+    """
+    n = ab.shape[1]
+    if m is None:
+        m = n
+    kv = kl + ku
+    if ab.shape[0] < 2 * kl + ku + 1:
+        xerbla("GBTRF", 1, "band array needs 2*kl+ku+1 rows")
+    ipiv = np.zeros(min(m, n), dtype=np.int64)
+    info = 0
+    # Zero the fill-in workspace rows for the initial columns.
+    for j in range(min(kv, n)):
+        ab[max(0, kv - kl - j):kl, j] = 0
+    ju = 0  # last column affected by current pivoting (0-based)
+    for j in range(min(m, n)):
+        # Zero the fill-in space of the column entering the band window.
+        if j + kv < n:
+            ab[:kl, j + kv] = 0
+        km = min(kl, m - 1 - j)           # subdiagonal count in column j
+        col = ab[kl + ku: kl + ku + km + 1, j]
+        jp = int(np.argmax(_mag(col)))
+        ipiv[j] = jp + j
+        if col[jp] != 0:
+            ju = max(ju, min(j + ku + jp, n - 1))
+            if jp != 0:
+                # Swap rows j and j+jp across columns j..ju (diagonal walk).
+                q = np.arange(j, ju + 1)
+                r1 = kl + ku + j - q
+                r2 = kl + ku + j + jp - q
+                tmp = ab[r1, q].copy()
+                ab[r1, q] = ab[r2, q]
+                ab[r2, q] = tmp
+            if km > 0:
+                ab[kl + ku + 1: kl + ku + km + 1, j] /= ab[kl + ku, j]
+                if ju > j:
+                    lvec = ab[kl + ku + 1: kl + ku + km + 1, j]
+                    for q in range(j + 1, ju + 1):
+                        off = kl + ku + j - q
+                        ajq = ab[off, q]
+                        if ajq != 0:
+                            ab[off + 1: off + 1 + km, q] -= lvec * ajq
+        elif info == 0:
+            info = j + 1
+    return ipiv, info
+
+
+def gbtrs(ab: np.ndarray, kl: int, ku: int, ipiv: np.ndarray, b: np.ndarray,
+          trans: str = "N") -> int:
+    """Solve ``op(A) X = B`` from ``gbtrf`` factors (B in place)."""
+    t = trans.upper()
+    if t not in ("N", "T", "C"):
+        xerbla("GBTRS", 1, f"trans={trans!r}")
+    n = ab.shape[1]
+    kv = kl + ku
+    bmat = b if b.ndim == 2 else b[:, None]
+    if bmat.shape[0] != n:
+        xerbla("GBTRS", 5, "dimension mismatch")
+    if n == 0:
+        return 0
+    if t == "N":
+        # L solve with row interchanges.
+        if kl > 0:
+            for j in range(n - 1):
+                lm = min(kl, n - 1 - j)
+                p = ipiv[j]
+                if p != j:
+                    bmat[[j, p]] = bmat[[p, j]]
+                bmat[j + 1: j + 1 + lm] -= np.outer(
+                    ab[kv + 1: kv + 1 + lm, j], bmat[j])
+        # U solve (band back substitution).
+        for j in range(n - 1, -1, -1):
+            bmat[j] = bmat[j] / ab[kv, j]
+            lo = max(0, j - kv)
+            if lo < j:
+                bmat[lo:j] -= np.outer(ab[kv + lo - j: kv, j], bmat[j])
+    else:
+        conj = (lambda z: np.conj(z)) if t == "C" else (lambda z: z)
+        # Uᵀ solve (forward).
+        for j in range(n):
+            lo = max(0, j - kv)
+            if lo < j:
+                bmat[j] -= conj(ab[kv + lo - j: kv, j]) @ bmat[lo:j]
+            bmat[j] = bmat[j] / conj(ab[kv, j])
+        # Lᵀ solve (backward) + interchanges.
+        if kl > 0:
+            for j in range(n - 2, -1, -1):
+                lm = min(kl, n - 1 - j)
+                bmat[j] -= conj(ab[kv + 1: kv + 1 + lm, j]) @ \
+                    bmat[j + 1: j + 1 + lm]
+                p = ipiv[j]
+                if p != j:
+                    bmat[[j, p]] = bmat[[p, j]]
+    return 0
+
+
+def gbsv(ab: np.ndarray, kl: int, ku: int, b: np.ndarray):
+    """Solve a general band system (``xGBSV``); returns ``(ipiv, info)``."""
+    ipiv, info = gbtrf(ab, kl, ku)
+    if info == 0:
+        gbtrs(ab, kl, ku, ipiv, b)
+    return ipiv, info
+
+
+def gbcon(ab: np.ndarray, kl: int, ku: int, ipiv: np.ndarray, anorm: float,
+          norm: str = "1"):
+    """Reciprocal condition estimate from ``gbtrf`` factors."""
+    if norm.upper() not in ("1", "O", "I"):
+        xerbla("GBCON", 1, f"norm={norm!r}")
+    n = ab.shape[1]
+    if n == 0:
+        return 1.0, 0
+    if anorm == 0:
+        return 0.0, 0
+
+    def solve(x):
+        y = x.copy()
+        gbtrs(ab, kl, ku, ipiv, y, trans="N")
+        return y
+
+    def solve_h(x):
+        y = x.copy()
+        gbtrs(ab, kl, ku, ipiv, y,
+              trans="C" if np.iscomplexobj(ab) else "T")
+        return y
+
+    if norm.upper() in ("1", "O"):
+        est = lacon(n, solve, solve_h, dtype=ab.dtype)
+    else:
+        est = lacon(n, solve_h, solve, dtype=ab.dtype)
+    return (1.0 / (est * anorm) if est else 0.0), 0
+
+
+def gbrfs(ab_orig: np.ndarray, afb: np.ndarray, kl: int, ku: int,
+          ipiv: np.ndarray, b: np.ndarray, x: np.ndarray,
+          trans: str = "N", itmax: int = 5):
+    """Refinement + error bounds for band systems (``xGBRFS``).
+
+    ``ab_orig`` is the *plain* band storage ``(kl+ku+1, n)`` of A; ``afb``
+    the factored-band output of ``gbtrf``.  Returns ``(ferr, berr, info)``.
+    """
+    t = trans.upper()
+    n = ab_orig.shape[1]
+    bmat = b if b.ndim == 2 else b[:, None]
+    xmat = x if x.ndim == 2 else x[:, None]
+    nrhs = bmat.shape[1]
+    ferr = np.zeros(nrhs)
+    berr = np.zeros(nrhs)
+    if n == 0 or nrhs == 0:
+        return ferr, berr, 0
+    eps = lamch("E", ab_orig.dtype)
+    safmin = lamch("S", ab_orig.dtype)
+    safe1 = (n + 1) * safmin
+    safe2 = safe1 / eps
+    abs_ab = np.abs(ab_orig)
+
+    def amv(v):
+        out = np.zeros(n, dtype=v.dtype)
+        gbmv(1.0, ab_orig, v, 0.0, out, m=n, kl=kl, ku=ku, trans=t)
+        return out
+
+    def abs_amv(v):
+        out = np.zeros(n, dtype=np.float64)
+        gbmv(1.0, abs_ab, v, 0.0, out, m=n, kl=kl, ku=ku,
+             trans="N" if t == "N" else "T")
+        return out
+
+    for j in range(nrhs):
+        count, lstres = 1, 3.0
+        while True:
+            r = bmat[:, j] - amv(xmat[:, j])
+            denom = abs_amv(np.abs(xmat[:, j])) + np.abs(bmat[:, j])
+            num = np.abs(r)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratios = np.where(denom > safe2, num / denom,
+                                  (num + safe1) / (denom + safe1))
+            berr[j] = float(np.max(ratios))
+            if berr[j] > eps and berr[j] <= 0.5 * lstres and count <= itmax:
+                dx = r.copy()
+                gbtrs(afb, kl, ku, ipiv, dx, trans=t)
+                xmat[:, j] += dx
+                lstres = berr[j]
+                count += 1
+            else:
+                break
+        r = bmat[:, j] - amv(xmat[:, j])
+        f = np.abs(r) + (n + 1) * eps * (abs_amv(np.abs(xmat[:, j]))
+                                         + np.abs(bmat[:, j]))
+        f = np.where(f > safe2, f, f + safe1)
+
+        def mv(v):
+            w = f * v
+            gbtrs(afb, kl, ku, ipiv, w, trans=t)
+            return w
+
+        def rmv(v):
+            if t == "T" and np.iscomplexobj(v):
+                w = np.conj(v)
+                gbtrs(afb, kl, ku, ipiv, w, trans="N")
+                w = np.conj(w)
+            else:
+                w = v.copy()
+                gbtrs(afb, kl, ku, ipiv, w,
+                      trans={"N": "C", "T": "N", "C": "N"}[t])
+            return f * w
+
+        est = lacon(n, mv, rmv, dtype=ab_orig.dtype)
+        xnorm = float(np.max(np.abs(xmat[:, j])))
+        ferr[j] = est / xnorm if xnorm > 0 else est
+    return ferr, berr, 0
+
+
+def gbequ(ab: np.ndarray, kl: int, ku: int, m: int | None = None):
+    """Equilibration scalings for a band matrix (``xGBEQU``).
+
+    Returns ``(r, c, rowcnd, colcnd, amax, info)``.
+    """
+    n = ab.shape[1]
+    if m is None:
+        m = n
+    smlnum = lamch("S", ab.dtype)
+    bignum = 1.0 / smlnum
+    absab = np.abs(ab.real) + np.abs(ab.imag) if np.iscomplexobj(ab) \
+        else np.abs(ab)
+    rowmax = np.zeros(m)
+    colmax = np.zeros(n)
+    for j in range(n):
+        lo = max(0, j - ku)
+        hi = min(m - 1, j + kl)
+        seg = absab[ku + lo - j: ku + hi - j + 1, j]
+        if seg.size:
+            colmax[j] = seg.max()
+            rowmax[lo:hi + 1] = np.maximum(rowmax[lo:hi + 1], seg)
+    amax = float(rowmax.max()) if m else 0.0
+    r = np.zeros(m)
+    c = np.zeros(n)
+    zr = np.where(rowmax == 0)[0]
+    if zr.size:
+        return r, c, 0.0, 0.0, amax, int(zr[0]) + 1
+    r = 1.0 / np.clip(rowmax, smlnum, bignum)
+    rowcnd = max(rowmax.min(), smlnum) / min(rowmax.max(), bignum)
+    # Column maxima of diag(r)·A.
+    colmax_scaled = np.zeros(n)
+    for j in range(n):
+        lo = max(0, j - ku)
+        hi = min(m - 1, j + kl)
+        seg = absab[ku + lo - j: ku + hi - j + 1, j] * r[lo:hi + 1]
+        if seg.size:
+            colmax_scaled[j] = seg.max()
+    zc = np.where(colmax_scaled == 0)[0]
+    if zc.size:
+        return r, c, rowcnd, 0.0, amax, m + int(zc[0]) + 1
+    c = 1.0 / np.clip(colmax_scaled, smlnum, bignum)
+    colcnd = max(colmax_scaled.min(), smlnum) / min(colmax_scaled.max(),
+                                                    bignum)
+    return r, c, rowcnd, colcnd, amax, 0
+
+
+def pbtrf(ab: np.ndarray, uplo: str = "U") -> int:
+    """Cholesky of an SPD/HPD band matrix in ``(kd+1, n)`` storage
+    (in place).  Returns ``info``."""
+    if uplo.upper() not in ("U", "L"):
+        xerbla("PBTRF", 1, f"uplo={uplo!r}")
+    n = ab.shape[1]
+    kd = ab.shape[0] - 1
+    up = uplo.upper() == "U"
+    for j in range(n):
+        ajj = ab[kd, j].real if up else ab[0, j].real
+        if ajj <= 0 or not np.isfinite(ajj):
+            return j + 1
+        ajj = np.sqrt(ajj)
+        kn = min(kd, n - 1 - j)
+        if up:
+            ab[kd, j] = ajj
+            if kn > 0:
+                q = np.arange(j + 1, j + kn + 1)
+                rows = kd + j - q
+                ab[rows, q] /= ajj          # row j of U beyond the diagonal
+                v = ab[rows, q].copy()
+                for t_ in range(kn):
+                    qq = j + 1 + t_
+                    # Column qq: A[i, qq] -= conj(U[j, i]) · U[j, qq]
+                    # for i = j+1 .. qq (A = UᴴU).
+                    seg = ab[kd - t_: kd + 1, qq]
+                    seg -= np.conj(v[: t_ + 1]) * v[t_]
+        else:
+            ab[0, j] = ajj
+            if kn > 0:
+                ab[1: kn + 1, j] /= ajj
+                v = ab[1: kn + 1, j].copy()
+                for t_ in range(kn):
+                    qq = j + 1 + t_
+                    # Column qq: update entries i = qq .. j+kn.
+                    seg = ab[0: kn - t_, qq]
+                    seg -= v[t_:] * np.conj(v[t_])
+    return 0
+
+
+def pbtrs(ab: np.ndarray, b: np.ndarray, uplo: str = "U") -> int:
+    """Solve from the band Cholesky factor (B in place)."""
+    n = ab.shape[1]
+    bmat = b if b.ndim == 2 else b[:, None]
+    if bmat.shape[0] != n:
+        xerbla("PBTRS", 2, "dimension mismatch")
+    nrhs = bmat.shape[1]
+    up = uplo.upper() == "U"
+    for k in range(nrhs):
+        col = bmat[:, k]
+        if up:
+            tbsv(ab, col, uplo="U", trans="C", diag="N")
+            tbsv(ab, col, uplo="U", trans="N", diag="N")
+        else:
+            tbsv(ab, col, uplo="L", trans="N", diag="N")
+            tbsv(ab, col, uplo="L", trans="C", diag="N")
+    return 0
+
+
+def pbsv(ab: np.ndarray, b: np.ndarray, uplo: str = "U") -> int:
+    """Solve an SPD/HPD band system (``xPBSV``); returns ``info``."""
+    info = pbtrf(ab, uplo)
+    if info == 0:
+        pbtrs(ab, b, uplo)
+    return info
+
+
+def pbcon(ab: np.ndarray, anorm: float, uplo: str = "U"):
+    """Reciprocal condition estimate from the band Cholesky factor."""
+    n = ab.shape[1]
+    if n == 0:
+        return 1.0, 0
+    if anorm == 0:
+        return 0.0, 0
+
+    def solve(x):
+        y = x.copy()
+        pbtrs(ab, y, uplo=uplo)
+        return y
+
+    est = lacon(n, solve, solve, dtype=ab.dtype)
+    return (1.0 / (est * anorm) if est else 0.0), 0
+
+
+def pbrfs(ab_orig: np.ndarray, afb: np.ndarray, b: np.ndarray, x: np.ndarray,
+          uplo: str = "U", itmax: int = 5):
+    """Refinement + error bounds for SPD band systems (``xPBRFS``)."""
+    from ..storage import sym_band_to_full
+    n = ab_orig.shape[1]
+    hermitian = np.iscomplexobj(ab_orig)
+    full = sym_band_to_full(ab_orig, n, uplo=uplo, hermitian=hermitian)
+    bmat = b if b.ndim == 2 else b[:, None]
+    xmat = x if x.ndim == 2 else x[:, None]
+    nrhs = bmat.shape[1]
+    ferr = np.zeros(nrhs)
+    berr = np.zeros(nrhs)
+    if n == 0 or nrhs == 0:
+        return ferr, berr, 0
+    eps = lamch("E", ab_orig.dtype)
+    safmin = lamch("S", ab_orig.dtype)
+    safe1 = (n + 1) * safmin
+    safe2 = safe1 / eps
+    absa = np.abs(full)
+    for j in range(nrhs):
+        count, lstres = 1, 3.0
+        while True:
+            r = bmat[:, j] - full @ xmat[:, j]
+            denom = absa @ np.abs(xmat[:, j]) + np.abs(bmat[:, j])
+            num = np.abs(r)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratios = np.where(denom > safe2, num / denom,
+                                  (num + safe1) / (denom + safe1))
+            berr[j] = float(np.max(ratios))
+            if berr[j] > eps and berr[j] <= 0.5 * lstres and count <= itmax:
+                dx = r.copy()
+                pbtrs(afb, dx, uplo=uplo)
+                xmat[:, j] += dx
+                lstres = berr[j]
+                count += 1
+            else:
+                break
+        r = bmat[:, j] - full @ xmat[:, j]
+        f = np.abs(r) + (n + 1) * eps * (absa @ np.abs(xmat[:, j])
+                                         + np.abs(bmat[:, j]))
+        f = np.where(f > safe2, f, f + safe1)
+
+        def mv(v):
+            w = f * v
+            pbtrs(afb, w, uplo=uplo)
+            return w
+
+        est = lacon(n, mv, mv, dtype=ab_orig.dtype)
+        xnorm = float(np.max(np.abs(xmat[:, j])))
+        ferr[j] = est / xnorm if xnorm > 0 else est
+    return ferr, berr, 0
+
+
+def pbequ(ab: np.ndarray, uplo: str = "U"):
+    """Equilibration scalings for an SPD band matrix (``xPBEQU``).
+
+    Returns ``(s, scond, amax, info)``.
+    """
+    n = ab.shape[1]
+    kd = ab.shape[0] - 1
+    d = (ab[kd, :] if uplo.upper() == "U" else ab[0, :]).real
+    s = np.zeros(n)
+    if n == 0:
+        return s, 1.0, 0.0, 0
+    amax = float(np.abs(d).max())
+    bad = np.where(d <= 0)[0]
+    if bad.size:
+        return s, 0.0, amax, int(bad[0]) + 1
+    s = 1.0 / np.sqrt(d)
+    scond = float(np.sqrt(d.min()) / np.sqrt(d.max()))
+    return s, scond, float(d.max()), 0

@@ -1,0 +1,258 @@
+"""Cholesky family: ``xPOTRF/xPOTRS/xPOSV`` with condition estimation
+(``xPOCON``), refinement (``xPORFS``) and equilibration (``xPOEQU``).
+
+Substrate for the paper's ``LA_POSV``/``LA_POSVX``/``LA_POTRF`` drivers.
+Blocked ``potrf`` follows LAPACK's right-looking Level-3 form: panel
+``potf2`` + ``trsm`` + ``syrk/herk`` trailing update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ilaenv
+from ..errors import xerbla
+from ..blas.level3 import herk, syrk, trsm
+from .lacon import lacon
+from .machine import lamch
+
+__all__ = ["potf2", "potrf", "potrs", "posv", "pocon", "porfs", "poequ",
+           "laqsy"]
+
+
+def potf2(a: np.ndarray, uplo: str = "U") -> int:
+    """Unblocked Cholesky of the ``uplo`` triangle (in place).
+
+    Returns ``info``; ``info = j+1 > 0`` flags the first non-positive
+    leading minor.
+    """
+    n = a.shape[0]
+    up = uplo.upper() == "U"
+    hermitian = np.iscomplexobj(a)
+    for j in range(n):
+        if up:
+            prior = a[:j, j]
+        else:
+            prior = a[j, :j]
+        ajj = a[j, j].real - float(np.real(np.vdot(prior, prior)))
+        if ajj <= 0 or not np.isfinite(ajj):
+            a[j, j] = ajj
+            return j + 1
+        ajj = np.sqrt(ajj)
+        a[j, j] = ajj
+        if j < n - 1:
+            if up:
+                # Row j of U beyond the diagonal.
+                a[j, j + 1:] -= np.conj(a[:j, j]) @ a[:j, j + 1:] \
+                    if j > 0 else 0
+                a[j, j + 1:] /= ajj
+            else:
+                a[j + 1:, j] -= a[j + 1:, :j] @ np.conj(a[j, :j]) \
+                    if j > 0 else 0
+                a[j + 1:, j] /= ajj
+    return 0
+
+
+def potrf(a: np.ndarray, uplo: str = "U") -> int:
+    """Blocked Cholesky factorization: ``A = UᴴU`` (uplo='U') or ``LLᴴ``.
+
+    Only the ``uplo`` triangle is referenced or written.  Returns ``info``.
+    """
+    if uplo.upper() not in ("U", "L"):
+        xerbla("POTRF", 1, f"uplo={uplo!r}")
+    n = a.shape[0]
+    if a.shape[1] != n:
+        xerbla("POTRF", 2, "matrix must be square")
+    nb = ilaenv(1, "potrf")
+    if nb <= 1 or nb >= n:
+        return potf2(a, uplo)
+    up = uplo.upper() == "U"
+    hermitian = np.iscomplexobj(a)
+    rank_update = herk if hermitian else syrk
+    for j in range(0, n, nb):
+        jb = min(nb, n - j)
+        # Update the diagonal block with previously factored panels.
+        if j > 0:
+            if up:
+                rank_update(-1.0, a[:j, j:j + jb], 1.0, a[j:j + jb, j:j + jb],
+                            uplo="U", trans="T" if not hermitian else "C")
+            else:
+                rank_update(-1.0, a[j:j + jb, :j], 1.0, a[j:j + jb, j:j + jb],
+                            uplo="L", trans="N")
+        info = potf2(a[j:j + jb, j:j + jb], uplo)
+        if info != 0:
+            return info + j
+        if j + jb < n:
+            if up:
+                if j > 0:
+                    a[j:j + jb, j + jb:] -= (np.conj(a[:j, j:j + jb].T)
+                                             @ a[:j, j + jb:])
+                trsm(1, a[j:j + jb, j:j + jb], a[j:j + jb, j + jb:],
+                     side="L", uplo="U", transa="C", diag="N")
+            else:
+                if j > 0:
+                    a[j + jb:, j:j + jb] -= (a[j + jb:, :j]
+                                             @ np.conj(a[j:j + jb, :j].T))
+                trsm(1, a[j:j + jb, j:j + jb], a[j + jb:, j:j + jb],
+                     side="R", uplo="L", transa="C", diag="N")
+    return 0
+
+
+def _herk_trans(hermitian: bool) -> str:
+    return "C" if hermitian else "T"
+
+
+def potrs(a: np.ndarray, b: np.ndarray, uplo: str = "U") -> int:
+    """Solve ``A X = B`` from the Cholesky factor (B in place)."""
+    if uplo.upper() not in ("U", "L"):
+        xerbla("POTRS", 1, f"uplo={uplo!r}")
+    n = a.shape[0]
+    if b.shape[0] != n:
+        xerbla("POTRS", 3, "dimension mismatch between A and B")
+    bmat = b if b.ndim == 2 else b[:, None]
+    if uplo.upper() == "U":
+        trsm(1, a, bmat, side="L", uplo="U", transa="C", diag="N")
+        trsm(1, a, bmat, side="L", uplo="U", transa="N", diag="N")
+    else:
+        trsm(1, a, bmat, side="L", uplo="L", transa="N", diag="N")
+        trsm(1, a, bmat, side="L", uplo="L", transa="C", diag="N")
+    return 0
+
+
+def posv(a: np.ndarray, b: np.ndarray, uplo: str = "U"):
+    """Solve an SPD/HPD system by Cholesky (``xPOSV``); returns ``info``."""
+    info = potrf(a, uplo)
+    if info == 0:
+        potrs(a, b, uplo)
+    return info
+
+
+def pocon(a: np.ndarray, anorm: float, uplo: str = "U"):
+    """Reciprocal condition estimate from the Cholesky factor.
+
+    Returns ``(rcond, info)``.
+    """
+    n = a.shape[0]
+    if n == 0:
+        return 1.0, 0
+    if anorm == 0:
+        return 0.0, 0
+    up = uplo.upper() == "U"
+
+    def solve(x):
+        y = x.copy()
+        potrs(a, y, uplo=uplo)
+        return y
+
+    est = lacon(n, solve, solve, dtype=a.dtype)
+    if est == 0:
+        return 0.0, 0
+    return 1.0 / (est * anorm), 0
+
+
+def porfs(a: np.ndarray, af: np.ndarray, b: np.ndarray, x: np.ndarray,
+          uplo: str = "U", itmax: int = 5):
+    """Iterative refinement + error bounds for SPD systems (``xPORFS``).
+
+    ``a`` holds the original matrix (``uplo`` triangle), ``af`` the factor.
+    Returns ``(ferr, berr, info)``.
+    """
+    n = a.shape[0]
+    hermitian = np.iscomplexobj(a)
+    if uplo.upper() == "U":
+        full = np.triu(a) + (np.conj(np.triu(a, 1)).T if hermitian
+                             else np.triu(a, 1).T)
+    else:
+        full = np.tril(a) + (np.conj(np.tril(a, -1)).T if hermitian
+                             else np.tril(a, -1).T)
+    if hermitian:
+        np.fill_diagonal(full, full.diagonal().real)
+    bmat = b if b.ndim == 2 else b[:, None]
+    xmat = x if x.ndim == 2 else x[:, None]
+    nrhs = bmat.shape[1]
+    ferr = np.zeros(nrhs)
+    berr = np.zeros(nrhs)
+    if n == 0 or nrhs == 0:
+        return ferr, berr, 0
+    eps = lamch("E", a.dtype)
+    safmin = lamch("S", a.dtype)
+    safe1 = (n + 1) * safmin
+    safe2 = safe1 / eps
+    absa = np.abs(full)
+    for j in range(nrhs):
+        count, lstres = 1, 3.0
+        while True:
+            r = bmat[:, j] - full @ xmat[:, j]
+            denom = absa @ np.abs(xmat[:, j]) + np.abs(bmat[:, j])
+            num = np.abs(r)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratios = np.where(denom > safe2, num / denom,
+                                  (num + safe1) / (denom + safe1))
+            berr[j] = float(np.max(ratios))
+            if berr[j] > eps and berr[j] <= 0.5 * lstres and count <= itmax:
+                dx = r.copy()
+                potrs(af, dx, uplo=uplo)
+                xmat[:, j] += dx
+                lstres = berr[j]
+                count += 1
+            else:
+                break
+        r = bmat[:, j] - full @ xmat[:, j]
+        f = np.abs(r) + (n + 1) * eps * (absa @ np.abs(xmat[:, j])
+                                         + np.abs(bmat[:, j]))
+        f = np.where(f > safe2, f, f + safe1)
+
+        def mv(v):
+            w = f * v
+            potrs(af, w, uplo=uplo)
+            return w
+
+        est = lacon(n, mv, mv, dtype=a.dtype)
+        xnorm = float(np.max(np.abs(xmat[:, j])))
+        ferr[j] = est / xnorm if xnorm > 0 else est
+    return ferr, berr, 0
+
+
+def poequ(a: np.ndarray):
+    """Equilibration scalings for an SPD matrix (``xPOEQU``).
+
+    Uses only the diagonal: ``s_i = 1/sqrt(a_ii)``.  Returns
+    ``(s, scond, amax, info)``; ``info = i+1`` flags a non-positive
+    diagonal entry.
+    """
+    n = a.shape[0]
+    s = np.zeros(n)
+    if n == 0:
+        return s, 1.0, 0.0, 0
+    d = a.diagonal().real
+    amax = float(np.max(np.abs(a.diagonal()))) if n else 0.0
+    bad = np.where(d <= 0)[0]
+    if bad.size:
+        return s, 0.0, amax, int(bad[0]) + 1
+    s = 1.0 / np.sqrt(d)
+    smin, smax = float(np.sqrt(d.min())), float(np.sqrt(d.max()))
+    scond = smin / smax
+    return s, scond, float(d.max()), 0
+
+
+def laqsy(a: np.ndarray, s: np.ndarray, scond: float, amax: float,
+          uplo: str = "U") -> str:
+    """Apply symmetric equilibration if worthwhile (``xLAQSY``-family).
+
+    Scales ``A := diag(s) A diag(s)`` (one triangle, in place) and returns
+    ``equed`` ∈ {'N', 'Y'}.
+    """
+    thresh = 0.1
+    small = lamch("S", a.dtype) / lamch("P", a.dtype)
+    large = 1.0 / small
+    if scond >= thresh and small <= amax <= large:
+        return "N"
+    n = a.shape[0]
+    scale = np.outer(s, s)
+    if uplo.upper() == "U":
+        iu = np.triu_indices(n)
+        a[iu] = a[iu] * scale[iu]
+    else:
+        il = np.tril_indices(n)
+        a[il] = a[il] * scale[il]
+    return "Y"

@@ -1,0 +1,156 @@
+"""Generalized symmetric-definite eigenproblems.
+
+* ``sygst``/``hegst`` — reduce ``A x = λ B x`` (itype 1), ``A B x = λ x``
+  (itype 2) or ``B A x = λ x`` (itype 3) to standard form using the
+  Cholesky factor of B,
+* ``sygv``/``hegv`` — full drivers,
+* ``spgv``/``hpgv`` — packed variants, ``sbgv``/``hbgv`` — band variants
+  (both via dense expansion; DESIGN.md §7).
+
+Failure coding matches LAPACK: ``info ≤ n`` comes from the eigensolver;
+``info = n + i`` means the leading minor of order *i* of B is not
+positive definite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..blas.level3 import trmm, trsm
+from ..errors import xerbla
+from ..storage import sym_band_to_full, unpack
+from .chol import potrf
+from .syev import syev, heev, syevd, heevd
+
+__all__ = ["sygst", "hegst", "sygv", "hegv", "spgv", "hpgv", "sbgv", "hbgv"]
+
+
+def _symmetrize(a: np.ndarray, hermitian: bool) -> None:
+    a += np.conj(a.T) if hermitian else a.T
+    a *= 0.5
+    if hermitian:
+        np.fill_diagonal(a, a.diagonal().real)
+
+
+def sygst(a: np.ndarray, b: np.ndarray, itype: int = 1,
+          uplo: str = "U", hermitian: bool = False) -> int:
+    """Reduce a generalized symmetric-definite problem to standard form
+    (in place on the *full* matrix ``a``).
+
+    ``b`` must already hold the Cholesky factor from :func:`potrf`.
+    itype 1: ``A := inv(F)ᴴ A inv(F)``; itype 2/3: ``A := F A Fᴴ``-style
+    (with F = U or L per ``uplo``).  Returns ``info`` (0).
+    """
+    if itype not in (1, 2, 3):
+        xerbla("SYGST", 1, f"itype={itype}")
+    up = uplo.upper() == "U"
+    if itype == 1:
+        if up:
+            trsm(1, b, a, side="L", uplo="U", transa="C", diag="N")
+            trsm(1, b, a, side="R", uplo="U", transa="N", diag="N")
+        else:
+            trsm(1, b, a, side="L", uplo="L", transa="N", diag="N")
+            trsm(1, b, a, side="R", uplo="L", transa="C", diag="N")
+    else:
+        if up:
+            trmm(1, b, a, side="L", uplo="U", transa="N", diag="N")
+            trmm(1, b, a, side="R", uplo="U", transa="C", diag="N")
+        else:
+            trmm(1, b, a, side="L", uplo="L", transa="C", diag="N")
+            trmm(1, b, a, side="R", uplo="L", transa="N", diag="N")
+    _symmetrize(a, hermitian)
+    return 0
+
+
+def hegst(a, b, itype=1, uplo="U"):
+    """Hermitian variant of :func:`sygst`."""
+    return sygst(a, b, itype=itype, uplo=uplo, hermitian=True)
+
+
+def _gv_driver(a, b, itype, jobz, uplo, hermitian, method="qr"):
+    n = a.shape[0]
+    info = potrf(b, uplo)
+    if info != 0:
+        rdtype = np.float32 if a.dtype in (np.float32, np.complex64) \
+            else np.float64
+        return np.zeros(n, dtype=rdtype), n + info
+    sygst(a, b, itype=itype, uplo=uplo, hermitian=hermitian)
+    if hermitian:
+        eig = heevd if method == "dc" else heev
+    else:
+        eig = syevd if method == "dc" else syev
+    w, info = eig(a, jobz=jobz, uplo=uplo)
+    if info != 0 or jobz.upper() != "V":
+        return w, info
+    up = uplo.upper() == "U"
+    if itype in (1, 2):
+        # x = inv(U) y ('U') or inv(Lᴴ) y ('L').
+        if up:
+            trsm(1, b, a, side="L", uplo="U", transa="N", diag="N")
+        else:
+            trsm(1, b, a, side="L", uplo="L", transa="C", diag="N")
+    else:
+        # x = Uᴴ y ('U') or L y ('L').
+        if up:
+            trmm(1, b, a, side="L", uplo="U", transa="C", diag="N")
+        else:
+            trmm(1, b, a, side="L", uplo="L", transa="N", diag="N")
+    return w, info
+
+
+def sygv(a: np.ndarray, b: np.ndarray, itype: int = 1, jobz: str = "N",
+         uplo: str = "U"):
+    """Generalized symmetric-definite eigen driver (``xSYGV``).
+
+    ``a`` holds eigenvectors on exit (jobz='V'), normalized B-orthonormally
+    for itype 1/2; ``b`` holds the Cholesky factor.  Returns ``(w, info)``.
+    """
+    if jobz.upper() not in ("N", "V"):
+        xerbla("SYGV", 4, f"jobz={jobz!r}")
+    return _gv_driver(a, b, itype, jobz, uplo, hermitian=False)
+
+
+def hegv(a: np.ndarray, b: np.ndarray, itype: int = 1, jobz: str = "N",
+         uplo: str = "U"):
+    """Generalized Hermitian-definite eigen driver (``xHEGV``)."""
+    if jobz.upper() not in ("N", "V"):
+        xerbla("HEGV", 4, f"jobz={jobz!r}")
+    return _gv_driver(a, b, itype, jobz, uplo, hermitian=True)
+
+
+def spgv(ap, bp, n, itype: int = 1, jobz: str = "N", uplo: str = "U",
+         method: str = "qr"):
+    """Packed generalized symmetric-definite driver (``xSPGV``/``xSPGVD``).
+
+    Returns ``(w, z, info)`` where ``z`` is ``None`` unless jobz='V'.
+    """
+    hermitian = np.iscomplexobj(np.asarray(ap))
+    a = unpack(np.asarray(ap), n, uplo=uplo, symmetric=not hermitian,
+               hermitian=hermitian)
+    b = unpack(np.asarray(bp), n, uplo=uplo, symmetric=not hermitian,
+               hermitian=hermitian)
+    w, info = _gv_driver(a, b, itype, jobz, uplo, hermitian, method)
+    return w, (a if jobz.upper() == "V" else None), info
+
+
+def hpgv(ap, bp, n, itype=1, jobz="N", uplo="U"):
+    """Packed generalized Hermitian-definite driver (``xHPGV``)."""
+    return spgv(ap, bp, n, itype=itype, jobz=jobz, uplo=uplo)
+
+
+def sbgv(ab, bb, n, jobz: str = "N", uplo: str = "U"):
+    """Band generalized symmetric-definite driver (``xSBGV``; itype 1 only,
+    as in LAPACK).
+
+    Returns ``(w, z, info)``.
+    """
+    hermitian = np.iscomplexobj(np.asarray(ab))
+    a = sym_band_to_full(np.asarray(ab), n, uplo=uplo, hermitian=hermitian)
+    b = sym_band_to_full(np.asarray(bb), n, uplo=uplo, hermitian=hermitian)
+    w, info = _gv_driver(a, b, 1, jobz, uplo, hermitian)
+    return w, (a if jobz.upper() == "V" else None), info
+
+
+def hbgv(ab, bb, n, jobz="N", uplo="U"):
+    """Band generalized Hermitian-definite driver (``xHBGV``)."""
+    return sbgv(ab, bb, n, jobz=jobz, uplo=uplo)

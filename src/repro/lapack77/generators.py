@@ -1,0 +1,169 @@
+"""Test-matrix generators: ``xLAGGE`` (general with prescribed singular
+values and optional bandwidth), ``xLAGSY``/``xLAGHE`` (symmetric/Hermitian
+with prescribed eigenvalues) and ``laror`` (random orthogonal/unitary).
+
+These are the generators behind the paper's matrix-manipulation section
+(``LA_LAGGE``) and behind the Appendix-F test harness workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import xerbla
+from .householder import larf_left, larf_right
+
+__all__ = ["laror", "lagge", "lagsy", "laghe", "latms_like"]
+
+
+def laror(n: int, dtype=np.float64, rng=None, m: int | None = None) -> np.ndarray:
+    """Random orthogonal/unitary matrix, Haar-distributed (``xLAROR``'s
+    job of pre/post multiplying, exposed as an explicit matrix).
+
+    Built from the QR factorization of a Gaussian matrix with the sign
+    (phase) correction that makes the distribution Haar.
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    if m is None:
+        m = n
+    g = rng.standard_normal((m, n))
+    if np.dtype(dtype).kind == "c":
+        g = g + 1j * rng.standard_normal((m, n))
+    g = np.asarray(g, dtype=dtype)
+    from .qr import geqrf, orgqr
+    tau = geqrf(g)
+    diag = np.diagonal(g)[: min(m, n)].copy()
+    q = orgqr(g, tau)
+    # Phase correction: multiply column j by sign(r_jj).
+    phase = np.where(diag == 0, 1, diag / np.abs(np.where(diag == 0, 1,
+                                                          diag)))
+    q[:, : len(phase)] *= phase[None, :]
+    return q
+
+
+def lagge(m: int, n: int, d: np.ndarray, kl: int | None = None,
+          ku: int | None = None, dtype=np.float64, rng=None) -> np.ndarray:
+    """Generate a random m×n matrix ``A = U diag(d) V`` with prescribed
+    singular values ``|d|`` and random orthogonal/unitary U, V
+    (``xLAGGE``).  With ``kl``/``ku`` smaller than full, the bandwidth is
+    then reduced by two-sided Householder transformations, preserving the
+    singular values.
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    k = min(m, n)
+    if len(d) < k:
+        xerbla("LAGGE", 3, "need min(m, n) diagonal values")
+    if kl is None:
+        kl = m - 1
+    if ku is None:
+        ku = n - 1
+    a = np.zeros((m, n), dtype=dtype)
+    a[np.arange(k), np.arange(k)] = np.asarray(d[:k], dtype=dtype)
+    # Pre- and post-multiply by Haar random unitaries.
+    u = laror(m, dtype=dtype, rng=rng)
+    v = laror(n, dtype=dtype, rng=rng)
+    a = u @ a @ v
+    if kl == 0 and ku == 0:
+        # A diagonal request cannot be reached by finite reflections;
+        # return the (phase-randomized) diagonal matrix directly.
+        a = np.zeros((m, n), dtype=dtype)
+        a[np.arange(k), np.arange(k)] = np.asarray(d[:k], dtype=dtype)
+        return a
+
+    def zap_col(i):
+        # Annihilate A[kl+i+1:, i] from the left (safe when ku >= 1 after,
+        # see ordering below).
+        if kl + i + 1 < m:
+            col = a[kl + i:, i].copy()
+            vref, tau = _reflector(col)
+            if tau != 0:
+                larf_left(vref, np.conj(tau), a[kl + i:, i:])
+
+    def zap_row(i):
+        # Annihilate A[i, ku+i+1:] from the right: G = I − conj(tau) u uᴴ
+        # built from the conjugated row (same construction as tzrqf).
+        if ku + i + 1 < n:
+            row = np.conj(a[i, ku + i:]) if np.dtype(dtype).kind == "c" \
+                else a[i, ku + i:].copy()
+            vref, tau = _reflector(row.copy())
+            if tau != 0:
+                # r G = (Gᴴ conj(r)ᵀ)ᴴ with Gᴴ = I − conj(tau) u uᴴ the
+                # larfg annihilator ⇒ apply G = I − tau u uᴴ on the right.
+                larf_right(vref, tau, a[i:, ku + i:])
+
+    # Ordering: the row reflection mixes columns ku+i.. (must not touch the
+    # freshly-zeroed column i ⇒ needs ku ≥ 1); symmetrically the column
+    # reflection needs kl ≥ 1 when rows go first.
+    for i in range(min(m, n)):
+        if ku >= 1:
+            zap_col(i)
+            zap_row(i)
+        else:
+            zap_row(i)
+            zap_col(i)
+    # Snap the annihilated entries to exact zero.
+    for j in range(n):
+        lo = max(0, j - ku)
+        hi = min(m - 1, j + kl)
+        if lo > 0:
+            a[:lo, j] = 0
+        if hi + 1 < m:
+            a[hi + 1:, j] = 0
+    return a
+
+
+def _reflector(x: np.ndarray):
+    """Householder vector/factor annihilating x[1:] (full-vector form)."""
+    from .householder import larfg
+    v = x.copy()
+    tail = v[1:].copy()
+    beta, tau = larfg(v[0], tail)
+    out = np.empty_like(v)
+    out[0] = 1
+    out[1:] = tail
+    return out, tau
+
+
+def lagsy(n: int, d: np.ndarray, dtype=np.float64, rng=None) -> np.ndarray:
+    """Random symmetric matrix ``A = U diag(d) Uᵀ`` with prescribed
+    eigenvalues (``xLAGSY``, full-bandwidth case)."""
+    if rng is None:
+        rng = np.random.default_rng()
+    u = laror(n, dtype=dtype, rng=rng)
+    a = (u * np.asarray(d, dtype=dtype)[None, :]) @ u.T
+    return (a + a.T) / 2
+
+
+def laghe(n: int, d: np.ndarray, rng=None, dtype=np.complex128) -> np.ndarray:
+    """Random Hermitian matrix ``A = U diag(d) Uᴴ`` with prescribed real
+    eigenvalues (``xLAGHE``)."""
+    if rng is None:
+        rng = np.random.default_rng()
+    u = laror(n, dtype=dtype, rng=rng)
+    a = (u * np.asarray(d, dtype=np.float64)[None, :]) @ np.conj(u.T)
+    a = (a + np.conj(a.T)) / 2
+    np.fill_diagonal(a, a.diagonal().real)
+    return a
+
+
+def latms_like(m: int, n: int, cond: float = 1e2, mode: str = "geometric",
+               dtype=np.float64, rng=None):
+    """Spectrum-controlled generator in the spirit of ``xLATMS``: singular
+    values spanning ``[1/cond, 1]`` geometrically ('geometric') or
+    arithmetically ('arithmetic'); returns ``(a, s)``.
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    k = min(m, n)
+    if k == 0:
+        return np.zeros((m, n), dtype=dtype), np.zeros(0)
+    if mode == "geometric":
+        s = np.geomspace(1.0, 1.0 / cond, k)
+    elif mode == "arithmetic":
+        s = np.linspace(1.0, 1.0 / cond, k)
+    else:
+        raise ValueError("mode must be 'geometric' or 'arithmetic'")
+    a = lagge(m, n, s, dtype=dtype, rng=rng)
+    return a, s

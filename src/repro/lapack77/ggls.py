@@ -1,0 +1,108 @@
+"""Generalized least squares drivers: ``xGGLSE`` (equality-constrained
+least squares) and ``xGGGLM`` (general Gauss–Markov linear model).
+
+Both are implemented with the orthogonal null-space method built on this
+package's QR machinery — mathematically the same factorization-based
+elimination LAPACK performs through its GRQ/GQR kernels (DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..blas.level3 import trsm
+from ..errors import xerbla
+from .qr import geqrf, ormqr, orgqr
+
+__all__ = ["gglse", "ggglm"]
+
+
+def gglse(a: np.ndarray, b: np.ndarray, c: np.ndarray, d: np.ndarray):
+    """Solve the LSE problem: minimize ``‖c − A x‖₂`` subject to
+    ``B x = d`` (``xGGLSE``).
+
+    ``a`` is m×n, ``b`` is p×n with ``p ≤ n ≤ m+p``; B must have full row
+    rank p and ``[A; B]`` full column rank n (LAPACK's conditions).
+    Returns ``(x, info)``; ``a``, ``b``, ``c``, ``d`` are destroyed.
+    """
+    m, n = a.shape
+    p = b.shape[0]
+    if b.shape[1] != n:
+        xerbla("GGLSE", 2, "A and B must have the same column count")
+    if not (p <= n <= m + p):
+        xerbla("GGLSE", 2, "need p <= n <= m+p")
+    if c.shape[0] != m:
+        xerbla("GGLSE", 3, "c must have m entries")
+    if d.shape[0] != p:
+        xerbla("GGLSE", 4, "d must have p entries")
+    # Null-space method: QR of Bᴴ splits x into a constrained part and a
+    # free part.  Bᴴ = Qb Rb  ⇒  B = Rbᴴ Qbᴴ; with y = Qbᴴ x:
+    #   constraint:  Rbᴴ y₁ = d            (lower-triangular solve)
+    #   objective:   min ‖c − (A Qb)[:, p:] y₂ − (A Qb)[:, :p] y₁‖.
+    bh = np.conj(b.T).copy()
+    taub = geqrf(bh)
+    y1 = np.asarray(d, dtype=a.dtype).copy()
+    rb = bh[:p, :p]
+    # Solve Rbᴴ y1 = d (Rb upper ⇒ Rbᴴ lower).
+    trsm(1, rb, y1[:, None], side="L", uplo="U", transa="C", diag="N")
+    # Form A Qb by applying Qb from the right: (Qbᴴ Aᴴ)ᴴ.
+    ah = np.conj(a.T).copy()
+    ormqr("L", "C", bh, taub, ah)
+    aq = np.conj(ah.T)  # = A Qb
+    # Residual objective over the free variables y2.
+    rhs = np.asarray(c, dtype=a.dtype).copy() - aq[:, :p] @ y1
+    nfree = n - p
+    if nfree > 0:
+        afree = aq[:, p:].copy()
+        bls = np.zeros((max(m, nfree), 1), dtype=a.dtype)
+        bls[:m, 0] = rhs
+        from .lls import gels
+        gels(afree, bls)
+        y2 = bls[:nfree, 0]
+    else:
+        y2 = np.zeros(0, dtype=a.dtype)
+    y = np.concatenate([y1, y2])
+    # x = Qb y.
+    x = y.copy()
+    ormqr("L", "N", bh, taub, x[:, None])
+    return x, 0
+
+
+def ggglm(a: np.ndarray, b: np.ndarray, d: np.ndarray):
+    """Solve the GLM problem: minimize ``‖y‖₂`` subject to
+    ``d = A x + B y`` (``xGGGLM``).
+
+    ``a`` is n×m, ``b`` is n×p with ``m ≤ n ≤ m+p``; A must have full
+    column rank m and ``[A B]`` full row rank n.
+    Returns ``(x, y, info)``; inputs are destroyed.
+    """
+    n, m = a.shape
+    p = b.shape[1]
+    if b.shape[0] != n:
+        xerbla("GGGLM", 2, "A and B must have the same row count")
+    if not (m <= n <= m + p):
+        xerbla("GGGLM", 2, "need m <= n <= m+p")
+    if d.shape[0] != n:
+        xerbla("GGGLM", 3, "d must have n entries")
+    # QR of A splits the constraint: Qaᴴ d = [R; 0] x + Qaᴴ B y.
+    taua = geqrf(a)
+    dd = np.asarray(d, dtype=a.dtype).copy()
+    ormqr("L", "C", a, taua, dd[:, None])
+    bb = b.astype(a.dtype, copy=True)
+    ormqr("L", "C", a, taua, bb)
+    # Bottom block determines the minimum-norm y.
+    nb = n - m
+    if nb > 0:
+        bbot = bb[m:, :].copy()
+        yls = np.zeros((max(nb, p), 1), dtype=a.dtype)
+        yls[:nb, 0] = dd[m:]
+        from .lls import gels
+        gels(bbot, yls)
+        y = yls[:p, 0].copy()
+    else:
+        y = np.zeros(p, dtype=a.dtype)
+    # Top block gives x: R x = (Qaᴴ d)[:m] − (Qaᴴ B)[:m] y.
+    rhs = dd[:m] - bb[:m, :] @ y
+    trsm(1, a[:m, :m], rhs[:, None], side="L", uplo="U", transa="N",
+         diag="N")
+    return rhs, y, 0

@@ -1,0 +1,166 @@
+"""Givens rotation kernels: ``xLARTG`` and the multi-rotation ``xLASR``.
+
+These drive the implicit-shift QL/QR eigenvalue iterations (``steqr``),
+the bidiagonal SVD iteration (``bdsqr``) and the QZ sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["lartg", "lartg_c", "lasr", "rot_rows", "rot_cols", "lanv2"]
+
+
+def lartg(f: float, g: float):
+    """Generate a real plane rotation: ``(c, s, r)`` with
+    ``[[c, s], [-s, c]] [f; g] = [r; 0]`` and ``c² + s² = 1``."""
+    if g == 0.0:
+        return 1.0, 0.0, float(f)
+    if f == 0.0:
+        return 0.0, 1.0, float(g)
+    r = float(np.hypot(f, g))
+    if abs(f) > abs(g) and f < 0:
+        r = -r
+    return f / r, g / r, r
+
+
+def lartg_c(f, g):
+    """Complex plane rotation (``zlartg``): ``c`` real, ``s`` complex, with
+    ``[[c, s], [-conj(s), c]] [f; g] = [r; 0]``."""
+    if g == 0:
+        return 1.0, 0j, f
+    if f == 0:
+        absg = abs(g)
+        return 0.0, np.conj(g) / absg, absg
+    d = np.sqrt(abs(f) ** 2 + abs(g) ** 2)
+    c = abs(f) / d
+    ff = f / abs(f)
+    s = ff * np.conj(g) / d
+    r = ff * d
+    return float(c), s, r
+
+
+def rot_rows(a: np.ndarray, i: int, j: int, c, s) -> None:
+    """Apply ``[[c, s], [-conj(s), c]]`` to rows ``i`` and ``j`` of ``a``."""
+    ri = a[i].copy()
+    a[i] = c * ri + s * a[j]
+    a[j] = -np.conj(s) * ri + c * a[j]
+
+
+def rot_cols(a: np.ndarray, i: int, j: int, c, s) -> None:
+    """Apply the rotation from the right to columns ``i``, ``j`` of ``a``:
+    ``[a_i, a_j] := [a_i, a_j] · [[c, -conj(s)], [s, c]]ᵀ``-style update
+    matching LAPACK's right-multiplication in ``xSTEQR``."""
+    ci = a[:, i].copy()
+    a[:, i] = c * ci + s * a[:, j]
+    a[:, j] = -np.conj(s) * ci + c * a[:, j]
+
+
+def lasr(side: str, pivot: str, direct: str, c: np.ndarray, s: np.ndarray,
+         a: np.ndarray) -> np.ndarray:
+    """Apply a sequence of plane rotations to ``a`` (``xLASR`` subset:
+    pivot='V' — rotations act on adjacent rows/columns).
+
+    side='L': ``A := P A`` where P is the product of rotations P_k acting on
+    rows (k, k+1); side='R': ``A := A Pᵀ`` acting on columns (k, k+1).
+    direct='F' applies P = P_{z-1}···P_0, 'B' the reverse.
+    """
+    if pivot.upper() != "V":
+        raise NotImplementedError("only pivot='V' is used in this package")
+    z = len(c)
+    order = range(z) if direct.upper() == "F" else range(z - 1, -1, -1)
+    if side.upper() == "L":
+        for k in order:
+            ck, sk = c[k], s[k]
+            if ck != 1 or sk != 0:
+                r1 = a[k].copy()
+                a[k] = ck * r1 + sk * a[k + 1]
+                a[k + 1] = -sk * r1 + ck * a[k + 1]
+    else:
+        for k in order:
+            ck, sk = c[k], s[k]
+            if ck != 1 or sk != 0:
+                c1 = a[:, k].copy()
+                a[:, k] = ck * c1 + sk * a[:, k + 1]
+                a[:, k + 1] = -sk * c1 + ck * a[:, k + 1]
+    return a
+
+
+def lanv2(a: float, b: float, c: float, d: float):
+    """Standardize a real 2×2 block: compute the Schur factorization of
+    ``[[a, b], [c, d]]``.
+
+    Returns ``(aa, bb, cc, dd, rt1r, rt1i, rt2r, rt2i, cs, sn)`` where the
+    rotated block ``[[aa, bb], [cc, dd]]`` is either upper triangular (real
+    eigenvalues) or has ``aa == dd`` and ``bb*cc < 0`` (complex pair), as in
+    LAPACK's ``xLANV2``.
+    """
+    eps = np.finfo(np.float64).eps
+    if c == 0.0:
+        cs, sn = 1.0, 0.0
+    elif b == 0.0:
+        # Swap rows and columns.
+        cs, sn = 0.0, 1.0
+        a, b, c, d = d, -c, 0.0, a
+    elif (a - d) == 0.0 and np.sign(b) != np.sign(c):
+        cs, sn = 1.0, 0.0
+    else:
+        temp = a - d
+        p = 0.5 * temp
+        bcmax = max(abs(b), abs(c))
+        bcmis = min(abs(b), abs(c)) * np.sign(b) * np.sign(c)
+        scale = max(abs(p), bcmax)
+        z = p / scale * p + (bcmax / scale) * bcmis
+        if z >= 4.0 * eps:
+            # Real eigenvalues: compute a and d.
+            z = p + np.sign(p if p != 0 else 1.0) * np.sqrt(scale) * np.sqrt(z)
+            a = d + z
+            d = d - (bcmax / z) * bcmis
+            tau = float(np.hypot(c, z))
+            cs, sn = z / tau, c / tau
+            b = b - c
+            c = 0.0
+        else:
+            # Complex eigenvalues, or real (almost) equal eigenvalues.
+            sigma = b + c
+            tau = float(np.hypot(sigma, temp))
+            cs = np.sqrt(0.5 * (1.0 + abs(sigma) / tau))
+            sn = -(p / (tau * cs)) * np.sign(sigma if sigma != 0 else 1.0)
+            # [[aa bb]; [cc dd]] = [[a b]; [c d]] [[cs -sn]; [sn cs]]
+            aa = a * cs + b * sn
+            bb = -a * sn + b * cs
+            cc = c * cs + d * sn
+            dd = -c * sn + d * cs
+            # then premultiply by [[cs sn]; [-sn cs]]
+            a = aa * cs + cc * sn
+            b = bb * cs + dd * sn
+            c = -aa * sn + cc * cs
+            d = -bb * sn + dd * cs
+            temp = 0.5 * (a + d)
+            a = d = temp
+            if c != 0.0:
+                if b != 0.0:
+                    if np.sign(b) == np.sign(c):
+                        # Real eigenvalues: reduce to upper triangular.
+                        sab = np.sqrt(abs(b))
+                        sac = np.sqrt(abs(c))
+                        p = np.sign(c) * sab * sac
+                        tau = 1.0 / np.sqrt(abs(b + c))
+                        a = temp + p
+                        d = temp - p
+                        b = b - c
+                        c = 0.0
+                        cs1 = sab * tau
+                        sn1 = sac * tau
+                        cs, sn = cs * cs1 - sn * sn1, cs * sn1 + sn * cs1
+                else:
+                    b, c = -c, 0.0
+                    cs, sn = -sn, cs
+    # Eigenvalues.
+    rt1r, rt2r = a, d
+    if c == 0.0:
+        rt1i = rt2i = 0.0
+    else:
+        rt1i = np.sqrt(abs(b)) * np.sqrt(abs(c))
+        rt2i = -rt1i
+    return a, b, c, d, rt1r, rt1i, rt2r, rt2i, cs, sn

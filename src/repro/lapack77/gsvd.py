@@ -1,0 +1,126 @@
+"""Generalized singular value decomposition (``xGGSVD``).
+
+Construction (DESIGN.md §7): QR of the stacked matrix + CS decomposition
+of the partitioned orthonormal factor, built on this package's SVD —
+the textbook GSVD route (Golub & Van Loan §8.7.4) rather than LAPACK's
+``xGGSVP``/``xTGSJA`` Jacobi pipeline.  Requires ``[A; B]`` to have full
+column rank (LAPACK's ``k + l = n`` case).
+
+For ``A`` (m×n) and ``B`` (p×n) it produces::
+
+    A = U · D1 · R · Qᴴ        (D1 m×n, D1[i, i] = alpha_i)
+    B = V · D2 · R · Qᴴ        (D2 p×n, D2[i−k, i] = beta_i for i ≥ k)
+
+with ``alpha² + beta² = 1``, U/V/Q unitary and R upper triangular —
+LAPACK's D1/D2 layout for the ``k + l = n`` case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import xerbla
+from .machine import lamch
+from .qr import geqrf, orgqr
+from .svd import gesvd
+
+__all__ = ["ggsvd"]
+
+
+def _rq(m: np.ndarray):
+    """RQ factorization ``M = R Q`` of a square matrix (R upper
+    triangular, Q unitary): ``MᴴJ = Q₁R₁`` ⇒ ``M = (J R₁ᴴ J)(J Q₁ᴴ)``."""
+    n = m.shape[0]
+    flip = slice(None, None, -1)
+    x = np.conj(m.T)[:, flip].copy()     # = Mᴴ J
+    tau = geqrf(x)
+    r1 = np.triu(x[:n, :])
+    q1 = orgqr(x, tau)
+    r = np.conj(r1.T)[flip, :][:, flip]  # J R₁ᴴ J — upper triangular
+    q = np.conj(q1.T)[flip, :]           # J Q₁ᴴ
+    return r, q
+
+
+def _complete_unitary(cols: list[np.ndarray], dim: int, dtype) -> np.ndarray:
+    """Extend a list of orthonormal columns to a full dim×dim unitary by
+    Gram–Schmidt against the canonical basis."""
+    basis = [c.astype(dtype, copy=True) for c in cols]
+    e = 0
+    while len(basis) < dim and e < 2 * dim:
+        cand = np.zeros(dim, dtype=dtype)
+        cand[e % dim] = 1
+        for bvec in basis:
+            cand = cand - np.vdot(bvec, cand) * bvec
+        nrm = np.linalg.norm(cand)
+        if nrm > 0.3:
+            basis.append(cand / nrm)
+        e += 1
+    return np.column_stack(basis)
+
+
+def ggsvd(a: np.ndarray, b: np.ndarray):
+    """GSVD of the pair (A, B); see the module docstring for the form.
+
+    Returns ``(alpha, beta, k, l, u, v, q, r, info)``:
+
+    * ``alpha``/``beta`` — cosines (descending) and sines per column,
+    * ``k`` — number of leading pairs with ``beta ≈ 0`` (pure-A
+      directions); ``l = n − k`` (the full-rank k+l split),
+    * ``u`` (m×m), ``v`` (p×p), ``q`` (n×n) unitary, ``r`` (n×n) upper
+      triangular.
+    """
+    m, n = a.shape
+    p = b.shape[0]
+    if b.shape[1] != n:
+        xerbla("GGSVD", 2, "A and B must have the same column count")
+    if m + p < n:
+        xerbla("GGSVD", 1, "[A; B] must have full column rank (m+p >= n)")
+    dtype = np.result_type(a.dtype, b.dtype, np.float64 if
+                           np.dtype(a.dtype).kind != "c" else np.complex128)
+    c = np.zeros((m + p, n), dtype=dtype)
+    c[:m] = a
+    c[m:] = b
+    tau = geqrf(c)
+    rc = np.triu(c[:n, :]).copy()
+    qc = orgqr(c, tau)                   # (m+p)×n orthonormal columns
+    q1 = qc[:m, :]
+    q2 = qc[m:, :]
+    # CS decomposition via the SVD of the top block: Q1 = U·D1·Wᴴ.
+    # jobvt='A' keeps the full n×n W even when m < n (the extra columns
+    # are pure-B directions with cosine 0).
+    svals, u_s, wt, info = gesvd(q1.copy(), jobu="S", jobvt="A")
+    if info != 0:
+        return (np.zeros(n), np.zeros(n), 0, n, None, None, None, None,
+                info)
+    alpha = np.zeros(n)
+    alpha[: svals.shape[0]] = np.clip(svals, 0.0, 1.0)
+    beta = np.sqrt(np.clip(1.0 - alpha * alpha, 0.0, None))
+    w = np.conj(wt.T)
+    eps = lamch("E", dtype)
+    # β = √(1−α²) loses half the digits near α = 1, so the deflation
+    # threshold is O(√eps) (the usual CS-decomposition tolerance).
+    thresh = 8.0 * np.sqrt(eps * max(m, n, p))
+    # alpha descends ⇒ beta ascends: the k deflated (β≈0) slots lead.
+    beta = np.where(beta > thresh, beta, 0.0)
+    k = int(np.sum(beta == 0.0))
+    # At most p sines can be live (rank(B) ≤ p): enforce structurally.
+    if n - k > p:
+        k = n - p
+        beta[:k] = 0.0
+    l = n - k                            # number of live sines (≤ p)
+    # Bottom block: Q2 W = V·D2 (exact since Q2ᴴQ2 = I − Q1ᴴQ1), with
+    # LAPACK's D2 layout: D2[i−k, i] = β_i for i ≥ k.  So V's column j
+    # (j < l) is x[:, k+j]/β_{k+j}; the rest completes the unitary.
+    x = q2 @ w
+    live = [x[:, k + j] / beta[k + j] for j in range(l)]
+    v = _complete_unitary(live, p, dtype) if p else np.zeros((0, 0), dtype)
+    # Middle factor: A = U·D1·(Wᴴ Rc); make it triangular with RQ.
+    mid = np.conj(w.T) @ rc
+    r, qrows = _rq(mid)
+    q = np.conj(qrows.T)                 # so that  mid = R Qᴴ
+    # Full U: extend the n columns of u_s when m > n.
+    if u_s.shape[1] < m:
+        u = _complete_unitary(list(u_s.T), m, dtype)
+    else:
+        u = u_s
+    return alpha, beta, k, l, u, v, q, r, 0

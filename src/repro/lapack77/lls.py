@@ -1,0 +1,148 @@
+"""Least squares drivers: ``xGELS`` (full-rank QR/LQ), ``xGELSX``
+(rank-revealing complete orthogonal factorization) and ``xGELSS``
+(SVD-based minimum norm).
+
+Substrate for the paper's ``LA_GELS``/``LA_GELSX``/``LA_GELSS``.
+All three follow LAPACK's in-place convention: ``b`` must have
+``max(m, n)`` rows; the solution occupies its leading rows on exit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..blas.level3 import trsm
+from ..errors import xerbla
+from .machine import lamch
+from .qr import gelqf, geqrf, ormlq, ormqr
+from .qr_pivot import geqpf, latzm, tzrqf
+
+__all__ = ["gels", "gelsx", "gelss"]
+
+
+def gels(a: np.ndarray, b: np.ndarray, trans: str = "N") -> int:
+    """Solve over/under-determined full-rank systems by QR or LQ.
+
+    * ``trans='N'``, m ≥ n — least squares ``min ‖Ax − b‖``; rows n..m−1 of
+      each column of ``b`` hold the residual components on exit.
+    * ``trans='N'``, m < n — minimum-norm solution of ``Ax = b``.
+    * ``trans='T'/'C'`` — the same two problems for ``op(A)``.
+
+    Returns ``info`` (0; full rank is assumed, matching LAPACK's contract).
+    """
+    t = trans.upper()
+    if t not in ("N", "T", "C"):
+        xerbla("GELS", 1, f"trans={trans!r}")
+    if t == "T" and np.iscomplexobj(a):
+        t = "C"
+    m, n = a.shape
+    bmat = b if b.ndim == 2 else b[:, None]
+    if bmat.shape[0] < max(m, n):
+        xerbla("GELS", 3, "b must have max(m, n) rows")
+    if m >= n:
+        tau = geqrf(a)
+        if t == "N":
+            # b := Qᴴ b ; solve R x = b[:n].
+            ormqr("L", "C", a, tau, bmat[:m])
+            trsm(1, a[:n, :n], bmat[:n], side="L", uplo="U",
+                 transa="N", diag="N")
+        else:
+            # Minimum-norm solution of op(A) x = b: x = Q [R^{-H} b; 0].
+            trsm(1, a[:n, :n], bmat[:n], side="L", uplo="U",
+                 transa="C", diag="N")
+            bmat[n:m] = 0
+            ormqr("L", "N", a, tau, bmat[:m])
+    else:
+        tau = gelqf(a)
+        if t == "N":
+            # Minimum-norm: solve L y = b[:m]; x = Qᴴ [y; 0].
+            trsm(1, a[:m, :m], bmat[:m], side="L", uplo="L",
+                 transa="N", diag="N")
+            bmat[m:n] = 0
+            ormlq("L", "C", a, tau, bmat[:n])
+        else:
+            # Least squares for op(A): b := Q b ; solve Lᴴ x = b[:m].
+            ormlq("L", "N", a, tau, bmat[:n])
+            trsm(1, a[:m, :m], bmat[:m], side="L", uplo="L",
+                 transa="C", diag="N")
+    return 0
+
+
+def gelsx(a: np.ndarray, b: np.ndarray, rcond: float = -1.0,
+          jpvt: np.ndarray | None = None):
+    """Minimum-norm least squares by complete orthogonal factorization
+    (``xGELSX``): column-pivoted QR, rank decision at ``rcond``, then a
+    trapezoidal RZ reduction for the rank-deficient case.
+
+    Returns ``(rank, jpvt, info)``; the solution overwrites ``b[:n]``.
+    """
+    m, n = a.shape
+    bmat = b if b.ndim == 2 else b[:, None]
+    if bmat.shape[0] < max(m, n):
+        xerbla("GELSX", 2, "b must have max(m, n) rows")
+    if rcond < 0:
+        rcond = lamch("E", a.dtype)
+    perm, tau = geqpf(a, jpvt)
+    k = min(m, n)
+    if k == 0:
+        bmat[:n] = 0
+        return 0, perm, 0
+    # Rank decision: |r_jj| >= rcond * |r_00| (triangular-diagonal variant
+    # of LAPACK's incremental condition estimation — see DESIGN.md §7).
+    r00 = abs(a[0, 0])
+    if r00 == 0:
+        rank = 0
+        bmat[:n] = 0
+        return rank, perm, 0
+    diag = np.abs(np.diagonal(a)[:k])
+    rank = int(np.sum(diag >= rcond * r00))
+    # b := Qᴴ b.
+    ormqr("L", "C", a, tau, bmat[:m])
+    if rank < n:
+        # [R11 R12] (rank × n) = [T 0] Z.
+        ztau = tzrqf(a[:rank, :])
+    # Solve T y = c1.
+    trsm(1, a[:rank, :rank], bmat[:rank], side="L", uplo="U",
+         transa="N", diag="N")
+    bmat[rank:n] = 0
+    if rank < n:
+        # x(perm) = Zᴴ [y; 0]: apply G_0, G_1, … ascending (see tzrqf).
+        for i in range(rank):
+            v = a[i, rank:]
+            latzm("L", v, np.conj(ztau[i]), bmat[i:i + 1], bmat[rank:n])
+    # Undo the column permutation: x[perm[j]] = y[j].
+    out = np.empty_like(bmat[:n])
+    out[perm] = bmat[:n]
+    bmat[:n] = out
+    return rank, perm, 0
+
+
+def gelss(a: np.ndarray, b: np.ndarray, rcond: float = -1.0):
+    """Minimum-norm least squares via the SVD (``xGELSS``).
+
+    Returns ``(s, rank, info)`` — the singular values, the effective rank
+    at threshold ``rcond·s₁``, and the convergence code from the SVD.
+    The solution overwrites ``b[:n]``.
+    """
+    from .svd import gesvd
+    m, n = a.shape
+    bmat = b if b.ndim == 2 else b[:, None]
+    if bmat.shape[0] < max(m, n):
+        xerbla("GELSS", 2, "b must have max(m, n) rows")
+    if rcond < 0:
+        rcond = lamch("E", a.dtype)
+    s, u, vt, info = gesvd(a.copy(), jobu="S", jobvt="S")
+    if info != 0:
+        return s, 0, info
+    k = min(m, n)
+    if k == 0 or s[0] == 0:
+        bmat[:n] = 0
+        return s, 0, 0
+    thresh = rcond * s[0]
+    rank = int(np.sum(s > thresh))
+    # x = V Σ⁺ Uᴴ b.
+    c = np.conj(u[:, :rank].T) @ bmat[:m]
+    c /= s[:rank, None]
+    x = np.conj(vt[:rank, :].T) @ c
+    bmat[:n] = x
+    return s, rank, 0

@@ -1,0 +1,67 @@
+"""Machine parameters: the ``xLAMCH`` analogue, backed by ``np.finfo``.
+
+The paper's Appendix F reports ``the machine eps = 0.11921E-06`` — single
+precision epsilon — which is exactly ``lamch('E', np.float32)`` here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["lamch"]
+
+_FLOAT_FOR = {
+    np.dtype(np.float32): np.float32,
+    np.dtype(np.float64): np.float64,
+    np.dtype(np.complex64): np.float32,
+    np.dtype(np.complex128): np.float64,
+}
+
+
+def lamch(cmach: str, dtype=np.float64) -> float:
+    """Return a machine parameter for the real type underlying ``dtype``.
+
+    Supported queries (LAPACK letters):
+
+    * ``'E'`` — relative machine epsilon (LAPACK's eps = ulp/2 convention
+      is *not* used; we return ``np.finfo.eps``, matching the value the
+      paper prints for single precision),
+    * ``'S'`` — safe minimum, such that 1/S does not overflow,
+    * ``'P'`` — precision, ``eps * base``,
+    * ``'U'`` — underflow threshold (smallest normal),
+    * ``'O'`` — overflow threshold,
+    * ``'B'`` — base of the machine,
+    * ``'M'`` — minimum exponent, ``'L'`` — maximum exponent,
+    * ``'N'`` — number of digits in the mantissa,
+    * ``'R'`` — 1.0 if rounding occurs in addition.
+    """
+    real = _FLOAT_FOR[np.dtype(dtype)]
+    fi = np.finfo(real)
+    c = cmach.upper()[0]
+    if c == "E":
+        return float(fi.eps)
+    if c == "S":
+        sfmin = float(fi.tiny)
+        small = 1.0 / float(fi.max)
+        if small >= sfmin:
+            # Use SMALL plus a bit, to avoid the possibility of rounding
+            # causing overflow when computing 1/sfmin (LAPACK comment).
+            sfmin = small * (1.0 + float(fi.eps))
+        return sfmin
+    if c == "P":
+        return float(fi.eps) * 2.0
+    if c == "U":
+        return float(fi.tiny)
+    if c == "O":
+        return float(fi.max)
+    if c == "B":
+        return 2.0
+    if c == "M":
+        return float(fi.minexp)
+    if c == "L":
+        return float(fi.maxexp)
+    if c == "N":
+        return float(fi.nmant + 1)
+    if c == "R":
+        return 1.0
+    raise ValueError(f"unknown machine parameter query {cmach!r}")

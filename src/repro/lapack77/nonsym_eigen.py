@@ -1,0 +1,215 @@
+"""Nonsymmetric eigen drivers: ``xGEES``/``xGEEV`` and their expert
+variants ``xGEESX``/``xGEEVX``.
+
+Pipeline: balance (``gebal``) → Hessenberg (``gehrd``/``orghr``) →
+Francis QR (``hseqr``) → eigenvectors (``trevc``) / reordering +
+condition numbers (``trsen``) → back-transform (``gebak``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import xerbla
+from .hessenberg import gebak, gebal, gehrd, orghr
+from .schur import eig_of_schur, hseqr, trevc, trsen, trsyl
+from .lacon import lacon
+from .machine import lamch
+
+__all__ = ["gees", "geev", "geesx", "geevx"]
+
+
+def gees(a: np.ndarray, jobvs: str = "N", select=None):
+    """Schur factorization ``A = Z T Zᴴ`` (``xGEES``).
+
+    ``a`` is overwritten with the (quasi-)triangular Schur form T.
+    ``select``, when given, is a callable on eigenvalues (complex scalar →
+    bool); the selected eigenvalues are reordered to the top left and
+    their count returned as ``sdim``.
+
+    Returns ``(w, vs, sdim, info)``: eigenvalues, Schur vectors (``None``
+    if not requested), selected-count, convergence code.
+    """
+    if jobvs.upper() not in ("N", "V"):
+        xerbla("GEES", 1, f"jobvs={jobvs!r}")
+    n = a.shape[0]
+    wantvs = jobvs.upper() == "V" or select is not None
+    if n == 0:
+        return (np.zeros(0, dtype=complex),
+                np.zeros((0, 0), dtype=a.dtype) if wantvs else None, 0, 0)
+    # Balancing with permutations only: scaling would change T itself,
+    # and GEES must return a genuine factorization of A.
+    ilo, ihi, scale = gebal(a, job="P")
+    tau = gehrd(a, ilo, ihi)
+    z = orghr(a, tau, ilo, ihi) if wantvs else None
+    # Clear the sub-Hessenberg part (reflector storage).
+    for j in range(n - 2):
+        a[j + 2:, j] = 0
+    w, info = hseqr(a, z, ilo, ihi, wantt=True)
+    sdim = 0
+    if info == 0 and select is not None:
+        mask = np.array([bool(select(val)) for val in w])
+        # A complex-pair block must be moved as a unit.
+        if not np.iscomplexobj(a):
+            for j in range(n - 1):
+                if a[j + 1, j] != 0 and (mask[j] or mask[j + 1]):
+                    mask[j] = mask[j + 1] = True
+        w, sdim, s_cond, sep, rinfo = trsen(a, z, mask.copy())
+        if rinfo and info == 0:
+            info = 0  # reordering failures are soft here (LAPACK: info=n+1)
+    if z is not None:
+        gebak(z, ilo, ihi, scale, job="P", side="R")
+        # gebak permutes eigenvector rows; Schur vectors need the same.
+    w = eig_of_schur(a) if info == 0 else w
+    return w, (z if jobvs.upper() == "V" else None), sdim, info
+
+
+def geev(a: np.ndarray, jobvl: str = "N", jobvr: str = "N"):
+    """Eigenvalues and eigenvectors of a general matrix (``xGEEV``).
+
+    Returns ``(w, vl, vr, info)``: complex eigenvalues, unit-norm left and
+    right eigenvectors as columns of complex matrices (``None`` when not
+    requested).  ``a`` is destroyed.
+    """
+    if jobvl.upper() not in ("N", "V"):
+        xerbla("GEEV", 1, f"jobvl={jobvl!r}")
+    if jobvr.upper() not in ("N", "V"):
+        xerbla("GEEV", 2, f"jobvr={jobvr!r}")
+    n = a.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=complex), None, None, 0
+    wantvl = jobvl.upper() == "V"
+    wantvr = jobvr.upper() == "V"
+    wantv = wantvl or wantvr
+    ilo, ihi, scale = gebal(a, job="B")
+    tau = gehrd(a, ilo, ihi)
+    z = orghr(a, tau, ilo, ihi) if wantv else None
+    for j in range(n - 2):
+        a[j + 2:, j] = 0
+    w, info = hseqr(a, z, ilo, ihi, wantt=wantv)
+    vl = vr = None
+    if info == 0 and wantv:
+        if wantvr:
+            vr = trevc(a, z, side="R")
+            gebak(vr, ilo, ihi, scale, job="B", side="R")
+            _normalize_columns(vr)
+        if wantvl:
+            vl = trevc(a, z, side="L")
+            gebak(vl, ilo, ihi, scale, job="B", side="L")
+            _normalize_columns(vl)
+    return w, vl, vr, info
+
+
+def _normalize_columns(v: np.ndarray) -> None:
+    for j in range(v.shape[1]):
+        nrm = np.linalg.norm(v[:, j])
+        if nrm > 0:
+            v[:, j] /= nrm
+            k = int(np.argmax(np.abs(v[:, j])))
+            piv = v[k, j]
+            if piv != 0:
+                v[:, j] *= np.conj(piv) / abs(piv)
+
+
+def geesx(a: np.ndarray, jobvs: str = "N", select=None, sense: str = "B"):
+    """Expert Schur driver (``xGEESX``): ordered Schur factorization plus
+    reciprocal condition numbers.
+
+    Returns ``(w, vs, sdim, rconde, rcondv, info)`` where ``rconde``
+    bounds the average of the selected cluster and ``rcondv`` the right
+    invariant subspace (both 1.0 / 0.0 when no ordering requested).
+    """
+    s = sense.upper()
+    if s not in ("N", "E", "V", "B"):
+        xerbla("GEESX", 3, f"sense={sense!r}")
+    n = a.shape[0]
+    wantvs = jobvs.upper() == "V" or select is not None
+    if n == 0:
+        return np.zeros(0, dtype=complex), None, 0, 1.0, 0.0, 0
+    ilo, ihi, scale = gebal(a, job="P")
+    tau = gehrd(a, ilo, ihi)
+    z = orghr(a, tau, ilo, ihi) if wantvs else None
+    for j in range(n - 2):
+        a[j + 2:, j] = 0
+    w, info = hseqr(a, z, ilo, ihi, wantt=True)
+    sdim = 0
+    rconde, rcondv = 1.0, 0.0
+    if info == 0 and select is not None:
+        mask = np.array([bool(select(val)) for val in w])
+        if not np.iscomplexobj(a):
+            for j in range(n - 1):
+                if a[j + 1, j] != 0 and (mask[j] or mask[j + 1]):
+                    mask[j] = mask[j + 1] = True
+        w, sdim, s_cond, sep, rinfo = trsen(a, z, mask.copy())
+        if s in ("E", "B"):
+            rconde = s_cond
+        if s in ("V", "B"):
+            rcondv = sep
+    if z is not None:
+        gebak(z, ilo, ihi, scale, job="P", side="R")
+    if info == 0:
+        w = eig_of_schur(a)
+    return w, (z if jobvs.upper() == "V" else None), sdim, rconde, rcondv, \
+        info
+
+
+def geevx(a: np.ndarray, jobvl: str = "N", jobvr: str = "N",
+          balanc: str = "B", sense: str = "B"):
+    """Expert eigen driver (``xGEEVX``): eigenvalues/vectors plus
+    balancing data and per-eigenvalue condition numbers.
+
+    Returns ``(w, vl, vr, ilo, ihi, scale, abnrm, rconde, rcondv, info)``:
+
+    * ``rconde[i]`` — reciprocal condition of eigenvalue *i*
+      (``|yᴴ x| / (‖x‖‖y‖)`` with x/y right/left eigenvectors),
+    * ``rcondv[i]`` — reciprocal condition of eigenvector *i* (a
+      separation estimate via Sylvester solves, LAPACK's approach).
+    """
+    b = balanc.upper()
+    if b not in ("N", "P", "S", "B"):
+        xerbla("GEEVX", 3, f"balanc={balanc!r}")
+    n = a.shape[0]
+    if n == 0:
+        return (np.zeros(0, dtype=complex), None, None, 0, -1,
+                np.ones(0), 0.0, np.ones(0), np.ones(0), 0)
+    abnrm = float(np.abs(a).sum(axis=0).max()) if n else 0.0
+    ilo, ihi, scale = gebal(a, job=b)
+    abnrm_balanced = float(np.abs(a).sum(axis=0).max())
+    tau = gehrd(a, ilo, ihi)
+    z = orghr(a, tau, ilo, ihi)
+    for j in range(n - 2):
+        a[j + 2:, j] = 0
+    w, info = hseqr(a, z, ilo, ihi, wantt=True)
+    vl = vr = None
+    rconde = np.ones(n)
+    rcondv = np.zeros(n)
+    if info == 0:
+        # Always compute both eigenvector sets for the condition numbers.
+        vr_t = trevc(a, z, side="R")
+        vl_t = trevc(a, z, side="L")
+        if sense.upper() in ("E", "B", "V"):
+            for i in range(n):
+                x = vr_t[:, i]
+                y = vl_t[:, i]
+                denom = np.linalg.norm(x) * np.linalg.norm(y)
+                rconde[i] = float(abs(np.vdot(y, x)) / denom) \
+                    if denom > 0 else 0.0
+            # rcondv: sep estimate per eigenvalue — distance of w[i] to the
+            # rest of the spectrum scaled by the projector norm (cheap
+            # variant of LAPACK's Sylvester-based bound for 1×1 blocks).
+            for i in range(n):
+                others = np.delete(w, i)
+                if others.size:
+                    gap = float(np.min(np.abs(others - w[i])))
+                else:
+                    gap = float(abs(w[i])) if w[i] != 0 else 1.0
+                rcondv[i] = gap * rconde[i]
+        if jobvr.upper() == "V":
+            vr = vr_t
+            gebak(vr, ilo, ihi, scale, job=b, side="R")
+            _normalize_columns(vr)
+        if jobvl.upper() == "V":
+            vl = vl_t
+            gebak(vl, ilo, ihi, scale, job=b, side="L")
+            _normalize_columns(vl)
+    return w, vl, vr, ilo, ihi, scale, abnrm, rconde, rcondv, info

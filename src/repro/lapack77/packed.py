@@ -1,0 +1,247 @@
+"""Packed-storage solvers: positive definite (``xPPTRF/xPPTRS/xPPSV``) and
+symmetric/Hermitian indefinite (``xSPTRF/xSPSV``, ``xHPTRF/xHPSV``), with
+condition estimation and refinement.
+
+Substrate for the paper's ``LA_PPSV``/``LA_PPSVX``/``LA_SPSV``/``LA_HPSV``.
+
+Implementation note (documented deviation, DESIGN.md §7): LAPACK's packed
+routines run the factorizations directly on the packed array to stay within
+``n(n+1)/2`` storage.  Here each packed routine round-trips through the
+dense kernel (unpack → factor → repack), which preserves every numerical
+and interface behaviour — identical factors, pivots, info codes — at the
+cost of a transient dense buffer.  The packed array is still updated in
+place with the packed factor, so factor/solve call sequences work exactly
+as in LAPACK.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import xerbla
+from ..storage import pack, packed_size, unpack
+from .chol import potrf
+from .lacon import lacon
+from .machine import lamch
+from .sym_indef import sytf2, sytrs
+
+__all__ = ["pptrf", "pptrs", "ppsv", "ppcon", "pprfs", "ppequ",
+           "sptrf", "sptrs", "spsv", "spcon",
+           "hptrf", "hptrs", "hpsv", "hpcon"]
+
+
+def _order_from_packed(ap: np.ndarray) -> int:
+    ln = ap.shape[0]
+    n = int((np.sqrt(8.0 * ln + 1.0) - 1.0) / 2.0 + 0.5)
+    if packed_size(n) != ln:
+        xerbla("PPTRF", 2, "packed array length is not n(n+1)/2")
+    return n
+
+
+def pptrf(ap: np.ndarray, uplo: str = "U") -> int:
+    """Cholesky factorization in packed storage (in place).
+
+    Returns ``info``.
+    """
+    if uplo.upper() not in ("U", "L"):
+        xerbla("PPTRF", 1, f"uplo={uplo!r}")
+    n = _order_from_packed(ap)
+    full = unpack(ap, n, uplo=uplo)
+    info = potrf(full, uplo)
+    if info == 0:
+        ap[...] = pack(np.triu(full) if uplo.upper() == "U"
+                       else np.tril(full), uplo=uplo)
+    return info
+
+
+def pptrs(ap: np.ndarray, b: np.ndarray, uplo: str = "U") -> int:
+    """Solve from the packed Cholesky factor (B in place)."""
+    from .chol import potrs
+    n = b.shape[0]
+    full = unpack(ap, n, uplo=uplo)
+    return potrs(full, b, uplo)
+
+
+def ppsv(ap: np.ndarray, b: np.ndarray, uplo: str = "U") -> int:
+    """Solve a packed SPD/HPD system (``xPPSV``); returns ``info``."""
+    info = pptrf(ap, uplo)
+    if info == 0:
+        pptrs(ap, b, uplo)
+    return info
+
+
+def ppcon(ap: np.ndarray, anorm: float, uplo: str = "U"):
+    """Reciprocal condition estimate from the packed Cholesky factor."""
+    ln = ap.shape[0]
+    n = int((np.sqrt(8.0 * ln + 1.0) - 1.0) / 2.0 + 0.5)
+    if n == 0:
+        return 1.0, 0
+    if anorm == 0:
+        return 0.0, 0
+
+    def solve(x):
+        y = x.copy()
+        pptrs(ap, y, uplo=uplo)
+        return y
+
+    est = lacon(n, solve, solve, dtype=ap.dtype)
+    return (1.0 / (est * anorm) if est else 0.0), 0
+
+
+def pprfs(ap_orig: np.ndarray, afp: np.ndarray, b: np.ndarray, x: np.ndarray,
+          uplo: str = "U", itmax: int = 5):
+    """Refinement + error bounds for packed SPD systems (``xPPRFS``)."""
+    n = b.shape[0]
+    hermitian = np.iscomplexobj(ap_orig)
+    full = unpack(ap_orig, n, uplo=uplo, symmetric=not hermitian,
+                  hermitian=hermitian)
+    bmat = b if b.ndim == 2 else b[:, None]
+    xmat = x if x.ndim == 2 else x[:, None]
+    nrhs = bmat.shape[1]
+    ferr = np.zeros(nrhs)
+    berr = np.zeros(nrhs)
+    if n == 0 or nrhs == 0:
+        return ferr, berr, 0
+    eps = lamch("E", ap_orig.dtype)
+    safmin = lamch("S", ap_orig.dtype)
+    safe1 = (n + 1) * safmin
+    safe2 = safe1 / eps
+    absa = np.abs(full)
+    for j in range(nrhs):
+        count, lstres = 1, 3.0
+        while True:
+            r = bmat[:, j] - full @ xmat[:, j]
+            denom = absa @ np.abs(xmat[:, j]) + np.abs(bmat[:, j])
+            num = np.abs(r)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratios = np.where(denom > safe2, num / denom,
+                                  (num + safe1) / (denom + safe1))
+            berr[j] = float(np.max(ratios))
+            if berr[j] > eps and berr[j] <= 0.5 * lstres and count <= itmax:
+                dx = r.copy()
+                pptrs(afp, dx, uplo=uplo)
+                xmat[:, j] += dx
+                lstres = berr[j]
+                count += 1
+            else:
+                break
+        r = bmat[:, j] - full @ xmat[:, j]
+        f = np.abs(r) + (n + 1) * eps * (absa @ np.abs(xmat[:, j])
+                                         + np.abs(bmat[:, j]))
+        f = np.where(f > safe2, f, f + safe1)
+
+        def mv(v):
+            w = f * v
+            pptrs(afp, w, uplo=uplo)
+            return w
+
+        est = lacon(n, mv, mv, dtype=ap_orig.dtype)
+        xnorm = float(np.max(np.abs(xmat[:, j])))
+        ferr[j] = est / xnorm if xnorm > 0 else est
+    return ferr, berr, 0
+
+
+def ppequ(ap: np.ndarray, n: int, uplo: str = "U"):
+    """Equilibration scalings for a packed SPD matrix (``xPPEQU``).
+
+    Returns ``(s, scond, amax, info)``.
+    """
+    full = unpack(ap, n, uplo=uplo)
+    d = full.diagonal().real
+    s = np.zeros(n)
+    if n == 0:
+        return s, 1.0, 0.0, 0
+    amax = float(np.abs(d).max())
+    bad = np.where(d <= 0)[0]
+    if bad.size:
+        return s, 0.0, amax, int(bad[0]) + 1
+    s = 1.0 / np.sqrt(d)
+    scond = float(np.sqrt(d.min()) / np.sqrt(d.max()))
+    return s, scond, float(d.max()), 0
+
+
+def _packed_indef_trf(ap: np.ndarray, uplo: str, hermitian: bool):
+    n = _order_from_packed(ap)
+    full = unpack(ap, n, uplo=uplo)
+    ipiv, info = sytf2(full, uplo=uplo, hermitian=hermitian)
+    ap[...] = pack(np.triu(full) if uplo.upper() == "U" else np.tril(full),
+                   uplo=uplo)
+    return ipiv, info
+
+
+def sptrf(ap: np.ndarray, uplo: str = "U"):
+    """Packed Bunch–Kaufman factorization, symmetric (``xSPTRF``).
+
+    Returns ``(ipiv, info)``; ``ap`` holds the packed factor on exit.
+    """
+    return _packed_indef_trf(ap, uplo, hermitian=False)
+
+
+def hptrf(ap: np.ndarray, uplo: str = "U"):
+    """Packed Bunch–Kaufman factorization, Hermitian (``xHPTRF``)."""
+    return _packed_indef_trf(ap, uplo, hermitian=True)
+
+
+def sptrs(ap: np.ndarray, ipiv: np.ndarray, b: np.ndarray,
+          uplo: str = "U", hermitian: bool = False) -> int:
+    """Solve from packed Bunch–Kaufman factors (B in place)."""
+    n = b.shape[0]
+    full = unpack(ap, n, uplo=uplo)
+    return sytrs(full, ipiv, b, uplo=uplo, hermitian=hermitian)
+
+
+def hptrs(ap, ipiv, b, uplo="U"):
+    """Hermitian variant of :func:`sptrs`."""
+    return sptrs(ap, ipiv, b, uplo=uplo, hermitian=True)
+
+
+def spsv(ap: np.ndarray, b: np.ndarray, uplo: str = "U"):
+    """Solve a packed symmetric indefinite system (``xSPSV``).
+
+    Returns ``(ipiv, info)``.
+    """
+    ipiv, info = sptrf(ap, uplo)
+    if info == 0:
+        sptrs(ap, ipiv, b, uplo)
+    return ipiv, info
+
+
+def hpsv(ap: np.ndarray, b: np.ndarray, uplo: str = "U"):
+    """Solve a packed Hermitian indefinite system (``xHPSV``).
+
+    Returns ``(ipiv, info)``.
+    """
+    ipiv, info = hptrf(ap, uplo)
+    if info == 0:
+        hptrs(ap, ipiv, b, uplo)
+    return ipiv, info
+
+
+def spcon(ap, ipiv, anorm, uplo="U", hermitian=False):
+    """Reciprocal condition estimate from packed indefinite factors."""
+    ln = ap.shape[0]
+    n = int((np.sqrt(8.0 * ln + 1.0) - 1.0) / 2.0 + 0.5)
+    if n == 0:
+        return 1.0, 0
+    if anorm == 0:
+        return 0.0, 0
+
+    def solve(x):
+        y = x.copy()
+        sptrs(ap, ipiv, y, uplo=uplo, hermitian=hermitian)
+        return y
+
+    if hermitian or not np.iscomplexobj(ap):
+        est = lacon(n, solve, solve, dtype=ap.dtype)
+    else:
+        def solve_h(x):
+            y = np.conj(x)
+            sptrs(ap, ipiv, y, uplo=uplo, hermitian=False)
+            return np.conj(y)
+        est = lacon(n, solve, solve_h, dtype=ap.dtype)
+    return (1.0 / (est * anorm) if est else 0.0), 0
+
+
+def hpcon(ap, ipiv, anorm, uplo="U"):
+    """Hermitian variant of :func:`spcon`."""
+    return spcon(ap, ipiv, anorm, uplo=uplo, hermitian=True)

@@ -1,0 +1,234 @@
+"""QR/LQ factorizations and orthogonal-factor application:
+``xGEQRF/xORGQR/xORMQR`` and ``xGELQF/xORGLQ/xORMLQ``.
+
+Householder reflectors are stored exactly as in LAPACK: reflector *i*
+lives below the diagonal of column *i* (QR) or right of the diagonal of
+row *i* (LQ), with the scalar factors in ``tau``.  Blocked variants use
+the compact WY representation (``larft``/``larfb``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ilaenv
+from ..errors import xerbla
+from .householder import larf_left, larf_right, larfb, larfg, larft
+
+__all__ = ["geqr2", "geqrf", "orgqr", "ungqr", "ormqr", "unmqr",
+           "gelq2", "gelqf", "orglq", "unglq", "ormlq", "unmlq"]
+
+
+def geqr2(a: np.ndarray):
+    """Unblocked QR factorization (in place). Returns ``tau``."""
+    m, n = a.shape
+    k = min(m, n)
+    tau = np.zeros(k, dtype=a.dtype)
+    for i in range(k):
+        beta, t = larfg(a[i, i], a[i + 1:, i])
+        tau[i] = t
+        a[i, i] = beta
+        if i < n - 1 and t != 0:
+            v = np.empty(m - i, dtype=a.dtype)
+            v[0] = 1
+            v[1:] = a[i + 1:, i]
+            larf_left(v, np.conj(t), a[i:, i + 1:])
+    return tau
+
+
+def geqrf(a: np.ndarray):
+    """Blocked QR factorization ``A = Q R`` (in place). Returns ``tau``.
+
+    On exit the upper triangle holds R; the reflectors live below the
+    diagonal.
+    """
+    m, n = a.shape
+    k = min(m, n)
+    nb = ilaenv(1, "geqrf")
+    if nb <= 1 or k <= nb:
+        return geqr2(a)
+    tau = np.zeros(k, dtype=a.dtype)
+    for i in range(0, k, nb):
+        ib = min(nb, k - i)
+        tau[i:i + ib] = geqr2(a[i:, i:i + ib])
+        if i + ib < n:
+            # Build V (unit lower trapezoidal) and apply the block reflector
+            # Hᴴ to the trailing columns.
+            v = np.tril(a[i:, i:i + ib], -1)
+            np.fill_diagonal(v, 1)
+            t = larft("F", "C", v, tau[i:i + ib])
+            larfb("L", "C", v, t, a[i:, i + ib:])
+    return tau
+
+
+def orgqr(a: np.ndarray, tau: np.ndarray, ncols: int | None = None) -> np.ndarray:
+    """Generate the explicit Q with orthonormal columns from ``geqrf``
+    output (in place over ``a``).
+
+    ``a`` is m×n (n ≤ m); the first ``len(tau)`` columns hold reflectors.
+    Returns ``a`` containing Q (m×n).
+    """
+    m, n = a.shape
+    k = len(tau)
+    if n > m:
+        xerbla("ORGQR", 2, "need n <= m")
+    if k > n:
+        xerbla("ORGQR", 3, "need k <= n")
+    # Initialise columns k..n-1 to unit vectors, then accumulate H_i.
+    a[:, k:] = 0
+    for j in range(k, n):
+        a[j, j] = 1
+    for i in range(k - 1, -1, -1):
+        v = np.empty(m - i, dtype=a.dtype)
+        v[0] = 1
+        v[1:] = a[i + 1:, i]
+        if i < n - 1:
+            larf_left(v, tau[i], a[i:, i + 1:])
+        a[i:, i] = -tau[i] * v
+        a[i, i] += 1
+        a[:i, i] = 0
+    return a
+
+
+def ungqr(a, tau, ncols=None):
+    """Complex alias of :func:`orgqr` (LAPACK naming)."""
+    return orgqr(a, tau, ncols)
+
+
+def ormqr(side: str, trans: str, a: np.ndarray, tau: np.ndarray,
+          c: np.ndarray) -> np.ndarray:
+    """Multiply C by Q (or Qᴴ) from a ``geqrf`` factorization, in place.
+
+    ``side='L'``: C := op(Q) C; ``side='R'``: C := C op(Q).
+    ``trans``: 'N' for Q, 'T'/'C' for Qᴴ (transpose == conjugate transpose
+    here since Q's reflectors already encode the conjugation rules).
+    """
+    s = side.upper()
+    t = trans.upper()
+    if s not in ("L", "R"):
+        xerbla("ORMQR", 1, f"side={side!r}")
+    if t not in ("N", "T", "C"):
+        xerbla("ORMQR", 2, f"trans={trans!r}")
+    k = len(tau)
+    m = a.shape[0]
+    # Q = H_0 H_1 ... H_{k-1}.
+    # Left,  N: apply H_{k-1} .. H_0  -> iterate i descending
+    # Left,  C: apply H_0ᴴ .. H_{k-1}ᴴ -> ascending with conj(tau)
+    # Right, N: C Q = C H_0 ... -> ascending
+    # Right, C: C Qᴴ = C H_{k-1}ᴴ ... -> descending with conj(tau)
+    forward = (s == "L") != (t == "N")
+    order = range(k) if forward else range(k - 1, -1, -1)
+    for i in order:
+        v = np.empty(m - i, dtype=a.dtype)
+        v[0] = 1
+        v[1:] = a[i + 1:, i]
+        ti = np.conj(tau[i]) if t in ("T", "C") else tau[i]
+        if s == "L":
+            larf_left(v, ti, c[i:, :])
+        else:
+            larf_right(v, ti, c[:, i:])
+    return c
+
+
+def unmqr(side, trans, a, tau, c):
+    """Complex alias of :func:`ormqr`."""
+    return ormqr(side, trans, a, tau, c)
+
+
+def gelq2(a: np.ndarray):
+    """Unblocked LQ factorization (in place). Returns ``tau``.
+
+    On exit the lower triangle holds L; reflector *i* is stored in row *i*
+    right of the diagonal.  Matches LAPACK: for complex data the reflector
+    annihilates the *conjugated* row.
+    """
+    m, n = a.shape
+    k = min(m, n)
+    tau = np.zeros(k, dtype=a.dtype)
+    complex_case = np.iscomplexobj(a)
+    for i in range(k):
+        if complex_case:
+            a[i, i:] = np.conj(a[i, i:])
+        beta, t = larfg(a[i, i], a[i, i + 1:])
+        tau[i] = t
+        a[i, i] = beta
+        if i < m - 1 and t != 0:
+            v = np.empty(n - i, dtype=a.dtype)
+            v[0] = 1
+            v[1:] = a[i, i + 1:]
+            larf_right(v, t, a[i + 1:, i:])
+        if complex_case:
+            a[i, i + 1:] = np.conj(a[i, i + 1:])
+    return tau
+
+
+def gelqf(a: np.ndarray):
+    """LQ factorization ``A = L Q`` (in place). Returns ``tau``."""
+    return gelq2(a)
+
+
+def orglq(a: np.ndarray, tau: np.ndarray) -> np.ndarray:
+    """Generate the explicit Q with orthonormal rows from ``gelqf`` output
+    (in place; ``a`` is m×n with m ≤ n). Returns ``a`` containing Q."""
+    m, n = a.shape
+    k = len(tau)
+    if m > n:
+        xerbla("ORGLQ", 1, "need m <= n")
+    complex_case = np.iscomplexobj(a)
+    a[k:, :] = 0
+    for j in range(k, m):
+        a[j, j] = 1
+    for i in range(k - 1, -1, -1):
+        v = np.empty(n - i, dtype=a.dtype)
+        v[0] = 1
+        v[1:] = np.conj(a[i, i + 1:]) if complex_case else a[i, i + 1:]
+        if i < m - 1:
+            larf_right(v, np.conj(tau[i]), a[i + 1:, i:])
+        a[i, i:] = -np.conj(tau[i]) * np.conj(v)
+        a[i, i] += 1
+        a[i, :i] = 0
+    return a
+
+
+def unglq(a, tau):
+    """Complex alias of :func:`orglq`."""
+    return orglq(a, tau)
+
+
+def ormlq(side: str, trans: str, a: np.ndarray, tau: np.ndarray,
+          c: np.ndarray) -> np.ndarray:
+    """Multiply C by the Q of an LQ factorization (or its adjoint), in place.
+
+    ``Q = H_{k-1}ᴴ ... H_0ᴴ`` in LAPACK's convention for complex LQ
+    (plain ``H_{k-1} ... H_0`` for real).
+    """
+    s = side.upper()
+    t = trans.upper()
+    if s not in ("L", "R"):
+        xerbla("ORMLQ", 1, f"side={side!r}")
+    if t not in ("N", "T", "C"):
+        xerbla("ORMLQ", 2, f"trans={trans!r}")
+    k = len(tau)
+    n = a.shape[1]
+    complex_case = np.iscomplexobj(a)
+    # Q = H(k-1)' ... H(0)' where H(i) uses v from row i (conjugated for
+    # complex).  Application order mirrors ormqr with roles flipped.
+    forward = (s == "L") == (t == "N")
+    order = range(k) if forward else range(k - 1, -1, -1)
+    for i in order:
+        v = np.empty(n - i, dtype=a.dtype)
+        v[0] = 1
+        v[1:] = np.conj(a[i, i + 1:]) if complex_case else a[i, i + 1:]
+        # Complex Q is built from H(i)ᴴ factors, so applying Q uses
+        # conj(tau) and applying Qᴴ uses tau itself.
+        ti = np.conj(tau[i]) if (t == "N" and complex_case) else tau[i]
+        if s == "L":
+            larf_left(v, ti, c[i:, :])
+        else:
+            larf_right(v, ti, c[:, i:])
+    return c
+
+
+def unmlq(side, trans, a, tau, c):
+    """Complex alias of :func:`ormlq`."""
+    return ormlq(side, trans, a, tau, c)

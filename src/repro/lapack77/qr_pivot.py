@@ -1,0 +1,128 @@
+"""Column-pivoted QR (``xGEQPF``) and trapezoidal RZ factorization
+(``xTZRQF``) — the rank-revealing machinery under ``xGELSX``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .householder import larf_left, larfg
+
+__all__ = ["geqpf", "tzrqf", "latzm"]
+
+
+def geqpf(a: np.ndarray, jpvt: np.ndarray | None = None):
+    """QR factorization with column pivoting: ``A P = Q R`` (in place).
+
+    ``jpvt`` (0-based) enters with fixed-column markers LAPACK-style
+    (nonzero = move to front); passing ``None`` treats all columns as free.
+    Returns ``(jpvt, tau)`` where ``jpvt[j]`` is the index of the original
+    column now in position ``j``.
+    """
+    m, n = a.shape
+    k = min(m, n)
+    tau = np.zeros(k, dtype=a.dtype)
+    perm = np.arange(n)
+    if jpvt is not None:
+        # Move the marked columns to the front, preserving order.
+        fixed = [j for j in range(n) if jpvt[j]]
+        free = [j for j in range(n) if not jpvt[j]]
+        order = fixed + free
+        a[:, :] = a[:, order]
+        perm = np.array(order)
+        nfixed = len(fixed)
+    else:
+        nfixed = 0
+    # Partial column norms.
+    norms = np.linalg.norm(a, axis=0).astype(np.float64)
+    norms2 = norms.copy()
+    for i in range(k):
+        if i >= nfixed:
+            # Pivot: bring the column with largest partial norm to front.
+            p = i + int(np.argmax(norms[i:]))
+            if p != i:
+                a[:, [i, p]] = a[:, [p, i]]
+                perm[[i, p]] = perm[[p, i]]
+                norms[p] = norms[i]
+                norms2[p] = norms2[i]
+        beta, t = larfg(a[i, i], a[i + 1:, i])
+        tau[i] = t
+        a[i, i] = beta
+        if i < n - 1:
+            v = np.empty(m - i, dtype=a.dtype)
+            v[0] = 1
+            v[1:] = a[i + 1:, i]
+            larf_left(v, np.conj(t), a[i:, i + 1:])
+            # Downdate the partial norms with recomputation safeguard.
+            for j in range(i + 1, n):
+                if norms[j] != 0:
+                    temp = 1.0 - (abs(a[i, j]) / norms[j]) ** 2
+                    temp = max(temp, 0.0)
+                    temp2 = 1.0 + 0.05 * temp * (norms[j] / norms2[j]) ** 2 \
+                        if norms2[j] != 0 else 1.0
+                    if temp2 == 1.0:
+                        norms[j] = float(np.linalg.norm(a[i + 1:, j]))
+                        norms2[j] = norms[j]
+                    else:
+                        norms[j] = norms[j] * np.sqrt(temp)
+    return perm, tau
+
+
+def tzrqf(a: np.ndarray):
+    """Reduce an upper trapezoidal m×n matrix (m ≤ n) to upper triangular
+    form: ``A = [R 0] Z`` with Z unitary (in place).
+
+    Convention (self-consistent with :func:`latzm` — see ``gelsx``):
+    step *k* builds ``G_k = I − conj(tau_k) u u^H`` with
+    ``u = e_k + Σ v_j e_{m+j}`` and applies it from the right, so that
+    ``Z = G_0ᴴ G_1ᴴ ··· G_{m-1}ᴴ`` and ``Zᴴ w`` is computed by applying
+    ``G_0, G_1, …`` in ascending order via ``latzm`` with ``conj(tau)``.
+
+    Row *k*'s reflector vector ``v`` is stored in ``a[k, m:]``; returns
+    ``tau``.
+    """
+    m, n = a.shape
+    if m > n:
+        raise ValueError("tzrqf requires m <= n")
+    tau = np.zeros(m, dtype=a.dtype)
+    if m == n:
+        return tau
+    cplx = np.iscomplexobj(a)
+    for k in range(m - 1, -1, -1):
+        # Reflector for the conjugated row: annihilates x below alpha in
+        # H' [alpha; x] = [beta; 0]; then G = H'ᴴ zeroes the row from the
+        # right.
+        alpha = np.conj(a[k, k]) if cplx else a[k, k]
+        xvec = np.conj(a[k, m:]) if cplx else a[k, m:].copy()
+        beta, t = larfg(alpha, xvec)
+        tau[k] = t
+        v = xvec  # larfg overwrote xvec with v
+        if t != 0 and k > 0:
+            # Rows 0..k-1, columns (k, m:):  A := A · G.
+            s = a[:k, k] + a[:k, m:] @ v
+            ct = np.conj(t)
+            a[:k, k] -= ct * s
+            a[:k, m:] -= ct * np.outer(s, np.conj(v))
+        a[k, k] = np.conj(beta) if cplx else beta
+        a[k, m:] = v
+    return tau
+
+
+def latzm(side: str, v: np.ndarray, tau, c1: np.ndarray, c2: np.ndarray):
+    """Apply the ``tzrqf`` reflector ``H = I − tau [1; v] [1; v]ᴴ`` to
+    ``[C1; C2]`` (side='L') or ``[C1, C2]`` (side='R'), in place.
+
+    ``v`` is the stored trailing part of the reflector.
+    """
+    if tau == 0:
+        return
+    if side.upper() == "L":
+        # w = C1 + vᴴ C2 ;  C1 -= tau w ; C2 -= tau v w
+        w = c1 + np.conj(v) @ c2
+        c1 -= tau * w
+        c2 -= tau * np.outer(v, w)
+    else:
+        # w = C1 + C2 v ; C1 -= tau w ; C2 -= tau w vᴴ
+        w = c1 + c2 @ v
+        c1 -= tau * w
+        c2 -= tau * np.outer(w, np.conj(v))

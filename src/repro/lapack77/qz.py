@@ -1,0 +1,281 @@
+"""Generalized nonsymmetric eigenproblem: QZ algorithm
+(``xGGHRD`` + ``xHGEQZ``) and the drivers ``xGEGS``/``xGEGV``.
+
+Implementation note (DESIGN.md §7): the iteration is the single-shift
+complex QZ of Moler & Stewart.  Real input is promoted to complex, so for
+real pencils ``gegs`` returns a (complex) triangular generalized Schur
+form rather than LAPACK's real quasi-triangular one — the same
+factorization over ℂ, exercising the same interface.  Eigenvalues are
+returned as ``(alpha, beta)`` pairs, never forming ``alpha/beta``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import xerbla
+from .givens import lartg_c
+from .machine import lamch
+from .qr import geqrf, ormqr
+
+__all__ = ["gghrd", "hgeqz", "gegs", "gegv", "tgevc"]
+
+_QZ_ITMAX = 60
+
+
+def _rot_rows(a, i, j, c, s, cols=slice(None)):
+    ri = a[i, cols].copy()
+    a[i, cols] = c * ri + s * a[j, cols]
+    a[j, cols] = -np.conj(s) * ri + c * a[j, cols]
+
+
+def _rot_cols(a, i, j, c, s, rows=slice(None)):
+    ci = a[rows, i].copy()
+    a[rows, i] = c * ci + s * a[rows, j]
+    a[rows, j] = -np.conj(s) * ci + c * a[rows, j]
+
+
+def gghrd(a: np.ndarray, b: np.ndarray, q: np.ndarray | None = None,
+          z: np.ndarray | None = None):
+    """Reduce the pencil (A, B) to Hessenberg-triangular form
+    (``xGGHRD``; in place): first B := QR triangularization, then Givens
+    chasing keeps B triangular while making A Hessenberg.
+
+    ``q`` and ``z`` (identity on entry) accumulate the transformations:
+    on exit ``A₀ = Q A Zᴴ`` and ``B₀ = Q B Zᴴ``.
+    """
+    n = a.shape[0]
+    if b.shape != (n, n):
+        xerbla("GGHRD", 2, "A and B must be square, same order")
+    # Step 1: B = QR; A := Qᴴ A, B := R.
+    tau = geqrf(b)
+    ormqr("L", "C", b, tau, a)
+    if q is not None:
+        # Q accumulates the *inverse* transforms: A0 = Q A Zᴴ.
+        ormqr("R", "N", b, tau, q)
+    for j in range(n - 1):
+        b[j + 1:, j] = 0
+    # Step 2: chase A to Hessenberg with Givens, keeping B triangular.
+    for j in range(n - 2):
+        for i in range(n - 1, j + 1, -1):
+            # Zero A[i, j] with a row rotation (rows i-1, i).
+            c, s, r = lartg_c(a[i - 1, j], a[i, j])
+            a[i - 1, j] = r
+            a[i, j] = 0
+            _rot_rows(a, i - 1, i, c, s, cols=slice(j + 1, n))
+            _rot_rows(b, i - 1, i, c, s, cols=slice(i - 1, n))
+            if q is not None:
+                # A0 = Q A: Q := Q Gᴴ when A := G A.
+                _rot_cols(q, i - 1, i, c, np.conj(s))
+            # The row rotation fills B[i, i-1]; zero it with a column
+            # rotation (columns i, i-1).
+            c, s, r = lartg_c(b[i, i], b[i, i - 1])
+            b[i, i] = r
+            b[i, i - 1] = 0
+            # Column rotation acting on (col i, col i-1).
+            _rot_cols(b, i, i - 1, c, s, rows=slice(0, i))
+            _rot_cols(a, i, i - 1, c, s, rows=slice(0, n))
+            if z is not None:
+                _rot_cols(z, i, i - 1, c, s)
+    return 0
+
+
+def hgeqz(h: np.ndarray, t: np.ndarray, q: np.ndarray | None = None,
+          z: np.ndarray | None = None):
+    """Single-shift QZ iteration on a Hessenberg-triangular pencil
+    (``xHGEQZ`` job='S'): reduce H to triangular while keeping T
+    triangular; accumulate into ``q``/``z`` (so that the entry pencil
+    ``(H₀, T₀) = (Q H Zᴴ, Q T Zᴴ)``).
+
+    A negligible ``T`` diagonal entry (singular B ⇒ infinite eigenvalue)
+    is regularized at the ``eps·‖T‖`` level — the corresponding ``beta``
+    comes out ≈ 0 with the same accuracy class as LAPACK's deflation
+    (DESIGN.md §7).
+
+    Returns ``(alpha, beta, info)``.
+    """
+    n = h.shape[0]
+    alpha = np.zeros(n, dtype=np.complex128)
+    beta = np.zeros(n, dtype=np.complex128)
+    if n == 0:
+        return alpha, beta, 0
+    eps = lamch("E", np.float64)
+    hnorm = max(float(np.abs(h).max()), 1e-300)
+    tnorm = max(float(np.abs(t).max()), 1e-300)
+    atol = eps * hnorm
+    btol = eps * tnorm
+    # Regularize negligible T diagonal entries once, up front.
+    for k in range(n):
+        if abs(t[k, k]) <= btol:
+            t[k, k] = btol
+    ilast = n - 1
+    iters_total = 0
+    maxit = _QZ_ITMAX * n
+    while ilast >= 0:
+        if ilast == 0:
+            alpha[0] = h[0, 0]
+            beta[0] = t[0, 0]
+            break
+        progressed = False
+        for _ in range(_QZ_ITMAX):
+            iters_total += 1
+            if iters_total > maxit:
+                return alpha, beta, ilast + 1
+            # Find the top of the active unreduced block.
+            ifirst = ilast
+            while ifirst > 0:
+                sub = abs(h[ifirst, ifirst - 1])
+                if sub <= atol or sub <= eps * (
+                        abs(h[ifirst - 1, ifirst - 1])
+                        + abs(h[ifirst, ifirst])):
+                    h[ifirst, ifirst - 1] = 0
+                    break
+                ifirst -= 1
+            if ifirst == ilast:
+                alpha[ilast] = h[ilast, ilast]
+                beta[ilast] = t[ilast, ilast]
+                ilast -= 1
+                progressed = True
+                break
+            # Wilkinson shift and implicit sweep.
+            shift = _qz_shift(h, t, ilast)
+            x = h[ifirst, ifirst] - shift * t[ifirst, ifirst]
+            y = h[ifirst + 1, ifirst]
+            for k in range(ifirst, ilast):
+                if k > ifirst:
+                    x = h[k, k - 1]
+                    y = h[k + 1, k - 1]
+                c, s, r = lartg_c(x, y)
+                if k > ifirst:
+                    h[k, k - 1] = r
+                    h[k + 1, k - 1] = 0
+                _rot_rows(h, k, k + 1, c, s, cols=slice(k, n))
+                _rot_rows(t, k, k + 1, c, s, cols=slice(k, n))
+                if q is not None:
+                    _rot_cols(q, k, k + 1, c, np.conj(s))
+                # T fill at (k+1, k): zero with a column rotation.
+                c2, s2, r2 = lartg_c(t[k + 1, k + 1], t[k + 1, k])
+                t[k + 1, k + 1] = r2
+                t[k + 1, k] = 0
+                _rot_cols(t, k + 1, k, c2, s2, rows=slice(0, k + 1))
+                _rot_cols(h, k + 1, k, c2, s2,
+                          rows=slice(0, min(k + 3, ilast + 1)))
+                if z is not None:
+                    _rot_cols(z, k + 1, k, c2, s2)
+        if not progressed:
+            return alpha, beta, ilast + 1
+    return alpha, beta, 0
+
+
+def _qz_shift(h, t, ilast):
+    """Wilkinson shift: eigenvalue of the trailing 2×2 of T⁻¹H closest to
+    the bottom-corner ratio."""
+    k = ilast
+    # Trailing 2×2 of the pencil in explicit form M = T22⁻¹ H22.
+    h22 = h[k - 1: k + 1, k - 1: k + 1]
+    t22 = t[k - 1: k + 1, k - 1: k + 1]
+    # Solve T22 M = H22 (T22 upper triangular 2×2).
+    m = np.empty((2, 2), dtype=np.complex128)
+    t11, t12, t22_ = t22[0, 0], t22[0, 1], t22[1, 1]
+    m[1, :] = h22[1, :] / t22_
+    m[0, :] = (h22[0, :] - t12 * m[1, :]) / t11
+    tr = m[0, 0] + m[1, 1]
+    det = m[0, 0] * m[1, 1] - m[0, 1] * m[1, 0]
+    disc = np.sqrt(tr * tr - 4.0 * det)
+    r1 = (tr + disc) / 2.0
+    r2 = (tr - disc) / 2.0
+    target = m[1, 1]
+    return r1 if abs(r1 - target) <= abs(r2 - target) else r2
+
+
+def tgevc(s: np.ndarray, p: np.ndarray, z: np.ndarray | None = None,
+          side: str = "R"):
+    """Eigenvectors of a triangular pencil (S, P) (``xTGEVC``): columns
+    solve ``(βᵢ S − αᵢ P) x = 0``; with ``z`` they are back-transformed.
+    """
+    n = s.shape[0]
+    vecs = np.zeros((n, n), dtype=np.complex128)
+    eps = lamch("E", np.float64)
+    floor = eps * max(float(np.abs(s).max(initial=0)),
+                      float(np.abs(p).max(initial=0)), 1.0)
+    if side.upper() == "L":
+        flip = slice(None, None, -1)
+        sf = np.conj(s.T)[flip, flip]
+        pf = np.conj(p.T)[flip, flip]
+        v = tgevc(sf, pf, None, side="R")
+        v = v[flip, :][:, ::-1]
+        if z is not None:
+            v = z.astype(np.complex128) @ v
+        for j in range(n):
+            nrm = np.linalg.norm(v[:, j])
+            if nrm > 0:
+                v[:, j] /= nrm
+        return v
+    for j in range(n):
+        al, be = s[j, j], p[j, j]
+        m = be * s - al * p           # triangular; column j of m·x = 0
+        y = np.zeros(n, dtype=np.complex128)
+        y[j] = 1.0
+        for i in range(j - 1, -1, -1):
+            num = -(m[i, i + 1: j + 1] @ y[i + 1: j + 1])
+            den = m[i, i]
+            if abs(den) < floor * max(abs(al), abs(be), 1.0):
+                den = floor * max(abs(al), abs(be), 1.0)
+            y[i] = num / den
+        vecs[:, j] = y
+    if z is not None:
+        vecs = z.astype(np.complex128) @ vecs
+    for j in range(n):
+        nrm = np.linalg.norm(vecs[:, j])
+        if nrm > 0:
+            vecs[:, j] /= nrm
+            k = int(np.argmax(np.abs(vecs[:, j])))
+            piv = vecs[k, j]
+            if piv != 0:
+                vecs[:, j] *= np.conj(piv) / abs(piv)
+    return vecs
+
+
+def _promote(a):
+    if np.iscomplexobj(a):
+        return np.asarray(a, dtype=np.complex128).copy()
+    return np.asarray(a, dtype=np.complex128)
+
+
+def gegs(a: np.ndarray, b: np.ndarray, want_vsl: bool = True,
+         want_vsr: bool = True):
+    """Generalized Schur factorization of a pencil (A, B) (``xGEGS``).
+
+    Returns ``(alpha, beta, s, t, vsl, vsr, info)`` with
+    ``A = VSL · S · VSRᴴ`` and ``B = VSL · T · VSRᴴ`` (S, T upper
+    triangular, complex — see the module note for real input).
+    """
+    n = a.shape[0]
+    if b.shape != (n, n):
+        xerbla("GEGS", 2, "A and B must be square, same order")
+    s = _promote(a)
+    t = _promote(b)
+    q = np.eye(n, dtype=np.complex128)
+    z = np.eye(n, dtype=np.complex128)
+    gghrd(s, t, q, z)
+    alpha, beta, info = hgeqz(s, t, q, z)
+    # Entry pencil = Q S Zᴴ with our accumulation ⇒ VSL = Q, VSR = Z.
+    return (alpha, beta, s, t,
+            q if want_vsl else None, z if want_vsr else None, info)
+
+
+def gegv(a: np.ndarray, b: np.ndarray, want_vl: bool = False,
+         want_vr: bool = False):
+    """Generalized eigenvalues (and optionally eigenvectors) of (A, B)
+    (``xGEGV``): pairs (alphaᵢ, betaᵢ) with ``betaᵢ A x = alphaᵢ B x``.
+
+    Returns ``(alpha, beta, vl, vr, info)``.
+    """
+    alpha, beta, s, t, q, z, info = gegs(a, b)
+    vl = vr = None
+    if info == 0:
+        if want_vr:
+            vr = tgevc(s, t, z, side="R")
+        if want_vl:
+            vl = tgevc(s, t, q, side="L")
+    return alpha, beta, vl, vr, info

@@ -1,0 +1,792 @@
+"""Schur decomposition machinery: ``xHSEQR`` (Francis implicitly-shifted
+QR on a Hessenberg matrix), ``xTREVC`` (eigenvectors from the Schur form),
+``xTREXC`` (reordering), ``xTRSYL`` (Sylvester equations) and ``trsen``
+(condition numbers of eigenvalue clusters / invariant subspaces).
+
+The real path follows LAPACK's ``dlahqr`` (double-shift, small-bulge) and
+the complex path ``zlahqr`` (single Wilkinson shift); both accumulate the
+Schur vectors directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import xerbla
+from .givens import lanv2
+from .householder import larfg
+from .machine import lamch
+
+__all__ = ["hseqr", "trevc", "trexc", "trsyl", "trsen",
+           "schur_blocks", "eig_of_schur"]
+
+_ITMAX_PER_EIG = 30
+
+
+def hseqr(h: np.ndarray, z: np.ndarray | None = None, ilo: int = 0,
+          ihi: int | None = None, wantt: bool = True):
+    """Eigenvalues/Schur form of an upper Hessenberg matrix.
+
+    ``h`` is transformed in place into (quasi-)triangular Schur form when
+    ``wantt``; Schur vectors are accumulated into ``z`` when supplied
+    (``z`` should enter as the orthogonal matrix reducing the original A,
+    or the identity).
+
+    Returns ``(w, info)`` — complex eigenvalues and the failure index
+    (``info > 0``: eigenvalues ``info..ihi`` converged, the rest did not).
+    """
+    n = h.shape[0]
+    if ihi is None:
+        ihi = n - 1
+    if np.iscomplexobj(h):
+        return _zlahqr(h, z, ilo, ihi, wantt)
+    return _dlahqr(h, z, ilo, ihi, wantt)
+
+
+def _dlahqr(h: np.ndarray, z: np.ndarray | None, ilo: int, ihi: int,
+            wantt: bool):
+    n = h.shape[0]
+    wr = np.zeros(n)
+    wi = np.zeros(n)
+    # Copy in any already-isolated eigenvalues.
+    for j in list(range(0, ilo)) + list(range(ihi + 1, n)):
+        wr[j] = h[j, j]
+    if ilo > ihi:
+        return wr + 1j * wi, 0
+    ulp = lamch("P", h.dtype)
+    smlnum = lamch("S", h.dtype) * ((ihi - ilo + 1) / ulp)
+    i1 = 0 if wantt else ilo
+    i2 = n - 1 if wantt else ihi
+    i = ihi
+    info = 0
+    while i >= ilo:
+        l = ilo
+        converged = False
+        for its in range(_ITMAX_PER_EIG + 1):
+            # Look for a single small subdiagonal element.
+            k = i
+            while k > l:
+                if abs(h[k, k - 1]) <= smlnum:
+                    break
+                tst = abs(h[k - 1, k - 1]) + abs(h[k, k])
+                if tst == 0.0:
+                    if k - 2 >= ilo:
+                        tst += abs(h[k - 1, k - 2])
+                    if k + 1 <= ihi:
+                        tst += abs(h[k + 1, k])
+                if abs(h[k, k - 1]) <= ulp * tst:
+                    # Ahues–Tisseur deflation criterion.
+                    ab = max(abs(h[k, k - 1]), abs(h[k - 1, k]))
+                    ba = min(abs(h[k, k - 1]), abs(h[k - 1, k]))
+                    aa = max(abs(h[k, k]),
+                             abs(h[k - 1, k - 1] - h[k, k]))
+                    bb = min(abs(h[k, k]),
+                             abs(h[k - 1, k - 1] - h[k, k]))
+                    s = aa + ab
+                    if ba * (ab / s) <= max(smlnum, ulp * (bb * (aa / s))):
+                        break
+                k -= 1
+            l = k
+            if l > ilo:
+                h[l, l - 1] = 0.0
+            if l >= i - 1:
+                converged = True
+                break
+            # Shifts.
+            if its == 10:
+                s = abs(h[l + 1, l]) + abs(h[l + 2, l + 1])
+                h11 = 0.75 * s + h[l, l]
+                h12 = -0.4375 * s
+                h21 = s
+                h22 = h11
+            elif its == 20:
+                s = abs(h[i, i - 1]) + abs(h[i - 1, i - 2])
+                h11 = 0.75 * s + h[i, i]
+                h12 = -0.4375 * s
+                h21 = s
+                h22 = h11
+            else:
+                h11 = h[i - 1, i - 1]
+                h21 = h[i, i - 1]
+                h12 = h[i - 1, i]
+                h22 = h[i, i]
+            s = abs(h11) + abs(h12) + abs(h21) + abs(h22)
+            if s == 0.0:
+                rt1r = rt1i = rt2r = rt2i = 0.0
+            else:
+                h11 /= s
+                h21 /= s
+                h12 /= s
+                h22 /= s
+                tr = (h11 + h22) / 2.0
+                det = (h11 - tr) * (h22 - tr) - h12 * h21
+                rtdisc = np.sqrt(abs(det))
+                if det >= 0.0:
+                    rt1r = tr * s
+                    rt2r = rt1r
+                    rt1i = rtdisc * s
+                    rt2i = -rt1i
+                else:
+                    rt1r = tr + rtdisc
+                    rt2r = tr - rtdisc
+                    if abs(rt1r - h22) <= abs(rt2r - h22):
+                        rt1r = rt1r * s
+                        rt2r = rt1r
+                    else:
+                        rt2r = rt2r * s
+                        rt1r = rt2r
+                    rt1i = rt2i = 0.0
+            # Look for two consecutive small subdiagonals.
+            v = np.zeros(3)
+            for m in range(i - 2, l - 1, -1):
+                h21s = h[m + 1, m]
+                s = abs(h[m, m] - rt2r) + abs(rt2i) + abs(h21s)
+                h21s = h[m + 1, m] / s
+                v[0] = (h21s * h[m, m + 1]
+                        + (h[m, m] - rt1r) * ((h[m, m] - rt2r) / s)
+                        - rt1i * (rt2i / s))
+                v[1] = h21s * (h[m, m] + h[m + 1, m + 1] - rt1r - rt2r)
+                v[2] = h21s * h[m + 2, m + 1]
+                s = abs(v[0]) + abs(v[1]) + abs(v[2])
+                v /= s
+                if m == l:
+                    break
+                if (abs(h[m, m - 1]) * (abs(v[1]) + abs(v[2]))
+                        <= ulp * abs(v[0]) * (abs(h[m - 1, m - 1])
+                                              + abs(h[m, m])
+                                              + abs(h[m + 1, m + 1]))):
+                    break
+            # Double-shift QR sweep.
+            for k in range(m, i):
+                nr = min(3, i - k + 1)
+                if k > m:
+                    v[:nr] = h[k: k + nr, k - 1]
+                vwork = v[1:nr].copy()
+                beta, t1 = larfg(v[0], vwork)
+                v[1:nr] = vwork
+                if k > m:
+                    h[k, k - 1] = beta
+                    h[k + 1, k - 1] = 0.0
+                    if k < i - 1:
+                        h[k + 2, k - 1] = 0.0
+                elif m > l:
+                    # (avoids underflow of v2/v3; see dlahqr)
+                    h[k, k - 1] = h[k, k - 1] * (1.0 - t1)
+                v2 = v[1]
+                t2 = t1 * v2
+                if nr == 3:
+                    v3 = v[2]
+                    t3 = t1 * v3
+                    # Left.
+                    cols = slice(k, i2 + 1)
+                    ssum = h[k, cols] + v2 * h[k + 1, cols] \
+                        + v3 * h[k + 2, cols]
+                    h[k, cols] -= ssum * t1
+                    h[k + 1, cols] -= ssum * t2
+                    h[k + 2, cols] -= ssum * t3
+                    # Right.
+                    rows = slice(i1, min(k + 3, i) + 1)
+                    ssum = h[rows, k] + v2 * h[rows, k + 1] \
+                        + v3 * h[rows, k + 2]
+                    h[rows, k] -= ssum * t1
+                    h[rows, k + 1] -= ssum * t2
+                    h[rows, k + 2] -= ssum * t3
+                    if z is not None:
+                        ssum = z[:, k] + v2 * z[:, k + 1] + v3 * z[:, k + 2]
+                        z[:, k] -= ssum * t1
+                        z[:, k + 1] -= ssum * t2
+                        z[:, k + 2] -= ssum * t3
+                else:
+                    cols = slice(k, i2 + 1)
+                    ssum = h[k, cols] + v2 * h[k + 1, cols]
+                    h[k, cols] -= ssum * t1
+                    h[k + 1, cols] -= ssum * t2
+                    rows = slice(i1, min(k + 2, i) + 1)
+                    ssum = h[rows, k] + v2 * h[rows, k + 1]
+                    h[rows, k] -= ssum * t1
+                    h[rows, k + 1] -= ssum * t2
+                    if z is not None:
+                        ssum = z[:, k] + v2 * z[:, k + 1]
+                        z[:, k] -= ssum * t1
+                        z[:, k + 1] -= ssum * t2
+        if not converged:
+            return wr + 1j * wi, i + 1
+        if l == i:
+            wr[i] = h[i, i]
+            wi[i] = 0.0
+            i -= 1
+        else:
+            # 2×2 block: standardize.
+            (h[i - 1, i - 1], h[i - 1, i], h[i, i - 1], h[i, i],
+             rt1r, rt1i, rt2r, rt2i, cs, sn) = lanv2(
+                h[i - 1, i - 1], h[i - 1, i], h[i, i - 1], h[i, i])
+            wr[i - 1], wi[i - 1] = rt1r, rt1i
+            wr[i], wi[i] = rt2r, rt2i
+            if wantt and i < i2:
+                row1 = h[i - 1, i + 1:i2 + 1].copy()
+                h[i - 1, i + 1:i2 + 1] = cs * row1 + sn * h[i, i + 1:i2 + 1]
+                h[i, i + 1:i2 + 1] = cs * h[i, i + 1:i2 + 1] - sn * row1
+            if wantt and i1 < i - 1:
+                col1 = h[i1:i - 1, i - 1].copy()
+                h[i1:i - 1, i - 1] = cs * col1 + sn * h[i1:i - 1, i]
+                h[i1:i - 1, i] = cs * h[i1:i - 1, i] - sn * col1
+            if z is not None:
+                col1 = z[:, i - 1].copy()
+                z[:, i - 1] = cs * col1 + sn * z[:, i]
+                z[:, i] = cs * z[:, i] - sn * col1
+            i -= 2
+    return wr + 1j * wi, 0
+
+
+def _cabs1(z):
+    return abs(z.real) + abs(z.imag)
+
+
+def _zlahqr(h: np.ndarray, z: np.ndarray | None, ilo: int, ihi: int,
+            wantt: bool):
+    """Complex single-shift (Wilkinson) implicit QR.  Follows ``zlahqr``'s
+    deflation and shift strategy; subdiagonal entries are kept general
+    complex with magnitude-based tests (self-consistent variant)."""
+    n = h.shape[0]
+    w = np.zeros(n, dtype=np.complex128)
+    for j in list(range(0, ilo)) + list(range(ihi + 1, n)):
+        w[j] = h[j, j]
+    if ilo > ihi:
+        return w, 0
+    ulp = lamch("P", h.dtype)
+    smlnum = lamch("S", h.dtype) * ((ihi - ilo + 1) / ulp)
+    i1 = 0 if wantt else ilo
+    i2 = n - 1 if wantt else ihi
+    i = ihi
+    while i >= ilo:
+        l = ilo
+        converged = False
+        for its in range(_ITMAX_PER_EIG + 1):
+            k = i
+            while k > l:
+                if _cabs1(h[k, k - 1]) <= smlnum:
+                    break
+                tst = _cabs1(h[k - 1, k - 1]) + _cabs1(h[k, k])
+                if tst == 0.0:
+                    if k - 2 >= ilo:
+                        tst += _cabs1(h[k - 1, k - 2])
+                    if k + 1 <= ihi:
+                        tst += _cabs1(h[k + 1, k])
+                if _cabs1(h[k, k - 1]) <= ulp * tst:
+                    ab = max(_cabs1(h[k, k - 1]), _cabs1(h[k - 1, k]))
+                    ba = min(_cabs1(h[k, k - 1]), _cabs1(h[k - 1, k]))
+                    aa = max(_cabs1(h[k, k]),
+                             _cabs1(h[k - 1, k - 1] - h[k, k]))
+                    bb = min(_cabs1(h[k, k]),
+                             _cabs1(h[k - 1, k - 1] - h[k, k]))
+                    s = aa + ab
+                    if ba * (ab / s) <= max(smlnum, ulp * (bb * (aa / s))):
+                        break
+                k -= 1
+            l = k
+            if l > ilo:
+                h[l, l - 1] = 0.0
+            if l == i:
+                converged = True
+                break
+            # Wilkinson shift (with zlahqr's exceptional-shift schedule).
+            if its == 10:
+                s = 0.75 * abs(h[l + 1, l])
+                t = s + h[l, l]
+            elif its == 20:
+                s = 0.75 * abs(h[i, i - 1])
+                t = s + h[i, i]
+            else:
+                t = h[i, i]
+                u = np.sqrt(h[i - 1, i]) * np.sqrt(h[i, i - 1])
+                s = _cabs1(u)
+                if s != 0.0:
+                    x = 0.5 * (h[i - 1, i - 1] - t)
+                    sx = _cabs1(x)
+                    s = max(s, sx)
+                    y = s * np.sqrt((x / s) ** 2 + (u / s) ** 2)
+                    if sx > 0.0:
+                        if (x.real / sx) * y.real + (x.imag / sx) * y.imag \
+                                < 0.0:
+                            y = -y
+                    t = t - u * (u / (x + y))
+            # Look for two consecutive small subdiagonals.
+            v = np.zeros(2, dtype=np.complex128)
+            found = False
+            for m in range(i - 1, l, -1):
+                h11 = h[m, m]
+                h22 = h[m + 1, m + 1]
+                h11s = h11 - t
+                h21 = h[m + 1, m]
+                s = _cabs1(h11s) + _cabs1(h21)
+                v[0] = h11s / s
+                v[1] = h21 / s
+                if _cabs1(h[m, m - 1]) * _cabs1(v[1]) <= ulp * (
+                        _cabs1(v[0]) * (_cabs1(h11) + _cabs1(h22))):
+                    found = True
+                    break
+            if not found:
+                m = l
+                h11s = h[l, l] - t
+                h21 = h[l + 1, l]
+                s = _cabs1(h11s) + _cabs1(h21)
+                v[0] = h11s / s
+                v[1] = h21 / s
+            # Single-shift QR sweep (Hᴴ from the left, H from the right;
+            # larfg's H satisfies Hᴴ[v0; v1] = [beta; 0]).
+            for k in range(m, i):
+                if k > m:
+                    v[0] = h[k, k - 1]
+                    v[1] = h[k + 1, k - 1]
+                vtail = v[1:].copy()
+                beta, t1 = larfg(v[0], vtail)
+                v[1:] = vtail
+                if k > m:
+                    h[k, k - 1] = beta
+                    h[k + 1, k - 1] = 0.0
+                elif m > l:
+                    # Off-sweep column m-1 only sees the row-m update; the
+                    # (negligible) fill below it is dropped, as in LAPACK.
+                    h[m, m - 1] = h[m, m - 1] * (1.0 - np.conj(t1))
+                v2 = v[1]
+                cols = slice(k, i2 + 1)
+                ssum = np.conj(t1) * (h[k, cols]
+                                      + np.conj(v2) * h[k + 1, cols])
+                h[k, cols] -= ssum
+                h[k + 1, cols] -= ssum * v2
+                rows = slice(i1, min(k + 2, i) + 1)
+                ssum = t1 * (h[rows, k] + v2 * h[rows, k + 1])
+                h[rows, k] -= ssum
+                h[rows, k + 1] -= ssum * np.conj(v2)
+                if z is not None:
+                    ssum = t1 * (z[:, k] + v2 * z[:, k + 1])
+                    z[:, k] -= ssum
+                    z[:, k + 1] -= ssum * np.conj(v2)
+        if not converged:
+            return w, i + 1
+        w[i] = h[i, i]
+        i -= 1
+    return w, 0
+
+
+def schur_blocks(t: np.ndarray) -> list[tuple[int, int]]:
+    """Partition a real quasi-triangular (or complex triangular) Schur
+    matrix into its diagonal blocks.  Returns a list of (start, size)."""
+    n = t.shape[0]
+    blocks = []
+    j = 0
+    while j < n:
+        if j < n - 1 and not np.iscomplexobj(t) and t[j + 1, j] != 0:
+            blocks.append((j, 2))
+            j += 2
+        else:
+            blocks.append((j, 1))
+            j += 1
+    return blocks
+
+
+def eig_of_schur(t: np.ndarray) -> np.ndarray:
+    """Eigenvalues read off a (quasi-)triangular Schur matrix."""
+    n = t.shape[0]
+    w = np.zeros(n, dtype=np.complex128)
+    for start, size in schur_blocks(t):
+        if size == 1:
+            w[start] = t[start, start]
+        else:
+            a, b = t[start, start], t[start, start + 1]
+            c, d = t[start + 1, start], t[start + 1, start + 1]
+            tr = (a + d) / 2.0
+            disc = np.sqrt(complex(((a - d) / 2.0) ** 2 + b * c))
+            w[start] = tr + disc
+            w[start + 1] = tr - disc
+    return w
+
+
+def _solve_shifted_quasi_tri(t: np.ndarray, lam: complex, rhs: np.ndarray,
+                             kend: int, eps_floor: float) -> np.ndarray:
+    """Solve ``(T[0:kend, 0:kend] − lam·I) y = rhs`` by block back
+    substitution over the quasi-triangular structure (complex arithmetic).
+    Near-singular diagonal blocks are perturbed by ``eps_floor`` (LAPACK's
+    ``SMIN`` safeguard in xLALN2/xLATRS)."""
+    y = np.asarray(rhs, dtype=np.complex128).copy()
+    blocks = [b for b in schur_blocks(t) if b[0] < kend]
+    for start, size in reversed(blocks):
+        if size == 1:
+            den = t[start, start] - lam
+            if abs(den) < eps_floor:
+                den = eps_floor
+            y[start] = y[start] / den
+            if start > 0:
+                y[:start] -= t[:start, start] * y[start]
+        else:
+            a = np.array(
+                [[t[start, start] - lam, t[start, start + 1]],
+                 [t[start + 1, start], t[start + 1, start + 1] - lam]],
+                dtype=np.complex128)
+            det = a[0, 0] * a[1, 1] - a[0, 1] * a[1, 0]
+            if abs(det) < eps_floor * max(_cabs1(a).max(), eps_floor):
+                det = eps_floor
+            b0, b1 = y[start], y[start + 1]
+            y[start] = (a[1, 1] * b0 - a[0, 1] * b1) / det
+            y[start + 1] = (a[0, 0] * b1 - a[1, 0] * b0) / det
+            if start > 0:
+                y[:start] -= (t[:start, start] * y[start]
+                              + t[:start, start + 1] * y[start + 1])
+    return y
+
+
+def trevc(t: np.ndarray, z: np.ndarray | None = None, side: str = "R"):
+    """Eigenvectors of a (quasi-)triangular Schur matrix (``xTREVC``).
+
+    With ``z`` supplied the vectors are back-transformed (eigenvectors of
+    the original matrix).  Returns an n×n *complex* matrix of unit-norm
+    eigenvectors (column *j* pairs with eigenvalue *j* of the Schur form);
+    for real input, conjugate pairs produce conjugate columns — the
+    Pythonic rendering of LAPACK's packed real representation.
+
+    ``side``: 'R' right eigenvectors (``T v = λ v``), 'L' left
+    (``wᴴ T = λ wᴴ``).
+    """
+    s = side.upper()
+    if s not in ("R", "L"):
+        xerbla("TREVC", 1, f"side={side!r}")
+    n = t.shape[0]
+    w = eig_of_schur(t)
+    vecs = np.zeros((n, n), dtype=np.complex128)
+    eps = lamch("E", t.dtype)
+    tnorm = float(np.abs(t).max()) if n else 0.0
+    floor = max(eps * max(tnorm, 1.0), lamch("S", t.dtype))
+    if s == "L":
+        # Left vectors of T are right vectors of Tᴴ; Tᴴ is lower
+        # quasi-triangular — flip to reuse the back-substitution.
+        flip = slice(None, None, -1)
+        tf = np.conj(t.T)[flip, flip]
+        zvf = trevc(tf, None, side="R")
+        vecs = zvf[flip, :]
+        # Column j of zvf pairs with eigenvalue conj(w[n-1-j]); reorder.
+        vecs = vecs[:, ::-1]
+        if z is not None:
+            vecs = z.astype(np.complex128) @ vecs
+        # Normalize.
+        for j in range(n):
+            nrm = np.linalg.norm(vecs[:, j])
+            if nrm > 0:
+                vecs[:, j] /= nrm
+        return vecs
+    for start, size in schur_blocks(t):
+        if size == 1:
+            ki = start
+            lam = w[ki]
+            y = np.zeros(n, dtype=np.complex128)
+            y[ki] = 1.0
+            if ki > 0:
+                rhs = -np.asarray(t[:ki, ki], dtype=np.complex128)
+                y[:ki] = _solve_shifted_quasi_tri(t, lam, rhs, ki, floor)
+            vecs[:, ki] = y
+        else:
+            # 2×2 block: eigenvector inside the block, then substitute up.
+            k1, k2 = start, start + 1
+            for ki, lam in ((k1, w[k1]), (k2, w[k2])):
+                a11 = t[k1, k1] - lam
+                a12 = t[k1, k2]
+                a21 = t[k2, k1]
+                a22 = t[k2, k2] - lam
+                # Null vector of the 2×2 (choose the better-scaled row).
+                if max(abs(a11), abs(a12)) >= max(abs(a21), abs(a22)):
+                    vb = np.array([-a12, a11], dtype=np.complex128)
+                else:
+                    vb = np.array([-a22, a21], dtype=np.complex128)
+                if np.all(vb == 0):
+                    vb = np.array([1.0, 0.0], dtype=np.complex128)
+                y = np.zeros(n, dtype=np.complex128)
+                y[k1], y[k2] = vb
+                if k1 > 0:
+                    rhs = -(np.asarray(t[:k1, k1], dtype=np.complex128)
+                            * vb[0]
+                            + np.asarray(t[:k1, k2], dtype=np.complex128)
+                            * vb[1])
+                    y[:k1] = _solve_shifted_quasi_tri(t, lam, rhs, k1,
+                                                      floor)
+                vecs[:, ki] = y
+    if z is not None:
+        vecs = z.astype(np.complex128) @ vecs
+    for j in range(n):
+        nrm = np.linalg.norm(vecs[:, j])
+        if nrm > 0:
+            vecs[:, j] /= nrm
+            # Determinism: rotate the largest component to the positive
+            # real axis (zgeev-style normalization).
+            k = int(np.argmax(np.abs(vecs[:, j])))
+            piv = vecs[k, j]
+            if piv != 0:
+                vecs[:, j] *= np.conj(piv) / abs(piv)
+    return vecs
+
+
+def _direct_swap(t: np.ndarray, q: np.ndarray | None, j1: int, n1: int,
+                 n2: int) -> int:
+    """Swap adjacent diagonal blocks T11 (n1×n1, at j1) and T22 (n2×n2)
+    of a Schur matrix by the direct method (LAPACK ``xLAEXC``):
+
+    solve the small Sylvester equation ``T11 X − X T22 = γ T12``, then the
+    QR factorization of ``[−X; γI]`` gives the orthogonal transformation
+    that exchanges the blocks.  Returns 0 on success, 1 if the swap is too
+    ill-conditioned.
+    """
+    from .qr import geqrf, ormqr
+    n = t.shape[0]
+    j2 = j1 + n1
+    nd = n1 + n2
+    t11 = t[j1:j2, j1:j2].copy()
+    t12 = t[j1:j2, j2:j1 + nd].copy()
+    t22 = t[j2:j1 + nd, j2:j1 + nd].copy()
+    # Scale for safety.
+    gamma = max(float(np.abs(t11).max(initial=0.0)),
+                float(np.abs(t22).max(initial=0.0)),
+                float(np.abs(t12).max(initial=0.0)), 1.0)
+    # Solve T11 X - X T22 = gamma*T12 via the Kronecker form (nd <= 4).
+    eye1 = np.eye(n1, dtype=t.dtype)
+    eye2 = np.eye(n2, dtype=t.dtype)
+    kmat = np.kron(eye2, t11) - np.kron(t22.T, eye1)
+    rhs = (gamma * t12).reshape(-1, order="F")
+    try:
+        xvec = np.linalg.solve(kmat, rhs)
+    except np.linalg.LinAlgError:
+        return 1
+    x = xvec.reshape((n1, n2), order="F")
+    # QR of [−X; γI] — its Q moves T22's invariant subspace to the front.
+    m = np.zeros((nd, n2), dtype=t.dtype)
+    m[:n1, :] = -x
+    m[n1:, :] = gamma * eye2
+    tau = geqrf(m)
+    # Apply Qᴴ…Q to the full matrix rows/columns j1..j1+nd-1.
+    block_rows = t[j1:j1 + nd, :]
+    ormqr("L", "C", m, tau, block_rows)
+    # Right-multiplication by Q == left-multiplication of the transpose
+    # by Qᵀ; handle conjugation by working on the conjugate.
+    if np.iscomplexobj(t):
+        tmp = np.conj(t[:, j1:j1 + nd]).T.copy()
+        ormqr("L", "C", m, tau, tmp)
+        t[:, j1:j1 + nd] = np.conj(tmp).T
+    else:
+        tmp = t[:, j1:j1 + nd].T.copy()
+        ormqr("L", "C", m, tau, tmp)
+        t[:, j1:j1 + nd] = tmp.T
+    if q is not None:
+        if np.iscomplexobj(q):
+            tmp = np.conj(q[:, j1:j1 + nd]).T.copy()
+            ormqr("L", "C", m, tau, tmp)
+            q[:, j1:j1 + nd] = np.conj(tmp).T
+        else:
+            tmp = q[:, j1:j1 + nd].T.copy()
+            ormqr("L", "C", m, tau, tmp)
+            q[:, j1:j1 + nd] = tmp.T
+    # Clean the (now zero) lower-left block and re-standardize.
+    t[j1 + n2: j1 + nd, j1: j1 + n2] = 0
+    _restandardize(t, q, j1, n2)
+    _restandardize(t, q, j1 + n2, n1)
+    return 0
+
+
+def _restandardize(t: np.ndarray, q: np.ndarray | None, j: int,
+                   size: int) -> None:
+    """Re-standardize a 2×2 diagonal block after a swap (real case)."""
+    if size != 2 or np.iscomplexobj(t):
+        return
+    n = t.shape[0]
+    (t[j, j], t[j, j + 1], t[j + 1, j], t[j + 1, j + 1],
+     *_rest, cs, sn) = lanv2(t[j, j], t[j, j + 1],
+                             t[j + 1, j], t[j + 1, j + 1])
+    if j + 2 < n:
+        row1 = t[j, j + 2:].copy()
+        t[j, j + 2:] = cs * row1 + sn * t[j + 1, j + 2:]
+        t[j + 1, j + 2:] = cs * t[j + 1, j + 2:] - sn * row1
+    if j > 0:
+        col1 = t[:j, j].copy()
+        t[:j, j] = cs * col1 + sn * t[:j, j + 1]
+        t[:j, j + 1] = cs * t[:j, j + 1] - sn * col1
+    if q is not None:
+        col1 = q[:, j].copy()
+        q[:, j] = cs * col1 + sn * q[:, j + 1]
+        q[:, j + 1] = cs * q[:, j + 1] - sn * col1
+
+
+def trexc(t: np.ndarray, q: np.ndarray | None, ifst: int, ilst: int) -> int:
+    """Move the diagonal block containing row ``ifst`` of a Schur matrix
+    to row ``ilst`` by a sequence of adjacent swaps (``xTREXC``; 0-based).
+
+    Returns ``info`` (1 = a swap was refused as too ill-conditioned;
+    the matrix is left in a valid, partially-reordered Schur form).
+    """
+    n = t.shape[0]
+    if not (0 <= ifst < n and 0 <= ilst < n):
+        xerbla("TREXC", 3, "block index out of range")
+    blocks = schur_blocks(t)
+    starts = [b[0] for b in blocks]
+
+    def block_of(row):
+        for idx in range(len(starts) - 1, -1, -1):
+            if starts[idx] <= row:
+                return idx
+        return 0
+
+    bi = block_of(ifst)
+    bl = block_of(ilst)
+    while bi != bl:
+        blocks = schur_blocks(t)
+        starts = [b[0] for b in blocks]
+        bi = block_of(min(ifst, n - 1))
+        bl = block_of(min(ilst, n - 1))
+        if bi == bl:
+            break
+        if bi < bl:
+            j1, n1 = blocks[bi]
+            n2 = blocks[bi + 1][1]
+            if _direct_swap(t, q, j1, n1, n2):
+                return 1
+            ifst = j1 + n2
+        else:
+            j1, n1 = blocks[bi - 1]
+            n2 = blocks[bi][1]
+            if _direct_swap(t, q, j1, n1, n2):
+                return 1
+            ifst = j1
+    return 0
+
+
+def trsyl(a: np.ndarray, b: np.ndarray, c: np.ndarray, isgn: int = 1,
+          trana: str = "N", tranb: str = "N"):
+    """Solve the Sylvester equation ``op(A) X + isgn·X op(B) = scale·C``
+    with A, B (quasi-)triangular Schur matrices (``xTRSYL``).
+
+    The solution overwrites ``c``.  Returns ``(scale, info)`` — here
+    always ``scale = 1``; ``info = 1`` flags perturbed near-common
+    eigenvalues.
+
+    Block Bartels–Stewart: iterate over the diagonal-block partition of A
+    (bottom-up for op='N') and B (left-to-right for op='N'), solving the
+    small (≤ 4×4) Kronecker systems directly.
+    """
+    ta, tb = trana.upper(), tranb.upper()
+    if ta not in ("N", "T", "C") or tb not in ("N", "T", "C"):
+        xerbla("TRSYL", 1, "bad trans option")
+    m = a.shape[0]
+    n = b.shape[0]
+    opa = {"N": a, "T": a.T, "C": np.conj(a.T)}[ta]
+    opb = {"N": b, "T": b.T, "C": np.conj(b.T)}[tb]
+    ablocks = schur_blocks(a)
+    bblocks = schur_blocks(b)
+    # For op(A) upper triangular: solve rows bottom-up; op(A)='T' makes it
+    # lower triangular: top-down.  Similarly for B columns.
+    a_order = list(reversed(ablocks)) if ta == "N" else list(ablocks)
+    b_order = list(bblocks) if tb == "N" else list(reversed(bblocks))
+    info = 0
+    eps = lamch("E", a.dtype)
+    smin = eps * max(float(np.abs(a).max(initial=0.0)),
+                     float(np.abs(b).max(initial=0.0)), 1.0)
+    for jb, (js, jn) in enumerate(b_order):
+        jsl = slice(js, js + jn)
+        for ia, (is_, imn) in enumerate(a_order):
+            isl = slice(is_, is_ + imn)
+            rhs = c[isl, jsl].copy()
+            # Subtract contributions from already-solved blocks.
+            if ta == "N":
+                if is_ + imn < m:
+                    rhs -= opa[isl, is_ + imn:] @ c[is_ + imn:, jsl]
+            else:
+                if is_ > 0:
+                    rhs -= opa[isl, :is_] @ c[:is_, jsl]
+            if tb == "N":
+                if js > 0:
+                    rhs -= isgn * (c[isl, :js] @ opb[:js, jsl])
+            else:
+                if js + jn < n:
+                    rhs -= isgn * (c[isl, js + jn:] @ opb[js + jn:, jsl])
+            a_blk = opa[isl, isl]
+            b_blk = opb[jsl, jsl]
+            kmat = (np.kron(np.eye(jn, dtype=c.dtype), a_blk)
+                    + isgn * np.kron(b_blk.T, np.eye(imn, dtype=c.dtype)))
+            # Guard near-singularity (common eigenvalues).
+            d = np.abs(np.diag(kmat))
+            if np.any(d < smin):
+                kmat = kmat + np.eye(kmat.shape[0], dtype=c.dtype) * smin
+                info = 1
+            sol = np.linalg.solve(kmat, rhs.reshape(-1, order="F"))
+            c[isl, jsl] = sol.reshape((imn, jn), order="F")
+    return 1.0, info
+
+
+def trsen(t: np.ndarray, q: np.ndarray | None, select: np.ndarray,
+          job: str = "B"):
+    """Reorder the Schur factorization so the selected eigenvalues are
+    leading, and estimate condition numbers (``xTRSEN``).
+
+    ``select`` is a boolean mask over the eigenvalue positions (a 2×2
+    block is moved when either of its positions is selected).
+
+    Returns ``(w, sdim, s_cond, sep, info)``: reordered eigenvalues, the
+    dimension of the selected invariant subspace, the reciprocal condition
+    number of the average selected eigenvalue (``s_cond``), and the
+    separation estimate for the invariant subspace (``sep``).
+    """
+    n = t.shape[0]
+    select = np.asarray(select, dtype=bool)
+    info = 0
+    # Bubble the selected blocks to the front, preserving order.
+    dest = 0
+    guard = 0
+    while True:
+        guard += 1
+        if guard > 4 * n + 16:
+            break
+        blocks = schur_blocks(t)
+        moved = False
+        for start, size in blocks:
+            if start >= dest and np.any(select[start:start + size]):
+                if start != dest:
+                    if trexc(t, q, start, dest):
+                        info = 1
+                    # The blocks formerly in dest..start-1 slid right by
+                    # `size`; rotate the mask to keep flags aligned.
+                    seg = select[dest:start + size].copy()
+                    select[dest:dest + size] = seg[start - dest:]
+                    select[dest + size:start + size] = seg[:start - dest]
+                # The moved block now sits at dest; clear its flags so
+                # later passes skip it.
+                select[dest:dest + size] = False
+                dest += size
+                moved = True
+                break
+        if not moved:
+            break
+    sdim = dest
+    w = eig_of_schur(t)
+    s_cond = 1.0
+    sep = 0.0
+    if 0 < sdim < n:
+        t11 = t[:sdim, :sdim]
+        t22 = t[sdim:, sdim:]
+        t12 = t[:sdim, sdim:].copy()
+        # Solve T11 R − R T22 = γ T12 to get the spectral projector norm.
+        rr = t12.copy()
+        trsyl(t11, t22, rr, isgn=-1)
+        rnorm = float(np.linalg.norm(rr))
+        s_cond = 1.0 / np.sqrt(1.0 + rnorm * rnorm)
+        # sep(T11, T22) via a 1-norm estimate of the inverse Sylvester map.
+        from .lacon import lacon
+
+        def sylvec(x):
+            cmat = x.reshape((sdim, n - sdim), order="F").astype(
+                t.dtype, copy=True)
+            trsyl(t11, t22, cmat, isgn=-1)
+            return cmat.reshape(-1, order="F")
+
+        def sylvec_h(x):
+            cmat = x.reshape((sdim, n - sdim), order="F").astype(
+                t.dtype, copy=True)
+            trsyl(t11, t22, cmat, isgn=-1, trana="C", tranb="C")
+            return cmat.reshape(-1, order="F")
+
+        est = lacon(sdim * (n - sdim), sylvec, sylvec_h, dtype=t.dtype)
+        sep = 1.0 / est if est > 0 else 0.0
+    return w, sdim, s_cond, sep, info

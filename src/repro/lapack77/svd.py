@@ -1,0 +1,337 @@
+"""Singular value decomposition: ``xGEBRD`` (bidiagonal reduction),
+``xORGBR`` (accumulate the transformations), ``xBDSQR`` (implicit-shift
+QR on the bidiagonal) and the ``xGESVD`` driver.
+
+Substrate for the paper's ``LA_GESVD`` and ``LA_GELSS``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import xerbla
+from .householder import larf_left, larf_right, larfg
+from .machine import lamch
+
+__all__ = ["gebd2", "gebrd", "orgbr", "ormbr", "bdsqr", "gesvd"]
+
+
+def gebd2(a: np.ndarray):
+    """Unblocked bidiagonal reduction ``B = Qᴴ A P`` (in place), m ≥ n.
+
+    Returns ``(d, e, tauq, taup)`` — real bidiagonal (main/super diagonal)
+    and the reflector scalars.  Column reflector *i* is stored below the
+    diagonal of column *i*; row reflector *i* right of the superdiagonal of
+    row *i* (conjugated for complex data, LAPACK layout).
+    """
+    m, n = a.shape
+    if m < n:
+        raise ValueError("gebd2 requires m >= n (driver transposes)")
+    rdtype = np.float32 if a.dtype in (np.float32, np.complex64) \
+        else np.float64
+    d = np.zeros(n, dtype=rdtype)
+    e = np.zeros(max(n - 1, 0), dtype=rdtype)
+    tauq = np.zeros(n, dtype=a.dtype)
+    taup = np.zeros(n, dtype=a.dtype)
+    cplx = np.iscomplexobj(a)
+    for i in range(n):
+        beta, tq = larfg(a[i, i], a[i + 1:, i])
+        tauq[i] = tq
+        d[i] = beta.real if cplx else beta
+        if i < n - 1 and tq != 0:
+            v = np.empty(m - i, dtype=a.dtype)
+            v[0] = 1
+            v[1:] = a[i + 1:, i]
+            larf_left(v, np.conj(tq), a[i:, i + 1:])
+        if i < n - 1:
+            if cplx:
+                a[i, i + 1:] = np.conj(a[i, i + 1:])
+            beta, tp = larfg(a[i, i + 1], a[i, i + 2:])
+            taup[i] = tp
+            e[i] = beta.real if cplx else beta
+            if tp != 0:
+                v = np.empty(n - i - 1, dtype=a.dtype)
+                v[0] = 1
+                v[1:] = a[i, i + 2:]
+                larf_right(v, tp, a[i + 1:, i + 1:])
+            if cplx:
+                a[i, i + 2:] = np.conj(a[i, i + 2:])
+            a[i, i + 1] = e[i]
+        else:
+            taup[i] = 0
+        a[i, i] = d[i]
+    return d, e, tauq, taup
+
+
+def gebrd(a: np.ndarray):
+    """Bidiagonal reduction (``xGEBRD``); delegates to the unblocked
+    kernel (LAPACK's blocked ``xLABRD`` form is a performance variant with
+    identical output)."""
+    return gebd2(a)
+
+
+def orgbr(vect: str, a: np.ndarray, tauq: np.ndarray, taup: np.ndarray,
+          ncols: int | None = None):
+    """Accumulate the bidiagonal-reduction transformations (``xORGBR``).
+
+    ``vect='Q'``: return Q (m×k, k = ``ncols`` or n) from the column
+    reflectors stored in ``a``.
+    ``vect='P'``: return ``Pᴴ`` (n×n) from the row reflectors.
+    ``a`` is the ``gebrd`` output and is not modified.
+    """
+    m, n = a.shape
+    v = vect.upper()
+    if v == "Q":
+        k = n if ncols is None else ncols
+        q = np.zeros((m, k), dtype=a.dtype)
+        q[np.arange(min(m, k)), np.arange(min(m, k))] = 1
+        for i in range(n - 1, -1, -1):
+            if tauq[i] == 0:
+                continue
+            vec = np.empty(m - i, dtype=a.dtype)
+            vec[0] = 1
+            vec[1:] = a[i + 1:, i]
+            larf_left(vec, tauq[i], q[i:, :])
+        return q
+    if v == "P":
+        vt = np.zeros((n, n), dtype=a.dtype)
+        vt[np.arange(n), np.arange(n)] = 1
+        # VT = Pᴴ = G(k-1)ᴴ ··· G(0)ᴴ; the innermost factor G(0)ᴴ hits the
+        # identity first, so apply in ascending order.
+        cplx = np.iscomplexobj(a)
+        for i in range(n - 1):
+            if taup[i] == 0:
+                continue
+            vec = np.empty(n - i - 1, dtype=a.dtype)
+            vec[0] = 1
+            vec[1:] = np.conj(a[i, i + 2:]) if cplx else a[i, i + 2:]
+            larf_left(vec, np.conj(taup[i]), vt[i + 1:, :])
+        return vt
+    xerbla("ORGBR", 1, f"vect={vect!r}")
+
+
+def bdsqr(d: np.ndarray, e: np.ndarray, vt: np.ndarray | None = None,
+          u: np.ndarray | None = None, maxiter_factor: int = 40) -> int:
+    """Implicit-shift QR iteration for an *upper* bidiagonal matrix
+    (``xBDSQR``).
+
+    On success ``d`` holds the singular values in descending order and the
+    rotations are accumulated into ``u`` (columns) and ``vt`` (rows).
+    Returns ``info`` (> 0: number of unconverged superdiagonals).
+    """
+    n = d.shape[0]
+    if n == 0:
+        return 0
+    eps = lamch("E", d.dtype)
+    rv1 = np.zeros(n, dtype=np.float64)
+    rv1[1:] = e[: n - 1]
+    w = d.astype(np.float64).copy()
+    anorm = float(np.max(np.abs(w) + np.abs(rv1)))
+    if anorm == 0:
+        d[:] = 0
+        return 0
+    info = 0
+
+    def rot_u(i, j, c_, s_):
+        if u is not None:
+            col = u[:, i].copy()
+            u[:, i] = col * c_ + u[:, j] * s_
+            u[:, j] = -col * s_ + u[:, j] * c_
+
+    def rot_v(i, j, c_, s_):
+        if vt is not None:
+            row = vt[i, :].copy()
+            vt[i, :] = row * c_ + vt[j, :] * s_
+            vt[j, :] = -row * s_ + vt[j, :] * c_
+
+    for k in range(n - 1, -1, -1):
+        for its in range(maxiter_factor):
+            flag = True
+            l = k
+            while l >= 0:
+                nm = l - 1
+                if abs(rv1[l]) <= eps * anorm:
+                    flag = False
+                    break
+                if nm >= 0 and abs(w[nm]) <= eps * anorm:
+                    break
+                l -= 1
+            if flag and l > 0:
+                # Cancellation: zero rv1[l] against the zero w[l-1].
+                c_, s_ = 0.0, 1.0
+                nm = l - 1
+                for i in range(l, k + 1):
+                    f = s_ * rv1[i]
+                    rv1[i] = c_ * rv1[i]
+                    if abs(f) <= eps * anorm:
+                        break
+                    g = w[i]
+                    h = float(np.hypot(f, g))
+                    w[i] = h
+                    h = 1.0 / h
+                    c_ = g * h
+                    s_ = -f * h
+                    rot_u(nm, i, c_, s_)
+            z = w[k]
+            if l == k:
+                # Converged; enforce non-negative singular value.
+                if z < 0:
+                    w[k] = -z
+                    if vt is not None:
+                        vt[k, :] = -vt[k, :]
+                break
+            if its == maxiter_factor - 1:
+                info += 1
+                break
+            # Shift from the bottom 2×2 minor.
+            x = w[l]
+            nm = k - 1
+            y = w[nm]
+            g = rv1[nm]
+            h = rv1[k]
+            f = ((y - z) * (y + z) + (g - h) * (g + h)) / (2.0 * h * y)
+            g = float(np.hypot(f, 1.0))
+            f = ((x - z) * (x + z)
+                 + h * (y / (f + (g if f >= 0 else -g)) - h)) / x
+            # QR sweep.
+            c_ = s_ = 1.0
+            for j in range(l, nm + 1):
+                i = j + 1
+                g = rv1[i]
+                y = w[i]
+                h = s_ * g
+                g = c_ * g
+                z = float(np.hypot(f, h))
+                rv1[j] = z
+                c_ = f / z
+                s_ = h / z
+                f = x * c_ + g * s_
+                g = g * c_ - x * s_
+                h = y * s_
+                y *= c_
+                rot_v(j, i, c_, s_)
+                z = float(np.hypot(f, h))
+                w[j] = z
+                if z != 0:
+                    z = 1.0 / z
+                    c_ = f * z
+                    s_ = h * z
+                f = c_ * g + s_ * y
+                x = c_ * y - s_ * g
+                rot_u(j, i, c_, s_)
+            rv1[l] = 0.0
+            rv1[k] = f
+            w[k] = x
+    # Sort descending; permute u's columns and vt's rows.
+    order = np.argsort(-w, kind="stable")
+    w = w[order]
+    d[:] = w
+    e[:] = 0
+    if u is not None:
+        # Only the leading n columns participate in the rotations (jobu='A'
+        # leaves the orthogonal complement untouched).
+        u[:, :n] = u[:, :n][:, order]
+    if vt is not None:
+        vt[:n, :] = vt[:n, :][order, :]
+    return info
+
+
+def gesvd(a: np.ndarray, jobu: str = "N", jobvt: str = "N"):
+    """Singular value decomposition ``A = U Σ Vᴴ`` (``xGESVD``).
+
+    ``jobu``/``jobvt`` ∈ {'N', 'S', 'A'}: none, the leading min(m,n)
+    singular vectors, or the full square factor.  ``a`` is destroyed.
+    Returns ``(s, u, vt, info)`` with ``s`` descending; ``u``/``vt`` are
+    ``None`` when not requested.
+    """
+    ju, jvt = jobu.upper(), jobvt.upper()
+    if ju not in ("N", "S", "A"):
+        xerbla("GESVD", 2, f"jobu={jobu!r}")
+    if jvt not in ("N", "S", "A"):
+        xerbla("GESVD", 3, f"jobvt={jobvt!r}")
+    m, n = a.shape
+    rdtype = np.float32 if a.dtype in (np.float32, np.complex64) \
+        else np.float64
+    if min(m, n) == 0:
+        s = np.zeros(0, dtype=rdtype)
+        u = np.eye(m, dtype=a.dtype) if ju == "A" else None
+        vt = np.eye(n, dtype=a.dtype) if jvt == "A" else None
+        return s, u, vt, 0
+    if m < n:
+        # SVD of Aᴴ = V Σ Uᴴ, then swap the factors.
+        s, v, ut, info = gesvd(np.conj(a.T).copy(), jobu=jvt, jobvt=ju)
+        u = np.conj(ut.T) if ut is not None else None
+        vt = np.conj(v.T) if v is not None else None
+        return s, u, vt, info
+    d, e, tauq, taup = gebrd(a)
+    u = None
+    vt = None
+    if ju != "N":
+        u = orgbr("Q", a, tauq, taup, ncols=(m if ju == "A" else n))
+    if jvt != "N":
+        vt = orgbr("P", a, tauq, taup)
+    s64 = d.astype(np.float64)
+    e64 = e.astype(np.float64)
+    info = bdsqr(s64, e64, vt=vt, u=u)
+    s = s64.astype(rdtype)
+    return s, u, vt, info
+
+
+def ormbr(vect: str, side: str, trans: str, a: np.ndarray,
+          tauq: np.ndarray, taup: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Multiply C by the Q or Pᴴ factor of a bidiagonal reduction
+    (``xORMBR``), in place.
+
+    ``vect='Q'``: apply op(Q) (the column-reflector product);
+    ``vect='P'``: apply op(Pᴴ) — with ``trans='N'`` this is Pᴴ itself,
+    matching LAPACK's convention that the stored operator is Pᴴ.
+    """
+    from .householder import larf_left, larf_right
+    v = vect.upper()
+    s = side.upper()
+    t = trans.upper()
+    if v not in ("Q", "P"):
+        xerbla("ORMBR", 1, f"vect={vect!r}")
+    if s not in ("L", "R"):
+        xerbla("ORMBR", 2, f"side={side!r}")
+    if t not in ("N", "T", "C"):
+        xerbla("ORMBR", 3, f"trans={trans!r}")
+    m, n = a.shape
+    cplx = np.iscomplexobj(a)
+    if v == "Q":
+        # Q = H(0) H(1) ... H(n-1), reflectors in columns of a.
+        k = min(m, n)
+        forward = (s == "L") != (t == "N")
+        order = range(k) if forward else range(k - 1, -1, -1)
+        for i in order:
+            vec = np.empty(m - i, dtype=a.dtype)
+            vec[0] = 1
+            vec[1:] = a[i + 1:, i]
+            ti = np.conj(tauq[i]) if t in ("T", "C") else tauq[i]
+            if s == "L":
+                larf_left(vec, ti, c[i:, :])
+            else:
+                larf_right(vec, ti, c[:, i:])
+    else:
+        # Pᴴ = G(k-1)ᴴ ··· G(0)ᴴ with G(i) = I − taup_i u uᴴ, u from row i.
+        k = min(m, n) - 1 if m >= n else min(m, n)
+        k = min(k, n - 1)
+        # op = Pᴴ for trans='N'; op = P for trans='T'/'C'.
+        # Pᴴ x: apply G(0)ᴴ first (ascending); P x: G(k-1) first... P =
+        # G(0) G(1) ··· so P x applies G(k-1) first (descending).
+        applying_ph = (t == "N")
+        if s == "L":
+            order = range(k) if applying_ph else range(k - 1, -1, -1)
+        else:
+            # C Pᴴ = (P Cᴴ)ᴴ: right-side order flips.
+            order = range(k - 1, -1, -1) if applying_ph else range(k)
+        for i in order:
+            vec = np.empty(n - i - 1, dtype=a.dtype)
+            vec[0] = 1
+            vec[1:] = np.conj(a[i, i + 2:]) if cplx else a[i, i + 2:]
+            ti = np.conj(taup[i]) if applying_ph else taup[i]
+            if s == "L":
+                larf_left(vec, ti, c[i + 1:, :])
+            else:
+                larf_right(vec, ti, c[:, i + 1:])
+    return c

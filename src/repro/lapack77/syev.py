@@ -1,0 +1,305 @@
+"""Symmetric/Hermitian eigenvalue drivers.
+
+* ``syev``/``heev`` — QL-iteration drivers (``xSYEV``/``xHEEV``),
+* ``syevd``/``heevd`` — divide-and-conquer drivers,
+* ``syevx``/``heevx`` — expert drivers (bisection + inverse iteration for
+  selected eigenvalues),
+* ``stev``/``stevd``/``stevx`` — tridiagonal drivers,
+* packed (``spev…``/``hpev…``) and band (``sbev…``/``hbev…``) variants.
+
+The band drivers reduce with the genuinely banded Givens chasing of
+:mod:`repro.lapack77.band_eigen` (``sbtrd``); the packed drivers expand
+to dense storage and run the dense path — a documented substitution
+(DESIGN.md §7): LAPACK's in-format ``xSPTRD`` is a storage optimization
+with identical numerical behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import xerbla
+from ..storage import sym_band_to_full, unpack
+from .td_eigen import orgtr, stebz, stedc, stein, steqr, sterf, sytd2
+
+__all__ = ["syev", "syevd", "syevx", "heev", "heevd", "heevx",
+           "stev", "stevd", "stevx",
+           "spev", "spevd", "spevx", "hpev", "hpevd", "hpevx",
+           "sbev", "sbevd", "sbevx", "hbev", "hbevd", "hbevx"]
+
+
+def _dense_eig(a: np.ndarray, jobz: str, uplo: str, hermitian: bool,
+               method: str = "qr"):
+    """Common dense driver body: tridiagonalize, iterate, back-transform.
+
+    ``a`` is overwritten (with eigenvectors when ``jobz='V'``).
+    Returns ``(w, info)``.
+    """
+    n = a.shape[0]
+    rdtype = np.float32 if a.dtype in (np.float32, np.complex64) \
+        else np.float64
+    if n == 0:
+        return np.zeros(0, dtype=rdtype), 0
+    wantz = jobz.upper() == "V"
+    d, e, tau = sytd2(a, uplo, hermitian=hermitian)
+    if not wantz:
+        if method == "dc":
+            info = stedc(d, e, compz="N")
+        else:
+            info = sterf(d, e)
+        return d.astype(rdtype), info
+    q = a.copy()
+    orgtr(q, tau, uplo)
+    if method == "dc":
+        # stedc works in float64; back-transform explicitly.
+        d64 = d.astype(np.float64)
+        e64 = e.astype(np.float64)
+        zt = np.empty((n, n))
+        info = stedc(d64, e64, zt, compz="I")
+        if info == 0:
+            a[...] = q @ zt.astype(a.dtype)
+            d = d64.astype(rdtype)
+    else:
+        info = steqr(d, e, q, compz="V")
+        if info == 0:
+            a[...] = q
+    return d.astype(rdtype), info
+
+
+def syev(a: np.ndarray, jobz: str = "N", uplo: str = "U"):
+    """Eigenvalues (and optionally eigenvectors) of a real symmetric
+    matrix (``xSYEV``).
+
+    With ``jobz='V'`` the eigenvectors overwrite ``a`` (column *i* pairs
+    with ``w[i]``).  Returns ``(w, info)``; eigenvalues ascend.
+    """
+    if jobz.upper() not in ("N", "V"):
+        xerbla("SYEV", 1, f"jobz={jobz!r}")
+    if uplo.upper() not in ("U", "L"):
+        xerbla("SYEV", 2, f"uplo={uplo!r}")
+    return _dense_eig(a, jobz, uplo, hermitian=False, method="qr")
+
+
+def heev(a: np.ndarray, jobz: str = "N", uplo: str = "U"):
+    """Hermitian eigen driver (``xHEEV``). Returns ``(w, info)``, w real."""
+    if jobz.upper() not in ("N", "V"):
+        xerbla("HEEV", 1, f"jobz={jobz!r}")
+    if uplo.upper() not in ("U", "L"):
+        xerbla("HEEV", 2, f"uplo={uplo!r}")
+    return _dense_eig(a, jobz, uplo, hermitian=True, method="qr")
+
+
+def syevd(a: np.ndarray, jobz: str = "N", uplo: str = "U"):
+    """Divide-and-conquer symmetric eigen driver (``xSYEVD``)."""
+    return _dense_eig(a, jobz, uplo, hermitian=False, method="dc")
+
+
+def heevd(a: np.ndarray, jobz: str = "N", uplo: str = "U"):
+    """Divide-and-conquer Hermitian eigen driver (``xHEEVD``)."""
+    return _dense_eig(a, jobz, uplo, hermitian=True, method="dc")
+
+
+def _dense_eigx(a: np.ndarray, jobz: str, uplo: str, hermitian: bool,
+                vl=None, vu=None, il=None, iu=None, abstol=0.0):
+    """Expert driver body: tridiagonalize, bisect, inverse-iterate,
+    back-transform.  Returns ``(w, z, m, ifail, info)``."""
+    n = a.shape[0]
+    rdtype = np.float32 if a.dtype in (np.float32, np.complex64) \
+        else np.float64
+    wantz = jobz.upper() == "V"
+    if n == 0:
+        return (np.zeros(0, dtype=rdtype),
+                np.zeros((0, 0), dtype=a.dtype), 0, np.zeros(0, np.int64), 0)
+    d, e, tau = sytd2(a, uplo, hermitian=hermitian)
+    d64 = d.astype(np.float64)
+    e64 = e.astype(np.float64)
+    w, m, info = stebz(d64, e64, vl=vl, vu=vu, il=il, iu=iu, abstol=abstol)
+    ifail = np.zeros(m, dtype=np.int64)
+    if not wantz:
+        return w.astype(rdtype), None, m, ifail, info
+    zt, nfail = stein(d64, e64, w)
+    q = a.copy()
+    orgtr(q, tau, uplo)
+    z = q @ zt.astype(a.dtype)
+    return w.astype(rdtype), z, m, ifail, (nfail if info == 0 else info)
+
+
+def syevx(a, jobz="N", uplo="U", vl=None, vu=None, il=None, iu=None,
+          abstol=0.0):
+    """Expert symmetric eigen driver (``xSYEVX``): selected eigenvalues by
+    value range ``(vl, vu]`` or 0-based index range ``[il, iu]``.
+
+    Returns ``(w, z, m, ifail, info)`` (``z`` is ``None`` for jobz='N').
+    """
+    if vl is not None and vu is not None and vl >= vu:
+        xerbla("SYEVX", 4, "need vl < vu")
+    return _dense_eigx(a, jobz, uplo, hermitian=False, vl=vl, vu=vu,
+                       il=il, iu=iu, abstol=abstol)
+
+
+def heevx(a, jobz="N", uplo="U", vl=None, vu=None, il=None, iu=None,
+          abstol=0.0):
+    """Expert Hermitian eigen driver (``xHEEVX``)."""
+    if vl is not None and vu is not None and vl >= vu:
+        xerbla("HEEVX", 4, "need vl < vu")
+    return _dense_eigx(a, jobz, uplo, hermitian=True, vl=vl, vu=vu,
+                       il=il, iu=iu, abstol=abstol)
+
+
+def stev(d: np.ndarray, e: np.ndarray, z: np.ndarray | None = None,
+         jobz: str = "N"):
+    """Tridiagonal eigen driver (``xSTEV``): eigenvalues overwrite ``d``.
+
+    With ``jobz='V'`` the eigenvectors fill ``z``.  Returns ``info``.
+    """
+    if jobz.upper() == "V":
+        if z is None:
+            raise ValueError("jobz='V' requires z")
+        return steqr(d, e, z, compz="I")
+    return sterf(d, e)
+
+
+def stevd(d: np.ndarray, e: np.ndarray, z: np.ndarray | None = None,
+          jobz: str = "N"):
+    """Divide-and-conquer tridiagonal driver (``xSTEVD``)."""
+    if jobz.upper() == "V":
+        if z is None:
+            raise ValueError("jobz='V' requires z")
+        return stedc(d, e, z, compz="I")
+    return stedc(d, e, compz="N")
+
+
+def stevx(d, e, jobz="N", vl=None, vu=None, il=None, iu=None, abstol=0.0):
+    """Expert tridiagonal driver (``xSTEVX``).
+
+    Returns ``(w, z, m, ifail, info)``.
+    """
+    d64 = np.asarray(d, dtype=np.float64)
+    e64 = np.asarray(e, dtype=np.float64)
+    w, m, info = stebz(d64, e64, vl=vl, vu=vu, il=il, iu=iu, abstol=abstol)
+    ifail = np.zeros(m, dtype=np.int64)
+    if jobz.upper() != "V":
+        return w, None, m, ifail, info
+    z, nfail = stein(d64, e64, w)
+    return w, z, m, ifail, (nfail if info == 0 else info)
+
+
+# -- packed storage drivers -------------------------------------------------
+
+def _packed_driver(ap, n, jobz, uplo, hermitian, method):
+    full = unpack(np.asarray(ap), n, uplo=uplo, symmetric=not hermitian,
+                  hermitian=hermitian)
+    w, info = _dense_eig(full, jobz, uplo, hermitian, method)
+    z = full if jobz.upper() == "V" else None
+    return w, z, info
+
+
+def spev(ap, n, jobz="N", uplo="U"):
+    """Packed symmetric eigen driver (``xSPEV``).
+
+    Returns ``(w, z, info)`` with ``z=None`` unless ``jobz='V'``.
+    """
+    return _packed_driver(ap, n, jobz, uplo, False, "qr")
+
+
+def hpev(ap, n, jobz="N", uplo="U"):
+    """Packed Hermitian eigen driver (``xHPEV``)."""
+    return _packed_driver(ap, n, jobz, uplo, True, "qr")
+
+
+def spevd(ap, n, jobz="N", uplo="U"):
+    """Packed symmetric divide-and-conquer driver (``xSPEVD``)."""
+    return _packed_driver(ap, n, jobz, uplo, False, "dc")
+
+
+def hpevd(ap, n, jobz="N", uplo="U"):
+    """Packed Hermitian divide-and-conquer driver (``xHPEVD``)."""
+    return _packed_driver(ap, n, jobz, uplo, True, "dc")
+
+
+def spevx(ap, n, jobz="N", uplo="U", vl=None, vu=None, il=None, iu=None,
+          abstol=0.0):
+    """Packed symmetric expert driver (``xSPEVX``).
+
+    Returns ``(w, z, m, ifail, info)``.
+    """
+    full = unpack(np.asarray(ap), n, uplo=uplo, symmetric=True)
+    return _dense_eigx(full, jobz, uplo, False, vl, vu, il, iu, abstol)
+
+
+def hpevx(ap, n, jobz="N", uplo="U", vl=None, vu=None, il=None, iu=None,
+          abstol=0.0):
+    """Packed Hermitian expert driver (``xHPEVX``)."""
+    full = unpack(np.asarray(ap), n, uplo=uplo, hermitian=True)
+    return _dense_eigx(full, jobz, uplo, True, vl, vu, il, iu, abstol)
+
+
+# -- band storage drivers ---------------------------------------------------
+
+def _band_driver(ab, n, jobz, uplo, hermitian, method):
+    # Reduce with the genuinely banded Givens chasing (sbtrd), then run
+    # the tridiagonal eigensolver and back-transform.
+    from .band_eigen import sbtrd
+    wantz = jobz.upper() == "V"
+    d, e, q, info = sbtrd(np.asarray(ab), uplo=uplo,
+                          vect="V" if wantz else "N",
+                          hermitian=hermitian)
+    if info != 0:
+        return d, None, info
+    d64 = d.astype(np.float64)
+    e64 = e.astype(np.float64)
+    if not wantz:
+        if method == "dc":
+            info = stedc(d64, e64, compz="N")
+        else:
+            info = sterf(d64, e64)
+        return d64.astype(d.dtype), None, info
+    zt = np.empty((n, n))
+    if method == "dc":
+        info = stedc(d64, e64, zt, compz="I")
+    else:
+        info = steqr(d64, e64, zt, compz="I")
+    if info != 0:
+        return d64.astype(d.dtype), None, info
+    z = q @ zt.astype(q.dtype)
+    return d64.astype(d.dtype), z, info
+
+
+def sbev(ab, n, jobz="N", uplo="U"):
+    """Symmetric band eigen driver (``xSBEV``).
+
+    Returns ``(w, z, info)``.
+    """
+    return _band_driver(ab, n, jobz, uplo, False, "qr")
+
+
+def hbev(ab, n, jobz="N", uplo="U"):
+    """Hermitian band eigen driver (``xHBEV``)."""
+    return _band_driver(ab, n, jobz, uplo, True, "qr")
+
+
+def sbevd(ab, n, jobz="N", uplo="U"):
+    """Symmetric band divide-and-conquer driver (``xSBEVD``)."""
+    return _band_driver(ab, n, jobz, uplo, False, "dc")
+
+
+def hbevd(ab, n, jobz="N", uplo="U"):
+    """Hermitian band divide-and-conquer driver (``xHBEVD``)."""
+    return _band_driver(ab, n, jobz, uplo, True, "dc")
+
+
+def sbevx(ab, n, jobz="N", uplo="U", vl=None, vu=None, il=None, iu=None,
+          abstol=0.0):
+    """Symmetric band expert driver (``xSBEVX``).
+
+    Returns ``(w, z, m, ifail, info)``.
+    """
+    full = sym_band_to_full(np.asarray(ab), n, uplo=uplo)
+    return _dense_eigx(full, jobz, uplo, False, vl, vu, il, iu, abstol)
+
+
+def hbevx(ab, n, jobz="N", uplo="U", vl=None, vu=None, il=None, iu=None,
+          abstol=0.0):
+    """Hermitian band expert driver (``xHBEVX``)."""
+    full = sym_band_to_full(np.asarray(ab), n, uplo=uplo, hermitian=True)
+    return _dense_eigx(full, jobz, uplo, True, vl, vu, il, iu, abstol)

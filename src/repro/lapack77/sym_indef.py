@@ -1,0 +1,575 @@
+"""Symmetric/Hermitian indefinite solvers: Bunch–Kaufman diagonal pivoting
+(``xSYTRF/xSYTRS/xSYSV`` and ``xHETRF/xHETRS/xHESV``) with condition
+estimation (``xSYCON/xHECON``) and refinement (``xSYRFS/xHERFS``).
+
+Substrate for the paper's ``LA_SYSV``/``LA_HESV`` drivers and their expert
+variants.  The factorization is ``A = U D Uᵀ`` (or ``Uᴴ`` for Hermitian)
+with D block diagonal (1×1 and 2×2 blocks) chosen by the Bunch–Kaufman
+criterion with ``alpha = (1+√17)/8``.
+
+Pivot encoding matches LAPACK (0-based): ``ipiv[k] >= 0`` marks a 1×1 block
+with rows/columns ``k`` and ``ipiv[k]`` interchanged; a 2×2 block stores
+``ipiv[k] = ipiv[k∓1] = -(p+1)`` where ``p`` is the interchanged index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import xerbla
+from .lacon import lacon
+from .lautil import lansy, lanhe
+from .machine import lamch
+
+__all__ = ["sytf2", "sytrf", "sytrs", "sysv", "sycon", "syrfs",
+           "hetf2", "hetrf", "hetrs", "hesv", "hecon", "herfs"]
+
+_ALPHA = (1.0 + np.sqrt(17.0)) / 8.0
+
+
+def _cabs1(z):
+    return np.abs(z.real) + np.abs(z.imag) if np.iscomplexobj(z) else np.abs(z)
+
+
+def _diag_entry(a, k, hermitian):
+    return a[k, k].real if hermitian else a[k, k]
+
+
+def _sytf2_upper(a: np.ndarray, ipiv: np.ndarray, hermitian: bool) -> int:
+    n = a.shape[0]
+    info = 0
+    k = n - 1
+    while k >= 0:
+        kstep = 1
+        absakk = abs(a[k, k].real) if hermitian else _cabs1(a[k, k])
+        if k > 0:
+            col = a[:k, k]
+            imax = int(np.argmax(_cabs1(col)))
+            colmax = float(_cabs1(col[imax]))
+        else:
+            imax, colmax = 0, 0.0
+        if max(absakk, colmax) == 0.0:
+            if info == 0:
+                info = k + 1
+            kp = k
+            if hermitian:
+                a[k, k] = a[k, k].real
+        else:
+            if absakk >= _ALPHA * colmax:
+                kp = k
+            else:
+                rowmax = float(np.max(_cabs1(a[imax, imax + 1: k + 1])))
+                if imax > 0:
+                    rowmax = max(rowmax,
+                                 float(np.max(_cabs1(a[:imax, imax]))))
+                dmag = abs(a[imax, imax].real) if hermitian \
+                    else _cabs1(a[imax, imax])
+                if absakk >= _ALPHA * colmax * (colmax / rowmax):
+                    kp = k
+                elif dmag >= _ALPHA * rowmax:
+                    kp = imax
+                else:
+                    kp = imax
+                    kstep = 2
+            kk = k - kstep + 1
+            if kp != kk:
+                # Interchange rows/columns kk and kp of the leading block.
+                tmp = a[:kp, kk].copy()
+                a[:kp, kk] = a[:kp, kp]
+                a[:kp, kp] = tmp
+                seg = a[kp + 1: kk, kk].copy()
+                if hermitian:
+                    a[kp + 1: kk, kk] = np.conj(a[kp, kp + 1: kk])
+                    a[kp, kp + 1: kk] = np.conj(seg)
+                    a[kp, kk] = np.conj(a[kp, kk])
+                    dkk, dkp = a[kk, kk].real, a[kp, kp].real
+                    a[kk, kk], a[kp, kp] = dkp, dkk
+                else:
+                    a[kp + 1: kk, kk] = a[kp, kp + 1: kk]
+                    a[kp, kp + 1: kk] = seg
+                    a[kk, kk], a[kp, kp] = a[kp, kp], a[kk, kk]
+                if kstep == 2:
+                    a[kk, k], a[kp, k] = a[kp, k], a[kk, k]
+            elif hermitian:
+                a[kk, kk] = a[kk, kk].real
+                if kstep == 2:
+                    a[k, k] = a[k, k].real
+            if kstep == 1:
+                # 1x1 pivot: rank-1 update of the leading (k)x(k) block.
+                if k > 0:
+                    if hermitian:
+                        r1 = 1.0 / a[k, k].real
+                        x = a[:k, k]
+                        upd = r1 * np.outer(x, np.conj(x))
+                        iu = np.triu_indices(k)
+                        a[:k, :k][iu] -= upd[iu]
+                        di = np.arange(k)
+                        a[di, di] = a[di, di].real
+                        a[:k, k] *= r1
+                    else:
+                        r1 = 1.0 / a[k, k]
+                        x = a[:k, k]
+                        upd = r1 * np.outer(x, x)
+                        iu = np.triu_indices(k)
+                        a[:k, :k][iu] -= upd[iu]
+                        a[:k, k] *= r1
+            else:
+                # 2x2 pivot in columns (k-1, k).
+                if k > 1:
+                    if hermitian:
+                        dd = float(np.hypot(a[k - 1, k].real,
+                                            a[k - 1, k].imag))
+                        d22 = a[k - 1, k - 1].real / dd
+                        d11 = a[k, k].real / dd
+                        tt = 1.0 / (d11 * d22 - 1.0)
+                        d12 = a[k - 1, k] / dd
+                        dsc = tt / dd
+                        colk = a[:k - 1, k].copy()
+                        colkm1 = a[:k - 1, k - 1].copy()
+                        wkm1 = dsc * (d11 * colkm1 - colk * np.conj(d12))
+                        wk = dsc * (d22 * colk - colkm1 * d12)
+                        upd = (np.outer(colk, np.conj(wk))
+                               + np.outer(colkm1, np.conj(wkm1)))
+                        iu = np.triu_indices(k - 1)
+                        a[:k - 1, :k - 1][iu] -= upd[iu]
+                        di = np.arange(k - 1)
+                        a[di, di] = a[di, di].real
+                        a[:k - 1, k] = wk
+                        a[:k - 1, k - 1] = wkm1
+                    else:
+                        d12 = a[k - 1, k]
+                        d22 = a[k - 1, k - 1] / d12
+                        d11 = a[k, k] / d12
+                        tt = 1.0 / (d11 * d22 - 1.0)
+                        d12 = tt / d12
+                        colk = a[:k - 1, k].copy()
+                        colkm1 = a[:k - 1, k - 1].copy()
+                        wkm1 = d12 * (d11 * colkm1 - colk)
+                        wk = d12 * (d22 * colk - colkm1)
+                        upd = np.outer(colk, wk) + np.outer(colkm1, wkm1)
+                        iu = np.triu_indices(k - 1)
+                        a[:k - 1, :k - 1][iu] -= upd[iu]
+                        a[:k - 1, k] = wk
+                        a[:k - 1, k - 1] = wkm1
+        if kstep == 1:
+            ipiv[k] = kp
+        else:
+            ipiv[k] = -(kp + 1)
+            ipiv[k - 1] = -(kp + 1)
+        k -= kstep
+    return info
+
+
+def _sytf2_lower(a: np.ndarray, ipiv: np.ndarray, hermitian: bool) -> int:
+    n = a.shape[0]
+    info = 0
+    k = 0
+    while k < n:
+        kstep = 1
+        absakk = abs(a[k, k].real) if hermitian else _cabs1(a[k, k])
+        if k < n - 1:
+            col = a[k + 1:, k]
+            imax = k + 1 + int(np.argmax(_cabs1(col)))
+            colmax = float(_cabs1(a[imax, k]))
+        else:
+            imax, colmax = k, 0.0
+        if max(absakk, colmax) == 0.0:
+            if info == 0:
+                info = k + 1
+            kp = k
+            if hermitian:
+                a[k, k] = a[k, k].real
+        else:
+            if absakk >= _ALPHA * colmax:
+                kp = k
+            else:
+                rowmax = float(np.max(_cabs1(a[imax, k:imax]))) \
+                    if imax > k else 0.0
+                if imax < n - 1:
+                    rowmax = max(rowmax,
+                                 float(np.max(_cabs1(a[imax + 1:, imax]))))
+                dmag = abs(a[imax, imax].real) if hermitian \
+                    else _cabs1(a[imax, imax])
+                if absakk >= _ALPHA * colmax * (colmax / rowmax):
+                    kp = k
+                elif dmag >= _ALPHA * rowmax:
+                    kp = imax
+                else:
+                    kp = imax
+                    kstep = 2
+            kk = k + kstep - 1
+            if kp != kk:
+                if kp < n - 1:
+                    tmp = a[kp + 1:, kk].copy()
+                    a[kp + 1:, kk] = a[kp + 1:, kp]
+                    a[kp + 1:, kp] = tmp
+                seg = a[kk + 1: kp, kk].copy()
+                if hermitian:
+                    a[kk + 1: kp, kk] = np.conj(a[kp, kk + 1: kp])
+                    a[kp, kk + 1: kp] = np.conj(seg)
+                    a[kp, kk] = np.conj(a[kp, kk])
+                    dkk, dkp = a[kk, kk].real, a[kp, kp].real
+                    a[kk, kk], a[kp, kp] = dkp, dkk
+                else:
+                    a[kk + 1: kp, kk] = a[kp, kk + 1: kp]
+                    a[kp, kk + 1: kp] = seg
+                    a[kk, kk], a[kp, kp] = a[kp, kp], a[kk, kk]
+                if kstep == 2:
+                    a[kk, k], a[kp, k] = a[kp, k], a[kk, k]
+            elif hermitian:
+                a[kk, kk] = a[kk, kk].real
+                if kstep == 2:
+                    a[k, k] = a[k, k].real
+            if kstep == 1:
+                if k < n - 1:
+                    if hermitian:
+                        r1 = 1.0 / a[k, k].real
+                        x = a[k + 1:, k]
+                        upd = r1 * np.outer(x, np.conj(x))
+                        il = np.tril_indices(n - k - 1)
+                        a[k + 1:, k + 1:][il] -= upd[il]
+                        di = np.arange(k + 1, n)
+                        a[di, di] = a[di, di].real
+                        a[k + 1:, k] *= r1
+                    else:
+                        r1 = 1.0 / a[k, k]
+                        x = a[k + 1:, k]
+                        upd = r1 * np.outer(x, x)
+                        il = np.tril_indices(n - k - 1)
+                        a[k + 1:, k + 1:][il] -= upd[il]
+                        a[k + 1:, k] *= r1
+            else:
+                if k < n - 2:
+                    if hermitian:
+                        dd = float(np.hypot(a[k + 1, k].real,
+                                            a[k + 1, k].imag))
+                        d11 = a[k + 1, k + 1].real / dd
+                        d22 = a[k, k].real / dd
+                        tt = 1.0 / (d11 * d22 - 1.0)
+                        d21 = a[k + 1, k] / dd
+                        dsc = tt / dd
+                        colk = a[k + 2:, k].copy()
+                        colkp1 = a[k + 2:, k + 1].copy()
+                        wk = dsc * (d11 * colk - colkp1 * d21)
+                        wkp1 = dsc * (d22 * colkp1 - colk * np.conj(d21))
+                        upd = (np.outer(colk, np.conj(wk))
+                               + np.outer(colkp1, np.conj(wkp1)))
+                        il = np.tril_indices(n - k - 2)
+                        a[k + 2:, k + 2:][il] -= upd[il]
+                        di = np.arange(k + 2, n)
+                        a[di, di] = a[di, di].real
+                        a[k + 2:, k] = wk
+                        a[k + 2:, k + 1] = wkp1
+                    else:
+                        d21 = a[k + 1, k]
+                        d11 = a[k + 1, k + 1] / d21
+                        d22 = a[k, k] / d21
+                        tt = 1.0 / (d11 * d22 - 1.0)
+                        d21 = tt / d21
+                        colk = a[k + 2:, k].copy()
+                        colkp1 = a[k + 2:, k + 1].copy()
+                        wk = d21 * (d11 * colk - colkp1)
+                        wkp1 = d21 * (d22 * colkp1 - colk)
+                        upd = np.outer(colk, wk) + np.outer(colkp1, wkp1)
+                        il = np.tril_indices(n - k - 2)
+                        a[k + 2:, k + 2:][il] -= upd[il]
+                        a[k + 2:, k] = wk
+                        a[k + 2:, k + 1] = wkp1
+        if kstep == 1:
+            ipiv[k] = kp
+        else:
+            ipiv[k] = -(kp + 1)
+            ipiv[k + 1] = -(kp + 1)
+        k += kstep
+    return info
+
+
+def sytf2(a: np.ndarray, uplo: str = "U", hermitian: bool = False):
+    """Unblocked Bunch–Kaufman factorization (in place).
+
+    Returns ``(ipiv, info)``.
+    """
+    if uplo.upper() not in ("U", "L"):
+        xerbla("SYTF2", 1, f"uplo={uplo!r}")
+    n = a.shape[0]
+    if a.shape[1] != n:
+        xerbla("SYTF2", 2, "matrix must be square")
+    ipiv = np.zeros(n, dtype=np.int64)
+    if uplo.upper() == "U":
+        info = _sytf2_upper(a, ipiv, hermitian)
+    else:
+        info = _sytf2_lower(a, ipiv, hermitian)
+    return ipiv, info
+
+
+def sytrf(a: np.ndarray, uplo: str = "U"):
+    """Bunch–Kaufman factorization of a symmetric matrix, ``A = U D Uᵀ``.
+
+    (Delegates to the unblocked kernel; LAPACK's ``xLASYF`` blocking is a
+    pure performance refinement with identical output.)
+    Returns ``(ipiv, info)``.
+    """
+    return sytf2(a, uplo, hermitian=False)
+
+
+def hetf2(a: np.ndarray, uplo: str = "U"):
+    """Unblocked Hermitian Bunch–Kaufman factorization (``xHETF2``)."""
+    return sytf2(a, uplo, hermitian=True)
+
+
+def hetrf(a: np.ndarray, uplo: str = "U"):
+    """Bunch–Kaufman factorization of a Hermitian matrix, ``A = U D Uᴴ``.
+
+    Returns ``(ipiv, info)``.
+    """
+    return sytf2(a, uplo, hermitian=True)
+
+
+def _sytrs_upper(a, ipiv, b, hermitian):
+    n = a.shape[0]
+    conj = np.conj if hermitian else (lambda z: z)
+    # Solve U D x = b (descending).
+    k = n - 1
+    while k >= 0:
+        if ipiv[k] >= 0:
+            kp = ipiv[k]
+            if kp != k:
+                b[[k, kp]] = b[[kp, k]]
+            if k > 0:
+                b[:k] -= np.outer(a[:k, k], b[k])
+            b[k] = b[k] / (a[k, k].real if hermitian else a[k, k])
+            k -= 1
+        else:
+            kp = -ipiv[k] - 1
+            if kp != k - 1:
+                b[[k - 1, kp]] = b[[kp, k - 1]]
+            if k > 1:
+                b[:k - 1] -= np.outer(a[:k - 1, k], b[k])
+                b[:k - 1] -= np.outer(a[:k - 1, k - 1], b[k - 1])
+            akm1k = a[k - 1, k]
+            akm1 = a[k - 1, k - 1] / akm1k
+            ak = a[k, k] / (conj(akm1k) if hermitian else akm1k)
+            denom = akm1 * ak - 1.0
+            bkm1 = b[k - 1] / akm1k
+            bk = b[k] / (conj(akm1k) if hermitian else akm1k)
+            b[k - 1] = (ak * bkm1 - bk) / denom
+            b[k] = (akm1 * bk - bkm1) / denom
+            k -= 2
+    # Solve (op(U)) x = b, op = transpose or conjugate transpose (ascending).
+    k = 0
+    while k < n:
+        if ipiv[k] >= 0:
+            if k > 0:
+                b[k] -= conj(a[:k, k]) @ b[:k]
+            kp = ipiv[k]
+            if kp != k:
+                b[[k, kp]] = b[[kp, k]]
+            k += 1
+        else:
+            if k > 0:
+                b[k] -= conj(a[:k, k]) @ b[:k]
+                b[k + 1] -= conj(a[:k, k + 1]) @ b[:k]
+            kp = -ipiv[k] - 1
+            if kp != k:
+                b[[k, kp]] = b[[kp, k]]
+            k += 2
+    return 0
+
+
+def _sytrs_lower(a, ipiv, b, hermitian):
+    n = a.shape[0]
+    conj = np.conj if hermitian else (lambda z: z)
+    # Solve L D x = b (ascending).
+    k = 0
+    while k < n:
+        if ipiv[k] >= 0:
+            kp = ipiv[k]
+            if kp != k:
+                b[[k, kp]] = b[[kp, k]]
+            if k < n - 1:
+                b[k + 1:] -= np.outer(a[k + 1:, k], b[k])
+            b[k] = b[k] / (a[k, k].real if hermitian else a[k, k])
+            k += 1
+        else:
+            kp = -ipiv[k] - 1
+            if kp != k + 1:
+                b[[k + 1, kp]] = b[[kp, k + 1]]
+            if k < n - 2:
+                b[k + 2:] -= np.outer(a[k + 2:, k], b[k])
+                b[k + 2:] -= np.outer(a[k + 2:, k + 1], b[k + 1])
+            akm1k = a[k + 1, k]
+            akm1 = a[k, k] / (conj(akm1k) if hermitian else akm1k)
+            ak = a[k + 1, k + 1] / akm1k
+            denom = akm1 * ak - 1.0
+            bkm1 = b[k] / (conj(akm1k) if hermitian else akm1k)
+            bk = b[k + 1] / akm1k
+            b[k] = (ak * bkm1 - bk) / denom
+            b[k + 1] = (akm1 * bk - bkm1) / denom
+            k += 2
+    # Solve op(L) x = b (descending).
+    k = n - 1
+    while k >= 0:
+        if ipiv[k] >= 0:
+            if k < n - 1:
+                b[k] -= conj(a[k + 1:, k]) @ b[k + 1:]
+            kp = ipiv[k]
+            if kp != k:
+                b[[k, kp]] = b[[kp, k]]
+            k -= 1
+        else:
+            if k < n - 1:
+                b[k] -= conj(a[k + 1:, k]) @ b[k + 1:]
+                b[k - 1] -= conj(a[k + 1:, k - 1]) @ b[k + 1:]
+            kp = -ipiv[k] - 1
+            if kp != k:
+                b[[k, kp]] = b[[kp, k]]
+            k -= 2
+    return 0
+
+
+def sytrs(a: np.ndarray, ipiv: np.ndarray, b: np.ndarray, uplo: str = "U",
+          hermitian: bool = False) -> int:
+    """Solve from the Bunch–Kaufman factors (B in place)."""
+    n = a.shape[0]
+    bmat = b if b.ndim == 2 else b[:, None]
+    if bmat.shape[0] != n:
+        xerbla("SYTRS", 4, "dimension mismatch")
+    if uplo.upper() == "U":
+        return _sytrs_upper(a, ipiv, bmat, hermitian)
+    return _sytrs_lower(a, ipiv, bmat, hermitian)
+
+
+def hetrs(a, ipiv, b, uplo="U"):
+    """Hermitian variant of :func:`sytrs`."""
+    return sytrs(a, ipiv, b, uplo=uplo, hermitian=True)
+
+
+def sysv(a: np.ndarray, b: np.ndarray, uplo: str = "U"):
+    """Solve a symmetric indefinite system (``xSYSV``).
+
+    Returns ``(ipiv, info)``.
+    """
+    ipiv, info = sytrf(a, uplo)
+    if info == 0:
+        sytrs(a, ipiv, b, uplo)
+    return ipiv, info
+
+
+def hesv(a: np.ndarray, b: np.ndarray, uplo: str = "U"):
+    """Solve a Hermitian indefinite system (``xHESV``).
+
+    Returns ``(ipiv, info)``.
+    """
+    ipiv, info = hetrf(a, uplo)
+    if info == 0:
+        hetrs(a, ipiv, b, uplo)
+    return ipiv, info
+
+
+def _indef_con(a, ipiv, anorm, uplo, hermitian):
+    n = a.shape[0]
+    if n == 0:
+        return 1.0, 0
+    if anorm == 0:
+        return 0.0, 0
+
+    def solve(x):
+        y = x.copy()
+        sytrs(a, ipiv, y, uplo=uplo, hermitian=hermitian)
+        return y
+
+    if hermitian or not np.iscomplexobj(a):
+        # inv(A) Hermitian ⇒ matvec == rmatvec.
+        est = lacon(n, solve, solve, dtype=a.dtype)
+    else:
+        # Complex symmetric: inv(A)ᴴ = conj(inv(A)).
+        def solve_h(x):
+            y = np.conj(x)
+            sytrs(a, ipiv, y, uplo=uplo, hermitian=False)
+            return np.conj(y)
+
+        est = lacon(n, solve, solve_h, dtype=a.dtype)
+    return (1.0 / (est * anorm) if est else 0.0), 0
+
+
+def sycon(a, ipiv, anorm, uplo="U"):
+    """Reciprocal condition estimate from ``sytrf`` factors."""
+    return _indef_con(a, ipiv, anorm, uplo, hermitian=False)
+
+
+def hecon(a, ipiv, anorm, uplo="U"):
+    """Reciprocal condition estimate from ``hetrf`` factors."""
+    return _indef_con(a, ipiv, anorm, uplo, hermitian=True)
+
+
+def _indef_rfs(a, af, ipiv, b, x, uplo, hermitian, itmax=5):
+    n = a.shape[0]
+    if uplo.upper() == "U":
+        full = np.triu(a) + (np.conj(np.triu(a, 1)).T if hermitian
+                             else np.triu(a, 1).T)
+    else:
+        full = np.tril(a) + (np.conj(np.tril(a, -1)).T if hermitian
+                             else np.tril(a, -1).T)
+    if hermitian:
+        np.fill_diagonal(full, full.diagonal().real)
+    bmat = b if b.ndim == 2 else b[:, None]
+    xmat = x if x.ndim == 2 else x[:, None]
+    nrhs = bmat.shape[1]
+    ferr = np.zeros(nrhs)
+    berr = np.zeros(nrhs)
+    if n == 0 or nrhs == 0:
+        return ferr, berr, 0
+    eps = lamch("E", a.dtype)
+    safmin = lamch("S", a.dtype)
+    safe1 = (n + 1) * safmin
+    safe2 = safe1 / eps
+    absa = np.abs(full)
+    for j in range(nrhs):
+        count, lstres = 1, 3.0
+        while True:
+            r = bmat[:, j] - full @ xmat[:, j]
+            denom = absa @ np.abs(xmat[:, j]) + np.abs(bmat[:, j])
+            num = np.abs(r)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratios = np.where(denom > safe2, num / denom,
+                                  (num + safe1) / (denom + safe1))
+            berr[j] = float(np.max(ratios))
+            if berr[j] > eps and berr[j] <= 0.5 * lstres and count <= itmax:
+                dx = r.copy()
+                sytrs(af, ipiv, dx, uplo=uplo, hermitian=hermitian)
+                xmat[:, j] += dx
+                lstres = berr[j]
+                count += 1
+            else:
+                break
+        r = bmat[:, j] - full @ xmat[:, j]
+        f = np.abs(r) + (n + 1) * eps * (absa @ np.abs(xmat[:, j])
+                                         + np.abs(bmat[:, j]))
+        f = np.where(f > safe2, f, f + safe1)
+
+        def mv(v):
+            w = f * v
+            sytrs(af, ipiv, w, uplo=uplo, hermitian=hermitian)
+            return w
+
+        def rmv(v):
+            if hermitian or not np.iscomplexobj(a):
+                return mv(v)
+            w = np.conj(v)
+            sytrs(af, ipiv, w, uplo=uplo, hermitian=False)
+            return f * np.conj(w)
+
+        est = lacon(n, mv, rmv, dtype=a.dtype)
+        xnorm = float(np.max(np.abs(xmat[:, j])))
+        ferr[j] = est / xnorm if xnorm > 0 else est
+    return ferr, berr, 0
+
+
+def syrfs(a, af, ipiv, b, x, uplo="U", itmax=5):
+    """Refinement + error bounds for symmetric indefinite systems."""
+    return _indef_rfs(a, af, ipiv, b, x, uplo, hermitian=False, itmax=itmax)
+
+
+def herfs(a, af, ipiv, b, x, uplo="U", itmax=5):
+    """Refinement + error bounds for Hermitian indefinite systems."""
+    return _indef_rfs(a, af, ipiv, b, x, uplo, hermitian=True, itmax=itmax)

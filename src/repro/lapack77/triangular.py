@@ -1,0 +1,132 @@
+"""Triangular computational routines: ``xTRTRS`` (solve), ``xTRTRI``
+(invert) and ``xTRCON`` (condition estimate).
+
+These complete the linear-equation substrate: the LU/Cholesky paths use
+``trsm`` directly, but the standalone triangular routines are part of
+LAPACK's user-visible surface (and ``trtri`` is the kernel inside
+``getri``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..blas.level3 import trsm
+from ..errors import xerbla
+from .lacon import lacon
+from .lautil import lantr
+
+__all__ = ["trtri", "trti2", "trtrs", "trcon"]
+
+
+def trti2(a: np.ndarray, uplo: str = "U", diag: str = "N") -> int:
+    """Unblocked in-place inversion of a triangular matrix (``xTRTI2``).
+
+    Returns ``info`` (``j+1`` if the matrix is singular at diagonal j).
+    """
+    if uplo.upper() not in ("U", "L"):
+        xerbla("TRTI2", 1, f"uplo={uplo!r}")
+    if diag.upper() not in ("N", "U"):
+        xerbla("TRTI2", 2, f"diag={diag!r}")
+    n = a.shape[0]
+    up = uplo.upper() == "U"
+    unit = diag.upper() == "U"
+    if not unit:
+        zero = np.where(a.diagonal() == 0)[0]
+        if zero.size:
+            return int(zero[0]) + 1
+    if up:
+        for j in range(n):
+            if unit:
+                ajj = -1.0
+            else:
+                a[j, j] = 1.0 / a[j, j]
+                ajj = -a[j, j]
+            if j > 0:
+                # x := T(0:j, 0:j) x  (triangular matvec on stored inverse)
+                t = np.triu(a[:j, :j])
+                if unit:
+                    t = t.copy()
+                    np.fill_diagonal(t, 1)
+                a[:j, j] = t @ a[:j, j]
+                a[:j, j] *= ajj
+    else:
+        for j in range(n - 1, -1, -1):
+            if unit:
+                ajj = -1.0
+            else:
+                a[j, j] = 1.0 / a[j, j]
+                ajj = -a[j, j]
+            if j < n - 1:
+                t = np.tril(a[j + 1:, j + 1:])
+                if unit:
+                    t = t.copy()
+                    np.fill_diagonal(t, 1)
+                a[j + 1:, j] = t @ a[j + 1:, j]
+                a[j + 1:, j] *= ajj
+    return 0
+
+
+def trtri(a: np.ndarray, uplo: str = "U", diag: str = "N") -> int:
+    """In-place inversion of a triangular matrix (``xTRTRI``).
+
+    Returns ``info``.
+    """
+    return trti2(a, uplo, diag)
+
+
+def trtrs(a: np.ndarray, b: np.ndarray, uplo: str = "U", trans: str = "N",
+          diag: str = "N") -> int:
+    """Solve ``op(A) X = B`` with A triangular (``xTRTRS``; B in place).
+
+    Returns ``info`` (``j+1`` when A is exactly singular — the solve is
+    not performed then, matching LAPACK).
+    """
+    if uplo.upper() not in ("U", "L"):
+        xerbla("TRTRS", 1, f"uplo={uplo!r}")
+    if trans.upper() not in ("N", "T", "C"):
+        xerbla("TRTRS", 2, f"trans={trans!r}")
+    if diag.upper() not in ("N", "U"):
+        xerbla("TRTRS", 3, f"diag={diag!r}")
+    n = a.shape[0]
+    if b.shape[0] != n:
+        xerbla("TRTRS", 5, "dimension mismatch")
+    if diag.upper() == "N":
+        zero = np.where(a.diagonal() == 0)[0]
+        if zero.size:
+            return int(zero[0]) + 1
+    bmat = b if b.ndim == 2 else b[:, None]
+    trsm(1, a, bmat, side="L", uplo=uplo, transa=trans, diag=diag)
+    return 0
+
+
+def trcon(a: np.ndarray, uplo: str = "U", diag: str = "N",
+          norm: str = "1"):
+    """Reciprocal condition estimate of a triangular matrix (``xTRCON``).
+
+    Returns ``(rcond, info)``.
+    """
+    if norm.upper() not in ("1", "O", "I"):
+        xerbla("TRCON", 1, f"norm={norm!r}")
+    n = a.shape[0]
+    if n == 0:
+        return 1.0, 0
+    anorm = lantr(norm, a, uplo=uplo, diag=diag)
+    if anorm == 0:
+        return 0.0, 0
+
+    def solve(x):
+        y = x.copy()
+        trsm(1, a, y[:, None], side="L", uplo=uplo, transa="N", diag=diag)
+        return y
+
+    def solve_h(x):
+        y = x.copy()
+        trsm(1, a, y[:, None], side="L", uplo=uplo, transa="C", diag=diag)
+        return y
+
+    if norm.upper() in ("1", "O"):
+        est = lacon(n, solve, solve_h, dtype=a.dtype)
+    else:
+        est = lacon(n, solve_h, solve, dtype=a.dtype)
+    return (1.0 / (est * anorm) if est else 0.0), 0

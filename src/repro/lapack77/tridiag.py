@@ -1,0 +1,365 @@
+"""Tridiagonal solvers: general (``xGTTRF/xGTTRS/xGTSV``) and symmetric
+positive definite (``xPTTRF/xPTTRS/xPTSV``), with condition estimation and
+refinement.
+
+Substrate for the paper's ``LA_GTSV``/``LA_GTSVX``/``LA_PTSV``/``LA_PTSVX``
+drivers.  Diagonals are the natural vector inputs (``dl``, ``d``, ``du``),
+factor outputs overwrite them in place, exactly like LAPACK.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import xerbla
+from .lacon import lacon
+from .machine import lamch
+
+__all__ = ["gttrf", "gttrs", "gtsv", "gtcon", "gtrfs",
+           "pttrf", "pttrs", "ptsv", "ptcon", "ptrfs",
+           "gt_matvec", "pt_matvec"]
+
+
+def gt_matvec(dl, d, du, x, trans="N"):
+    """Tridiagonal matrix-vector (or matrix-matrix) product ``op(A) @ x``."""
+    t = trans.upper()
+    if t == "N":
+        lo, di, up = dl, d, du
+    elif t == "T":
+        lo, di, up = du, d, dl
+    else:
+        lo, di, up = np.conj(du), np.conj(d), np.conj(dl)
+    xm = x if x.ndim == 2 else x[:, None]
+    n = di.shape[0]
+    y = di[:, None] * xm
+    if n > 1:
+        y[1:] += lo[:, None] * xm[:-1]
+        y[:-1] += up[:, None] * xm[1:]
+    return y if x.ndim == 2 else y[:, 0]
+
+
+def pt_matvec(d, e, x):
+    """SPD-tridiagonal product: real diagonal ``d``, subdiagonal ``e``."""
+    xm = x if x.ndim == 2 else x[:, None]
+    y = d[:, None] * xm
+    if d.shape[0] > 1:
+        y[1:] += e[:, None] * xm[:-1]
+        y[:-1] += np.conj(e)[:, None] * xm[1:]
+    return y if x.ndim == 2 else y[:, 0]
+
+
+def gttrf(dl: np.ndarray, d: np.ndarray, du: np.ndarray):
+    """LU factorization of a general tridiagonal matrix with partial
+    pivoting (in place).
+
+    On exit ``dl`` holds the multipliers, ``d``/``du`` the main and first
+    superdiagonal of U.  Returns ``(du2, ipiv, info)`` — the second
+    superdiagonal of U and 0-based pivots (``ipiv[i] ∈ {i, i+1}``).
+    """
+    n = d.shape[0]
+    if dl.shape[0] != max(n - 1, 0) or du.shape[0] != max(n - 1, 0):
+        xerbla("GTTRF", 1, "diagonal length mismatch")
+    du2 = np.zeros(max(n - 2, 0), dtype=d.dtype)
+    ipiv = np.arange(n, dtype=np.int64)
+    info = 0
+    mag = (lambda z: abs(z.real) + abs(z.imag)) if np.iscomplexobj(d) \
+        else abs
+    for i in range(n - 1):
+        if mag(d[i]) >= mag(dl[i]):
+            ipiv[i] = i
+            if d[i] != 0:
+                fact = dl[i] / d[i]
+                dl[i] = fact
+                d[i + 1] -= fact * du[i]
+            if i < n - 2:
+                du2[i] = 0
+        else:
+            ipiv[i] = i + 1
+            fact = d[i] / dl[i]
+            d[i] = dl[i]
+            dl[i] = fact
+            temp = du[i]
+            du[i] = d[i + 1]
+            d[i + 1] = temp - fact * d[i + 1]
+            if i < n - 2:
+                du2[i] = du[i + 1]
+                du[i + 1] = -fact * du[i + 1]
+    if info == 0:
+        zero = np.where(d == 0)[0]
+        if zero.size:
+            info = int(zero[0]) + 1
+    return du2, ipiv, info
+
+
+def gttrs(dl, d, du, du2, ipiv, b, trans: str = "N") -> int:
+    """Solve ``op(A) X = B`` from ``gttrf`` factors (B in place)."""
+    t = trans.upper()
+    if t not in ("N", "T", "C"):
+        xerbla("GTTRS", 1, f"trans={trans!r}")
+    n = d.shape[0]
+    bmat = b if b.ndim == 2 else b[:, None]
+    if bmat.shape[0] != n:
+        xerbla("GTTRS", 6, "dimension mismatch")
+    if n == 0:
+        return 0
+    if t == "N":
+        # Solve L x = b.
+        for i in range(n - 1):
+            if ipiv[i] == i:
+                bmat[i + 1] -= dl[i] * bmat[i]
+            else:
+                temp = bmat[i].copy()
+                bmat[i] = bmat[i + 1]
+                bmat[i + 1] = temp - dl[i] * bmat[i]
+        # Solve U x = b.
+        bmat[n - 1] /= d[n - 1]
+        if n > 1:
+            bmat[n - 2] = (bmat[n - 2] - du[n - 2] * bmat[n - 1]) / d[n - 2]
+        for i in range(n - 3, -1, -1):
+            bmat[i] = (bmat[i] - du[i] * bmat[i + 1]
+                       - du2[i] * bmat[i + 2]) / d[i]
+    else:
+        conj = (lambda z: np.conj(z)) if t == "C" else (lambda z: z)
+        # Solve Uᵀ x = b (forward).
+        bmat[0] /= conj(d[0])
+        if n > 1:
+            bmat[1] = (bmat[1] - conj(du[0]) * bmat[0]) / conj(d[1])
+        for i in range(2, n):
+            bmat[i] = (bmat[i] - conj(du[i - 1]) * bmat[i - 1]
+                       - conj(du2[i - 2]) * bmat[i - 2]) / conj(d[i])
+        # Solve Lᵀ x = b (backward).
+        for i in range(n - 2, -1, -1):
+            if ipiv[i] == i:
+                bmat[i] -= conj(dl[i]) * bmat[i + 1]
+            else:
+                temp = bmat[i + 1].copy()
+                bmat[i + 1] = bmat[i] - conj(dl[i]) * temp
+                bmat[i] = temp
+    return 0
+
+
+def gtsv(dl, d, du, b):
+    """Solve a general tridiagonal system (``xGTSV``); diagonals and B are
+    overwritten.  Returns ``info``."""
+    du2, ipiv, info = gttrf(dl, d, du)
+    if info == 0:
+        gttrs(dl, d, du, du2, ipiv, b)
+    return info
+
+
+def gtcon(dl, d, du, du2, ipiv, anorm: float, norm: str = "1"):
+    """Reciprocal condition estimate for a general tridiagonal matrix.
+
+    Returns ``(rcond, info)``.
+    """
+    if norm.upper() not in ("1", "O", "I"):
+        xerbla("GTCON", 1, f"norm={norm!r}")
+    n = d.shape[0]
+    if n == 0:
+        return 1.0, 0
+    if anorm == 0:
+        return 0.0, 0
+    if np.any(d == 0):
+        return 0.0, 0
+
+    def solve(x):
+        y = x.copy()
+        gttrs(dl, d, du, du2, ipiv, y, trans="N")
+        return y
+
+    def solve_h(x):
+        y = x.copy()
+        gttrs(dl, d, du, du2, ipiv, y,
+              trans="C" if np.iscomplexobj(d) else "T")
+        return y
+
+    if norm.upper() in ("1", "O"):
+        est = lacon(n, solve, solve_h, dtype=d.dtype)
+    else:
+        est = lacon(n, solve_h, solve, dtype=d.dtype)
+    return (1.0 / (est * anorm) if est else 0.0), 0
+
+
+def gtrfs(dl, d, du, dlf, df, duf, du2, ipiv, b, x, trans: str = "N",
+          itmax: int = 5):
+    """Iterative refinement + error bounds for tridiagonal systems
+    (``xGTRFS``).  Returns ``(ferr, berr, info)``; ``x`` refined in place."""
+    n = d.shape[0]
+    bmat = b if b.ndim == 2 else b[:, None]
+    xmat = x if x.ndim == 2 else x[:, None]
+    nrhs = bmat.shape[1]
+    ferr = np.zeros(nrhs)
+    berr = np.zeros(nrhs)
+    if n == 0 or nrhs == 0:
+        return ferr, berr, 0
+    eps = lamch("E", d.dtype)
+    safmin = lamch("S", d.dtype)
+    safe1 = (n + 1) * safmin
+    safe2 = safe1 / eps
+    t = trans.upper()
+    adl, ad, adu = np.abs(dl), np.abs(d), np.abs(du)
+    for j in range(nrhs):
+        count, lstres = 1, 3.0
+        while True:
+            r = bmat[:, j] - gt_matvec(dl, d, du, xmat[:, j], trans=t)
+            ax = gt_matvec(adl, ad, adu, np.abs(xmat[:, j]),
+                           trans="N" if t == "N" else "T")
+            denom = ax + np.abs(bmat[:, j])
+            num = np.abs(r)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratios = np.where(denom > safe2, num / denom,
+                                  (num + safe1) / (denom + safe1))
+            berr[j] = float(np.max(ratios))
+            if berr[j] > eps and berr[j] <= 0.5 * lstres and count <= itmax:
+                dx = r.copy()
+                gttrs(dlf, df, duf, du2, ipiv, dx, trans=t)
+                xmat[:, j] += dx
+                lstres = berr[j]
+                count += 1
+            else:
+                break
+        r = bmat[:, j] - gt_matvec(dl, d, du, xmat[:, j], trans=t)
+        ax = gt_matvec(adl, ad, adu, np.abs(xmat[:, j]),
+                       trans="N" if t == "N" else "T")
+        f = np.abs(r) + (n + 1) * eps * (ax + np.abs(bmat[:, j]))
+        f = np.where(f > safe2, f, f + safe1)
+
+        def mv(v):
+            w = f * v
+            gttrs(dlf, df, duf, du2, ipiv, w, trans=t)
+            return w
+
+        def rmv(v):
+            if t == "T" and np.iscomplexobj(v):
+                w = np.conj(v)
+                gttrs(dlf, df, duf, du2, ipiv, w, trans="N")
+                w = np.conj(w)
+            else:
+                w = v.copy()
+                gttrs(dlf, df, duf, du2, ipiv, w,
+                      trans={"N": "C", "T": "N", "C": "N"}[t])
+            return f * w
+
+        est = lacon(n, mv, rmv, dtype=d.dtype)
+        xnorm = float(np.max(np.abs(xmat[:, j])))
+        ferr[j] = est / xnorm if xnorm > 0 else est
+    return ferr, berr, 0
+
+
+def pttrf(d: np.ndarray, e: np.ndarray) -> int:
+    """``L D Lᴴ`` factorization of an SPD/HPD tridiagonal matrix (in place).
+
+    ``d`` (real) holds D on exit, ``e`` the subdiagonal multipliers of L.
+    Returns ``info`` (``i+1`` flags loss of positive definiteness at step i).
+    """
+    n = d.shape[0]
+    if e.shape[0] != max(n - 1, 0):
+        xerbla("PTTRF", 2, "off-diagonal length mismatch")
+    for i in range(n - 1):
+        if d[i].real <= 0:
+            return i + 1
+        ei = e[i]
+        e[i] = ei / d[i]
+        d[i + 1] = d[i + 1] - (e[i] * np.conj(ei)).real
+    if d[n - 1].real <= 0:
+        return n
+    return 0
+
+
+def pttrs(d: np.ndarray, e: np.ndarray, b: np.ndarray) -> int:
+    """Solve from the ``pttrf`` factors (B in place)."""
+    n = d.shape[0]
+    bmat = b if b.ndim == 2 else b[:, None]
+    if bmat.shape[0] != n:
+        xerbla("PTTRS", 3, "dimension mismatch")
+    for i in range(1, n):
+        bmat[i] -= e[i - 1] * bmat[i - 1]
+    bmat /= d[:, None].real if np.iscomplexobj(d) else d[:, None]
+    for i in range(n - 2, -1, -1):
+        bmat[i] -= np.conj(e[i]) * bmat[i + 1]
+    return 0
+
+
+def ptsv(d: np.ndarray, e: np.ndarray, b: np.ndarray) -> int:
+    """Solve an SPD/HPD tridiagonal system (``xPTSV``); returns ``info``."""
+    info = pttrf(d, e)
+    if info == 0:
+        pttrs(d, e, b)
+    return info
+
+
+def ptcon(d: np.ndarray, e: np.ndarray, anorm: float):
+    """Reciprocal condition estimate from ``pttrf`` factors.
+
+    LAPACK's ``xPTCON`` computes the exact 1-norm of the inverse via the
+    positivity structure; we use the same lacon machinery as the other
+    families (documented deviation, same accuracy class).
+    Returns ``(rcond, info)``.
+    """
+    n = d.shape[0]
+    if n == 0:
+        return 1.0, 0
+    if anorm == 0:
+        return 0.0, 0
+    if np.any(d.real <= 0):
+        return 0.0, 0
+
+    def solve(x):
+        y = x.copy()
+        pttrs(d, e, y)
+        return y
+
+    est = lacon(n, solve, solve, dtype=np.result_type(d.dtype, e.dtype))
+    return (1.0 / (est * anorm) if est else 0.0), 0
+
+
+def ptrfs(d, e, df, ef, b, x, itmax: int = 5):
+    """Iterative refinement + error bounds for SPD tridiagonal systems.
+
+    ``d``/``e`` are the original diagonals, ``df``/``ef`` the factors.
+    Returns ``(ferr, berr, info)``; ``x`` refined in place."""
+    n = d.shape[0]
+    bmat = b if b.ndim == 2 else b[:, None]
+    xmat = x if x.ndim == 2 else x[:, None]
+    nrhs = bmat.shape[1]
+    ferr = np.zeros(nrhs)
+    berr = np.zeros(nrhs)
+    if n == 0 or nrhs == 0:
+        return ferr, berr, 0
+    eps = lamch("E", np.result_type(d.dtype, e.dtype))
+    safmin = lamch("S", np.result_type(d.dtype, e.dtype))
+    safe1 = (n + 1) * safmin
+    safe2 = safe1 / eps
+    ad, ae = np.abs(d), np.abs(e)
+    for j in range(nrhs):
+        count, lstres = 1, 3.0
+        while True:
+            r = bmat[:, j] - pt_matvec(d, e, xmat[:, j])
+            denom = pt_matvec(ad, ae, np.abs(xmat[:, j])) + np.abs(bmat[:, j])
+            num = np.abs(r)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratios = np.where(denom > safe2, num / denom,
+                                  (num + safe1) / (denom + safe1))
+            berr[j] = float(np.max(ratios))
+            if berr[j] > eps and berr[j] <= 0.5 * lstres and count <= itmax:
+                dx = r.copy()
+                pttrs(df, ef, dx)
+                xmat[:, j] += dx
+                lstres = berr[j]
+                count += 1
+            else:
+                break
+        r = bmat[:, j] - pt_matvec(d, e, xmat[:, j])
+        f = np.abs(r) + (n + 1) * eps * (
+            pt_matvec(ad, ae, np.abs(xmat[:, j])) + np.abs(bmat[:, j]))
+        f = np.where(f > safe2, f, f + safe1)
+
+        def mv(v):
+            w = f * v
+            pttrs(df, ef, w)
+            return w
+
+        est = lacon(n, mv, mv, dtype=np.result_type(d.dtype, e.dtype))
+        xnorm = float(np.max(np.abs(xmat[:, j])))
+        ferr[j] = est / xnorm if xnorm > 0 else est
+    return ferr, berr, 0

@@ -1,0 +1,161 @@
+"""Storage-layout helpers: LAPACK packed and band formats.
+
+LAPACK90 drivers such as ``LA_PPSV`` (packed positive definite) and
+``LA_GBSV`` (general band) operate on LAPACK's compact storage schemes.
+This module centralizes the index arithmetic and the pack/unpack
+conversions so the substrate, the high-level layer, the tests and the
+examples all share one definition.
+
+Conventions (0-based, matching the rest of the package):
+
+Packed triangular (``AP`` of length ``n(n+1)/2``):
+    * ``uplo='U'``: ``A[i, j] → AP[i + j(j+1)/2]`` for ``i ≤ j``
+      (columns of the upper triangle, stacked).
+    * ``uplo='L'``: ``A[i, j] → AP[i - j + (2n - j - 1) j / 2]`` for ``i ≥ j``.
+
+General band (``AB`` of shape ``(kl + ku + 1, n)``):
+    * ``A[i, j] → AB[ku + i - j, j]`` for ``max(0, j-ku) ≤ i ≤ min(m-1, j+kl)``.
+
+Symmetric/triangular band (``AB`` of shape ``(k + 1, n)``):
+    * ``uplo='U'``: ``A[i, j] → AB[k + i - j, j]`` for ``j-k ≤ i ≤ j``.
+    * ``uplo='L'``: ``A[i, j] → AB[i - j, j]`` for ``j ≤ i ≤ j+k``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "packed_index", "packed_size", "pack", "unpack",
+    "band_to_full", "full_to_band", "sym_band_to_full", "full_to_sym_band",
+]
+
+
+def packed_size(n: int) -> int:
+    """Length of a packed triangular array for an n×n matrix."""
+    return n * (n + 1) // 2
+
+
+def packed_index(i: int, j: int, n: int, uplo: str) -> int:
+    """Index of ``A[i, j]`` inside the packed array ``AP``."""
+    if uplo.upper() == "U":
+        if i > j:
+            raise IndexError("upper-packed storage holds only i <= j")
+        return i + j * (j + 1) // 2
+    if i < j:
+        raise IndexError("lower-packed storage holds only i >= j")
+    return i - j + (2 * n - j - 1) * j // 2
+
+
+def pack(a: np.ndarray, uplo: str = "U") -> np.ndarray:
+    """Pack the ``uplo`` triangle of a square matrix into LAPACK packed form."""
+    n = a.shape[0]
+    if a.shape[1] != n:
+        raise ValueError("pack requires a square matrix")
+    ap = np.empty(packed_size(n), dtype=a.dtype)
+    if uplo.upper() == "U":
+        pos = 0
+        for j in range(n):
+            ap[pos:pos + j + 1] = a[: j + 1, j]
+            pos += j + 1
+    else:
+        pos = 0
+        for j in range(n):
+            ap[pos:pos + n - j] = a[j:, j]
+            pos += n - j
+    return ap
+
+
+def unpack(ap: np.ndarray, n: int, uplo: str = "U",
+           hermitian: bool = False, symmetric: bool = False) -> np.ndarray:
+    """Expand a packed array to a full square matrix.
+
+    With ``symmetric=True`` (or ``hermitian=True`` for conjugate symmetry)
+    the opposite triangle is filled in by (conjugate) reflection.
+    """
+    if ap.shape[0] < packed_size(n):
+        raise ValueError("packed array too short for order n")
+    a = np.zeros((n, n), dtype=ap.dtype)
+    if uplo.upper() == "U":
+        pos = 0
+        for j in range(n):
+            a[: j + 1, j] = ap[pos:pos + j + 1]
+            pos += j + 1
+    else:
+        pos = 0
+        for j in range(n):
+            a[j:, j] = ap[pos:pos + n - j]
+            pos += n - j
+    if symmetric:
+        if uplo.upper() == "U":
+            a = a + np.triu(a, 1).T
+        else:
+            a = a + np.tril(a, -1).T
+    elif hermitian:
+        if uplo.upper() == "U":
+            a = a + np.conj(np.triu(a, 1)).T
+        else:
+            a = a + np.conj(np.tril(a, -1)).T
+        np.fill_diagonal(a, a.diagonal().real)
+    return a
+
+
+def full_to_band(a: np.ndarray, kl: int, ku: int) -> np.ndarray:
+    """Compress a general matrix to LAPACK band storage ``(kl+ku+1, n)``."""
+    m, n = a.shape
+    ab = np.zeros((kl + ku + 1, n), dtype=a.dtype)
+    for j in range(n):
+        lo = max(0, j - ku)
+        hi = min(m - 1, j + kl)
+        ab[ku + lo - j: ku + hi - j + 1, j] = a[lo: hi + 1, j]
+    return ab
+
+
+def band_to_full(ab: np.ndarray, m: int, n: int, kl: int, ku: int) -> np.ndarray:
+    """Expand LAPACK band storage back to a full ``m×n`` matrix."""
+    if ab.shape[0] < kl + ku + 1:
+        raise ValueError("band array has too few rows for kl/ku")
+    a = np.zeros((m, n), dtype=ab.dtype)
+    for j in range(n):
+        lo = max(0, j - ku)
+        hi = min(m - 1, j + kl)
+        a[lo: hi + 1, j] = ab[ku + lo - j: ku + hi - j + 1, j]
+    return a
+
+
+def full_to_sym_band(a: np.ndarray, k: int, uplo: str = "U") -> np.ndarray:
+    """Compress the ``uplo`` triangle of a symmetric band matrix to
+    ``(k+1, n)`` storage."""
+    n = a.shape[0]
+    ab = np.zeros((k + 1, n), dtype=a.dtype)
+    if uplo.upper() == "U":
+        for j in range(n):
+            lo = max(0, j - k)
+            ab[k + lo - j: k + 1, j] = a[lo: j + 1, j]
+    else:
+        for j in range(n):
+            hi = min(n - 1, j + k)
+            ab[0: hi - j + 1, j] = a[j: hi + 1, j]
+    return ab
+
+
+def sym_band_to_full(ab: np.ndarray, n: int, uplo: str = "U",
+                     hermitian: bool = False) -> np.ndarray:
+    """Expand symmetric/Hermitian band storage to a full matrix."""
+    k = ab.shape[0] - 1
+    a = np.zeros((n, n), dtype=ab.dtype)
+    if uplo.upper() == "U":
+        for j in range(n):
+            lo = max(0, j - k)
+            a[lo: j + 1, j] = ab[k + lo - j: k + 1, j]
+        tri = np.triu(a, 1)
+        a = a + (np.conj(tri).T if hermitian else tri.T)
+    else:
+        for j in range(n):
+            hi = min(n - 1, j + k)
+            a[j: hi + 1, j] = ab[0: hi - j + 1, j]
+        tri = np.tril(a, -1)
+        a = a + (np.conj(tri).T if hermitian else tri.T)
+    if hermitian:
+        np.fill_diagonal(a, a.diagonal().real)
+    return a

@@ -1,0 +1,21 @@
+"""LAPACK90 test-program machinery (paper Section 6 and Appendix F).
+
+Three categories, as in the paper:
+
+1. per-routine interface tests (the pytest suites under ``tests/``),
+2. adapted LAPACK77-style factorization/residual checks
+   (:mod:`repro.testing.ratios`),
+3. the "easy-to-use test programs" that run a workload, compute scaled
+   residual ratios against a threshold, and print a pass/fail report in
+   Appendix F's format (:mod:`repro.testing.harness`), plus systematic
+   error-exit tests (:mod:`repro.testing.error_exits`).
+"""
+
+from .ratios import (residual_ratio, lu_reconstruction_ratio,
+                     solve_ratio_columns, orthogonality_ratio)
+from .harness import GesvTestProgram, TestReport
+from .error_exits import run_gesv_error_exits
+
+__all__ = ["residual_ratio", "lu_reconstruction_ratio",
+           "solve_ratio_columns", "orthogonality_ratio",
+           "GesvTestProgram", "TestReport", "run_gesv_error_exits"]

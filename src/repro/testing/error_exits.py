@@ -1,0 +1,111 @@
+"""Systematic error-exit tests (the "9 error exits tests" of Appendix F).
+
+Each case feeds LA_GESV an illegal argument combination and verifies the
+ERINFO contract twice over:
+
+* with ``info`` supplied — the negative code must land in ``info`` and
+  no exception may escape,
+* without ``info`` — an :class:`repro.errors.IllegalArgument` (ERINFO's
+  ``STOP``) must be raised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import la_gesv
+from ..errors import IllegalArgument, Info, LinAlgError
+
+__all__ = ["run_gesv_error_exits", "GESV_ERROR_CASES"]
+
+
+def _rect_a():
+    return np.ones((3, 4)), np.ones(3)
+
+
+def _bad_b_rows():
+    return np.eye(3), np.ones(4)
+
+
+def _bad_b_matrix():
+    return np.eye(3), np.ones((4, 2))
+
+
+def _b_scalarlike():
+    return np.eye(3), np.ones((2, 2, 2))  # wrong rank
+
+
+def _short_ipiv():
+    return np.eye(3), np.ones(3), np.zeros(2, dtype=np.int64)
+
+
+def _long_ipiv():
+    return np.eye(3), np.ones(3), np.zeros(5, dtype=np.int64)
+
+
+def _a_not_2d():
+    return np.ones(3), np.ones(3)
+
+
+def _a_3d():
+    return np.ones((2, 2, 2)), np.ones(2)
+
+
+def _empty_vs_rhs():
+    return np.zeros((0, 0)), np.ones(2)
+
+
+#: (description, builder, expected info code) — nine cases, as in the
+#: paper's report.
+GESV_ERROR_CASES = [
+    ("A not square", _rect_a, -1),
+    ("B has wrong number of rows (vector)", _bad_b_rows, -2),
+    ("B has wrong number of rows (matrix)", _bad_b_matrix, -2),
+    ("B has illegal rank", _b_scalarlike, -2),
+    ("IPIV too short", _short_ipiv, -3),
+    ("IPIV too long", _long_ipiv, -3),
+    ("A is one-dimensional", _a_not_2d, -1),
+    ("A has illegal rank", _a_3d, -1),
+    ("empty A with non-empty B", _empty_vs_rhs, -2),
+]
+
+
+def run_gesv_error_exits(verbose: bool = False):
+    """Run the nine LA_GESV error-exit cases.
+
+    Returns ``(ran, passed)``.
+    """
+    ran = passed = 0
+    for desc, builder, expect in GESV_ERROR_CASES:
+        ran += 1
+        built = builder()
+        a, b = built[0], built[1]
+        ipiv = built[2] if len(built) > 2 else None
+        ok = True
+        # Path 1: info supplied — code recorded, no raise.
+        info = Info()
+        try:
+            la_gesv(a.copy() if isinstance(a, np.ndarray) else a,
+                    b.copy() if isinstance(b, np.ndarray) else b,
+                    ipiv=ipiv, info=info)
+        except LinAlgError:
+            ok = False
+        if info.value != expect:
+            ok = False
+        # Path 2: info omitted — must raise IllegalArgument.
+        try:
+            la_gesv(a.copy() if isinstance(a, np.ndarray) else a,
+                    b.copy() if isinstance(b, np.ndarray) else b,
+                    ipiv=ipiv)
+            ok = False
+        except IllegalArgument as e:
+            if e.info != expect:
+                ok = False
+        except LinAlgError:
+            ok = False
+        if ok:
+            passed += 1
+        if verbose:
+            print(f"  error exit [{desc:40s}] "
+                  f"{'passed' if ok else 'FAILED'} (info={expect})")
+    return ran, passed

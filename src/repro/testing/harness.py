@@ -1,0 +1,173 @@
+"""The "easy-to-use test program" of paper Section 6 / Appendix F.
+
+Reproduces the LA_GESV test program: a sweep of test matrices and call
+forms, scaled residual ratios compared against a threshold, error-exit
+checks, and a report printed in exactly the Appendix F layout — including
+both the "Test Runs Correctly" outcome (threshold 10.0) and the "Test
+Partly Fails" outcome (threshold 5.0 trips on the ill-conditioned
+300×300 / 50-RHS case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import la_gesv
+from ..errors import Info
+from ..lapack77.generators import latms_like
+from ..lapack77.lautil import lange
+from ..lapack77.machine import lamch
+from .error_exits import run_gesv_error_exits
+from .ratios import residual_ratio
+
+__all__ = ["GesvTestProgram", "TestReport", "CaseResult"]
+
+#: The four call forms the Appendix-F program exercises.
+CALL_FORMS = [
+    "CALL LA_GESV( A, B )",
+    "CALL LA_GESV( A, B, IPIV )",
+    "CALL LA_GESV( A, B, INFO=INFO )",
+    "CALL LA_GESV( A, B, IPIV, INFO )",
+]
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one (matrix, call-form) combination."""
+    test_no: int
+    call_form: str
+    n: int
+    nrhs: int
+    ratio: float
+    passed: bool
+    info: int
+    anorm: float
+    cond: float
+    xnorm: float
+    residnorm: float
+
+
+@dataclass
+class TestReport:
+    """Aggregate of a test-program run, with the Appendix-F printer."""
+    threshold: float
+    eps: float
+    cases: list = field(default_factory=list)
+    error_exits_run: int = 0
+    error_exits_passed: int = 0
+    biggest_n: int = 0
+    nrhs_values: tuple = (50, 1)
+    n_matrices: int = 3
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for c in self.cases if c.passed)
+
+    @property
+    def failed(self) -> int:
+        return len(self.cases) - self.passed
+
+    def format(self) -> str:
+        """Render the report in the paper's Appendix F layout."""
+        lines = [
+            "SGESV Test Example Program Results.",
+            "LA_GESV LAPACK subroutine solves a dense general",
+            "linear system of equations, Ax = b.",
+            f"Threshold value of test ratio = {self.threshold:5.2f} "
+            f"the machine eps = {self.eps:.5E}",
+            "-" * 64,
+        ]
+        for c in self.cases:
+            if not c.passed:
+                lines += [
+                    f"Test {c.test_no} -- '{c.call_form}', Failed.",
+                    f"Matrix {c.n} x {c.n} with {c.nrhs} rhs.",
+                    f"INFO = {c.info}",
+                    f"|| A ||1 = {c.anorm:.7G}  COND = {c.cond:.7E}",
+                    f"|| X ||1 = {c.xnorm:.7E}  "
+                    f"|| B - AX ||1 = {c.residnorm:.7G}",
+                    "ratio = || B - AX || / ( || A ||*|| X ||*eps ) = "
+                    f"{c.ratio:.7G}",
+                    "-" * 64,
+                ]
+        lines += [
+            f"{self.n_matrices} matrices were tested with "
+            f"{len(CALL_FORMS)} tests. NRHS was "
+            f"{self.nrhs_values[0]} and one.",
+            f"The biggest tested matrix was {self.biggest_n} x "
+            f"{self.biggest_n}",
+            f"{self.passed} tests passed.",
+            f"{self.failed} test{'s' if self.failed != 1 else ''} failed.",
+            "-" * 64,
+            f"{self.error_exits_run} error exits tests were ran",
+            f"{self.error_exits_passed} tests passed.",
+            f"{self.error_exits_run - self.error_exits_passed} tests "
+            "failed.",
+        ]
+        return "\n".join(lines)
+
+
+class GesvTestProgram:
+    """The LA_GESV test program (paper Section 6, category 3).
+
+    Workload matching Appendix F: three matrices (well-conditioned small
+    and medium, ill-conditioned 300×300), four call forms each,
+    alternating NRHS between 50 and 1, in single precision.
+    """
+
+    def __init__(self, threshold: float = 10.0, dtype=np.float32,
+                 sizes=(50, 150, 300), conds=(10.0, 50.0, 2.0686414e2),
+                 nrhs_values=(50, 1), seed: int = 1998):
+        self.threshold = float(threshold)
+        self.dtype = np.dtype(dtype)
+        self.sizes = tuple(sizes)
+        self.conds = tuple(conds)
+        self.nrhs_values = tuple(nrhs_values)
+        self.seed = seed
+
+    def run(self) -> TestReport:
+        eps = lamch("E", self.dtype)
+        report = TestReport(threshold=self.threshold, eps=eps,
+                            biggest_n=max(self.sizes),
+                            nrhs_values=self.nrhs_values,
+                            n_matrices=len(self.sizes))
+        rng = np.random.default_rng(self.seed)
+        test_no = 0
+        for idx, (n, cond) in enumerate(zip(self.sizes, self.conds)):
+            a_base, _ = latms_like(n, n, cond=cond, dtype=np.float64,
+                                   rng=rng)
+            a_base = a_base.astype(self.dtype)
+            for form_idx, call_form in enumerate(CALL_FORMS):
+                test_no += 1
+                nrhs = self.nrhs_values[form_idx % len(self.nrhs_values)]
+                x_true = np.ones((n, nrhs), dtype=self.dtype)
+                b = (a_base.astype(np.float64)
+                     @ x_true.astype(np.float64)).astype(self.dtype)
+                a = a_base.copy()
+                bx = b.copy()
+                info = Info()
+                ipiv = np.zeros(n, dtype=np.int64)
+                # Dispatch the four call forms of the paper's program.
+                if form_idx == 0:
+                    la_gesv(a, bx, info=info)   # info kept internal
+                elif form_idx == 1:
+                    la_gesv(a, bx, ipiv=ipiv, info=info)
+                elif form_idx == 2:
+                    la_gesv(a, bx, info=info)
+                else:
+                    la_gesv(a, bx, ipiv=ipiv, info=info)
+                ratio = residual_ratio(a_base, bx, b)
+                anorm = float(lange("1", a_base))
+                report.cases.append(CaseResult(
+                    test_no=test_no, call_form=call_form, n=n, nrhs=nrhs,
+                    ratio=float(ratio), passed=ratio < self.threshold,
+                    info=int(info), anorm=anorm, cond=float(cond),
+                    xnorm=float(np.max(np.sum(np.abs(bx), axis=0))),
+                    residnorm=float(np.max(np.sum(np.abs(
+                        b - a_base @ bx), axis=0)))))
+        ran, passed = run_gesv_error_exits()
+        report.error_exits_run = ran
+        report.error_exits_passed = passed
+        return report

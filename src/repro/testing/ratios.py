@@ -1,0 +1,81 @@
+"""Scaled residual ratios — the numerical quality metrics of the paper's
+Appendix F::
+
+    ratio = || B - A X ||  /  ( || A || · || X || · eps )
+
+A computation "passes" when the ratio is below a threshold (the paper
+uses 10.0, and demonstrates a partial failure at 5.0).  All ratios use
+the 1-norm, as printed in the Appendix F report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lapack77.machine import lamch
+
+__all__ = ["residual_ratio", "solve_ratio_columns",
+           "lu_reconstruction_ratio", "orthogonality_ratio"]
+
+
+def _norm1(x: np.ndarray) -> float:
+    if x.ndim == 1:
+        return float(np.sum(np.abs(x)))
+    return float(np.max(np.sum(np.abs(x), axis=0))) if x.size else 0.0
+
+
+def residual_ratio(a: np.ndarray, x: np.ndarray, b: np.ndarray) -> float:
+    """The Appendix-F solve ratio ``‖B − AX‖₁ / (‖A‖₁‖X‖₁ eps)``."""
+    eps = lamch("E", a.dtype)
+    anorm = _norm1(a)
+    xnorm = _norm1(x)
+    if anorm == 0 or xnorm == 0:
+        return float(np.inf) if _norm1(b) != 0 else 0.0
+    resid = _norm1(np.asarray(b) - a @ x)
+    return resid / (anorm * xnorm * eps)
+
+
+def solve_ratio_columns(a: np.ndarray, x: np.ndarray,
+                        b: np.ndarray) -> np.ndarray:
+    """Per-column solve ratios (LAPACK's ``xGET02`` style)."""
+    eps = lamch("E", a.dtype)
+    anorm = _norm1(a)
+    xm = x if x.ndim == 2 else x[:, None]
+    bm = b if b.ndim == 2 else b[:, None]
+    out = np.empty(xm.shape[1])
+    for j in range(xm.shape[1]):
+        xnorm = _norm1(xm[:, j])
+        if anorm == 0 or xnorm == 0:
+            out[j] = 0.0 if _norm1(bm[:, j]) == 0 else np.inf
+            continue
+        out[j] = _norm1(bm[:, j] - a @ xm[:, j]) / (anorm * xnorm * eps)
+    return out
+
+
+def lu_reconstruction_ratio(a_orig: np.ndarray, lu: np.ndarray,
+                            ipiv: np.ndarray) -> float:
+    """``‖A − PᵀLU‖₁ / (n ‖A‖₁ eps)`` (LAPACK's ``xGET01``)."""
+    eps = lamch("E", a_orig.dtype)
+    n = a_orig.shape[0]
+    k = min(lu.shape)
+    l = np.tril(lu[:, :k], -1)
+    l[np.arange(k), np.arange(k)] = 1
+    u = np.triu(lu[:k, :])
+    rec = l @ u
+    for j in range(k - 1, -1, -1):
+        p = ipiv[j]
+        if p != j:
+            rec[[j, p], :] = rec[[p, j], :]
+    anorm = _norm1(a_orig)
+    if anorm == 0:
+        return float(np.inf) if _norm1(rec) != 0 else 0.0
+    return _norm1(a_orig - rec) / (max(n, 1) * anorm * eps)
+
+
+def orthogonality_ratio(q: np.ndarray) -> float:
+    """``‖I − QᴴQ‖₁ / (n eps)`` — orthogonality check for computed
+    factors (LAPACK's ``xORT01``)."""
+    eps = lamch("E", q.dtype)
+    n = q.shape[1]
+    gram = np.conj(q.T) @ q
+    return _norm1(np.eye(n) - gram) / (max(n, 1) * eps)

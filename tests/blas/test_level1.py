@@ -1,0 +1,113 @@
+"""Level-1 BLAS kernels vs NumPy oracles."""
+
+import numpy as np
+import pytest
+
+from repro.blas import level1 as b1
+
+from ..conftest import rand_vector, tol_for
+
+
+def test_axpy_updates_in_place(rng, dtype):
+    x = rand_vector(rng, 17, dtype)
+    y = rand_vector(rng, 17, dtype)
+    expect = 2.5 * x + y
+    out = b1.axpy(2.5, x, y)
+    assert out is y
+    np.testing.assert_allclose(y, expect, rtol=tol_for(dtype))
+
+
+def test_axpy_alpha_zero_is_noop(rng, dtype):
+    x = rand_vector(rng, 8, dtype)
+    y = rand_vector(rng, 8, dtype)
+    y0 = y.copy()
+    b1.axpy(0.0, x, y)
+    np.testing.assert_array_equal(y, y0)
+
+
+def test_scal(rng, dtype):
+    x = rand_vector(rng, 9, dtype)
+    expect = x * 3
+    b1.scal(3, x)
+    np.testing.assert_allclose(x, expect, rtol=tol_for(dtype))
+
+
+def test_copy_and_swap(rng, dtype):
+    x = rand_vector(rng, 11, dtype)
+    y = rand_vector(rng, 11, dtype)
+    x0, y0 = x.copy(), y.copy()
+    b1.swap(x, y)
+    np.testing.assert_array_equal(x, y0)
+    np.testing.assert_array_equal(y, x0)
+    b1.copy(x, y)
+    np.testing.assert_array_equal(y, x)
+
+
+def test_dot_real(rng, real_dtype):
+    x = rand_vector(rng, 13, real_dtype)
+    y = rand_vector(rng, 13, real_dtype)
+    assert np.isclose(b1.dot(x, y), np.sum(x * y), rtol=tol_for(real_dtype))
+
+
+def test_dotu_dotc(rng, complex_dtype):
+    x = rand_vector(rng, 13, complex_dtype)
+    y = rand_vector(rng, 13, complex_dtype)
+    assert np.isclose(b1.dotu(x, y), np.sum(x * y), rtol=tol_for(complex_dtype))
+    assert np.isclose(b1.dotc(x, y), np.sum(np.conj(x) * y),
+                      rtol=tol_for(complex_dtype))
+
+
+def test_nrm2_matches_numpy(rng, dtype):
+    x = rand_vector(rng, 31, dtype)
+    assert np.isclose(b1.nrm2(x), np.linalg.norm(x), rtol=tol_for(dtype))
+
+
+def test_nrm2_overflow_safe():
+    # Plain sqrt(sum(x**2)) would overflow in float32 here.
+    x = np.array([3e19, 4e19], dtype=np.float32)
+    assert np.isclose(b1.nrm2(x), 5e19, rtol=1e-5)
+
+
+def test_nrm2_empty_and_zero():
+    assert b1.nrm2(np.zeros(0)) == 0
+    assert b1.nrm2(np.zeros(5)) == 0
+
+
+def test_asum_complex_uses_re_plus_im():
+    x = np.array([3 + 4j, -1 - 2j], dtype=np.complex128)
+    assert b1.asum(x) == pytest.approx(3 + 4 + 1 + 2)
+
+
+def test_iamax_complex_convention():
+    # |.|-metric is |Re| + |Im|, so 3+3j (6) beats 4+0j (4).
+    x = np.array([4 + 0j, 3 + 3j], dtype=np.complex128)
+    assert b1.iamax(x) == 1
+    assert b1.iamax(np.zeros(0)) == -1
+
+
+def test_rot_applies_plane_rotation(rng, real_dtype):
+    x = rand_vector(rng, 6, real_dtype)
+    y = rand_vector(rng, 6, real_dtype)
+    c, s = np.cos(0.3), np.sin(0.3)
+    ex = c * x + s * y
+    ey = c * y - s * x
+    b1.rot(x, y, c, s)
+    np.testing.assert_allclose(x, ex, rtol=tol_for(real_dtype))
+    np.testing.assert_allclose(y, ey, rtol=tol_for(real_dtype))
+
+
+@pytest.mark.parametrize("a,b", [(3.0, 4.0), (-3.0, 4.0), (0.0, 2.0),
+                                 (2.0, 0.0), (1e-3, 1e3)])
+def test_rotg_real_annihilates(a, b):
+    c, s, r = b1.rotg(a, b)
+    assert np.isclose(c * a + s * b, r)
+    assert np.isclose(-s * a + c * b, 0, atol=1e-12 * max(abs(a), abs(b), 1))
+    assert np.isclose(c * c + s * s, 1)
+
+
+def test_rotg_complex_annihilates():
+    a, b = 1 + 2j, 3 - 1j
+    c, s, r = b1.rotg(a, b)
+    assert np.isclose(c * a + s * b, r)
+    assert np.isclose(-np.conj(s) * a + c * b, 0, atol=1e-12)
+    assert np.isreal(c) and c >= 0

@@ -1,0 +1,235 @@
+"""Level-2 BLAS kernels vs dense NumPy oracles."""
+
+import numpy as np
+import pytest
+
+from repro.blas import level2 as b2
+from repro.storage import full_to_band, full_to_sym_band, pack
+
+from ..conftest import rand_matrix, rand_vector, tol_for
+
+UPLOS = ["U", "L"]
+TRANS_REAL = ["N", "T"]
+TRANS_ALL = ["N", "T", "C"]
+DIAGS = ["N", "U"]
+
+
+@pytest.mark.parametrize("trans", TRANS_ALL)
+def test_gemv(rng, dtype, trans):
+    a = rand_matrix(rng, 7, 5, dtype)
+    x = rand_vector(rng, 5 if trans == "N" else 7, dtype)
+    y = rand_vector(rng, 7 if trans == "N" else 5, dtype)
+    op = {"N": a, "T": a.T, "C": np.conj(a.T)}[trans]
+    expect = 1.5 * op @ x + 0.5 * y
+    b2.gemv(1.5, a, x, 0.5, y, trans=trans)
+    np.testing.assert_allclose(y, expect, rtol=tol_for(dtype, 10))
+
+
+def test_gemv_beta_zero_ignores_garbage(rng, dtype):
+    a = rand_matrix(rng, 4, 4, dtype)
+    x = rand_vector(rng, 4, dtype)
+    y = np.full(4, np.nan, dtype=dtype)
+    b2.gemv(1.0, a, x, 0.0, y)
+    np.testing.assert_allclose(y, a @ x, rtol=tol_for(dtype, 10))
+
+
+@pytest.mark.parametrize("trans", TRANS_ALL)
+def test_gbmv(rng, dtype, trans):
+    m, n, kl, ku = 8, 6, 2, 1
+    a = rand_matrix(rng, m, n, dtype)
+    # Zero outside the band so the dense oracle matches band storage.
+    for i in range(m):
+        for j in range(n):
+            if j - i > ku or i - j > kl:
+                a[i, j] = 0
+    ab = full_to_band(a, kl, ku)
+    op = {"N": a, "T": a.T, "C": np.conj(a.T)}[trans]
+    x = rand_vector(rng, op.shape[1], dtype)
+    y = rand_vector(rng, op.shape[0], dtype)
+    expect = 2.0 * op @ x + 3.0 * y
+    b2.gbmv(2.0, ab, x, 3.0, y, m=m, kl=kl, ku=ku, trans=trans)
+    np.testing.assert_allclose(y, expect, rtol=tol_for(dtype, 10))
+
+
+def test_ger_family(rng, complex_dtype):
+    m, n = 5, 4
+    x = rand_vector(rng, m, complex_dtype)
+    y = rand_vector(rng, n, complex_dtype)
+    a = rand_matrix(rng, m, n, complex_dtype)
+    a0 = a.copy()
+    b2.geru(2.0, x, y, a)
+    np.testing.assert_allclose(a, a0 + 2 * np.outer(x, y),
+                               rtol=tol_for(complex_dtype, 10))
+    a = a0.copy()
+    b2.gerc(2.0, x, y, a)
+    np.testing.assert_allclose(a, a0 + 2 * np.outer(x, np.conj(y)),
+                               rtol=tol_for(complex_dtype, 10))
+
+
+def test_ger_real(rng, real_dtype):
+    x = rand_vector(rng, 5, real_dtype)
+    y = rand_vector(rng, 4, real_dtype)
+    a = rand_matrix(rng, 5, 4, real_dtype)
+    a0 = a.copy()
+    b2.ger(-1.5, x, y, a)
+    np.testing.assert_allclose(a, a0 - 1.5 * np.outer(x, y),
+                               rtol=tol_for(real_dtype, 10))
+
+
+def _sym(rng, n, dtype, hermitian):
+    a = rand_matrix(rng, n, n, dtype)
+    full = a + (np.conj(a.T) if hermitian else a.T)
+    if hermitian:
+        np.fill_diagonal(full, full.diagonal().real)
+    return full
+
+
+@pytest.mark.parametrize("uplo", UPLOS)
+def test_symv_references_one_triangle(rng, dtype, uplo):
+    full = _sym(rng, 6, dtype, False)
+    x = rand_vector(rng, 6, dtype)
+    y = rand_vector(rng, 6, dtype)
+    expect = 1.2 * full @ x + 0.3 * y
+    stored = full.copy()
+    # Poison the opposite triangle: must not be referenced.
+    if uplo == "U":
+        stored[np.tril_indices(6, -1)] = np.nan
+    else:
+        stored[np.triu_indices(6, 1)] = np.nan
+    b2.symv(1.2, stored, x, 0.3, y, uplo=uplo)
+    np.testing.assert_allclose(y, expect, rtol=tol_for(dtype, 10))
+
+
+@pytest.mark.parametrize("uplo", UPLOS)
+def test_hemv(rng, complex_dtype, uplo):
+    full = _sym(rng, 6, complex_dtype, True)
+    x = rand_vector(rng, 6, complex_dtype)
+    y = rand_vector(rng, 6, complex_dtype)
+    expect = full @ x
+    b2.hemv(1.0, full, x, 0.0, y, uplo=uplo)
+    np.testing.assert_allclose(y, expect, rtol=tol_for(complex_dtype, 10))
+
+
+@pytest.mark.parametrize("uplo", UPLOS)
+@pytest.mark.parametrize("hermitian", [False, True])
+def test_sbmv(rng, dtype, uplo, hermitian):
+    if hermitian and np.dtype(dtype).kind != "c":
+        pytest.skip("hermitian only meaningful for complex")
+    n, k = 7, 2
+    full = _sym(rng, n, dtype, hermitian)
+    # Band-limit it.
+    for i in range(n):
+        for j in range(n):
+            if abs(i - j) > k:
+                full[i, j] = 0
+    ab = full_to_sym_band(full, k, uplo=uplo)
+    x = rand_vector(rng, n, dtype)
+    y = np.zeros(n, dtype=dtype)
+    b2.sbmv(1.0, ab, x, 0.0, y, uplo=uplo, hermitian=hermitian)
+    np.testing.assert_allclose(y, full @ x, rtol=tol_for(dtype, 20),
+                               atol=tol_for(dtype, 20))
+
+
+@pytest.mark.parametrize("uplo", UPLOS)
+def test_spmv_and_hpmv(rng, dtype, uplo):
+    n = 6
+    hermitian = np.dtype(dtype).kind == "c"
+    full = _sym(rng, n, dtype, hermitian)
+    ap = pack(full, uplo=uplo)
+    x = rand_vector(rng, n, dtype)
+    y = np.zeros(n, dtype=dtype)
+    if hermitian:
+        b2.hpmv(1.0, ap, x, 0.0, y, uplo=uplo)
+    else:
+        b2.spmv(1.0, ap, x, 0.0, y, uplo=uplo)
+    np.testing.assert_allclose(y, full @ x, rtol=tol_for(dtype, 20),
+                               atol=tol_for(dtype, 20))
+
+
+@pytest.mark.parametrize("uplo", UPLOS)
+def test_syr_syr2(rng, real_dtype, uplo):
+    n = 5
+    x = rand_vector(rng, n, real_dtype)
+    y = rand_vector(rng, n, real_dtype)
+    a = _sym(rng, n, real_dtype, False)
+    a0 = a.copy()
+    b2.syr(2.0, x, a, uplo=uplo)
+    b2.syr2(0.5, x, y, a, uplo=uplo)
+    expect = a0 + 2 * np.outer(x, x) + 0.5 * (np.outer(x, y) + np.outer(y, x))
+    tri = np.triu_indices(n) if uplo == "U" else np.tril_indices(n)
+    np.testing.assert_allclose(a[tri], expect[tri], rtol=tol_for(real_dtype, 10))
+
+
+@pytest.mark.parametrize("uplo", UPLOS)
+def test_her_her2(rng, complex_dtype, uplo):
+    n = 5
+    x = rand_vector(rng, n, complex_dtype)
+    y = rand_vector(rng, n, complex_dtype)
+    a = _sym(rng, n, complex_dtype, True)
+    a0 = a.copy()
+    b2.her(2.0, x, a, uplo=uplo)
+    b2.her2(1 + 1j, x, y, a, uplo=uplo)
+    upd = (1 + 1j) * np.outer(x, np.conj(y))
+    expect = a0 + 2 * np.outer(x, np.conj(x)) + upd + np.conj(upd.T)
+    tri = np.triu_indices(n) if uplo == "U" else np.tril_indices(n)
+    np.testing.assert_allclose(a[tri], expect[tri],
+                               rtol=tol_for(complex_dtype, 10))
+
+
+@pytest.mark.parametrize("uplo", UPLOS)
+@pytest.mark.parametrize("trans", TRANS_ALL)
+@pytest.mark.parametrize("diag", DIAGS)
+def test_trmv_trsv_roundtrip(rng, dtype, uplo, trans, diag):
+    n = 6
+    a = rand_matrix(rng, n, n, dtype)
+    a[np.diag_indices(n)] += 3  # well conditioned
+    x = rand_vector(rng, n, dtype)
+    y = x.copy()
+    b2.trmv(a, y, uplo=uplo, trans=trans, diag=diag)
+    b2.trsv(a, y, uplo=uplo, trans=trans, diag=diag)
+    np.testing.assert_allclose(y, x, rtol=tol_for(dtype, 100),
+                               atol=tol_for(dtype, 100))
+
+
+@pytest.mark.parametrize("uplo", UPLOS)
+@pytest.mark.parametrize("trans", TRANS_ALL)
+def test_tbsv_matches_dense_solve(rng, dtype, uplo, trans):
+    n, k = 7, 2
+    a = rand_matrix(rng, n, n, dtype)
+    a[np.diag_indices(n)] += 3
+    # Triangular band matrix
+    keep = np.zeros((n, n), dtype=bool)
+    for i in range(n):
+        for j in range(n):
+            if uplo == "U" and 0 <= j - i <= k:
+                keep[i, j] = True
+            if uplo == "L" and 0 <= i - j <= k:
+                keep[i, j] = True
+    a[~keep] = 0
+    ab = full_to_sym_band(a, k, uplo=uplo) if uplo == "U" else None
+    # full_to_sym_band only stores one triangle; for tb storage that is
+    # exactly the triangular band layout.
+    if uplo == "L":
+        from repro.storage import full_to_sym_band as f2sb
+        ab = f2sb(a, k, uplo="L")
+    x = rand_vector(rng, n, dtype)
+    rhs = x.copy()
+    b2.tbsv(ab, rhs, uplo=uplo, trans=trans)
+    op = {"N": a, "T": a.T, "C": np.conj(a.T)}[trans]
+    np.testing.assert_allclose(op @ rhs, x, rtol=tol_for(dtype, 200),
+                               atol=tol_for(dtype, 200))
+
+
+@pytest.mark.parametrize("uplo", UPLOS)
+@pytest.mark.parametrize("trans", TRANS_REAL)
+def test_tpsv_tpmv_roundtrip(rng, real_dtype, uplo, trans):
+    n = 6
+    a = rand_matrix(rng, n, n, real_dtype)
+    a[np.diag_indices(n)] += 3
+    tri = np.triu(a) if uplo == "U" else np.tril(a)
+    ap = pack(tri, uplo=uplo)
+    x = rand_vector(rng, n, real_dtype)
+    y = x.copy()
+    b2.tpmv(ap, y, n, uplo=uplo, trans=trans)
+    b2.tpsv(ap, y, n, uplo=uplo, trans=trans)
+    np.testing.assert_allclose(y, x, rtol=tol_for(real_dtype, 100))

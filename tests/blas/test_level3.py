@@ -1,0 +1,142 @@
+"""Level-3 BLAS kernels vs dense NumPy oracles."""
+
+import numpy as np
+import pytest
+
+from repro.blas import level3 as b3
+
+from ..conftest import rand_matrix, tol_for
+
+UPLOS = ["U", "L"]
+SIDES = ["L", "R"]
+DIAGS = ["N", "U"]
+
+
+@pytest.mark.parametrize("transa", ["N", "T", "C"])
+@pytest.mark.parametrize("transb", ["N", "T"])
+def test_gemm(rng, dtype, transa, transb):
+    m, n, k = 5, 4, 6
+    a = rand_matrix(rng, *( (m, k) if transa == "N" else (k, m) ), dtype)
+    b = rand_matrix(rng, *( (k, n) if transb == "N" else (n, k) ), dtype)
+    c = rand_matrix(rng, m, n, dtype)
+    opa = {"N": a, "T": a.T, "C": np.conj(a.T)}[transa]
+    opb = {"N": b, "T": b.T, "C": np.conj(b.T)}[transb]
+    expect = 1.5 * opa @ opb + 0.5 * c
+    b3.gemm(1.5, a, b, 0.5, c, transa=transa, transb=transb)
+    np.testing.assert_allclose(c, expect, rtol=tol_for(dtype, 30),
+                               atol=tol_for(dtype, 30))
+
+
+@pytest.mark.parametrize("side", SIDES)
+@pytest.mark.parametrize("uplo", UPLOS)
+def test_symm_hemm(rng, dtype, side, uplo):
+    n, m = 5, 4
+    hermitian = np.dtype(dtype).kind == "c"
+    s = rand_matrix(rng, n, n, dtype)
+    full = s + (np.conj(s.T) if hermitian else s.T)
+    if hermitian:
+        np.fill_diagonal(full, full.diagonal().real)
+    b = rand_matrix(rng, *((n, m) if side == "L" else (m, n)), dtype)
+    c = np.zeros_like(b)
+    expect = full @ b if side == "L" else b @ full
+    fn = b3.hemm if hermitian else b3.symm
+    fn(1.0, full, b, 0.0, c, side=side, uplo=uplo)
+    np.testing.assert_allclose(c, expect, rtol=tol_for(dtype, 30),
+                               atol=tol_for(dtype, 30))
+
+
+@pytest.mark.parametrize("uplo", UPLOS)
+@pytest.mark.parametrize("trans", ["N", "T"])
+def test_syrk(rng, real_dtype, uplo, trans):
+    a = rand_matrix(rng, 5, 3, real_dtype)
+    c = rand_matrix(rng, *( (5, 5) if trans == "N" else (3, 3) ), real_dtype)
+    c = c + c.T
+    c0 = c.copy()
+    upd = a @ a.T if trans == "N" else a.T @ a
+    expect = 2 * upd + 0.5 * c0
+    b3.syrk(2.0, a, 0.5, c, uplo=uplo, trans=trans)
+    tri = (np.triu_indices_from(c) if uplo == "U"
+           else np.tril_indices_from(c))
+    np.testing.assert_allclose(c[tri], expect[tri],
+                               rtol=tol_for(real_dtype, 30))
+
+
+@pytest.mark.parametrize("uplo", UPLOS)
+@pytest.mark.parametrize("trans", ["N", "C"])
+def test_herk_real_diagonal(rng, complex_dtype, uplo, trans):
+    a = rand_matrix(rng, 5, 3, complex_dtype)
+    nn = 5 if trans == "N" else 3
+    c = np.zeros((nn, nn), dtype=complex_dtype)
+    tr = "N" if trans == "N" else "T"  # herk uses trans='N'/'C' semantics
+    b3.herk(1.0, a, 0.0, c, uplo=uplo, trans=tr)
+    upd = a @ np.conj(a.T) if trans == "N" else np.conj(a.T) @ a
+    tri = (np.triu_indices(nn) if uplo == "U" else np.tril_indices(nn))
+    np.testing.assert_allclose(c[tri], upd[tri],
+                               rtol=tol_for(complex_dtype, 30),
+                               atol=tol_for(complex_dtype, 30))
+    assert np.all(c.diagonal().imag == 0)
+
+
+@pytest.mark.parametrize("uplo", UPLOS)
+def test_syr2k_her2k(rng, dtype, uplo):
+    hermitian = np.dtype(dtype).kind == "c"
+    a = rand_matrix(rng, 5, 3, dtype)
+    b = rand_matrix(rng, 5, 3, dtype)
+    c = np.zeros((5, 5), dtype=dtype)
+    if hermitian:
+        b3.her2k(1.0, a, b, 0.0, c, uplo=uplo)
+        upd = a @ np.conj(b.T)
+        upd = upd + np.conj(upd.T)
+    else:
+        b3.syr2k(1.0, a, b, 0.0, c, uplo=uplo)
+        upd = a @ b.T
+        upd = upd + upd.T
+    tri = np.triu_indices(5) if uplo == "U" else np.tril_indices(5)
+    np.testing.assert_allclose(c[tri], upd[tri], rtol=tol_for(dtype, 30),
+                               atol=tol_for(dtype, 30))
+
+
+@pytest.mark.parametrize("side", SIDES)
+@pytest.mark.parametrize("uplo", UPLOS)
+@pytest.mark.parametrize("transa", ["N", "T", "C"])
+@pytest.mark.parametrize("diag", DIAGS)
+def test_trmm(rng, dtype, side, uplo, transa, diag):
+    n = 5
+    a = rand_matrix(rng, n, n, dtype)
+    t = np.triu(a) if uplo == "U" else np.tril(a)
+    if diag == "U":
+        np.fill_diagonal(t, 1)
+    op = {"N": t, "T": t.T, "C": np.conj(t.T)}[transa]
+    b = rand_matrix(rng, n, n, dtype)
+    expect = 2 * (op @ b) if side == "L" else 2 * (b @ op)
+    b3.trmm(2.0, a, b, side=side, uplo=uplo, transa=transa, diag=diag)
+    np.testing.assert_allclose(b, expect, rtol=tol_for(dtype, 30),
+                               atol=tol_for(dtype, 30))
+
+
+@pytest.mark.parametrize("side", SIDES)
+@pytest.mark.parametrize("uplo", UPLOS)
+@pytest.mark.parametrize("transa", ["N", "T", "C"])
+@pytest.mark.parametrize("diag", DIAGS)
+def test_trsm_solves(rng, dtype, side, uplo, transa, diag):
+    n, m = 6, 3
+    a = rand_matrix(rng, n, n, dtype)
+    a[np.diag_indices(n)] += 4
+    t = np.triu(a) if uplo == "U" else np.tril(a)
+    if diag == "U":
+        np.fill_diagonal(t, 1)
+    op = {"N": t, "T": t.T, "C": np.conj(t.T)}[transa]
+    if side == "L":
+        b = rand_matrix(rng, n, m, dtype)
+        b0 = b.copy()
+        b3.trsm(1.5, a, b, side=side, uplo=uplo, transa=transa, diag=diag)
+        np.testing.assert_allclose(op @ b, 1.5 * b0,
+                                   rtol=tol_for(dtype, 200),
+                                   atol=tol_for(dtype, 200))
+    else:
+        b = rand_matrix(rng, m, n, dtype)
+        b0 = b.copy()
+        b3.trsm(1.5, a, b, side=side, uplo=uplo, transa=transa, diag=diag)
+        np.testing.assert_allclose(b @ op, 1.5 * b0,
+                                   rtol=tol_for(dtype, 200),
+                                   atol=tol_for(dtype, 200))

@@ -1,0 +1,244 @@
+"""Computational routines (Appendix G §9), matrix utilities (§10), and
+the F77_LAPACK explicit-argument layer (paper Section 2)."""
+
+import numpy as np
+import pytest
+
+from repro import Info, IllegalArgument, f77
+from repro.core import (la_geequ, la_gerfs, la_getrf, la_getri, la_getrs,
+                        la_hetrd, la_lagge, la_lange, la_orgtr, la_potrf,
+                        la_sygst, la_sytrd, la_ungtr, la_hegst)
+
+from ..conftest import (rand_matrix, rand_vector, spd_matrix, tol_for,
+                        well_conditioned)
+
+
+def test_la_getrf_with_rcond(rng):
+    n = 20
+    a0 = well_conditioned(rng, n, np.float64)
+    a = a0.copy()
+    ipiv, rcond = la_getrf(a, rcond=True)
+    true_rcond = 1 / np.linalg.cond(a0, 1)
+    assert true_rcond / 10 <= rcond <= true_rcond * 10
+    # Without the request no estimate is produced.
+    ipiv2, rcond2 = la_getrf(a0.copy())
+    assert rcond2 is None
+
+
+def test_la_getrf_rectangular(rng):
+    a = rand_matrix(rng, 8, 5, np.float64)
+    ipiv, rc = la_getrf(a)
+    assert len(ipiv) == 5
+    # rcond on a rectangular matrix is an argument error.
+    info = Info()
+    la_getrf(rand_matrix(rng, 8, 5, np.float64), rcond=True, info=info)
+    assert info == -3
+
+
+def test_la_getrs_la_getri_roundtrip(rng, dtype):
+    n = 10
+    a0 = well_conditioned(rng, n, dtype)
+    a = a0.copy()
+    ipiv, _ = la_getrf(a)
+    x_true = rand_vector(rng, n, dtype)
+    b = (a0 @ x_true).astype(dtype)
+    la_getrs(a, ipiv, b)
+    np.testing.assert_allclose(b, x_true, rtol=tol_for(dtype, 1e4),
+                               atol=tol_for(dtype, 1e4))
+    la_getri(a, ipiv)
+    np.testing.assert_allclose(a @ a0, np.eye(n), atol=tol_for(dtype, 1e4))
+
+
+def test_la_gerfs(rng):
+    n = 20
+    a0 = well_conditioned(rng, n, np.float64)
+    af = a0.copy()
+    ipiv, _ = la_getrf(af)
+    x_true = rand_vector(rng, n, np.float64)
+    b = a0 @ x_true
+    x = b.copy()
+    la_getrs(af, ipiv, x)
+    x += 1e-7
+    ferr, berr = la_gerfs(a0, af, ipiv, b, x)
+    assert np.all(berr < 1e-13)
+
+
+def test_la_geequ(rng):
+    a = rand_matrix(rng, 6, 6, np.float64)
+    a[2] *= 1e8
+    r, c, rowcnd, colcnd, amax = la_geequ(a)
+    assert rowcnd < 0.1
+    assert np.abs(np.outer(r, c) * a).max() <= 1 + 1e-10
+
+
+def test_la_potrf_rcond(rng):
+    n = 15
+    a0 = spd_matrix(rng, n, np.float64)
+    a = a0.copy()
+    rcond = la_potrf(a, rcond=True)
+    true_rcond = 1 / np.linalg.cond(a0, 1)
+    assert true_rcond / 10 <= rcond <= true_rcond * 10
+
+
+def test_la_sytrd_orgtr(rng):
+    n = 10
+    a0 = rand_matrix(rng, n, n, np.float64)
+    a0 = a0 + a0.T
+    a = a0.copy()
+    d, e, tau = la_sytrd(a, uplo="L")
+    q = a.copy()
+    la_orgtr(q, tau, uplo="L")
+    t = q.T @ a0 @ q
+    expect = np.diag(d) + np.diag(e, 1) + np.diag(e, -1)
+    np.testing.assert_allclose(t, expect, atol=1e-9)
+
+
+def test_la_hetrd_ungtr(rng):
+    n = 8
+    a0 = rand_matrix(rng, n, n, np.complex128)
+    a0 = a0 + np.conj(a0.T)
+    np.fill_diagonal(a0, a0.diagonal().real)
+    a = a0.copy()
+    d, e, tau = la_hetrd(a, uplo="L")
+    assert d.dtype.kind == "f"
+    q = a.copy()
+    la_ungtr(q, tau, uplo="L")
+    t = np.conj(q.T) @ a0 @ q
+    expect = np.diag(d) + np.diag(e, 1) + np.diag(e, -1)
+    np.testing.assert_allclose(t, expect, atol=1e-9)
+
+
+def test_la_sygst_hegst(rng):
+    import scipy.linalg as sla
+    n = 8
+    a0 = rand_matrix(rng, n, n, np.float64)
+    a0 = a0 + a0.T
+    b0 = spd_matrix(rng, n, np.float64)
+    b = b0.copy()
+    la_potrf(b, uplo="U")
+    a = a0.copy()
+    la_sygst(a, b, itype=1, uplo="U")
+    ref = sla.eigh(a0, b0, eigvals_only=True)
+    np.testing.assert_allclose(np.linalg.eigvalsh(a), ref, atol=1e-9)
+
+
+def test_la_lange_all_norms(rng):
+    a = rand_matrix(rng, 7, 5, np.float64)
+    assert np.isclose(la_lange(a, "1"), np.linalg.norm(a, 1))
+    assert np.isclose(la_lange(a, "I"), np.linalg.norm(a, np.inf))
+    assert np.isclose(la_lange(a, "F"), np.linalg.norm(a, "fro"))
+    assert np.isclose(la_lange(a, "M"), np.abs(a).max())
+    info = Info()
+    la_lange(a, "X", info=info)
+    assert info == -2
+
+
+def test_la_lagge_fills_in_place(rng):
+    a = np.zeros((8, 6))
+    d = np.array([4.0, 3.0, 2.0, 1.0, 0.5, 0.25])
+    la_lagge(a, d=d, iseed=42)
+    np.testing.assert_allclose(np.linalg.svd(a, compute_uv=False), d,
+                               rtol=1e-9)
+
+
+# --- the F77 layer -----------------------------------------------------------
+
+class TestF77Layer:
+    def test_la_gesv_explicit_args(self, rng, dtype):
+        n, nrhs = 8, 2
+        a0 = well_conditioned(rng, n, dtype)
+        x_true = rand_matrix(rng, n, nrhs, dtype)
+        b = (a0 @ x_true).astype(dtype)
+        ipiv = np.zeros(n, dtype=np.int64)
+        info = f77.la_gesv(n, nrhs, a0.copy(), n, ipiv, b, n)
+        assert info == 0
+        np.testing.assert_allclose(b, x_true, rtol=tol_for(dtype, 1e4),
+                                   atol=tol_for(dtype, 1e4))
+
+    def test_xerbla_on_bad_lda(self, rng):
+        a = np.ones((3, 3))
+        with pytest.raises(IllegalArgument):
+            f77.la_gesv(3, 1, a, 2, np.zeros(3, np.int64), np.ones(3), 3)
+
+    def test_xerbla_on_negative_n(self):
+        with pytest.raises(IllegalArgument):
+            f77.la_gesv(-1, 1, np.ones((1, 1)), 1,
+                        np.zeros(1, np.int64), np.ones(1), 1)
+
+    def test_info_positive_returned_not_raised(self):
+        a = np.ones((3, 3))
+        b = np.ones(3)
+        info = f77.la_gesv(3, 1, a, 3, np.zeros(3, np.int64), b, 3)
+        assert info > 0
+
+    def test_subarray_semantics(self, rng):
+        # Operating on the leading n×n of a larger array — the LDA idiom.
+        big = np.zeros((10, 10))
+        n = 4
+        a = well_conditioned(rng, n, np.float64)
+        big[:n, :n] = a
+        b = np.zeros(10)
+        x = rand_vector(rng, n, np.float64)
+        b[:n] = a @ x
+        ipiv = np.zeros(10, dtype=np.int64)
+        info = f77.la_gesv(n, 1, big, 10, ipiv, b, 10)
+        assert info == 0
+        np.testing.assert_allclose(b[:n], x, atol=1e-10)
+        assert np.all(b[n:] == 0)
+
+    def test_getrf_getrs_getri(self, rng):
+        n = 6
+        a0 = well_conditioned(rng, n, np.float64)
+        a = a0.copy()
+        piv = np.zeros(n, dtype=np.int64)
+        assert f77.la_getrf(n, n, a, n, piv) == 0
+        b = a0 @ np.ones(n)
+        assert f77.la_getrs("N", n, 1, a, n, piv, b, n) == 0
+        np.testing.assert_allclose(b, 1.0, atol=1e-10)
+        work = np.zeros(n * 64)
+        assert f77.la_getri(n, a, n, piv, work, len(work)) == 0
+        np.testing.assert_allclose(a @ a0, np.eye(n), atol=1e-10)
+
+    def test_posv_syev_gesvd(self, rng):
+        n = 6
+        spd = spd_matrix(rng, n, np.float64)
+        b = spd @ np.ones(n)
+        assert f77.la_posv("U", n, 1, spd.copy(), n, b, n) == 0
+        np.testing.assert_allclose(b, 1.0, atol=1e-9)
+        s = rand_matrix(rng, n, n, np.float64)
+        s = s + s.T
+        w = np.zeros(n)
+        assert f77.la_syev("N", "U", n, s.copy(), n, w) == 0
+        np.testing.assert_allclose(w, np.linalg.eigvalsh(s), atol=1e-10)
+        m = rand_matrix(rng, 7, 4, np.float64)
+        sv = np.zeros(4)
+        assert f77.la_gesvd("N", "N", 7, 4, m.copy(), 7, sv, None, 1,
+                            None, 1) == 0
+        np.testing.assert_allclose(sv, np.linalg.svd(m, compute_uv=False),
+                                   atol=1e-10)
+
+    def test_gbsv_gtsv_ptsv_sysv(self, rng):
+        n = 8
+        # tridiagonal
+        dl = rand_vector(rng, n - 1, np.float64)
+        d = rand_vector(rng, n, np.float64) + 4
+        du = rand_vector(rng, n - 1, np.float64)
+        aa = np.diag(d) + np.diag(dl, -1) + np.diag(du, 1)
+        x = np.ones(n)
+        b = aa @ x
+        assert f77.la_gtsv(n, 1, dl.copy(), d.copy(), du.copy(), b, n) == 0
+        np.testing.assert_allclose(b, 1.0, atol=1e-10)
+        # SPD tridiagonal
+        e = rand_vector(rng, n - 1, np.float64)
+        dd = np.abs(rand_vector(rng, n, np.float64)) + 3
+        at = np.diag(dd) + np.diag(e, -1) + np.diag(e, 1)
+        b2 = at @ x
+        assert f77.la_ptsv(n, 1, dd.copy(), e.copy(), b2, n) == 0
+        np.testing.assert_allclose(b2, 1.0, atol=1e-10)
+        # symmetric indefinite
+        s = rand_matrix(rng, n, n, np.float64)
+        s = s + s.T + np.diag(np.arange(n) - n / 2.0)
+        b3 = s @ x
+        ipiv = np.zeros(n, dtype=np.int64)
+        assert f77.la_sysv("U", n, 1, s.copy(), n, ipiv, b3, n) == 0
+        np.testing.assert_allclose(b3, 1.0, atol=1e-9)

@@ -1,0 +1,103 @@
+"""Error-exit sweep across the whole linear-equation catalogue — the
+Section 6 methodology generalized beyond LA_GESV: every driver reports
+a negative code through info= and raises IllegalArgument without it."""
+
+import numpy as np
+import pytest
+
+from repro import (Info, IllegalArgument, la_gbsv, la_gels, la_gesv,
+                   la_gtsv, la_heev, la_hesv, la_pbsv, la_posv, la_ppsv,
+                   la_ptsv, la_spsv, la_syev, la_sysv, la_sygv)
+
+# (call, expected-negative-position)
+CASES = [
+    ("gesv: A not square",
+     lambda: la_gesv(np.ones((2, 3)), np.ones(2)), -1),
+    ("gesv: B row mismatch",
+     lambda: la_gesv(np.eye(3), np.ones(4)), -2),
+    ("gesv: ipiv wrong length",
+     lambda: la_gesv(np.eye(3), np.ones(3), ipiv=np.zeros(2, np.int64)),
+     -3),
+    ("gbsv: ab not 2-D",
+     lambda: la_gbsv(np.ones(4), np.ones(4)), -1),
+    ("gbsv: b mismatch",
+     lambda: la_gbsv(np.ones((4, 5)), np.ones(3), kl=1), -2),
+    ("gtsv: dl wrong length",
+     lambda: la_gtsv(np.ones(3), np.ones(3), np.ones(2), np.ones(3)), -1),
+    ("gtsv: du wrong length",
+     lambda: la_gtsv(np.ones(2), np.ones(3), np.ones(3), np.ones(3)), -3),
+    ("gtsv: b mismatch",
+     lambda: la_gtsv(np.ones(2), np.ones(3), np.ones(2), np.ones(4)), -4),
+    ("posv: bad uplo",
+     lambda: la_posv(np.eye(3), np.ones(3), uplo="X"), -3),
+    ("posv: A not square",
+     lambda: la_posv(np.ones((3, 2)), np.ones(3)), -1),
+    ("ppsv: packed length wrong",
+     lambda: la_ppsv(np.ones(5), np.ones(3)), -1),
+    ("ppsv: bad uplo",
+     lambda: la_ppsv(np.ones(6), np.ones(3), uplo="Q"), -3),
+    ("pbsv: ab not 2-D",
+     lambda: la_pbsv(np.ones(3), np.ones(3)), -1),
+    ("pbsv: b mismatch",
+     lambda: la_pbsv(np.ones((2, 5)), np.ones(4)), -2),
+    ("ptsv: e wrong length",
+     lambda: la_ptsv(np.ones(4), np.ones(4), np.ones(4)), -2),
+    ("ptsv: b mismatch",
+     lambda: la_ptsv(np.ones(4), np.ones(3), np.ones(5)), -3),
+    ("sysv: bad uplo",
+     lambda: la_sysv(np.eye(3), np.ones(3), uplo="Z"), -3),
+    ("sysv: ipiv wrong",
+     lambda: la_sysv(np.eye(3), np.ones(3), ipiv=np.zeros(9, np.int64)),
+     -4),
+    ("hesv: A not square",
+     lambda: la_hesv(np.ones((2, 3), complex), np.ones(2, complex)), -1),
+    ("spsv: packed length",
+     lambda: la_spsv(np.ones(4), np.ones(3)), -1),
+    ("syev: bad jobz",
+     lambda: la_syev(np.eye(3) * 1.0, jobz="Q"), -3),
+    ("syev: bad uplo",
+     lambda: la_syev(np.eye(3) * 1.0, uplo="Q"), -4),
+    ("syev: w wrong length",
+     lambda: la_syev(np.eye(3) * 1.0, w=np.zeros(2)), -2),
+    ("heev: A not square",
+     lambda: la_heev(np.ones((2, 3), complex)), -1),
+    ("sygv: bad itype",
+     lambda: la_sygv(np.eye(3), np.eye(3), itype=4), -4),
+    ("gels: bad trans",
+     lambda: la_gels(np.ones((4, 2)), np.ones(4), trans="Q"), -3),
+]
+
+
+@pytest.mark.parametrize("desc,call,expect",
+                         CASES, ids=[c[0] for c in CASES])
+def test_error_exit_raises(desc, call, expect):
+    with pytest.raises(IllegalArgument) as e:
+        call()
+    assert e.value.info == expect
+
+
+def test_info_records_for_each_family():
+    """Representative info= path per driver family."""
+    info = Info()
+    la_gesv(np.ones((2, 3)), np.ones(2), info=info)
+    assert info == -1
+    la_gbsv(np.ones(4), np.ones(4), info=info)
+    assert info == -1
+    la_gtsv(np.ones(3), np.ones(3), np.ones(2), np.ones(3), info=info)
+    assert info == -1
+    la_posv(np.eye(3), np.ones(3), uplo="X", info=info)
+    assert info == -3
+    la_ppsv(np.ones(5), np.ones(3), info=info)
+    assert info == -1
+    la_pbsv(np.ones(3), np.ones(3), info=info)
+    assert info == -1
+    la_ptsv(np.ones(4), np.ones(4), np.ones(4), info=info)
+    assert info == -2
+    la_sysv(np.eye(3), np.ones(3), uplo="Z", info=info)
+    assert info == -3
+    la_spsv(np.ones(4), np.ones(3), info=info)
+    assert info == -1
+    la_syev(np.eye(3) * 1.0, jobz="Q", info=info)
+    assert info == -3
+    la_sygv(np.eye(3), np.eye(3), itype=9, info=info)
+    assert info == -4

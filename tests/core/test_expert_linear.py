@@ -1,0 +1,229 @@
+"""Expert drivers: condition estimates, refinement, error bounds,
+equilibration, factor reuse."""
+
+import numpy as np
+import pytest
+
+from repro import Info
+from repro.core import (la_gbsvx, la_gesvx, la_gtsvx, la_hesvx, la_hpsvx,
+                        la_pbsvx, la_posvx, la_ppsvx, la_ptsvx, la_spsvx,
+                        la_sysvx)
+from repro.storage import full_to_band, full_to_sym_band, pack
+
+from ..conftest import (rand_matrix, rand_vector, spd_matrix, tol_for,
+                        well_conditioned)
+
+
+class TestLaGesvx:
+    def test_basic_solve_and_bounds(self, rng, dtype):
+        n, nrhs = 20, 2
+        a0 = well_conditioned(rng, n, dtype)
+        x_true = rand_matrix(rng, n, nrhs, dtype)
+        b = (a0 @ x_true).astype(dtype)
+        res = la_gesvx(a0.copy(), b)
+        np.testing.assert_allclose(res.x, x_true, rtol=tol_for(dtype, 1e4),
+                                   atol=tol_for(dtype, 1e4))
+        # True error within the forward bound (with slack).
+        err = np.max(np.abs(res.x - x_true), axis=0) \
+            / np.max(np.abs(x_true), axis=0)
+        assert np.all(err <= res.ferr * 10 + tol_for(dtype))
+        assert np.all(res.berr <= 100 * np.finfo(
+            np.dtype(dtype)).eps)
+        true_rcond = 1 / np.linalg.cond(a0.astype(complex), 1).real
+        assert true_rcond / 10 <= res.rcond <= true_rcond * 10
+
+    def test_b_preserved(self, rng):
+        n = 8
+        a = well_conditioned(rng, n, np.float64)
+        b = rand_vector(rng, n, np.float64)
+        b0 = b.copy()
+        la_gesvx(a.copy(), b)
+        np.testing.assert_array_equal(b, b0)
+
+    @pytest.mark.parametrize("trans", ["N", "T", "C"])
+    def test_trans(self, rng, trans):
+        n = 15
+        a0 = well_conditioned(rng, n, np.complex128)
+        op = {"N": a0, "T": a0.T, "C": np.conj(a0.T)}[trans]
+        x_true = rand_vector(rng, n, np.complex128)
+        b = op @ x_true
+        res = la_gesvx(a0.copy(), b, trans=trans)
+        np.testing.assert_allclose(res.x, x_true, atol=1e-9)
+
+    def test_equilibration_path(self, rng):
+        n = 10
+        a0 = well_conditioned(rng, n, np.float64)
+        a0[0] *= 1e9   # terrible row scaling
+        x_true = rand_vector(rng, n, np.float64)
+        b = a0 @ x_true
+        res = la_gesvx(a0.copy(), b, fact="E")
+        assert res.equed in ("R", "B")
+        np.testing.assert_allclose(res.x, x_true, rtol=1e-8, atol=1e-8)
+
+    def test_factor_reuse(self, rng):
+        n = 12
+        a0 = well_conditioned(rng, n, np.float64)
+        b1 = rand_vector(rng, n, np.float64)
+        res1 = la_gesvx(a0.copy(), b1)
+        # Re-solve a new RHS with fact='F' reusing res1.af/ipiv.
+        b2 = rand_vector(rng, n, np.float64)
+        res2 = la_gesvx(a0.copy(), b2, af=res1.af, ipiv=res1.ipiv,
+                        fact="F")
+        ref = np.linalg.solve(a0, b2)
+        np.testing.assert_allclose(res2.x, ref, atol=1e-9)
+
+    def test_singular_to_working_precision(self, rng):
+        n = 8
+        a = rand_matrix(rng, n, n, np.float64)
+        a[:, -1] = a[:, 0] * (1 + 1e-16)  # numerically singular
+        b = rand_vector(rng, n, np.float64)
+        info = Info()
+        res = la_gesvx(a, b, info=info)
+        assert info.value == n + 1 or res.rcond < 1e-14
+
+    def test_rpvgrw_reported(self, rng):
+        a = well_conditioned(rng, 6, np.float64)
+        res = la_gesvx(a.copy(), rand_vector(rng, 6, np.float64))
+        assert res.rpvgrw is not None and res.rpvgrw > 0
+
+
+def test_la_gbsvx(rng, dtype):
+    n, kl, ku = 18, 2, 1
+    a = rand_matrix(rng, n, n, dtype)
+    for i in range(n):
+        for j in range(n):
+            if j - i > ku or i - j > kl:
+                a[i, j] = 0
+    a[np.diag_indices(n)] += 4
+    ab = full_to_band(a, kl, ku)
+    x_true = rand_vector(rng, n, dtype)
+    b = (a @ x_true).astype(dtype)
+    res = la_gbsvx(ab, b, kl=kl)
+    np.testing.assert_allclose(res.x, x_true, rtol=tol_for(dtype, 1e4),
+                               atol=tol_for(dtype, 1e4))
+    assert res.rcond > 0
+    assert np.all(res.berr < 1e-4)
+
+
+def test_la_gtsvx(rng, dtype):
+    n = 16
+    dl = rand_vector(rng, n - 1, dtype)
+    d = rand_vector(rng, n, dtype) + 4
+    du = rand_vector(rng, n - 1, dtype)
+    a = np.diag(d) + np.diag(dl, -1) + np.diag(du, 1)
+    x_true = rand_vector(rng, n, dtype)
+    b = (a @ x_true).astype(dtype)
+    res = la_gtsvx(dl, d, du, b)
+    np.testing.assert_allclose(res.x, x_true, rtol=tol_for(dtype, 1e4),
+                               atol=tol_for(dtype, 1e4))
+    assert res.rcond > 0
+    # Original diagonals preserved (factors go into res.factors).
+    np.testing.assert_allclose(np.diag(a), d)
+
+
+@pytest.mark.parametrize("uplo", ["U", "L"])
+def test_la_posvx(rng, dtype, uplo):
+    n = 14
+    a0 = spd_matrix(rng, n, dtype)
+    x_true = rand_vector(rng, n, dtype)
+    b = (a0 @ x_true).astype(dtype)
+    res = la_posvx(a0.copy(), b, uplo=uplo)
+    np.testing.assert_allclose(res.x, x_true, rtol=tol_for(dtype, 1e4),
+                               atol=tol_for(dtype, 1e4))
+    true_rcond = 1 / np.linalg.cond(a0.astype(complex), 1).real
+    assert true_rcond / 10 <= res.rcond <= true_rcond * 10
+
+
+def test_la_posvx_equilibration(rng):
+    n = 8
+    a0 = spd_matrix(rng, n, np.float64)
+    a0[0, :] *= 1e6
+    a0[:, 0] *= 1e6   # keep symmetric: diag[0] *= 1e12
+    x_true = rand_vector(rng, n, np.float64)
+    b = a0 @ x_true
+    res = la_posvx(a0.copy(), b, fact="E")
+    assert res.equed == "Y"
+    np.testing.assert_allclose(res.x, x_true, rtol=1e-7, atol=1e-7)
+
+
+def test_la_ppsvx(rng):
+    n = 10
+    a = spd_matrix(rng, n, np.float64)
+    ap = pack(a, "U")
+    x_true = rand_vector(rng, n, np.float64)
+    b = a @ x_true
+    res = la_ppsvx(ap, b)
+    np.testing.assert_allclose(res.x, x_true, atol=1e-9)
+    assert res.rcond > 0
+
+
+def test_la_pbsvx(rng):
+    n, kd = 12, 2
+    a = spd_matrix(rng, n, np.float64)
+    for i in range(n):
+        for j in range(n):
+            if abs(i - j) > kd:
+                a[i, j] = 0
+    a[np.diag_indices(n)] += n
+    ab = full_to_sym_band(a, kd, "U")
+    x_true = rand_vector(rng, n, np.float64)
+    b = a @ x_true
+    res = la_pbsvx(ab, b)
+    np.testing.assert_allclose(res.x, x_true, atol=1e-9)
+
+
+def test_la_ptsvx(rng):
+    n = 12
+    e = rand_vector(rng, n - 1, np.float64)
+    d = np.abs(rand_vector(rng, n, np.float64)) + 3
+    a = np.diag(d) + np.diag(e, -1) + np.diag(e, 1)
+    x_true = rand_vector(rng, n, np.float64)
+    b = a @ x_true
+    res = la_ptsvx(d, e, b)
+    np.testing.assert_allclose(res.x, x_true, atol=1e-9)
+    assert res.rcond > 0
+
+
+@pytest.mark.parametrize("uplo", ["U", "L"])
+def test_la_sysvx(rng, uplo):
+    n = 12
+    a = rand_matrix(rng, n, n, np.float64)
+    a = a + a.T
+    a[np.diag_indices(n)] += np.arange(n) - n / 2
+    x_true = rand_vector(rng, n, np.float64)
+    b = a @ x_true
+    res = la_sysvx(a.copy(), b, uplo=uplo)
+    np.testing.assert_allclose(res.x, x_true, atol=1e-8)
+    true_rcond = 1 / np.linalg.cond(a, 1)
+    assert true_rcond / 20 <= res.rcond <= true_rcond * 20
+
+
+def test_la_hesvx(rng):
+    n = 10
+    a = rand_matrix(rng, n, n, np.complex128)
+    a = a + np.conj(a.T)
+    np.fill_diagonal(a, a.diagonal().real + np.arange(n) - n / 2)
+    x_true = rand_vector(rng, n, np.complex128)
+    b = a @ x_true
+    res = la_hesvx(a.copy(), b)
+    np.testing.assert_allclose(res.x, x_true, atol=1e-8)
+
+
+def test_la_spsvx_la_hpsvx(rng):
+    n = 9
+    a = rand_matrix(rng, n, n, np.float64)
+    a = a + a.T
+    a[np.diag_indices(n)] += np.arange(n) - n / 2
+    ap = pack(a, "U")
+    x_true = rand_vector(rng, n, np.float64)
+    b = a @ x_true
+    res = la_spsvx(ap, b)
+    np.testing.assert_allclose(res.x, x_true, atol=1e-8)
+    h = rand_matrix(rng, n, n, np.complex128)
+    h = h + np.conj(h.T)
+    np.fill_diagonal(h, h.diagonal().real + np.arange(n) - n / 2)
+    hp = pack(h, "U")
+    xc = rand_vector(rng, n, np.complex128)
+    bc = h @ xc
+    res2 = la_hpsvx(hp, bc)
+    np.testing.assert_allclose(res2.x, xc, atol=1e-8)

@@ -1,0 +1,185 @@
+"""Cross-layer integration: multi-step workflows a downstream user would
+actually run, combining computational routines, drivers and the testing
+machinery."""
+
+import numpy as np
+import pytest
+
+from repro import (Info, f77, la_geequ, la_gees, la_geev, la_gelss,
+                   la_gerfs, la_gesv, la_gesvd, la_getrf, la_getri,
+                   la_getrs, la_lagge, la_lange, la_orgtr, la_potrf,
+                   la_syev, la_sytrd)
+from repro.testing import residual_ratio
+
+from ..conftest import rand_matrix, rand_vector, spd_matrix, \
+    well_conditioned
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2026)
+
+
+def test_factor_once_solve_many(rng):
+    """The factor/solve separation: one LA_GETRF, many LA_GETRS."""
+    n = 30
+    a0 = well_conditioned(rng, n, np.float64)
+    af = a0.copy()
+    ipiv, rcond = la_getrf(af, rcond=True)
+    assert 0 < rcond <= 1
+    for trial in range(4):
+        x_true = rand_vector(rng, n, np.float64)
+        b = a0 @ x_true
+        la_getrs(af, ipiv, b)
+        np.testing.assert_allclose(b, x_true, atol=1e-9)
+    # Transpose solves from the same factorization.
+    x_true = rand_vector(rng, n, np.float64)
+    b = a0.T @ x_true
+    la_getrs(af, ipiv, b, trans="T")
+    np.testing.assert_allclose(b, x_true, atol=1e-9)
+
+
+def test_solve_refine_invert_chain(rng):
+    """Solve, refine the solution, then invert — all from one factor."""
+    n = 25
+    a0 = well_conditioned(rng, n, np.float64)
+    af = a0.copy()
+    ipiv, _ = la_getrf(af)
+    x_true = rand_vector(rng, n, np.float64)
+    b = a0 @ x_true
+    x = b.copy()
+    la_getrs(af, ipiv, x)
+    ferr, berr = la_gerfs(a0, af, ipiv, b, x)
+    assert np.all(berr < 1e-13)
+    np.testing.assert_allclose(x, x_true, atol=1e-10)
+    la_getri(af, ipiv)
+    np.testing.assert_allclose(af @ a0, np.eye(n), atol=1e-9)
+    # The inverse agrees with the solve.
+    np.testing.assert_allclose(af @ b, x_true, atol=1e-9)
+
+
+def test_equilibrate_then_solve(rng):
+    """Manual equilibration via LA_GEEQU mirrors LA_GESVX's fact='E'."""
+    n = 15
+    a0 = well_conditioned(rng, n, np.float64)
+    a0[0] *= 1e10
+    r, c, rowcnd, colcnd, amax = la_geequ(a0)
+    scaled = a0 * np.outer(r, c)
+    assert np.abs(scaled).max() <= 1 + 1e-12
+    x_true = rand_vector(rng, n, np.float64)
+    b = a0 @ x_true
+    bs = b * r
+    la_gesv(scaled.copy(), bs)
+    x = bs * c
+    np.testing.assert_allclose(x, x_true, rtol=1e-9, atol=1e-9)
+
+
+def test_tridiagonalize_and_verify_with_orgtr(rng):
+    """LA_SYTRD + LA_ORGTR + LA_SYEV consistency on one matrix."""
+    n = 16
+    a0 = rand_matrix(rng, n, n, np.float64)
+    a0 = a0 + a0.T
+    a = a0.copy()
+    d, e, tau = la_sytrd(a, uplo="L")
+    q = a.copy()
+    la_orgtr(q, tau, uplo="L")
+    t = np.diag(d) + np.diag(e, 1) + np.diag(e, -1)
+    np.testing.assert_allclose(q.T @ a0 @ q, t, atol=1e-10)
+    # The tridiagonal's spectrum is the matrix's spectrum.
+    w = la_syev(a0.copy())
+    np.testing.assert_allclose(np.linalg.eigvalsh(t), w, atol=1e-9)
+
+
+def test_generated_matrix_through_full_pipeline(rng):
+    """LA_LAGGE → LA_GESVD → LA_GELSS: the generator's prescribed
+    spectrum survives the whole chain."""
+    m, n = 20, 12
+    d = np.geomspace(1.0, 1e-3, n)
+    a = np.zeros((m, n))
+    la_lagge(a, d=d, iseed=7)
+    s = la_gesvd(a.copy())
+    np.testing.assert_allclose(s, d, rtol=1e-8)
+    # Least squares on it: rank at the 1e-2 threshold.
+    b = rand_vector(rng, m, np.float64)
+    x, rank, s2 = la_gelss(a.copy(), b.copy(), rcond=1e-2)
+    assert rank == int(np.sum(d > 1e-2 * d[0]))
+
+
+def test_schur_eigen_consistency(rng):
+    """LA_GEES and LA_GEEV agree on the spectrum; Schur form norms are
+    preserved (unitary similarity)."""
+    n = 18
+    a0 = rand_matrix(rng, n, n, np.float64)
+    t = a0.copy()
+    w_schur, sdim = la_gees(t)
+    w_eig = la_geev(a0.copy())
+    ws = np.sort_complex(np.round(w_schur, 9))
+    we = np.sort_complex(np.round(w_eig, 9))
+    np.testing.assert_allclose(ws, we, atol=1e-7)
+    # Frobenius norm invariant under the unitary similarity.
+    assert np.isclose(la_lange(t, "F"), la_lange(a0, "F"), rtol=1e-10)
+
+
+def test_f77_and_f90_layers_share_substrate(rng):
+    """Both layers produce bit-identical factors (paper Example 3's
+    premise)."""
+    n = 12
+    a0 = well_conditioned(rng, n, np.float64)
+    b0 = rand_matrix(rng, n, 2, np.float64)
+    a1, b1 = a0.copy(), b0.copy()
+    ipiv1 = np.zeros(n, dtype=np.int64)
+    f77.la_gesv(n, 2, a1, n, ipiv1, b1, n)
+    a2, b2 = a0.copy(), b0.copy()
+    ipiv2 = np.zeros(n, dtype=np.int64)
+    la_gesv(a2, b2, ipiv=ipiv2)
+    np.testing.assert_array_equal(a1, a2)
+    np.testing.assert_array_equal(b1, b2)
+    np.testing.assert_array_equal(ipiv1, ipiv2)
+
+
+def test_residual_ratio_consistent_across_drivers(rng):
+    """The Appendix-F metric stays below threshold for every dense
+    solver family on the same system."""
+    from repro import la_posv, la_sysv
+    n = 40
+    spd = spd_matrix(rng, n, np.float64)
+    b0 = rand_matrix(rng, n, 3, np.float64)
+    for solver, mat in [(la_gesv, spd), (la_posv, spd), (la_sysv, spd)]:
+        b = b0.copy()
+        solver(mat.copy(), b)
+        assert residual_ratio(mat, b, b0) < 10.0
+
+
+def test_info_object_reuse_across_calls(rng):
+    """One Info handle through a whole workflow, LAPACK90 style."""
+    info = Info()
+    n = 8
+    a = well_conditioned(rng, n, np.float64)
+    b = rand_vector(rng, n, np.float64)
+    la_gesv(a.copy(), b.copy(), info=info)
+    assert info == 0
+    la_gesv(np.ones((n, n)), b.copy(), info=info)
+    assert info.value > 0            # singular
+    la_gesv(a.copy(), rand_vector(rng, n + 1, np.float64), info=info)
+    assert info.value == -2          # bad shape
+    la_gesv(a.copy(), b.copy(), info=info)
+    assert info == 0                 # reset on success
+
+
+def test_complex_hermitian_full_stack(rng):
+    """Hermitian chain in complex128: HESV solve, HEEV spectrum,
+    POTRF-based generalized reduction."""
+    from repro import la_hegv, la_hesv
+    n = 14
+    h = rand_matrix(rng, n, n, np.complex128)
+    h = h + np.conj(h.T)
+    np.fill_diagonal(h, h.diagonal().real + np.arange(n) - n / 2)
+    x_true = rand_vector(rng, n, np.complex128)
+    b = h @ x_true
+    la_hesv(h.copy(), b)
+    np.testing.assert_allclose(b, x_true, atol=1e-8)
+    spd = spd_matrix(rng, n, np.complex128)
+    import scipy.linalg as sla
+    w = la_hegv(h.copy(), spd.copy())
+    ref = sla.eigh(h, spd, eigvals_only=True)
+    np.testing.assert_allclose(w, ref, atol=1e-8)

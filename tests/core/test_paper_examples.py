@@ -1,0 +1,132 @@
+"""The paper's worked examples, reproduced verbatim.
+
+* Fig. 1 — Example 1: the F77 generic interface (explicit N/NRHS/LDA…),
+* Fig. 2 — Example 2: the F90 interface (``CALL LA_GESV(A, B)``),
+* Fig. 3 — Example 3: both interfaces on the same N=500 system
+  (the timing itself is benchmarks/test_fig3_overhead.py),
+* Appendix E Examples 1–2: the fixed 5×5 system with its printed
+  solution, L/U factors and pivot sequence.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Info, f77, la_gesv
+
+# The Appendix E matrices.
+A_PAPER = np.array([
+    [0., 2., 3., 5., 4.],
+    [1., 0., 5., 6., 6.],
+    [7., 6., 8., 0., 5.],
+    [4., 6., 0., 3., 9.],
+    [5., 9., 0., 0., 8.],
+])
+B_PAPER = np.array([
+    [14., 28., 42.],
+    [18., 36., 54.],
+    [26., 52., 78.],
+    [22., 44., 66.],
+    [22., 44., 66.],
+])
+
+# Appendix E Example 2 printed outputs (7 significant digits, SP run).
+IPIV_PAPER_1BASED = np.array([3, 5, 3, 4, 5])
+L_PAPER = np.array([
+    [1.0000000, 0, 0, 0, 0],
+    [0.7142857, 1.0000000, 0, 0, 0],
+    [0.0000000, 0.4242424, 1.0000000, 0, 0],
+    [0.5714286, 0.5454544, -0.2681566, 1.0000000, 0],
+    [0.1428571, -0.1818182, 0.5195531, 0.7837837, 1.0000000],
+])
+U_PAPER = np.array([
+    [7.0000000, 6.0000000, 8.0000000, 0.0000000, 5.0000000],
+    [0, 4.7142859, -5.7142859, 0.0000000, 4.4285712],
+    [0, 0, 5.4242425, 5.0000000, 2.1212122],
+    [0, 0, 0, 4.3407826, 4.2960901],
+    [0, 0, 0, 0, 1.6216215],
+])
+
+
+def test_fig1_f77_interface():
+    """Paper Fig. 1: the F77_LAPACK generic interface program."""
+    rng = np.random.default_rng(19980328)
+    n, nrhs = 5, 2
+    a = rng.random((n, n))
+    b = np.column_stack([a.sum(axis=1) * j for j in (1, 2)])
+    lda = ldb = n
+    ipiv = np.zeros(n, dtype=np.int64)
+    info = f77.la_gesv(n, nrhs, a, lda, ipiv, b, ldb)
+    assert info == 0
+    # B(:, j) = sum(A, dim=2)*j  ⇒  X(:, j) = j.
+    np.testing.assert_allclose(b[:, 0], 1.0, atol=1e-12)
+    np.testing.assert_allclose(b[:, 1], 2.0, atol=1e-12)
+
+
+def test_fig2_f90_interface():
+    """Paper Fig. 2: the same computation via CALL LA_GESV(A, B)."""
+    rng = np.random.default_rng(19980328)
+    n, nrhs = 5, 2
+    a = rng.random((n, n))
+    b = np.column_stack([a.sum(axis=1) * j for j in (1, 2)])
+    la_gesv(a, b)
+    np.testing.assert_allclose(b[:, 0], 1.0, atol=1e-12)
+    np.testing.assert_allclose(b[:, 1], 2.0, atol=1e-12)
+
+
+def test_fig3_both_interfaces_same_answer():
+    """Paper Fig. 3 computes the same solve through both modules; here we
+    verify both paths agree bit-for-bit (the timing comparison is the
+    FIG3 benchmark)."""
+    rng = np.random.default_rng(3)
+    n, nrhs = 60, 2
+    a0 = rng.random((n, n))
+    b0 = np.column_stack([a0.sum(axis=1) * j for j in (1, 2)])
+    a1, b1 = a0.copy(), b0.copy()
+    ipiv = np.zeros(n, dtype=np.int64)
+    info = f77.la_gesv(n, nrhs, a1, n, ipiv, b1, n)
+    assert info == 0
+    a2, b2 = a0.copy(), b0.copy()
+    la_gesv(a2, b2)
+    np.testing.assert_array_equal(b1, b2)
+    np.testing.assert_array_equal(a1, a2)
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_appendix_e_example1(dtype):
+    """Appendix E Example 1: CALL LA_GESV(A, B) on the fixed system;
+    the printed solution is X = [1, 2, 3] per column (to SP accuracy)."""
+    a = A_PAPER.astype(dtype)
+    b = B_PAPER.astype(dtype)
+    la_gesv(a, b)
+    tol = 5e-6 if dtype == np.float32 else 1e-12
+    np.testing.assert_allclose(b[:, 0], 1.0, atol=tol)
+    np.testing.assert_allclose(b[:, 1], 2.0, atol=2 * tol)
+    np.testing.assert_allclose(b[:, 2], 3.0, atol=3 * tol)
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_appendix_e_example2(dtype):
+    """Appendix E Example 2: CALL LA_GESV(A, B(:,1), IPIV, INFO) — checks
+    the printed IPIV, L, U and solution."""
+    a = A_PAPER.astype(dtype)
+    b = B_PAPER[:, 0].astype(dtype).copy()
+    ipiv = np.zeros(5, dtype=np.int64)
+    info = Info()
+    la_gesv(a, b, ipiv=ipiv, info=info)
+    assert info.value == 0
+    # The paper prints 1-based pivots [3, 5, 3, 4, 5].
+    np.testing.assert_array_equal(ipiv + 1, IPIV_PAPER_1BASED)
+    # Factors to the paper's 7 printed digits.
+    l = np.tril(a, -1) + np.eye(5)
+    u = np.triu(a)
+    np.testing.assert_allclose(l, L_PAPER, atol=5e-7)
+    np.testing.assert_allclose(u, U_PAPER, atol=5e-6)
+    # Solution x = ones.
+    tol = 5e-6 if dtype == np.float32 else 1e-12
+    np.testing.assert_allclose(b, 1.0, atol=tol)
+
+
+def test_appendix_e_eps_value():
+    """The paper's runs print eps = 1.1921e-07 — single precision."""
+    from repro.lapack77 import lamch
+    assert abs(lamch("E", np.float32) - 1.1920929e-07) < 1e-13

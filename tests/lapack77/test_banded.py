@@ -1,0 +1,218 @@
+"""Band families vs dense oracles."""
+
+import numpy as np
+import pytest
+
+from repro.lapack77 import (gbcon, gbequ, gbrfs, gbsv, gbtrf, gbtrs, langb,
+                            pbcon, pbequ, pbrfs, pbsv, pbtrf, pbtrs)
+from repro.storage import band_to_full, full_to_band, full_to_sym_band, \
+    sym_band_to_full
+
+from ..conftest import rand_matrix, rand_vector, tol_for
+
+
+def make_band(rng, n, kl, ku, dtype):
+    """Random banded matrix (dense + its factored-band storage)."""
+    a = rand_matrix(rng, n, n, dtype)
+    for i in range(n):
+        for j in range(n):
+            if j - i > ku or i - j > kl:
+                a[i, j] = 0
+    a[np.diag_indices(n)] += 4
+    # Factored-band layout: 2*kl+ku+1 rows, input in rows kl..2kl+ku.
+    afb = np.zeros((2 * kl + ku + 1, n), dtype=dtype)
+    afb[kl:, :] = full_to_band(a, kl, ku)
+    return a, afb
+
+
+def make_spd_band(rng, n, kd, dtype):
+    a = rand_matrix(rng, n, n, dtype)
+    h = a @ np.conj(a.T)
+    for i in range(n):
+        for j in range(n):
+            if abs(i - j) > kd:
+                h[i, j] = 0
+    h[np.diag_indices(n)] += 3 * n
+    h = (h + np.conj(h.T)) / 2
+    return np.asarray(h, dtype=dtype)
+
+
+@pytest.mark.parametrize("kl,ku", [(1, 1), (2, 3), (3, 1), (0, 2), (2, 0)])
+def test_gbtrf_gbtrs_solve(rng, dtype, kl, ku):
+    n = 20
+    a, afb = make_band(rng, n, kl, ku, dtype)
+    x_true = rand_vector(rng, n, dtype)
+    b = (a @ x_true).astype(dtype)
+    ipiv, info = gbtrf(afb, kl, ku)
+    assert info == 0
+    gbtrs(afb, kl, ku, ipiv, b)
+    np.testing.assert_allclose(b, x_true, rtol=tol_for(dtype, 1e3),
+                               atol=tol_for(dtype, 1e3))
+
+
+@pytest.mark.parametrize("trans", ["N", "T", "C"])
+def test_gbtrs_trans(rng, dtype, trans):
+    n, kl, ku = 15, 2, 2
+    a, afb = make_band(rng, n, kl, ku, dtype)
+    op = {"N": a, "T": a.T, "C": np.conj(a.T)}[trans]
+    x_true = rand_vector(rng, n, dtype)
+    b = (op @ x_true).astype(dtype)
+    ipiv, info = gbtrf(afb, kl, ku)
+    gbtrs(afb, kl, ku, ipiv, b, trans=trans)
+    np.testing.assert_allclose(b, x_true, rtol=tol_for(dtype, 1e3),
+                               atol=tol_for(dtype, 1e3))
+
+
+def test_gbtrf_needs_pivoting(rng):
+    # A matrix that without pivoting would hit a zero pivot.
+    n, kl, ku = 8, 1, 1
+    a = np.diag(np.ones(n - 1), -1) + np.diag(np.ones(n - 1), 1)
+    afb = np.zeros((2 * kl + ku + 1, n))
+    afb[kl:, :] = full_to_band(a, kl, ku)
+    x_true = np.arange(1.0, n + 1)
+    b = a @ x_true
+    ipiv, info = gbtrf(afb, kl, ku)
+    assert info == 0
+    gbtrs(afb, kl, ku, ipiv, b)
+    np.testing.assert_allclose(b, x_true, atol=1e-12)
+
+
+def test_gbsv_multiple_rhs(rng, dtype):
+    n, kl, ku, nrhs = 25, 2, 1, 3
+    a, afb = make_band(rng, n, kl, ku, dtype)
+    x_true = rand_matrix(rng, n, nrhs, dtype)
+    b = (a @ x_true).astype(dtype)
+    ipiv, info = gbsv(afb, kl, ku, b)
+    assert info == 0
+    np.testing.assert_allclose(b, x_true, rtol=tol_for(dtype, 1e3),
+                               atol=tol_for(dtype, 1e3))
+
+
+def test_gbsv_singular():
+    n, kl, ku = 4, 1, 1
+    afb = np.zeros((2 * kl + ku + 1, n))
+    b = np.ones((n, 1))
+    ipiv, info = gbsv(afb, kl, ku, b)
+    assert info > 0
+
+
+def test_gbcon_estimate(rng):
+    n, kl, ku = 30, 2, 3
+    a, afb = make_band(rng, n, kl, ku, np.float64)
+    ab_plain = full_to_band(a, kl, ku)
+    anorm = langb("1", ab_plain, kl, ku)
+    ipiv, _ = gbtrf(afb, kl, ku)
+    rcond, info = gbcon(afb, kl, ku, ipiv, anorm)
+    true_rcond = 1.0 / np.linalg.cond(a, 1)
+    assert true_rcond / 10 <= rcond <= true_rcond * 10
+
+
+def test_gbrfs_refines(rng):
+    n, kl, ku = 30, 2, 2
+    a, afb = make_band(rng, n, kl, ku, np.float64)
+    ab_plain = full_to_band(a, kl, ku)
+    x_true = rand_vector(rng, n, np.float64)
+    b = a @ x_true
+    ipiv, _ = gbtrf(afb, kl, ku)
+    x = b.copy()
+    gbtrs(afb, kl, ku, ipiv, x)
+    x += 1e-8
+    ferr, berr, info = gbrfs(ab_plain, afb, kl, ku, ipiv, b, x)
+    assert info == 0
+    assert np.all(berr < 1e-13)
+
+
+def test_gbequ(rng):
+    n, kl, ku = 12, 2, 1
+    a, afb = make_band(rng, n, kl, ku, np.float64)
+    a[0, :] *= 1e7
+    ab_plain = full_to_band(a, kl, ku)
+    r, c, rowcnd, colcnd, amax, info = gbequ(ab_plain, kl, ku)
+    assert info == 0
+    assert rowcnd < 0.1
+    scaled = np.outer(r, c) * a
+    assert np.abs(scaled).max() <= 1 + 1e-10
+
+
+@pytest.mark.parametrize("uplo", ["U", "L"])
+@pytest.mark.parametrize("kd", [0, 1, 3])
+def test_pbtrf_reconstructs(rng, dtype, uplo, kd):
+    n = 15
+    a = make_spd_band(rng, n, kd, dtype)
+    ab = full_to_sym_band(a, kd, uplo=uplo)
+    info = pbtrf(ab, uplo)
+    assert info == 0
+    # Expand the factor and reconstruct.
+    n_ = n
+    full = np.zeros((n_, n_), dtype=dtype)
+    if uplo == "U":
+        for j in range(n_):
+            lo = max(0, j - kd)
+            full[lo:j + 1, j] = ab[kd + lo - j: kd + 1, j]
+        rec = np.conj(full.T) @ full
+    else:
+        for j in range(n_):
+            hi = min(n_ - 1, j + kd)
+            full[j:hi + 1, j] = ab[0:hi - j + 1, j]
+        rec = full @ np.conj(full.T)
+    np.testing.assert_allclose(rec, a, rtol=tol_for(dtype, 1e3),
+                               atol=tol_for(dtype, 1e3) * np.abs(a).max())
+
+
+@pytest.mark.parametrize("uplo", ["U", "L"])
+def test_pbsv_solves(rng, dtype, uplo):
+    n, kd, nrhs = 20, 2, 2
+    a = make_spd_band(rng, n, kd, dtype)
+    ab = full_to_sym_band(a, kd, uplo=uplo)
+    x_true = rand_matrix(rng, n, nrhs, dtype)
+    b = (a @ x_true).astype(dtype)
+    info = pbsv(ab, b, uplo)
+    assert info == 0
+    np.testing.assert_allclose(b, x_true, rtol=tol_for(dtype, 1e4),
+                               atol=tol_for(dtype, 1e4))
+
+
+def test_pbtrf_not_pd():
+    n, kd = 5, 1
+    a = np.eye(n)
+    a[3, 3] = -2.0
+    ab = full_to_sym_band(a, kd, uplo="U")
+    info = pbtrf(ab, "U")
+    assert info == 4
+
+
+def test_pbcon_estimate(rng):
+    n, kd = 30, 2
+    a = make_spd_band(rng, n, kd, np.float64)
+    ab = full_to_sym_band(a, kd, uplo="U")
+    anorm = np.linalg.norm(a, 1)
+    pbtrf(ab, "U")
+    rcond, info = pbcon(ab, anorm, "U")
+    true_rcond = 1.0 / np.linalg.cond(a, 1)
+    assert true_rcond / 10 <= rcond <= true_rcond * 10
+
+
+def test_pbrfs_refines(rng):
+    n, kd = 25, 2
+    a = make_spd_band(rng, n, kd, np.float64)
+    ab_orig = full_to_sym_band(a, kd, uplo="U")
+    afb = ab_orig.copy()
+    pbtrf(afb, "U")
+    x_true = rand_vector(rng, n, np.float64)
+    b = a @ x_true
+    x = b.copy()
+    pbtrs(afb, x, "U")
+    x += 1e-8
+    ferr, berr, info = pbrfs(ab_orig, afb, b, x, "U")
+    assert info == 0
+    assert np.all(berr < 1e-12)
+
+
+def test_pbequ(rng):
+    n, kd = 10, 2
+    a = make_spd_band(rng, n, kd, np.float64)
+    a[0, 0] *= 1e9
+    ab = full_to_sym_band(a, kd, uplo="U")
+    s, scond, amax, info = pbequ(ab, "U")
+    assert info == 0
+    np.testing.assert_allclose(s * a.diagonal() * s, 1.0, rtol=1e-12)

@@ -1,0 +1,162 @@
+"""Cholesky family vs scipy oracles and factorization identities."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro import config
+from repro.lapack77 import (lansy, lanhe, pocon, poequ, porfs, posv, potf2,
+                            potrf, potrs, laqsy)
+
+from ..conftest import rand_matrix, spd_matrix, tol_for
+
+UPLOS = ["U", "L"]
+
+
+@pytest.mark.parametrize("uplo", UPLOS)
+def test_potf2_reconstructs(rng, dtype, uplo):
+    n = 12
+    a0 = spd_matrix(rng, n, dtype)
+    a = a0.copy()
+    info = potf2(a, uplo)
+    assert info == 0
+    if uplo == "U":
+        u = np.triu(a)
+        rec = np.conj(u.T) @ u
+    else:
+        l = np.tril(a)
+        rec = l @ np.conj(l.T)
+    np.testing.assert_allclose(rec, a0, rtol=tol_for(dtype, 100),
+                               atol=tol_for(dtype, 100))
+
+
+@pytest.mark.parametrize("uplo", UPLOS)
+def test_potrf_blocked_matches_scipy(rng, uplo):
+    n = 150
+    a0 = spd_matrix(rng, n, np.float64)
+    a = a0.copy()
+    with config.block_size_override("potrf", 32):
+        info = potrf(a, uplo)
+    assert info == 0
+    ref = sla.cholesky(a0, lower=(uplo == "L"))
+    factor = np.triu(a) if uplo == "U" else np.tril(a)
+    np.testing.assert_allclose(factor, ref, rtol=1e-9, atol=1e-9)
+
+
+@pytest.mark.parametrize("uplo", UPLOS)
+def test_potrf_complex_blocked(rng, uplo):
+    n = 120
+    a0 = spd_matrix(rng, n, np.complex128)
+    a = a0.copy()
+    with config.block_size_override("potrf", 32):
+        info = potrf(a, uplo)
+    assert info == 0
+    if uplo == "U":
+        u = np.triu(a)
+        rec = np.conj(u.T) @ u
+    else:
+        l = np.tril(a)
+        rec = l @ np.conj(l.T)
+    np.testing.assert_allclose(rec, a0, rtol=1e-9, atol=1e-8)
+
+
+def test_potrf_not_pd_info():
+    a = np.eye(4)
+    a[2, 2] = -1.0
+    info = potrf(a.copy(), "U")
+    assert info == 3
+
+
+@pytest.mark.parametrize("uplo", UPLOS)
+def test_posv_solves(rng, dtype, uplo):
+    n, nrhs = 30, 3
+    a0 = spd_matrix(rng, n, dtype)
+    x_true = rand_matrix(rng, n, nrhs, dtype)
+    b = (a0 @ x_true).astype(dtype)
+    a = a0.copy()
+    info = posv(a, b, uplo)
+    assert info == 0
+    np.testing.assert_allclose(b, x_true, rtol=tol_for(dtype, 1e4),
+                               atol=tol_for(dtype, 1e4))
+
+
+def test_potrs_vector_rhs(rng):
+    n = 15
+    a0 = spd_matrix(rng, n, np.float64)
+    x = np.ones(n)
+    b = a0 @ x
+    a = a0.copy()
+    potrf(a, "U")
+    potrs(a, b, "U")
+    np.testing.assert_allclose(b, x, rtol=1e-9)
+
+
+@pytest.mark.parametrize("uplo", UPLOS)
+def test_pocon_tracks_condition(rng, uplo):
+    n = 40
+    a0 = spd_matrix(rng, n, np.float64)
+    anorm = lansy("1", a0, uplo)
+    a = a0.copy()
+    potrf(a, uplo)
+    rcond, info = pocon(a, anorm, uplo)
+    assert info == 0
+    true_rcond = 1.0 / np.linalg.cond(a0, 1)
+    assert true_rcond / 10 <= rcond <= true_rcond * 10
+
+
+def test_porfs_refines(rng):
+    n, nrhs = 50, 2
+    a0 = spd_matrix(rng, n, np.float64)
+    x_true = rand_matrix(rng, n, nrhs, np.float64)
+    b = a0 @ x_true
+    af = a0.copy()
+    potrf(af, "U")
+    x = b.copy()
+    potrs(af, x, "U")
+    x += 1e-7 * rng.standard_normal(x.shape)
+    ferr, berr, info = porfs(a0, af, b, x, "U")
+    assert info == 0
+    assert np.all(berr < 1e-13)
+    err = np.max(np.abs(x - x_true), axis=0) / np.max(np.abs(x_true), axis=0)
+    assert np.all(err <= ferr * 10 + 1e-15)
+
+
+def test_poequ_scalings(rng):
+    n = 10
+    a = spd_matrix(rng, n, np.float64)
+    a[0, 0] *= 1e8
+    s, scond, amax, info = poequ(a)
+    assert info == 0
+    scaled_diag = s * a.diagonal() * s
+    np.testing.assert_allclose(scaled_diag, 1.0, rtol=1e-12)
+    assert scond < 0.1
+
+
+def test_poequ_nonpositive_diagonal():
+    a = np.eye(3)
+    a[1, 1] = 0.0
+    s, scond, amax, info = poequ(a)
+    assert info == 2
+
+
+@pytest.mark.parametrize("uplo", UPLOS)
+def test_laqsy_scales_triangle(rng, uplo):
+    n = 8
+    a = spd_matrix(rng, n, np.float64)
+    a[0, 0] *= 1e10
+    s, scond, amax, info = poequ(a)
+    a_scaled = a.copy()
+    equed = laqsy(a_scaled, s, scond, amax, uplo)
+    assert equed == "Y"
+    d = a_scaled.diagonal()
+    np.testing.assert_allclose(d, 1.0, rtol=1e-12)
+
+
+def test_lanhe_matches_dense(rng):
+    n = 9
+    a = spd_matrix(rng, n, np.complex128)
+    for norm in ["1", "I", "F", "M"]:
+        got = lanhe(norm, np.triu(a), "U")
+        ref = {"1": np.linalg.norm(a, 1), "I": np.linalg.norm(a, np.inf),
+               "F": np.linalg.norm(a, "fro"), "M": np.abs(a).max()}[norm]
+        np.testing.assert_allclose(got, ref, rtol=1e-12)

@@ -1,0 +1,158 @@
+"""Elementary transformation kernels: Householder reflectors, Givens
+rotations, 2×2 standardization (lanv2)."""
+
+import numpy as np
+import pytest
+
+from repro.lapack77.givens import lanv2, lartg, lartg_c, lasr
+from repro.lapack77.householder import (larf_left, larf_right, larfb,
+                                        larfg, larft)
+
+from ..conftest import rand_matrix, rand_vector, tol_for
+
+
+class TestLarfg:
+    @pytest.mark.parametrize("n", [1, 2, 5, 20])
+    def test_annihilates_real(self, rng, n):
+        x = rng.standard_normal(n)
+        alpha, tail = x[0], x[1:].copy()
+        beta, tau = larfg(alpha, tail)
+        v = np.concatenate([[1.0], tail])
+        h = np.eye(n) - tau * np.outer(v, v)
+        out = h @ x
+        assert np.isclose(out[0], beta)
+        np.testing.assert_allclose(out[1:], 0, atol=1e-13)
+        # H is orthogonal.
+        np.testing.assert_allclose(h @ h.T, np.eye(n), atol=1e-13)
+        # Norm preserved.
+        assert np.isclose(abs(beta), np.linalg.norm(x))
+
+    def test_annihilates_complex_with_real_beta(self, rng):
+        n = 6
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        alpha, tail = x[0], x[1:].copy()
+        beta, tau = larfg(alpha, tail)
+        assert np.imag(beta) == 0
+        v = np.concatenate([[1.0 + 0j], tail])
+        # larfg's convention: Hᴴ annihilates (zlarfg).
+        hh = np.eye(n) - np.conj(tau) * np.outer(v, np.conj(v))
+        out = hh @ x
+        assert np.isclose(out[0], beta)
+        np.testing.assert_allclose(out[1:], 0, atol=1e-13)
+
+    def test_zero_vector_gives_zero_tau(self):
+        tail = np.zeros(3)
+        beta, tau = larfg(5.0, tail)
+        assert tau == 0 and beta == 5.0
+
+
+def test_larf_left_right_consistent(rng, dtype):
+    n, m = 6, 4
+    v = rand_vector(rng, n, dtype)
+    v[0] = 1
+    tau = 0.3 + (0.1j if np.dtype(dtype).kind == "c" else 0)
+    h = np.eye(n, dtype=dtype) - tau * np.outer(v, np.conj(v))
+    c = rand_matrix(rng, n, m, dtype)
+    got = c.copy()
+    larf_left(v, tau, got)
+    np.testing.assert_allclose(got, h @ c, atol=tol_for(dtype, 10))
+    c2 = rand_matrix(rng, m, n, dtype)
+    got2 = c2.copy()
+    larf_right(v, tau, got2)
+    np.testing.assert_allclose(got2, c2 @ h, atol=tol_for(dtype, 10))
+
+
+def test_larft_larfb_block_equals_product(rng, dtype):
+    """The compact WY form V T Vᴴ equals the product of reflectors."""
+    from repro.lapack77.qr import geqr2
+    m, k = 10, 4
+    a = rand_matrix(rng, m, k, dtype)
+    tau = geqr2(a)
+    v = np.tril(a, -1)
+    np.fill_diagonal(v, 1)
+    t = larft("F", "C", v, tau)
+    h_block = np.eye(m, dtype=dtype) - v @ t @ np.conj(v.T)
+    h_prod = np.eye(m, dtype=dtype)
+    for i in range(k):
+        vi = v[:, i]
+        hi = np.eye(m, dtype=dtype) - tau[i] * np.outer(vi, np.conj(vi))
+        h_prod = h_prod @ hi
+    np.testing.assert_allclose(h_block, h_prod, atol=tol_for(dtype, 100))
+    # larfb applies the same operator.
+    c = rand_matrix(rng, m, 3, dtype)
+    got = c.copy()
+    larfb("L", "N", v, t, got)
+    np.testing.assert_allclose(got, h_block @ c, atol=tol_for(dtype, 100))
+    got2 = c.copy()
+    larfb("L", "C", v, t, got2)
+    np.testing.assert_allclose(got2, np.conj(h_block.T) @ c,
+                               atol=tol_for(dtype, 100))
+
+
+class TestGivens:
+    @pytest.mark.parametrize("f,g", [(3.0, 4.0), (-1.0, 2.0), (0.0, 5.0),
+                                     (5.0, 0.0), (-3.0, -4.0)])
+    def test_lartg_real(self, f, g):
+        c, s, r = lartg(f, g)
+        assert np.isclose(c * f + s * g, r)
+        assert np.isclose(-s * f + c * g, 0, atol=1e-14)
+        assert np.isclose(c * c + s * s, 1)
+
+    def test_lartg_c_complex(self, rng):
+        for _ in range(5):
+            f = complex(rng.standard_normal(), rng.standard_normal())
+            g = complex(rng.standard_normal(), rng.standard_normal())
+            c, s, r = lartg_c(f, g)
+            assert np.isclose(c * f + s * g, r)
+            assert np.isclose(-np.conj(s) * f + c * g, 0, atol=1e-14)
+            assert np.isreal(c)
+
+    def test_lasr_left_right(self, rng):
+        n = 5
+        a = rng.standard_normal((n, n))
+        theta = rng.uniform(0, 2 * np.pi, n - 1)
+        c, s = np.cos(theta), np.sin(theta)
+        # Build the explicit product of the rotations.
+        p = np.eye(n)
+        for k in range(n - 1):
+            g = np.eye(n)
+            g[k, k] = c[k]
+            g[k, k + 1] = s[k]
+            g[k + 1, k] = -s[k]
+            g[k + 1, k + 1] = c[k]
+            p = g @ p
+        got = a.copy()
+        lasr("L", "V", "F", c, s, got)
+        np.testing.assert_allclose(got, p @ a, atol=1e-12)
+
+
+class TestLanv2:
+    def test_complex_pair_standardized(self):
+        a, b, c, d = 1.0, -5.0, 2.0, 1.0   # complex eigenvalues
+        aa, bb, cc, dd, rt1r, rt1i, rt2r, rt2i, cs, sn = lanv2(a, b, c, d)
+        ref = np.linalg.eigvals(np.array([[a, b], [c, d]]))
+        got = np.array([complex(rt1r, rt1i), complex(rt2r, rt2i)])
+        np.testing.assert_allclose(np.sort_complex(got),
+                                   np.sort_complex(ref), atol=1e-12)
+        # Standard form: equal diagonal, opposite-sign off-diagonals.
+        assert np.isclose(aa, dd)
+        assert bb * cc < 0
+        # The rotation really is a similarity.
+        g = np.array([[cs, sn], [-sn, cs]])
+        m = np.array([[a, b], [c, d]])
+        np.testing.assert_allclose(g @ m @ g.T,
+                                   np.array([[aa, bb], [cc, dd]]),
+                                   atol=1e-12)
+
+    def test_real_pair_triangularized(self):
+        a, b, c, d = 4.0, 2.0, 1.0, 1.0    # real eigenvalues
+        aa, bb, cc, dd, rt1r, rt1i, rt2r, rt2i, cs, sn = lanv2(a, b, c, d)
+        assert cc == 0.0
+        assert rt1i == 0.0 and rt2i == 0.0
+        ref = np.sort(np.linalg.eigvals(np.array([[a, b], [c, d]])).real)
+        np.testing.assert_allclose(np.sort([rt1r, rt2r]), ref, atol=1e-12)
+
+    def test_already_triangular_untouched(self):
+        aa, bb, cc, dd, *_ , cs, sn = lanv2(3.0, 1.0, 0.0, 2.0)
+        assert (cs, sn) == (1.0, 0.0)
+        assert (aa, bb, cc, dd) == (3.0, 1.0, 0.0, 2.0)

@@ -1,0 +1,156 @@
+"""Packed-storage solver families."""
+
+import numpy as np
+import pytest
+
+from repro.lapack77 import (hpsv, hptrf, hptrs, ppcon, ppequ, pprfs, ppsv,
+                            pptrf, pptrs, spcon, spsv, sptrf, sptrs)
+from repro.storage import pack, unpack
+
+from ..conftest import rand_matrix, rand_vector, spd_matrix, tol_for
+
+UPLOS = ["U", "L"]
+
+
+def indef(rng, n, dtype, hermitian):
+    a = rand_matrix(rng, n, n, dtype)
+    m = a + (np.conj(a.T) if hermitian else a.T)
+    m[np.diag_indices(n)] += (np.arange(n) - n / 2.0).astype(m.dtype)
+    if hermitian:
+        np.fill_diagonal(m, m.diagonal().real)
+    return m
+
+
+@pytest.mark.parametrize("uplo", UPLOS)
+def test_pptrf_matches_dense_cholesky(rng, dtype, uplo):
+    n = 12
+    a = spd_matrix(rng, n, dtype)
+    ap = pack(a, uplo=uplo)
+    info = pptrf(ap, uplo)
+    assert info == 0
+    factor = unpack(ap, n, uplo=uplo)
+    if uplo == "U":
+        rec = np.conj(factor.T) @ factor
+    else:
+        rec = factor @ np.conj(factor.T)
+    np.testing.assert_allclose(rec, a, rtol=tol_for(dtype, 1e3),
+                               atol=tol_for(dtype, 1e3) * np.abs(a).max())
+
+
+@pytest.mark.parametrize("uplo", UPLOS)
+def test_ppsv_solves(rng, dtype, uplo):
+    n, nrhs = 18, 2
+    a = spd_matrix(rng, n, dtype)
+    ap = pack(a, uplo=uplo)
+    x_true = rand_matrix(rng, n, nrhs, dtype)
+    b = (a @ x_true).astype(dtype)
+    info = ppsv(ap, b, uplo)
+    assert info == 0
+    np.testing.assert_allclose(b, x_true, rtol=tol_for(dtype, 1e4),
+                               atol=tol_for(dtype, 1e4))
+
+
+def test_pptrf_not_pd():
+    a = np.eye(4)
+    a[1, 1] = -1.0
+    ap = pack(a, uplo="U")
+    info = pptrf(ap, "U")
+    assert info == 2
+
+
+def test_ppcon_estimate(rng):
+    n = 25
+    a = spd_matrix(rng, n, np.float64)
+    anorm = np.linalg.norm(a, 1)
+    ap = pack(a, uplo="U")
+    pptrf(ap, "U")
+    rcond, info = ppcon(ap, anorm, "U")
+    true_rcond = 1.0 / np.linalg.cond(a, 1)
+    assert true_rcond / 10 <= rcond <= true_rcond * 10
+
+
+def test_pprfs_refines(rng):
+    n = 20
+    a = spd_matrix(rng, n, np.float64)
+    ap_orig = pack(a, uplo="U")
+    afp = ap_orig.copy()
+    pptrf(afp, "U")
+    x_true = rand_vector(rng, n, np.float64)
+    b = a @ x_true
+    x = b.copy()
+    pptrs(afp, x, "U")
+    x += 1e-8
+    ferr, berr, info = pprfs(ap_orig, afp, b, x, "U")
+    assert info == 0
+    assert np.all(berr < 1e-12)
+
+
+def test_ppequ(rng):
+    n = 10
+    a = spd_matrix(rng, n, np.float64)
+    a[0, 0] *= 1e9
+    ap = pack(a, uplo="U")
+    s, scond, amax, info = ppequ(ap, n, "U")
+    assert info == 0
+    np.testing.assert_allclose(s * a.diagonal() * s, 1.0, rtol=1e-12)
+
+
+@pytest.mark.parametrize("uplo", UPLOS)
+def test_spsv_real(rng, real_dtype, uplo):
+    n = 15
+    a = indef(rng, n, real_dtype, hermitian=False)
+    ap = pack(a, uplo=uplo)
+    x_true = rand_vector(rng, n, real_dtype)
+    b = (a @ x_true).astype(real_dtype)
+    ipiv, info = spsv(ap, b, uplo)
+    assert info == 0
+    np.testing.assert_allclose(b, x_true, rtol=tol_for(real_dtype, 1e4),
+                               atol=tol_for(real_dtype, 1e4))
+
+
+@pytest.mark.parametrize("uplo", UPLOS)
+def test_spsv_complex_symmetric(rng, uplo):
+    n = 12
+    a = indef(rng, n, np.complex128, hermitian=False)
+    ap = pack(a, uplo=uplo)
+    x_true = rand_vector(rng, n, np.complex128)
+    b = a @ x_true
+    ipiv, info = spsv(ap, b, uplo)
+    assert info == 0
+    np.testing.assert_allclose(b, x_true, rtol=1e-8, atol=1e-8)
+
+
+@pytest.mark.parametrize("uplo", UPLOS)
+def test_hpsv_hermitian(rng, complex_dtype, uplo):
+    n = 14
+    a = indef(rng, n, complex_dtype, hermitian=True)
+    ap = pack(a, uplo=uplo)
+    x_true = rand_vector(rng, n, complex_dtype)
+    b = (a @ x_true).astype(complex_dtype)
+    ipiv, info = hpsv(ap, b, uplo)
+    assert info == 0
+    np.testing.assert_allclose(b, x_true, rtol=tol_for(complex_dtype, 1e4),
+                               atol=tol_for(complex_dtype, 1e4))
+
+
+def test_sptrf_then_sptrs_factor_reuse(rng):
+    n = 10
+    a = indef(rng, n, np.float64, hermitian=False)
+    ap = pack(a, uplo="U")
+    ipiv, info = sptrf(ap, "U")
+    assert info == 0
+    x_true = rand_vector(rng, n, np.float64)
+    b = a @ x_true
+    sptrs(ap, ipiv, b, "U")
+    np.testing.assert_allclose(b, x_true, rtol=1e-9, atol=1e-9)
+
+
+def test_spcon_estimate(rng):
+    n = 20
+    a = indef(rng, n, np.float64, hermitian=False)
+    anorm = np.linalg.norm(a, 1)
+    ap = pack(a, uplo="U")
+    ipiv, _ = sptrf(ap, "U")
+    rcond, info = spcon(ap, ipiv, anorm, "U")
+    true_rcond = 1.0 / np.linalg.cond(a, 1)
+    assert true_rcond / 20 <= rcond <= true_rcond * 20

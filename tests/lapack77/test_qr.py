@@ -1,0 +1,150 @@
+"""QR/LQ factorizations: reconstruction, orthogonality, application."""
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.lapack77 import (gelqf, geqr2, geqrf, orglq, orgqr, ormlq, ormqr)
+
+from ..conftest import rand_matrix, tol_for
+
+
+def q_from_qr(a_fact, tau, m):
+    """Explicit m×m Q from packed reflectors."""
+    q = np.zeros((m, m), dtype=a_fact.dtype)
+    q[:, : a_fact.shape[1]] = a_fact
+    return orgqr(q, tau)
+
+
+@pytest.mark.parametrize("m,n", [(8, 8), (10, 6), (6, 10), (1, 1), (5, 1)])
+def test_geqrf_reconstructs(rng, dtype, m, n):
+    a0 = rand_matrix(rng, m, n, dtype)
+    a = a0.copy()
+    tau = geqrf(a)
+    r = np.triu(a[: min(m, n), :])
+    q = np.zeros((m, min(m, n)), dtype=dtype)
+    q[:, :] = np.tril(a[:, : min(m, n)], -1)
+    qq = orgqr(q.copy(), tau)
+    np.testing.assert_allclose(qq @ r[: min(m, n)], a0,
+                               rtol=tol_for(dtype, 100),
+                               atol=tol_for(dtype, 100))
+
+
+def test_geqrf_blocked_matches_unblocked(rng, dtype):
+    m, n = 90, 70
+    a0 = rand_matrix(rng, m, n, dtype)
+    a1, a2 = a0.copy(), a0.copy()
+    with config.block_size_override("geqrf", 16):
+        tau1 = geqrf(a1)
+    tau2 = geqr2(a2)
+    np.testing.assert_allclose(a1, a2, rtol=tol_for(dtype, 1000),
+                               atol=tol_for(dtype, 1000))
+    np.testing.assert_allclose(tau1, tau2, rtol=tol_for(dtype, 1000),
+                               atol=tol_for(dtype, 1000))
+
+
+def test_orgqr_orthonormal(rng, dtype):
+    m, n = 12, 7
+    a = rand_matrix(rng, m, n, dtype)
+    tau = geqrf(a)
+    q = orgqr(a.copy(), tau)
+    np.testing.assert_allclose(np.conj(q.T) @ q, np.eye(n), rtol=0,
+                               atol=tol_for(dtype, 100))
+
+
+def test_orgqr_extra_columns(rng):
+    # Generate a full m×m Q from k < m reflectors.
+    m, k = 9, 4
+    a0 = rand_matrix(rng, m, k, np.float64)
+    a = a0.copy()
+    tau = geqrf(a)
+    qfull = np.zeros((m, m))
+    qfull[:, :k] = np.tril(a, -1)[:, :k]
+    qfull = orgqr(qfull, tau)
+    np.testing.assert_allclose(qfull.T @ qfull, np.eye(m), atol=1e-12)
+    # First k columns reproduce A's column space: Q R = A.
+    r = np.triu(a[:k, :])
+    np.testing.assert_allclose(qfull[:, :k] @ r, a0, atol=1e-12)
+
+
+@pytest.mark.parametrize("side", ["L", "R"])
+@pytest.mark.parametrize("trans", ["N", "C"])
+def test_ormqr_matches_explicit(rng, dtype, side, trans):
+    m, n = 10, 6
+    a = rand_matrix(rng, m, min(m, n), dtype)
+    tau = geqrf(a)
+    q = np.zeros((m, m), dtype=dtype)
+    q[:, : a.shape[1]] = np.tril(a, -1)
+    q = orgqr(q, np.concatenate([tau, np.zeros(0, dtype=dtype)]))
+    op = q if trans == "N" else np.conj(q.T)
+    if side == "L":
+        c = rand_matrix(rng, m, 4, dtype)
+        expect = op @ c
+    else:
+        c = rand_matrix(rng, 4, m, dtype)
+        expect = c @ op
+    got = c.copy()
+    ormqr(side, trans, a, tau, got)
+    np.testing.assert_allclose(got, expect, rtol=tol_for(dtype, 200),
+                               atol=tol_for(dtype, 200))
+
+
+@pytest.mark.parametrize("m,n", [(6, 9), (5, 5), (1, 4)])
+def test_gelqf_reconstructs(rng, dtype, m, n):
+    a0 = rand_matrix(rng, m, n, dtype)
+    a = a0.copy()
+    tau = gelqf(a)
+    k = min(m, n)
+    l = np.tril(a[:, :k])
+    q = a[:k, :].copy()
+    q = orglq(q, tau)
+    np.testing.assert_allclose(l @ q, a0, rtol=tol_for(dtype, 100),
+                               atol=tol_for(dtype, 100))
+
+
+def test_orglq_orthonormal_rows(rng, dtype):
+    m, n = 5, 11
+    a = rand_matrix(rng, m, n, dtype)
+    tau = gelqf(a)
+    q = orglq(a.copy(), tau)
+    np.testing.assert_allclose(q @ np.conj(q.T), np.eye(m), rtol=0,
+                               atol=tol_for(dtype, 100))
+
+
+@pytest.mark.parametrize("side", ["L", "R"])
+@pytest.mark.parametrize("trans", ["N", "C"])
+def test_ormlq_matches_explicit(rng, dtype, side, trans):
+    m, n = 5, 9
+    a = rand_matrix(rng, m, n, dtype)
+    tau = gelqf(a)
+    qfull = np.zeros((n, n), dtype=dtype)
+    qfull[:m, :] = a
+    # Build the full n×n Q by extending with unit rows.
+    q = orglq(qfull, tau)
+    op = q if trans == "N" else np.conj(q.T)
+    if side == "L":
+        c = rand_matrix(rng, n, 3, dtype)
+        expect = op @ c
+    else:
+        c = rand_matrix(rng, 3, n, dtype)
+        expect = c @ op
+    got = c.copy()
+    ormlq(side, trans, a, tau, got)
+    np.testing.assert_allclose(got, expect, rtol=tol_for(dtype, 200),
+                               atol=tol_for(dtype, 200))
+
+
+def test_qr_solve_least_squares_normal_path(rng):
+    # Sanity: min ||Ax-b|| via QR equals the numpy lstsq answer.
+    m, n = 20, 8
+    a0 = rand_matrix(rng, m, n, np.float64)
+    b = rand_matrix(rng, m, 1, np.float64)
+    a = a0.copy()
+    tau = geqrf(a)
+    c = b.copy()
+    ormqr("L", "C", a, tau, c)
+    from repro.blas.level3 import trsm
+    x = c[:n]
+    trsm(1, a[:n, :n], x, side="L", uplo="U", transa="N", diag="N")
+    ref = np.linalg.lstsq(a0, b, rcond=None)[0]
+    np.testing.assert_allclose(x, ref, rtol=1e-9, atol=1e-9)

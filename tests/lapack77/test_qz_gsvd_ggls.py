@@ -1,0 +1,234 @@
+"""Generalized problems: QZ (gegs/gegv), GSVD (ggsvd), LSE/GLM, and the
+test-matrix generators."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.lapack77 import (gegs, gegv, ggglm, gglse, ggsvd, lagge, laghe,
+                            lagsy, laror, latms_like)
+
+from ..conftest import rand_matrix, tol_for
+
+
+def match_eigs(got, ref, tol):
+    """Greedy nearest matching (conjugate pairs defeat naive sorting)."""
+    got = list(np.asarray(got, dtype=complex))
+    ref = list(np.asarray(ref, dtype=complex))
+    assert len(got) == len(ref)
+    for g in got:
+        dists = [abs(g - r) for r in ref]
+        j = int(np.argmin(dists))
+        assert dists[j] < tol, f"eigenvalue {g} unmatched (best {dists[j]})"
+        ref.pop(j)
+
+
+@pytest.mark.parametrize("dtype_", [np.float64, np.complex128])
+@pytest.mark.parametrize("n", [1, 2, 5, 12, 25])
+def test_gegs_factorization(rng, dtype_, n):
+    a = rand_matrix(rng, n, n, dtype_)
+    b = rand_matrix(rng, n, n, dtype_)
+    alpha, beta, s, t, vsl, vsr, info = gegs(a.copy(), b.copy())
+    assert info == 0
+    np.testing.assert_allclose(vsl @ s @ np.conj(vsr.T), a, atol=1e-10)
+    np.testing.assert_allclose(vsl @ t @ np.conj(vsr.T), b, atol=1e-10)
+    # Triangular S, T; unitary factors.
+    assert np.abs(np.tril(s, -1)).max() < 1e-10
+    assert np.abs(np.tril(t, -1)).max() < 1e-10
+    np.testing.assert_allclose(np.conj(vsl.T) @ vsl, np.eye(n), atol=1e-10)
+    np.testing.assert_allclose(np.conj(vsr.T) @ vsr, np.eye(n), atol=1e-10)
+    # Generalized eigenvalues match scipy.
+    match_eigs(alpha / beta, sla.eigvals(a, b), 1e-6)
+
+
+@pytest.mark.parametrize("dtype_", [np.float64, np.complex128])
+def test_gegv_eigenvectors(rng, dtype_):
+    n = 10
+    a = rand_matrix(rng, n, n, dtype_)
+    b = rand_matrix(rng, n, n, dtype_)
+    alpha, beta, vl, vr, info = gegv(a.copy(), b.copy(), want_vl=True,
+                                     want_vr=True)
+    assert info == 0
+    ac, bc = a.astype(complex), b.astype(complex)
+    for j in range(n):
+        x = vr[:, j]
+        r = beta[j] * (ac @ x) - alpha[j] * (bc @ x)
+        assert np.linalg.norm(r) < 1e-8 * max(abs(alpha[j]), abs(beta[j]), 1)
+        y = vl[:, j]
+        rl = beta[j] * (np.conj(y) @ ac) - alpha[j] * (np.conj(y) @ bc)
+        assert np.linalg.norm(rl) < 1e-8 * max(abs(alpha[j]), abs(beta[j]), 1)
+
+
+def test_gegv_singular_b(rng):
+    # Singular B: one infinite eigenvalue (beta ≈ 0).
+    n = 5
+    a = rand_matrix(rng, n, n, np.float64)
+    b = rand_matrix(rng, n, n, np.float64)
+    b[:, 0] = 0  # rank-deficient
+    alpha, beta, vl, vr, info = gegv(a.copy(), b.copy())
+    assert info == 0
+    assert np.min(np.abs(beta)) < 1e-8 * np.max(np.abs(beta))
+
+
+def d1_of(m, n, alpha):
+    d = np.zeros((m, n))
+    kk = min(m, n)
+    d[np.arange(kk), np.arange(kk)] = alpha[:kk]
+    return d
+
+
+def d2_of(p, n, beta, k):
+    d = np.zeros((p, n))
+    for i in range(k, n):
+        if i - k < p:
+            d[i - k, i] = beta[i]
+    return d
+
+
+@pytest.mark.parametrize("dtype_", [np.float64, np.complex128])
+@pytest.mark.parametrize("m,p,n", [(6, 5, 4), (8, 3, 5), (4, 4, 4),
+                                   (10, 2, 6), (3, 5, 4)])
+def test_ggsvd(rng, dtype_, m, p, n):
+    a = rand_matrix(rng, m, n, dtype_)
+    b = rand_matrix(rng, p, n, dtype_)
+    alpha, beta, k, l, u, v, q, r, info = ggsvd(a.copy(), b.copy())
+    assert info == 0
+    assert k + l == n and l <= p
+    np.testing.assert_allclose(alpha ** 2 + beta ** 2, 1.0, atol=1e-12)
+    np.testing.assert_allclose(
+        u @ d1_of(m, n, alpha).astype(u.dtype) @ r @ np.conj(q.T), a,
+        atol=1e-10)
+    np.testing.assert_allclose(
+        v @ d2_of(p, n, beta, k).astype(v.dtype) @ r @ np.conj(q.T), b,
+        atol=1e-10)
+    np.testing.assert_allclose(np.conj(q.T) @ q, np.eye(n), atol=1e-10)
+    assert np.abs(np.tril(r, -1)).max() < 1e-12
+
+
+def test_ggsvd_vs_scipy_cossin_values(rng):
+    # The generalized singular values alpha/beta match the eigenvalues of
+    # the pencil (AᵀA, BᵀB).
+    m, p, n = 7, 6, 5
+    a = rand_matrix(rng, m, n, np.float64)
+    b = rand_matrix(rng, p, n, np.float64)
+    alpha, beta, k, l, u, v, q, r, info = ggsvd(a.copy(), b.copy())
+    gsv = np.sort((alpha / np.where(beta == 0, np.inf, beta))[beta > 0])
+    ref = np.sort(np.sqrt(np.abs(sla.eigvals(a.T @ a, b.T @ b).real)))
+    np.testing.assert_allclose(gsv, ref[-len(gsv):], rtol=1e-7)
+
+
+@pytest.mark.parametrize("dtype_", [np.float64, np.complex128])
+def test_gglse(rng, dtype_):
+    m, n, p = 10, 6, 3
+    a = rand_matrix(rng, m, n, dtype_)
+    b = rand_matrix(rng, p, n, dtype_)
+    c = rand_matrix(rng, m, 1, dtype_)[:, 0]
+    d = rand_matrix(rng, p, 1, dtype_)[:, 0]
+    x, info = gglse(a.copy(), b.copy(), c.copy(), d.copy())
+    assert info == 0
+    # Constraint satisfied.
+    np.testing.assert_allclose(b @ x, d, atol=1e-10)
+    # Optimality: compare to scipy's LSE via direct KKT solve.
+    # KKT: [[2AᴴA, Bᴴ], [B, 0]] [x; λ] = [2Aᴴc; d]
+    kkt = np.zeros((n + p, n + p), dtype=complex)
+    kkt[:n, :n] = 2 * np.conj(a.T) @ a
+    kkt[:n, n:] = np.conj(b.T)
+    kkt[n:, :n] = b
+    rhs = np.concatenate([2 * np.conj(a.T) @ c, d])
+    ref = np.linalg.solve(kkt, rhs)[:n]
+    np.testing.assert_allclose(x, ref, atol=1e-8)
+
+
+def test_gglse_exact_interpolation(rng):
+    # With p = n the constraint determines x fully.
+    n = 4
+    a = rand_matrix(rng, 6, n, np.float64)
+    b = rand_matrix(rng, n, n, np.float64) + np.eye(n)
+    c = rand_matrix(rng, 6, 1, np.float64)[:, 0]
+    d = rand_matrix(rng, n, 1, np.float64)[:, 0]
+    x, info = gglse(a.copy(), b.copy(), c.copy(), d.copy())
+    np.testing.assert_allclose(x, np.linalg.solve(b, d), atol=1e-10)
+
+
+@pytest.mark.parametrize("dtype_", [np.float64, np.complex128])
+def test_ggglm(rng, dtype_):
+    n, m, p = 8, 4, 6
+    a = rand_matrix(rng, n, m, dtype_)
+    b = rand_matrix(rng, n, p, dtype_)
+    d = rand_matrix(rng, n, 1, dtype_)[:, 0]
+    x, y, info = ggglm(a.copy(), b.copy(), d.copy())
+    assert info == 0
+    # Constraint: d = A x + B y.
+    np.testing.assert_allclose(a @ x + b @ y, d, atol=1e-10)
+    # Optimality of ‖y‖: KKT for min yᴴy s.t. Ax + By = d.
+    # Stationarity: 2y = Bᴴλ, 0 = Aᴴλ.
+    kkt = np.zeros((m + p + n, m + p + n), dtype=complex)
+    kkt[:p, :p] = 2 * np.eye(p)
+    kkt[:p, p + m:] = -np.conj(b.T)
+    kkt[p:p + m, p + m:] = -np.conj(a.T)
+    kkt[p + m:, :p] = b
+    kkt[p + m:, p:p + m] = a
+    rhs = np.concatenate([np.zeros(p + m), d])
+    sol = np.linalg.solve(kkt, rhs)
+    np.testing.assert_allclose(y, sol[:p], atol=1e-8)
+    np.testing.assert_allclose(x, sol[p:p + m], atol=1e-8)
+
+
+def test_ggglm_zero_y_when_consistent(rng):
+    # If d lies in range(A), the GLM solution needs no noise: y = 0.
+    n, m, p = 6, 4, 3
+    a = rand_matrix(rng, n, m, np.float64)
+    b = rand_matrix(rng, n, p, np.float64)
+    x_true = rand_matrix(rng, m, 1, np.float64)[:, 0]
+    d = a @ x_true
+    x, y, info = ggglm(a.copy(), b.copy(), d.copy())
+    np.testing.assert_allclose(y, 0, atol=1e-10)
+    np.testing.assert_allclose(x, x_true, atol=1e-9)
+
+
+# -- generators --------------------------------------------------------------
+
+@pytest.mark.parametrize("dtype_", [np.float64, np.complex128])
+def test_laror_haar_unitary(rng, dtype_):
+    q = laror(8, dtype=dtype_, rng=rng)
+    np.testing.assert_allclose(np.conj(q.T) @ q, np.eye(8), atol=1e-12)
+
+
+@pytest.mark.parametrize("dtype_", [np.float64, np.complex128])
+@pytest.mark.parametrize("kl,ku", [(None, None), (2, 1), (1, 3), (2, 0),
+                                   (0, 2)])
+def test_lagge_singular_values(rng, dtype_, kl, ku):
+    m = n = 7
+    d = np.array([5.0, 4.0, 3.0, 2.0, 1.0, 0.7, 0.3])
+    a = lagge(m, n, d, kl=kl, ku=ku, dtype=dtype_, rng=rng)
+    np.testing.assert_allclose(np.linalg.svd(a, compute_uv=False), d,
+                               rtol=1e-10)
+    if kl is not None:
+        for i in range(m):
+            for j in range(n):
+                if j - i > ku or i - j > kl:
+                    assert a[i, j] == 0
+
+
+def test_lagge_rectangular(rng):
+    d = np.array([3.0, 2.0, 1.0])
+    a = lagge(8, 3, d, rng=rng)
+    np.testing.assert_allclose(np.linalg.svd(a, compute_uv=False), d,
+                               rtol=1e-10)
+
+
+def test_lagsy_laghe_eigenvalues(rng):
+    d = np.array([-2.0, -0.5, 1.0, 3.0, 10.0])
+    s = lagsy(5, d, rng=rng)
+    np.testing.assert_allclose(np.linalg.eigvalsh(s), np.sort(d), atol=1e-10)
+    h = laghe(5, d, rng=rng)
+    assert np.iscomplexobj(h)
+    np.testing.assert_allclose(np.linalg.eigvalsh(h), np.sort(d), atol=1e-10)
+
+
+def test_latms_like_condition(rng):
+    a, s = latms_like(10, 10, cond=1e3, rng=rng)
+    np.testing.assert_allclose(np.linalg.cond(a), 1e3, rtol=1e-6)
+    a2, s2 = latms_like(6, 9, cond=50, mode="arithmetic", rng=rng)
+    np.testing.assert_allclose(np.linalg.svd(a2, compute_uv=False), s2,
+                               rtol=1e-9)

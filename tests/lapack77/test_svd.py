@@ -1,0 +1,257 @@
+"""SVD chain: bidiagonalization, QR iteration, full driver, and GELSS."""
+
+import numpy as np
+import pytest
+
+from repro.lapack77.svd import bdsqr, gebrd, gesvd, orgbr
+from repro.lapack77.lls import gels, gelss, gelsx
+
+from ..conftest import rand_matrix, tol_for
+
+
+def bidiag(d, e):
+    n = len(d)
+    b = np.diag(d.astype(np.float64))
+    if n > 1:
+        b += np.diag(e, 1)
+    return b
+
+
+@pytest.mark.parametrize("m,n", [(8, 8), (12, 7), (7, 7), (1, 1), (5, 2)])
+def test_gebrd_reduces(rng, dtype, m, n):
+    a0 = rand_matrix(rng, m, n, dtype)
+    a = a0.copy()
+    d, e, tauq, taup = gebrd(a)
+    q = orgbr("Q", a, tauq, taup, ncols=m)
+    vt = orgbr("P", a, tauq, taup)
+    b = np.conj(q.T) @ a0 @ np.conj(vt.T)
+    expect = np.zeros((m, n))
+    expect[:n, :n] = bidiag(d, e)
+    np.testing.assert_allclose(b, expect, rtol=0,
+                               atol=tol_for(dtype, 500) * max(
+                                   1, np.abs(a0).max()))
+    # Q, P unitary.
+    np.testing.assert_allclose(np.conj(q.T) @ q, np.eye(m), atol=tol_for(
+        dtype, 200))
+    np.testing.assert_allclose(vt @ np.conj(vt.T), np.eye(n), atol=tol_for(
+        dtype, 200))
+
+
+def test_bdsqr_values_match_numpy(rng):
+    n = 30
+    d = rng.standard_normal(n)
+    e = rng.standard_normal(n - 1)
+    b = bidiag(d, e)
+    ref = np.linalg.svd(b, compute_uv=False)
+    dd = d.copy()
+    ee = e.copy()
+    info = bdsqr(dd, ee)
+    assert info == 0
+    np.testing.assert_allclose(dd, ref, atol=1e-10)
+
+
+def test_bdsqr_with_vectors(rng):
+    n = 20
+    d = rng.standard_normal(n)
+    e = rng.standard_normal(n - 1)
+    b = bidiag(d, e)
+    u = np.eye(n)
+    vt = np.eye(n)
+    dd, ee = d.copy(), e.copy()
+    info = bdsqr(dd, ee, vt=vt, u=u)
+    assert info == 0
+    np.testing.assert_allclose(u @ np.diag(dd) @ vt, b, atol=1e-9)
+    np.testing.assert_allclose(u.T @ u, np.eye(n), atol=1e-10)
+    np.testing.assert_allclose(vt @ vt.T, np.eye(n), atol=1e-10)
+
+
+@pytest.mark.parametrize("m,n", [(10, 6), (6, 10), (8, 8), (1, 3), (20, 3)])
+def test_gesvd_reconstructs(rng, dtype, m, n):
+    a0 = rand_matrix(rng, m, n, dtype)
+    s, u, vt, info = gesvd(a0.copy(), jobu="S", jobvt="S")
+    assert info == 0
+    k = min(m, n)
+    assert np.all(np.diff(s) <= 1e-12)  # descending
+    assert np.all(s >= 0)
+    rec = (u * s[None, :].astype(u.dtype)) @ vt
+    np.testing.assert_allclose(rec, a0, rtol=0,
+                               atol=tol_for(dtype, 1000) * max(
+                                   1, np.abs(a0).max()))
+    ref = np.linalg.svd(a0.astype(np.complex128 if np.dtype(dtype).kind ==
+                                  "c" else np.float64), compute_uv=False)
+    np.testing.assert_allclose(s, ref, atol=tol_for(dtype, 300))
+
+
+def test_gesvd_full_matrices(rng, dtype):
+    m, n = 9, 5
+    a0 = rand_matrix(rng, m, n, dtype)
+    s, u, vt, info = gesvd(a0.copy(), jobu="A", jobvt="A")
+    assert info == 0
+    assert u.shape == (m, m) and vt.shape == (n, n)
+    np.testing.assert_allclose(np.conj(u.T) @ u, np.eye(m),
+                               atol=tol_for(dtype, 300))
+    sig = np.zeros((m, n))
+    sig[:n, :n] = np.diag(s)
+    np.testing.assert_allclose(u @ sig.astype(u.dtype) @ vt, a0,
+                               atol=tol_for(dtype, 1000) * max(
+                                   1, np.abs(a0).max()))
+
+
+def test_gesvd_values_only(rng):
+    a = rand_matrix(rng, 15, 10, np.float64)
+    s, u, vt, info = gesvd(a.copy(), jobu="N", jobvt="N")
+    assert u is None and vt is None and info == 0
+    np.testing.assert_allclose(s, np.linalg.svd(a, compute_uv=False),
+                               atol=1e-10)
+
+
+def test_gesvd_rank_deficient(rng):
+    a = rand_matrix(rng, 10, 4, np.float64)
+    a[:, 3] = a[:, 0] + a[:, 1]  # rank 3
+    s, u, vt, info = gesvd(a.copy(), jobu="S", jobvt="S")
+    assert info == 0
+    assert s[3] < 1e-12 * s[0]
+
+
+# -- least squares drivers over the SVD/QR machinery ------------------------
+
+@pytest.mark.parametrize("trans", ["N", "T"])
+@pytest.mark.parametrize("m,n", [(12, 5), (5, 12)])
+def test_gels(rng, dtype, trans, m, n):
+    if trans == "T" and np.dtype(dtype).kind == "c":
+        trans_eff = "C"
+    else:
+        trans_eff = trans
+    a0 = rand_matrix(rng, m, n, dtype)
+    op = a0 if trans == "N" else np.conj(a0.T) if trans_eff == "C" else a0.T
+    rows, cols = op.shape
+    x_true = rand_matrix(rng, cols, 2, dtype)
+    b_data = (op @ x_true).astype(dtype)
+    b = np.zeros((max(m, n), 2), dtype=dtype)
+    b[:rows] = b_data
+    a = a0.copy()
+    info = gels(a, b, trans=trans_eff)
+    assert info == 0
+    ref = np.linalg.lstsq(op.astype(np.complex128 if np.dtype(dtype).kind
+                                    == "c" else np.float64),
+                          b_data.astype(np.complex128 if np.dtype(dtype).kind
+                                        == "c" else np.float64),
+                          rcond=None)[0]
+    np.testing.assert_allclose(b[:cols], ref, rtol=0,
+                               atol=tol_for(dtype, 2e4))
+
+
+def test_gels_overdetermined_residual(rng):
+    m, n = 20, 4
+    a0 = rand_matrix(rng, m, n, np.float64)
+    b0 = rand_matrix(rng, m, 1, np.float64)
+    a, b = a0.copy(), b0.copy()
+    gels(a, b)
+    ref = np.linalg.lstsq(a0, b0, rcond=None)[0]
+    np.testing.assert_allclose(b[:n], ref, atol=1e-10)
+    # Rows n..m-1 hold residual components: their norm² = min residual².
+    resid = np.linalg.norm(a0 @ ref - b0)
+    np.testing.assert_allclose(np.linalg.norm(b[n:]), resid, rtol=1e-8)
+
+
+def test_gels_underdetermined_min_norm(rng):
+    m, n = 4, 10
+    a0 = rand_matrix(rng, m, n, np.float64)
+    b0 = rand_matrix(rng, m, 1, np.float64)
+    a = a0.copy()
+    b = np.zeros((n, 1))
+    b[:m] = b0
+    gels(a, b)
+    ref = np.linalg.lstsq(a0, b0, rcond=None)[0]  # pinv = min-norm
+    np.testing.assert_allclose(b, ref, atol=1e-10)
+
+
+@pytest.mark.parametrize("m,n", [(12, 6), (6, 12), (10, 10)])
+def test_gelss_full_rank(rng, dtype, m, n):
+    a0 = rand_matrix(rng, m, n, dtype)
+    b0 = rand_matrix(rng, m, 2, dtype)
+    b = np.zeros((max(m, n), 2), dtype=dtype)
+    b[:m] = b0
+    a = a0.copy()
+    s, rank, info = gelss(a, b)
+    assert info == 0
+    assert rank == min(m, n)
+    ref = np.linalg.lstsq(a0.astype(np.complex128 if np.dtype(dtype).kind
+                                    == "c" else np.float64),
+                          b0.astype(np.complex128 if np.dtype(dtype).kind
+                                    == "c" else np.float64), rcond=None)[0]
+    np.testing.assert_allclose(b[:n], ref, atol=tol_for(dtype, 2e4))
+
+
+def test_gelss_rank_deficient(rng):
+    m, n = 15, 6
+    a0 = rand_matrix(rng, m, n, np.float64)
+    a0[:, 5] = a0[:, 0]  # rank 5
+    b0 = rand_matrix(rng, m, 1, np.float64)
+    b = np.zeros((m, 1))
+    b[:m] = b0
+    a = a0.copy()
+    s, rank, info = gelss(a, b, rcond=1e-10)
+    assert info == 0
+    assert rank == 5
+    ref = np.linalg.lstsq(a0, b0, rcond=1e-10)[0]
+    np.testing.assert_allclose(b[:n], ref, atol=1e-8)
+
+
+@pytest.mark.parametrize("m,n", [(12, 6), (10, 10)])
+def test_gelsx_full_rank(rng, dtype, m, n):
+    a0 = rand_matrix(rng, m, n, dtype)
+    b0 = rand_matrix(rng, m, 2, dtype)
+    b = np.zeros((max(m, n), 2), dtype=dtype)
+    b[:m] = b0
+    a = a0.copy()
+    rank, jpvt, info = gelsx(a, b)
+    assert info == 0
+    assert rank == n
+    ref = np.linalg.lstsq(a0.astype(np.complex128 if np.dtype(dtype).kind
+                                    == "c" else np.float64),
+                          b0.astype(np.complex128 if np.dtype(dtype).kind
+                                    == "c" else np.float64), rcond=None)[0]
+    np.testing.assert_allclose(b[:n], ref, atol=tol_for(dtype, 5e4))
+
+
+def test_gelsx_rank_deficient_min_norm(rng):
+    m, n = 12, 6
+    a0 = rand_matrix(rng, m, n, np.float64)
+    a0[:, 5] = 2 * a0[:, 1]  # rank 5
+    b0 = rand_matrix(rng, m, 1, np.float64)
+    b = np.zeros((m, 1))
+    b[:m] = b0
+    a = a0.copy()
+    rank, jpvt, info = gelsx(a, b, rcond=1e-10)
+    assert info == 0
+    assert rank == 5
+    ref = np.linalg.lstsq(a0, b0, rcond=None)[0]
+    # Both are the minimum-norm LS solution.
+    np.testing.assert_allclose(b[:n], ref, atol=1e-8)
+
+
+@pytest.mark.parametrize("vect", ["Q", "P"])
+@pytest.mark.parametrize("side", ["L", "R"])
+@pytest.mark.parametrize("trans", ["N", "C"])
+def test_ormbr_matches_explicit_factors(rng, dtype, vect, side, trans):
+    from repro.lapack77.svd import ormbr, orgbr
+    m, n = 8, 5
+    a0 = rand_matrix(rng, m, n, dtype)
+    a = a0.copy()
+    d, e, tauq, taup = gebrd(a)
+    q = orgbr("Q", a, tauq, taup, ncols=m)
+    pt = orgbr("P", a, tauq, taup)
+    stored = q if vect == "Q" else pt
+    op = stored if trans == "N" else np.conj(stored.T)
+    dim = stored.shape[0]
+    if side == "L":
+        c = rand_matrix(rng, dim, 3, dtype)
+        expect = op @ c
+    else:
+        c = rand_matrix(rng, 3, dim, dtype)
+        expect = c @ op
+    got = c.copy()
+    ormbr(vect, side, trans, a, tauq, taup, got)
+    np.testing.assert_allclose(got, expect, rtol=tol_for(dtype, 200),
+                               atol=tol_for(dtype, 200))

@@ -1,0 +1,219 @@
+"""Tridiagonal families vs dense oracles."""
+
+import numpy as np
+import pytest
+
+from repro.lapack77 import (gt_matvec, gtcon, gtrfs, gtsv, gttrf, gttrs,
+                            langt, pt_matvec, ptcon, ptrfs, ptsv, pttrf,
+                            pttrs)
+
+from ..conftest import rand_vector, tol_for
+
+
+def make_gt(rng, n, dtype, dominant=True):
+    dl = rand_vector(rng, n - 1, dtype)
+    d = rand_vector(rng, n, dtype)
+    du = rand_vector(rng, n - 1, dtype)
+    if dominant:
+        d += (3.0 + 0j if np.dtype(dtype).kind == "c" else 3.0)
+    return dl, d, du
+
+
+def dense_gt(dl, d, du):
+    n = d.shape[0]
+    a = np.diag(d)
+    if n > 1:
+        a += np.diag(dl, -1) + np.diag(du, 1)
+    return a
+
+
+def make_pt(rng, n, dtype):
+    e = rand_vector(rng, n - 1, dtype)
+    d = np.abs(rand_vector(rng, n, np.float64)) + 3.0
+    return d, e
+
+
+def dense_pt(d, e):
+    n = d.shape[0]
+    a = np.diag(d.astype(np.result_type(d.dtype, e.dtype)))
+    if n > 1:
+        a += np.diag(e, -1) + np.diag(np.conj(e), 1)
+    return a
+
+
+@pytest.mark.parametrize("trans", ["N", "T", "C"])
+def test_gt_matvec(rng, dtype, trans):
+    n = 9
+    dl, d, du = make_gt(rng, n, dtype)
+    a = dense_gt(dl, d, du)
+    x = rand_vector(rng, n, dtype)
+    op = {"N": a, "T": a.T, "C": np.conj(a.T)}[trans]
+    np.testing.assert_allclose(gt_matvec(dl, d, du, x, trans=trans), op @ x,
+                               rtol=tol_for(dtype, 10), atol=tol_for(dtype, 10))
+
+
+def test_gttrf_factors_solve(rng, dtype):
+    n = 20
+    dl, d, du = make_gt(rng, n, dtype)
+    a = dense_gt(dl, d, du)
+    x_true = rand_vector(rng, n, dtype)
+    b = (a @ x_true).astype(dtype)
+    du2, ipiv, info = gttrf(dl, d, du)
+    assert info == 0
+    gttrs(dl, d, du, du2, ipiv, b)
+    np.testing.assert_allclose(b, x_true, rtol=tol_for(dtype, 1e3),
+                               atol=tol_for(dtype, 1e3))
+
+
+def test_gttrf_pivoting_needed(rng):
+    # Zero diagonal forces row interchanges.
+    n = 6
+    dl = np.ones(n - 1)
+    d = np.zeros(n)
+    du = np.ones(n - 1) * 2
+    a = dense_gt(dl.copy(), d.copy(), du.copy())
+    x_true = np.arange(1.0, n + 1)
+    b = a @ x_true
+    du2, ipiv, info = gttrf(dl, d, du)
+    assert info == 0
+    assert np.any(ipiv != np.arange(n))
+    gttrs(dl, d, du, du2, ipiv, b)
+    np.testing.assert_allclose(b, x_true, rtol=1e-12)
+
+
+@pytest.mark.parametrize("trans", ["N", "T", "C"])
+def test_gttrs_trans(rng, dtype, trans):
+    n = 15
+    dl, d, du = make_gt(rng, n, dtype)
+    a = dense_gt(dl, d, du)
+    op = {"N": a, "T": a.T, "C": np.conj(a.T)}[trans]
+    x_true = rand_vector(rng, n, dtype)
+    b = (op @ x_true).astype(dtype)
+    du2, ipiv, info = gttrf(dl, d, du)
+    gttrs(dl, d, du, du2, ipiv, b, trans=trans)
+    np.testing.assert_allclose(b, x_true, rtol=tol_for(dtype, 1e3),
+                               atol=tol_for(dtype, 1e3))
+
+
+def test_gtsv_multiple_rhs(rng, dtype):
+    n, nrhs = 25, 3
+    dl, d, du = make_gt(rng, n, dtype)
+    a = dense_gt(dl, d, du)
+    x_true = np.column_stack([rand_vector(rng, n, dtype)
+                              for _ in range(nrhs)])
+    b = (a @ x_true).astype(dtype)
+    info = gtsv(dl, d, du, b)
+    assert info == 0
+    np.testing.assert_allclose(b, x_true, rtol=tol_for(dtype, 1e3),
+                               atol=tol_for(dtype, 1e3))
+
+
+def test_gtsv_singular_info():
+    dl = np.zeros(1)
+    d = np.array([0.0, 1.0])
+    du = np.zeros(1)
+    b = np.ones((2, 1))
+    info = gtsv(dl, d, du, b)
+    assert info > 0
+
+
+def test_gtcon_estimate(rng):
+    n = 40
+    dl, d, du = make_gt(rng, n, np.float64)
+    a = dense_gt(dl, d, du)
+    anorm = langt("1", dl, d, du)
+    du2, ipiv, _ = gttrf(dl, d, du)
+    rcond, info = gtcon(dl, d, du, du2, ipiv, anorm)
+    true_rcond = 1.0 / np.linalg.cond(a, 1)
+    assert true_rcond / 10 <= rcond <= true_rcond * 10
+
+
+def test_gtrfs_refines(rng):
+    n = 30
+    dl0, d0, du0 = make_gt(rng, n, np.float64)
+    a = dense_gt(dl0, d0, du0)
+    x_true = rand_vector(rng, n, np.float64)
+    b = a @ x_true
+    dlf, df, duf = dl0.copy(), d0.copy(), du0.copy()
+    du2, ipiv, _ = gttrf(dlf, df, duf)
+    x = b.copy()
+    gttrs(dlf, df, duf, du2, ipiv, x)
+    x += 1e-7
+    ferr, berr, info = gtrfs(dl0, d0, du0, dlf, df, duf, du2, ipiv, b, x)
+    assert info == 0
+    assert np.all(berr < 1e-13)
+
+
+def test_pttrf_reconstructs(rng, dtype):
+    n = 18
+    d, e = make_pt(rng, n, dtype)
+    a = dense_pt(d, e)
+    d_f, e_f = d.copy(), e.astype(dtype).copy()
+    info = pttrf(d_f, e_f)
+    assert info == 0
+    # L D L^H with L unit lower bidiagonal, subdiagonal e_f.
+    l = np.eye(n, dtype=a.dtype)
+    l[np.arange(1, n), np.arange(n - 1)] = e_f
+    rec = l @ np.diag(d_f) @ np.conj(l.T)
+    np.testing.assert_allclose(rec, a, rtol=tol_for(dtype, 100),
+                               atol=tol_for(dtype, 100))
+
+
+def test_pttrf_not_pd():
+    d = np.array([1.0, -1.0, 1.0])
+    e = np.zeros(2)
+    info = pttrf(d, e)
+    assert info == 2
+
+
+def test_ptsv_solves(rng, dtype):
+    n, nrhs = 22, 2
+    d, e = make_pt(rng, n, dtype)
+    a = dense_pt(d, e)
+    x_true = np.column_stack([rand_vector(rng, n, dtype)
+                              for _ in range(nrhs)])
+    b = (a @ x_true).astype(np.result_type(dtype, np.float64)
+                            if np.dtype(dtype).kind != "c" else dtype)
+    info = ptsv(d, e.astype(dtype), b)
+    assert info == 0
+    np.testing.assert_allclose(b, x_true, rtol=tol_for(dtype, 1e3),
+                               atol=tol_for(dtype, 1e3))
+
+
+def test_ptcon_estimate(rng):
+    n = 35
+    d, e = make_pt(rng, n, np.float64)
+    a = dense_pt(d, e)
+    anorm = np.linalg.norm(a, 1)
+    df, ef = d.copy(), e.copy()
+    pttrf(df, ef)
+    rcond, info = ptcon(df, ef, anorm)
+    true_rcond = 1.0 / np.linalg.cond(a, 1)
+    assert true_rcond / 10 <= rcond <= true_rcond * 10
+
+
+def test_ptrfs_refines(rng):
+    n = 30
+    d, e = make_pt(rng, n, np.float64)
+    a = dense_pt(d, e)
+    x_true = rand_vector(rng, n, np.float64)
+    b = a @ x_true
+    df, ef = d.copy(), e.copy()
+    pttrf(df, ef)
+    x = b.copy()
+    pttrs(df, ef, x)
+    x += 1e-8
+    ferr, berr, info = ptrfs(d, e, df, ef, b, x)
+    assert info == 0
+    assert np.all(berr < 1e-13)
+    err = np.max(np.abs(x - x_true)) / np.max(np.abs(x_true))
+    assert err <= ferr[0] * 10 + 1e-15
+
+
+def test_pt_matvec(rng, complex_dtype):
+    n = 8
+    d, e = make_pt(rng, n, complex_dtype)
+    a = dense_pt(d, e)
+    x = rand_vector(rng, n, complex_dtype)
+    np.testing.assert_allclose(pt_matvec(d, e, x), a @ x,
+                               rtol=tol_for(complex_dtype, 10))

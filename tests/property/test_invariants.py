@@ -1,0 +1,270 @@
+"""Property-based tests (hypothesis) on the core invariants:
+factorizations reconstruct, solves satisfy residual bounds, transforms
+stay orthogonal, the ERINFO contract holds for arbitrary bad shapes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Info, IllegalArgument, la_gesv, la_posv, la_syev
+from repro.errors import LinAlgError
+from repro.lapack77 import (geqrf, gesvd, getrf, laror, orgqr, potrf, sysv)
+from repro.storage import pack, unpack, full_to_band, band_to_full
+from repro.testing import residual_ratio
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+def _well_conditioned(seed, n):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    a[np.diag_indices(n)] += n
+    return a
+
+
+@given(n=st.integers(1, 24), seed=st.integers(0, 2**31))
+@settings(**SETTINGS)
+def test_gesv_residual_bounded(n, seed):
+    """Any diagonally dominant system solves with a small scaled
+    residual — the Appendix F quality metric as a universal property."""
+    rng = np.random.default_rng(seed)
+    a0 = _well_conditioned(seed, n)
+    nrhs = int(rng.integers(1, 4))
+    b0 = rng.standard_normal((n, nrhs))
+    b = b0.copy()
+    la_gesv(a0.copy(), b)
+    assert residual_ratio(a0, b, b0) < 30.0
+
+
+@given(n=st.integers(1, 20), seed=st.integers(0, 2**31))
+@settings(**SETTINGS)
+def test_getrf_reconstructs(n, seed):
+    """PA = LU holds for arbitrary random matrices."""
+    rng = np.random.default_rng(seed)
+    a0 = rng.standard_normal((n, n))
+    a = a0.copy()
+    ipiv, _ = getrf(a)
+    l = np.tril(a, -1) + np.eye(n)
+    u = np.triu(a)
+    rec = l @ u
+    for j in range(n - 1, -1, -1):
+        if ipiv[j] != j:
+            rec[[j, ipiv[j]]] = rec[[ipiv[j], j]]
+    assert np.abs(rec - a0).max() <= 1e-10 * max(1, np.abs(a0).max()) * n
+
+
+@given(n=st.integers(1, 20), seed=st.integers(0, 2**31))
+@settings(**SETTINGS)
+def test_pivots_bounded(n, seed):
+    """Partial pivoting: every pivot index points at or below its row."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    ipiv, _ = getrf(a)
+    assert np.all(ipiv >= np.arange(n))
+    assert np.all(ipiv < n)
+
+
+@given(n=st.integers(1, 16), seed=st.integers(0, 2**31))
+@settings(**SETTINGS)
+def test_cholesky_positive_definite_roundtrip(n, seed):
+    rng = np.random.default_rng(seed)
+    g = rng.standard_normal((n, n))
+    a0 = g @ g.T + np.eye(n) * n
+    a = a0.copy()
+    info = potrf(a, "U")
+    assert info == 0
+    u = np.triu(a)
+    assert np.abs(u.T @ u - a0).max() <= 1e-9 * np.abs(a0).max() * n
+    assert np.all(np.diag(u) > 0)
+
+
+@given(n=st.integers(1, 16), seed=st.integers(0, 2**31))
+@settings(**SETTINGS)
+def test_posv_rejects_indefinite(n, seed):
+    """A matrix with a negative eigenvalue must produce info > 0, never a
+    wrong answer."""
+    rng = np.random.default_rng(seed)
+    g = rng.standard_normal((n, n))
+    a = g @ g.T + np.eye(n)
+    a[n - 1, n - 1] = -np.abs(a[n - 1, n - 1]) - 1
+    info = Info()
+    la_posv(a, np.ones(n), info=info)
+    assert info.value > 0
+
+
+@given(m=st.integers(1, 15), n=st.integers(1, 15),
+       seed=st.integers(0, 2**31))
+@settings(**SETTINGS)
+def test_qr_orthogonality(m, n, seed):
+    rng = np.random.default_rng(seed)
+    if m < n:
+        m, n = n, m
+    a = rng.standard_normal((m, n))
+    tau = geqrf(a)
+    q = orgqr(a.copy(), tau)
+    assert np.abs(q.T @ q - np.eye(n)).max() < 1e-10 * max(m, 1)
+
+
+@given(m=st.integers(1, 12), n=st.integers(1, 12),
+       seed=st.integers(0, 2**31))
+@settings(**SETTINGS)
+def test_svd_invariants(m, n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((m, n))
+    s, u, vt, info = gesvd(a.copy(), jobu="S", jobvt="S")
+    assert info == 0
+    assert np.all(s >= 0)
+    assert np.all(np.diff(s) <= 1e-12)          # descending
+    assert np.abs((u * s) @ vt - a).max() < 1e-9 * max(1, np.abs(a).max())
+    # Norm identities.
+    assert np.isclose(np.linalg.norm(a, 2), s[0] if s.size else 0,
+                      atol=1e-10)
+    assert np.isclose(np.linalg.norm(a, "fro"), np.linalg.norm(s),
+                      atol=1e-10)
+
+
+@given(n=st.integers(1, 16), seed=st.integers(0, 2**31))
+@settings(**SETTINGS)
+def test_syev_trace_and_orthogonality(n, seed):
+    """Eigenvalues sum to the trace; eigenvectors stay orthonormal."""
+    rng = np.random.default_rng(seed)
+    a0 = rng.standard_normal((n, n))
+    a0 = a0 + a0.T
+    a = a0.copy()
+    w = la_syev(a, jobz="V")
+    assert np.isclose(np.sum(w), np.trace(a0), atol=1e-8 * max(
+        1, np.abs(a0).max()) * n)
+    assert np.abs(a.T @ a - np.eye(n)).max() < 1e-8
+    assert np.all(np.diff(w) >= -1e-12)
+
+
+@given(n=st.integers(2, 14), seed=st.integers(0, 2**31))
+@settings(**SETTINGS)
+def test_sysv_symmetric_consistency(n, seed):
+    """Bunch–Kaufman solves agree with the dense LU answer."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    a = a + a.T + np.diag(np.linspace(-n, n, n))
+    x_true = rng.standard_normal(n)
+    b = a @ x_true
+    bb = b.copy()[:, None]
+    ipiv, info = sysv(a.copy(), bb, "U")
+    if info == 0:
+        ref = np.linalg.solve(a, b)
+        assert np.abs(bb[:, 0] - ref).max() < 1e-6 * max(
+            1, np.abs(ref).max())
+
+
+@given(n=st.integers(1, 12), seed=st.integers(0, 2**31),
+       uplo=st.sampled_from(["U", "L"]))
+@settings(**SETTINGS)
+def test_pack_unpack_roundtrip(n, seed, uplo):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    a = a + a.T
+    ap = pack(a, uplo)
+    full = unpack(ap, n, uplo=uplo, symmetric=True)
+    assert np.array_equal(full, np.where(
+        np.eye(n, dtype=bool), a, a))  # symmetric content
+    assert np.abs(full - a).max() == 0
+
+
+@given(n=st.integers(1, 12), kl=st.integers(0, 4), ku=st.integers(0, 4),
+       seed=st.integers(0, 2**31))
+@settings(**SETTINGS)
+def test_band_roundtrip(n, kl, ku, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    for i in range(n):
+        for j in range(n):
+            if j - i > ku or i - j > kl:
+                a[i, j] = 0
+    ab = full_to_band(a, kl, ku)
+    back = band_to_full(ab, n, n, kl, ku)
+    assert np.array_equal(back, a)
+
+
+@given(n=st.integers(1, 10), seed=st.integers(0, 2**31))
+@settings(**SETTINGS)
+def test_laror_is_orthogonal(n, seed):
+    q = laror(n, rng=np.random.default_rng(seed))
+    assert np.abs(q.T @ q - np.eye(n)).max() < 1e-12 * max(n, 1) * 10
+
+
+@given(rows=st.integers(1, 6), cols=st.integers(1, 6),
+       brows=st.integers(1, 6))
+@settings(**SETTINGS)
+def test_gesv_shape_errors_always_reported(rows, cols, brows):
+    """For every inconsistent shape combination, la_gesv reports a
+    negative info (never crashes, never silently proceeds)."""
+    a = np.ones((rows, cols))
+    b = np.ones(brows)
+    consistent = rows == cols and brows == rows
+    info = Info()
+    if consistent:
+        la_gesv(a + np.eye(rows) * rows, b, info=info)
+        assert info.value == 0
+    else:
+        la_gesv(a, b, info=info)
+        assert info.value < 0
+        with pytest.raises(IllegalArgument):
+            la_gesv(np.ones((rows, cols)), np.ones(brows))
+
+
+@given(n=st.integers(2, 10), seed=st.integers(0, 2**31))
+@settings(**SETTINGS)
+def test_schur_preserves_spectrum_and_norm(n, seed):
+    """gees: unitary similarity preserves eigenvalues and Frobenius norm."""
+    from repro.lapack77 import gees
+    rng = np.random.default_rng(seed)
+    a0 = rng.standard_normal((n, n))
+    t = a0.copy()
+    w, vs, sdim, info = gees(t, jobvs="V")
+    assert info == 0
+    assert np.isclose(np.linalg.norm(t, "fro"), np.linalg.norm(a0, "fro"),
+                      rtol=1e-10)
+    ref = np.linalg.eigvals(a0)
+    # Greedy matching (conjugate-pair ordering defeats plain sorts).
+    got = list(w)
+    for r in ref:
+        j = int(np.argmin([abs(r - g) for g in got]))
+        assert abs(r - got[j]) < 1e-6 * max(1, abs(r))
+        got.pop(j)
+
+
+@given(n=st.integers(1, 8), seed=st.integers(0, 2**31))
+@settings(**SETTINGS)
+def test_qz_pencil_invariants(n, seed):
+    """gegs: both reconstructions hold and |alpha/beta| matches scipy."""
+    import scipy.linalg as sla
+    from repro.lapack77 import gegs
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n)) + np.eye(n)
+    alpha, beta, s, t, q, z, info = gegs(a.copy(), b.copy())
+    assert info == 0
+    assert np.abs(q @ s @ np.conj(z.T) - a).max() < 1e-9 * max(
+        1, np.abs(a).max())
+    assert np.abs(q @ t @ np.conj(z.T) - b).max() < 1e-9 * max(
+        1, np.abs(b).max())
+    got = np.sort(np.abs(alpha / beta))
+    ref = np.sort(np.abs(sla.eigvals(a, b)))
+    np.testing.assert_allclose(got, ref, rtol=1e-6, atol=1e-9)
+
+
+@given(n=st.integers(1, 12), nrhs=st.integers(1, 3),
+       seed=st.integers(0, 2**31))
+@settings(**SETTINGS)
+def test_expert_driver_bounds_hold(n, nrhs, seed):
+    """la_gesvx: the forward error bound really bounds the error for
+    well-conditioned systems."""
+    from repro import la_gesvx
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n)) + np.eye(n) * (n + 1)
+    x_true = rng.standard_normal((n, nrhs))
+    b = a @ x_true
+    res = la_gesvx(a.copy(), b)
+    err = np.max(np.abs(res.x - x_true), axis=0) / np.maximum(
+        np.max(np.abs(x_true), axis=0), 1e-300)
+    assert np.all(err <= np.maximum(res.ferr, 1e-16) * 50 + 1e-14)
+    assert 0 < res.rcond <= 1
