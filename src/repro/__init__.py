@@ -23,10 +23,13 @@ Quickstart (paper Fig. 2, the LAPACK90 interface)::
     la_gesv(a, b)               # b now holds the solution
 """
 
-from . import blas, config, core, f77, lapack77, storage, testing
-from .errors import (ComputationalError, IllegalArgument, Info, LinAlgError,
-                     NoConvergence, NotPositiveDefinite, SingularMatrix,
-                     WorkspaceError)
+from . import blas, config, core, f77, lapack77, policy, storage, testing
+from .errors import (ComputationalError, DriverFallbackWarning,
+                     IllConditionedWarning, IllegalArgument, Info,
+                     LinAlgError, NoConvergence, NonFiniteInput,
+                     NonFiniteWarning, NotPositiveDefinite,
+                     NumericalWarning, SingularMatrix, WorkspaceError)
+from .policy import exception_policy, get_policy, set_policy
 from .core import *  # noqa: F401,F403 — the Appendix G catalogue
 from .core import __all__ as _core_all
 
@@ -35,6 +38,9 @@ __version__ = "1.0.0"
 __all__ = list(_core_all) + [
     "Info", "LinAlgError", "IllegalArgument", "ComputationalError",
     "SingularMatrix", "NotPositiveDefinite", "NoConvergence",
-    "WorkspaceError", "blas", "config", "core", "f77", "lapack77",
+    "WorkspaceError", "NonFiniteInput", "NumericalWarning",
+    "NonFiniteWarning", "IllConditionedWarning", "DriverFallbackWarning",
+    "exception_policy", "get_policy", "set_policy",
+    "blas", "config", "core", "f77", "lapack77", "policy",
     "storage", "testing",
 ]

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..policy import notfinite
+
 __all__ = [
     "axpy", "scal", "copy", "swap", "dot", "dotu", "dotc",
     "nrm2", "asum", "iamax", "rot", "rotg",
@@ -62,7 +64,10 @@ def nrm2(x: np.ndarray):
     if x.size == 0:
         return x.real.dtype.type(0)
     amax = np.max(np.abs(x))
-    if amax == 0 or not np.isfinite(amax):
+    # Reference xNRM2 semantics (shared predicate from repro.policy): a
+    # non-finite magnitude is returned unchanged — Inf stays Inf, NaN
+    # stays NaN — instead of being squared into an overflow.
+    if amax == 0 or notfinite(amax):
         return x.real.dtype.type(amax)
     # Scale to avoid overflow/underflow in the square, like the reference.
     scaled = x / amax

@@ -8,13 +8,23 @@ calls ``ILAENV(1, 'SGETRI', ...)`` before allocating ``N*NB`` reals.
 This module keeps the same shape: a process-global, mutable table of block
 sizes consulted by the blocked factorizations, so benchmarks can ablate
 blocked vs. unblocked execution by flipping one knob.
+
+The numerical-exception policy (NaN/Inf screening modes, the RCOND
+guard, driver fallbacks) follows the same process-global/context-scoped
+pattern; it lives in :mod:`repro.policy` and its API is re-exported here
+for discoverability.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 
-__all__ = ["ilaenv", "get_block_size", "set_block_size", "block_size_override"]
+from .policy import (exception_policy, get_policy,  # noqa: F401
+                     set_policy)
+
+__all__ = ["ilaenv", "get_block_size", "set_block_size",
+           "block_size_override", "exception_policy", "get_policy",
+           "set_policy"]
 
 # ISPEC=1 block sizes per routine family (values follow LAPACK's defaults
 # for "generic" machines; NumPy-matmul-backed updates favour larger blocks).

@@ -5,7 +5,10 @@
   (kept for interface fidelity; the Python wrappers allocate internally
   but the sizes are exactly what a FORTRAN caller would have needed),
 * validation helpers that turn argument mistakes into the negative
-  ``LINFO`` codes the ERINFO protocol reports.
+  ``LINFO`` codes the ERINFO protocol reports,
+* :func:`driver_guard` — the per-driver entry gate: NaN/Inf screening per
+  the active exception policy plus the simulated workspace-allocation
+  fault (``LINFO = -100``) used by the fault-injection harness.
 """
 
 from __future__ import annotations
@@ -13,10 +16,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import ilaenv
-from ..errors import Info, erinfo
+from ..errors import ALLOC_FAILED, Info, erinfo
+from ..faults import alloc_fault
+from ..policy import screen
 
 __all__ = ["lsame", "la_ws_gels", "la_ws_gelss", "as_matrix",
-           "check_square", "check_rhs", "checked_dtype"]
+           "check_square", "check_rhs", "checked_dtype", "driver_guard"]
 
 
 def lsame(ca: str, cb: str) -> bool:
@@ -62,6 +67,21 @@ def check_rhs(a_rows: int, b, argpos: int) -> int:
             or b.shape[0] != a_rows:
         return -argpos
     return 0
+
+
+def driver_guard(srname: str, *args):
+    """Entry gate run after argument validation, before any computation.
+
+    ``args`` are 1-based ``(position, array)`` pairs.  Returns
+    ``(linfo, exc)``: the non-finite screening verdict from
+    :func:`repro.policy.screen`, or ``(ALLOC_FAILED, None)`` when the
+    fault-injection harness simulates a failed workspace allocation for
+    this driver.  ``(0, None)`` means proceed.
+    """
+    linfo, exc = screen(srname, *args)
+    if linfo == 0 and alloc_fault(srname):
+        return ALLOC_FAILED, None
+    return linfo, exc
 
 
 def checked_dtype(*arrays) -> int:

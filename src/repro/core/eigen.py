@@ -18,7 +18,7 @@ import numpy as np
 from ..errors import Info, NoConvergence, erinfo
 from ..lapack77 import (gees, geev, gesvd, hbev, heev, hpev, sbev, spev,
                         stev, syev)
-from .auxmod import check_square, lsame
+from .auxmod import check_square, driver_guard, lsame
 
 __all__ = ["la_syev", "la_heev", "la_spev", "la_hpev", "la_sbev",
            "la_hbev", "la_stev", "la_gees", "la_geev", "la_gesvd"]
@@ -57,12 +57,14 @@ def la_syev(a: np.ndarray, w: np.ndarray | None = None, jobz: str = "N",
     elif not (lsame(uplo, "U") or lsame(uplo, "L")):
         linfo = -4
     else:
-        wout, linfo = syev(a, jobz=jobz, uplo=uplo)
-        if linfo > 0:
-            exc = NoConvergence(srname, linfo)
-        if w is not None:
-            w[:] = wout
-            wout = w
+        linfo, exc = driver_guard(srname, (1, a))
+        if linfo == 0:
+            wout, linfo = syev(a, jobz=jobz, uplo=uplo)
+            if linfo > 0:
+                exc = NoConvergence(srname, linfo)
+            if w is not None:
+                w[:] = wout
+                wout = w
     erinfo(linfo, srname, info, exc=exc)
     return wout
 
@@ -84,13 +86,15 @@ def la_heev(a: np.ndarray, w: np.ndarray | None = None, jobz: str = "N",
     elif not (lsame(uplo, "U") or lsame(uplo, "L")):
         linfo = -4
     else:
-        from ..lapack77 import heev as _heev
-        wout, linfo = _heev(a, jobz=jobz, uplo=uplo)
-        if linfo > 0:
-            exc = NoConvergence(srname, linfo)
-        if w is not None:
-            w[:] = wout
-            wout = w
+        linfo, exc = driver_guard(srname, (1, a))
+        if linfo == 0:
+            from ..lapack77 import heev as _heev
+            wout, linfo = _heev(a, jobz=jobz, uplo=uplo)
+            if linfo > 0:
+                exc = NoConvergence(srname, linfo)
+            if w is not None:
+                w[:] = wout
+                wout = w
     erinfo(linfo, srname, info, exc=exc)
     return wout
 
@@ -109,15 +113,17 @@ def _packed_ev(srname, driver, ap, w, uplo, z, info):
     elif not (lsame(uplo, "U") or lsame(uplo, "L")):
         linfo = -3
     else:
-        jobz = "V" if _want(z) else "N"
-        wout, zv, linfo = driver(ap, n, jobz=jobz, uplo=uplo)
-        if linfo > 0:
-            exc = NoConvergence(srname, linfo)
-        if _want(z):
-            zout = _store(z if isinstance(z, np.ndarray) else None, zv)
-        if w is not None:
-            w[:] = wout
-            wout = w
+        linfo, exc = driver_guard(srname, (1, ap))
+        if linfo == 0:
+            jobz = "V" if _want(z) else "N"
+            wout, zv, linfo = driver(ap, n, jobz=jobz, uplo=uplo)
+            if linfo > 0:
+                exc = NoConvergence(srname, linfo)
+            if _want(z):
+                zout = _store(z if isinstance(z, np.ndarray) else None, zv)
+            if w is not None:
+                w[:] = wout
+                wout = w
     erinfo(linfo, srname, info, exc=exc)
     return (wout, zout) if _want(z) else wout
 
@@ -153,15 +159,18 @@ def _band_ev(srname, driver, ab, w, uplo, z, info):
         elif not (lsame(uplo, "U") or lsame(uplo, "L")):
             linfo = -3
         else:
-            jobz = "V" if _want(z) else "N"
-            wout, zv, linfo = driver(ab, n, jobz=jobz, uplo=uplo)
-            if linfo > 0:
-                exc = NoConvergence(srname, linfo)
-            if _want(z):
-                zout = _store(z if isinstance(z, np.ndarray) else None, zv)
-            if w is not None:
-                w[:] = wout
-                wout = w
+            linfo, exc = driver_guard(srname, (1, ab))
+            if linfo == 0:
+                jobz = "V" if _want(z) else "N"
+                wout, zv, linfo = driver(ab, n, jobz=jobz, uplo=uplo)
+                if linfo > 0:
+                    exc = NoConvergence(srname, linfo)
+                if _want(z):
+                    zout = _store(z if isinstance(z, np.ndarray) else None,
+                                  zv)
+                if w is not None:
+                    w[:] = wout
+                    wout = w
     erinfo(linfo, srname, info, exc=exc)
     return (wout, zout) if _want(z) else wout
 
@@ -197,15 +206,17 @@ def la_stev(d: np.ndarray, e: np.ndarray, z=None,
     elif not isinstance(e, np.ndarray) or e.shape[0] < max(0, n - 1):
         linfo = -2
     else:
-        if _want(z):
-            zbuf = z if isinstance(z, np.ndarray) else \
-                np.empty((n, n), dtype=d.dtype)
-            linfo = stev(d, e, zbuf, jobz="V")
-            zout = zbuf
-        else:
-            linfo = stev(d, e, jobz="N")
-        if linfo > 0:
-            exc = NoConvergence(srname, linfo)
+        linfo, exc = driver_guard(srname, (1, d), (2, e))
+        if linfo == 0:
+            if _want(z):
+                zbuf = z if isinstance(z, np.ndarray) else \
+                    np.empty((n, n), dtype=d.dtype)
+                linfo = stev(d, e, zbuf, jobz="V")
+                zout = zbuf
+            else:
+                linfo = stev(d, e, jobz="N")
+            if linfo > 0:
+                exc = NoConvergence(srname, linfo)
     erinfo(linfo, srname, info, exc=exc)
     return (d, zout) if _want(z) else d
 
@@ -231,15 +242,18 @@ def la_gees(a: np.ndarray, w: np.ndarray | None = None, vs=None,
     if check_square(a, 1):
         linfo = -1
     else:
-        jobvs = "V" if _want(vs) else "N"
-        wout, vsv, sdim, linfo = gees(a, jobvs=jobvs, select=select)
-        if linfo > 0:
-            exc = NoConvergence(srname, linfo)
-        if _want(vs):
-            vsout = _store(vs if isinstance(vs, np.ndarray) else None, vsv)
-        if w is not None:
-            w[:] = wout
-            wout = w
+        linfo, exc = driver_guard(srname, (1, a))
+        if linfo == 0:
+            jobvs = "V" if _want(vs) else "N"
+            wout, vsv, sdim, linfo = gees(a, jobvs=jobvs, select=select)
+            if linfo > 0:
+                exc = NoConvergence(srname, linfo)
+            if _want(vs):
+                vsout = _store(vs if isinstance(vs, np.ndarray) else None,
+                               vsv)
+            if w is not None:
+                w[:] = wout
+                wout = w
     erinfo(linfo, srname, info, exc=exc)
     if _want(vs):
         return wout, vsout, sdim
@@ -263,18 +277,22 @@ def la_geev(a: np.ndarray, w: np.ndarray | None = None, vl=None, vr=None,
     if check_square(a, 1):
         linfo = -1
     else:
-        wout, vlv, vrv, linfo = geev(a,
-                                     jobvl="V" if _want(vl) else "N",
-                                     jobvr="V" if _want(vr) else "N")
-        if linfo > 0:
-            exc = NoConvergence(srname, linfo)
-        if _want(vl):
-            vlout = _store(vl if isinstance(vl, np.ndarray) else None, vlv)
-        if _want(vr):
-            vrout = _store(vr if isinstance(vr, np.ndarray) else None, vrv)
-        if w is not None:
-            w[:] = wout
-            wout = w
+        linfo, exc = driver_guard(srname, (1, a))
+        if linfo == 0:
+            wout, vlv, vrv, linfo = geev(a,
+                                         jobvl="V" if _want(vl) else "N",
+                                         jobvr="V" if _want(vr) else "N")
+            if linfo > 0:
+                exc = NoConvergence(srname, linfo)
+            if _want(vl):
+                vlout = _store(vl if isinstance(vl, np.ndarray) else None,
+                               vlv)
+            if _want(vr):
+                vrout = _store(vr if isinstance(vr, np.ndarray) else None,
+                               vrv)
+            if w is not None:
+                w[:] = wout
+                wout = w
     erinfo(linfo, srname, info, exc=exc)
     out = [wout]
     if _want(vl):
@@ -304,6 +322,8 @@ def la_gesvd(a: np.ndarray, s: np.ndarray | None = None, u=None, vt=None,
     if not isinstance(a, np.ndarray) or a.ndim != 2:
         linfo = -1
     else:
+        linfo, exc = driver_guard(srname, (1, a))
+    if linfo == 0:
         m, n = a.shape
         jobu = "N"
         if _want(u):

@@ -31,7 +31,9 @@ from ..lapack77 import (gbcon, gbequ, gbrfs, gbtrf, gbtrs, gecon, geequ,
                         syrfs, sytrf, sytrs)
 from ..lapack77.machine import lamch
 from ..lapack77.packed import hpcon
-from .auxmod import as_matrix, check_rhs, check_square, lsame
+from ..policy import illcond_event
+from .auxmod import (as_matrix, check_rhs, check_square, driver_guard,
+                     lsame)
 
 __all__ = ["ExpertResult", "la_gesvx", "la_gbsvx", "la_gtsvx", "la_posvx",
            "la_ppsvx", "la_pbsvx", "la_ptsvx", "la_sysvx", "la_hesvx",
@@ -66,6 +68,17 @@ class ExpertResult:
 
 def _vector_like(b, x2d, was_vec):
     return x2d[:, 0] if was_vec else x2d
+
+
+def _rcond_verdict(srname, rcond, n, dtype) -> int:
+    """The catalogue-wide ill-conditioning verdict: ``info = n+1`` when
+    RCOND is below machine epsilon (the matrix is singular to working
+    precision), with the policy's RCOND guard deciding whether an
+    :class:`repro.errors.IllConditionedWarning` accompanies it."""
+    if n > 0 and rcond < lamch("E", dtype):
+        illcond_event(srname, rcond)
+        return n + 1
+    return 0
 
 
 def _finish(srname, linfo, info, res, exc=None):
@@ -104,6 +117,9 @@ def la_gesvx(a: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
         return _finish(srname, -6, info, res)
     if trans.upper() not in ("N", "T", "C"):
         return _finish(srname, -7, info, res)
+    linfo, exc = driver_guard(srname, (1, a), (2, b))
+    if linfo:
+        return _finish(srname, linfo, info, res, exc)
     bmat, was_vec = as_matrix(b)
     nrhs = bmat.shape[1]
     equed_out = "N" if equed is None else equed
@@ -162,7 +178,7 @@ def la_gesvx(a: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
     if x is not None:
         xv, _ = as_matrix(x)
         xv[:] = x2d
-    linfo = n + 1 if res.rcond < lamch("E", a.dtype) else 0
+    linfo = _rcond_verdict(srname, res.rcond, n, a.dtype)
     return _finish(srname, linfo, info, res)
 
 
@@ -190,6 +206,9 @@ def la_gbsvx(ab: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
     t = trans.upper()
     if t not in ("N", "T", "C"):
         return _finish(srname, -8, info, res)
+    linfo, exc = driver_guard(srname, (1, ab), (2, b))
+    if linfo:
+        return _finish(srname, linfo, info, res, exc)
     bmat, was_vec = as_matrix(b)
     if lsame(fact, "F"):
         if abf is None or ipiv is None:
@@ -216,7 +235,7 @@ def la_gbsvx(ab: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
     if x is not None:
         xv, _ = as_matrix(x)
         xv[:] = x2d
-    linfo = n + 1 if res.rcond < lamch("E", ab.dtype) else 0
+    linfo = _rcond_verdict(srname, res.rcond, n, ab.dtype)
     return _finish(srname, linfo, info, res)
 
 
@@ -235,6 +254,9 @@ def la_gtsvx(dl, d, du, b, x=None, trans: str = "N",
     t = trans.upper()
     if t not in ("N", "T", "C"):
         return _finish(srname, -8, info, res)
+    linfo, exc = driver_guard(srname, (1, dl), (2, d), (3, du), (4, b))
+    if linfo:
+        return _finish(srname, linfo, info, res, exc)
     bmat, was_vec = as_matrix(b)
     dlf, df, duf = dl.copy(), d.copy(), du.copy()
     du2, ipiv, linfo = gttrf(dlf, df, duf)
@@ -256,7 +278,7 @@ def la_gtsvx(dl, d, du, b, x=None, trans: str = "N",
     if x is not None:
         xv, _ = as_matrix(x)
         xv[:] = x2d
-    linfo = n + 1 if res.rcond < lamch("E", d.dtype) else 0
+    linfo = _rcond_verdict(srname, res.rcond, n, d.dtype)
     return _finish(srname, linfo, info, res)
 
 
@@ -274,6 +296,9 @@ def la_posvx(a: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
         return _finish(srname, -2, info, res)
     if not (lsame(uplo, "U") or lsame(uplo, "L")):
         return _finish(srname, -4, info, res)
+    linfo, exc = driver_guard(srname, (1, a), (2, b))
+    if linfo:
+        return _finish(srname, linfo, info, res, exc)
     bmat, was_vec = as_matrix(b)
     b_work = bmat.astype(a.dtype, copy=True)
     equed_out = "N"
@@ -310,7 +335,7 @@ def la_posvx(a: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
     if x is not None:
         xv, _ = as_matrix(x)
         xv[:] = x2d
-    linfo = n + 1 if res.rcond < lamch("E", a.dtype) else 0
+    linfo = _rcond_verdict(srname, res.rcond, n, a.dtype)
     return _finish(srname, linfo, info, res)
 
 
@@ -328,6 +353,9 @@ def la_ppsvx(ap: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
         return _finish(srname, -2, info, res)
     if not (lsame(uplo, "U") or lsame(uplo, "L")):
         return _finish(srname, -4, info, res)
+    linfo, exc = driver_guard(srname, (1, ap), (2, b))
+    if linfo:
+        return _finish(srname, linfo, info, res, exc)
     bmat, was_vec = as_matrix(b)
     if lsame(fact, "F"):
         if afp is None:
@@ -352,7 +380,7 @@ def la_ppsvx(ap: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
     if x is not None:
         xv, _ = as_matrix(x)
         xv[:] = x2d
-    linfo = n + 1 if res.rcond < lamch("E", ap.dtype) else 0
+    linfo = _rcond_verdict(srname, res.rcond, n, ap.dtype)
     return _finish(srname, linfo, info, res)
 
 
@@ -369,6 +397,9 @@ def la_pbsvx(ab: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
         return _finish(srname, -2, info, res)
     if not (lsame(uplo, "U") or lsame(uplo, "L")):
         return _finish(srname, -4, info, res)
+    linfo, exc = driver_guard(srname, (1, ab), (2, b))
+    if linfo:
+        return _finish(srname, linfo, info, res, exc)
     bmat, was_vec = as_matrix(b)
     if lsame(fact, "F"):
         if afb is None:
@@ -394,7 +425,7 @@ def la_pbsvx(ab: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
     if x is not None:
         xv, _ = as_matrix(x)
         xv[:] = x2d
-    linfo = n + 1 if res.rcond < lamch("E", ab.dtype) else 0
+    linfo = _rcond_verdict(srname, res.rcond, n, ab.dtype)
     return _finish(srname, linfo, info, res)
 
 
@@ -411,6 +442,9 @@ def la_ptsvx(d: np.ndarray, e: np.ndarray, b: np.ndarray,
         return _finish(srname, -2, info, res)
     if check_rhs(n, b, 3):
         return _finish(srname, -3, info, res)
+    linfo, exc = driver_guard(srname, (1, d), (2, e), (3, b))
+    if linfo:
+        return _finish(srname, linfo, info, res, exc)
     bmat, was_vec = as_matrix(b)
     df, ef = d.copy(), e.copy()
     linfo = pttrf(df, ef)
@@ -429,7 +463,7 @@ def la_ptsvx(d: np.ndarray, e: np.ndarray, b: np.ndarray,
     if x is not None:
         xv, _ = as_matrix(x)
         xv[:] = x2d
-    linfo = n + 1 if res.rcond < lamch("E", e.dtype) else 0
+    linfo = _rcond_verdict(srname, res.rcond, n, e.dtype)
     return _finish(srname, linfo, info, res)
 
 
@@ -443,6 +477,9 @@ def _indef_expert(srname, trf, trs, con, rfs, a, b, x, uplo, af, ipiv,
         return _finish(srname, -2, info, res)
     if not (lsame(uplo, "U") or lsame(uplo, "L")):
         return _finish(srname, -4, info, res)
+    linfo, exc = driver_guard(srname, (1, a), (2, b))
+    if linfo:
+        return _finish(srname, linfo, info, res, exc)
     bmat, was_vec = as_matrix(b)
     if lsame(fact, "F"):
         if af is None or ipiv is None:
@@ -466,7 +503,7 @@ def _indef_expert(srname, trf, trs, con, rfs, a, b, x, uplo, af, ipiv,
     if x is not None:
         xv, _ = as_matrix(x)
         xv[:] = x2d
-    linfo = n + 1 if res.rcond < lamch("E", a.dtype) else 0
+    linfo = _rcond_verdict(srname, res.rcond, n, a.dtype)
     return _finish(srname, linfo, info, res)
 
 
@@ -495,6 +532,9 @@ def _packed_indef_expert(srname, hermitian, ap, b, x, uplo, afp, ipiv,
         return _finish(srname, -2, info, res)
     if not (lsame(uplo, "U") or lsame(uplo, "L")):
         return _finish(srname, -4, info, res)
+    linfo, exc = driver_guard(srname, (1, ap), (2, b))
+    if linfo:
+        return _finish(srname, linfo, info, res, exc)
     bmat, was_vec = as_matrix(b)
     if lsame(fact, "F"):
         if afp is None or ipiv is None:
@@ -532,7 +572,7 @@ def _packed_indef_expert(srname, hermitian, ap, b, x, uplo, afp, ipiv,
     if x is not None:
         xv, _ = as_matrix(x)
         xv[:] = x2d
-    linfo = n + 1 if res.rcond < lamch("E", ap.dtype) else 0
+    linfo = _rcond_verdict(srname, res.rcond, n, ap.dtype)
     return _finish(srname, linfo, info, res)
 
 

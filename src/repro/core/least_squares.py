@@ -6,7 +6,7 @@ import numpy as np
 
 from ..errors import Info, erinfo
 from ..lapack77 import gels, gelss, gelsx
-from .auxmod import as_matrix, check_rhs, lsame
+from .auxmod import as_matrix, check_rhs, driver_guard, lsame
 
 __all__ = ["la_gels", "la_gelsx", "la_gelss"]
 
@@ -51,6 +51,9 @@ def la_gels(a: np.ndarray, b: np.ndarray, trans: str = "N",
         linfo = -2
     elif trans.upper() not in ("N", "T", "C"):
         linfo = -3
+    exc = None
+    if linfo == 0:
+        linfo, exc = driver_guard(srname, (1, a), (2, b))
     if linfo == 0:
         m, n = a.shape
         bw, was_vec, padded = _ls_rhs(a, b)
@@ -59,7 +62,7 @@ def la_gels(a: np.ndarray, b: np.ndarray, trans: str = "N",
         x = bw[:out_rows, 0] if was_vec else bw[:out_rows]
         erinfo(linfo, srname, info)
         return x
-    erinfo(linfo, srname, info)
+    erinfo(linfo, srname, info, exc=exc)
     return b
 
 
@@ -84,6 +87,10 @@ def la_gelsx(a: np.ndarray, b: np.ndarray, rcond: float = -1.0,
             or b.shape[0] not in (m, max(m, n)):
         linfo = -2
         erinfo(linfo, srname, info)
+        return b, 0
+    linfo, exc = driver_guard(srname, (1, a), (2, b))
+    if linfo:
+        erinfo(linfo, srname, info, exc=exc)
         return b, 0
     bw, was_vec, padded = _ls_rhs(a, b)
     rank, perm, linfo = gelsx(a, bw, rcond=rcond, jpvt=jpvt)
@@ -112,6 +119,10 @@ def la_gelss(a: np.ndarray, b: np.ndarray, rcond: float = -1.0,
     if not isinstance(b, np.ndarray) or b.ndim not in (1, 2) \
             or b.shape[0] not in (m, max(m, n)):
         erinfo(-2, srname, info)
+        return b, 0, np.zeros(0)
+    linfo, exc = driver_guard(srname, (1, a), (2, b))
+    if linfo:
+        erinfo(linfo, srname, info, exc=exc)
         return b, 0, np.zeros(0)
     bw, was_vec, padded = _ls_rhs(a, b)
     s, rank, linfo = gelss(a, bw, rcond=rcond)

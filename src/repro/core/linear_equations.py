@@ -10,16 +10,42 @@ solution (the LAPACK90 in-place contract) and also *return* the solution
 array for Pythonic chaining.  ``b`` may be shape ``(n,)`` or
 ``(n, nrhs)`` — the paper's ``xGESV1_F90`` vs ``xGESV_F90`` generic
 resolution.
+
+Every driver runs :func:`repro.core.auxmod.driver_guard` after argument
+validation (NaN/Inf screening per the active exception policy, plus the
+simulated allocation fault), and with ``fallbacks=True`` in
+:func:`repro.policy.exception_policy` the three drivers with a natural
+escape hatch degrade gracefully instead of failing:
+
+========== ==============================  ===============================
+driver     primary failure                 fallback
+========== ==============================  ===============================
+la_posv    Cholesky not positive definite  Bunch–Kaufman (``LA_SYSV`` /
+                                           ``LA_HESV``) on the original A
+la_gesv    zero pivot in the LU factor     expert ``LA_GESVX(FACT='E')``
+                                           equilibrate-and-refine path
+la_gbsv    zero pivot in the band factor   expert ``LA_GBSVX`` refine path
+========== ==============================  ===============================
+
+A taken fallback is announced with
+:class:`repro.errors.DriverFallbackWarning` and recorded on the caller's
+:class:`~repro.errors.Info` handle (``info.fallback``/``info.rcond``);
+after a fallback the contents of ``a``/``ab`` (the abandoned partial
+factor) are unspecified while ``b`` holds the fallback solution.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from ..errors import Info, erinfo, SingularMatrix, NotPositiveDefinite
+from ..errors import (DriverFallbackWarning, Info, LinAlgError,
+                      NotPositiveDefinite, SingularMatrix, erinfo)
 from ..lapack77 import (gbsv, gtsv, gesv, hesv, hpsv, pbsv, posv, ppsv,
                         ptsv, spsv, sysv)
-from .auxmod import as_matrix, check_rhs, check_square, lsame
+from ..policy import get_policy, has_nonfinite
+from .auxmod import as_matrix, check_rhs, check_square, driver_guard, lsame
 
 __all__ = ["la_gesv", "la_gbsv", "la_gtsv", "la_posv", "la_ppsv",
            "la_pbsv", "la_ptsv", "la_sysv", "la_hesv", "la_spsv",
@@ -28,6 +54,81 @@ __all__ = ["la_gesv", "la_gbsv", "la_gtsv", "la_posv", "la_ppsv",
 
 def _report(srname, linfo, info, exc=None):
     erinfo(linfo, srname, info, exc=exc)
+
+
+def _record_fallback(srname, via, rcond, linfo, info):
+    """Announce a taken fallback and record it on the Info handle.
+
+    ``linfo`` is stored without going through ``erinfo``: a successful
+    fallback is a warning-class outcome (even the ``n+1``
+    singular-to-working-precision verdict) and must not terminate.
+    """
+    detail = f" (RCOND = {rcond:.3e})" if rcond is not None else ""
+    warnings.warn(
+        f"{srname}: primary factorization failed; solution computed via "
+        f"the {via} fallback{detail}",
+        DriverFallbackWarning, stacklevel=4)
+    if info is not None:
+        info.value = int(linfo)
+        info.fallback = via
+        info.rcond = rcond
+
+
+def _fallback_posv(srname, a_orig, bmat, uplo, info):
+    """``la_posv``'s ladder: retry the (possibly indefinite) system
+    through the Bunch–Kaufman symmetric/Hermitian-indefinite path."""
+    solver, via = (hesv, "LA_HESV") if np.iscomplexobj(a_orig) \
+        else (sysv, "LA_SYSV")
+    b_try = bmat.copy()
+    try:
+        _, linfo2 = solver(a_orig, b_try, uplo)
+    except LinAlgError:
+        return False
+    if linfo2 != 0 or has_nonfinite(b_try):
+        return False
+    bmat[:] = b_try
+    _record_fallback(srname, via, None, 0, info)
+    return True
+
+
+def _fallback_gesv(srname, a_orig, bmat, n, info):
+    """``la_gesv``'s ladder: escalate to the expert driver's
+    equilibrate-and-refine path."""
+    from .expert_linear import la_gesvx
+    sub = Info()
+    try:
+        res = la_gesvx(a_orig, bmat.copy(), fact="E", info=sub)
+    except LinAlgError:
+        return False
+    if sub.value not in (0, n + 1) or res.x is None:
+        return False
+    x2d, _ = as_matrix(res.x)
+    if has_nonfinite(x2d):
+        return False
+    bmat[:] = x2d
+    _record_fallback(srname, "LA_GESVX(FACT='E')", res.rcond,
+                     0 if sub.value == 0 else n + 1, info)
+    return True
+
+
+def _fallback_gbsv(srname, ab_plain, kl, bmat, n, info):
+    """``la_gbsv``'s ladder: escalate to the expert band driver's
+    condition-estimate-and-refine path."""
+    from .expert_linear import la_gbsvx
+    sub = Info()
+    try:
+        res = la_gbsvx(ab_plain, bmat.copy(), kl=kl, info=sub)
+    except LinAlgError:
+        return False
+    if sub.value not in (0, n + 1) or res.x is None:
+        return False
+    x2d, _ = as_matrix(res.x)
+    if has_nonfinite(x2d):
+        return False
+    bmat[:] = x2d
+    _record_fallback(srname, "LA_GBSVX", res.rcond,
+                     0 if sub.value == 0 else n + 1, info)
+    return True
 
 
 def la_gesv(a: np.ndarray, b: np.ndarray, ipiv: np.ndarray | None = None,
@@ -68,12 +169,19 @@ def la_gesv(a: np.ndarray, b: np.ndarray, ipiv: np.ndarray | None = None,
                                or ipiv.shape[0] != n):
         linfo = -3
     elif n > 0:
-        bmat, _ = as_matrix(b)
-        lpiv, linfo = gesv(a, bmat)
-        if ipiv is not None:
-            ipiv[:] = lpiv
-        if linfo > 0:
-            exc = SingularMatrix(srname, linfo)
+        linfo, exc = driver_guard(srname, (1, a), (2, b))
+        if linfo == 0:
+            bmat, _ = as_matrix(b)
+            pol = get_policy()
+            a_orig = a.copy() if pol.fallbacks else None
+            lpiv, linfo = gesv(a, bmat)
+            if ipiv is not None:
+                ipiv[:] = lpiv
+            if linfo > 0:
+                exc = SingularMatrix(srname, linfo)
+                if pol.fallbacks and _fallback_gesv(srname, a_orig, bmat,
+                                                    n, info):
+                    return b
     _report(srname, linfo, info, exc)
     return b
 
@@ -108,12 +216,19 @@ def la_gbsv(ab: np.ndarray, b: np.ndarray, kl: int | None = None,
                                    or ipiv.shape[0] != n):
             linfo = -4
         else:
-            bmat, _ = as_matrix(b)
-            lpiv, linfo = gbsv(ab, kl, ku, bmat)
-            if ipiv is not None:
-                ipiv[:] = lpiv
-            if linfo > 0:
-                exc = SingularMatrix(srname, linfo)
+            linfo, exc = driver_guard(srname, (1, ab), (2, b))
+            if linfo == 0:
+                bmat, _ = as_matrix(b)
+                pol = get_policy()
+                ab_orig = ab[kl:, :].copy() if pol.fallbacks else None
+                lpiv, linfo = gbsv(ab, kl, ku, bmat)
+                if ipiv is not None:
+                    ipiv[:] = lpiv
+                if linfo > 0:
+                    exc = SingularMatrix(srname, linfo)
+                    if pol.fallbacks and _fallback_gbsv(srname, ab_orig, kl,
+                                                        bmat, n, info):
+                        return b
     _report(srname, linfo, info, exc)
     return b
 
@@ -139,10 +254,12 @@ def la_gtsv(dl: np.ndarray, d: np.ndarray, du: np.ndarray, b: np.ndarray,
     elif check_rhs(n, b, 4):
         linfo = -4
     elif n > 0:
-        bmat, _ = as_matrix(b)
-        linfo = gtsv(dl, d, du, bmat)
-        if linfo > 0:
-            exc = SingularMatrix(srname, linfo)
+        linfo, exc = driver_guard(srname, (1, dl), (2, d), (3, du), (4, b))
+        if linfo == 0:
+            bmat, _ = as_matrix(b)
+            linfo = gtsv(dl, d, du, bmat)
+            if linfo > 0:
+                exc = SingularMatrix(srname, linfo)
     _report(srname, linfo, info, exc)
     return b
 
@@ -166,10 +283,17 @@ def la_posv(a: np.ndarray, b: np.ndarray, uplo: str = "U",
     elif not (lsame(uplo, "U") or lsame(uplo, "L")):
         linfo = -3
     elif n > 0:
-        bmat, _ = as_matrix(b)
-        linfo = posv(a, bmat, uplo)
-        if linfo > 0:
-            exc = NotPositiveDefinite(srname, linfo)
+        linfo, exc = driver_guard(srname, (1, a), (2, b))
+        if linfo == 0:
+            bmat, _ = as_matrix(b)
+            pol = get_policy()
+            a_orig = a.copy() if pol.fallbacks else None
+            linfo = posv(a, bmat, uplo)
+            if linfo > 0:
+                exc = NotPositiveDefinite(srname, linfo)
+                if pol.fallbacks and _fallback_posv(srname, a_orig, bmat,
+                                                    uplo, info):
+                    return b
     _report(srname, linfo, info, exc)
     return b
 
@@ -191,10 +315,12 @@ def la_ppsv(ap: np.ndarray, b: np.ndarray, uplo: str = "U",
     elif not (lsame(uplo, "U") or lsame(uplo, "L")):
         linfo = -3
     elif n > 0:
-        bmat, _ = as_matrix(b)
-        linfo = ppsv(ap, bmat, uplo)
-        if linfo > 0:
-            exc = NotPositiveDefinite(srname, linfo)
+        linfo, exc = driver_guard(srname, (1, ap), (2, b))
+        if linfo == 0:
+            bmat, _ = as_matrix(b)
+            linfo = ppsv(ap, bmat, uplo)
+            if linfo > 0:
+                exc = NotPositiveDefinite(srname, linfo)
     _report(srname, linfo, info, exc)
     return b
 
@@ -218,10 +344,12 @@ def la_pbsv(ab: np.ndarray, b: np.ndarray, uplo: str = "U",
         elif not (lsame(uplo, "U") or lsame(uplo, "L")):
             linfo = -3
         elif n > 0:
-            bmat, _ = as_matrix(b)
-            linfo = pbsv(ab, bmat, uplo)
-            if linfo > 0:
-                exc = NotPositiveDefinite(srname, linfo)
+            linfo, exc = driver_guard(srname, (1, ab), (2, b))
+            if linfo == 0:
+                bmat, _ = as_matrix(b)
+                linfo = pbsv(ab, bmat, uplo)
+                if linfo > 0:
+                    exc = NotPositiveDefinite(srname, linfo)
     _report(srname, linfo, info, exc)
     return b
 
@@ -245,10 +373,12 @@ def la_ptsv(d: np.ndarray, e: np.ndarray, b: np.ndarray,
     elif check_rhs(n, b, 3):
         linfo = -3
     elif n > 0:
-        bmat, _ = as_matrix(b)
-        linfo = ptsv(d, e, bmat)
-        if linfo > 0:
-            exc = NotPositiveDefinite(srname, linfo)
+        linfo, exc = driver_guard(srname, (1, d), (2, e), (3, b))
+        if linfo == 0:
+            bmat, _ = as_matrix(b)
+            linfo = ptsv(d, e, bmat)
+            if linfo > 0:
+                exc = NotPositiveDefinite(srname, linfo)
     _report(srname, linfo, info, exc)
     return b
 
@@ -267,12 +397,14 @@ def _indef_driver(srname, solver, a, b, uplo, ipiv, info):
                                or ipiv.shape[0] != n):
         linfo = -4
     elif n > 0:
-        bmat, _ = as_matrix(b)
-        lpiv, linfo = solver(a, bmat, uplo)
-        if ipiv is not None:
-            ipiv[:] = lpiv
-        if linfo > 0:
-            exc = SingularMatrix(srname, linfo)
+        linfo, exc = driver_guard(srname, (1, a), (2, b))
+        if linfo == 0:
+            bmat, _ = as_matrix(b)
+            lpiv, linfo = solver(a, bmat, uplo)
+            if ipiv is not None:
+                ipiv[:] = lpiv
+            if linfo > 0:
+                exc = SingularMatrix(srname, linfo)
     erinfo(linfo, srname, info, exc=exc)
     return b
 
@@ -308,12 +440,14 @@ def _packed_indef_driver(srname, solver, ap, b, uplo, ipiv, info):
                                or ipiv.shape[0] != n):
         linfo = -4
     elif n > 0:
-        bmat, _ = as_matrix(b)
-        lpiv, linfo = solver(ap, bmat, uplo)
-        if ipiv is not None:
-            ipiv[:] = lpiv
-        if linfo > 0:
-            exc = SingularMatrix(srname, linfo)
+        linfo, exc = driver_guard(srname, (1, ap), (2, b))
+        if linfo == 0:
+            bmat, _ = as_matrix(b)
+            lpiv, linfo = solver(ap, bmat, uplo)
+            if ipiv is not None:
+                ipiv[:] = lpiv
+            if linfo > 0:
+                exc = SingularMatrix(srname, linfo)
     erinfo(linfo, srname, info, exc=exc)
     return b
 

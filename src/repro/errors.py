@@ -8,11 +8,14 @@ one routine, ``ERINFO(LINFO, SRNAME, INFO, ISTAT)``:
   message naming the routine and the code.
 * If the caller **did** supply ``INFO``, the code is stored there and control
   returns normally.
-* Codes follow the LAPACK convention: ``-i`` means the *i*-th argument is
-  illegal, positive codes are computational failures (e.g. a zero pivot),
-  and codes at or below ``-100`` are internal/allocation-class conditions
-  (``-100`` = workspace allocation failed, ``-200`` = a reduced-size
-  workspace warning).
+* Codes follow the LAPACK convention: ``-i`` (for small *i*) means the
+  *i*-th argument is illegal, positive codes are computational failures
+  (e.g. a zero pivot), ``-100`` is an internal/allocation-class error
+  (workspace allocation failed), codes in the warning band
+  ``-200 >= linfo > -1000`` (e.g. ``-200`` = a reduced-size workspace was
+  used) are stored but never terminate, and codes at or below ``-1000``
+  form the non-finite-input error class added by the exception policy:
+  ``NONFINITE - i`` flags NaN/Inf entries in argument *i*.
 
 In Python, "terminate with a message" becomes raising an exception, and the
 ``INFO`` output argument becomes the mutable :class:`Info` handle.
@@ -29,16 +32,26 @@ __all__ = [
     "NotPositiveDefinite",
     "NoConvergence",
     "WorkspaceError",
+    "NonFiniteInput",
+    "NumericalWarning",
+    "NonFiniteWarning",
+    "IllConditionedWarning",
+    "DriverFallbackWarning",
     "erinfo",
     "xerbla",
     "ALLOC_FAILED",
     "WORK_REDUCED",
+    "NONFINITE",
 ]
 
 #: LINFO code used by LAPACK90 when workspace allocation fails.
 ALLOC_FAILED = -100
 #: LINFO warning code used when a reduced (unblocked) workspace is used.
 WORK_REDUCED = -200
+#: Base of the non-finite-input error class: ``NONFINITE - i`` means
+#: argument *i* contained NaN or Inf entries (screened by
+#: :mod:`repro.policy` in ``"check"`` mode).
+NONFINITE = -1000
 
 
 class LinAlgError(Exception):
@@ -113,6 +126,44 @@ class WorkspaceError(LinAlgError):
         super().__init__(srname, ALLOC_FAILED, f"{srname}: workspace allocation failed")
 
 
+class NonFiniteInput(LinAlgError, ValueError):
+    """An input array contained NaN or Inf entries.
+
+    Raised (or reported through ``info``) only when the exception policy
+    is in ``"check"`` mode; the dedicated code class is ``NONFINITE - i``
+    for the *i*-th argument, keeping it disjoint from both the argument
+    errors (``-i``) and the warning band (``-200`` … ``> -1000``).
+    """
+
+    def __init__(self, srname: str, position: int, detail: str = ""):
+        self.position = abs(position)
+        info = NONFINITE - self.position
+        msg = (f"{srname}: argument {self.position} contains "
+               "non-finite (NaN or Inf) entries")
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(srname, info, msg)
+
+
+class NumericalWarning(RuntimeWarning):
+    """Base class for the structured warnings the exception policy emits."""
+
+
+class NonFiniteWarning(NumericalWarning):
+    """Non-finite entries were detected while the policy is in
+    ``"warn"`` mode; the computation proceeds (and will propagate them)."""
+
+
+class IllConditionedWarning(NumericalWarning):
+    """An expert driver's RCOND estimate flags the matrix as singular to
+    working precision (the ``info = n+1`` condition)."""
+
+
+class DriverFallbackWarning(NumericalWarning):
+    """A driver degraded gracefully onto its fallback path (e.g.
+    ``LA_POSV`` retrying through the symmetric-indefinite solver)."""
+
+
 class Info:
     """Mutable stand-in for FORTRAN's optional ``INTEGER, INTENT(OUT) :: INFO``.
 
@@ -124,12 +175,19 @@ class Info:
         la_gesv(a, b, info=info)
         if info:            # truthy when info.value != 0
             handle(info.value)
+
+    Beyond the raw code, the handle records graceful-degradation events:
+    ``fallback`` names the substitute path a driver took (``None`` when the
+    primary path succeeded) and ``rcond`` carries the reciprocal condition
+    estimate when the fallback route computed one.
     """
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "fallback", "rcond")
 
     def __init__(self, value: int = 0):
         self.value = int(value)
+        self.fallback: str | None = None
+        self.rcond: float | None = None
 
     def __bool__(self) -> bool:
         return self.value != 0
@@ -147,12 +205,24 @@ class Info:
             return self.value == other
         return NotImplemented
 
+    # Equality is by code, so hash by code too (defining __eq__ alone
+    # would have left the class silently unhashable).  The handle is
+    # mutable, so hash-based collections are only safe once a driver has
+    # finished writing to it — the same caveat LAPACK's INTENT(OUT)
+    # arguments carry.
+    def __hash__(self) -> int:
+        return hash(self.value)
+
     def __repr__(self) -> str:
+        if self.fallback is not None:
+            return f"Info({self.value}, fallback={self.fallback!r})"
         return f"Info({self.value})"
 
 
 def _error_for(srname: str, linfo: int) -> LinAlgError:
     """Build the most specific exception class for a raw ``linfo`` code."""
+    if linfo <= NONFINITE:
+        return NonFiniteInput(srname, NONFINITE - linfo)
     if linfo == ALLOC_FAILED:
         return WorkspaceError(srname)
     if linfo < 0:
@@ -189,10 +259,16 @@ def erinfo(
 
     Notes
     -----
-    Warning-class codes (``linfo <= -200``) never terminate: they are stored
-    in ``info`` when present, matching the paper's ``ERINFO`` listing.
+    Warning-class codes — the band ``WORK_REDUCED >= linfo > NONFINITE``,
+    i.e. ``-200 >= linfo > -1000`` (so ``-200``, ``-300``, …) — never
+    terminate: they are stored in ``info`` when present, matching the
+    paper's ``ERINFO`` listing.  Everything else that is nonzero is
+    error-class: positive computational failures, argument errors
+    ``-1 … -99``, the allocation failure ``-100``, and the non-finite
+    input codes at or below ``NONFINITE`` (``-1000``).
     """
-    is_error = (0 > linfo > WORK_REDUCED) or linfo > 0
+    is_error = (linfo > 0 or (0 > linfo > WORK_REDUCED)
+                or linfo <= NONFINITE)
     if is_error and info is None:
         raise exc if exc is not None else _error_for(srname, linfo)
     if info is not None:

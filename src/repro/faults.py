@@ -1,0 +1,128 @@
+"""Deterministic fault registry consulted by the substrate and drivers.
+
+LAPACK90's ERINFO contract has branches no natural input reaches — a
+workspace allocation that fails (``LINFO = -100``), a pivot that is
+exactly zero in an otherwise well-scaled matrix, an eigeniteration that
+refuses to converge.  This module lets the test tier *inject* those
+conditions deterministically so every reporting path can be exercised.
+
+The registry lives at the package root so that both :mod:`repro.lapack77`
+and :mod:`repro.core` can consult it without importing the test layer
+(:mod:`repro.testing.faultinject` is the user-facing wrapper).
+
+Three fault kinds are supported, keyed by a lower-cased routine name:
+
+* ``zero_pivot=j`` — the factorization kernel zeroes its working column
+  at step *j*, driving the genuine singular/not-positive-definite path;
+* ``alloc=True`` — the driver's workspace guard reports LAPACK90's
+  allocation failure (``LINFO = -100``);
+* ``linfo=k`` — the substrate routine returns status ``k`` without
+  computing (e.g. a forced convergence failure for ``syev``/``gesvd``).
+
+A fault may be armed with a finite ``count``; it disarms after firing
+that many times.  Hooks are free when nothing is installed: each first
+checks a module-level flag.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+__all__ = ["install", "remove", "clear", "injected", "active",
+           "pivot_fault", "alloc_fault", "linfo_fault"]
+
+#: Fast-path flag: True only while at least one fault is installed.
+ACTIVE = False
+
+_FAULTS: dict[str, dict] = {}
+
+_KINDS = ("zero_pivot", "alloc", "linfo")
+
+
+def _sync() -> None:
+    global ACTIVE
+    ACTIVE = bool(_FAULTS)
+
+
+def install(routine: str, *, zero_pivot: int | None = None,
+            alloc: bool = False, linfo: int | None = None,
+            count: int | None = None) -> None:
+    """Arm a fault against ``routine`` (case-insensitive).
+
+    ``count`` limits how many times the fault fires before disarming
+    itself; ``None`` means it stays armed until removed.
+    """
+    if zero_pivot is None and not alloc and linfo is None:
+        raise ValueError("install() needs one of zero_pivot=, alloc=, linfo=")
+    _FAULTS[routine.lower()] = {
+        "zero_pivot": zero_pivot,
+        "alloc": alloc,
+        "linfo": linfo,
+        "count": count,
+    }
+    _sync()
+
+
+def remove(routine: str) -> None:
+    """Disarm the fault installed against ``routine`` (if any)."""
+    _FAULTS.pop(routine.lower(), None)
+    _sync()
+
+
+def clear() -> None:
+    """Disarm every installed fault."""
+    _FAULTS.clear()
+    _sync()
+
+
+@contextmanager
+def injected(routine: str, **kwargs):
+    """Context manager: arm a fault for the duration of the block."""
+    install(routine, **kwargs)
+    try:
+        yield
+    finally:
+        remove(routine)
+
+
+def active() -> bool:
+    """True while any fault is armed."""
+    return ACTIVE
+
+
+def _consume(name: str, kind: str):
+    fault = _FAULTS.get(name)
+    if fault is None or fault[kind] is None or fault[kind] is False:
+        return None
+    count = fault["count"]
+    if count is not None:
+        if count <= 0:
+            return None
+        fault["count"] = count - 1
+    return fault[kind]
+
+
+def pivot_fault(routine: str, j: int) -> bool:
+    """True when the factorization kernel should force a zero pivot at
+    (local) step ``j``."""
+    if not ACTIVE:
+        return False
+    fault = _FAULTS.get(routine.lower())
+    if fault is None or fault["zero_pivot"] is None or fault["zero_pivot"] != j:
+        return False
+    return _consume(routine.lower(), "zero_pivot") is not None
+
+
+def alloc_fault(routine: str) -> bool:
+    """True when the driver should simulate a failed workspace
+    allocation (``LINFO = -100``)."""
+    if not ACTIVE:
+        return False
+    return _consume(routine.lower(), "alloc") is not None
+
+
+def linfo_fault(routine: str) -> int | None:
+    """Forced status code for ``routine``, or ``None``."""
+    if not ACTIVE:
+        return None
+    return _consume(routine.lower(), "linfo")

@@ -16,6 +16,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import xerbla
+from ..faults import pivot_fault
+from ..policy import disnan
 from ..blas.level2 import gbmv, tbsv
 from .lacon import lacon
 from .machine import lamch
@@ -52,6 +54,8 @@ def gbtrf(ab: np.ndarray, kl: int, ku: int, m: int | None = None):
         if j + kv < n:
             ab[:kl, j + kv] = 0
         km = min(kl, m - 1 - j)           # subdiagonal count in column j
+        if pivot_fault("gbtrf", j):
+            ab[kl + ku: kl + ku + km + 1, j] = 0
         col = ab[kl + ku: kl + ku + km + 1, j]
         jp = int(np.argmax(_mag(col)))
         ipiv[j] = jp + j
@@ -300,7 +304,10 @@ def pbtrf(ab: np.ndarray, uplo: str = "U") -> int:
     up = uplo.upper() == "U"
     for j in range(n):
         ajj = ab[kd, j].real if up else ab[0, j].real
-        if ajj <= 0 or not np.isfinite(ajj):
+        if pivot_fault("pbtrf", j):
+            ajj = 0.0
+        # Same pivot test as reference xPBTRF: NaN fails, Inf propagates.
+        if ajj <= 0 or disnan(ajj):
             return j + 1
         ajj = np.sqrt(ajj)
         kn = min(kd, n - 1 - j)

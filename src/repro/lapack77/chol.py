@@ -12,6 +12,8 @@ import numpy as np
 
 from ..config import ilaenv
 from ..errors import xerbla
+from ..faults import pivot_fault
+from ..policy import disnan
 from ..blas.level3 import herk, syrk, trsm
 from .lacon import lacon
 from .machine import lamch
@@ -35,7 +37,11 @@ def potf2(a: np.ndarray, uplo: str = "U") -> int:
         else:
             prior = a[j, :j]
         ajj = a[j, j].real - float(np.real(np.vdot(prior, prior)))
-        if ajj <= 0 or not np.isfinite(ajj):
+        if pivot_fault("potf2", j):
+            ajj = 0.0
+        # Reference xPOTF2 tests AJJ <= 0 .OR. DISNAN(AJJ): an infinite
+        # pivot propagates rather than reporting not-positive-definite.
+        if ajj <= 0 or disnan(ajj):
             a[j, j] = ajj
             return j + 1
         ajj = np.sqrt(ajj)

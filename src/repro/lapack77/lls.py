@@ -13,6 +13,7 @@ import numpy as np
 
 from ..blas.level3 import trsm
 from ..errors import xerbla
+from ..faults import linfo_fault
 from .machine import lamch
 from .qr import gelqf, geqrf, ormlq, ormqr
 from .qr_pivot import geqpf, latzm, tzrqf
@@ -39,6 +40,9 @@ def gels(a: np.ndarray, b: np.ndarray, trans: str = "N") -> int:
     bmat = b if b.ndim == 2 else b[:, None]
     if bmat.shape[0] < max(m, n):
         xerbla("GELS", 3, "b must have max(m, n) rows")
+    forced = linfo_fault("gels")
+    if forced:
+        return forced
     if m >= n:
         tau = geqrf(a)
         if t == "N":

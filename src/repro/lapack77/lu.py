@@ -14,6 +14,7 @@ import numpy as np
 
 from ..config import ilaenv
 from ..errors import xerbla
+from ..faults import pivot_fault
 from ..blas.level3 import trsm
 from .lacon import lacon
 from .lautil import laswp
@@ -35,6 +36,8 @@ def getf2(a: np.ndarray, ipiv: np.ndarray | None = None):
         ipiv = np.zeros(k, dtype=np.int64)
     info = 0
     for j in range(k):
+        if pivot_fault("getf2", j):
+            a[j:, j] = 0
         col = a[j:, j]
         p = j + int(np.argmax(np.abs(col.real) + np.abs(col.imag)
                               if np.iscomplexobj(col) else np.abs(col)))

@@ -19,8 +19,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import xerbla
+from ..faults import linfo_fault
 from ..storage import sym_band_to_full, unpack
 from .td_eigen import orgtr, stebz, stedc, stein, steqr, sterf, sytd2
+
+
+def _real_dtype(a: np.ndarray):
+    return np.float32 if a.dtype in (np.float32, np.complex64) \
+        else np.float64
 
 __all__ = ["syev", "syevd", "syevx", "heev", "heevd", "heevx",
            "stev", "stevd", "stevx",
@@ -77,6 +83,9 @@ def syev(a: np.ndarray, jobz: str = "N", uplo: str = "U"):
         xerbla("SYEV", 1, f"jobz={jobz!r}")
     if uplo.upper() not in ("U", "L"):
         xerbla("SYEV", 2, f"uplo={uplo!r}")
+    forced = linfo_fault("syev")
+    if forced:
+        return np.zeros(a.shape[0], dtype=_real_dtype(a)), forced
     return _dense_eig(a, jobz, uplo, hermitian=False, method="qr")
 
 
@@ -86,6 +95,9 @@ def heev(a: np.ndarray, jobz: str = "N", uplo: str = "U"):
         xerbla("HEEV", 1, f"jobz={jobz!r}")
     if uplo.upper() not in ("U", "L"):
         xerbla("HEEV", 2, f"uplo={uplo!r}")
+    forced = linfo_fault("heev")
+    if forced:
+        return np.zeros(a.shape[0], dtype=_real_dtype(a)), forced
     return _dense_eig(a, jobz, uplo, hermitian=True, method="qr")
 
 

@@ -15,7 +15,9 @@ from .ratios import (residual_ratio, lu_reconstruction_ratio,
                      solve_ratio_columns, orthogonality_ratio)
 from .harness import GesvTestProgram, TestReport
 from .error_exits import run_gesv_error_exits
+from . import faultinject
 
 __all__ = ["residual_ratio", "lu_reconstruction_ratio",
            "solve_ratio_columns", "orthogonality_ratio",
-           "GesvTestProgram", "TestReport", "run_gesv_error_exits"]
+           "GesvTestProgram", "TestReport", "run_gesv_error_exits",
+           "faultinject"]

@@ -5,8 +5,9 @@ import numpy as np
 import pytest
 
 from repro import (ComputationalError, IllegalArgument, Info, LinAlgError,
-                   SingularMatrix, la_gesv)
-from repro.errors import WorkspaceError, erinfo, ALLOC_FAILED, WORK_REDUCED
+                   NonFiniteInput, SingularMatrix, la_gesv)
+from repro.errors import (ALLOC_FAILED, NONFINITE, WORK_REDUCED,
+                          WorkspaceError, erinfo)
 from repro.testing import (GesvTestProgram, residual_ratio,
                            run_gesv_error_exits)
 from repro.testing.ratios import (lu_reconstruction_ratio,
@@ -43,6 +44,26 @@ class TestErinfo:
         assert info.value == WORK_REDUCED
         erinfo(WORK_REDUCED, "LA_TEST")  # no raise even without info
 
+    def test_warning_band_interior_never_raises(self):
+        # Regression: the docstring and code must agree that every code
+        # in -200 >= linfo > -1000 is warning-class.  -300 once fell in a
+        # gap between the documented rule and the is_error test.
+        info = Info(123)
+        erinfo(-300, "LA_TEST", info)
+        assert info.value == -300
+        erinfo(-300, "LA_TEST")  # stored-only: no raise without info
+        erinfo(-999, "LA_TEST")
+
+    def test_nonfinite_class_is_error(self):
+        # NONFINITE - i sits below the warning band and must raise.
+        with pytest.raises(NonFiniteInput) as e:
+            erinfo(NONFINITE - 1, "LA_TEST")
+        assert e.value.info == NONFINITE - 1
+        assert e.value.position == 1
+        info = Info()
+        erinfo(NONFINITE - 2, "LA_TEST", info)
+        assert info.value == NONFINITE - 2
+
     def test_specific_exception_passthrough(self):
         exc = SingularMatrix("LA_GESV", 4)
         with pytest.raises(SingularMatrix) as e:
@@ -71,6 +92,22 @@ class TestInfoObject:
         assert i == 5
         assert i == Info(5)
         assert i != 4
+
+    def test_hashable_consistent_with_eq(self):
+        # Regression: defining __eq__ without __hash__ silently made
+        # Info unhashable; equal handles must hash equally.
+        assert hash(Info(3)) == hash(Info(3))
+        assert Info(3) in {Info(3), Info(4)}
+        assert len({Info(0), Info(0), Info(2)}) == 2
+
+    def test_fallback_fields_default_clear(self):
+        i = Info(0)
+        assert i.fallback is None
+        assert i.rcond is None
+        assert repr(Info(2)) == "Info(2)"
+        j = Info(0)
+        j.fallback = "LA_SYSV"
+        assert "LA_SYSV" in repr(j)
 
 
 class TestErrorExits:

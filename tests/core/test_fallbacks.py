@@ -1,0 +1,194 @@
+"""The graceful-degradation ladder: LA_POSV -> symmetric-indefinite,
+LA_GESV / LA_GBSV -> expert equilibrate-and-refine, with every taken
+fallback observable on the Info handle and every disabled/failed
+fallback preserving the original ERINFO outcome."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import Info, exception_policy, la_gesv, la_posv, set_policy
+from repro.core import la_gbsv
+from repro.errors import (DriverFallbackWarning, NotPositiveDefinite,
+                          SingularMatrix)
+from repro.testing import faultinject as fi
+
+from ..conftest import well_conditioned
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate():
+    yield
+    fi.clear()
+    set_policy(nonfinite="propagate", rcond_guard="silent", fallbacks=False)
+
+
+def _band(n=5, kl=1, ku=1):
+    ab = np.zeros((2 * kl + ku + 1, n))
+    ab[kl + ku, :] = 4.0
+    ab[kl + ku - 1, 1:] = 1.0
+    ab[kl + ku + 1, :-1] = 1.0
+    return ab
+
+
+def _band_full(ab, kl, ku):
+    n = ab.shape[1]
+    a = np.zeros((n, n))
+    for j in range(n):
+        for i in range(max(0, j - ku), min(n, j + kl + 1)):
+            a[i, j] = ab[kl + ku + i - j, j]
+    return a
+
+
+class TestPosvFallback:
+    def test_indefinite_solved_via_sysv(self):
+        # Symmetric, indefinite (eigenvalues 3 and -1): Cholesky fails,
+        # the Bunch-Kaufman retry succeeds.
+        a = np.array([[1.0, 2.0], [2.0, 1.0]])
+        b = np.array([3.0, 3.0])
+        info = Info()
+        with exception_policy(fallbacks=True):
+            with pytest.warns(DriverFallbackWarning):
+                out = la_posv(a.copy(), b, info=info)
+        assert out is b
+        np.testing.assert_allclose(
+            b, np.linalg.solve(a, np.array([3.0, 3.0])), rtol=1e-12)
+        assert info.value == 0
+        assert info.fallback == "LA_SYSV"
+
+    def test_complex_indefinite_goes_through_hesv(self):
+        a = np.array([[1.0, 2.0 + 1.0j], [2.0 - 1.0j, 1.0]])
+        x_true = np.array([1.0 + 0.5j, -2.0j])
+        b = a @ x_true
+        info = Info()
+        with exception_policy(fallbacks=True):
+            with pytest.warns(DriverFallbackWarning):
+                la_posv(a.copy(), b, info=info)
+        np.testing.assert_allclose(b, x_true, rtol=1e-12)
+        assert info.fallback == "LA_HESV"
+
+    def test_disabled_by_default(self):
+        a = np.array([[1.0, 2.0], [2.0, 1.0]])
+        with pytest.raises(NotPositiveDefinite) as e:
+            la_posv(a, np.ones(2))
+        assert e.value.info == 2  # the order-2 leading minor is negative
+
+    def test_singular_matrix_fails_both_rungs(self):
+        # Zero matrix: sytrf cannot rescue it either — the original
+        # NotPositiveDefinite must escape, not a fallback artefact.
+        a = np.zeros((2, 2))
+        with exception_policy(fallbacks=True):
+            with pytest.raises(NotPositiveDefinite):
+                la_posv(a, np.ones(2))
+
+    def test_true_spd_never_takes_the_ladder(self, rng):
+        from ..conftest import spd_matrix
+        a = spd_matrix(rng, 6, np.float64)
+        info = Info()
+        with exception_policy(fallbacks=True):
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", DriverFallbackWarning)
+                la_posv(a, np.ones(6), info=info)
+        assert info.value == 0
+        assert info.fallback is None
+
+
+class TestGesvFallback:
+    def test_injected_pivot_failure_recovers_via_gesvx(self, rng):
+        a = well_conditioned(rng, 5, np.float64)
+        x_true = np.linspace(1, 2, 5)
+        b = a @ x_true
+        info = Info()
+        # count=1: the primary factorization hits the zero pivot; the
+        # expert retry refactors cleanly.
+        with fi.injected("getf2", zero_pivot=1, count=1):
+            with exception_policy(fallbacks=True):
+                with pytest.warns(DriverFallbackWarning):
+                    la_gesv(a.copy(), b, info=info)
+        np.testing.assert_allclose(b, x_true, rtol=1e-8)
+        assert info.value == 0
+        assert info.fallback == "LA_GESVX(FACT='E')"
+        assert info.rcond is not None and info.rcond > 0
+
+    def test_persistent_fault_escapes_as_singular(self, rng):
+        a = well_conditioned(rng, 5, np.float64)
+        with fi.injected("getf2", zero_pivot=1):
+            with exception_policy(fallbacks=True):
+                with pytest.raises(SingularMatrix) as e:
+                    la_gesv(a.copy(), np.ones(5))
+        assert e.value.info == 2
+
+    def test_genuinely_singular_escapes(self):
+        with exception_policy(fallbacks=True):
+            with pytest.raises(SingularMatrix):
+                la_gesv(np.ones((3, 3)), np.ones(3))
+
+    def test_disabled_by_default(self, rng):
+        a = well_conditioned(rng, 4, np.float64)
+        with fi.injected("getf2", zero_pivot=0, count=1):
+            with pytest.raises(SingularMatrix):
+                la_gesv(a, np.ones(4))
+
+
+class TestGbsvFallback:
+    def test_injected_pivot_failure_recovers_via_gbsvx(self):
+        ab = _band()
+        kl = 1
+        a_full = _band_full(ab, kl, 1)
+        x_true = np.linspace(-1, 1, 5)
+        b = a_full @ x_true
+        info = Info()
+        with fi.injected("gbtrf", zero_pivot=1, count=1):
+            with exception_policy(fallbacks=True):
+                with pytest.warns(DriverFallbackWarning):
+                    la_gbsv(ab, b, kl=kl, info=info)
+        np.testing.assert_allclose(b, x_true, rtol=1e-8, atol=1e-12)
+        assert info.value == 0
+        assert info.fallback == "LA_GBSVX"
+
+    def test_persistent_fault_escapes(self):
+        with fi.injected("gbtrf", zero_pivot=1):
+            with exception_policy(fallbacks=True):
+                with pytest.raises(SingularMatrix):
+                    la_gbsv(_band(), np.ones(5), kl=1)
+
+
+class TestErinfoContractOfFallbacks:
+    """Satellite (d): every fallback path either reflects the taken
+    rung on info, or — when disabled — reproduces the primary error."""
+
+    CASES = [
+        ("posv", lambda: (np.array([[1.0, 2.0], [2.0, 1.0]]), np.ones(2)),
+         None, NotPositiveDefinite, "LA_SYSV"),
+        ("gesv", lambda: (np.eye(3) + 0.1, np.ones(3)),
+         ("getf2", 0), SingularMatrix, "LA_GESVX(FACT='E')"),
+        ("gbsv", lambda: (_band(), np.ones(5)),
+         ("gbtrf", 0), SingularMatrix, "LA_GBSVX"),
+    ]
+
+    @pytest.mark.parametrize("name,build,fault,err,via", CASES,
+                             ids=[c[0] for c in CASES])
+    def test_taken_vs_disabled(self, name, build, fault, err, via):
+        def run(info):
+            a, b = build()
+            if name == "posv":
+                return la_posv(a, b, info=info)
+            if name == "gesv":
+                return la_gesv(a, b, info=info)
+            return la_gbsv(a, b, kl=1, info=info)
+
+        if fault is not None:
+            fi.install(fault[0], zero_pivot=fault[1], count=1)
+        info = Info()
+        with exception_policy(fallbacks=True):
+            with pytest.warns(DriverFallbackWarning):
+                run(info)
+        assert info.fallback == via
+        assert info.value in (0, build()[1].shape[0] + 1)
+
+        fi.clear()
+        if fault is not None:
+            fi.install(fault[0], zero_pivot=fault[1], count=1)
+        with pytest.raises(err):
+            run(None)

@@ -1,0 +1,214 @@
+"""Deterministic fault injection: every ERINFO reporting branch —
+NaN input, zero pivot / forced non-convergence, workspace failure —
+exercised for the six acceptance driver families."""
+
+import numpy as np
+import pytest
+
+from repro import Info, NonFiniteInput, exception_policy, set_policy
+from repro.core import (la_gbsv, la_gels, la_gesv, la_gesvd, la_posv,
+                        la_syev)
+from repro.errors import (ALLOC_FAILED, ComputationalError, NoConvergence,
+                          NotPositiveDefinite, SingularMatrix,
+                          WorkspaceError)
+from repro.testing import faultinject as fi
+
+from ..conftest import spd_matrix, well_conditioned
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate():
+    yield
+    fi.clear()
+    set_policy(nonfinite="propagate", rcond_guard="silent", fallbacks=False)
+
+
+def _band(n=5, kl=1, ku=1, dtype=np.float64):
+    ab = np.zeros((2 * kl + ku + 1, n), dtype=dtype)
+    ab[kl + ku, :] = 4.0
+    ab[kl + ku - 1, 1:] = 1.0
+    ab[kl + ku + 1, :-1] = 1.0
+    return ab
+
+
+#: (name, srname, build (a, b) call args, expected primary-failure error)
+FAMILIES = [
+    ("gesv", "la_gesv",
+     lambda rng: (well_conditioned(rng, 5, np.float64), np.ones(5)),
+     lambda a, b, info: la_gesv(a, b, info=info)),
+    ("posv", "la_posv",
+     lambda rng: (spd_matrix(rng, 5, np.float64), np.ones(5)),
+     lambda a, b, info: la_posv(a, b, info=info)),
+    ("gbsv", "la_gbsv",
+     lambda rng: (_band(), np.ones(5)),
+     lambda a, b, info: la_gbsv(a, b, kl=1, info=info)),
+    ("gels", "la_gels",
+     lambda rng: (well_conditioned(rng, 5, np.float64)[:, :3].copy(),
+                  np.ones(5)),
+     lambda a, b, info: la_gels(a, b, info=info)),
+    ("syev", "la_syev",
+     lambda rng: (spd_matrix(rng, 5, np.float64), None),
+     lambda a, b, info: la_syev(a, info=info)),
+    ("gesvd", "la_gesvd",
+     lambda rng: (well_conditioned(rng, 5, np.float64), None),
+     lambda a, b, info: la_gesvd(a, info=info)),
+]
+
+IDS = [f[0] for f in FAMILIES]
+
+
+@pytest.mark.parametrize("name,srname,build,call", FAMILIES, ids=IDS)
+class TestPerFamily:
+    def test_nan_input_raises_in_check_mode(self, rng, name, srname,
+                                            build, call):
+        a, b = build(rng)
+        fi.inject_nonfinite(a)
+        with exception_policy(nonfinite="check"):
+            with pytest.raises(NonFiniteInput) as e:
+                call(a, b, None)
+        assert e.value.position == 1
+
+    def test_nan_input_recorded_on_info(self, rng, name, srname, build,
+                                        call):
+        a, b = build(rng)
+        fi.inject_nonfinite(a, value=np.inf)
+        info = Info()
+        with exception_policy(nonfinite="check"):
+            call(a, b, info)
+        assert info.value == -1001
+
+    def test_workspace_failure_raises(self, rng, name, srname, build, call):
+        a, b = build(rng)
+        with fi.injected(srname, alloc=True):
+            with pytest.raises(WorkspaceError) as e:
+                call(a, b, None)
+        assert e.value.info == ALLOC_FAILED
+
+    def test_workspace_failure_recorded_on_info(self, rng, name, srname,
+                                                build, call):
+        a, b = build(rng)
+        info = Info()
+        with fi.injected(srname, alloc=True):
+            call(a, b, info)
+        assert info.value == ALLOC_FAILED
+
+    def test_fault_does_not_outlive_context(self, rng, name, srname, build,
+                                            call):
+        a, b = build(rng)
+        with fi.injected(srname, alloc=True):
+            pass
+        call(a, b, None)  # clean run — the fault was disarmed
+        assert not fi.active()
+
+
+class TestComputationalFaults:
+    """Zero-pivot (factorization families) and forced-status
+    (orthogonal/iterative families) injection."""
+
+    def test_gesv_zero_pivot(self, rng):
+        a = well_conditioned(rng, 5, np.float64)
+        info = Info()
+        with fi.injected("getf2", zero_pivot=2):
+            la_gesv(a, np.ones(5), info=info)
+        assert info.value == 3  # 1-based: U[2, 2] exactly zero
+
+    def test_gesv_zero_pivot_raises(self, rng):
+        a = well_conditioned(rng, 5, np.float64)
+        with fi.injected("getf2", zero_pivot=0):
+            with pytest.raises(SingularMatrix) as e:
+                la_gesv(a, np.ones(5))
+        assert e.value.info == 1
+
+    def test_posv_zero_pivot(self, rng):
+        a = spd_matrix(rng, 5, np.float64)
+        info = Info()
+        with fi.injected("potf2", zero_pivot=1):
+            la_posv(a, np.ones(5), info=info)
+        assert info.value == 2
+
+    def test_posv_zero_pivot_raises(self, rng):
+        a = spd_matrix(rng, 4, np.float64)
+        with fi.injected("potf2", zero_pivot=3):
+            with pytest.raises(NotPositiveDefinite):
+                la_posv(a, np.ones(4))
+
+    def test_gbsv_zero_pivot(self, rng):
+        info = Info()
+        with fi.injected("gbtrf", zero_pivot=1):
+            la_gbsv(_band(), np.ones(5), kl=1, info=info)
+        assert info.value == 2
+
+    def test_gels_forced_failure(self, rng):
+        a = well_conditioned(rng, 5, np.float64)[:, :3].copy()
+        info = Info()
+        with fi.injected("gels", linfo=7):
+            la_gels(a, np.ones(5), info=info)
+        assert info.value == 7
+        with fi.injected("gels", linfo=7):
+            with pytest.raises(ComputationalError):
+                la_gels(a.copy(), np.ones(5))
+
+    def test_syev_forced_no_convergence(self, rng):
+        a = spd_matrix(rng, 5, np.float64)
+        info = Info()
+        with fi.injected("syev", linfo=4):
+            la_syev(a.copy(), info=info)
+        assert info.value == 4
+        with fi.injected("syev", linfo=4):
+            with pytest.raises(NoConvergence):
+                la_syev(a.copy())
+
+    def test_heev_forced_no_convergence(self, rng):
+        from repro.core import la_heev
+        a = spd_matrix(rng, 4, np.complex128)
+        with fi.injected("heev", linfo=2):
+            with pytest.raises(NoConvergence):
+                la_heev(a)
+
+    def test_gesvd_forced_no_convergence(self, rng):
+        a = well_conditioned(rng, 5, np.float64)
+        info = Info()
+        with fi.injected("gesvd", linfo=3):
+            la_gesvd(a.copy(), info=info)
+        assert info.value == 3
+        with fi.injected("gesvd", linfo=3):
+            with pytest.raises(NoConvergence):
+                la_gesvd(a.copy())
+
+
+class TestRegistryMechanics:
+    def test_count_limits_firing(self, rng):
+        fi.install("la_gesv", alloc=True, count=1)
+        a = well_conditioned(rng, 4, np.float64)
+        info = Info()
+        la_gesv(a.copy(), np.ones(4), info=info)
+        assert info.value == ALLOC_FAILED
+        # Second call: the fault has disarmed itself.
+        info2 = Info()
+        la_gesv(a.copy(), np.ones(4), info=info2)
+        assert info2.value == 0
+
+    def test_zero_pivot_at_step_zero_installable(self):
+        # Regression: step 0 must not be treated as "no fault".
+        fi.install("getf2", zero_pivot=0)
+        assert fi.pivot_fault("getf2", 0)
+
+    def test_routine_names_case_insensitive(self):
+        fi.install("LA_GESV", alloc=True)
+        assert fi.alloc_fault("la_gesv")
+
+    def test_clear_disarms_everything(self):
+        fi.install("getf2", zero_pivot=1)
+        fi.install("la_posv", alloc=True)
+        fi.clear()
+        assert not fi.active()
+
+    def test_inject_nonfinite_rejects_finite_poison(self):
+        with pytest.raises(ValueError):
+            fi.inject_nonfinite(np.ones(3), value=1.0)
+
+    def test_inject_nonfinite_custom_index(self):
+        a = np.ones((3, 3))
+        fi.inject_nonfinite(a, value=-np.inf, index=(2, 1))
+        assert np.isneginf(a[2, 1])
+        assert np.isfinite(a[0, 0])
