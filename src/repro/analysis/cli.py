@@ -1,0 +1,99 @@
+"""Command-line front end: ``python -m repro.analysis [paths]``.
+
+Exit status is 0 when every finding is suppressed by the baseline (or
+there are none), 1 when new findings exist, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from .findings import Baseline
+from .model import Project
+from .rules import RULES, run_rules
+
+DEFAULT_BASELINE = "lalint.baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="lalint: static checker for the LAPACK90 wrapper "
+                    "contract (rules LA001-LA007).")
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to analyse "
+                             "(default: src/repro)")
+    parser.add_argument("--format", choices=("text", "json", "github"),
+                        default="text", help="output format")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help=f"baseline file (default: "
+                             f"{DEFAULT_BASELINE} when present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept all current findings into the "
+                             "baseline and exit 0")
+    parser.add_argument("--select", default=None, metavar="CODES",
+                        help="comma-separated rule codes to run "
+                             "(e.g. LA002,LA004)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for code, title, _ in RULES:
+            print(f"{code}  {title}")
+        return 0
+
+    paths = [p for p in args.paths if os.path.exists(p)]
+    if not paths:
+        print("lalint: no such path(s): "
+              + ", ".join(args.paths), file=sys.stderr)
+        return 2
+
+    select = None
+    if args.select:
+        select = {c.strip().upper() for c in args.select.split(",") if c}
+
+    project = Project.load(paths)
+    findings = run_rules(project, select=select)
+
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    baseline = Baseline()
+    if not args.no_baseline and os.path.exists(baseline_path):
+        baseline = Baseline.load(baseline_path)
+
+    if args.write_baseline:
+        baseline = Baseline()
+        baseline.absorb(findings)
+        baseline.save(baseline_path)
+        print(f"lalint: wrote {len(findings)} finding(s) to "
+              f"{baseline_path}")
+        return 0
+
+    new, suppressed = baseline.split(findings)
+
+    if args.format == "json":
+        print(json.dumps({
+            "findings": [f.to_dict() for f in new],
+            "suppressed": len(suppressed),
+        }, indent=2, sort_keys=True))
+    elif args.format == "github":
+        for f in new:
+            print(f.render_github())
+        if new:
+            print(f"lalint: {len(new)} new finding(s)")
+    else:
+        for f in new:
+            print(f.render())
+        note = f" ({len(suppressed)} suppressed by baseline)" \
+            if suppressed else ""
+        print(f"lalint: {len(new)} finding(s) in "
+              f"{len(project.modules)} module(s){note}")
+    return 1 if new else 0

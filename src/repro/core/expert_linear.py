@@ -117,6 +117,8 @@ def la_gesvx(a: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
         return _finish(srname, -6, info, res)
     if trans.upper() not in ("N", "T", "C"):
         return _finish(srname, -7, info, res)
+    if lsame(fact, "F") and (af is None or ipiv is None):
+        return _finish(srname, -4, info, res)
     linfo, exc = driver_guard(srname, (1, a), (2, b))
     if linfo:
         return _finish(srname, linfo, info, res, exc)
@@ -143,8 +145,6 @@ def la_gesvx(a: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
         b_work *= res.c[:, None]
     # Factor.
     if lsame(fact, "F"):
-        if af is None or ipiv is None:
-            return _finish(srname, -4, info, res)
         res.af, res.ipiv = af, ipiv
         linfo = 0
     else:
@@ -206,13 +206,13 @@ def la_gbsvx(ab: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
     t = trans.upper()
     if t not in ("N", "T", "C"):
         return _finish(srname, -8, info, res)
+    if lsame(fact, "F") and (abf is None or ipiv is None):
+        return _finish(srname, -5, info, res)
     linfo, exc = driver_guard(srname, (1, ab), (2, b))
     if linfo:
         return _finish(srname, linfo, info, res, exc)
     bmat, was_vec = as_matrix(b)
     if lsame(fact, "F"):
-        if abf is None or ipiv is None:
-            return _finish(srname, -5, info, res)
         res.af, res.ipiv = abf, ipiv
         linfo = 0
     else:
@@ -253,7 +253,7 @@ def la_gtsvx(dl, d, du, b, x=None, trans: str = "N",
         return _finish(srname, -4, info, res)
     t = trans.upper()
     if t not in ("N", "T", "C"):
-        return _finish(srname, -8, info, res)
+        return _finish(srname, -6, info, res)
     linfo, exc = driver_guard(srname, (1, dl), (2, d), (3, du), (4, b))
     if linfo:
         return _finish(srname, linfo, info, res, exc)
@@ -296,6 +296,8 @@ def la_posvx(a: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
         return _finish(srname, -2, info, res)
     if not (lsame(uplo, "U") or lsame(uplo, "L")):
         return _finish(srname, -4, info, res)
+    if lsame(fact, "F") and af is None:
+        return _finish(srname, -5, info, res)
     linfo, exc = driver_guard(srname, (1, a), (2, b))
     if linfo:
         return _finish(srname, linfo, info, res, exc)
@@ -310,8 +312,6 @@ def la_posvx(a: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
                 res.s = ss
                 b_work *= ss[:, None]
     if lsame(fact, "F"):
-        if af is None:
-            return _finish(srname, -5, info, res)
         res.af = af
         linfo = 0
     else:
@@ -353,13 +353,13 @@ def la_ppsvx(ap: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
         return _finish(srname, -2, info, res)
     if not (lsame(uplo, "U") or lsame(uplo, "L")):
         return _finish(srname, -4, info, res)
+    if lsame(fact, "F") and afp is None:
+        return _finish(srname, -5, info, res)
     linfo, exc = driver_guard(srname, (1, ap), (2, b))
     if linfo:
         return _finish(srname, linfo, info, res, exc)
     bmat, was_vec = as_matrix(b)
     if lsame(fact, "F"):
-        if afp is None:
-            return _finish(srname, -5, info, res)
         res.af = afp
         linfo = 0
     else:
@@ -397,13 +397,13 @@ def la_pbsvx(ab: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
         return _finish(srname, -2, info, res)
     if not (lsame(uplo, "U") or lsame(uplo, "L")):
         return _finish(srname, -4, info, res)
+    if lsame(fact, "F") and afb is None:
+        return _finish(srname, -5, info, res)
     linfo, exc = driver_guard(srname, (1, ab), (2, b))
     if linfo:
         return _finish(srname, linfo, info, res, exc)
     bmat, was_vec = as_matrix(b)
     if lsame(fact, "F"):
-        if afb is None:
-            return _finish(srname, -5, info, res)
         res.af = afb
         linfo = 0
     else:
@@ -477,13 +477,13 @@ def _indef_expert(srname, trf, trs, con, rfs, a, b, x, uplo, af, ipiv,
         return _finish(srname, -2, info, res)
     if not (lsame(uplo, "U") or lsame(uplo, "L")):
         return _finish(srname, -4, info, res)
+    if lsame(fact, "F") and (af is None or ipiv is None):
+        return _finish(srname, -5, info, res)
     linfo, exc = driver_guard(srname, (1, a), (2, b))
     if linfo:
         return _finish(srname, linfo, info, res, exc)
     bmat, was_vec = as_matrix(b)
     if lsame(fact, "F"):
-        if af is None or ipiv is None:
-            return _finish(srname, -5, info, res)
         res.af, res.ipiv = af, ipiv
         linfo = 0
     else:
@@ -532,13 +532,13 @@ def _packed_indef_expert(srname, hermitian, ap, b, x, uplo, afp, ipiv,
         return _finish(srname, -2, info, res)
     if not (lsame(uplo, "U") or lsame(uplo, "L")):
         return _finish(srname, -4, info, res)
+    if lsame(fact, "F") and (afp is None or ipiv is None):
+        return _finish(srname, -5, info, res)
     linfo, exc = driver_guard(srname, (1, ap), (2, b))
     if linfo:
         return _finish(srname, linfo, info, res, exc)
     bmat, was_vec = as_matrix(b)
     if lsame(fact, "F"):
-        if afp is None or ipiv is None:
-            return _finish(srname, -5, info, res)
         res.af, res.ipiv = afp, ipiv
         linfo = 0
     else:

@@ -14,10 +14,11 @@ Three categories, as in the paper:
 from .ratios import (residual_ratio, lu_reconstruction_ratio,
                      solve_ratio_columns, orthogonality_ratio)
 from .harness import GesvTestProgram, TestReport
-from .error_exits import run_gesv_error_exits
+from .error_exits import ERROR_EXIT_CODES, run_gesv_error_exits
 from . import faultinject
 
 __all__ = ["residual_ratio", "lu_reconstruction_ratio",
            "solve_ratio_columns", "orthogonality_ratio",
            "GesvTestProgram", "TestReport", "run_gesv_error_exits",
+           "ERROR_EXIT_CODES",
            "faultinject"]

@@ -1,0 +1,18 @@
+"""Seeded LA001 violations: unreported exit, bare except, direct raise."""
+
+from repro.errors import SingularMatrix, erinfo
+
+
+def la_gesv(a, b, info=None):
+    srname = "LA_GESV"
+    linfo = 0
+    if a.ndim != 2:
+        return b                                # lint: LA001
+    try:
+        linfo = int(b.shape[0])
+    except:                                     # lint: LA001
+        pass
+    if linfo > 0:
+        raise SingularMatrix(srname, linfo)     # lint: LA001
+    erinfo(linfo, srname, info)
+    return b

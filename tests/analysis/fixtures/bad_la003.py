@@ -1,0 +1,19 @@
+"""Seeded LA003 violations: missing info, bad default, info not
+threaded."""
+
+from repro.errors import erinfo
+
+
+def la_gesv(a, b):                              # lint: LA003
+    erinfo(0, "LA_GESV", None)
+    return b
+
+
+def la_posv(a, b, info=0):                      # lint: LA003
+    erinfo(0, "LA_POSV", info)
+    return b
+
+
+def la_ptsv(d, e, b, info=None):                # lint: LA003
+    erinfo(0, "LA_PTSV", None)
+    return b

@@ -1,0 +1,18 @@
+"""Seeded LA004 violations: guard and validation after the substrate
+call."""
+
+from repro.errors import erinfo
+from repro.lapack77 import gesv
+from repro.core.auxmod import driver_guard
+
+
+def la_gesv(a, b, info=None):
+    srname = "LA_GESV"
+    exc = None
+    _, linfo = gesv(a, b)
+    if linfo == 0:
+        linfo, exc = driver_guard(srname, (1, a), (2, b))   # lint: LA004
+    if a.ndim != 2:
+        linfo = -1                              # lint: LA004
+    erinfo(linfo, srname, info, exc=exc)
+    return b

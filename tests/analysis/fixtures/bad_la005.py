@@ -1,0 +1,15 @@
+"""Seeded LA005 violations: stale export and missing driver."""
+
+from repro.errors import erinfo
+
+__all__ = ["la_gesv", "la_nothere"]             # lint: LA005
+
+
+def la_gesv(a, b, info=None):
+    erinfo(0, "LA_GESV", info)
+    return b
+
+
+def la_posv(a, b, info=None):                   # lint: LA005
+    erinfo(0, "LA_POSV", info)
+    return b

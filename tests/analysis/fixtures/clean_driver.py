@@ -1,0 +1,31 @@
+"""Conforming fixture: a minimal driver obeying the wrapper contract.
+
+Every lalint rule must stay quiet on this module.
+"""
+
+import numpy as np
+
+from repro.errors import Info, erinfo
+from repro.lapack77 import gesv
+from repro.core.auxmod import check_rhs, check_square, driver_guard
+
+__all__ = ["la_gesv"]
+
+
+def la_gesv(a, b, ipiv=None, info=None):
+    srname = "LA_GESV"
+    linfo = 0
+    exc = None
+    n = a.shape[0] if isinstance(a, np.ndarray) and a.ndim == 2 else -1
+    if check_square(a, 1):
+        linfo = -1
+    elif check_rhs(n, b, 2):
+        linfo = -2
+    elif ipiv is not None and ipiv.shape[0] != n:
+        linfo = -3
+    elif n > 0:
+        linfo, exc = driver_guard(srname, (1, a), (2, b))
+        if linfo == 0:
+            _, linfo = gesv(a, b)
+    erinfo(linfo, srname, info, exc=exc)
+    return b

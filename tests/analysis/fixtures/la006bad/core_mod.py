@@ -1,0 +1,11 @@
+"""Seeded LA006 violations: unresolved substrate import and a real
+driver with no complex partner."""
+
+from repro.errors import erinfo
+from ..lapack77 import sysv, nosuchroutine      # lint: LA006
+
+
+def la_sysv(a, b, info=None):                   # lint: LA006
+    _, linfo = sysv(a, b)
+    erinfo(linfo, "LA_SYSV", info)
+    return b

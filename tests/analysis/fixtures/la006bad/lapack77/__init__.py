@@ -1,0 +1,5 @@
+"""Substrate stub for the LA006 fixture tree."""
+
+
+def sysv(a, b):
+    return None, 0

@@ -1,0 +1,17 @@
+"""Conforming LA006 fixture: both halves of the real/complex pair exist
+and every substrate import resolves."""
+
+from repro.errors import erinfo
+from ..lapack77 import hesv, sysv
+
+
+def la_sysv(a, b, info=None):
+    _, linfo = sysv(a, b)
+    erinfo(linfo, "LA_SYSV", info)
+    return b
+
+
+def la_hesv(a, b, info=None):
+    _, linfo = hesv(a, b)
+    erinfo(linfo, "LA_HESV", info)
+    return b

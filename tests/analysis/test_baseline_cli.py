@@ -1,0 +1,83 @@
+"""Baseline mechanics and CLI behaviour of ``python -m repro.analysis``."""
+
+import json
+import os
+
+from repro.analysis import Baseline, Project, main, run_rules
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "fixtures")
+BAD = os.path.join(FIXTURES, "bad_la005.py")
+CLEAN = os.path.join(FIXTURES, "clean_driver.py")
+
+
+def _run(path):
+    return run_rules(Project.load([path]))
+
+
+def test_baseline_suppresses_absorbed_findings(tmp_path):
+    found = _run(BAD)
+    assert found
+    baseline = Baseline()
+    baseline.absorb(found)
+    bpath = tmp_path / "baseline.json"
+    baseline.save(str(bpath))
+    reloaded = Baseline.load(str(bpath))
+    new, suppressed = reloaded.split(_run(BAD))
+    assert new == []
+    assert len(suppressed) == len(found)
+
+
+def test_fingerprint_is_line_independent():
+    found = _run(BAD)
+    f = found[0]
+    moved = type(f)(code=f.code, message=f.message, path=f.path,
+                    line=f.line + 40, col=3, context=f.context)
+    assert moved.fingerprint == f.fingerprint
+
+
+def test_cli_exit_codes(capsys):
+    assert main([BAD, "--no-baseline"]) == 1
+    assert main([CLEAN, "--no-baseline"]) == 0
+    assert main(["/no/such/path"]) == 2
+    capsys.readouterr()
+
+
+def test_cli_json_format(capsys):
+    rc = main([BAD, "--no-baseline", "--format=json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert payload["suppressed"] == 0
+    assert {f["code"] for f in payload["findings"]} == {"LA005"}
+    assert all(f["fingerprint"] for f in payload["findings"])
+
+
+def test_cli_github_format(capsys):
+    rc = main([BAD, "--no-baseline", "--format=github"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "::error file=" in out and "title=LA005" in out
+
+
+def test_cli_write_baseline_roundtrip(tmp_path, capsys):
+    bpath = str(tmp_path / "baseline.json")
+    assert main([BAD, "--baseline", bpath, "--write-baseline"]) == 0
+    assert main([BAD, "--baseline", bpath]) == 0
+    out = capsys.readouterr().out
+    assert "suppressed by baseline" in out
+
+
+def test_cli_select_restricts_rules(capsys):
+    rc = main([os.path.join(FIXTURES, "bad_la002.py"), "--no-baseline",
+               "--select", "LA007", "--format=json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert payload["findings"] == []
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("LA001", "LA002", "LA003", "LA004", "LA005", "LA006",
+                 "LA007"):
+        assert code in out

@@ -1,6 +1,11 @@
 """Error-exit sweep across the whole linear-equation catalogue — the
 Section 6 methodology generalized beyond LA_GESV: every driver reports
-a negative code through info= and raises IllegalArgument without it."""
+a negative code through info= and raises IllegalArgument without it.
+
+Expected codes come from :data:`repro.testing.ERROR_EXIT_CODES`, the
+same (driver, argument, code) table the static LA002 rule cross-checks
+against the live signatures.
+"""
 
 import numpy as np
 import pytest
@@ -8,96 +13,107 @@ import pytest
 from repro import (Info, IllegalArgument, la_gbsv, la_gels, la_gesv,
                    la_gtsv, la_heev, la_hesv, la_pbsv, la_posv, la_ppsv,
                    la_ptsv, la_spsv, la_syev, la_sysv, la_sygv)
+from repro.testing import ERROR_EXIT_CODES
 
-# (call, expected-negative-position)
+
+def _code(driver, arg):
+    return ERROR_EXIT_CODES[driver][arg]
+
+
+# (description, call, driver, flagged argument)
 CASES = [
     ("gesv: A not square",
-     lambda: la_gesv(np.ones((2, 3)), np.ones(2)), -1),
+     lambda: la_gesv(np.ones((2, 3)), np.ones(2)), "la_gesv", "a"),
     ("gesv: B row mismatch",
-     lambda: la_gesv(np.eye(3), np.ones(4)), -2),
+     lambda: la_gesv(np.eye(3), np.ones(4)), "la_gesv", "b"),
     ("gesv: ipiv wrong length",
      lambda: la_gesv(np.eye(3), np.ones(3), ipiv=np.zeros(2, np.int64)),
-     -3),
+     "la_gesv", "ipiv"),
     ("gbsv: ab not 2-D",
-     lambda: la_gbsv(np.ones(4), np.ones(4)), -1),
+     lambda: la_gbsv(np.ones(4), np.ones(4)), "la_gbsv", "ab"),
     ("gbsv: b mismatch",
-     lambda: la_gbsv(np.ones((4, 5)), np.ones(3), kl=1), -2),
+     lambda: la_gbsv(np.ones((4, 5)), np.ones(3), kl=1), "la_gbsv", "b"),
     ("gtsv: dl wrong length",
-     lambda: la_gtsv(np.ones(3), np.ones(3), np.ones(2), np.ones(3)), -1),
+     lambda: la_gtsv(np.ones(3), np.ones(3), np.ones(2), np.ones(3)),
+     "la_gtsv", "dl"),
     ("gtsv: du wrong length",
-     lambda: la_gtsv(np.ones(2), np.ones(3), np.ones(3), np.ones(3)), -3),
+     lambda: la_gtsv(np.ones(2), np.ones(3), np.ones(3), np.ones(3)),
+     "la_gtsv", "du"),
     ("gtsv: b mismatch",
-     lambda: la_gtsv(np.ones(2), np.ones(3), np.ones(2), np.ones(4)), -4),
+     lambda: la_gtsv(np.ones(2), np.ones(3), np.ones(2), np.ones(4)),
+     "la_gtsv", "b"),
     ("posv: bad uplo",
-     lambda: la_posv(np.eye(3), np.ones(3), uplo="X"), -3),
+     lambda: la_posv(np.eye(3), np.ones(3), uplo="X"), "la_posv", "uplo"),
     ("posv: A not square",
-     lambda: la_posv(np.ones((3, 2)), np.ones(3)), -1),
+     lambda: la_posv(np.ones((3, 2)), np.ones(3)), "la_posv", "a"),
     ("ppsv: packed length wrong",
-     lambda: la_ppsv(np.ones(5), np.ones(3)), -1),
+     lambda: la_ppsv(np.ones(5), np.ones(3)), "la_ppsv", "ap"),
     ("ppsv: bad uplo",
-     lambda: la_ppsv(np.ones(6), np.ones(3), uplo="Q"), -3),
+     lambda: la_ppsv(np.ones(6), np.ones(3), uplo="Q"), "la_ppsv", "uplo"),
     ("pbsv: ab not 2-D",
-     lambda: la_pbsv(np.ones(3), np.ones(3)), -1),
+     lambda: la_pbsv(np.ones(3), np.ones(3)), "la_pbsv", "ab"),
     ("pbsv: b mismatch",
-     lambda: la_pbsv(np.ones((2, 5)), np.ones(4)), -2),
+     lambda: la_pbsv(np.ones((2, 5)), np.ones(4)), "la_pbsv", "b"),
     ("ptsv: e wrong length",
-     lambda: la_ptsv(np.ones(4), np.ones(4), np.ones(4)), -2),
+     lambda: la_ptsv(np.ones(4), np.ones(4), np.ones(4)), "la_ptsv", "e"),
     ("ptsv: b mismatch",
-     lambda: la_ptsv(np.ones(4), np.ones(3), np.ones(5)), -3),
+     lambda: la_ptsv(np.ones(4), np.ones(3), np.ones(5)), "la_ptsv", "b"),
     ("sysv: bad uplo",
-     lambda: la_sysv(np.eye(3), np.ones(3), uplo="Z"), -3),
+     lambda: la_sysv(np.eye(3), np.ones(3), uplo="Z"), "la_sysv", "uplo"),
     ("sysv: ipiv wrong",
      lambda: la_sysv(np.eye(3), np.ones(3), ipiv=np.zeros(9, np.int64)),
-     -4),
+     "la_sysv", "ipiv"),
     ("hesv: A not square",
-     lambda: la_hesv(np.ones((2, 3), complex), np.ones(2, complex)), -1),
+     lambda: la_hesv(np.ones((2, 3), complex), np.ones(2, complex)),
+     "la_hesv", "a"),
     ("spsv: packed length",
-     lambda: la_spsv(np.ones(4), np.ones(3)), -1),
+     lambda: la_spsv(np.ones(4), np.ones(3)), "la_spsv", "ap"),
     ("syev: bad jobz",
-     lambda: la_syev(np.eye(3) * 1.0, jobz="Q"), -3),
+     lambda: la_syev(np.eye(3) * 1.0, jobz="Q"), "la_syev", "jobz"),
     ("syev: bad uplo",
-     lambda: la_syev(np.eye(3) * 1.0, uplo="Q"), -4),
+     lambda: la_syev(np.eye(3) * 1.0, uplo="Q"), "la_syev", "uplo"),
     ("syev: w wrong length",
-     lambda: la_syev(np.eye(3) * 1.0, w=np.zeros(2)), -2),
+     lambda: la_syev(np.eye(3) * 1.0, w=np.zeros(2)), "la_syev", "w"),
     ("heev: A not square",
-     lambda: la_heev(np.ones((2, 3), complex)), -1),
+     lambda: la_heev(np.ones((2, 3), complex)), "la_heev", "a"),
     ("sygv: bad itype",
-     lambda: la_sygv(np.eye(3), np.eye(3), itype=4), -4),
+     lambda: la_sygv(np.eye(3), np.eye(3), itype=4), "la_sygv", "itype"),
     ("gels: bad trans",
-     lambda: la_gels(np.ones((4, 2)), np.ones(4), trans="Q"), -3),
+     lambda: la_gels(np.ones((4, 2)), np.ones(4), trans="Q"),
+     "la_gels", "trans"),
 ]
 
 
-@pytest.mark.parametrize("desc,call,expect",
+@pytest.mark.parametrize("desc,call,driver,arg",
                          CASES, ids=[c[0] for c in CASES])
-def test_error_exit_raises(desc, call, expect):
+def test_error_exit_raises(desc, call, driver, arg):
     with pytest.raises(IllegalArgument) as e:
         call()
-    assert e.value.info == expect
+    assert e.value.info == _code(driver, arg)
 
 
 def test_info_records_for_each_family():
     """Representative info= path per driver family."""
     info = Info()
     la_gesv(np.ones((2, 3)), np.ones(2), info=info)
-    assert info == -1
+    assert info == _code("la_gesv", "a")
     la_gbsv(np.ones(4), np.ones(4), info=info)
-    assert info == -1
+    assert info == _code("la_gbsv", "ab")
     la_gtsv(np.ones(3), np.ones(3), np.ones(2), np.ones(3), info=info)
-    assert info == -1
+    assert info == _code("la_gtsv", "dl")
     la_posv(np.eye(3), np.ones(3), uplo="X", info=info)
-    assert info == -3
+    assert info == _code("la_posv", "uplo")
     la_ppsv(np.ones(5), np.ones(3), info=info)
-    assert info == -1
+    assert info == _code("la_ppsv", "ap")
     la_pbsv(np.ones(3), np.ones(3), info=info)
-    assert info == -1
+    assert info == _code("la_pbsv", "ab")
     la_ptsv(np.ones(4), np.ones(4), np.ones(4), info=info)
-    assert info == -2
+    assert info == _code("la_ptsv", "e")
     la_sysv(np.eye(3), np.ones(3), uplo="Z", info=info)
-    assert info == -3
+    assert info == _code("la_sysv", "uplo")
     la_spsv(np.ones(4), np.ones(3), info=info)
-    assert info == -1
+    assert info == _code("la_spsv", "ap")
     la_syev(np.eye(3) * 1.0, jobz="Q", info=info)
-    assert info == -3
+    assert info == _code("la_syev", "jobz")
     la_sygv(np.eye(3), np.eye(3), itype=9, info=info)
-    assert info == -4
+    assert info == _code("la_sygv", "itype")
