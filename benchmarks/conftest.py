@@ -1,7 +1,50 @@
 """Shared benchmark fixtures and workload builders."""
 
+import json
+import pathlib
+
 import numpy as np
 import pytest
+
+# (routine, backend) -> timing record, filled by the backend sweep in
+# test_vs_reference.py and flushed to BENCH_backends.json at session end
+# so the reference-vs-accelerated perf trajectory accumulates over time.
+BACKEND_RECORDS = {}
+
+
+def record_backend_timing(routine, backend, n, stats):
+    BACKEND_RECORDS[(routine, backend)] = {
+        "routine": routine,
+        "backend": backend,
+        "n": n,
+        "min_s": stats.min,
+        "mean_s": stats.mean,
+        "stddev_s": stats.stddev,
+        "rounds": stats.rounds,
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not BACKEND_RECORDS:
+        return
+    rows = [BACKEND_RECORDS[k] for k in sorted(BACKEND_RECORDS)]
+    ratios = {}
+    for row in rows:
+        if row["backend"] != "accelerated":
+            continue
+        ref = BACKEND_RECORDS.get((row["routine"], "reference"))
+        if ref:
+            ratios[row["routine"]] = ref["min_s"] / row["min_s"]
+    out = {
+        "experiment": "XB3-backends",
+        "description": "LA_* driver wall time under each registered "
+                       "backend (min over rounds); speedup = "
+                       "reference/accelerated",
+        "results": rows,
+        "speedup_accelerated": ratios,
+    }
+    path = pathlib.Path(__file__).resolve().parents[1] / "BENCH_backends.json"
+    path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture

@@ -7,12 +7,16 @@ matmul-dominated routines — the *shape* that transfers from the paper's
 performance story.  Accuracy agreement is asserted alongside.
 """
 
+import warnings
+
 import numpy as np
 import pytest
 import scipy.linalg as sla
 
-from repro import la_gesv, la_posv, la_syev
+from repro import backends, la_gesv, la_posv, la_syev, la_sysv
 from repro.lapack77 import gesvd
+
+from .conftest import record_backend_timing
 
 N = 200
 
@@ -68,6 +72,39 @@ class TestSymmetricEigen:
         w1 = la_syev(sym.copy())
         w2 = sla.eigvalsh(sym)
         np.testing.assert_allclose(w1, w2, atol=1e-8 * np.abs(sym).max())
+
+
+class TestBackendSweep:
+    """XB3-backends — the same LA_* drivers timed under every registered
+    backend; results land in ``BENCH_backends.json`` (see conftest)."""
+
+    DRIVERS = {
+        "gesv": lambda w: la_gesv(w["a"].copy(), w["b"].copy()),
+        "posv": lambda w: la_posv(w["spd"].copy(), w["b"].copy()),
+        "sysv": lambda w: la_sysv(w["sym"].copy() + np.eye(N) * N,
+                                  w["b"].copy()),
+        "syev": lambda w: la_syev(w["sym"].copy()),
+    }
+
+    @pytest.fixture
+    def named_workloads(self, workloads):
+        a, spd, sym, b = workloads
+        return {"a": a, "spd": spd, "sym": sym, "b": b}
+
+    @pytest.mark.parametrize("backend", ["reference", "accelerated"])
+    @pytest.mark.parametrize("routine", sorted(DRIVERS))
+    def test_driver(self, benchmark, named_workloads, routine, backend):
+        if backend not in backends.available_backends():
+            pytest.skip("backend {!r} not registered".format(backend))
+        call = self.DRIVERS[routine]
+        benchmark.extra_info["backend"] = backend
+        with backends.use_backend(backend):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                benchmark(call, named_workloads)
+        if benchmark.stats is not None:  # absent under --benchmark-disable
+            record_backend_timing(routine, backend, N,
+                                  benchmark.stats.stats)
 
 
 class TestSVD:

@@ -12,6 +12,13 @@ Three layers, mirroring the paper's architecture:
   both interfaces sit on (factorizations, eigensolvers, SVD…), with
   :mod:`repro.blas` underneath.
 
+Both interface layers reach the substrate through the pluggable backend
+registry (:mod:`repro.backends`): ``reference`` is the lapack77 package
+itself, ``accelerated`` adapts ``scipy.linalg.lapack`` when SciPy is
+available.  Select with :func:`set_backend` / ``use_backend`` / the
+``REPRO_BACKEND`` environment variable, or per call via the drivers'
+``backend=`` keyword.
+
 Quickstart (paper Fig. 2, the LAPACK90 interface)::
 
     import numpy as np
@@ -23,11 +30,14 @@ Quickstart (paper Fig. 2, the LAPACK90 interface)::
     la_gesv(a, b)               # b now holds the solution
 """
 
-from . import blas, config, core, f77, lapack77, policy, storage, testing
-from .errors import (ComputationalError, DriverFallbackWarning,
-                     IllConditionedWarning, IllegalArgument, Info,
-                     LinAlgError, NoConvergence, NonFiniteInput,
-                     NonFiniteWarning, NotPositiveDefinite,
+from . import (backends, blas, config, core, f77, lapack77, policy,
+               storage, testing)
+from .backends import (available_backends, get_backend_name, set_backend,
+                       use_backend)
+from .errors import (BackendFallbackWarning, ComputationalError,
+                     DriverFallbackWarning, IllConditionedWarning,
+                     IllegalArgument, Info, LinAlgError, NoConvergence,
+                     NonFiniteInput, NonFiniteWarning, NotPositiveDefinite,
                      NumericalWarning, SingularMatrix, WorkspaceError)
 from .policy import exception_policy, get_policy, set_policy
 from .core import *  # noqa: F401,F403 — the Appendix G catalogue
@@ -40,7 +50,10 @@ __all__ = list(_core_all) + [
     "SingularMatrix", "NotPositiveDefinite", "NoConvergence",
     "WorkspaceError", "NonFiniteInput", "NumericalWarning",
     "NonFiniteWarning", "IllConditionedWarning", "DriverFallbackWarning",
+    "BackendFallbackWarning",
     "exception_policy", "get_policy", "set_policy",
-    "blas", "config", "core", "f77", "lapack77", "policy",
+    "available_backends", "get_backend_name", "set_backend",
+    "use_backend",
+    "backends", "blas", "config", "core", "f77", "lapack77", "policy",
     "storage", "testing",
 ]

@@ -232,7 +232,14 @@ class Project:
                 for alias in node.names:
                     name = alias.asname or alias.name
                     mod.imports[name] = src
-                    if "lapack77" in src.split("."):
+                    parts = src.split(".")
+                    # Direct substrate imports and registry-dispatched
+                    # proxies (repro.backends.kernels) both count as
+                    # "the lapack77 call" for the call-ordering and
+                    # catalogue rules (LA004/LA006).
+                    if "lapack77" in parts or \
+                            ("backends" in parts and
+                             parts[-1] == "kernels"):
                         mod.substrate_names.add(name)
         self.modules.append(mod)
         for name, func in mod.functions.items():

@@ -402,10 +402,15 @@ def check_la006(project: Project):
                     continue
                 src = node.module or ""
                 parts = src.split(".")
-                if "lapack77" not in parts:
+                # A registry-dispatched import (repro.backends.kernels)
+                # is "the lapack77 call": its proxies must name real
+                # substrate routines too.
+                dispatched = "backends" in parts and \
+                    parts[-1] == "kernels"
+                if "lapack77" not in parts and not dispatched:
                     continue
                 last = parts[-1]
-                pool = flat if last == "lapack77" \
+                pool = flat if (dispatched or last == "lapack77") \
                     else submods.get(last, flat)
                 for alias in node.names:
                     if alias.name == "*":
@@ -464,6 +469,40 @@ def check_la007(project: Project):
     return findings
 
 
+# ---------------------------------------------------------------------
+# LA008 — driver modules must dispatch, not import the substrate
+# ---------------------------------------------------------------------
+
+def check_la008(project: Project):
+    """Driver modules may not import :mod:`repro.lapack77` directly —
+    kernel access goes through the backend registry's dispatching
+    proxies (``repro.backends.kernels``) so the substrate stays
+    swappable.  Modules without drivers (storage helpers, the registry
+    itself) are exempt."""
+    findings = []
+    for mod in project.modules:
+        if mod.is_substrate or not mod.drivers():
+            continue
+        for node in ast.walk(mod.tree):
+            hit = False
+            if isinstance(node, ast.ImportFrom):
+                parts = (node.module or "").split(".")
+                hit = "lapack77" in parts or any(
+                    alias.name == "lapack77" or
+                    alias.name.startswith("lapack77.")
+                    for alias in node.names)
+            elif isinstance(node, ast.Import):
+                hit = any("lapack77" in alias.name.split(".")
+                          for alias in node.names)
+            if hit:
+                findings.append(_f(
+                    "LA008",
+                    "driver module imports the lapack77 substrate "
+                    "directly; dispatch through "
+                    "repro.backends.kernels instead", mod, node))
+    return findings
+
+
 RULES = [
     ("LA001", "every exit path reports through erinfo", check_la001),
     ("LA002", "LINFO codes match argument positions", check_la002),
@@ -472,6 +511,8 @@ RULES = [
     ("LA005", "__all__ agrees with public drivers", check_la005),
     ("LA006", "s/d/c/z dispatch completeness", check_la006),
     ("LA007", "code-class literal discipline", check_la007),
+    ("LA008", "no direct substrate imports in driver modules",
+     check_la008),
 ]
 
 

@@ -1,0 +1,46 @@
+"""Dispatching kernel proxies — the drivers' import surface.
+
+One :class:`KernelProxy` is exported per name in the lapack77 catalogue.
+Calling a proxy resolves ``(routine, dtype-of-first-array-argument)``
+through the backend registry at call time and invokes the winning
+kernel, so ``from ..backends.kernels import gesv`` behaves exactly like
+the direct substrate import it replaces while honouring the backend
+selection in effect at each call.
+
+lalint treats these imports as substrate imports: LA004/LA006 see a
+dispatched call as "the lapack77 call", and LA008 requires driver
+modules to import kernels from here rather than from ``repro.lapack77``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import lapack77
+from . import resolve
+
+
+class KernelProxy:
+    """Late-binding stand-in for one substrate routine."""
+
+    def __init__(self, routine):
+        self.routine = routine
+        self.__doc__ = getattr(lapack77, routine).__doc__
+
+    def __call__(self, *args, **kwargs):
+        dtype = None
+        for value in args:
+            if isinstance(value, np.ndarray):
+                dtype = value.dtype
+                break
+        return resolve(self.routine, dtype)(*args, **kwargs)
+
+    def __repr__(self):
+        return "<dispatched lapack77 kernel {!r}>".format(self.routine)
+
+
+for _name in lapack77.__all__:
+    globals()[_name] = KernelProxy(_name)
+del _name
+
+__all__ = ["KernelProxy"] + list(lapack77.__all__)

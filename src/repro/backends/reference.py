@@ -1,0 +1,17 @@
+"""The ``reference`` substrate: today's pure-NumPy lapack77 kernels.
+
+Built straight from the explicit export catalogue in
+``repro/lapack77/__init__.py`` — every public kernel is served, for any
+dtype the kernel itself accepts.  This backend is always registered and
+is the fallback target for every other substrate.
+"""
+
+from __future__ import annotations
+
+from .. import lapack77
+
+
+def build_reference_backend():
+    from . import Backend
+    table = {name: getattr(lapack77, name) for name in lapack77.__all__}
+    return Backend("reference", table)

@@ -12,7 +12,11 @@ blocked vs. unblocked execution by flipping one knob.
 The numerical-exception policy (NaN/Inf screening modes, the RCOND
 guard, driver fallbacks) follows the same process-global/context-scoped
 pattern; it lives in :mod:`repro.policy` and its API is re-exported here
-for discoverability.
+for discoverability.  So does the compute-backend selection
+(``reference`` vs ``accelerated`` substrates): it lives in
+:mod:`repro.backends` and is re-exported at the bottom of this module
+(the backend registry imports the substrate, whose kernels consult
+:func:`ilaenv`, so the re-export must follow the definitions here).
 """
 
 from __future__ import annotations
@@ -24,7 +28,8 @@ from .policy import (exception_policy, get_policy,  # noqa: F401
 
 __all__ = ["ilaenv", "get_block_size", "set_block_size",
            "block_size_override", "exception_policy", "get_policy",
-           "set_policy"]
+           "set_policy", "use_backend", "set_backend",
+           "get_backend_name", "available_backends"]
 
 # ISPEC=1 block sizes per routine family (values follow LAPACK's defaults
 # for "generic" machines; NumPy-matmul-backed updates favour larger blocks).
@@ -109,3 +114,10 @@ def block_size_override(family: str, nb: int):
         yield
     finally:
         _BLOCK_SIZES[fam] = old
+
+
+# Backend selection (process-global + context-scoped, like the exception
+# policy above).  Imported last: repro.backends registers the reference
+# substrate at import time, and those kernels consult ilaenv.
+from .backends import (available_backends, get_backend_name,  # noqa: E402,F401
+                       set_backend, use_backend)

@@ -11,9 +11,10 @@ import numpy as np
 from ..config import ilaenv
 from ..errors import (Info, NoConvergence, SingularMatrix, erinfo,
                       NotPositiveDefinite, WORK_REDUCED)
-from ..lapack77 import (gecon, geequ, gerfs, getrf, getri, getrs, hegst,
-                        hetrd, lange, lanhe, lansy, orgtr, pocon, potrf,
-                        sygst, sytrd, ungtr)
+from ..backends import backend_aware
+from ..backends.kernels import (gecon, geequ, gerfs, getrf, getri, getrs,
+                                hegst, hetrd, lange, lanhe, lansy, orgtr,
+                                pocon, potrf, sygst, sytrd, ungtr)
 from .auxmod import as_matrix, check_rhs, check_square, lsame
 
 __all__ = ["la_getrf", "la_getrs", "la_getri", "la_gerfs", "la_geequ",
@@ -21,6 +22,7 @@ __all__ = ["la_getrf", "la_getrs", "la_getri", "la_gerfs", "la_geequ",
            "la_orgtr", "la_ungtr"]
 
 
+@backend_aware
 def la_getrf(a: np.ndarray, ipiv: np.ndarray | None = None,
              rcond: bool = False, norm: str = "1",
              info: Info | None = None):
@@ -60,6 +62,7 @@ def la_getrf(a: np.ndarray, ipiv: np.ndarray | None = None,
     return (ipiv if ipiv is not None else lpiv), rc
 
 
+@backend_aware
 def la_getrs(a: np.ndarray, ipiv: np.ndarray, b: np.ndarray,
              trans: str = "N", info: Info | None = None) -> np.ndarray:
     """Solves a general system using the LU factorization computed by
@@ -83,6 +86,7 @@ def la_getrs(a: np.ndarray, ipiv: np.ndarray, b: np.ndarray,
     return b
 
 
+@backend_aware
 def la_getri(a: np.ndarray, ipiv: np.ndarray,
              info: Info | None = None) -> np.ndarray:
     """Computes the inverse of a matrix from its LU factorization
@@ -112,6 +116,7 @@ def la_getri(a: np.ndarray, ipiv: np.ndarray,
     return a
 
 
+@backend_aware
 def la_gerfs(a: np.ndarray, af: np.ndarray, ipiv: np.ndarray,
              b: np.ndarray, x: np.ndarray, trans: str = "N",
              info: Info | None = None):
@@ -145,6 +150,7 @@ def la_gerfs(a: np.ndarray, af: np.ndarray, ipiv: np.ndarray,
     return ferr, berr
 
 
+@backend_aware
 def la_geequ(a: np.ndarray, info: Info | None = None):
     """Computes row and column scalings intended to equilibrate a
     rectangular matrix and reduce its condition number (paper: ``CALL
@@ -162,6 +168,7 @@ def la_geequ(a: np.ndarray, info: Info | None = None):
     return r, c, rowcnd, colcnd, amax
 
 
+@backend_aware
 def la_potrf(a: np.ndarray, uplo: str = "U", rcond: bool = False,
              norm: str = "1", info: Info | None = None):
     """Computes the Cholesky factorization and optionally estimates the
@@ -194,6 +201,7 @@ def la_potrf(a: np.ndarray, uplo: str = "U", rcond: bool = False,
     return rc
 
 
+@backend_aware
 def la_sygst(a: np.ndarray, b: np.ndarray, itype: int = 1,
              uplo: str = "U", info: Info | None = None) -> np.ndarray:
     """Reduces a real symmetric-definite generalized eigenproblem to
@@ -216,6 +224,7 @@ def la_sygst(a: np.ndarray, b: np.ndarray, itype: int = 1,
     return a
 
 
+@backend_aware
 def la_hegst(a: np.ndarray, b: np.ndarray, itype: int = 1,
              uplo: str = "U", info: Info | None = None) -> np.ndarray:
     """Hermitian-definite analogue of :func:`la_sygst`
@@ -236,6 +245,7 @@ def la_hegst(a: np.ndarray, b: np.ndarray, itype: int = 1,
     return a
 
 
+@backend_aware
 def la_sytrd(a: np.ndarray, tau: np.ndarray | None = None,
              uplo: str = "U", info: Info | None = None):
     """Reduces a real symmetric matrix to tridiagonal form
@@ -261,6 +271,7 @@ def la_sytrd(a: np.ndarray, tau: np.ndarray | None = None,
     return d, e, tau_out
 
 
+@backend_aware
 def la_hetrd(a: np.ndarray, tau: np.ndarray | None = None,
              uplo: str = "U", info: Info | None = None):
     """Hermitian tridiagonal reduction (paper ``LA_HETRD``); ``d``/``e``
@@ -280,6 +291,7 @@ def la_hetrd(a: np.ndarray, tau: np.ndarray | None = None,
     return d, e, tau_out
 
 
+@backend_aware
 def la_orgtr(a: np.ndarray, tau: np.ndarray, uplo: str = "U",
              info: Info | None = None) -> np.ndarray:
     """Generates the orthogonal matrix Q of the tridiagonal reduction
@@ -300,6 +312,7 @@ def la_orgtr(a: np.ndarray, tau: np.ndarray, uplo: str = "U",
     return a
 
 
+@backend_aware
 def la_ungtr(a: np.ndarray, tau: np.ndarray, uplo: str = "U",
              info: Info | None = None) -> np.ndarray:
     """Unitary analogue of :func:`la_orgtr` (paper ``LA_UNGTR``)."""

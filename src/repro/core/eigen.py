@@ -16,8 +16,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import Info, NoConvergence, erinfo
-from ..lapack77 import (gees, geev, gesvd, hbev, heev, hpev, sbev, spev,
-                        stev, syev)
+from ..backends import backend_aware
+from ..backends.kernels import (gees, geev, gesvd, hbev, heev, hpev, sbev,
+                                spev, stev, syev)
 from .auxmod import check_square, driver_guard, lsame
 
 __all__ = ["la_syev", "la_heev", "la_spev", "la_hpev", "la_sbev",
@@ -35,6 +36,7 @@ def _store(target, value):
     return value
 
 
+@backend_aware
 def la_syev(a: np.ndarray, w: np.ndarray | None = None, jobz: str = "N",
             uplo: str = "U", info: Info | None = None) -> np.ndarray:
     """Computes all eigenvalues and, optionally, eigenvectors of a real
@@ -69,6 +71,7 @@ def la_syev(a: np.ndarray, w: np.ndarray | None = None, jobz: str = "N",
     return wout
 
 
+@backend_aware
 def la_heev(a: np.ndarray, w: np.ndarray | None = None, jobz: str = "N",
             uplo: str = "U", info: Info | None = None) -> np.ndarray:
     """Hermitian analogue of :func:`la_syev` (paper ``LA_HEEV``);
@@ -88,8 +91,7 @@ def la_heev(a: np.ndarray, w: np.ndarray | None = None, jobz: str = "N",
     else:
         linfo, exc = driver_guard(srname, (1, a))
         if linfo == 0:
-            from ..lapack77 import heev as _heev
-            wout, linfo = _heev(a, jobz=jobz, uplo=uplo)
+            wout, linfo = heev(a, jobz=jobz, uplo=uplo)
             if linfo > 0:
                 exc = NoConvergence(srname, linfo)
             if w is not None:
@@ -128,6 +130,7 @@ def _packed_ev(srname, driver, ap, w, uplo, z, info):
     return (wout, zout) if _want(z) else wout
 
 
+@backend_aware
 def la_spev(ap: np.ndarray, w: np.ndarray | None = None, uplo: str = "U",
             z=None, info: Info | None = None):
     """Computes all eigenvalues and, optionally, eigenvectors of a real
@@ -139,6 +142,7 @@ def la_spev(ap: np.ndarray, w: np.ndarray | None = None, uplo: str = "U",
     return _packed_ev("LA_SPEV", spev, ap, w, uplo, z, info)
 
 
+@backend_aware
 def la_hpev(ap: np.ndarray, w: np.ndarray | None = None, uplo: str = "U",
             z=None, info: Info | None = None):
     """Packed Hermitian eigen driver (paper ``LA_HPEV``)."""
@@ -175,6 +179,7 @@ def _band_ev(srname, driver, ab, w, uplo, z, info):
     return (wout, zout) if _want(z) else wout
 
 
+@backend_aware
 def la_sbev(ab: np.ndarray, w: np.ndarray | None = None, uplo: str = "U",
             z=None, info: Info | None = None):
     """Symmetric band eigen driver (paper ``LA_SBEV``); ``ab`` is the
@@ -182,12 +187,14 @@ def la_sbev(ab: np.ndarray, w: np.ndarray | None = None, uplo: str = "U",
     return _band_ev("LA_SBEV", sbev, ab, w, uplo, z, info)
 
 
+@backend_aware
 def la_hbev(ab: np.ndarray, w: np.ndarray | None = None, uplo: str = "U",
             z=None, info: Info | None = None):
     """Hermitian band eigen driver (paper ``LA_HBEV``)."""
     return _band_ev("LA_HBEV", hbev, ab, w, uplo, z, info)
 
 
+@backend_aware
 def la_stev(d: np.ndarray, e: np.ndarray, z=None,
             info: Info | None = None):
     """Computes all eigenvalues (and optionally eigenvectors) of a real
@@ -221,6 +228,7 @@ def la_stev(d: np.ndarray, e: np.ndarray, z=None,
     return (d, zout) if _want(z) else d
 
 
+@backend_aware
 def la_gees(a: np.ndarray, w: np.ndarray | None = None, vs=None,
             select=None, info: Info | None = None):
     """Computes the eigenvalues and Schur form of a nonsymmetric matrix,
@@ -260,6 +268,7 @@ def la_gees(a: np.ndarray, w: np.ndarray | None = None, vs=None,
     return wout, sdim
 
 
+@backend_aware
 def la_geev(a: np.ndarray, w: np.ndarray | None = None, vl=None, vr=None,
             info: Info | None = None):
     """Computes the eigenvalues and, optionally, left/right eigenvectors
@@ -302,6 +311,7 @@ def la_geev(a: np.ndarray, w: np.ndarray | None = None, vl=None, vr=None,
     return out[0] if len(out) == 1 else tuple(out)
 
 
+@backend_aware
 def la_gesvd(a: np.ndarray, s: np.ndarray | None = None, u=None, vt=None,
              ww: np.ndarray | None = None, job: str = "N",
              info: Info | None = None):

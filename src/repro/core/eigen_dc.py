@@ -7,7 +7,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import Info, NoConvergence, erinfo
-from ..lapack77 import (hbevd, heevd, hpevd, sbevd, spevd, stevd, syevd)
+from ..backends import backend_aware
+from ..backends.kernels import (hbevd, heevd, hpevd, sbevd, spevd, stevd,
+                                syevd)
 from .auxmod import check_square, lsame
 from .eigen import _band_ev, _packed_ev, _store, _want
 
@@ -38,6 +40,7 @@ def _dense_evd(srname, driver, a, w, jobz, uplo, info):
     return wout
 
 
+@backend_aware
 def la_syevd(a: np.ndarray, w: np.ndarray | None = None, jobz: str = "N",
              uplo: str = "U", info: Info | None = None) -> np.ndarray:
     """Divide-and-conquer eigensolver for a real symmetric matrix
@@ -48,36 +51,42 @@ def la_syevd(a: np.ndarray, w: np.ndarray | None = None, jobz: str = "N",
     return _dense_evd("LA_SYEVD", syevd, a, w, jobz, uplo, info)
 
 
+@backend_aware
 def la_heevd(a: np.ndarray, w: np.ndarray | None = None, jobz: str = "N",
              uplo: str = "U", info: Info | None = None) -> np.ndarray:
     """Divide-and-conquer Hermitian eigensolver (paper ``LA_HEEVD``)."""
     return _dense_evd("LA_HEEVD", heevd, a, w, jobz, uplo, info)
 
 
+@backend_aware
 def la_spevd(ap: np.ndarray, w: np.ndarray | None = None,
              uplo: str = "U", z=None, info: Info | None = None):
     """Packed symmetric divide-and-conquer driver (paper ``LA_SPEVD``)."""
     return _packed_ev("LA_SPEVD", spevd, ap, w, uplo, z, info)
 
 
+@backend_aware
 def la_hpevd(ap: np.ndarray, w: np.ndarray | None = None,
              uplo: str = "U", z=None, info: Info | None = None):
     """Packed Hermitian divide-and-conquer driver (paper ``LA_HPEVD``)."""
     return _packed_ev("LA_HPEVD", hpevd, ap, w, uplo, z, info)
 
 
+@backend_aware
 def la_sbevd(ab: np.ndarray, w: np.ndarray | None = None,
              uplo: str = "U", z=None, info: Info | None = None):
     """Symmetric band divide-and-conquer driver (paper ``LA_SBEVD``)."""
     return _band_ev("LA_SBEVD", sbevd, ab, w, uplo, z, info)
 
 
+@backend_aware
 def la_hbevd(ab: np.ndarray, w: np.ndarray | None = None,
              uplo: str = "U", z=None, info: Info | None = None):
     """Hermitian band divide-and-conquer driver (paper ``LA_HBEVD``)."""
     return _band_ev("LA_HBEVD", hbevd, ab, w, uplo, z, info)
 
 
+@backend_aware
 def la_stevd(d: np.ndarray, e: np.ndarray, z=None,
              info: Info | None = None):
     """Divide-and-conquer tridiagonal driver (paper: ``CALL LA_STEVD( D,

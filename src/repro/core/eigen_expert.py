@@ -8,8 +8,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import Info, NoConvergence, erinfo
-from ..lapack77 import (geesx, geevx, hbevx, heevx, hpevx, sbevx, spevx,
-                        stevx, syevx)
+from ..backends import backend_aware
+from ..backends.kernels import (geesx, geevx, hbevx, heevx, hpevx, sbevx,
+                                spevx, stevx, syevx)
 from .auxmod import check_square, lsame
 from .eigen import _store, _want
 
@@ -47,6 +48,7 @@ def _dense_evx(srname, driver, a, w, uplo, z, vl, vu, il, iu, abstol,
     return (wout, zout, m, ifail) if _want(z) else (wout, m, ifail)
 
 
+@backend_aware
 def la_syevx(a, w=None, uplo="U", z=None, vl=None, vu=None, il=None,
              iu=None, abstol=0.0, info: Info | None = None):
     """Selected eigenvalues/vectors of a real symmetric matrix by
@@ -60,6 +62,7 @@ def la_syevx(a, w=None, uplo="U", z=None, vl=None, vu=None, il=None,
                       abstol, info)
 
 
+@backend_aware
 def la_heevx(a, w=None, uplo="U", z=None, vl=None, vu=None, il=None,
              iu=None, abstol=0.0, info: Info | None = None):
     """Hermitian expert eigen driver (paper ``LA_HEEVX``)."""
@@ -86,6 +89,7 @@ def _structured_evx(srname, driver, data, n, w, uplo, z, vl, vu, il, iu,
     return (wout, zout, m, ifail) if _want(z) else (wout, m, ifail)
 
 
+@backend_aware
 def la_spevx(ap, w=None, uplo="U", z=None, vl=None, vu=None, il=None,
              iu=None, abstol=0.0, info: Info | None = None):
     """Packed symmetric expert driver (paper ``LA_SPEVX``)."""
@@ -95,6 +99,7 @@ def la_spevx(ap, w=None, uplo="U", z=None, vl=None, vu=None, il=None,
                            il, iu, abstol, info)
 
 
+@backend_aware
 def la_hpevx(ap, w=None, uplo="U", z=None, vl=None, vu=None, il=None,
              iu=None, abstol=0.0, info: Info | None = None):
     """Packed Hermitian expert driver (paper ``LA_HPEVX``)."""
@@ -104,6 +109,7 @@ def la_hpevx(ap, w=None, uplo="U", z=None, vl=None, vu=None, il=None,
                            il, iu, abstol, info)
 
 
+@backend_aware
 def la_sbevx(ab, w=None, uplo="U", z=None, vl=None, vu=None, il=None,
              iu=None, abstol=0.0, info: Info | None = None):
     """Symmetric band expert driver (paper ``LA_SBEVX``)."""
@@ -111,6 +117,7 @@ def la_sbevx(ab, w=None, uplo="U", z=None, vl=None, vu=None, il=None,
                            vl, vu, il, iu, abstol, info)
 
 
+@backend_aware
 def la_hbevx(ab, w=None, uplo="U", z=None, vl=None, vu=None, il=None,
              iu=None, abstol=0.0, info: Info | None = None):
     """Hermitian band expert driver (paper ``LA_HBEVX``)."""
@@ -118,6 +125,7 @@ def la_hbevx(ab, w=None, uplo="U", z=None, vl=None, vu=None, il=None,
                            vl, vu, il, iu, abstol, info)
 
 
+@backend_aware
 def la_stevx(d, e, w=None, z=None, vl=None, vu=None, il=None, iu=None,
              abstol=0.0, info: Info | None = None):
     """Tridiagonal expert driver (paper: ``CALL LA_STEVX( D, E, W, Z=z,
@@ -142,6 +150,7 @@ def la_stevx(d, e, w=None, z=None, vl=None, vu=None, il=None, iu=None,
     return (wout, zout, m, ifail) if _want(z) else (wout, m, ifail)
 
 
+@backend_aware
 def la_geesx(a, w=None, vs=None, select=None, sense: str = "B",
              info: Info | None = None):
     """Expert Schur driver: ordered Schur form plus reciprocal condition
@@ -178,6 +187,7 @@ def la_geesx(a, w=None, vs=None, select=None, sense: str = "B",
     return wout, sdim, rconde, rcondv
 
 
+@backend_aware
 def la_geevx(a, w=None, vl=None, vr=None, balanc: str = "B",
              sense: str = "B", info: Info | None = None):
     """Expert eigen driver: eigenvalues/vectors plus balancing data and

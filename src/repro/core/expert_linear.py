@@ -21,16 +21,17 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import Info, erinfo, SingularMatrix, NotPositiveDefinite
-from ..lapack77 import (gbcon, gbequ, gbrfs, gbtrf, gbtrs, gecon, geequ,
-                        gerfs, getrf, getrs, gtcon, gtrfs, gttrf, gttrs,
-                        hecon, herfs, hetrf, hetrs, langb, lange, langt,
-                        lanhe, lansp, lansy, lanst, laqge, laqsy, pbcon,
-                        pbequ, pbrfs, pbtrf, pbtrs, pocon, poequ, porfs,
-                        potrf, potrs, ppcon, pprfs, pptrf, pptrs, ptcon,
-                        ptrfs, pttrf, pttrs, spcon, sptrf, sptrs, sycon,
-                        syrfs, sytrf, sytrs)
-from ..lapack77.machine import lamch
-from ..lapack77.packed import hpcon
+from ..backends import backend_aware
+from ..backends.kernels import (gbcon, gbequ, gbrfs, gbtrf, gbtrs, gecon,
+                                geequ, gerfs, getrf, getrs, gtcon, gtrfs,
+                                gttrf, gttrs, hecon, herfs, hetrf, hetrs,
+                                hpcon, hptrf, lamch, langb, lange, langt,
+                                lanhe, lansb, lansp, lansy, lanst, laqge,
+                                laqsy, pbcon, pbequ, pbrfs, pbtrf, pbtrs,
+                                pocon, poequ, porfs, potrf, potrs, ppcon,
+                                pprfs, pptrf, pptrs, ptcon, ptrfs, pttrf,
+                                pttrs, spcon, sptrf, sptrs, sycon, syrfs,
+                                sytrf, sytrs)
 from ..policy import illcond_event
 from .auxmod import (as_matrix, check_rhs, check_square, driver_guard,
                      lsame)
@@ -94,6 +95,7 @@ def _finish(srname, linfo, info, res, exc=None):
     return res
 
 
+@backend_aware
 def la_gesvx(a: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
              af: np.ndarray | None = None, ipiv: np.ndarray | None = None,
              fact: str = "N", trans: str = "N", equed: str | None = None,
@@ -182,6 +184,7 @@ def la_gesvx(a: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
     return _finish(srname, linfo, info, res)
 
 
+@backend_aware
 def la_gbsvx(ab: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
              kl: int | None = None, abf: np.ndarray | None = None,
              ipiv: np.ndarray | None = None, fact: str = "N",
@@ -239,6 +242,7 @@ def la_gbsvx(ab: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
     return _finish(srname, linfo, info, res)
 
 
+@backend_aware
 def la_gtsvx(dl, d, du, b, x=None, trans: str = "N",
              info: Info | None = None) -> ExpertResult:
     """Expert tridiagonal solver (paper ``LA_GTSVX``)."""
@@ -282,6 +286,7 @@ def la_gtsvx(dl, d, du, b, x=None, trans: str = "N",
     return _finish(srname, linfo, info, res)
 
 
+@backend_aware
 def la_posvx(a: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
              uplo: str = "U", af: np.ndarray | None = None,
              fact: str = "N", s: np.ndarray | None = None,
@@ -339,6 +344,7 @@ def la_posvx(a: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
     return _finish(srname, linfo, info, res)
 
 
+@backend_aware
 def la_ppsvx(ap: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
              uplo: str = "U", afp: np.ndarray | None = None,
              fact: str = "N", info: Info | None = None) -> ExpertResult:
@@ -384,6 +390,7 @@ def la_ppsvx(ap: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
     return _finish(srname, linfo, info, res)
 
 
+@backend_aware
 def la_pbsvx(ab: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
              uplo: str = "U", afb: np.ndarray | None = None,
              fact: str = "N", info: Info | None = None) -> ExpertResult:
@@ -413,7 +420,6 @@ def la_pbsvx(ab: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
         res.rcond = 0.0
         return _finish(srname, linfo, info, res,
                        NotPositiveDefinite(srname, linfo))
-    from ..lapack77 import lansb
     hermitian = np.iscomplexobj(ab)
     anorm = lansb("1", ab, n, uplo, hermitian=hermitian)
     res.rcond, _ = pbcon(res.af, anorm, uplo)
@@ -429,6 +435,7 @@ def la_pbsvx(ab: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
     return _finish(srname, linfo, info, res)
 
 
+@backend_aware
 def la_ptsvx(d: np.ndarray, e: np.ndarray, b: np.ndarray,
              x: np.ndarray | None = None, fact: str = "N",
              info: Info | None = None) -> ExpertResult:
@@ -507,6 +514,7 @@ def _indef_expert(srname, trf, trs, con, rfs, a, b, x, uplo, af, ipiv,
     return _finish(srname, linfo, info, res)
 
 
+@backend_aware
 def la_sysvx(a, b, x=None, uplo="U", af=None, ipiv=None, fact="N",
              info: Info | None = None) -> ExpertResult:
     """Expert symmetric indefinite solver (paper ``LA_SYSVX``)."""
@@ -514,6 +522,7 @@ def la_sysvx(a, b, x=None, uplo="U", af=None, ipiv=None, fact="N",
                          uplo, af, ipiv, fact, info, hermitian=False)
 
 
+@backend_aware
 def la_hesvx(a, b, x=None, uplo="U", af=None, ipiv=None, fact="N",
              info: Info | None = None) -> ExpertResult:
     """Expert Hermitian indefinite solver (paper ``LA_HESVX``)."""
@@ -544,7 +553,6 @@ def _packed_indef_expert(srname, hermitian, ap, b, x, uplo, afp, ipiv,
     else:
         res.af = ap.copy()
         if hermitian:
-            from ..lapack77 import hptrf
             res.ipiv, linfo = hptrf(res.af, uplo)
         else:
             res.ipiv, linfo = sptrf(res.af, uplo)
@@ -562,12 +570,11 @@ def _packed_indef_expert(srname, hermitian, ap, b, x, uplo, afp, ipiv,
     sptrs(res.af, res.ipiv, x2d, uplo, hermitian=hermitian)
     # Refinement via the dense machinery on the unpacked matrix.
     from ..storage import unpack
-    from ..lapack77.sym_indef import _indef_rfs
     full = unpack(ap, n, uplo=uplo, symmetric=not hermitian,
                   hermitian=hermitian)
     fullf = unpack(res.af, n, uplo=uplo)
-    res.ferr, res.berr, _ = _indef_rfs(full, fullf, res.ipiv, bmat, x2d,
-                                       uplo, hermitian)
+    rfs = herfs if hermitian else syrfs
+    res.ferr, res.berr, _ = rfs(full, fullf, res.ipiv, bmat, x2d, uplo)
     res.x = _vector_like(b, x2d, was_vec)
     if x is not None:
         xv, _ = as_matrix(x)
@@ -576,6 +583,7 @@ def _packed_indef_expert(srname, hermitian, ap, b, x, uplo, afp, ipiv,
     return _finish(srname, linfo, info, res)
 
 
+@backend_aware
 def la_spsvx(ap, b, x=None, uplo="U", afp=None, ipiv=None, fact="N",
              info: Info | None = None) -> ExpertResult:
     """Expert packed symmetric indefinite solver (paper ``LA_SPSVX``)."""
@@ -583,6 +591,7 @@ def la_spsvx(ap, b, x=None, uplo="U", afp=None, ipiv=None, fact="N",
                                 ipiv, fact, info)
 
 
+@backend_aware
 def la_hpsvx(ap, b, x=None, uplo="U", afp=None, ipiv=None, fact="N",
              info: Info | None = None) -> ExpertResult:
     """Expert packed Hermitian indefinite solver (paper ``LA_HPSVX``)."""

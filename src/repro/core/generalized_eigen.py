@@ -6,8 +6,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import Info, NoConvergence, erinfo, NotPositiveDefinite
-from ..lapack77 import (gegs, gegv, ggsvd, hbgv, hegv, hpgv, sbgv, spgv,
-                        sygv)
+from ..backends import backend_aware
+from ..backends.kernels import (gegs, gegv, ggsvd, hbgv, hegv, hpgv, sbgv,
+                                spgv, sygv)
 from .auxmod import check_rhs, check_square, lsame
 from .eigen import _store, _want
 
@@ -45,6 +46,7 @@ def _gv(srname, driver, a, b, w, itype, jobz, uplo, info):
     return wout
 
 
+@backend_aware
 def la_sygv(a: np.ndarray, b: np.ndarray, w: np.ndarray | None = None,
             itype: int = 1, jobz: str = "N", uplo: str = "U",
             info: Info | None = None) -> np.ndarray:
@@ -60,6 +62,7 @@ def la_sygv(a: np.ndarray, b: np.ndarray, w: np.ndarray | None = None,
     return _gv("LA_SYGV", sygv, a, b, w, itype, jobz, uplo, info)
 
 
+@backend_aware
 def la_hegv(a: np.ndarray, b: np.ndarray, w: np.ndarray | None = None,
             itype: int = 1, jobz: str = "N", uplo: str = "U",
             info: Info | None = None) -> np.ndarray:
@@ -96,12 +99,14 @@ def _packed_gv(srname, ap, bp, w, itype, uplo, z, info, method="qr"):
     return (wout, zout) if _want(z) else wout
 
 
+@backend_aware
 def la_spgv(ap, bp, w=None, itype: int = 1, uplo: str = "U", z=None,
             info: Info | None = None):
     """Packed generalized symmetric-definite driver (paper ``LA_SPGV``)."""
     return _packed_gv("LA_SPGV", ap, bp, w, itype, uplo, z, info)
 
 
+@backend_aware
 def la_hpgv(ap, bp, w=None, itype: int = 1, uplo: str = "U", z=None,
             info: Info | None = None):
     """Packed generalized Hermitian-definite driver (paper ``LA_HPGV``)."""
@@ -135,18 +140,21 @@ def _band_gv(srname, ab, bb, w, uplo, z, info):
     return (wout, zout) if _want(z) else wout
 
 
+@backend_aware
 def la_sbgv(ab, bb, w=None, uplo: str = "U", z=None,
             info: Info | None = None):
     """Band generalized symmetric-definite driver (paper ``LA_SBGV``)."""
     return _band_gv("LA_SBGV", ab, bb, w, uplo, z, info)
 
 
+@backend_aware
 def la_hbgv(ab, bb, w=None, uplo: str = "U", z=None,
             info: Info | None = None):
     """Band generalized Hermitian-definite driver (paper ``LA_HBGV``)."""
     return _band_gv("LA_HBGV", ab, bb, w, uplo, z, info)
 
 
+@backend_aware
 def la_gegs(a: np.ndarray, b: np.ndarray, vsl=None, vsr=None,
             info: Info | None = None):
     """Generalized Schur factorization of a nonsymmetric pencil (A, B)
@@ -182,6 +190,7 @@ def la_gegs(a: np.ndarray, b: np.ndarray, vsl=None, vsr=None,
     return tuple(out)
 
 
+@backend_aware
 def la_gegv(a: np.ndarray, b: np.ndarray, vl=None, vr=None,
             info: Info | None = None):
     """Generalized eigenvalues (and optionally eigenvectors) of a pair of
@@ -210,6 +219,7 @@ def la_gegv(a: np.ndarray, b: np.ndarray, vl=None, vr=None,
     return tuple(out)
 
 
+@backend_aware
 def la_ggsvd(a: np.ndarray, b: np.ndarray, info: Info | None = None):
     """Computes the generalized singular value decomposition
     (paper: ``CALL LA_GGSVD( A, B, ALPHA, BETA, K=k, L=l, U=u, V=v,

@@ -6,11 +6,13 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import Info, erinfo
-from ..lapack77 import gglse, ggglm
+from ..backends import backend_aware
+from ..backends.kernels import gglse, ggglm
 
 __all__ = ["la_gglse", "la_ggglm"]
 
 
+@backend_aware
 def la_gglse(a: np.ndarray, b: np.ndarray, c: np.ndarray, d: np.ndarray,
              x: np.ndarray | None = None,
              info: Info | None = None) -> np.ndarray:
@@ -46,6 +48,7 @@ def la_gglse(a: np.ndarray, b: np.ndarray, c: np.ndarray, d: np.ndarray,
     return x
 
 
+@backend_aware
 def la_ggglm(a: np.ndarray, b: np.ndarray, d: np.ndarray,
              x: np.ndarray | None = None, y: np.ndarray | None = None,
              info: Info | None = None):

@@ -5,7 +5,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import Info, erinfo
-from ..lapack77 import gels, gelss, gelsx
+from ..backends import backend_aware
+from ..backends.kernels import gels, gelss, gelsx
 from .auxmod import as_matrix, check_rhs, driver_guard, lsame
 
 __all__ = ["la_gels", "la_gelsx", "la_gelss"]
@@ -26,6 +27,7 @@ def _ls_rhs(a, b):
     return bw, was_vec, True
 
 
+@backend_aware
 def la_gels(a: np.ndarray, b: np.ndarray, trans: str = "N",
             info: Info | None = None) -> np.ndarray:
     """Solves over-determined or under-determined full-rank linear
@@ -66,6 +68,7 @@ def la_gels(a: np.ndarray, b: np.ndarray, trans: str = "N",
     return b
 
 
+@backend_aware
 def la_gelsx(a: np.ndarray, b: np.ndarray, rcond: float = -1.0,
              jpvt: np.ndarray | None = None,
              info: Info | None = None):
@@ -101,6 +104,7 @@ def la_gelsx(a: np.ndarray, b: np.ndarray, rcond: float = -1.0,
     return x, rank
 
 
+@backend_aware
 def la_gelss(a: np.ndarray, b: np.ndarray, rcond: float = -1.0,
              info: Info | None = None):
     """Computes the minimum norm solution to a least squares problem

@@ -42,8 +42,9 @@ import numpy as np
 
 from ..errors import (DriverFallbackWarning, Info, LinAlgError,
                       NotPositiveDefinite, SingularMatrix, erinfo)
-from ..lapack77 import (gbsv, gtsv, gesv, hesv, hpsv, pbsv, posv, ppsv,
-                        ptsv, spsv, sysv)
+from ..backends import backend_aware
+from ..backends.kernels import (gbsv, gtsv, gesv, hesv, hpsv, pbsv, posv,
+                                ppsv, ptsv, spsv, sysv)
 from ..policy import get_policy, has_nonfinite
 from .auxmod import as_matrix, check_rhs, check_square, driver_guard, lsame
 
@@ -131,6 +132,7 @@ def _fallback_gbsv(srname, ab_plain, kl, bmat, n, info):
     return True
 
 
+@backend_aware
 def la_gesv(a: np.ndarray, b: np.ndarray, ipiv: np.ndarray | None = None,
             info: Info | None = None) -> np.ndarray:
     """Solves a general system of linear equations ``A X = B``
@@ -186,6 +188,7 @@ def la_gesv(a: np.ndarray, b: np.ndarray, ipiv: np.ndarray | None = None,
     return b
 
 
+@backend_aware
 def la_gbsv(ab: np.ndarray, b: np.ndarray, kl: int | None = None,
             ipiv: np.ndarray | None = None,
             info: Info | None = None) -> np.ndarray:
@@ -233,6 +236,7 @@ def la_gbsv(ab: np.ndarray, b: np.ndarray, kl: int | None = None,
     return b
 
 
+@backend_aware
 def la_gtsv(dl: np.ndarray, d: np.ndarray, du: np.ndarray, b: np.ndarray,
             info: Info | None = None) -> np.ndarray:
     """Solves a general tridiagonal system of linear equations ``A X = B``
@@ -264,6 +268,7 @@ def la_gtsv(dl: np.ndarray, d: np.ndarray, du: np.ndarray, b: np.ndarray,
     return b
 
 
+@backend_aware
 def la_posv(a: np.ndarray, b: np.ndarray, uplo: str = "U",
             info: Info | None = None) -> np.ndarray:
     """Solves a symmetric/Hermitian positive definite system ``A X = B``
@@ -298,6 +303,7 @@ def la_posv(a: np.ndarray, b: np.ndarray, uplo: str = "U",
     return b
 
 
+@backend_aware
 def la_ppsv(ap: np.ndarray, b: np.ndarray, uplo: str = "U",
             info: Info | None = None) -> np.ndarray:
     """Solves a symmetric/Hermitian positive definite system with A in
@@ -325,6 +331,7 @@ def la_ppsv(ap: np.ndarray, b: np.ndarray, uplo: str = "U",
     return b
 
 
+@backend_aware
 def la_pbsv(ab: np.ndarray, b: np.ndarray, uplo: str = "U",
             info: Info | None = None) -> np.ndarray:
     """Solves a symmetric/Hermitian positive definite band system
@@ -354,6 +361,7 @@ def la_pbsv(ab: np.ndarray, b: np.ndarray, uplo: str = "U",
     return b
 
 
+@backend_aware
 def la_ptsv(d: np.ndarray, e: np.ndarray, b: np.ndarray,
             info: Info | None = None) -> np.ndarray:
     """Solves a symmetric/Hermitian positive definite tridiagonal system
@@ -409,6 +417,7 @@ def _indef_driver(srname, solver, a, b, uplo, ipiv, info):
     return b
 
 
+@backend_aware
 def la_sysv(a: np.ndarray, b: np.ndarray, uplo: str = "U",
             ipiv: np.ndarray | None = None,
             info: Info | None = None) -> np.ndarray:
@@ -418,6 +427,7 @@ def la_sysv(a: np.ndarray, b: np.ndarray, uplo: str = "U",
     return _indef_driver("LA_SYSV", sysv, a, b, uplo, ipiv, info)
 
 
+@backend_aware
 def la_hesv(a: np.ndarray, b: np.ndarray, uplo: str = "U",
             ipiv: np.ndarray | None = None,
             info: Info | None = None) -> np.ndarray:
@@ -452,6 +462,7 @@ def _packed_indef_driver(srname, solver, ap, b, uplo, ipiv, info):
     return b
 
 
+@backend_aware
 def la_spsv(ap: np.ndarray, b: np.ndarray, uplo: str = "U",
             ipiv: np.ndarray | None = None,
             info: Info | None = None) -> np.ndarray:
@@ -460,6 +471,7 @@ def la_spsv(ap: np.ndarray, b: np.ndarray, uplo: str = "U",
     return _packed_indef_driver("LA_SPSV", spsv, ap, b, uplo, ipiv, info)
 
 
+@backend_aware
 def la_hpsv(ap: np.ndarray, b: np.ndarray, uplo: str = "U",
             ipiv: np.ndarray | None = None,
             info: Info | None = None) -> np.ndarray:

@@ -6,12 +6,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import Info, erinfo
-from ..lapack77 import lagge, lange
+from ..backends import backend_aware
+from ..backends.kernels import lagge, lange
 from .auxmod import lsame
 
 __all__ = ["la_lange", "la_lagge"]
 
 
+@backend_aware
 def la_lange(a: np.ndarray, norm: str = "1",
              info: Info | None = None) -> float:
     """Returns the value of the one norm, the Frobenius norm, the
@@ -33,6 +35,7 @@ def la_lange(a: np.ndarray, norm: str = "1",
     return value
 
 
+@backend_aware
 def la_lagge(a: np.ndarray, kl: int | None = None, ku: int | None = None,
              d: np.ndarray | None = None, iseed: int | None = None,
              info: Info | None = None) -> np.ndarray:

@@ -37,6 +37,7 @@ __all__ = [
     "NonFiniteWarning",
     "IllConditionedWarning",
     "DriverFallbackWarning",
+    "BackendFallbackWarning",
     "erinfo",
     "xerbla",
     "ALLOC_FAILED",
@@ -162,6 +163,13 @@ class IllConditionedWarning(NumericalWarning):
 class DriverFallbackWarning(NumericalWarning):
     """A driver degraded gracefully onto its fallback path (e.g.
     ``LA_POSV`` retrying through the symmetric-indefinite solver)."""
+
+
+class BackendFallbackWarning(NumericalWarning):
+    """The selected compute backend could not serve a routine (substrate
+    not registered, routine missing, or dtype unsupported) and the call
+    fell back to the ``reference`` kernels.  Announced once per
+    (backend, routine) pair per process."""
 
 
 class Info:

@@ -30,7 +30,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import xerbla
-from .. import lapack77 as _l77
+from ..backends import kernels as _l77
 from ..config import ilaenv
 
 __all__ = ["la_gesv", "la_getrf", "la_getrs", "la_getri", "la_gecon",

@@ -66,4 +66,68 @@ from .generators import laror, lagge, lagsy, laghe, latms_like
 from .householder import larfg, larf_left, larf_right, larft, larfb
 from .givens import lartg, lartg_c, lanv2
 
-__all__ = [name for name in dir() if not name.startswith("_")]
+# Explicit export catalogue.  Keep in sync with the imports above; a
+# dir()-derived list would leak the submodule names (``lu``, ``chol``,
+# ...) into the public namespace, and the backend registry builds the
+# reference substrate directly from this list
+# (tests/lapack77/test_namespace.py asserts both properties).
+__all__ = [
+    # machine / auxiliary
+    "lamch",
+    "lange", "lansy", "lanhe", "langb", "langt", "lansp", "lansb",
+    "lanhs", "lanst", "lantr", "laswp", "lacpy", "laset", "lassq",
+    "lapy2", "lapy3", "larnv",
+    "lacon",
+    # LU family
+    "gesv", "getf2", "getrf", "getri", "getrs", "gecon", "gerfs",
+    "geequ", "laqge",
+    # Cholesky family
+    "posv", "potf2", "potrf", "potrs", "pocon", "porfs", "poequ",
+    "laqsy",
+    # tridiagonal
+    "gtsv", "gttrf", "gttrs", "gtcon", "gtrfs", "ptsv", "pttrf",
+    "pttrs", "ptcon", "ptrfs", "gt_matvec", "pt_matvec",
+    # banded
+    "gbsv", "gbtrf", "gbtrs", "gbcon", "gbrfs", "gbequ",
+    "pbsv", "pbtrf", "pbtrs", "pbcon", "pbrfs", "pbequ",
+    # symmetric / Hermitian indefinite
+    "sytf2", "sytrf", "sytrs", "sysv", "sycon", "syrfs",
+    "hetf2", "hetrf", "hetrs", "hesv", "hecon", "herfs",
+    # packed storage
+    "pptrf", "pptrs", "ppsv", "ppcon", "pprfs", "ppequ",
+    "sptrf", "sptrs", "spsv", "spcon", "hptrf", "hptrs", "hpsv",
+    "hpcon",
+    # QR / LQ
+    "geqr2", "geqrf", "orgqr", "ungqr", "ormqr", "unmqr",
+    "gelq2", "gelqf", "orglq", "unglq", "ormlq", "unmlq",
+    "geqpf", "tzrqf", "latzm",
+    # least squares
+    "gels", "gelss", "gelsx",
+    # tridiagonalization + symmetric eigensolvers
+    "sytd2", "sytrd", "hetrd", "orgtr", "ungtr", "steqr", "sterf",
+    "laev2", "stebz", "stein", "stedc",
+    "syev", "syevd", "syevx", "heev", "heevd", "heevx", "stev",
+    "stevd", "stevx", "spev", "spevd", "spevx", "hpev", "hpevd",
+    "hpevx", "sbev", "sbevd", "sbevx", "hbev", "hbevd", "hbevx",
+    # generalized symmetric eigenproblems
+    "sygst", "hegst", "sygv", "hegv", "spgv", "hpgv", "sbgv", "hbgv",
+    "sbtrd", "hbtrd",
+    # triangular
+    "trtri", "trti2", "trtrs", "trcon",
+    # SVD
+    "gebd2", "gebrd", "orgbr", "ormbr", "bdsqr", "gesvd",
+    # Hessenberg / Schur / nonsymmetric eigenproblems
+    "gebal", "gebak", "gehd2", "gehrd", "orghr", "unghr",
+    "hseqr", "trevc", "trexc", "trsyl", "trsen", "schur_blocks",
+    "eig_of_schur",
+    "gees", "geev", "geesx", "geevx",
+    # generalized nonsymmetric / GSVD / constrained LS
+    "gghrd", "hgeqz", "gegs", "gegv", "tgevc",
+    "ggsvd",
+    "gglse", "ggglm",
+    # test-matrix generators
+    "laror", "lagge", "lagsy", "laghe", "latms_like",
+    # elementary reflectors and rotations
+    "larfg", "larf_left", "larf_right", "larft", "larfb",
+    "lartg", "lartg_c", "lanv2",
+]

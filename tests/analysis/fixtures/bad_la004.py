@@ -2,7 +2,7 @@
 call."""
 
 from repro.errors import erinfo
-from repro.lapack77 import gesv
+from repro.backends.kernels import gesv
 from repro.core.auxmod import driver_guard
 
 

@@ -1,13 +1,15 @@
-"""Conforming fixture: a minimal driver obeying the wrapper contract.
-
-Every lalint rule must stay quiet on this module.
-"""
+"""Seeded LA008 violations: a driver module reaching past the backend
+registry straight into the lapack77 substrate (every other rule must
+stay quiet — the driver itself obeys the wrapper contract)."""
 
 import numpy as np
 
 from repro.errors import Info, erinfo
-from repro.backends.kernels import gesv
+from repro.lapack77 import gesv                     # lint: LA008
+from repro.lapack77.chol import posv                # lint: LA008
 from repro.core.auxmod import check_rhs, check_square, driver_guard
+
+import repro.lapack77 as l77                        # lint: LA008
 
 __all__ = ["la_gesv"]
 

@@ -2,7 +2,7 @@
 and every substrate import resolves."""
 
 from repro.errors import erinfo
-from ..lapack77 import hesv, sysv
+from ..backends.kernels import hesv, sysv
 
 
 def la_sysv(a, b, info=None):

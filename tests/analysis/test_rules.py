@@ -108,6 +108,12 @@ def test_la007_fires_on_seeded_violations():
     assert "ALLOC_FAILED" in messages
 
 
+def test_la008_fires_on_seeded_violations():
+    found = _assert_matches_markers(_fixture("bad_la008.py"), "LA008")
+    messages = " | ".join(f.message for f in found)
+    assert "repro.backends.kernels" in messages
+
+
 def test_conforming_driver_is_clean():
     assert _findings(_fixture("clean_driver.py")) == []
 
@@ -120,7 +126,7 @@ def test_bad_fixtures_only_fire_their_own_rule():
     for name, code in [("bad_la001.py", "LA001"), ("bad_la003.py",
                        "LA003"), ("bad_la004.py", "LA004"),
                       ("bad_la005.py", "LA005"), ("bad_la007.py",
-                       "LA007")]:
+                       "LA007"), ("bad_la008.py", "LA008")]:
         found = _findings(_fixture(name))
         assert {f.code for f in found} == {code}, name
 

@@ -109,7 +109,7 @@ def test_la_hetrd_ungtr(rng):
 
 
 def test_la_sygst_hegst(rng):
-    import scipy.linalg as sla
+    sla = pytest.importorskip("scipy.linalg")
     n = 8
     a0 = rand_matrix(rng, n, n, np.float64)
     a0 = a0 + a0.T

@@ -179,7 +179,7 @@ def test_complex_hermitian_full_stack(rng):
     la_hesv(h.copy(), b)
     np.testing.assert_allclose(b, x_true, atol=1e-8)
     spd = spd_matrix(rng, n, np.complex128)
-    import scipy.linalg as sla
+    sla = pytest.importorskip("scipy.linalg")
     w = la_hegv(h.copy(), spd.copy())
     ref = sla.eigh(h, spd, eigvals_only=True)
     np.testing.assert_allclose(w, ref, atol=1e-8)

@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-import scipy.linalg as sla
+sla = pytest.importorskip("scipy.linalg")
 
 from repro import config
 from repro.errors import IllegalArgument

@@ -3,7 +3,7 @@ test-matrix generators."""
 
 import numpy as np
 import pytest
-import scipy.linalg as sla
+sla = pytest.importorskip("scipy.linalg")
 
 from repro.lapack77 import (gegs, gegv, ggglm, gglse, ggsvd, lagge, laghe,
                             lagsy, laror, latms_like)

@@ -196,7 +196,7 @@ def test_hbev_band(rng):
 @pytest.mark.parametrize("uplo", UPLOS)
 @pytest.mark.parametrize("itype", [1, 2, 3])
 def test_sygv(rng, uplo, itype):
-    import scipy.linalg as sla
+    sla = pytest.importorskip("scipy.linalg")
     n = 15
     a0 = sym(rng, n, np.float64)
     b0 = spd_matrix(rng, n, np.float64)
@@ -219,7 +219,7 @@ def test_sygv(rng, uplo, itype):
 
 @pytest.mark.parametrize("uplo", UPLOS)
 def test_hegv(rng, uplo):
-    import scipy.linalg as sla
+    sla = pytest.importorskip("scipy.linalg")
     n = 12
     a0 = sym(rng, n, np.complex128, hermitian=True)
     b0 = spd_matrix(rng, n, np.complex128)
@@ -239,7 +239,7 @@ def test_sygv_b_not_pd():
 
 
 def test_spgv_packed(rng):
-    import scipy.linalg as sla
+    sla = pytest.importorskip("scipy.linalg")
     n = 10
     a0 = sym(rng, n, np.float64)
     b0 = spd_matrix(rng, n, np.float64)
@@ -251,7 +251,7 @@ def test_spgv_packed(rng):
 
 
 def test_sbgv_band(rng):
-    import scipy.linalg as sla
+    sla = pytest.importorskip("scipy.linalg")
     n, kd = 12, 2
     a0 = sym(rng, n, np.float64)
     b0 = spd_matrix(rng, n, np.float64)
