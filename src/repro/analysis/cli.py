@@ -22,7 +22,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="lalint: static checker for the LAPACK90 wrapper "
-                    "contract (rules LA001-LA008).")
+                    "contract (rules LA001-LA010).")
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to analyse "
                              "(default: src/repro)")
@@ -79,21 +79,44 @@ def main(argv=None) -> int:
 
     new, suppressed = baseline.split(findings)
 
+    # A baseline entry whose fingerprint no longer matches any current
+    # finding is stale — the legacy violation was fixed (or the code
+    # deleted) and the suppression must be dropped from the file, or it
+    # would silently mask a future regression.  Only a full run can
+    # tell (with --select the unmatched entries are expected).
+    stale = []
+    if select is None and baseline.entries:
+        current = {f.fingerprint for f in findings}
+        stale = [entry for fp, entry in sorted(baseline.entries.items())
+                 if fp not in current]
+
     if args.format == "json":
         print(json.dumps({
             "findings": [f.to_dict() for f in new],
             "suppressed": len(suppressed),
+            "stale_baseline": stale,
         }, indent=2, sort_keys=True))
     elif args.format == "github":
         for f in new:
             print(f.render_github())
-        if new:
-            print(f"lalint: {len(new)} new finding(s)")
+        for entry in stale:
+            print(f"::error file={args.baseline or DEFAULT_BASELINE}"
+                  f",title=stale-baseline::baseline entry "
+                  f"{entry['fingerprint']} ({entry.get('code', '?')}) "
+                  "matches no current finding")
+        if new or stale:
+            print(f"lalint: {len(new)} new finding(s), "
+                  f"{len(stale)} stale baseline entr(ies)")
     else:
         for f in new:
             print(f.render())
+        for entry in stale:
+            print(f"lalint: stale baseline entry {entry['fingerprint']}"
+                  f" ({entry.get('code', '?')} {entry.get('path', '?')}"
+                  f" [{entry.get('context', '')}]) matches no current "
+                  "finding; regenerate with --write-baseline")
         note = f" ({len(suppressed)} suppressed by baseline)" \
             if suppressed else ""
         print(f"lalint: {len(new)} finding(s) in "
               f"{len(project.modules)} module(s){note}")
-    return 1 if new else 0
+    return 1 if new or stale else 0

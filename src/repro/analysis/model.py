@@ -97,11 +97,22 @@ class Module:
         p = self.path.replace(os.sep, "/")
         return "/lapack77/" in p or p.endswith("/lapack77")
 
+    @property
+    def is_f77_compat(self) -> bool:
+        """The ``F77_LAPACK`` compatibility layer keeps the FORTRAN 77
+        convention — ``info`` is the return value and argument errors
+        raise through XERBLA — so the F90 wrapper-contract rules do not
+        apply to its ``la_*`` functions."""
+        p = self.path.replace(os.sep, "/")
+        return "/f77/" in p or p.endswith("/f77")
+
     def public_functions(self):
         return {n: f for n, f in self.functions.items()
                 if not n.startswith("_")}
 
     def drivers(self):
+        if self.is_f77_compat:
+            return {}
         return {n: f for n, f in self.functions.items()
                 if n.startswith("la_") and n not in NON_DRIVER_LA}
 

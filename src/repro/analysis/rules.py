@@ -1,18 +1,22 @@
-"""The lalint rule catalogue (LA001–LA007).
+"""The lalint rule catalogue (LA001–LA010).
 
 Every rule is a function ``check(project) -> list[Finding]`` registered
 in :data:`RULES`.  Rules only inspect the AST model — the analysed code
-is never imported.
+is never imported.  The two spec rules (LA009/LA010) additionally load
+the declarative driver-spec registry (:mod:`repro.specs.registry`) —
+plain data, not the code under analysis — and degrade to no findings
+when it cannot be imported.
 """
 
 from __future__ import annotations
 
 import ast
+import os
 
 from .findings import Finding
-from .model import (Project, alias_map, body_statements, call_name,
-                    int_literal, names_in, neg_literal, param_defaults,
-                    param_positions)
+from .model import (NON_DRIVER_LA, Project, alias_map, body_statements,
+                    call_name, int_literal, names_in, neg_literal,
+                    param_defaults, param_positions)
 
 __all__ = ["RULES", "run_rules", "rule_titles"]
 
@@ -25,7 +29,8 @@ LAPACK_ERRORS = {
 }
 
 #: Reporter callables and the index of their LINFO argument.
-REPORTERS = {"erinfo": 0, "xerbla": 1, "_report": 1, "_finish": 1}
+REPORTERS = {"erinfo": 0, "xerbla": 1, "_report": 1, "_finish": 1,
+             "_record_fallback": 3}
 
 #: Real <-> complex driver-family digraphs (``la_sysv`` pairs with
 #: ``la_hesv`` and so on).
@@ -503,6 +508,110 @@ def check_la008(project: Project):
     return findings
 
 
+# ---------------------------------------------------------------------
+# LA009 / LA010 — the declarative driver-spec registry agrees with the
+# live driver layer.  Both rules only look at modules under the core
+# driver package (``repro/core/``); fixture trees elsewhere are exempt.
+# ---------------------------------------------------------------------
+
+def _is_core(mod):
+    p = mod.path.replace(os.sep, "/")
+    return "/repro/core/" in p or p.startswith("repro/core/")
+
+
+def _load_specs():
+    try:
+        from ..specs.registry import SPECS
+    except Exception:
+        return None
+    return SPECS
+
+
+def check_la009(project: Project):
+    """Spec/signature agreement: every argument a spec declares exists
+    in the live driver at the declared 1-based position, every check's
+    LINFO code points at a declared position, and no core driver keeps a
+    hand-rolled literal validation ladder next to the spec engine."""
+    specs = _load_specs()
+    if specs is None:
+        return []
+    findings = []
+    for mod in project.modules:
+        if not _is_core(mod):
+            continue
+        for name, func in sorted(mod.drivers().items()):
+            spec = specs.get(name)
+            if spec is None:      # LA010's finding, not ours
+                continue
+            positions = param_positions(func)
+            declared = set()
+            for a in spec.args:
+                declared.add(a.position)
+                live = positions.get(a.name)
+                if live is None:
+                    findings.append(_f(
+                        "LA009",
+                        f"spec for {name} declares argument {a.name!r} "
+                        "which the driver does not accept", mod, func,
+                        context=name))
+                elif live != a.position:
+                    findings.append(_f(
+                        "LA009",
+                        f"spec for {name} places {a.name} at position "
+                        f"{a.position} but it is argument {live}",
+                        mod, func, context=name))
+            for c in spec.checks:
+                if -c.code not in declared:
+                    findings.append(_f(
+                        "LA009",
+                        f"spec check for {name} emits code {c.code} but "
+                        f"no argument is declared at position {-c.code}",
+                        mod, func, context=name))
+    for impl in project.driver_impls():
+        if not _is_core(impl.impl_module) \
+                or specs.get(impl.driver) is None:
+            continue
+        for code, test, node in _validation_branches(impl.func):
+            findings.append(_f(
+                "LA009",
+                f"hand-rolled validation ladder (literal code {code}) in "
+                f"{impl.driver}; emit the code through the spec engine "
+                "(validate_args)", impl.impl_module, node,
+                context=impl.driver))
+    return findings
+
+
+def check_la010(project: Project):
+    """Spec coverage both ways: every core driver has a registered spec,
+    and (when the core package itself is in the scanned tree) every
+    registered spec names a driver the core package exports."""
+    specs = _load_specs()
+    if specs is None:
+        return []
+    findings = []
+    core_init = None
+    for mod in project.modules:
+        if not _is_core(mod):
+            continue
+        if mod.path.replace(os.sep, "/").endswith("/core/__init__.py"):
+            core_init = mod
+        for name, func in sorted(mod.drivers().items()):
+            if name not in specs:
+                findings.append(_f(
+                    "LA010",
+                    f"core driver {name} has no registered driver spec",
+                    mod, func, context=name))
+    if core_init is not None:
+        exported = {n for n in core_init.imports
+                    if n.startswith("la_")} - NON_DRIVER_LA
+        for name in sorted(set(specs) - exported):
+            findings.append(_f(
+                "LA010",
+                f"spec {name} names no driver exported by the core "
+                "package", core_init, core_init.tree, context=name))
+    return findings
+
+
 RULES = [
     ("LA001", "every exit path reports through erinfo", check_la001),
     ("LA002", "LINFO codes match argument positions", check_la002),
@@ -513,6 +622,10 @@ RULES = [
     ("LA007", "code-class literal discipline", check_la007),
     ("LA008", "no direct substrate imports in driver modules",
      check_la008),
+    ("LA009", "driver specs agree with the live signatures",
+     check_la009),
+    ("LA010", "spec coverage of the core driver catalogue",
+     check_la010),
 ]
 
 

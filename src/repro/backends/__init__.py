@@ -55,6 +55,8 @@ __all__ = [
     "set_backend",
     "use_backend",
     "resolve",
+    "bound_kernel",
+    "driver_kernel",
     "backend_aware",
     "reset_fallback_announcements",
     "BackendFallbackWarning",
@@ -218,6 +220,35 @@ def resolve(routine, dtype=None, backend=None):
     if kernel is None:
         raise LookupError("unknown routine {!r}".format(routine))
     return kernel
+
+
+def bound_kernel(driver):
+    """The backend-kernel name a ``la_*`` driver is bound to, read from
+    its :mod:`repro.specs` registration.
+
+    Raises ``LookupError`` for a driver with no spec or with no kernel
+    binding (the spec layer marks pure-wrapper routines that way).
+    """
+    from ..specs import SPECS
+    spec = SPECS.get(driver)
+    if spec is None:
+        raise LookupError("no driver spec registered for {!r}"
+                          .format(driver))
+    if spec.kernel is None:
+        raise LookupError("driver {!r} has no kernel binding"
+                          .format(driver))
+    return spec.kernel
+
+
+def driver_kernel(driver, dtype=None, backend=None):
+    """Resolve a ``la_*`` driver straight to its concrete kernel.
+
+    Convenience composition of :func:`bound_kernel` (spec-declared
+    binding) and :func:`resolve` (backend selection, dtype support,
+    fallback ladder) — ``driver_kernel("la_gesv", np.float64)`` is the
+    kernel ``la_gesv`` would dispatch to right now.
+    """
+    return resolve(bound_kernel(driver), dtype=dtype, backend=backend)
 
 
 def backend_aware(func):

@@ -8,20 +8,47 @@
   ``LINFO`` codes the ERINFO protocol reports,
 * :func:`driver_guard` — the per-driver entry gate: NaN/Inf screening per
   the active exception policy plus the simulated workspace-allocation
-  fault (``LINFO = -100``) used by the fault-injection harness.
+  fault (``LINFO = -100``) used by the fault-injection harness,
+* :func:`_report` / :func:`_record_fallback` — the shared reporting
+  shims every driver module funnels its outcomes through.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from ..config import ilaenv
-from ..errors import ALLOC_FAILED, Info, erinfo
+from ..errors import ALLOC_FAILED, DriverFallbackWarning, Info, erinfo
 from ..faults import alloc_fault
 from ..policy import screen
 
 __all__ = ["lsame", "la_ws_gels", "la_ws_gelss", "as_matrix",
            "check_square", "check_rhs", "checked_dtype", "driver_guard"]
+
+
+def _report(srname, linfo, info, exc=None):
+    """Funnel a driver outcome through :func:`repro.errors.erinfo`."""
+    erinfo(linfo, srname, info, exc=exc)
+
+
+def _record_fallback(srname, via, rcond, linfo, info):
+    """Announce a taken fallback and record it on the Info handle.
+
+    ``linfo`` is stored without going through ``erinfo``: a successful
+    fallback is a warning-class outcome (even the ``n+1``
+    singular-to-working-precision verdict) and must not terminate.
+    """
+    detail = f" (RCOND = {rcond:.3e})" if rcond is not None else ""
+    warnings.warn(
+        f"{srname}: primary factorization failed; solution computed via "
+        f"the {via} fallback{detail}",
+        DriverFallbackWarning, stacklevel=4)
+    if info is not None:
+        info.value = int(linfo)
+        info.fallback = via
+        info.rcond = rcond
 
 
 def lsame(ca: str, cb: str) -> bool:

@@ -9,13 +9,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import ilaenv
-from ..errors import (Info, NoConvergence, SingularMatrix, erinfo,
+from ..errors import (Info, NoConvergence, SingularMatrix,
                       NotPositiveDefinite, WORK_REDUCED)
 from ..backends import backend_aware
 from ..backends.kernels import (gecon, geequ, gerfs, getrf, getri, getrs,
                                 hegst, hetrd, lange, lanhe, lansy, orgtr,
                                 pocon, potrf, sygst, sytrd, ungtr)
-from .auxmod import as_matrix, check_rhs, check_square, lsame
+from ..specs import validate_args
+from .auxmod import _report, as_matrix
 
 __all__ = ["la_getrf", "la_getrs", "la_getri", "la_gerfs", "la_geequ",
            "la_potrf", "la_sygst", "la_hegst", "la_sytrd", "la_hetrd",
@@ -35,19 +36,12 @@ def la_getrf(a: np.ndarray, ipiv: np.ndarray | None = None,
     requested with ``rcond=True``.
     """
     srname = "LA_GETRF"
-    linfo = 0
     exc = None
     rc = None
     lpiv = np.zeros(0, dtype=np.int64)
-    if not isinstance(a, np.ndarray) or a.ndim != 2:
-        linfo = -1
-    elif ipiv is not None and ipiv.shape[0] != min(a.shape):
-        linfo = -2
-    elif rcond and a.shape[0] != a.shape[1]:
-        linfo = -3
-    elif not (lsame(norm, "1") or lsame(norm, "O") or lsame(norm, "I")):
-        linfo = -4
-    else:
+    linfo = validate_args("la_getrf", a=a, ipiv=ipiv, rcond=rcond,
+                          norm=norm)
+    if linfo == 0:
         anorm = lange(norm, a) if rcond else 0.0
         lpiv, linfo = getrf(a)
         if ipiv is not None:
@@ -58,7 +52,7 @@ def la_getrf(a: np.ndarray, ipiv: np.ndarray | None = None,
         elif rcond:
             rc, _ = gecon(a, anorm, norm=norm)
             rc = min(rc, 1.0)
-    erinfo(linfo, srname, info, exc=exc)
+    _report(srname, linfo, info, exc)
     return (ipiv if ipiv is not None else lpiv), rc
 
 
@@ -69,20 +63,11 @@ def la_getrs(a: np.ndarray, ipiv: np.ndarray, b: np.ndarray,
     :func:`la_getrf` (paper: ``CALL LA_GETRS( A, IPIV, B, TRANS=trans,
     INFO=info )``)."""
     srname = "LA_GETRS"
-    linfo = 0
-    n = a.shape[0] if isinstance(a, np.ndarray) and a.ndim == 2 else -1
-    if check_square(a, 1):
-        linfo = -1
-    elif not isinstance(ipiv, np.ndarray) or ipiv.shape[0] != n:
-        linfo = -2
-    elif check_rhs(n, b, 3):
-        linfo = -3
-    elif trans.upper() not in ("N", "T", "C"):
-        linfo = -4
-    else:
+    linfo = validate_args("la_getrs", a=a, ipiv=ipiv, b=b, trans=trans)
+    if linfo == 0:
         bmat, _ = as_matrix(b)
         linfo = getrs(a, ipiv, bmat, trans=trans)
-    erinfo(linfo, srname, info)
+    _report(srname, linfo, info)
     return b
 
 
@@ -97,14 +82,10 @@ def la_getri(a: np.ndarray, ipiv: np.ndarray,
     reproduced through the substrate's ``lwork`` handling.
     """
     srname = "LA_GETRI"
-    linfo = 0
     exc = None
-    n = a.shape[0] if isinstance(a, np.ndarray) and a.ndim == 2 else -1
-    if check_square(a, 1):
-        linfo = -1
-    elif not isinstance(ipiv, np.ndarray) or ipiv.shape[0] != n:
-        linfo = -2
-    elif n > 0:
+    linfo = validate_args("la_getri", a=a, ipiv=ipiv)
+    if linfo == 0 and a.shape[0] > 0:
+        n = a.shape[0]
         nb = ilaenv(1, "getri", "", n)
         if nb < 1 or nb >= n:
             nb = 1
@@ -112,7 +93,7 @@ def la_getri(a: np.ndarray, ipiv: np.ndarray,
         linfo = getri(a, ipiv, lwork=lwork)
         if linfo > 0:
             exc = SingularMatrix(srname, linfo)
-    erinfo(linfo, srname, info, exc=exc)
+    _report(srname, linfo, info, exc)
     return a
 
 
@@ -127,26 +108,14 @@ def la_gerfs(a: np.ndarray, af: np.ndarray, ipiv: np.ndarray,
     ``x`` is refined in place; returns ``(ferr, berr)``.
     """
     srname = "LA_GERFS"
-    linfo = 0
     ferr = berr = np.zeros(0)
-    n = a.shape[0] if isinstance(a, np.ndarray) and a.ndim == 2 else -1
-    if check_square(a, 1):
-        linfo = -1
-    elif check_square(af, 2) or af.shape[0] != n:
-        linfo = -2
-    elif not isinstance(ipiv, np.ndarray) or ipiv.shape[0] != n:
-        linfo = -3
-    elif check_rhs(n, b, 4):
-        linfo = -4
-    elif check_rhs(n, x, 5) or np.shape(x) != np.shape(b):
-        linfo = -5
-    elif trans.upper() not in ("N", "T", "C"):
-        linfo = -6
-    else:
+    linfo = validate_args("la_gerfs", a=a, af=af, ipiv=ipiv, b=b, x=x,
+                          trans=trans)
+    if linfo == 0:
         bmat, _ = as_matrix(b)
         xmat, _ = as_matrix(x)
         ferr, berr, linfo = gerfs(a, af, ipiv, bmat, xmat, trans=trans)
-    erinfo(linfo, srname, info)
+    _report(srname, linfo, info)
     return ferr, berr
 
 
@@ -160,11 +129,12 @@ def la_geequ(a: np.ndarray, info: Info | None = None):
     Returns ``(r, c, rowcnd, colcnd, amax)``.
     """
     srname = "LA_GEEQU"
-    if not isinstance(a, np.ndarray) or a.ndim != 2:
-        erinfo(-1, srname, info)
+    linfo = validate_args("la_geequ", a=a)
+    if linfo:
+        _report(srname, linfo, info)
         return None
     r, c, rowcnd, colcnd, amax, linfo = geequ(a)
-    erinfo(linfo, srname, info)
+    _report(srname, linfo, info)
     return r, c, rowcnd, colcnd, amax
 
 
@@ -179,14 +149,10 @@ def la_potrf(a: np.ndarray, uplo: str = "U", rcond: bool = False,
     Returns the condition estimate (``None`` unless requested).
     """
     srname = "LA_POTRF"
-    linfo = 0
     exc = None
     rc = None
-    if check_square(a, 1):
-        linfo = -1
-    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
-        linfo = -2
-    else:
+    linfo = validate_args("la_potrf", a=a, uplo=uplo)
+    if linfo == 0:
         hermitian = np.iscomplexobj(a)
         anorm = (lanhe(norm, a, uplo) if hermitian
                  else lansy(norm, a, uplo)) if rcond else 0.0
@@ -197,7 +163,7 @@ def la_potrf(a: np.ndarray, uplo: str = "U", rcond: bool = False,
         elif rcond:
             rc, _ = pocon(a, anorm, uplo)
             rc = min(rc, 1.0)
-    erinfo(linfo, srname, info, exc=exc)
+    _report(srname, linfo, info, exc)
     return rc
 
 
@@ -209,18 +175,10 @@ def la_sygst(a: np.ndarray, b: np.ndarray, itype: int = 1,
     (paper: ``CALL LA_SYGST( A, B, ITYPE=itype, UPLO=uplo,
     INFO=info )``)."""
     srname = "LA_SYGST"
-    linfo = 0
-    if check_square(a, 1):
-        linfo = -1
-    elif check_square(b, 2) or b.shape[0] != a.shape[0]:
-        linfo = -2
-    elif itype not in (1, 2, 3):
-        linfo = -3
-    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
-        linfo = -4
-    else:
+    linfo = validate_args("la_sygst", a=a, b=b, itype=itype, uplo=uplo)
+    if linfo == 0:
         linfo = sygst(a, b, itype=itype, uplo=uplo)
-    erinfo(linfo, srname, info)
+    _report(srname, linfo, info)
     return a
 
 
@@ -230,18 +188,10 @@ def la_hegst(a: np.ndarray, b: np.ndarray, itype: int = 1,
     """Hermitian-definite analogue of :func:`la_sygst`
     (paper ``LA_HEGST``)."""
     srname = "LA_HEGST"
-    linfo = 0
-    if check_square(a, 1):
-        linfo = -1
-    elif check_square(b, 2) or b.shape[0] != a.shape[0]:
-        linfo = -2
-    elif itype not in (1, 2, 3):
-        linfo = -3
-    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
-        linfo = -4
-    else:
+    linfo = validate_args("la_hegst", a=a, b=b, itype=itype, uplo=uplo)
+    if linfo == 0:
         linfo = hegst(a, b, itype=itype, uplo=uplo)
-    erinfo(linfo, srname, info)
+    _report(srname, linfo, info)
     return a
 
 
@@ -256,18 +206,15 @@ def la_sytrd(a: np.ndarray, tau: np.ndarray | None = None,
     (the reflector vectors overwrite ``a``'s triangle).
     """
     srname = "LA_SYTRD"
-    linfo = 0
-    if check_square(a, 1):
-        erinfo(-1, srname, info)
-        return None
-    if not (lsame(uplo, "U") or lsame(uplo, "L")):
-        erinfo(-3, srname, info)
+    linfo = validate_args("la_sytrd", a=a, uplo=uplo)
+    if linfo:
+        _report(srname, linfo, info)
         return None
     d, e, tau_out = sytrd(a, uplo)
     if tau is not None:
         tau[:] = tau_out
         tau_out = tau
-    erinfo(0, srname, info)
+    _report(srname, 0, info)
     return d, e, tau_out
 
 
@@ -277,17 +224,15 @@ def la_hetrd(a: np.ndarray, tau: np.ndarray | None = None,
     """Hermitian tridiagonal reduction (paper ``LA_HETRD``); ``d``/``e``
     are real."""
     srname = "LA_HETRD"
-    if check_square(a, 1):
-        erinfo(-1, srname, info)
-        return None
-    if not (lsame(uplo, "U") or lsame(uplo, "L")):
-        erinfo(-3, srname, info)
+    linfo = validate_args("la_hetrd", a=a, uplo=uplo)
+    if linfo:
+        _report(srname, linfo, info)
         return None
     d, e, tau_out = hetrd(a, uplo)
     if tau is not None:
         tau[:] = tau_out
         tau_out = tau
-    erinfo(0, srname, info)
+    _report(srname, 0, info)
     return d, e, tau_out
 
 
@@ -298,17 +243,10 @@ def la_orgtr(a: np.ndarray, tau: np.ndarray, uplo: str = "U",
     from its reflectors (paper: ``CALL LA_ORGTR( A, TAU, UPLO=uplo,
     INFO=info )``)."""
     srname = "LA_ORGTR"
-    linfo = 0
-    if check_square(a, 1):
-        linfo = -1
-    elif not isinstance(tau, np.ndarray) \
-            or tau.shape[0] < max(0, a.shape[0] - 1):
-        linfo = -2
-    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
-        linfo = -3
-    else:
+    linfo = validate_args("la_orgtr", a=a, tau=tau, uplo=uplo)
+    if linfo == 0:
         orgtr(a, tau, uplo)
-    erinfo(linfo, srname, info)
+    _report(srname, linfo, info)
     return a
 
 
@@ -317,15 +255,8 @@ def la_ungtr(a: np.ndarray, tau: np.ndarray, uplo: str = "U",
              info: Info | None = None) -> np.ndarray:
     """Unitary analogue of :func:`la_orgtr` (paper ``LA_UNGTR``)."""
     srname = "LA_UNGTR"
-    linfo = 0
-    if check_square(a, 1):
-        linfo = -1
-    elif not isinstance(tau, np.ndarray) \
-            or tau.shape[0] < max(0, a.shape[0] - 1):
-        linfo = -2
-    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
-        linfo = -3
-    else:
+    linfo = validate_args("la_ungtr", a=a, tau=tau, uplo=uplo)
+    if linfo == 0:
         ungtr(a, tau, uplo)
-    erinfo(linfo, srname, info)
+    _report(srname, linfo, info)
     return a

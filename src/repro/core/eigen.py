@@ -15,11 +15,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import Info, NoConvergence, erinfo
+from ..errors import Info, NoConvergence
 from ..backends import backend_aware
 from ..backends.kernels import (gees, geev, gesvd, hbev, heev, hpev, sbev,
                                 spev, stev, syev)
-from .auxmod import check_square, driver_guard, lsame
+from ..specs import validate_args
+from .auxmod import _report, driver_guard
 
 __all__ = ["la_syev", "la_heev", "la_spev", "la_hpev", "la_sbev",
            "la_hbev", "la_stev", "la_gees", "la_geev", "la_gesvd"]
@@ -47,18 +48,10 @@ def la_syev(a: np.ndarray, w: np.ndarray | None = None, jobz: str = "N",
     with ``w[i]``).  Returns the ascending eigenvalues.
     """
     srname = "LA_SYEV"
-    linfo = 0
     exc = None
     wout = np.zeros(0)
-    if check_square(a, 1):
-        linfo = -1
-    elif w is not None and w.shape[0] != a.shape[0]:
-        linfo = -2
-    elif not (lsame(jobz, "N") or lsame(jobz, "V")):
-        linfo = -3
-    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
-        linfo = -4
-    else:
+    linfo = validate_args("la_syev", a=a, w=w, jobz=jobz, uplo=uplo)
+    if linfo == 0:
         linfo, exc = driver_guard(srname, (1, a))
         if linfo == 0:
             wout, linfo = syev(a, jobz=jobz, uplo=uplo)
@@ -67,7 +60,7 @@ def la_syev(a: np.ndarray, w: np.ndarray | None = None, jobz: str = "N",
             if w is not None:
                 w[:] = wout
                 wout = w
-    erinfo(linfo, srname, info, exc=exc)
+    _report(srname, linfo, info, exc)
     return wout
 
 
@@ -77,18 +70,10 @@ def la_heev(a: np.ndarray, w: np.ndarray | None = None, jobz: str = "N",
     """Hermitian analogue of :func:`la_syev` (paper ``LA_HEEV``);
     eigenvalues are real."""
     srname = "LA_HEEV"
-    linfo = 0
     exc = None
     wout = np.zeros(0)
-    if check_square(a, 1):
-        linfo = -1
-    elif w is not None and w.shape[0] != a.shape[0]:
-        linfo = -2
-    elif not (lsame(jobz, "N") or lsame(jobz, "V")):
-        linfo = -3
-    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
-        linfo = -4
-    else:
+    linfo = validate_args("la_heev", a=a, w=w, jobz=jobz, uplo=uplo)
+    if linfo == 0:
         linfo, exc = driver_guard(srname, (1, a))
         if linfo == 0:
             wout, linfo = heev(a, jobz=jobz, uplo=uplo)
@@ -97,24 +82,18 @@ def la_heev(a: np.ndarray, w: np.ndarray | None = None, jobz: str = "N",
             if w is not None:
                 w[:] = wout
                 wout = w
-    erinfo(linfo, srname, info, exc=exc)
+    _report(srname, linfo, info, exc)
     return wout
 
 
 def _packed_ev(srname, driver, ap, w, uplo, z, info):
-    linfo = 0
     exc = None
     wout = np.zeros(0)
     zout = None
-    ln = ap.shape[0] if isinstance(ap, np.ndarray) and ap.ndim == 1 else -1
-    n = int((np.sqrt(8.0 * max(ln, 0) + 1.0) - 1.0) / 2.0 + 0.5)
-    if ln < 0 or n * (n + 1) // 2 != ln:
-        linfo = -1
-    elif w is not None and w.shape[0] != n:
-        linfo = -2
-    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
-        linfo = -3
-    else:
+    linfo = validate_args(srname.lower(), ap=ap, w=w, uplo=uplo)
+    if linfo == 0:
+        ln = ap.shape[0]
+        n = int((np.sqrt(8.0 * ln + 1.0) - 1.0) / 2.0 + 0.5)
         linfo, exc = driver_guard(srname, (1, ap))
         if linfo == 0:
             jobz = "V" if _want(z) else "N"
@@ -126,7 +105,7 @@ def _packed_ev(srname, driver, ap, w, uplo, z, info):
             if w is not None:
                 w[:] = wout
                 wout = w
-    erinfo(linfo, srname, info, exc=exc)
+    _report(srname, linfo, info, exc)
     return (wout, zout) if _want(z) else wout
 
 
@@ -150,32 +129,25 @@ def la_hpev(ap: np.ndarray, w: np.ndarray | None = None, uplo: str = "U",
 
 
 def _band_ev(srname, driver, ab, w, uplo, z, info):
-    linfo = 0
     exc = None
     wout = np.zeros(0)
     zout = None
-    if not isinstance(ab, np.ndarray) or ab.ndim != 2:
-        linfo = -1
-    else:
+    linfo = validate_args(srname.lower(), ab=ab, w=w, uplo=uplo)
+    if linfo == 0:
         n = ab.shape[1]
-        if w is not None and w.shape[0] != n:
-            linfo = -2
-        elif not (lsame(uplo, "U") or lsame(uplo, "L")):
-            linfo = -3
-        else:
-            linfo, exc = driver_guard(srname, (1, ab))
-            if linfo == 0:
-                jobz = "V" if _want(z) else "N"
-                wout, zv, linfo = driver(ab, n, jobz=jobz, uplo=uplo)
-                if linfo > 0:
-                    exc = NoConvergence(srname, linfo)
-                if _want(z):
-                    zout = _store(z if isinstance(z, np.ndarray) else None,
-                                  zv)
-                if w is not None:
-                    w[:] = wout
-                    wout = w
-    erinfo(linfo, srname, info, exc=exc)
+        linfo, exc = driver_guard(srname, (1, ab))
+        if linfo == 0:
+            jobz = "V" if _want(z) else "N"
+            wout, zv, linfo = driver(ab, n, jobz=jobz, uplo=uplo)
+            if linfo > 0:
+                exc = NoConvergence(srname, linfo)
+            if _want(z):
+                zout = _store(z if isinstance(z, np.ndarray) else None,
+                              zv)
+            if w is not None:
+                w[:] = wout
+                wout = w
+    _report(srname, linfo, info, exc)
     return (wout, zout) if _want(z) else wout
 
 
@@ -204,15 +176,11 @@ def la_stev(d: np.ndarray, e: np.ndarray, z=None,
     Eigenvalues overwrite ``d`` (ascending); ``e`` is destroyed.
     """
     srname = "LA_STEV"
-    linfo = 0
     exc = None
-    n = d.shape[0] if isinstance(d, np.ndarray) else -1
     zout = None
-    if n < 0:
-        linfo = -1
-    elif not isinstance(e, np.ndarray) or e.shape[0] < max(0, n - 1):
-        linfo = -2
-    else:
+    linfo = validate_args("la_stev", d=d, e=e)
+    if linfo == 0:
+        n = d.shape[0]
         linfo, exc = driver_guard(srname, (1, d), (2, e))
         if linfo == 0:
             if _want(z):
@@ -224,7 +192,7 @@ def la_stev(d: np.ndarray, e: np.ndarray, z=None,
                 linfo = stev(d, e, jobz="N")
             if linfo > 0:
                 exc = NoConvergence(srname, linfo)
-    erinfo(linfo, srname, info, exc=exc)
+    _report(srname, linfo, info, exc)
     return (d, zout) if _want(z) else d
 
 
@@ -242,14 +210,12 @@ def la_gees(a: np.ndarray, w: np.ndarray | None = None, vs=None,
     vectors were requested.
     """
     srname = "LA_GEES"
-    linfo = 0
     exc = None
     wout = np.zeros(0, dtype=complex)
     sdim = 0
     vsout = None
-    if check_square(a, 1):
-        linfo = -1
-    else:
+    linfo = validate_args("la_gees", a=a)
+    if linfo == 0:
         linfo, exc = driver_guard(srname, (1, a))
         if linfo == 0:
             jobvs = "V" if _want(vs) else "N"
@@ -262,7 +228,7 @@ def la_gees(a: np.ndarray, w: np.ndarray | None = None, vs=None,
             if w is not None:
                 w[:] = wout
                 wout = w
-    erinfo(linfo, srname, info, exc=exc)
+    _report(srname, linfo, info, exc)
     if _want(vs):
         return wout, vsout, sdim
     return wout, sdim
@@ -279,13 +245,11 @@ def la_geev(a: np.ndarray, w: np.ndarray | None = None, vl=None, vr=None,
     columns) in the order requested: ``(w[, vl][, vr])``.
     """
     srname = "LA_GEEV"
-    linfo = 0
     exc = None
     wout = np.zeros(0, dtype=complex)
     vlout = vrout = None
-    if check_square(a, 1):
-        linfo = -1
-    else:
+    linfo = validate_args("la_geev", a=a)
+    if linfo == 0:
         linfo, exc = driver_guard(srname, (1, a))
         if linfo == 0:
             wout, vlv, vrv, linfo = geev(a,
@@ -302,7 +266,7 @@ def la_geev(a: np.ndarray, w: np.ndarray | None = None, vl=None, vr=None,
             if w is not None:
                 w[:] = wout
                 wout = w
-    erinfo(linfo, srname, info, exc=exc)
+    _report(srname, linfo, info, exc)
     out = [wout]
     if _want(vl):
         out.append(vlout)
@@ -325,13 +289,11 @@ def la_gesvd(a: np.ndarray, s: np.ndarray | None = None, u=None, vt=None,
     requested factors: ``(s[, u][, vt])``.
     """
     srname = "LA_GESVD"
-    linfo = 0
     exc = None
     sout = np.zeros(0)
     uout = vtout = None
-    if not isinstance(a, np.ndarray) or a.ndim != 2:
-        linfo = -1
-    else:
+    linfo = validate_args("la_gesvd", a=a)
+    if linfo == 0:
         linfo, exc = driver_guard(srname, (1, a))
     if linfo == 0:
         m, n = a.shape
@@ -356,7 +318,7 @@ def la_gesvd(a: np.ndarray, s: np.ndarray | None = None, u=None, vt=None,
         if s is not None:
             s[:] = sout
             sout = s
-    erinfo(linfo, srname, info, exc=exc)
+    _report(srname, linfo, info, exc)
     out = [sout]
     if _want(u):
         out.append(uout)

@@ -6,11 +6,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import Info, NoConvergence, erinfo
+from ..errors import Info, NoConvergence
 from ..backends import backend_aware
 from ..backends.kernels import (hbevd, heevd, hpevd, sbevd, spevd, stevd,
                                 syevd)
-from .auxmod import check_square, lsame
+from ..specs import validate_args
+from .auxmod import _report
 from .eigen import _band_ev, _packed_ev, _store, _want
 
 __all__ = ["la_syevd", "la_heevd", "la_spevd", "la_hpevd", "la_sbevd",
@@ -18,25 +19,17 @@ __all__ = ["la_syevd", "la_heevd", "la_spevd", "la_hpevd", "la_sbevd",
 
 
 def _dense_evd(srname, driver, a, w, jobz, uplo, info):
-    linfo = 0
     exc = None
     wout = np.zeros(0)
-    if check_square(a, 1):
-        linfo = -1
-    elif w is not None and w.shape[0] != a.shape[0]:
-        linfo = -2
-    elif not (lsame(jobz, "N") or lsame(jobz, "V")):
-        linfo = -3
-    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
-        linfo = -4
-    else:
+    linfo = validate_args(srname.lower(), a=a, w=w, jobz=jobz, uplo=uplo)
+    if linfo == 0:
         wout, linfo = driver(a, jobz=jobz, uplo=uplo)
         if linfo > 0:
             exc = NoConvergence(srname, linfo)
         if w is not None:
             w[:] = wout
             wout = w
-    erinfo(linfo, srname, info, exc=exc)
+    _report(srname, linfo, info, exc)
     return wout
 
 
@@ -92,15 +85,11 @@ def la_stevd(d: np.ndarray, e: np.ndarray, z=None,
     """Divide-and-conquer tridiagonal driver (paper: ``CALL LA_STEVD( D,
     E, Z=z, INFO=info )``): eigenvalues overwrite ``d``."""
     srname = "LA_STEVD"
-    linfo = 0
     exc = None
-    n = d.shape[0] if isinstance(d, np.ndarray) else -1
     zout = None
-    if n < 0:
-        linfo = -1
-    elif not isinstance(e, np.ndarray) or e.shape[0] < max(0, n - 1):
-        linfo = -2
-    else:
+    linfo = validate_args("la_stevd", d=d, e=e)
+    if linfo == 0:
+        n = d.shape[0]
         if _want(z):
             zbuf = z if isinstance(z, np.ndarray) else \
                 np.empty((n, n), dtype=np.float64)
@@ -110,5 +99,5 @@ def la_stevd(d: np.ndarray, e: np.ndarray, z=None,
             linfo = stevd(d, e, jobz="N")
         if linfo > 0:
             exc = NoConvergence(srname, linfo)
-    erinfo(linfo, srname, info, exc=exc)
+    _report(srname, linfo, info, exc)
     return (d, zout) if _want(z) else d

@@ -7,11 +7,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import Info, NoConvergence, erinfo
+from ..errors import Info, NoConvergence
 from ..backends import backend_aware
 from ..backends.kernels import (geesx, geevx, hbevx, heevx, hpevx, sbevx,
                                 spevx, stevx, syevx)
-from .auxmod import check_square, lsame
+from ..specs import validate_args
+from .auxmod import _report
 from .eigen import _store, _want
 
 __all__ = ["la_syevx", "la_heevx", "la_spevx", "la_hpevx", "la_sbevx",
@@ -20,19 +21,13 @@ __all__ = ["la_syevx", "la_heevx", "la_spevx", "la_hpevx", "la_sbevx",
 
 def _dense_evx(srname, driver, a, w, uplo, z, vl, vu, il, iu, abstol,
                info):
-    linfo = 0
     exc = None
     wout = np.zeros(0)
     zout = None
     m = 0
     ifail = np.zeros(0, dtype=np.int64)
-    if check_square(a, 1):
-        linfo = -1
-    elif vl is not None and vu is not None and vl >= vu:
-        linfo = -5
-    elif il is not None and iu is not None and not (0 <= il <= iu):
-        linfo = -7
-    else:
+    linfo = validate_args(srname.lower(), a=a, vl=vl, vu=vu, il=il, iu=iu)
+    if linfo == 0:
         jobz = "V" if _want(z) else "N"
         wout, zv, m, ifail, linfo = driver(a, jobz=jobz, uplo=uplo, vl=vl,
                                            vu=vu, il=il, iu=iu,
@@ -44,7 +39,7 @@ def _dense_evx(srname, driver, a, w, uplo, z, vl, vu, il, iu, abstol,
             zout = _store(z if isinstance(z, np.ndarray) else None, zv)
         if w is not None:
             w[:m] = wout
-    erinfo(linfo, srname, info, exc=exc)
+    _report(srname, linfo, info, exc)
     return (wout, zout, m, ifail) if _want(z) else (wout, m, ifail)
 
 
@@ -70,22 +65,34 @@ def la_heevx(a, w=None, uplo="U", z=None, vl=None, vu=None, il=None,
                       abstol, info)
 
 
-def _structured_evx(srname, driver, data, n, w, uplo, z, vl, vu, il, iu,
+def _structured_evx(srname, driver, bound, w, uplo, z, vl, vu, il, iu,
                     abstol, info):
-    linfo = 0
     exc = None
-    jobz = "V" if _want(z) else "N"
-    wout, zv, m, ifail, linfo = driver(data, n, jobz=jobz, uplo=uplo,
-                                       vl=vl, vu=vu, il=il, iu=iu,
-                                       abstol=abstol)
+    wout = np.zeros(0)
     zout = None
-    if linfo > 0:
-        exc = NoConvergence(srname, linfo)
-    if _want(z):
-        zout = _store(z if isinstance(z, np.ndarray) else None, zv)
-    if w is not None:
-        w[:m] = wout
-    erinfo(linfo, srname, info, exc=exc)
+    m = 0
+    ifail = np.zeros(0, dtype=np.int64)
+    linfo = validate_args(srname.lower(), vl=vl, vu=vu, il=il, iu=iu,
+                          **bound)
+    if linfo == 0:
+        if "ap" in bound:
+            data = bound["ap"]
+            ln = data.shape[0]
+            n = int((np.sqrt(8.0 * ln + 1.0) - 1.0) / 2.0 + 0.5)
+        else:
+            data = bound["ab"]
+            n = data.shape[1]
+        jobz = "V" if _want(z) else "N"
+        wout, zv, m, ifail, linfo = driver(data, n, jobz=jobz, uplo=uplo,
+                                           vl=vl, vu=vu, il=il, iu=iu,
+                                           abstol=abstol)
+        if linfo > 0:
+            exc = NoConvergence(srname, linfo)
+        if _want(z):
+            zout = _store(z if isinstance(z, np.ndarray) else None, zv)
+        if w is not None:
+            w[:m] = wout
+    _report(srname, linfo, info, exc)
     return (wout, zout, m, ifail) if _want(z) else (wout, m, ifail)
 
 
@@ -93,27 +100,23 @@ def _structured_evx(srname, driver, data, n, w, uplo, z, vl, vu, il, iu,
 def la_spevx(ap, w=None, uplo="U", z=None, vl=None, vu=None, il=None,
              iu=None, abstol=0.0, info: Info | None = None):
     """Packed symmetric expert driver (paper ``LA_SPEVX``)."""
-    ln = ap.shape[0]
-    n = int((np.sqrt(8.0 * ln + 1.0) - 1.0) / 2.0 + 0.5)
-    return _structured_evx("LA_SPEVX", spevx, ap, n, w, uplo, z, vl, vu,
-                           il, iu, abstol, info)
+    return _structured_evx("LA_SPEVX", spevx, {"ap": ap}, w, uplo, z,
+                           vl, vu, il, iu, abstol, info)
 
 
 @backend_aware
 def la_hpevx(ap, w=None, uplo="U", z=None, vl=None, vu=None, il=None,
              iu=None, abstol=0.0, info: Info | None = None):
     """Packed Hermitian expert driver (paper ``LA_HPEVX``)."""
-    ln = ap.shape[0]
-    n = int((np.sqrt(8.0 * ln + 1.0) - 1.0) / 2.0 + 0.5)
-    return _structured_evx("LA_HPEVX", hpevx, ap, n, w, uplo, z, vl, vu,
-                           il, iu, abstol, info)
+    return _structured_evx("LA_HPEVX", hpevx, {"ap": ap}, w, uplo, z,
+                           vl, vu, il, iu, abstol, info)
 
 
 @backend_aware
 def la_sbevx(ab, w=None, uplo="U", z=None, vl=None, vu=None, il=None,
              iu=None, abstol=0.0, info: Info | None = None):
     """Symmetric band expert driver (paper ``LA_SBEVX``)."""
-    return _structured_evx("LA_SBEVX", sbevx, ab, ab.shape[1], w, uplo, z,
+    return _structured_evx("LA_SBEVX", sbevx, {"ab": ab}, w, uplo, z,
                            vl, vu, il, iu, abstol, info)
 
 
@@ -121,7 +124,7 @@ def la_sbevx(ab, w=None, uplo="U", z=None, vl=None, vu=None, il=None,
 def la_hbevx(ab, w=None, uplo="U", z=None, vl=None, vu=None, il=None,
              iu=None, abstol=0.0, info: Info | None = None):
     """Hermitian band expert driver (paper ``LA_HBEVX``)."""
-    return _structured_evx("LA_HBEVX", hbevx, ab, ab.shape[1], w, uplo, z,
+    return _structured_evx("LA_HBEVX", hbevx, {"ab": ab}, w, uplo, z,
                            vl, vu, il, iu, abstol, info)
 
 
@@ -136,17 +139,23 @@ def la_stevx(d, e, w=None, z=None, vl=None, vu=None, il=None, iu=None,
     """
     srname = "LA_STEVX"
     exc = None
-    jobz = "V" if _want(z) else "N"
-    wout, zv, m, ifail, linfo = stevx(d, e, jobz=jobz, vl=vl, vu=vu,
-                                      il=il, iu=iu, abstol=abstol)
+    wout = np.zeros(0)
     zout = None
-    if linfo > 0:
-        exc = NoConvergence(srname, linfo)
-    if _want(z):
-        zout = _store(z if isinstance(z, np.ndarray) else None, zv)
-    if w is not None:
-        w[:m] = wout
-    erinfo(linfo, srname, info, exc=exc)
+    m = 0
+    ifail = np.zeros(0, dtype=np.int64)
+    linfo = validate_args("la_stevx", d=d, e=e, vl=vl, vu=vu, il=il,
+                          iu=iu)
+    if linfo == 0:
+        jobz = "V" if _want(z) else "N"
+        wout, zv, m, ifail, linfo = stevx(d, e, jobz=jobz, vl=vl, vu=vu,
+                                          il=il, iu=iu, abstol=abstol)
+        if linfo > 0:
+            exc = NoConvergence(srname, linfo)
+        if _want(z):
+            zout = _store(z if isinstance(z, np.ndarray) else None, zv)
+        if w is not None:
+            w[:m] = wout
+    _report(srname, linfo, info, exc)
     return (wout, zout, m, ifail) if _want(z) else (wout, m, ifail)
 
 
@@ -162,15 +171,13 @@ def la_geesx(a, w=None, vs=None, select=None, sense: str = "B",
     ``w`` when Schur vectors were requested.
     """
     srname = "LA_GEESX"
-    linfo = 0
     exc = None
     wout = np.zeros(0, dtype=complex)
     vsout = None
     sdim = 0
     rconde, rcondv = 1.0, 0.0
-    if check_square(a, 1):
-        linfo = -1
-    else:
+    linfo = validate_args("la_geesx", a=a)
+    if linfo == 0:
         jobvs = "V" if _want(vs) else "N"
         wout, vsv, sdim, rconde, rcondv, linfo = geesx(
             a, jobvs=jobvs, select=select, sense=sense)
@@ -181,7 +188,7 @@ def la_geesx(a, w=None, vs=None, select=None, sense: str = "B",
         if w is not None:
             w[:] = wout
             wout = w
-    erinfo(linfo, srname, info, exc=exc)
+    _report(srname, linfo, info, exc)
     if _want(vs):
         return wout, vsout, sdim, rconde, rcondv
     return wout, sdim, rconde, rcondv
@@ -199,10 +206,10 @@ def la_geevx(a, w=None, vl=None, vr=None, balanc: str = "B",
     (``vl``/``vr`` are ``None`` when not requested).
     """
     srname = "LA_GEEVX"
-    linfo = 0
     exc = None
-    if check_square(a, 1):
-        erinfo(-1, srname, info)
+    linfo = validate_args("la_geevx", a=a)
+    if linfo:
+        _report(srname, linfo, info)
         return (np.zeros(0, dtype=complex), None, None, 0, -1,
                 np.zeros(0), 0.0, np.zeros(0), np.zeros(0))
     (wout, vlv, vrv, ilo, ihi, scale, abnrm, rconde, rcondv,
@@ -219,5 +226,5 @@ def la_geevx(a, w=None, vl=None, vr=None, balanc: str = "B",
     if w is not None:
         w[:] = wout
         wout = w
-    erinfo(linfo, srname, info, exc=exc)
+    _report(srname, linfo, info, exc)
     return wout, vlout, vrout, ilo, ihi, scale, abnrm, rconde, rcondv

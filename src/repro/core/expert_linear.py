@@ -33,8 +33,8 @@ from ..backends.kernels import (gbcon, gbequ, gbrfs, gbtrf, gbtrs, gecon,
                                 pttrs, spcon, sptrf, sptrs, sycon, syrfs,
                                 sytrf, sytrs)
 from ..policy import illcond_event
-from .auxmod import (as_matrix, check_rhs, check_square, driver_guard,
-                     lsame)
+from ..specs import validate_args
+from .auxmod import as_matrix, driver_guard, lsame
 
 __all__ = ["ExpertResult", "la_gesvx", "la_gbsvx", "la_gtsvx", "la_posvx",
            "la_ppsvx", "la_pbsvx", "la_ptsvx", "la_sysvx", "la_hesvx",
@@ -110,17 +110,11 @@ def la_gesvx(a: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
     """
     srname = "LA_GESVX"
     res = ExpertResult()
-    n = a.shape[0] if isinstance(a, np.ndarray) and a.ndim == 2 else -1
-    if check_square(a, 1):
-        return _finish(srname, -1, info, res)
-    if check_rhs(n, b, 2):
-        return _finish(srname, -2, info, res)
-    if not (lsame(fact, "N") or lsame(fact, "E") or lsame(fact, "F")):
-        return _finish(srname, -6, info, res)
-    if trans.upper() not in ("N", "T", "C"):
-        return _finish(srname, -7, info, res)
-    if lsame(fact, "F") and (af is None or ipiv is None):
-        return _finish(srname, -4, info, res)
+    linfo = validate_args("la_gesvx", a=a, b=b, af=af, ipiv=ipiv,
+                          fact=fact, trans=trans)
+    if linfo:
+        return _finish(srname, linfo, info, res)
+    n = a.shape[0]
     linfo, exc = driver_guard(srname, (1, a), (2, b))
     if linfo:
         return _finish(srname, linfo, info, res, exc)
@@ -195,22 +189,16 @@ def la_gbsvx(ab: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
     separately, as LAPACK does)."""
     srname = "LA_GBSVX"
     res = ExpertResult()
-    if not isinstance(ab, np.ndarray) or ab.ndim != 2:
-        return _finish(srname, -1, info, res)
+    linfo = validate_args("la_gbsvx", ab=ab, b=b, kl=kl, abf=abf,
+                          ipiv=ipiv, fact=fact, trans=trans)
+    if linfo:
+        return _finish(srname, linfo, info, res)
     n = ab.shape[1]
     rows = ab.shape[0]
     if kl is None:
         kl = (rows - 1) // 2
     ku = rows - kl - 1
-    if kl < 0 or ku < 0:
-        return _finish(srname, -4, info, res)
-    if check_rhs(n, b, 2):
-        return _finish(srname, -2, info, res)
     t = trans.upper()
-    if t not in ("N", "T", "C"):
-        return _finish(srname, -8, info, res)
-    if lsame(fact, "F") and (abf is None or ipiv is None):
-        return _finish(srname, -5, info, res)
     linfo, exc = driver_guard(srname, (1, ab), (2, b))
     if linfo:
         return _finish(srname, linfo, info, res, exc)
@@ -248,16 +236,11 @@ def la_gtsvx(dl, d, du, b, x=None, trans: str = "N",
     """Expert tridiagonal solver (paper ``LA_GTSVX``)."""
     srname = "LA_GTSVX"
     res = ExpertResult()
-    n = d.shape[0] if isinstance(d, np.ndarray) else -1
-    if n < 0:
-        return _finish(srname, -2, info, res)
-    if dl.shape[0] != max(0, n - 1) or du.shape[0] != max(0, n - 1):
-        return _finish(srname, -1, info, res)
-    if check_rhs(n, b, 4):
-        return _finish(srname, -4, info, res)
+    linfo = validate_args("la_gtsvx", dl=dl, d=d, du=du, b=b, trans=trans)
+    if linfo:
+        return _finish(srname, linfo, info, res)
+    n = d.shape[0]
     t = trans.upper()
-    if t not in ("N", "T", "C"):
-        return _finish(srname, -6, info, res)
     linfo, exc = driver_guard(srname, (1, dl), (2, d), (3, du), (4, b))
     if linfo:
         return _finish(srname, linfo, info, res, exc)
@@ -294,15 +277,11 @@ def la_posvx(a: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
     """Expert SPD/HPD solver with equilibration (paper ``LA_POSVX``)."""
     srname = "LA_POSVX"
     res = ExpertResult()
-    n = a.shape[0] if isinstance(a, np.ndarray) and a.ndim == 2 else -1
-    if check_square(a, 1):
-        return _finish(srname, -1, info, res)
-    if check_rhs(n, b, 2):
-        return _finish(srname, -2, info, res)
-    if not (lsame(uplo, "U") or lsame(uplo, "L")):
-        return _finish(srname, -4, info, res)
-    if lsame(fact, "F") and af is None:
-        return _finish(srname, -5, info, res)
+    linfo = validate_args("la_posvx", a=a, b=b, uplo=uplo, af=af,
+                          fact=fact)
+    if linfo:
+        return _finish(srname, linfo, info, res)
+    n = a.shape[0]
     linfo, exc = driver_guard(srname, (1, a), (2, b))
     if linfo:
         return _finish(srname, linfo, info, res, exc)
@@ -351,16 +330,11 @@ def la_ppsvx(ap: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
     """Expert packed SPD/HPD solver (paper ``LA_PPSVX``)."""
     srname = "LA_PPSVX"
     res = ExpertResult()
-    n = b.shape[0] if isinstance(b, np.ndarray) else -1
-    if not isinstance(ap, np.ndarray) or ap.ndim != 1 \
-            or (n >= 0 and ap.shape[0] != n * (n + 1) // 2):
-        return _finish(srname, -1, info, res)
-    if n < 0:
-        return _finish(srname, -2, info, res)
-    if not (lsame(uplo, "U") or lsame(uplo, "L")):
-        return _finish(srname, -4, info, res)
-    if lsame(fact, "F") and afp is None:
-        return _finish(srname, -5, info, res)
+    linfo = validate_args("la_ppsvx", ap=ap, b=b, uplo=uplo, afp=afp,
+                          fact=fact)
+    if linfo:
+        return _finish(srname, linfo, info, res)
+    n = b.shape[0]
     linfo, exc = driver_guard(srname, (1, ap), (2, b))
     if linfo:
         return _finish(srname, linfo, info, res, exc)
@@ -397,15 +371,11 @@ def la_pbsvx(ab: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
     """Expert SPD/HPD band solver (paper ``LA_PBSVX``)."""
     srname = "LA_PBSVX"
     res = ExpertResult()
-    if not isinstance(ab, np.ndarray) or ab.ndim != 2:
-        return _finish(srname, -1, info, res)
+    linfo = validate_args("la_pbsvx", ab=ab, b=b, uplo=uplo, afb=afb,
+                          fact=fact)
+    if linfo:
+        return _finish(srname, linfo, info, res)
     n = ab.shape[1]
-    if check_rhs(n, b, 2):
-        return _finish(srname, -2, info, res)
-    if not (lsame(uplo, "U") or lsame(uplo, "L")):
-        return _finish(srname, -4, info, res)
-    if lsame(fact, "F") and afb is None:
-        return _finish(srname, -5, info, res)
     linfo, exc = driver_guard(srname, (1, ab), (2, b))
     if linfo:
         return _finish(srname, linfo, info, res, exc)
@@ -442,13 +412,10 @@ def la_ptsvx(d: np.ndarray, e: np.ndarray, b: np.ndarray,
     """Expert SPD tridiagonal solver (paper ``LA_PTSVX``)."""
     srname = "LA_PTSVX"
     res = ExpertResult()
-    n = d.shape[0] if isinstance(d, np.ndarray) else -1
-    if n < 0:
-        return _finish(srname, -1, info, res)
-    if not isinstance(e, np.ndarray) or e.shape[0] != max(0, n - 1):
-        return _finish(srname, -2, info, res)
-    if check_rhs(n, b, 3):
-        return _finish(srname, -3, info, res)
+    linfo = validate_args("la_ptsvx", d=d, e=e, b=b)
+    if linfo:
+        return _finish(srname, linfo, info, res)
+    n = d.shape[0]
     linfo, exc = driver_guard(srname, (1, d), (2, e), (3, b))
     if linfo:
         return _finish(srname, linfo, info, res, exc)
@@ -477,15 +444,11 @@ def la_ptsvx(d: np.ndarray, e: np.ndarray, b: np.ndarray,
 def _indef_expert(srname, trf, trs, con, rfs, a, b, x, uplo, af, ipiv,
                   fact, info, hermitian):
     res = ExpertResult()
-    n = a.shape[0] if isinstance(a, np.ndarray) and a.ndim == 2 else -1
-    if check_square(a, 1):
-        return _finish(srname, -1, info, res)
-    if check_rhs(n, b, 2):
-        return _finish(srname, -2, info, res)
-    if not (lsame(uplo, "U") or lsame(uplo, "L")):
-        return _finish(srname, -4, info, res)
-    if lsame(fact, "F") and (af is None or ipiv is None):
-        return _finish(srname, -5, info, res)
+    linfo = validate_args(srname.lower(), a=a, b=b, uplo=uplo, af=af,
+                          ipiv=ipiv, fact=fact)
+    if linfo:
+        return _finish(srname, linfo, info, res)
+    n = a.shape[0]
     linfo, exc = driver_guard(srname, (1, a), (2, b))
     if linfo:
         return _finish(srname, linfo, info, res, exc)
@@ -533,16 +496,11 @@ def la_hesvx(a, b, x=None, uplo="U", af=None, ipiv=None, fact="N",
 def _packed_indef_expert(srname, hermitian, ap, b, x, uplo, afp, ipiv,
                          fact, info):
     res = ExpertResult()
-    n = b.shape[0] if isinstance(b, np.ndarray) else -1
-    if not isinstance(ap, np.ndarray) or ap.ndim != 1 \
-            or (n >= 0 and ap.shape[0] != n * (n + 1) // 2):
-        return _finish(srname, -1, info, res)
-    if check_rhs(n, b, 2):
-        return _finish(srname, -2, info, res)
-    if not (lsame(uplo, "U") or lsame(uplo, "L")):
-        return _finish(srname, -4, info, res)
-    if lsame(fact, "F") and (afp is None or ipiv is None):
-        return _finish(srname, -5, info, res)
+    linfo = validate_args(srname.lower(), ap=ap, b=b, uplo=uplo, afp=afp,
+                          ipiv=ipiv, fact=fact)
+    if linfo:
+        return _finish(srname, linfo, info, res)
+    n = b.shape[0]
     linfo, exc = driver_guard(srname, (1, ap), (2, b))
     if linfo:
         return _finish(srname, linfo, info, res, exc)

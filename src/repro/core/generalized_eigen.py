@@ -5,11 +5,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import Info, NoConvergence, erinfo, NotPositiveDefinite
+from ..errors import Info, NoConvergence, NotPositiveDefinite
 from ..backends import backend_aware
 from ..backends.kernels import (gegs, gegv, ggsvd, hbgv, hegv, hpgv, sbgv,
                                 spgv, sygv)
-from .auxmod import check_rhs, check_square, lsame
+from ..specs import validate_args
+from .auxmod import _report
 from .eigen import _store, _want
 
 __all__ = ["la_sygv", "la_hegv", "la_spgv", "la_hpgv", "la_sbgv",
@@ -17,23 +18,12 @@ __all__ = ["la_sygv", "la_hegv", "la_spgv", "la_hpgv", "la_sbgv",
 
 
 def _gv(srname, driver, a, b, w, itype, jobz, uplo, info):
-    linfo = 0
     exc = None
     wout = np.zeros(0)
-    n = a.shape[0] if isinstance(a, np.ndarray) and a.ndim == 2 else -1
-    if check_square(a, 1):
-        linfo = -1
-    elif check_square(b, 2) or b.shape[0] != n:
-        linfo = -2
-    elif w is not None and w.shape[0] != n:
-        linfo = -3
-    elif itype not in (1, 2, 3):
-        linfo = -4
-    elif not (lsame(jobz, "N") or lsame(jobz, "V")):
-        linfo = -5
-    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
-        linfo = -6
-    else:
+    linfo = validate_args(srname.lower(), a=a, b=b, w=w, itype=itype,
+                          jobz=jobz, uplo=uplo)
+    if linfo == 0:
+        n = a.shape[0]
         wout, linfo = driver(a, b, itype=itype, jobz=jobz, uplo=uplo)
         if linfo > n:
             exc = NotPositiveDefinite(srname, linfo - n)
@@ -42,7 +32,7 @@ def _gv(srname, driver, a, b, w, itype, jobz, uplo, info):
         if w is not None:
             w[:] = wout
             wout = w
-    erinfo(linfo, srname, info, exc=exc)
+    _report(srname, linfo, info, exc)
     return wout
 
 
@@ -72,17 +62,13 @@ def la_hegv(a: np.ndarray, b: np.ndarray, w: np.ndarray | None = None,
 
 
 def _packed_gv(srname, ap, bp, w, itype, uplo, z, info, method="qr"):
-    linfo = 0
     exc = None
     wout = np.zeros(0)
     zout = None
-    ln = ap.shape[0] if isinstance(ap, np.ndarray) and ap.ndim == 1 else -1
-    n = int((np.sqrt(8.0 * max(ln, 0) + 1.0) - 1.0) / 2.0 + 0.5)
-    if ln < 0 or n * (n + 1) // 2 != ln:
-        linfo = -1
-    elif not isinstance(bp, np.ndarray) or bp.shape != ap.shape:
-        linfo = -2
-    else:
+    linfo = validate_args(srname.lower(), ap=ap, bp=bp)
+    if linfo == 0:
+        ln = ap.shape[0]
+        n = int((np.sqrt(8.0 * ln + 1.0) - 1.0) / 2.0 + 0.5)
         jobz = "V" if _want(z) else "N"
         wout, zv, linfo = spgv(ap, bp, n, itype=itype, jobz=jobz,
                                uplo=uplo, method=method)
@@ -95,7 +81,7 @@ def _packed_gv(srname, ap, bp, w, itype, uplo, z, info, method="qr"):
         if w is not None:
             w[:] = wout
             wout = w
-    erinfo(linfo, srname, info, exc=exc)
+    _report(srname, linfo, info, exc)
     return (wout, zout) if _want(z) else wout
 
 
@@ -114,16 +100,11 @@ def la_hpgv(ap, bp, w=None, itype: int = 1, uplo: str = "U", z=None,
 
 
 def _band_gv(srname, ab, bb, w, uplo, z, info):
-    linfo = 0
     exc = None
     wout = np.zeros(0)
     zout = None
-    if not isinstance(ab, np.ndarray) or ab.ndim != 2:
-        linfo = -1
-    elif not isinstance(bb, np.ndarray) or bb.ndim != 2 \
-            or bb.shape[1] != ab.shape[1]:
-        linfo = -2
-    else:
+    linfo = validate_args(srname.lower(), ab=ab, bb=bb)
+    if linfo == 0:
         n = ab.shape[1]
         jobz = "V" if _want(z) else "N"
         wout, zv, linfo = sbgv(ab, bb, n, jobz=jobz, uplo=uplo)
@@ -136,7 +117,7 @@ def _band_gv(srname, ab, bb, w, uplo, z, info):
         if w is not None:
             w[:] = wout
             wout = w
-    erinfo(linfo, srname, info, exc=exc)
+    _report(srname, linfo, info, exc)
     return (wout, zout) if _want(z) else wout
 
 
@@ -167,11 +148,10 @@ def la_gegs(a: np.ndarray, b: np.ndarray, vsl=None, vsr=None,
     ``alpha``).  Returns ``(alpha, beta[, vsl][, vsr])``.
     """
     srname = "LA_GEGS"
-    linfo = 0
     exc = None
-    if check_square(a, 1) or check_square(b, 2) \
-            or a.shape != b.shape:
-        erinfo(-1 if check_square(a, 1) else -2, srname, info)
+    linfo = validate_args("la_gegs", a=a, b=b)
+    if linfo:
+        _report(srname, linfo, info)
         return np.zeros(0, complex), np.zeros(0, complex)
     alpha, beta, s, t, q, z, linfo = gegs(a, b)
     if np.iscomplexobj(a):
@@ -186,7 +166,7 @@ def la_gegs(a: np.ndarray, b: np.ndarray, vsl=None, vsr=None,
         out.append(_store(vsr if isinstance(vsr, np.ndarray) else None, z))
     if not _want(vsl) and not _want(vsr):
         out.extend([s, t])
-    erinfo(linfo, srname, info, exc=exc)
+    _report(srname, linfo, info, exc)
     return tuple(out)
 
 
@@ -201,10 +181,10 @@ def la_gegv(a: np.ndarray, b: np.ndarray, vl=None, vr=None,
     ``alpha[i]/beta[i]`` (``beta ≈ 0`` flags an infinite eigenvalue).
     """
     srname = "LA_GEGV"
-    linfo = 0
     exc = None
-    if check_square(a, 1) or check_square(b, 2) or a.shape != b.shape:
-        erinfo(-1 if check_square(a, 1) else -2, srname, info)
+    linfo = validate_args("la_gegv", a=a, b=b)
+    if linfo:
+        _report(srname, linfo, info)
         return np.zeros(0, complex), np.zeros(0, complex)
     alpha, beta, vlv, vrv, linfo = gegv(a, b, want_vl=_want(vl),
                                         want_vr=_want(vr))
@@ -215,7 +195,7 @@ def la_gegv(a: np.ndarray, b: np.ndarray, vl=None, vr=None,
         out.append(_store(vl if isinstance(vl, np.ndarray) else None, vlv))
     if _want(vr):
         out.append(_store(vr if isinstance(vr, np.ndarray) else None, vrv))
-    erinfo(linfo, srname, info, exc=exc)
+    _report(srname, linfo, info, exc)
     return tuple(out)
 
 
@@ -230,17 +210,13 @@ def la_ggsvd(a: np.ndarray, b: np.ndarray, info: Info | None = None):
     :func:`repro.lapack77.gsvd.ggsvd` for the D1/D2 layout).
     """
     srname = "LA_GGSVD"
-    linfo = 0
     exc = None
-    if not isinstance(a, np.ndarray) or a.ndim != 2:
-        erinfo(-1, srname, info)
-        return None
-    if not isinstance(b, np.ndarray) or b.ndim != 2 \
-            or b.shape[1] != a.shape[1]:
-        erinfo(-2, srname, info)
+    linfo = validate_args("la_ggsvd", a=a, b=b)
+    if linfo:
+        _report(srname, linfo, info)
         return None
     alpha, beta, k, l, u, v, q, r, linfo = ggsvd(a, b)
     if linfo > 0:
         exc = NoConvergence(srname, linfo)
-    erinfo(linfo, srname, info, exc=exc)
+    _report(srname, linfo, info, exc)
     return alpha, beta, k, l, u, v, q, r

@@ -5,9 +5,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import Info, erinfo
+from ..errors import Info
 from ..backends import backend_aware
 from ..backends.kernels import gglse, ggglm
+from ..specs import validate_args
+from .auxmod import _report
 
 __all__ = ["la_gglse", "la_ggglm"]
 
@@ -25,26 +27,14 @@ def la_gglse(a: np.ndarray, b: np.ndarray, c: np.ndarray, d: np.ndarray,
     supplied).
     """
     srname = "LA_GGLSE"
-    linfo = 0
-    if not isinstance(a, np.ndarray) or a.ndim != 2:
-        linfo = -1
-    elif not isinstance(b, np.ndarray) or b.ndim != 2 \
-            or b.shape[1] != a.shape[1] \
-            or not (b.shape[0] <= a.shape[1] <= a.shape[0] + b.shape[0]):
-        linfo = -2
-    elif not isinstance(c, np.ndarray) or c.shape[0] != a.shape[0]:
-        linfo = -3
-    elif not isinstance(d, np.ndarray) or d.shape[0] != b.shape[0]:
-        linfo = -4
-    elif x is not None and x.shape[0] != a.shape[1]:
-        linfo = -5
+    linfo = validate_args("la_gglse", a=a, b=b, c=c, d=d, x=x)
     if linfo == 0:
         sol, linfo = gglse(a, b, c, d)
         if x is not None:
             x[:] = sol
-        erinfo(linfo, srname, info)
+        _report(srname, linfo, info)
         return sol
-    erinfo(linfo, srname, info)
+    _report(srname, linfo, info)
     return x
 
 
@@ -59,26 +49,14 @@ def la_ggglm(a: np.ndarray, b: np.ndarray, d: np.ndarray,
     ``a`` (n×m), ``b`` (n×p) with ``m ≤ n ≤ m+p``.  Returns ``(x, y)``.
     """
     srname = "LA_GGGLM"
-    linfo = 0
-    if not isinstance(a, np.ndarray) or a.ndim != 2:
-        linfo = -1
-    elif not isinstance(b, np.ndarray) or b.ndim != 2 \
-            or b.shape[0] != a.shape[0] \
-            or not (a.shape[1] <= a.shape[0] <= a.shape[1] + b.shape[1]):
-        linfo = -2
-    elif not isinstance(d, np.ndarray) or d.shape[0] != a.shape[0]:
-        linfo = -3
-    elif x is not None and x.shape[0] != a.shape[1]:
-        linfo = -4
-    elif y is not None and y.shape[0] != b.shape[1]:
-        linfo = -5
+    linfo = validate_args("la_ggglm", a=a, b=b, d=d, x=x, y=y)
     if linfo == 0:
         xs, ys, linfo = ggglm(a, b, d)
         if x is not None:
             x[:] = xs
         if y is not None:
             y[:] = ys
-        erinfo(linfo, srname, info)
+        _report(srname, linfo, info)
         return xs, ys
-    erinfo(linfo, srname, info)
+    _report(srname, linfo, info)
     return x, y

@@ -4,10 +4,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import Info, erinfo
+from ..errors import Info
 from ..backends import backend_aware
 from ..backends.kernels import gels, gelss, gelsx
-from .auxmod import as_matrix, check_rhs, driver_guard, lsame
+from ..specs import validate_args
+from .auxmod import _report, as_matrix, driver_guard
 
 __all__ = ["la_gels", "la_gelsx", "la_gelss"]
 
@@ -43,17 +44,8 @@ def la_gels(a: np.ndarray, b: np.ndarray, trans: str = "N",
     * ``trans='T'/'C'``: the same problems for ``op(A)``.
     """
     srname = "LA_GELS"
-    linfo = 0
-    if not isinstance(a, np.ndarray) or a.ndim != 2:
-        linfo = -1
-    elif not isinstance(b, np.ndarray) or b.ndim not in (1, 2) \
-            or b.shape[0] not in (a.shape[0] if trans.upper() == "N"
-                                  else a.shape[1],
-                                  max(a.shape)):
-        linfo = -2
-    elif trans.upper() not in ("N", "T", "C"):
-        linfo = -3
     exc = None
+    linfo = validate_args("la_gels", a=a, b=b, trans=trans)
     if linfo == 0:
         linfo, exc = driver_guard(srname, (1, a), (2, b))
     if linfo == 0:
@@ -62,9 +54,9 @@ def la_gels(a: np.ndarray, b: np.ndarray, trans: str = "N",
         linfo = gels(a, bw, trans=trans)
         out_rows = n if trans.upper() == "N" else m
         x = bw[:out_rows, 0] if was_vec else bw[:out_rows]
-        erinfo(linfo, srname, info)
+        _report(srname, linfo, info)
         return x
-    erinfo(linfo, srname, info, exc=exc)
+    _report(srname, linfo, info, exc)
     return b
 
 
@@ -80,27 +72,21 @@ def la_gelsx(a: np.ndarray, b: np.ndarray, rcond: float = -1.0,
     (LAPACK-style), on exit holds the permutation.
     """
     srname = "LA_GELSX"
-    linfo = 0
-    if not isinstance(a, np.ndarray) or a.ndim != 2:
-        linfo = -1
-        erinfo(linfo, srname, info)
+    linfo = validate_args("la_gelsx", a=a, b=b)
+    if linfo:
+        _report(srname, linfo, info)
         return b, 0
-    m, n = a.shape
-    if not isinstance(b, np.ndarray) or b.ndim not in (1, 2) \
-            or b.shape[0] not in (m, max(m, n)):
-        linfo = -2
-        erinfo(linfo, srname, info)
-        return b, 0
+    n = a.shape[1]
     linfo, exc = driver_guard(srname, (1, a), (2, b))
     if linfo:
-        erinfo(linfo, srname, info, exc=exc)
+        _report(srname, linfo, info, exc)
         return b, 0
     bw, was_vec, padded = _ls_rhs(a, b)
     rank, perm, linfo = gelsx(a, bw, rcond=rcond, jpvt=jpvt)
     if jpvt is not None:
         jpvt[:] = perm
     x = bw[:n, 0] if was_vec else bw[:n]
-    erinfo(linfo, srname, info)
+    _report(srname, linfo, info)
     return x, rank
 
 
@@ -115,21 +101,17 @@ def la_gelss(a: np.ndarray, b: np.ndarray, rcond: float = -1.0,
     ``rcond·s₁``, and the singular values (descending).
     """
     srname = "LA_GELSS"
-    linfo = 0
-    if not isinstance(a, np.ndarray) or a.ndim != 2:
-        erinfo(-1, srname, info)
+    linfo = validate_args("la_gelss", a=a, b=b)
+    if linfo:
+        _report(srname, linfo, info)
         return b, 0, np.zeros(0)
-    m, n = a.shape
-    if not isinstance(b, np.ndarray) or b.ndim not in (1, 2) \
-            or b.shape[0] not in (m, max(m, n)):
-        erinfo(-2, srname, info)
-        return b, 0, np.zeros(0)
+    n = a.shape[1]
     linfo, exc = driver_guard(srname, (1, a), (2, b))
     if linfo:
-        erinfo(linfo, srname, info, exc=exc)
+        _report(srname, linfo, info, exc)
         return b, 0, np.zeros(0)
     bw, was_vec, padded = _ls_rhs(a, b)
     s, rank, linfo = gelss(a, bw, rcond=rcond)
     x = bw[:n, 0] if was_vec else bw[:n]
-    erinfo(linfo, srname, info)
+    _report(srname, linfo, info)
     return x, rank, s

@@ -36,43 +36,20 @@ factor) are unspecified while ``b`` holds the fallback solution.
 
 from __future__ import annotations
 
-import warnings
-
 import numpy as np
 
-from ..errors import (DriverFallbackWarning, Info, LinAlgError,
-                      NotPositiveDefinite, SingularMatrix, erinfo)
+from ..errors import (Info, LinAlgError, NotPositiveDefinite,
+                      SingularMatrix)
 from ..backends import backend_aware
 from ..backends.kernels import (gbsv, gtsv, gesv, hesv, hpsv, pbsv, posv,
                                 ppsv, ptsv, spsv, sysv)
 from ..policy import get_policy, has_nonfinite
-from .auxmod import as_matrix, check_rhs, check_square, driver_guard, lsame
+from ..specs import validate_args
+from .auxmod import _record_fallback, _report, as_matrix, driver_guard
 
 __all__ = ["la_gesv", "la_gbsv", "la_gtsv", "la_posv", "la_ppsv",
            "la_pbsv", "la_ptsv", "la_sysv", "la_hesv", "la_spsv",
            "la_hpsv"]
-
-
-def _report(srname, linfo, info, exc=None):
-    erinfo(linfo, srname, info, exc=exc)
-
-
-def _record_fallback(srname, via, rcond, linfo, info):
-    """Announce a taken fallback and record it on the Info handle.
-
-    ``linfo`` is stored without going through ``erinfo``: a successful
-    fallback is a warning-class outcome (even the ``n+1``
-    singular-to-working-precision verdict) and must not terminate.
-    """
-    detail = f" (RCOND = {rcond:.3e})" if rcond is not None else ""
-    warnings.warn(
-        f"{srname}: primary factorization failed; solution computed via "
-        f"the {via} fallback{detail}",
-        DriverFallbackWarning, stacklevel=4)
-    if info is not None:
-        info.value = int(linfo)
-        info.fallback = via
-        info.rcond = rcond
 
 
 def _fallback_posv(srname, a_orig, bmat, uplo, info):
@@ -160,17 +137,10 @@ def la_gesv(a: np.ndarray, b: np.ndarray, ipiv: np.ndarray | None = None,
     The solution array ``b``.
     """
     srname = "LA_GESV"
-    linfo = 0
     exc = None
-    n = a.shape[0] if isinstance(a, np.ndarray) and a.ndim == 2 else -1
-    if check_square(a, 1):
-        linfo = -1
-    elif check_rhs(n, b, 2):
-        linfo = -2
-    elif ipiv is not None and (not isinstance(ipiv, np.ndarray)
-                               or ipiv.shape[0] != n):
-        linfo = -3
-    elif n > 0:
+    linfo = validate_args("la_gesv", a=a, b=b, ipiv=ipiv)
+    if linfo == 0 and a.shape[0] > 0:
+        n = a.shape[0]
         linfo, exc = driver_guard(srname, (1, a), (2, b))
         if linfo == 0:
             bmat, _ = as_matrix(b)
@@ -201,37 +171,27 @@ def la_gbsv(ab: np.ndarray, b: np.ndarray, kl: int | None = None,
     convention covering the common ``kl = ku`` case.
     """
     srname = "LA_GBSV"
-    linfo = 0
     exc = None
-    if not isinstance(ab, np.ndarray) or ab.ndim != 2:
-        linfo = -1
-    else:
+    linfo = validate_args("la_gbsv", ab=ab, b=b, kl=kl, ipiv=ipiv)
+    if linfo == 0:
         n = ab.shape[1]
         rows = ab.shape[0]
         if kl is None:
             kl = (rows - 1) // 3
         ku = rows - 2 * kl - 1
-        if kl < 0 or ku < 0:
-            linfo = -3
-        elif check_rhs(n, b, 2):
-            linfo = -2
-        elif ipiv is not None and (not isinstance(ipiv, np.ndarray)
-                                   or ipiv.shape[0] != n):
-            linfo = -4
-        else:
-            linfo, exc = driver_guard(srname, (1, ab), (2, b))
-            if linfo == 0:
-                bmat, _ = as_matrix(b)
-                pol = get_policy()
-                ab_orig = ab[kl:, :].copy() if pol.fallbacks else None
-                lpiv, linfo = gbsv(ab, kl, ku, bmat)
-                if ipiv is not None:
-                    ipiv[:] = lpiv
-                if linfo > 0:
-                    exc = SingularMatrix(srname, linfo)
-                    if pol.fallbacks and _fallback_gbsv(srname, ab_orig, kl,
-                                                        bmat, n, info):
-                        return b
+        linfo, exc = driver_guard(srname, (1, ab), (2, b))
+        if linfo == 0:
+            bmat, _ = as_matrix(b)
+            pol = get_policy()
+            ab_orig = ab[kl:, :].copy() if pol.fallbacks else None
+            lpiv, linfo = gbsv(ab, kl, ku, bmat)
+            if ipiv is not None:
+                ipiv[:] = lpiv
+            if linfo > 0:
+                exc = SingularMatrix(srname, linfo)
+                if pol.fallbacks and _fallback_gbsv(srname, ab_orig, kl,
+                                                    bmat, n, info):
+                    return b
     _report(srname, linfo, info, exc)
     return b
 
@@ -246,18 +206,9 @@ def la_gtsv(dl: np.ndarray, d: np.ndarray, du: np.ndarray, b: np.ndarray,
     (and ``b``) are overwritten.
     """
     srname = "LA_GTSV"
-    linfo = 0
     exc = None
-    n = d.shape[0] if isinstance(d, np.ndarray) else -1
-    if not isinstance(dl, np.ndarray) or dl.shape[0] != max(0, n - 1):
-        linfo = -1
-    elif n < 0:
-        linfo = -2
-    elif not isinstance(du, np.ndarray) or du.shape[0] != max(0, n - 1):
-        linfo = -3
-    elif check_rhs(n, b, 4):
-        linfo = -4
-    elif n > 0:
+    linfo = validate_args("la_gtsv", dl=dl, d=d, du=du, b=b)
+    if linfo == 0 and d.shape[0] > 0:
         linfo, exc = driver_guard(srname, (1, dl), (2, d), (3, du), (4, b))
         if linfo == 0:
             bmat, _ = as_matrix(b)
@@ -278,16 +229,9 @@ def la_posv(a: np.ndarray, b: np.ndarray, uplo: str = "U",
     the Cholesky factor.
     """
     srname = "LA_POSV"
-    linfo = 0
     exc = None
-    n = a.shape[0] if isinstance(a, np.ndarray) and a.ndim == 2 else -1
-    if check_square(a, 1):
-        linfo = -1
-    elif check_rhs(n, b, 2):
-        linfo = -2
-    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
-        linfo = -3
-    elif n > 0:
+    linfo = validate_args("la_posv", a=a, b=b, uplo=uplo)
+    if linfo == 0 and a.shape[0] > 0:
         linfo, exc = driver_guard(srname, (1, a), (2, b))
         if linfo == 0:
             bmat, _ = as_matrix(b)
@@ -310,17 +254,9 @@ def la_ppsv(ap: np.ndarray, b: np.ndarray, uplo: str = "U",
     packed storage (paper: ``CALL LA_PPSV( AP, B, UPLO=uplo,
     INFO=info )``)."""
     srname = "LA_PPSV"
-    linfo = 0
     exc = None
-    n = b.shape[0] if isinstance(b, np.ndarray) else -1
-    if not isinstance(ap, np.ndarray) or ap.ndim != 1 \
-            or (n >= 0 and ap.shape[0] != n * (n + 1) // 2):
-        linfo = -1
-    elif n < 0:
-        linfo = -2
-    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
-        linfo = -3
-    elif n > 0:
+    linfo = validate_args("la_ppsv", ap=ap, b=b, uplo=uplo)
+    if linfo == 0 and b.shape[0] > 0:
         linfo, exc = driver_guard(srname, (1, ap), (2, b))
         if linfo == 0:
             bmat, _ = as_matrix(b)
@@ -340,23 +276,15 @@ def la_pbsv(ab: np.ndarray, b: np.ndarray, uplo: str = "U",
     ``ab`` has ``kd + 1`` rows in LAPACK symmetric band storage.
     """
     srname = "LA_PBSV"
-    linfo = 0
     exc = None
-    if not isinstance(ab, np.ndarray) or ab.ndim != 2:
-        linfo = -1
-    else:
-        n = ab.shape[1]
-        if check_rhs(n, b, 2):
-            linfo = -2
-        elif not (lsame(uplo, "U") or lsame(uplo, "L")):
-            linfo = -3
-        elif n > 0:
-            linfo, exc = driver_guard(srname, (1, ab), (2, b))
-            if linfo == 0:
-                bmat, _ = as_matrix(b)
-                linfo = pbsv(ab, bmat, uplo)
-                if linfo > 0:
-                    exc = NotPositiveDefinite(srname, linfo)
+    linfo = validate_args("la_pbsv", ab=ab, b=b, uplo=uplo)
+    if linfo == 0 and ab.shape[1] > 0:
+        linfo, exc = driver_guard(srname, (1, ab), (2, b))
+        if linfo == 0:
+            bmat, _ = as_matrix(b)
+            linfo = pbsv(ab, bmat, uplo)
+            if linfo > 0:
+                exc = NotPositiveDefinite(srname, linfo)
     _report(srname, linfo, info, exc)
     return b
 
@@ -371,16 +299,9 @@ def la_ptsv(d: np.ndarray, e: np.ndarray, b: np.ndarray,
     ``L D Lᴴ`` factors.
     """
     srname = "LA_PTSV"
-    linfo = 0
     exc = None
-    n = d.shape[0] if isinstance(d, np.ndarray) else -1
-    if n < 0:
-        linfo = -1
-    elif not isinstance(e, np.ndarray) or e.shape[0] != max(0, n - 1):
-        linfo = -2
-    elif check_rhs(n, b, 3):
-        linfo = -3
-    elif n > 0:
+    linfo = validate_args("la_ptsv", d=d, e=e, b=b)
+    if linfo == 0 and d.shape[0] > 0:
         linfo, exc = driver_guard(srname, (1, d), (2, e), (3, b))
         if linfo == 0:
             bmat, _ = as_matrix(b)
@@ -392,19 +313,9 @@ def la_ptsv(d: np.ndarray, e: np.ndarray, b: np.ndarray,
 
 
 def _indef_driver(srname, solver, a, b, uplo, ipiv, info):
-    linfo = 0
     exc = None
-    n = a.shape[0] if isinstance(a, np.ndarray) and a.ndim == 2 else -1
-    if check_square(a, 1):
-        linfo = -1
-    elif check_rhs(n, b, 2):
-        linfo = -2
-    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
-        linfo = -3
-    elif ipiv is not None and (not isinstance(ipiv, np.ndarray)
-                               or ipiv.shape[0] != n):
-        linfo = -4
-    elif n > 0:
+    linfo = validate_args(srname.lower(), a=a, b=b, uplo=uplo, ipiv=ipiv)
+    if linfo == 0 and a.shape[0] > 0:
         linfo, exc = driver_guard(srname, (1, a), (2, b))
         if linfo == 0:
             bmat, _ = as_matrix(b)
@@ -413,7 +324,7 @@ def _indef_driver(srname, solver, a, b, uplo, ipiv, info):
                 ipiv[:] = lpiv
             if linfo > 0:
                 exc = SingularMatrix(srname, linfo)
-    erinfo(linfo, srname, info, exc=exc)
+    _report(srname, linfo, info, exc)
     return b
 
 
@@ -436,20 +347,9 @@ def la_hesv(a: np.ndarray, b: np.ndarray, uplo: str = "U",
 
 
 def _packed_indef_driver(srname, solver, ap, b, uplo, ipiv, info):
-    linfo = 0
     exc = None
-    n = b.shape[0] if isinstance(b, np.ndarray) else -1
-    if not isinstance(ap, np.ndarray) or ap.ndim != 1 \
-            or (n >= 0 and ap.shape[0] != n * (n + 1) // 2):
-        linfo = -1
-    elif n < 0:
-        linfo = -2
-    elif not (lsame(uplo, "U") or lsame(uplo, "L")):
-        linfo = -3
-    elif ipiv is not None and (not isinstance(ipiv, np.ndarray)
-                               or ipiv.shape[0] != n):
-        linfo = -4
-    elif n > 0:
+    linfo = validate_args(srname.lower(), ap=ap, b=b, uplo=uplo, ipiv=ipiv)
+    if linfo == 0 and b.shape[0] > 0:
         linfo, exc = driver_guard(srname, (1, ap), (2, b))
         if linfo == 0:
             bmat, _ = as_matrix(b)
@@ -458,7 +358,7 @@ def _packed_indef_driver(srname, solver, ap, b, uplo, ipiv, info):
                 ipiv[:] = lpiv
             if linfo > 0:
                 exc = SingularMatrix(srname, linfo)
-    erinfo(linfo, srname, info, exc=exc)
+    _report(srname, linfo, info, exc)
     return b
 
 

@@ -5,10 +5,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import Info, erinfo
+from ..errors import Info
 from ..backends import backend_aware
 from ..backends.kernels import lagge, lange
-from .auxmod import lsame
+from ..specs import validate_args
+from .auxmod import _report
 
 __all__ = ["la_lange", "la_lagge"]
 
@@ -23,15 +24,11 @@ def la_lange(a: np.ndarray, norm: str = "1",
     ``norm`` ∈ {'M', '1'/'O', 'I', 'F'/'E'}.
     """
     srname = "LA_LANGE"
-    linfo = 0
     value = 0.0
-    if not isinstance(a, np.ndarray) or a.ndim != 2:
-        linfo = -1
-    elif norm.upper()[0] not in ("M", "1", "O", "I", "F", "E"):
-        linfo = -2
-    else:
+    linfo = validate_args("la_lange", a=a, norm=norm)
+    if linfo == 0:
         value = float(lange(norm, a))
-    erinfo(linfo, srname, info)
+    _report(srname, linfo, info)
     return value
 
 
@@ -48,20 +45,15 @@ def la_lagge(a: np.ndarray, kl: int | None = None, ku: int | None = None,
     ``kl``/``ku`` bound the generated bandwidth.
     """
     srname = "LA_LAGGE"
-    linfo = 0
-    if not isinstance(a, np.ndarray) or a.ndim != 2:
-        linfo = -1
-        erinfo(linfo, srname, info)
+    linfo = validate_args("la_lagge", a=a, d=d)
+    if linfo:
+        _report(srname, linfo, info)
         return a
     m, n = a.shape
     rng = np.random.default_rng(iseed)
     if d is None:
         d = rng.uniform(1e-3, 1.0, min(m, n))
-    elif len(d) < min(m, n):
-        linfo = -4
-        erinfo(linfo, srname, info)
-        return a
     a[...] = lagge(m, n, np.asarray(d), kl=kl, ku=ku, dtype=a.dtype,
                    rng=rng)
-    erinfo(linfo, srname, info)
+    _report(srname, 0, info)
     return a

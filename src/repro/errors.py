@@ -222,9 +222,13 @@ class Info:
         return hash(self.value)
 
     def __repr__(self) -> str:
+        extras = []
         if self.fallback is not None:
-            return f"Info({self.value}, fallback={self.fallback!r})"
-        return f"Info({self.value})"
+            extras.append(f"fallback={self.fallback!r}")
+        if self.rcond is not None:
+            extras.append(f"rcond={self.rcond!r}")
+        tail = "".join(", " + e for e in extras)
+        return f"Info({self.value}{tail})"
 
 
 def _error_for(srname: str, linfo: int) -> LinAlgError:

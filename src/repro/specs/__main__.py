@@ -1,0 +1,78 @@
+"""``python -m repro.specs`` — spec-registry tooling.
+
+``--catalogue`` prints the generated Appendix-G table;
+``--write-catalogue`` splices it into ``docs/USERS_GUIDE.md`` between
+the GENERATED CATALOGUE markers; ``--check-catalogue`` exits 1 when the
+committed table is stale (the CI guard).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .catalogue import render_catalogue, splice_guide
+
+DEFAULT_GUIDE = "docs/USERS_GUIDE.md"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.specs",
+        description="Driver-spec registry tooling (Appendix-G catalogue "
+                    "emitter).")
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--catalogue", action="store_true",
+                       help="print the generated catalogue to stdout")
+    group.add_argument("--write-catalogue", action="store_true",
+                       help="rewrite the marked region of the guide")
+    group.add_argument("--check-catalogue", action="store_true",
+                       help="exit 1 when the committed catalogue is "
+                            "stale")
+    parser.add_argument("--guide", default=DEFAULT_GUIDE, metavar="FILE",
+                        help=f"guide file to splice "
+                             f"(default: {DEFAULT_GUIDE})")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.catalogue:
+        sys.stdout.write(render_catalogue())
+        return 0
+
+    try:
+        with open(args.guide, encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as err:
+        print(f"repro.specs: cannot read {args.guide}: {err}",
+              file=sys.stderr)
+        return 2
+    try:
+        fresh = splice_guide(text)
+    except ValueError:
+        print(f"repro.specs: {args.guide} lacks the GENERATED "
+              f"CATALOGUE markers", file=sys.stderr)
+        return 2
+
+    if args.write_catalogue:
+        if fresh != text:
+            with open(args.guide, "w", encoding="utf-8") as fh:
+                fh.write(fresh)
+            print(f"repro.specs: updated {args.guide}")
+        else:
+            print(f"repro.specs: {args.guide} already up to date")
+        return 0
+
+    # --check-catalogue
+    if fresh != text:
+        print(f"repro.specs: the catalogue in {args.guide} is stale — "
+              f"run `python -m repro.specs --write-catalogue`",
+              file=sys.stderr)
+        return 1
+    print(f"repro.specs: {args.guide} catalogue is up to date")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

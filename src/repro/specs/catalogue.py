@@ -1,0 +1,67 @@
+"""Appendix-G catalogue emitter.
+
+Renders the complete user-callable routine catalogue as markdown from
+the spec registry, so ``docs/USERS_GUIDE.md`` carries a table that can
+never drift from the code: the committed copy lives between the
+``BEGIN/END GENERATED CATALOGUE`` markers and CI re-renders it with
+``python -m repro.specs --check-catalogue``.
+"""
+
+from __future__ import annotations
+
+from .registry import SPECS
+
+__all__ = ["render_catalogue", "splice_guide", "BEGIN_MARK", "END_MARK"]
+
+BEGIN_MARK = "<!-- BEGIN GENERATED CATALOGUE -->"
+END_MARK = "<!-- END GENERATED CATALOGUE -->"
+
+_HEADER = (
+    "| Routine | Calling sequence | Kernel | Backends | Types | "
+    "Purpose |\n"
+    "|---|---|---|---|---|---|\n")
+
+
+def _sections():
+    """Specs grouped by section, preserving registry order."""
+    grouped = {}
+    for spec in SPECS.values():
+        grouped.setdefault(spec.section, []).append(spec)
+    return grouped
+
+
+def _dtype_cell(spec):
+    cell = spec.dtypes
+    if spec.pair:
+        cell += f" (pairs with `{spec.pair}`)"
+    return cell
+
+
+def _row(spec):
+    backends = "reference" if spec.reference_only \
+        else "reference, accelerated"
+    return (f"| `{spec.name}` | `{spec.call_sequence()}` "
+            f"| `{spec.kernel}` | {backends} | {_dtype_cell(spec)} "
+            f"| {spec.summary} |\n")
+
+
+def render_catalogue() -> str:
+    """The full Appendix-G catalogue as a markdown fragment."""
+    out = [
+        "_This catalogue is generated from the driver-spec registry\n"
+        "(`repro.specs.registry`) — do not edit it by hand.  Regenerate\n"
+        "with `PYTHONPATH=src python -m repro.specs --write-catalogue`\n"
+        "after changing the registry._\n",
+    ]
+    for section, specs in _sections().items():
+        out.append(f"\n### {section}\n\n")
+        out.append(_HEADER)
+        out.extend(_row(s) for s in specs)
+    return "".join(out)
+
+
+def splice_guide(text: str) -> str:
+    """Replace the marked region of the guide with a fresh render."""
+    begin = text.index(BEGIN_MARK) + len(BEGIN_MARK)
+    end = text.index(END_MARK)
+    return text[:begin] + "\n" + render_catalogue() + text[end:]

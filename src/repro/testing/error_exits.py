@@ -15,47 +15,20 @@ import numpy as np
 
 from ..core import la_gesv
 from ..errors import IllegalArgument, Info, LinAlgError
+from ..specs import error_exit_codes
 
 __all__ = ["run_gesv_error_exits", "GESV_ERROR_CASES",
            "ERROR_EXIT_CODES"]
 
-#: One source of truth for ``driver -> {argument: expected LINFO code}``.
-#:
-#: The dynamic error-exit harnesses (this module and
+#: ``driver -> {argument: expected LINFO code}`` — a *derived view* of
+#: the driver-spec registry (``repro.specs``): every argument marked
+#: ``in_table`` contributes its negative 1-based position.  The dynamic
+#: error-exit harnesses (this module and
 #: ``tests/core/test_error_exits_all_drivers.py``) read their expected
-#: codes from here, and the static LA002 rule (``repro.analysis``)
-#: cross-checks every entry against the live driver signature — a code
-#: that drifts from its argument's 1-based position fails both ways.
-#: Keep the dict a literal: lalint reads it from the AST, not by import.
-ERROR_EXIT_CODES = {
-    "la_gesv": {"a": -1, "b": -2, "ipiv": -3},
-    "la_gbsv": {"ab": -1, "b": -2, "kl": -3, "ipiv": -4},
-    "la_gtsv": {"dl": -1, "d": -2, "du": -3, "b": -4},
-    "la_posv": {"a": -1, "b": -2, "uplo": -3},
-    "la_ppsv": {"ap": -1, "b": -2, "uplo": -3},
-    "la_pbsv": {"ab": -1, "b": -2, "uplo": -3},
-    "la_ptsv": {"d": -1, "e": -2, "b": -3},
-    "la_sysv": {"a": -1, "b": -2, "uplo": -3, "ipiv": -4},
-    "la_hesv": {"a": -1, "b": -2, "uplo": -3, "ipiv": -4},
-    "la_spsv": {"ap": -1, "b": -2, "uplo": -3, "ipiv": -4},
-    "la_hpsv": {"ap": -1, "b": -2, "uplo": -3, "ipiv": -4},
-    "la_gels": {"a": -1, "b": -2, "trans": -3},
-    "la_syev": {"a": -1, "w": -2, "jobz": -3, "uplo": -4},
-    "la_heev": {"a": -1, "w": -2, "jobz": -3, "uplo": -4},
-    "la_sygv": {"a": -1, "b": -2, "w": -3, "itype": -4, "jobz": -5,
-                "uplo": -6},
-    "la_gesvx": {"a": -1, "b": -2, "af": -4, "fact": -6, "trans": -7},
-    "la_gbsvx": {"ab": -1, "b": -2, "kl": -4, "abf": -5, "trans": -8},
-    "la_gtsvx": {"dl": -1, "d": -2, "b": -4, "trans": -6},
-    "la_posvx": {"a": -1, "b": -2, "uplo": -4, "af": -5},
-    "la_ppsvx": {"ap": -1, "b": -2, "uplo": -4, "afp": -5},
-    "la_pbsvx": {"ab": -1, "b": -2, "uplo": -4, "afb": -5},
-    "la_ptsvx": {"d": -1, "e": -2, "b": -3},
-    "la_sysvx": {"a": -1, "b": -2, "uplo": -4, "af": -5, "ipiv": -6},
-    "la_hesvx": {"a": -1, "b": -2, "uplo": -4, "af": -5, "ipiv": -6},
-    "la_spsvx": {"ap": -1, "b": -2, "uplo": -4, "afp": -5, "ipiv": -6},
-    "la_hpsvx": {"ap": -1, "b": -2, "uplo": -4, "afp": -5, "ipiv": -6},
-}
+#: codes from here; ``tests/core/test_specs.py`` pins the derivation
+#: byte-for-byte against the frozen pre-refactor table
+#: (``tests/core/fixtures/error_exit_codes_v0.json``).
+ERROR_EXIT_CODES = error_exit_codes()
 
 
 def _rect_a():

@@ -1,0 +1,148 @@
+"""lalint spec rules (LA009/LA010) and the stale-baseline guard.
+
+The spec rules compare analysed trees against the *real* driver-spec
+registry, so the fixtures are synthesised under a ``repro/core/`` path
+inside ``tmp_path`` — only modules there are in scope for LA009/LA010.
+"""
+
+import json
+import os
+
+from repro.analysis import Project, run_rules
+from repro.analysis.cli import main
+from repro.specs import SPECS
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+
+BAD_POSITIONS = '''\
+def la_gesv(x, b, ipiv=None, info=None):
+    linfo = validate_args("la_gesv", a=x, b=b, ipiv=ipiv)
+    _report("LA_GESV", linfo, info)
+    return b
+'''
+
+HAND_ROLLED = '''\
+def la_gtsv(dl, d, du, b, info=None):
+    linfo = 0
+    if dl is None:
+        linfo = -1
+    _report("LA_GTSV", linfo, info)
+    return b
+'''
+
+NO_SPEC = '''\
+def la_frobnicate(a, info=None):
+    linfo = validate_args("la_frobnicate", a=a)
+    _report("LA_FROBNICATE", linfo, info)
+    return a
+'''
+
+
+def _core_tree(tmp_path, files):
+    root = tmp_path / "repro" / "core"
+    root.mkdir(parents=True)
+    paths = []
+    for name, source in files.items():
+        p = root / name
+        p.write_text(source, encoding="utf-8")
+        paths.append(str(p))
+    return paths
+
+
+def _findings(paths, code):
+    return [f for f in run_rules(Project.load(paths)) if f.code == code]
+
+
+class TestLA009:
+    def test_unknown_spec_argument(self, tmp_path):
+        paths = _core_tree(tmp_path, {"solvers.py": BAD_POSITIONS})
+        found = _findings(paths, "LA009")
+        assert len(found) == 1
+        assert "declares argument 'a'" in found[0].message
+        assert found[0].context == "la_gesv"
+
+    def test_hand_rolled_ladder(self, tmp_path):
+        paths = _core_tree(tmp_path, {"tridiag.py": HAND_ROLLED})
+        found = _findings(paths, "LA009")
+        assert len(found) == 1
+        assert "hand-rolled validation ladder" in found[0].message
+        assert "validate_args" in found[0].message
+
+    def test_out_of_scope_tree_is_exempt(self, tmp_path):
+        other = tmp_path / "other"
+        other.mkdir()
+        p = other / "solvers.py"
+        p.write_text(BAD_POSITIONS, encoding="utf-8")
+        assert _findings([str(p)], "LA009") == []
+        assert _findings([str(p)], "LA010") == []
+
+    def test_shipped_core_is_clean(self):
+        src = os.path.join(REPO, "src", "repro", "core")
+        assert _findings([src], "LA009") == []
+
+
+class TestLA010:
+    def test_core_driver_without_spec(self, tmp_path):
+        paths = _core_tree(tmp_path, {"extras.py": NO_SPEC})
+        found = _findings(paths, "LA010")
+        assert len(found) == 1
+        assert "la_frobnicate has no registered driver spec" \
+            in found[0].message
+
+    def test_reverse_check_requires_core_init(self, tmp_path):
+        # Without a core/__init__.py in the tree the export side of the
+        # check cannot run — a partial scan must not flag every spec.
+        paths = _core_tree(tmp_path, {"solvers.py": BAD_POSITIONS})
+        assert _findings(paths, "LA010") == []
+
+    def test_spec_not_exported_by_core_init(self, tmp_path):
+        paths = _core_tree(tmp_path, {
+            "solvers.py": BAD_POSITIONS,
+            "__init__.py": "from .solvers import la_gesv\n",
+        })
+        found = _findings(paths, "LA010")
+        assert len(found) == len(SPECS) - 1
+        assert all("names no driver exported" in f.message
+                   for f in found)
+
+    def test_shipped_tree_is_clean(self):
+        src = os.path.join(REPO, "src", "repro")
+        assert _findings([src], "LA010") == []
+
+
+class TestStaleBaseline:
+    def _baseline(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"findings": [{
+            "code": "LA001",
+            "context": "la_gone",
+            "fingerprint": "deadbeefdeadbeef",
+            "message": "exit path returns without reporting",
+            "path": "src/repro/gone.py",
+        }]}), encoding="utf-8")
+        return str(path)
+
+    def test_stale_entry_fails_the_run(self, tmp_path, capsys):
+        mod = tmp_path / "clean.py"
+        mod.write_text("x = 1\n", encoding="utf-8")
+        rc = main([str(mod), "--baseline", self._baseline(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "stale baseline entry deadbeefdeadbeef" in out
+
+    def test_select_skips_the_stale_check(self, tmp_path, capsys):
+        mod = tmp_path / "clean.py"
+        mod.write_text("x = 1\n", encoding="utf-8")
+        rc = main([str(mod), "--baseline", self._baseline(tmp_path),
+                   "--select", "LA001"])
+        capsys.readouterr()
+        assert rc == 0
+
+    def test_shipped_baseline_has_no_stale_entries(self, capsys):
+        src = os.path.join(REPO, "src", "repro")
+        baseline = os.path.join(REPO, "lalint.baseline.json")
+        rc = main([src, "--baseline", baseline])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "stale" not in out

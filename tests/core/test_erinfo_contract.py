@@ -109,6 +109,15 @@ class TestInfoObject:
         j.fallback = "LA_SYSV"
         assert "LA_SYSV" in repr(j)
 
+    def test_repr_shows_fallback_and_rcond(self):
+        j = Info(0)
+        j.fallback = "LA_SYSV"
+        j.rcond = 0.25
+        assert repr(j) == "Info(0, fallback='LA_SYSV', rcond=0.25)"
+        k = Info(3)
+        k.rcond = 0.5
+        assert repr(k) == "Info(3, rcond=0.5)"
+
 
 class TestErrorExits:
     def test_all_nine_pass(self):
