@@ -1,0 +1,26 @@
+"""Shared synchronisation for the process-global configuration state.
+
+The package keeps three pieces of process-global state: the exception
+policy (:mod:`repro.policy`), the selected backend
+(:mod:`repro.backends`) and the blocking parameters
+(:mod:`repro.config`).  The "millions of users" deployment target means
+these knobs get flipped from many threads while drivers are solving, so
+every mutation goes through one shared re-entrant lock.
+
+An :class:`~threading.RLock` (not a plain Lock) because the setters
+nest: ``exception_policy`` restores via ``set_policy`` while already
+holding the lock, and ``use_backend`` enters ``set_backend`` twice.
+
+lalint's LA015 rule enforces the discipline statically: outside the
+owner modules the state may only be touched through the designated
+setters, and every mutation site inside the owners must lexically hold
+``with STATE_LOCK:``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["STATE_LOCK"]
+
+STATE_LOCK = threading.RLock()

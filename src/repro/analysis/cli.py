@@ -22,7 +22,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="lalint: static checker for the LAPACK90 wrapper "
-                    "contract (rules LA001-LA010).")
+                    "contract (rules LA001-LA015).")
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to analyse "
                              "(default: src/repro)")
@@ -39,6 +39,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--select", default=None, metavar="CODES",
                         help="comma-separated rule codes to run "
                              "(e.g. LA002,LA004)")
+    parser.add_argument("--ignore", default=None, metavar="CODES",
+                        help="comma-separated rule codes to skip "
+                             "(the complement of --select)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     return parser
@@ -57,9 +60,29 @@ def main(argv=None) -> int:
               + ", ".join(args.paths), file=sys.stderr)
         return 2
 
-    select = None
+    all_codes = {code for code, _, _ in RULES}
+
+    def _codes(raw, flag):
+        codes = {c.strip().upper() for c in raw.split(",") if c.strip()}
+        unknown = codes - all_codes
+        if unknown:
+            print(f"lalint: {flag} names unknown rule(s): "
+                  + ", ".join(sorted(unknown)), file=sys.stderr)
+            return None
+        return codes
+
+    selected = all_codes
     if args.select:
-        select = {c.strip().upper() for c in args.select.split(",") if c}
+        selected = _codes(args.select, "--select")
+        if selected is None:
+            return 2
+    if args.ignore:
+        ignored = _codes(args.ignore, "--ignore")
+        if ignored is None:
+            return 2
+        selected = selected - ignored
+    restricted = selected != all_codes
+    select = selected if restricted else None
 
     project = Project.load(paths)
     findings = run_rules(project, select=select)
@@ -82,13 +105,15 @@ def main(argv=None) -> int:
     # A baseline entry whose fingerprint no longer matches any current
     # finding is stale — the legacy violation was fixed (or the code
     # deleted) and the suppression must be dropped from the file, or it
-    # would silently mask a future regression.  Only a full run can
-    # tell (with --select the unmatched entries are expected).
+    # would silently mask a future regression.  A restricted run
+    # (--select/--ignore) can only judge entries for the rules that
+    # actually ran; the rest are expected to be unmatched.
     stale = []
-    if select is None and baseline.entries:
+    if baseline.entries:
         current = {f.fingerprint for f in findings}
         stale = [entry for fp, entry in sorted(baseline.entries.items())
-                 if fp not in current]
+                 if fp not in current
+                 and entry.get("code") in selected]
 
     if args.format == "json":
         print(json.dumps({

@@ -1,0 +1,477 @@
+"""Symbolic abstract interpreter over ``la_*`` driver bodies.
+
+One :class:`DriverFlow` interprets one driver implementation (the
+driver's own body, or its delegation helper with positions remapped via
+the call site) against its :class:`~repro.specs.model.DriverSpec`.  The
+environment is seeded from the spec's argument table — a ``matrix``
+argument ``a`` enters as an abstract array of shape ``(rows(a),
+cols(a))`` whose dtype *follows* ``a`` — and the interpreter then walks
+the body tracking allocations, slicing, kernel calls and assignments.
+
+The result is a set of recorded events the LA011–LA014 rules consume:
+
+* ``dim_defs`` — local bindings of spec-declared dimension variables
+  (``n = a.shape[0]``) with their resolved symbolic value,
+* ``allocs`` — array-allocation sites with symbolic shape and dtype,
+* ``writes`` — in-place stores (``w[:] = ...``, ``_store(z, ...)``)
+  with the driver arguments the target may alias,
+* ``sinks`` — substrate/kernel calls (including calls through a
+  helper's kernel-valued parameter) with their abstract arguments.
+
+Interpretation is conservative: branches are walked with forked
+environments and joined, unknown constructs evaluate to bottom, and no
+rule reports anything derived from an unknown value.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from ..model import body_statements, call_name
+from . import values as V
+
+__all__ = ["DriverFlow", "Write", "Sink", "spec_dim_formulas"]
+
+#: NumPy allocation calls with an explicit shape first argument.
+ALLOCATORS = {"zeros", "empty", "ones", "full", "eye", "identity"}
+LIKE_ALLOCATORS = {"zeros_like", "empty_like", "ones_like", "full_like"}
+
+#: Calls that return (a view of) their first array argument unchanged
+#: for provenance purposes.
+PASSTHROUGH = {"asarray", "ascontiguousarray", "asfortranarray",
+               "atleast_1d", "atleast_2d", "conj", "conjugate",
+               "triu", "tril", "require"}
+
+_DIM_ATOMS = {"rows2d": "rows", "cols2d": "cols", "len": "len",
+              "tri": "tri"}
+
+
+def spec_dim_formulas(spec) -> dict:
+    """Resolve a spec's derived-dimension table to canonical Dims."""
+    out: dict = {}
+    for entry in spec.dims:
+        var, source, refs = entry[0], entry[1], entry[2:]
+        if source in _DIM_ATOMS:
+            out[var] = V.atom((_DIM_ATOMS[source], refs[0]))
+        elif source == "min":
+            resolved = [out.get(r) for r in refs]
+            dim = resolved[0]
+            for r in resolved[1:]:
+                dim = V.dim_min(dim, r)
+            out[var] = dim
+    return {k: v for k, v in out.items() if v is not None}
+
+
+@dataclass(frozen=True)
+class Write:
+    """An in-place store whose target may alias driver arguments."""
+    names: frozenset        # spec argument names the target may alias
+    value: object           # abstract value stored
+    node: object            # display position
+    via: str                # "slice" | "store" | "aug"
+
+
+@dataclass(frozen=True)
+class Sink:
+    """A substrate/kernel call with its abstract arguments."""
+    callee: str
+    values: tuple
+    node: object
+
+
+class DriverFlow:
+    """Interpret one driver implementation against its spec."""
+
+    def __init__(self, impl, spec):
+        self.impl = impl
+        self.spec = spec
+        self.allocs: list[V.AllocSite] = []
+        self.writes: list[Write] = []
+        self.sinks: list[Sink] = []
+        self.dim_defs: list[tuple] = []   # (var, Dim, node)
+        self.spec_dims = spec_dim_formulas(spec)
+
+        pos_to_arg = {a.position: a for a in spec.args}
+        self.param_args = {}
+        params = [a.arg for a in (list(impl.func.args.posonlyargs)
+                                  + list(impl.func.args.args))]
+        for pname in params:
+            arg = pos_to_arg.get(impl.posmap.get(pname))
+            if arg is not None:
+                self.param_args[pname] = arg
+        # Helper parameters with no spec mapping may hold the bound
+        # kernel (``driver(ap, n, ...)``); calls through them are sinks.
+        self.callable_params = {p for p in params
+                                if p not in self.param_args}
+        self.substrate = set(impl.impl_module.substrate_names)
+
+    # -- driving ----------------------------------------------------
+
+    def run(self) -> "DriverFlow":
+        env = {}
+        for pname, arg in self.param_args.items():
+            env[pname] = self._seed(arg)
+        self._exec_block(body_statements(self.impl.func), env)
+        return self
+
+    @staticmethod
+    def _seed(arg):
+        origins = frozenset({arg.name})
+        dtype = V.dt_follows({arg.name})
+        if arg.kind == "matrix":
+            return V.ArrayVal(shape=(V.atom(("rows", arg.name)),
+                                     V.atom(("cols", arg.name))),
+                              dtype=dtype, origins=origins)
+        if arg.kind == "vector":
+            return V.ArrayVal(shape=(V.atom(("len", arg.name)),),
+                              dtype=dtype, origins=origins)
+        if arg.kind == "rhs":
+            return V.ArrayVal(shape=None, dtype=dtype, origins=origins)
+        return V.UNKNOWN
+
+    # -- statements -------------------------------------------------
+
+    def _exec_block(self, stmts, env):
+        for stmt in stmts:
+            self._exec(stmt, env)
+        return env
+
+    def _exec(self, stmt, env):
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, env)
+            for target in stmt.targets:
+                self._assign(target, value, stmt, env)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._assign(stmt.target, self._eval(stmt.value, env),
+                         stmt, env)
+        elif isinstance(stmt, ast.AugAssign):
+            self._eval(stmt.value, env)
+            if isinstance(stmt.target, ast.Subscript):
+                self._record_subscript_write(stmt.target, V.UNKNOWN,
+                                             stmt, env, via="aug")
+            elif isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = V.UNKNOWN
+        elif isinstance(stmt, (ast.Expr, ast.Return)):
+            if stmt.value is not None:
+                self._eval(stmt.value, env)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test, env)
+            then_env = self._exec_block(stmt.body, dict(env))
+            else_env = self._exec_block(stmt.orelse, dict(env))
+            env.clear()
+            env.update(self._merge_envs(then_env, else_env))
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._eval(item.context_expr, env)
+            self._exec_block(stmt.body, env)
+        elif isinstance(stmt, (ast.For, ast.While)):
+            body_env = self._exec_block(stmt.body, dict(env))
+            body_env = self._exec_block(stmt.orelse, body_env)
+            env.clear()
+            env.update(self._merge_envs(env or body_env, body_env))
+        elif isinstance(stmt, ast.Try):
+            pre = dict(env)
+            self._exec_block(stmt.body, env)
+            merged = env
+            for handler in stmt.handlers:
+                h_env = self._exec_block(handler.body, dict(pre))
+                merged = self._merge_envs(merged, h_env)
+            env.clear()
+            env.update(merged)
+            self._exec_block(stmt.finalbody, env)
+        # Raise / Pass / Global / etc.: nothing to track.
+
+    @staticmethod
+    def _merge_envs(e1, e2):
+        out = {}
+        for key in set(e1) | set(e2):
+            out[key] = V.merge_values(e1.get(key, V.UNKNOWN),
+                                      e2.get(key, V.UNKNOWN))
+        return out
+
+    def _assign(self, target, value, stmt, env):
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+            if target.id in self.spec_dims \
+                    and isinstance(value, V.DimScalar):
+                self.dim_defs.append((target.id, value.dim, stmt))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            items = value.items if isinstance(value, V.TupleVal) \
+                and len(value.items) == len(target.elts) \
+                else (V.UNKNOWN,) * len(target.elts)
+            for elt, item in zip(target.elts, items):
+                if not isinstance(elt, ast.Starred):
+                    self._assign(elt, item, stmt, env)
+        elif isinstance(target, ast.Subscript):
+            self._record_subscript_write(target, value, stmt, env,
+                                         via="slice")
+        # Attribute targets (``res.x = ...``) carry no caller aliasing.
+
+    def _record_subscript_write(self, target, value, stmt, env, via):
+        base = target.value
+        if not isinstance(base, ast.Name):
+            return
+        held = env.get(base.id, V.UNKNOWN)
+        names = held.origins if isinstance(held, V.ArrayVal) \
+            else frozenset()
+        self.writes.append(Write(names=names, value=value, node=stmt,
+                                 via=via))
+
+    # -- expressions ------------------------------------------------
+
+    def _eval(self, node, env):
+        if isinstance(node, ast.Name):
+            return env.get(node.id, V.UNKNOWN)
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, int) \
+                    and not isinstance(node.value, bool):
+                return V.DimScalar(V.const(node.value))
+            return V.UNKNOWN
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node, env)
+        if isinstance(node, ast.UnaryOp):
+            val = self._eval(node.operand, env)
+            if isinstance(node.op, ast.USub) \
+                    and isinstance(val, V.DimScalar):
+                return V.DimScalar(V.scale(val.dim, -1))
+            return V.UNKNOWN
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node, env)
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(node, env)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env)
+            return V.merge_values(self._eval(node.body, env),
+                                  self._eval(node.orelse, env))
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return V.TupleVal(tuple(self._eval(e, env)
+                                    for e in node.elts))
+        if isinstance(node, (ast.Compare, ast.BoolOp)):
+            for sub in ast.iter_child_nodes(node):
+                if isinstance(sub, ast.expr):
+                    self._eval(sub, env)
+            return V.UNKNOWN
+        return V.UNKNOWN
+
+    def _eval_binop(self, node, env):
+        left = self._eval(node.left, env)
+        right = self._eval(node.right, env)
+        if isinstance(left, V.DimScalar) and isinstance(right, V.DimScalar):
+            if isinstance(node.op, ast.Add):
+                return V.DimScalar(V.add(left.dim, right.dim))
+            if isinstance(node.op, ast.Sub):
+                return V.DimScalar(V.sub(left.dim, right.dim))
+            if isinstance(node.op, ast.Mult):
+                k = V.as_const(left.dim)
+                if k is not None:
+                    return V.DimScalar(V.scale(right.dim, k))
+                k = V.as_const(right.dim)
+                if k is not None:
+                    return V.DimScalar(V.scale(left.dim, k))
+        return V.UNKNOWN
+
+    def _eval_attribute(self, node, env):
+        val = self._eval(node.value, env)
+        if isinstance(val, V.ArrayVal):
+            if node.attr == "shape":
+                if val.shape is None:
+                    return V.UNKNOWN
+                return V.TupleVal(tuple(V.DimScalar(d)
+                                        for d in val.shape))
+            if node.attr == "T":
+                shape = tuple(reversed(val.shape)) \
+                    if val.shape is not None else None
+                return V.ArrayVal(shape=shape, dtype=val.dtype,
+                                  origins=val.origins, allocs=val.allocs)
+            if node.attr in ("real", "imag"):
+                return V.ArrayVal(shape=val.shape, dtype=val.dtype,
+                                  origins=val.origins, allocs=val.allocs)
+        return V.UNKNOWN
+
+    def _eval_subscript(self, node, env):
+        base = self._eval(node.value, env)
+        if isinstance(base, V.TupleVal):
+            idx = node.slice
+            if isinstance(idx, ast.Constant) \
+                    and isinstance(idx.value, int) \
+                    and -len(base.items) <= idx.value < len(base.items):
+                return base.items[idx.value]
+            return V.UNKNOWN
+        if isinstance(base, V.ArrayVal):
+            # A slice/index view keeps provenance but loses exact shape.
+            return V.ArrayVal(shape=None, dtype=base.dtype,
+                              origins=base.origins, allocs=base.allocs)
+        return V.UNKNOWN
+
+    # -- calls ------------------------------------------------------
+
+    def _eval_call(self, call, env):
+        name = call_name(call)
+        func = call.func
+
+        if isinstance(func, ast.Attribute) and func.attr == "copy":
+            base = self._eval(func.value, env)
+            if isinstance(base, V.ArrayVal):
+                site = self._alloc(call, base.shape, base.dtype)
+                return V.ArrayVal(shape=base.shape, dtype=base.dtype,
+                                  allocs=frozenset({site.index}))
+            return V.UNKNOWN
+        if isinstance(func, ast.Attribute) and func.attr == "astype":
+            base = self._eval(func.value, env)
+            dtype = self._eval_dtype(call.args[0], env) if call.args \
+                else V.DT_UNKNOWN
+            if isinstance(base, V.ArrayVal):
+                site = self._alloc(call, base.shape, dtype)
+                return V.ArrayVal(shape=base.shape, dtype=dtype,
+                                  allocs=frozenset({site.index}))
+            return V.UNKNOWN
+
+        if name in ALLOCATORS:
+            return self._eval_allocator(call, name, env)
+        if name in LIKE_ALLOCATORS:
+            base = self._eval(call.args[0], env) if call.args \
+                else V.UNKNOWN
+            dtype = self._dtype_kw(call, env)
+            if isinstance(base, V.ArrayVal):
+                if dtype is None:
+                    dtype = base.dtype
+                site = self._alloc(call, base.shape, dtype)
+                return V.ArrayVal(shape=base.shape, dtype=dtype,
+                                  allocs=frozenset({site.index}))
+            site = self._alloc(call, None, dtype or V.DT_UNKNOWN)
+            return V.ArrayVal(allocs=frozenset({site.index}),
+                              dtype=dtype or V.DT_UNKNOWN)
+        if name in PASSTHROUGH:
+            self._eval_rest(call, env, skip=1)
+            return self._eval(call.args[0], env) if call.args \
+                else V.UNKNOWN
+
+        if name in ("min", "max") and isinstance(func, ast.Name):
+            dims = [self._as_dim(self._eval(a, env)) for a in call.args]
+            if len(dims) == 2:
+                joined = (V.dim_min if name == "min"
+                          else V.dim_max)(dims[0], dims[1])
+                if joined is not None:
+                    return V.DimScalar(joined)
+            return V.UNKNOWN
+        if name == "len" and call.args:
+            val = self._eval(call.args[0], env)
+            if isinstance(val, V.ArrayVal) and val.shape:
+                return V.DimScalar(val.shape[0])
+            return V.UNKNOWN
+        if name == "int" and call.args:
+            val = self._eval(call.args[0], env)
+            return val if isinstance(val, V.DimScalar) else V.UNKNOWN
+
+        if name == "as_matrix" and call.args:
+            val = self._eval(call.args[0], env)
+            if isinstance(val, V.ArrayVal):
+                mat = V.ArrayVal(shape=None, dtype=val.dtype,
+                                 origins=val.origins, allocs=val.allocs)
+                return V.TupleVal((mat, V.UNKNOWN))
+            return V.TupleVal((V.UNKNOWN, V.UNKNOWN))
+        if name == "_store" and len(call.args) >= 2:
+            target = self._eval(call.args[0], env)
+            value = self._eval(call.args[1], env)
+            names = target.origins if isinstance(target, V.ArrayVal) \
+                else frozenset()
+            self.writes.append(Write(names=names, value=value,
+                                     node=call, via="store"))
+            return V.merge_values(target, value)
+
+        is_sink = name in self.substrate or (
+            isinstance(func, ast.Name) and func.id in self.callable_params)
+        if is_sink:
+            vals = [self._eval(a, env) for a in call.args]
+            vals += [self._eval(kw.value, env) for kw in call.keywords
+                     if kw.value is not None]
+            self.sinks.append(Sink(callee=name or "?",
+                                   values=tuple(vals), node=call))
+            return V.UNKNOWN
+
+        self._eval_rest(call, env)
+        return V.UNKNOWN
+
+    def _eval_rest(self, call, env, skip=0):
+        """Evaluate remaining call arguments for their side effects
+        (nested ``_store``/allocations) without modelling the call."""
+        for a in call.args[skip:]:
+            self._eval(a, env)
+        for kw in call.keywords:
+            if kw.value is not None:
+                self._eval(kw.value, env)
+
+    def _eval_allocator(self, call, name, env):
+        shape = None
+        if call.args:
+            first = call.args[0]
+            if isinstance(first, (ast.Tuple, ast.List)):
+                shape = tuple(self._as_dim(self._eval(e, env))
+                              for e in first.elts)
+            else:
+                shape = (self._as_dim(self._eval(first, env)),)
+        dtype = self._dtype_kw(call, env)
+        if dtype is None and name in ("zeros", "empty", "ones") \
+                and len(call.args) >= 2:
+            dtype = self._eval_dtype(call.args[1], env)
+        if dtype is None:
+            dtype = V.DT_DEFAULT
+        site = self._alloc(call, shape, dtype)
+        return V.ArrayVal(shape=shape, dtype=dtype,
+                          allocs=frozenset({site.index}))
+
+    def _dtype_kw(self, call, env):
+        for kw in call.keywords:
+            if kw.arg == "dtype":
+                return self._eval_dtype(kw.value, env)
+        return None
+
+    def _alloc(self, node, shape, dtype) -> V.AllocSite:
+        site = V.AllocSite(index=len(self.allocs), node=node,
+                           shape=shape, dtype=dtype)
+        self.allocs.append(site)
+        return site
+
+    @staticmethod
+    def _as_dim(val):
+        return val.dim if isinstance(val, V.DimScalar) else None
+
+    # -- dtype expressions ------------------------------------------
+
+    def _eval_dtype(self, node, env):
+        if isinstance(node, ast.Name):
+            return V.dt_fixed(node.id) if node.id in V.FIXED_INEXACT \
+                or node.id in ("int", "bool") or "int" in node.id \
+                else V.DT_UNKNOWN
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            label = node.value
+            return V.dt_fixed(label)
+        if isinstance(node, ast.Attribute):
+            if node.attr == "dtype":
+                base = self._eval(node.value, env)
+                if isinstance(base, V.ArrayVal):
+                    if base.dtype != V.DT_UNKNOWN:
+                        return base.dtype
+                    if base.origins:
+                        return V.dt_follows(base.origins)
+                return V.DT_UNKNOWN
+            # np.float64 / np.intp / np.complex128 ...
+            return V.dt_fixed(node.attr)
+        if isinstance(node, ast.Call):
+            if call_name(node) in ("result_type", "promote_types",
+                                   "common_type"):
+                origins = set()
+                for a in node.args:
+                    val = self._eval(a, env)
+                    if isinstance(val, V.ArrayVal):
+                        origins |= val.origins
+                return V.dt_follows(origins) if origins else V.DT_UNKNOWN
+            return V.DT_UNKNOWN
+        if isinstance(node, ast.IfExp):
+            d1 = self._eval_dtype(node.body, env)
+            d2 = self._eval_dtype(node.orelse, env)
+            return d1 if d1 == d2 else V.DT_UNKNOWN
+        return V.DT_UNKNOWN

@@ -1,0 +1,368 @@
+"""The laflow rule catalogue (LA011–LA015).
+
+LA011–LA014 run the symbolic interpreter (:class:`.interp.DriverFlow`)
+over every core driver implementation that has a registered spec and
+compare the recorded dataflow events against the spec's promises.
+LA015 is a plain module scan policing the process-global state knobs
+(policy, backend selection, blocking configuration).
+
+Like every lalint rule these functions never import the analysed code;
+the spec registry they consult is plain data.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+
+from ..findings import Finding
+from ..model import Project, call_name
+from . import values as V
+from .interp import DriverFlow, spec_dim_formulas
+
+__all__ = ["check_la011", "check_la012", "check_la013", "check_la014",
+           "check_la015"]
+
+_ARRAY_KINDS = {"matrix", "rhs", "vector"}
+_LEN_CHECKS = {"optlen", "reqlen"}
+
+
+def _f(code, message, mod, node, context=""):
+    return Finding(code=code, message=message, path=mod.path,
+                   line=getattr(node, "lineno", 1),
+                   col=getattr(node, "col_offset", 0), context=context)
+
+
+def _is_core(mod):
+    p = mod.path.replace(os.sep, "/")
+    return "/repro/core/" in p or p.startswith("repro/core/")
+
+
+def _load_specs():
+    try:
+        from ...specs.registry import SPECS
+    except Exception:
+        return None
+    return SPECS
+
+
+def _flows(project: Project, specs):
+    """Yield ``(impl, spec, flow)`` for every analysable core driver."""
+    for impl in project.driver_impls():
+        if not _is_core(impl.impl_module):
+            continue
+        spec = specs.get(impl.driver)
+        if spec is None or not impl.posmap:
+            continue
+        yield impl, spec, DriverFlow(impl, spec).run()
+
+
+# ---------------------------------------------------------------------
+# LA011 — derived-dimension conformance
+# ---------------------------------------------------------------------
+
+def check_la011(project: Project):
+    """Dimension variables and workspace allocations must agree with
+    the spec's derived-dimension formulas.
+
+    Two checks: a local binding of a spec-declared dimension variable
+    (``n = a.shape[0]``) must resolve to the spec's formula for that
+    variable, and an array allocated for a length-checked output
+    argument (``ipiv``, ``w`` …) and stored into it must have exactly
+    the spec-derived length.  Unresolvable values are never reported.
+    """
+    specs = _load_specs()
+    if specs is None:
+        return []
+    findings = []
+    for impl, spec, flow in _flows(project, specs):
+        formulas = flow.spec_dims
+        for var, dim, node in flow.dim_defs:
+            want = formulas.get(var)
+            if want is not None and dim != want:
+                findings.append(_f(
+                    "LA011",
+                    f"dimension {var} is bound to {V.render_dim(dim)} "
+                    f"but the spec for {impl.driver} derives it as "
+                    f"{V.render_dim(want)}",
+                    impl.impl_module, node, context=impl.driver))
+        # Allocation lengths for length-checked vector outputs.
+        required = {}
+        for c in spec.checks:
+            if c.kind in _LEN_CHECKS and c.dim in formulas and c.args:
+                required[c.args[0]] = (formulas[c.dim], c.dim)
+        for write in flow.writes:
+            if not isinstance(write.value, V.ArrayVal):
+                continue
+            for name in sorted(write.names & set(required)):
+                want, dimname = required[name]
+                for idx in sorted(write.value.allocs):
+                    site = flow.allocs[idx]
+                    if site.shape is None or len(site.shape) != 1:
+                        continue
+                    got = site.shape[0]
+                    if got is not None and got != want:
+                        findings.append(_f(
+                            "LA011",
+                            f"allocation stored into {name} has length "
+                            f"{V.render_dim(got)} but the spec for "
+                            f"{impl.driver} requires {dimname} = "
+                            f"{V.render_dim(want)}",
+                            impl.impl_module, site.node,
+                            context=impl.driver))
+    return findings
+
+
+# ---------------------------------------------------------------------
+# LA012 — output-write completeness
+# ---------------------------------------------------------------------
+
+def check_la012(project: Project):
+    """Every spec-declared output argument the implementation receives
+    must be assigned on some path: either an in-place store whose
+    target may alias it, or being handed to a kernel call that fills
+    it.  A declared output that no event ever touches is dead — the
+    caller's buffer comes back unchanged."""
+    specs = _load_specs()
+    if specs is None:
+        return []
+    findings = []
+    for impl, spec, flow in _flows(project, specs):
+        mapped = {a.name for a in flow.param_args.values()}
+        touched = set()
+        for write in flow.writes:
+            touched |= write.names
+        for sink in flow.sinks:
+            for val in sink.values:
+                if isinstance(val, V.ArrayVal):
+                    touched |= val.origins
+        for arg in spec.args:
+            if arg.intent != "out" or arg.kind not in _ARRAY_KINDS:
+                continue
+            if arg.name not in mapped or arg.name in touched:
+                continue
+            findings.append(_f(
+                "LA012",
+                f"declared output {arg.name} of {impl.driver} is never "
+                "written (no in-place store and no kernel call "
+                "receives it)",
+                impl.impl_module, impl.func, context=impl.driver))
+    return findings
+
+
+# ---------------------------------------------------------------------
+# LA013 — dtype-flow consistency
+# ---------------------------------------------------------------------
+
+def check_la013(project: Project):
+    """No silent promotion/demotion between the generic pair and the
+    bound kernel: an array allocated with a hard-coded inexact dtype
+    (``np.float64`` …) that flows into a kernel call or into a caller
+    output buffer pins the precision regardless of the input dtype.
+    Allocations whose dtype follows an argument (``dtype=a.dtype``),
+    integer buffers and NumPy's implicit default are all fine."""
+    specs = _load_specs()
+    if specs is None:
+        return []
+    findings = []
+    for impl, spec, flow in _flows(project, specs):
+        used = set()
+        for sink in flow.sinks:
+            for val in sink.values:
+                if isinstance(val, V.ArrayVal):
+                    used |= val.allocs
+        for write in flow.writes:
+            if write.names and isinstance(write.value, V.ArrayVal):
+                used |= write.value.allocs
+        for idx in sorted(used):
+            site = flow.allocs[idx]
+            if V.is_fixed_inexact(site.dtype):
+                findings.append(_f(
+                    "LA013",
+                    f"buffer reaching the kernel is allocated with "
+                    f"hard-coded dtype {V.render_dtype(site.dtype)} in "
+                    f"{impl.driver}; derive it from the inputs "
+                    "(e.g. dtype=a.dtype) so the generic pair keeps "
+                    "its precision",
+                    impl.impl_module, site.node, context=impl.driver))
+    return findings
+
+
+# ---------------------------------------------------------------------
+# LA014 — caller-array mutation discipline
+# ---------------------------------------------------------------------
+
+def check_la014(project: Project):
+    """In-place writes may target only arguments the spec marks in-out
+    or out.  A store that can alias a pure-in array argument mutates
+    caller data the contract promises to leave alone."""
+    specs = _load_specs()
+    if specs is None:
+        return []
+    findings = []
+    for impl, spec, flow in _flows(project, specs):
+        readonly = {a.name for a in spec.args
+                    if a.intent == "in" and a.kind in _ARRAY_KINDS}
+        seen = set()
+        for write in flow.writes:
+            for name in sorted(write.names & readonly):
+                key = (name, id(write.node))
+                if key in seen:
+                    continue
+                seen.add(key)
+                findings.append(_f(
+                    "LA014",
+                    f"in-place write may mutate {name}, which the spec "
+                    f"for {impl.driver} declares intent(in)",
+                    impl.impl_module, write.node, context=impl.driver))
+    return findings
+
+
+# ---------------------------------------------------------------------
+# LA015 — global-state discipline
+# ---------------------------------------------------------------------
+
+#: Process-global state: variable -> (owner module suffix, public API).
+GLOBAL_STATE = {
+    "_POLICY": ("repro/policy.py",
+                "get_policy()/set_policy()/exception_policy()"),
+    "_SELECTED": ("repro/backends/__init__.py",
+                  "get_backend_name()/set_backend()/use_backend()"),
+    "_BLOCK_SIZES": ("repro/config.py",
+                     "ilaenv()/set_block_size()/block_size_override()"),
+    "_MIN_BLOCK": ("repro/config.py",
+                   "ilaenv()/set_block_size()/block_size_override()"),
+    "_CROSSOVER": ("repro/config.py",
+                   "ilaenv()/set_block_size()/block_size_override()"),
+}
+
+#: The shared lock every mutation site must hold (repro._sync).
+STATE_LOCK = "STATE_LOCK"
+
+_MUTATING_METHODS = {"update", "clear", "pop", "popitem", "setdefault",
+                     "append", "extend", "remove"}
+
+
+def _chain_root(node):
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _mutated_state(stmt):
+    """State names a simple statement mutates (assignment targets and
+    mutating method calls)."""
+    out = set()
+    targets = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets = [stmt.target]
+    elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        func = stmt.value.func
+        if isinstance(func, ast.Attribute) \
+                and func.attr in _MUTATING_METHODS:
+            root = _chain_root(func.value)
+            if root in GLOBAL_STATE:
+                out.add(root)
+    flat = []
+    while targets:
+        t = targets.pop()
+        if isinstance(t, (ast.Tuple, ast.List)):
+            targets.extend(t.elts)
+        else:
+            flat.append(t)
+    for t in flat:
+        if isinstance(t, ast.Name) and t.id in GLOBAL_STATE:
+            out.add(t.id)
+        else:
+            root = _chain_root(t)
+            if root in GLOBAL_STATE:
+                out.add(root)
+    return out
+
+
+def _holds_lock(with_stmt):
+    for item in with_stmt.items:
+        for node in ast.walk(item.context_expr):
+            if isinstance(node, ast.Name) and node.id == STATE_LOCK:
+                return True
+            if isinstance(node, ast.Attribute) \
+                    and node.attr == STATE_LOCK:
+                return True
+    return False
+
+
+def _owner_unlocked_mutations(tree):
+    """Yield ``(var, stmt)`` for in-function mutations of owned state
+    outside ``with STATE_LOCK:``.  Module top-level (initialisation)
+    assignments are allowed."""
+
+    def walk(stmts, locked, in_func):
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # A nested def runs later: the lexical lock is gone.
+                yield from walk(stmt.body, False, True)
+                continue
+            if isinstance(stmt, ast.With):
+                yield from walk(stmt.body,
+                                locked or _holds_lock(stmt), in_func)
+                continue
+            if isinstance(stmt, (ast.If, ast.For, ast.While, ast.Try)):
+                for block in (getattr(stmt, "body", []),
+                              getattr(stmt, "orelse", []),
+                              getattr(stmt, "finalbody", [])):
+                    yield from walk(block, locked, in_func)
+                for handler in getattr(stmt, "handlers", []):
+                    yield from walk(handler.body, locked, in_func)
+                continue
+            if in_func and not locked:
+                for var in sorted(_mutated_state(stmt)):
+                    yield var, stmt
+
+    yield from walk(tree.body, False, False)
+
+
+def check_la015(project: Project):
+    """Global-state discipline: outside its owner module, the
+    process-global policy/backend/blocking state may not be named at
+    all — callers go through the designated APIs.  Inside the owner,
+    every mutation site must lexically hold ``with STATE_LOCK:`` (the
+    shared :data:`repro._sync.STATE_LOCK` RLock); module top-level
+    initialisation is exempt."""
+    findings = []
+    for mod in project.modules:
+        p = mod.path.replace(os.sep, "/")
+        owned = {var for var, (suffix, _) in GLOBAL_STATE.items()
+                 if p.endswith(suffix)}
+        foreign = set(GLOBAL_STATE) - owned
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name in foreign:
+                        _, api = GLOBAL_STATE[alias.name]
+                        findings.append(_f(
+                            "LA015",
+                            f"import of global state {alias.name}; go "
+                            f"through {api} instead", mod, node))
+            elif isinstance(node, ast.Name) and node.id in foreign:
+                _, api = GLOBAL_STATE[node.id]
+                findings.append(_f(
+                    "LA015",
+                    f"direct access to global state {node.id}; go "
+                    f"through {api} instead", mod, node))
+            elif isinstance(node, ast.Attribute) \
+                    and node.attr in foreign:
+                _, api = GLOBAL_STATE[node.attr]
+                findings.append(_f(
+                    "LA015",
+                    f"direct access to global state {node.attr}; go "
+                    f"through {api} instead", mod, node))
+        if owned:
+            for var, stmt in _owner_unlocked_mutations(mod.tree):
+                if var in owned:
+                    findings.append(_f(
+                        "LA015",
+                        f"mutation of {var} outside `with STATE_LOCK:`",
+                        mod, stmt))
+    return findings

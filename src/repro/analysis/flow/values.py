@@ -1,0 +1,218 @@
+"""Abstract values for the ``laflow`` dataflow engine.
+
+The engine tracks three things symbolically:
+
+* **Dimensions** — canonical linear forms over dimension *atoms* such as
+  ``rows(a)`` or ``len(d)``, so ``2 * kl + ku + 1`` and spec formulas
+  like ``rows2d(ab)`` can be compared structurally.  A dimension is
+  ``("lin", const, frozenset((atom, coef), ...))``; ``None`` means
+  *unknown* and poisons every operation (no finding is ever produced
+  from an unknown dimension).
+* **Dtypes** — a small lattice: *follows* one or more driver arguments,
+  an explicitly *fixed* NumPy dtype (the LA013 candidates), NumPy's
+  implicit *default* (``np.zeros(n)`` with no ``dtype=``), *int*, or
+  *unknown*.
+* **Array provenance** — which spec-declared driver arguments a value
+  may alias (``origins``) and which allocation sites it may carry
+  (``allocs``, indices into the interpreter's site table).
+
+Everything is plain data over :mod:`ast` nodes; the analysed code is
+never imported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Dim", "const", "atom", "add", "sub", "scale", "dim_min",
+           "dim_max", "as_const", "render_dim", "DT_UNKNOWN",
+           "DT_DEFAULT", "DT_INT", "dt_follows", "dt_fixed",
+           "is_fixed_inexact", "render_dtype", "FIXED_INEXACT",
+           "UNKNOWN", "Unknown", "DimScalar", "ArrayVal", "TupleVal",
+           "AllocSite", "merge_values"]
+
+#: type alias (documentation only): a Dim is the tuple described above,
+#: or ``None`` for unknown.
+Dim = tuple
+
+
+def const(k: int) -> Dim:
+    return ("lin", int(k), frozenset())
+
+
+def atom(base) -> Dim:
+    """A dimension atom: ``("rows", "a")``, ``("cols", "a")``,
+    ``("len", "d")``, ``("tri", "ap")`` or a nested ``("min", d1, d2)`` /
+    ``("max", d1, d2)``."""
+    return ("lin", 0, frozenset({(base, 1)}))
+
+
+def add(d1: Dim | None, d2: Dim | None) -> Dim | None:
+    if d1 is None or d2 is None:
+        return None
+    terms: dict = {}
+    for _, _, ts in (d1, d2):
+        for base, coef in ts:
+            terms[base] = terms.get(base, 0) + coef
+    return ("lin", d1[1] + d2[1],
+            frozenset((b, c) for b, c in terms.items() if c != 0))
+
+
+def scale(d: Dim | None, k: int) -> Dim | None:
+    if d is None:
+        return None
+    return ("lin", d[1] * k, frozenset((b, c * k) for b, c in d[2]))
+
+
+def sub(d1: Dim | None, d2: Dim | None) -> Dim | None:
+    return add(d1, scale(d2, -1))
+
+
+def as_const(d: Dim | None) -> int | None:
+    if d is not None and not d[2]:
+        return d[1]
+    return None
+
+
+def _extreme(kind, d1, d2):
+    if d1 is None or d2 is None:
+        return None
+    if d1 == d2:
+        return d1
+    k1, k2 = as_const(d1), as_const(d2)
+    if k1 is not None and k2 is not None:
+        return const(min(k1, k2) if kind == "min" else max(k1, k2))
+    lo, hi = sorted((d1, d2), key=repr)
+    return atom((kind, lo, hi))
+
+
+def dim_min(d1: Dim | None, d2: Dim | None) -> Dim | None:
+    return _extreme("min", d1, d2)
+
+
+def dim_max(d1: Dim | None, d2: Dim | None) -> Dim | None:
+    return _extreme("max", d1, d2)
+
+
+def render_dim(d: Dim | None) -> str:
+    """Human-readable form of a dimension for finding messages."""
+    if d is None:
+        return "?"
+    parts = []
+    for base, coef in sorted(d[2], key=repr):
+        parts.append(("" if coef == 1 else f"{coef}*") + _render_atom(base))
+    if d[1] or not parts:
+        parts.append(str(d[1]))
+    return " + ".join(parts).replace("+ -", "- ")
+
+
+def _render_atom(base) -> str:
+    kind = base[0]
+    if kind in ("min", "max"):
+        return f"{kind}({render_dim(base[1])}, {render_dim(base[2])})"
+    return f"{kind}({base[1]})"
+
+
+# -- dtypes -----------------------------------------------------------
+
+DT_UNKNOWN = ("unknown",)
+DT_DEFAULT = ("default",)   # NumPy's implicit float64
+DT_INT = ("int",)
+
+#: Explicit inexact dtype spellings whose hard-coding inside a
+#: dtype-generic driver is an LA013 finding.
+FIXED_INEXACT = frozenset({
+    "float", "float16", "float32", "float64", "float128", "single",
+    "double", "longdouble", "half", "complex", "complex64", "complex128",
+    "complex256", "csingle", "cdouble", "cfloat", "clongdouble",
+})
+
+_INT_NAMES = frozenset({
+    "int", "intp", "intc", "int8", "int16", "int32", "int64", "bool",
+    "bool_", "uint8", "uint16", "uint32", "uint64",
+})
+
+
+def dt_follows(names) -> tuple:
+    return ("follows", frozenset(names))
+
+
+def dt_fixed(label: str) -> tuple:
+    if label in _INT_NAMES:
+        return DT_INT
+    return ("fixed", label)
+
+
+def is_fixed_inexact(dtype: tuple) -> bool:
+    return dtype[0] == "fixed" and dtype[1] in FIXED_INEXACT
+
+
+def render_dtype(dtype: tuple) -> str:
+    if dtype[0] == "follows":
+        return "dtype of " + "/".join(sorted(dtype[1]))
+    if dtype[0] == "fixed":
+        return dtype[1]
+    return dtype[0]
+
+
+# -- values -----------------------------------------------------------
+
+class Unknown:
+    """Singleton bottom value — nothing is known, nothing is reported."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self):
+        return "<unknown>"
+
+
+UNKNOWN = Unknown()
+
+
+@dataclass(frozen=True)
+class DimScalar:
+    """An integer scalar with a known symbolic dimension value."""
+    dim: Dim
+
+
+@dataclass(frozen=True)
+class AllocSite:
+    """One array-allocation site recorded during interpretation."""
+    index: int
+    node: object                 # the ast.Call (display position)
+    shape: tuple | None          # tuple of Dim (each possibly None)
+    dtype: tuple
+
+
+@dataclass(frozen=True)
+class ArrayVal:
+    """An abstract array: symbolic shape, dtype, and provenance."""
+    shape: tuple | None = None           # tuple of Dim, or unknown rank
+    dtype: tuple = DT_UNKNOWN
+    origins: frozenset = field(default_factory=frozenset)
+    allocs: frozenset = field(default_factory=frozenset)  # AllocSite idx
+
+
+@dataclass(frozen=True)
+class TupleVal:
+    items: tuple = ()
+
+
+def merge_values(v1, v2):
+    """Join two abstract values after a branch split."""
+    if v1 is v2 or v1 == v2:
+        return v1
+    if isinstance(v1, ArrayVal) or isinstance(v2, ArrayVal):
+        a1 = v1 if isinstance(v1, ArrayVal) else ArrayVal()
+        a2 = v2 if isinstance(v2, ArrayVal) else ArrayVal()
+        return ArrayVal(
+            shape=a1.shape if a1.shape == a2.shape else None,
+            dtype=a1.dtype if a1.dtype == a2.dtype else DT_UNKNOWN,
+            origins=a1.origins | a2.origins,
+            allocs=a1.allocs | a2.allocs)
+    return UNKNOWN

@@ -1,4 +1,4 @@
-"""The lalint rule catalogue (LA001–LA010).
+"""The lalint rule catalogue (LA001–LA015).
 
 Every rule is a function ``check(project) -> list[Finding]`` registered
 in :data:`RULES`.  Rules only inspect the AST model — the analysed code
@@ -612,6 +612,9 @@ def check_la010(project: Project):
     return findings
 
 
+from .flow import (check_la011, check_la012, check_la013,  # noqa: E402
+                   check_la014, check_la015)
+
 RULES = [
     ("LA001", "every exit path reports through erinfo", check_la001),
     ("LA002", "LINFO codes match argument positions", check_la002),
@@ -626,6 +629,15 @@ RULES = [
      check_la009),
     ("LA010", "spec coverage of the core driver catalogue",
      check_la010),
+    ("LA011", "derived dimensions conform to the spec formulas",
+     check_la011),
+    ("LA012", "declared outputs are written on the success path",
+     check_la012),
+    ("LA013", "no hard-coded dtype flows into the kernel", check_la013),
+    ("LA014", "in-place writes only to intent(inout/out) arguments",
+     check_la014),
+    ("LA015", "global policy/backend state behind setters and the lock",
+     check_la015),
 ]
 
 

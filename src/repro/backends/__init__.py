@@ -43,6 +43,7 @@ from contextlib import contextmanager
 import numpy as np
 
 from .. import faults
+from .._sync import STATE_LOCK
 from ..errors import BackendFallbackWarning
 
 __all__ = [
@@ -155,8 +156,10 @@ def set_backend(name):
     ``reference`` and announces a :class:`BackendFallbackWarning`.
     """
     global _SELECTED
-    previous = _SELECTED
-    _SELECTED = _validate(name)
+    validated = _validate(name)
+    with STATE_LOCK:
+        previous = _SELECTED
+        _SELECTED = validated
     return previous
 
 

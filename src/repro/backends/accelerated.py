@@ -227,7 +227,12 @@ def heev(a, jobz="N", uplo="U"):
     return _dense_eig("HEEV", "heev", a, jobz, uplo)
 
 
-def gesvd(a, jobu="N", jobvt="N"):
+def gesvd(a, jobu="N", jobvt="N", superdiag=None):
+    # SciPy's gesvd does not expose the bidiagonal work array; the
+    # superdiagonal output is defined (all zero) only on convergence,
+    # and LAPACK overwrites it before any info > 0 return anyway.
+    if superdiag is not None:
+        superdiag[:] = 0
     ju, jvt = jobu.upper(), jobvt.upper()
     if ju not in ("N", "S", "A"):
         xerbla("GESVD", 2, f"jobu={jobu!r}")

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+from ._sync import STATE_LOCK
 from .policy import (exception_policy, get_policy,  # noqa: F401
                      set_policy)
 
@@ -100,7 +101,8 @@ def set_block_size(family: str, nb: int) -> None:
     """Set the block size for a routine family (``nb=1`` forces unblocked)."""
     if nb < 1:
         raise ValueError("block size must be >= 1")
-    _BLOCK_SIZES[_family(family)] = int(nb)
+    with STATE_LOCK:
+        _BLOCK_SIZES[_family(family)] = int(nb)
 
 
 @contextmanager
@@ -108,12 +110,13 @@ def block_size_override(family: str, nb: int):
     """Temporarily override one family's block size (used by the ablation
     benchmarks to compare blocked vs. unblocked execution)."""
     fam = _family(family)
-    old = _BLOCK_SIZES.get(fam, 1)
-    set_block_size(fam, nb)
+    with STATE_LOCK:
+        old = _BLOCK_SIZES.get(fam, 1)
+        set_block_size(fam, nb)
     try:
         yield
     finally:
-        _BLOCK_SIZES[fam] = old
+        set_block_size(fam, old)
 
 
 # Backend selection (process-global + context-scoped, like the exception

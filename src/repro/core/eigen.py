@@ -307,10 +307,17 @@ def la_gesvd(a: np.ndarray, s: np.ndarray | None = None, u=None, vt=None,
             jobvt = "A" if (isinstance(vt, np.ndarray)
                             and vt.shape == (n, n) and n > min(m, n)) \
                 else "S"
-        sout, uv, vtv, linfo = gesvd(a, jobu=jobu, jobvt=jobvt)
+        # WW receives the superdiagonal of the intermediate bidiagonal
+        # form: zeros on convergence, the unconverged elements when
+        # linfo > 0 (paper Appendix G, LA_GESVD).
+        ev = np.zeros(max(min(m, n) - 1, 0), dtype=a.real.dtype)
+        sout, uv, vtv, linfo = gesvd(a, jobu=jobu, jobvt=jobvt,
+                                     superdiag=ev)
         if linfo > 0:
             exc = NoConvergence(srname, linfo,
                                 "bidiagonal QR failed to converge")
+        if ww is not None:
+            ww[:] = ev
         if _want(u):
             uout = _store(u if isinstance(u, np.ndarray) else None, uv)
         if _want(vt):

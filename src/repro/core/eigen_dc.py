@@ -92,7 +92,7 @@ def la_stevd(d: np.ndarray, e: np.ndarray, z=None,
         n = d.shape[0]
         if _want(z):
             zbuf = z if isinstance(z, np.ndarray) else \
-                np.empty((n, n), dtype=np.float64)
+                np.empty((n, n), dtype=d.dtype)
             linfo = stevd(d, e, zbuf, jobz="V")
             zout = zbuf
         else:

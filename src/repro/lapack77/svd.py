@@ -237,13 +237,18 @@ def bdsqr(d: np.ndarray, e: np.ndarray, vt: np.ndarray | None = None,
     return info
 
 
-def gesvd(a: np.ndarray, jobu: str = "N", jobvt: str = "N"):
+def gesvd(a: np.ndarray, jobu: str = "N", jobvt: str = "N",
+          superdiag=None):
     """Singular value decomposition ``A = U Σ Vᴴ`` (``xGESVD``).
 
     ``jobu``/``jobvt`` ∈ {'N', 'S', 'A'}: none, the leading min(m,n)
     singular vectors, or the full square factor.  ``a`` is destroyed.
-    Returns ``(s, u, vt, info)`` with ``s`` descending; ``u``/``vt`` are
-    ``None`` when not requested.
+    ``superdiag``, when given a length min(m,n)-1 buffer, receives the
+    superdiagonal of the intermediate bidiagonal form as left by the QR
+    iteration — all zero on convergence, the unconverged elements when
+    ``info > 0`` (the LA_GESVD ``WW`` output).  Returns ``(s, u, vt,
+    info)`` with ``s`` descending; ``u``/``vt`` are ``None`` when not
+    requested.
     """
     ju, jvt = jobu.upper(), jobvt.upper()
     if ju not in ("N", "S", "A"):
@@ -255,6 +260,8 @@ def gesvd(a: np.ndarray, jobu: str = "N", jobvt: str = "N"):
         else np.float64
     forced = linfo_fault("gesvd")
     if forced:
+        if superdiag is not None:
+            superdiag[:] = 0
         return np.zeros(min(m, n), dtype=rdtype), None, None, forced
     if min(m, n) == 0:
         s = np.zeros(0, dtype=rdtype)
@@ -263,7 +270,8 @@ def gesvd(a: np.ndarray, jobu: str = "N", jobvt: str = "N"):
         return s, u, vt, 0
     if m < n:
         # SVD of Aᴴ = V Σ Uᴴ, then swap the factors.
-        s, v, ut, info = gesvd(np.conj(a.T).copy(), jobu=jvt, jobvt=ju)
+        s, v, ut, info = gesvd(np.conj(a.T).copy(), jobu=jvt, jobvt=ju,
+                               superdiag=superdiag)
         u = np.conj(ut.T) if ut is not None else None
         vt = np.conj(v.T) if v is not None else None
         return s, u, vt, info
@@ -278,6 +286,9 @@ def gesvd(a: np.ndarray, jobu: str = "N", jobvt: str = "N"):
     e64 = e.astype(np.float64)
     info = bdsqr(s64, e64, vt=vt, u=u)
     s = s64.astype(rdtype)
+    if superdiag is not None:
+        k = min(superdiag.shape[0], e64.shape[0])
+        superdiag[:k] = e64[:k]
     return s, u, vt, info
 
 

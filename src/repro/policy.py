@@ -48,6 +48,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ._sync import STATE_LOCK
 from .errors import (NONFINITE, IllConditionedWarning, NonFiniteInput,
                      NonFiniteWarning)
 
@@ -78,18 +79,19 @@ def get_policy() -> ExceptionPolicy:
 def set_policy(nonfinite: str | None = None, rcond_guard: str | None = None,
                fallbacks: bool | None = None) -> ExceptionPolicy:
     """Mutate the process-global policy; ``None`` leaves a knob alone."""
-    if nonfinite is not None:
-        if nonfinite not in _NONFINITE_MODES:
-            raise ValueError(f"nonfinite mode must be one of "
-                             f"{_NONFINITE_MODES}, got {nonfinite!r}")
-        _POLICY.nonfinite = nonfinite
-    if rcond_guard is not None:
-        if rcond_guard not in _RCOND_MODES:
-            raise ValueError(f"rcond_guard must be one of {_RCOND_MODES}, "
-                             f"got {rcond_guard!r}")
-        _POLICY.rcond_guard = rcond_guard
-    if fallbacks is not None:
-        _POLICY.fallbacks = bool(fallbacks)
+    if nonfinite is not None and nonfinite not in _NONFINITE_MODES:
+        raise ValueError(f"nonfinite mode must be one of "
+                         f"{_NONFINITE_MODES}, got {nonfinite!r}")
+    if rcond_guard is not None and rcond_guard not in _RCOND_MODES:
+        raise ValueError(f"rcond_guard must be one of {_RCOND_MODES}, "
+                         f"got {rcond_guard!r}")
+    with STATE_LOCK:
+        if nonfinite is not None:
+            _POLICY.nonfinite = nonfinite
+        if rcond_guard is not None:
+            _POLICY.rcond_guard = rcond_guard
+        if fallbacks is not None:
+            _POLICY.fallbacks = bool(fallbacks)
     return _POLICY
 
 
@@ -102,12 +104,14 @@ def exception_policy(nonfinite: str | None = None,
         with exception_policy(nonfinite="check", fallbacks=True):
             la_gesv(a, b)
     """
-    old = (_POLICY.nonfinite, _POLICY.rcond_guard, _POLICY.fallbacks)
-    set_policy(nonfinite, rcond_guard, fallbacks)
+    with STATE_LOCK:
+        old = (_POLICY.nonfinite, _POLICY.rcond_guard, _POLICY.fallbacks)
+        set_policy(nonfinite, rcond_guard, fallbacks)
     try:
         yield _POLICY
     finally:
-        _POLICY.nonfinite, _POLICY.rcond_guard, _POLICY.fallbacks = old
+        set_policy(nonfinite=old[0], rcond_guard=old[1],
+                   fallbacks=old[2])
 
 
 # ---------------------------------------------------------------------------

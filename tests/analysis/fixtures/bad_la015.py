@@ -1,0 +1,18 @@
+"""LA015 fixture: reaching around the designated setters into the
+process-global policy/backend/blocking state."""
+
+from repro.policy import _POLICY                # lint: LA015
+
+from repro import backends, config
+
+
+def force_propagate():
+    _POLICY.nonfinite = "propagate"             # lint: LA015
+
+
+def flip_backend(name):
+    backends._SELECTED = name                   # lint: LA015
+
+
+def tune(nb):
+    config._BLOCK_SIZES["getrf"] = nb           # lint: LA015

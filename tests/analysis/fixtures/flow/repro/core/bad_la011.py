@@ -1,0 +1,28 @@
+"""LA011 fixture: dimension bindings disagree with the spec formulas.
+
+The spec for ``la_gesv`` derives ``n = rows2d(a)`` and requires
+``len(ipiv) == n``; this driver binds ``n`` to the column count and
+sizes the pivot buffer ``n + 1``.
+"""
+
+import numpy as np
+
+from repro.errors import Info, erinfo
+from repro.backends.kernels import gesv
+from repro.specs import validate_args
+
+__all__ = ["la_gesv"]
+
+
+def la_gesv(a, b, ipiv=None, info=None):
+    srname = "LA_GESV"
+    exc = None
+    linfo = validate_args("la_gesv", a=a, b=b, ipiv=ipiv)
+    if linfo == 0:
+        n = a.shape[1]                          # lint: LA011
+        buf = np.zeros(n + 1, dtype=np.intp)    # lint: LA011
+        _, linfo = gesv(a, b)
+        if ipiv is not None:
+            ipiv[:] = buf
+    erinfo(linfo, srname, info, exc=exc)
+    return b

@@ -1,0 +1,28 @@
+"""LA013 fixture: a hard-coded ``np.float64`` eigenvector buffer
+reaches the kernel, silently demoting single-precision inputs."""
+
+import numpy as np
+
+from repro.errors import Info, erinfo
+from repro.backends.kernels import stev
+from repro.specs import validate_args
+
+__all__ = ["la_stev"]
+
+
+def la_stev(d, e, z=None, info=None):
+    srname = "LA_STEV"
+    exc = None
+    zout = None
+    linfo = validate_args("la_stev", d=d, e=e)
+    if linfo == 0:
+        n = d.shape[0]
+        if z is not None:
+            zbuf = z if isinstance(z, np.ndarray) else \
+                np.empty((n, n), dtype=np.float64)      # lint: LA013
+            linfo = stev(d, e, zbuf, jobz="V")
+            zout = zbuf
+        else:
+            linfo = stev(d, e, jobz="N")
+    erinfo(linfo, srname, info, exc=exc)
+    return (d, zout) if z is not None else d

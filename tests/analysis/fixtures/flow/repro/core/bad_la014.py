@@ -1,0 +1,19 @@
+"""LA014 fixture: an in-place store mutates the factored matrix ``a``,
+which the ``la_getrs`` spec declares intent(in)."""
+
+from repro.errors import Info, erinfo
+from repro.backends.kernels import getrs
+from repro.specs import validate_args
+
+__all__ = ["la_getrs"]
+
+
+def la_getrs(a, ipiv, b, trans="N", info=None):
+    srname = "LA_GETRS"
+    exc = None
+    linfo = validate_args("la_getrs", a=a, ipiv=ipiv, b=b, trans=trans)
+    if linfo == 0:
+        a[0, 0] = a[0, 0] + 0.0                 # lint: LA014
+        linfo = getrs(a, ipiv, b, trans=trans)
+    erinfo(linfo, srname, info, exc=exc)
+    return b

@@ -1,0 +1,23 @@
+"""LA011 clean fixture: dimensions and allocations match the spec."""
+
+import numpy as np
+
+from repro.errors import Info, erinfo
+from repro.backends.kernels import gesv
+from repro.specs import validate_args
+
+__all__ = ["la_gesv"]
+
+
+def la_gesv(a, b, ipiv=None, info=None):
+    srname = "LA_GESV"
+    exc = None
+    linfo = validate_args("la_gesv", a=a, b=b, ipiv=ipiv)
+    if linfo == 0:
+        n = a.shape[0]
+        buf = np.zeros(n, dtype=np.intp)
+        _, linfo = gesv(a, b)
+        if ipiv is not None:
+            ipiv[:] = buf
+    erinfo(linfo, srname, info, exc=exc)
+    return b

@@ -1,0 +1,19 @@
+"""LA012 clean fixture: the ``ipiv`` output receives the pivots."""
+
+from repro.errors import Info, erinfo
+from repro.backends.kernels import gesv
+from repro.specs import validate_args
+
+__all__ = ["la_gesv"]
+
+
+def la_gesv(a, b, ipiv=None, info=None):
+    srname = "LA_GESV"
+    exc = None
+    linfo = validate_args("la_gesv", a=a, b=b, ipiv=ipiv)
+    if linfo == 0:
+        lpiv, linfo = gesv(a, b)
+        if ipiv is not None:
+            ipiv[:] = lpiv
+    erinfo(linfo, srname, info, exc=exc)
+    return b

@@ -1,0 +1,19 @@
+"""LA014 clean fixture: only the intent(inout) right-hand side is
+updated in place; the factored matrix stays untouched."""
+
+from repro.errors import Info, erinfo
+from repro.backends.kernels import getrs
+from repro.specs import validate_args
+
+__all__ = ["la_getrs"]
+
+
+def la_getrs(a, ipiv, b, trans="N", info=None):
+    srname = "LA_GETRS"
+    exc = None
+    linfo = validate_args("la_getrs", a=a, ipiv=ipiv, b=b, trans=trans)
+    if linfo == 0:
+        xout, linfo = getrs(a, ipiv, b, trans=trans)
+        b[:] = xout
+    erinfo(linfo, srname, info, exc=exc)
+    return b

@@ -79,5 +79,45 @@ def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for code in ("LA001", "LA002", "LA003", "LA004", "LA005", "LA006",
-                 "LA007"):
+                 "LA007", "LA008", "LA009", "LA010", "LA011", "LA012",
+                 "LA013", "LA014", "LA015"):
         assert code in out
+
+
+def test_cli_ignore_excludes_rules(capsys):
+    # bad_la005.py only violates LA005; ignoring it clears the run.
+    assert main([BAD, "--no-baseline", "--ignore", "LA005"]) == 0
+    assert main([BAD, "--no-baseline", "--ignore", "LA001"]) == 1
+    capsys.readouterr()
+
+
+def test_cli_ignore_composes_with_select(capsys):
+    rc = main([BAD, "--no-baseline", "--select", "LA005,LA007",
+               "--ignore", "LA005", "--format=json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert payload["findings"] == []
+
+
+def test_cli_rejects_unknown_codes(capsys):
+    assert main([BAD, "--no-baseline", "--select", "LA999"]) == 2
+    assert main([BAD, "--no-baseline", "--ignore", "nonsense"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule" in err
+
+
+def test_cli_ignore_skips_staleness_of_ignored_codes(tmp_path, capsys):
+    # An --ignore run is restricted: it can only judge baseline entries
+    # for codes that ran.  Ignoring LA005 leaves the LA005 entry alone;
+    # a full run flags it as stale.
+    found = _run(BAD)
+    baseline = Baseline()
+    baseline.absorb(found)
+    bpath = str(tmp_path / "baseline.json")
+    baseline.save(bpath)
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n", encoding="utf-8")
+    assert main([str(clean), "--baseline", bpath,
+                 "--ignore", "LA005"]) == 0
+    assert main([str(clean), "--baseline", bpath]) == 1
+    capsys.readouterr()

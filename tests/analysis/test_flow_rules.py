@@ -1,0 +1,208 @@
+"""laflow self-tests: LA011–LA015 fire on their seeded fixtures (exact
+marker lines), stay quiet on the conforming twins, and the owner-module
+lock discipline of LA015 is checked against a synthesized policy owner.
+
+The dataflow fixtures live under ``fixtures/flow/repro/core/`` so the
+spec-bound rules (which only police the core driver package) pick them
+up; the LA015 fixtures sit at the fixtures top level because that rule
+scans every module.
+"""
+
+import os
+import textwrap
+
+from repro.analysis import Project, run_rules
+from repro.analysis.flow import DriverFlow, check_la015, spec_dim_formulas
+from repro.analysis.flow import values as V
+from repro.specs.registry import SPECS
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "fixtures")
+FLOW = os.path.join(FIXTURES, "flow", "repro", "core")
+REPO = os.path.dirname(os.path.dirname(HERE))
+
+
+def _findings(paths, code=None):
+    found = run_rules(Project.load(paths))
+    if code is not None:
+        found = [f for f in found if f.code == code]
+    return found
+
+
+def _marked_lines(path, code):
+    with open(path, "r", encoding="utf-8") as fh:
+        return sorted(i for i, line in enumerate(fh, 1)
+                      if f"lint: {code}" in line)
+
+
+def _assert_matches_markers(path, code):
+    found = _findings([path], code)
+    got = sorted(f.line for f in found)
+    want = _marked_lines(path, code)
+    assert got == want, f"{code}: findings at {got}, markers at {want}"
+    return found
+
+
+def _flow_fixture(name):
+    return os.path.join(FLOW, name)
+
+
+# -- the abstract interpreter itself ----------------------------------
+
+def test_interpreter_seeds_and_tracks_the_gesv_body():
+    path = _flow_fixture("good_la011.py")
+    project = Project.load([path])
+    (impl,) = [i for i in project.driver_impls()
+               if i.driver == "la_gesv"]
+    flow = DriverFlow(impl, SPECS["la_gesv"]).run()
+    # n = a.shape[0] resolves to the spec's rows2d(a) formula.
+    assert ("n", V.atom(("rows", "a")), flow.dim_defs[0][2]) \
+        in flow.dim_defs
+    assert spec_dim_formulas(SPECS["la_gesv"])["n"] \
+        == V.atom(("rows", "a"))
+    # The pivot buffer allocation is recorded with symbolic length n
+    # and an integer dtype.
+    (site,) = flow.allocs
+    assert site.shape == (V.atom(("rows", "a")),)
+    assert site.dtype == V.DT_INT
+    # gesv(a, b) is a sink receiving both caller arrays.
+    (sink,) = flow.sinks
+    assert sink.callee == "gesv"
+    origins = set()
+    for val in sink.values:
+        if isinstance(val, V.ArrayVal):
+            origins |= val.origins
+    assert origins == {"a", "b"}
+    # ipiv[:] = buf is a write aliasing the declared output.
+    assert any(w.names == frozenset({"ipiv"}) for w in flow.writes)
+
+
+# -- rule true positives (marker-pinned) and clean twins --------------
+
+def test_la011_fires_on_seeded_violations():
+    found = _assert_matches_markers(_flow_fixture("bad_la011.py"),
+                                    "LA011")
+    messages = " | ".join(f.message for f in found)
+    assert "cols(a)" in messages and "rows(a)" in messages
+    assert "allocation stored into ipiv" in messages
+
+
+def test_la012_fires_on_seeded_violations():
+    found = _assert_matches_markers(_flow_fixture("bad_la012.py"),
+                                    "LA012")
+    assert "ipiv" in found[0].message
+    assert found[0].context == "la_gesv"
+
+
+def test_la013_fires_on_seeded_violations():
+    found = _assert_matches_markers(_flow_fixture("bad_la013.py"),
+                                    "LA013")
+    assert "float64" in found[0].message
+
+
+def test_la014_fires_on_seeded_violations():
+    found = _assert_matches_markers(_flow_fixture("bad_la014.py"),
+                                    "LA014")
+    assert "intent(in)" in found[0].message
+    assert "mutate a" in found[0].message
+
+
+def test_la015_fires_on_seeded_violations():
+    path = os.path.join(FIXTURES, "bad_la015.py")
+    found = _assert_matches_markers(path, "LA015")
+    messages = " | ".join(f.message for f in found)
+    assert "_POLICY" in messages
+    assert "_SELECTED" in messages
+    assert "_BLOCK_SIZES" in messages
+    assert "set_policy()" in messages
+
+
+def test_bad_flow_fixtures_only_fire_their_own_rule():
+    for name, code in [("bad_la011.py", "LA011"),
+                       ("bad_la012.py", "LA012"),
+                       ("bad_la013.py", "LA013"),
+                       ("bad_la014.py", "LA014")]:
+        found = _findings([_flow_fixture(name)])
+        assert {f.code for f in found} == {code}, name
+    found = _findings([os.path.join(FIXTURES, "bad_la015.py")])
+    assert {f.code for f in found} == {"LA015"}
+
+
+def test_good_flow_fixtures_are_clean():
+    for name in ("good_la011.py", "good_la012.py", "good_la013.py",
+                 "good_la014.py"):
+        assert _findings([_flow_fixture(name)]) == [], name
+    assert _findings([os.path.join(FIXTURES, "good_la015.py")]) == []
+
+
+# -- LA015 owner-module lock discipline -------------------------------
+
+def _owner_tree(tmp_path, source):
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    path = pkg / "policy.py"
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return str(path)
+
+
+def test_la015_owner_mutation_requires_the_lock(tmp_path):
+    path = _owner_tree(tmp_path, """\
+        from ._sync import STATE_LOCK
+
+        _POLICY = object()          # top-level init: allowed
+
+        def set_policy(value):
+            _POLICY.mode = value    # unlocked mutation
+
+        def set_policy_locked(value):
+            with STATE_LOCK:
+                _POLICY.mode = value
+        """)
+    found = check_la015(Project.load([path]))
+    assert len(found) == 1
+    assert "outside `with STATE_LOCK:`" in found[0].message
+    # The finding points at the unlocked store, not the locked one.
+    assert found[0].line == 6
+
+
+def test_la015_owner_reads_are_allowed(tmp_path):
+    path = _owner_tree(tmp_path, """\
+        _POLICY = object()
+
+        def get_policy():
+            return _POLICY
+        """)
+    assert check_la015(Project.load([path])) == []
+
+
+def test_la015_nested_def_loses_the_lexical_lock(tmp_path):
+    path = _owner_tree(tmp_path, """\
+        from ._sync import STATE_LOCK
+
+        _POLICY = object()
+
+        def make_setter():
+            with STATE_LOCK:
+                def setter(value):
+                    _POLICY.mode = value    # runs after the lock is gone
+                return setter
+        """)
+    found = check_la015(Project.load([path]))
+    assert len(found) == 1
+
+
+# -- the shipped tree passes the new rules ----------------------------
+
+def test_shipped_tree_clean_under_flow_rules():
+    src = os.path.join(REPO, "src", "repro")
+    found = _findings([src])
+    flow_findings = [f for f in found if f.code >= "LA011"]
+    assert flow_findings == [], \
+        "\n".join(f.render() for f in flow_findings)
+
+
+def test_shipped_gesvd_writes_its_ww_output():
+    """The LA012 true positive this PR fixed must stay fixed: la_gesvd
+    now threads the bidiagonal superdiagonal into ww."""
+    src = os.path.join(REPO, "src", "repro", "core", "eigen.py")
+    assert _findings([src], "LA012") == []

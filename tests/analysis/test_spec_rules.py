@@ -131,11 +131,25 @@ class TestStaleBaseline:
         assert rc == 1
         assert "stale baseline entry deadbeefdeadbeef" in out
 
-    def test_select_skips_the_stale_check(self, tmp_path, capsys):
+    def test_select_checks_staleness_for_selected_codes(self, tmp_path,
+                                                        capsys):
+        # A --select run still judges baseline freshness for the rules
+        # that actually ran: the stale LA001 entry fails a LA001 run.
         mod = tmp_path / "clean.py"
         mod.write_text("x = 1\n", encoding="utf-8")
         rc = main([str(mod), "--baseline", self._baseline(tmp_path),
                    "--select", "LA001"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "stale baseline entry deadbeefdeadbeef" in out
+
+    def test_select_ignores_staleness_of_unselected_codes(self, tmp_path,
+                                                          capsys):
+        # ... but an LA002-only run cannot judge the LA001 entry.
+        mod = tmp_path / "clean.py"
+        mod.write_text("x = 1\n", encoding="utf-8")
+        rc = main([str(mod), "--baseline", self._baseline(tmp_path),
+                   "--select", "LA002"])
         capsys.readouterr()
         assert rc == 0
 

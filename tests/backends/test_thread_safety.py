@@ -1,0 +1,165 @@
+"""Concurrency stress for the process-global configuration state.
+
+LA015's companion runtime guarantee: backend selection, the exception
+policy and the block-size table are all guarded by one shared
+re-entrant lock (:data:`repro._sync.STATE_LOCK`), so N threads flipping
+the knobs while other threads solve never observe a torn update or
+corrupt the tables permanently.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import _sync, backends, config, policy
+from repro import exception_policy, la_gesv, set_policy, use_backend
+from repro.errors import Info
+
+N_THREADS = 8
+N_ITER = 60
+
+
+@pytest.fixture(autouse=True)
+def _restore_state():
+    backend = backends.get_backend_name()
+    pol = policy.get_policy()
+    before = (pol.nonfinite, pol.rcond_guard, pol.fallbacks)
+    nb = config.get_block_size("getrf")
+    yield
+    backends.set_backend(backend)
+    set_policy(nonfinite=before[0], rcond_guard=before[1],
+               fallbacks=before[2])
+    config.set_block_size("getrf", nb)
+
+
+def _system(n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    a += n * np.eye(n)
+    b = a.sum(axis=1)
+    return a, b
+
+
+def test_state_lock_is_shared_and_reentrant():
+    # One lock guards all three owners, and it must be an RLock: the
+    # context managers restore through the setters while holding it.
+    assert isinstance(_sync.STATE_LOCK, type(threading.RLock()))
+    with _sync.STATE_LOCK:
+        with _sync.STATE_LOCK:      # re-entry must not deadlock
+            backends.set_backend(backends.get_backend_name())
+            set_policy(fallbacks=False)
+
+
+def test_threads_flipping_state_while_drivers_solve():
+    errors = []
+    start = threading.Barrier(N_THREADS)
+
+    def solver(seed):
+        start.wait()
+        a, b = _system(seed=seed)
+        for _ in range(N_ITER):
+            info = Info()
+            x = la_gesv(a.copy(), b.copy(), info=info)
+            if info.value != 0:
+                errors.append(f"solver info={info.value}")
+                return
+            if not np.allclose(a @ x, b, atol=1e-8):
+                errors.append("solver residual blew up")
+                return
+
+    def backend_flipper():
+        start.wait()
+        for i in range(N_ITER):
+            name = "accelerated" if i % 2 else "reference"
+            try:
+                with use_backend(name):
+                    got = backends.get_backend_name()
+                    if got not in ("reference", "accelerated"):
+                        errors.append(f"torn backend read: {got!r}")
+                        return
+            except Exception as exc:          # noqa: BLE001
+                errors.append(f"backend flip raised: {exc!r}")
+                return
+
+    def policy_flipper():
+        start.wait()
+        for i in range(N_ITER):
+            mode = "check" if i % 2 else "propagate"
+            try:
+                with exception_policy(nonfinite=mode):
+                    got = policy.get_policy().nonfinite
+                    if got not in ("check", "warn", "propagate"):
+                        errors.append(f"torn policy read: {got!r}")
+                        return
+            except Exception as exc:          # noqa: BLE001
+                errors.append(f"policy flip raised: {exc!r}")
+                return
+
+    def block_flipper():
+        start.wait()
+        for i in range(N_ITER):
+            try:
+                with config.block_size_override("getrf", 8 + (i % 4)):
+                    nb = config.get_block_size("getrf")
+                    if nb < 1:
+                        errors.append(f"torn block size: {nb}")
+                        return
+            except Exception as exc:          # noqa: BLE001
+                errors.append(f"block flip raised: {exc!r}")
+                return
+
+    workers = [threading.Thread(target=solver, args=(s,))
+               for s in range(N_THREADS - 3)]
+    workers += [threading.Thread(target=backend_flipper),
+                threading.Thread(target=policy_flipper),
+                threading.Thread(target=block_flipper)]
+    for t in workers:
+        t.start()
+    for t in workers:
+        t.join(timeout=120)
+    assert not any(t.is_alive() for t in workers), "stress test hung"
+    assert errors == []
+
+
+def test_context_managers_restore_under_contention():
+    # Scoped overrides of *distinct* knobs from concurrent threads must
+    # leave the defaults exactly as they found them once every thread
+    # exits.  (Two threads scoping the same knob is inherently
+    # last-restore-wins — the lock makes each transition atomic, not
+    # the nesting commutative.)
+    backends.set_backend("reference")
+    set_policy(nonfinite="propagate", rcond_guard="silent",
+               fallbacks=False)
+    config.set_block_size("getrf", 64)
+    start = threading.Barrier(3)
+
+    def churn_backend():
+        start.wait()
+        for j in range(N_ITER):
+            with use_backend("accelerated" if j % 2 else "reference"):
+                backends.get_backend_name()
+
+    def churn_policy():
+        start.wait()
+        for _ in range(N_ITER):
+            with exception_policy(nonfinite="warn", fallbacks=True):
+                policy.get_policy()
+
+    def churn_blocks():
+        start.wait()
+        for j in range(N_ITER):
+            with config.block_size_override("getrf", 8 + (j % 4)):
+                config.get_block_size("getrf")
+
+    threads = [threading.Thread(target=f)
+               for f in (churn_backend, churn_policy, churn_blocks)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert backends.get_backend_name() == "reference"
+    pol = policy.get_policy()
+    assert (pol.nonfinite, pol.rcond_guard, pol.fallbacks) \
+        == ("propagate", "silent", False)
+    assert config.get_block_size("getrf") == 64
