@@ -19,6 +19,15 @@ available.  Select with :func:`set_backend` / ``use_backend`` / the
 ``REPRO_BACKEND`` environment variable, or per call via the drivers'
 ``backend=`` keyword.
 
+The dispatch seam is wrapped by a resilience layer
+(:mod:`repro.resilience`): transient kernel failures retry and escalate
+to the reference substrate, per-``(backend, routine)`` circuit breakers
+shed repeatedly-failing backends, ``repro.deadline(seconds)`` bounds
+driver wall-clock at stage checkpoints, and ``repro.healthcheck()``
+probes every registered backend.  Setting ``REPRO_CHAOS=1`` arms the
+chaos profile (:func:`repro.faults.default_chaos_profile`): hot kernels
+become deterministically flaky so a test run exercises the whole ladder.
+
 Quickstart (paper Fig. 2, the LAPACK90 interface)::
 
     import numpy as np
@@ -30,16 +39,21 @@ Quickstart (paper Fig. 2, the LAPACK90 interface)::
     la_gesv(a, b)               # b now holds the solution
 """
 
-from . import (backends, blas, config, core, f77, lapack77, policy,
-               storage, testing)
+import os as _os
+
+from . import (backends, blas, config, core, f77, faults, lapack77, policy,
+               resilience, storage, testing)
 from .backends import (available_backends, get_backend_name, set_backend,
                        use_backend)
 from .errors import (BackendFallbackWarning, ComputationalError,
-                     DriverFallbackWarning, IllConditionedWarning,
-                     IllegalArgument, Info, LinAlgError, NoConvergence,
-                     NonFiniteInput, NonFiniteWarning, NotPositiveDefinite,
+                     DeadlineExceeded, DriverFallbackWarning,
+                     IllConditionedWarning, IllegalArgument, Info,
+                     LinAlgError, NoConvergence, NonFiniteInput,
+                     NonFiniteWarning, NotPositiveDefinite,
                      NumericalWarning, SingularMatrix, WorkspaceError)
 from .policy import exception_policy, get_policy, set_policy
+from .resilience import (deadline, get_resilience, healthcheck,
+                         resilience_policy, set_resilience)
 from .core import *  # noqa: F401,F403 — the Appendix G catalogue
 from .core import __all__ as _core_all
 
@@ -50,10 +64,19 @@ __all__ = list(_core_all) + [
     "SingularMatrix", "NotPositiveDefinite", "NoConvergence",
     "WorkspaceError", "NonFiniteInput", "NumericalWarning",
     "NonFiniteWarning", "IllConditionedWarning", "DriverFallbackWarning",
-    "BackendFallbackWarning",
+    "BackendFallbackWarning", "DeadlineExceeded",
     "exception_policy", "get_policy", "set_policy",
+    "deadline", "healthcheck", "resilience_policy", "get_resilience",
+    "set_resilience",
     "available_backends", "get_backend_name", "set_backend",
     "use_backend",
-    "backends", "blas", "config", "core", "f77", "lapack77", "policy",
-    "storage", "testing",
+    "backends", "blas", "config", "core", "f77", "faults", "lapack77",
+    "policy", "resilience", "storage", "testing",
 ]
+
+# CI chaos leg: REPRO_CHAOS=1 arms the default chaos profile before any
+# driver runs, so the whole suite executes through degradation.
+_chaos_env = _os.environ.get("REPRO_CHAOS", "").strip()
+if _chaos_env and _chaos_env != "0":
+    faults.default_chaos_profile()
+del _chaos_env

@@ -5,13 +5,14 @@ The package splits into three layers:
 * :mod:`.values` — the abstract domain (symbolic dimensions, the dtype
   lattice, array provenance),
 * :mod:`.interp` — the symbolic interpreter over one driver body,
-* :mod:`.rules` — the LA011–LA015 checks registered in the main
+* :mod:`.rules` — the LA011–LA016 checks registered in the main
   lalint catalogue (:mod:`repro.analysis.rules`).
 """
 
 from .interp import DriverFlow, spec_dim_formulas
 from .rules import (check_la011, check_la012, check_la013, check_la014,
-                    check_la015)
+                    check_la015, check_la016)
 
 __all__ = ["DriverFlow", "spec_dim_formulas", "check_la011",
-           "check_la012", "check_la013", "check_la014", "check_la015"]
+           "check_la012", "check_la013", "check_la014", "check_la015",
+           "check_la016"]

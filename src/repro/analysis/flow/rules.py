@@ -1,10 +1,12 @@
-"""The laflow rule catalogue (LA011–LA015).
+"""The laflow rule catalogue (LA011–LA016).
 
 LA011–LA014 run the symbolic interpreter (:class:`.interp.DriverFlow`)
 over every core driver implementation that has a registered spec and
 compare the recorded dataflow events against the spec's promises.
-LA015 is a plain module scan policing the process-global state knobs
-(policy, backend selection, blocking configuration).
+LA015 and LA016 are plain module scans policing process-global state:
+LA015 the configuration knobs (policy, backend selection, blocking
+configuration), LA016 the resilience registries (circuit breakers,
+resilience policy, deadline arming, the chaos-fault table).
 
 Like every lalint rule these functions never import the analysed code;
 the spec registry they consult is plain data.
@@ -21,7 +23,7 @@ from . import values as V
 from .interp import DriverFlow, spec_dim_formulas
 
 __all__ = ["check_la011", "check_la012", "check_la013", "check_la014",
-           "check_la015"]
+           "check_la015", "check_la016"]
 
 _ARRAY_KINDS = {"matrix", "rhs", "vector"}
 _LEN_CHECKS = {"optlen", "reqlen"}
@@ -219,10 +221,11 @@ def check_la014(project: Project):
 
 
 # ---------------------------------------------------------------------
-# LA015 — global-state discipline
+# LA015/LA016 — global-state discipline
 # ---------------------------------------------------------------------
 
-#: Process-global state: variable -> (owner module suffix, public API).
+#: Process-global configuration state policed by LA015:
+#: variable -> (owner module suffix, public API).
 GLOBAL_STATE = {
     "_POLICY": ("repro/policy.py",
                 "get_policy()/set_policy()/exception_policy()"),
@@ -235,6 +238,29 @@ GLOBAL_STATE = {
     "_CROSSOVER": ("repro/config.py",
                    "ilaenv()/set_block_size()/block_size_override()"),
 }
+
+#: Resilience-subsystem state policed by LA016, same shape.
+#: ``_DEADLINES`` is listed for the foreign-access ban only (it is a
+#: ``threading.local`` — per-thread by construction, so its owner
+#: mutates it without the lock).
+RESILIENCE_STATE = {
+    "_BREAKERS": ("repro/resilience/breaker.py",
+                  "admit()/record_failure()/record_success()/"
+                  "breaker_state()/states()/reset_breakers()"),
+    "_RESILIENCE": ("repro/resilience/config.py",
+                    "get_resilience()/set_resilience()/"
+                    "resilience_policy()"),
+    "_ARMED": ("repro/resilience/deadlines.py",
+               "repro.deadline()/remaining()/check()"),
+    "_DEADLINES": ("repro/resilience/deadlines.py",
+                   "repro.deadline()/remaining()/check()"),
+    "_CHAOS": ("repro/faults.py",
+               "chaos_install()/chaos_remove()/chaos_clear()/"
+               "chaos_fault()"),
+}
+
+#: Table entries whose owner mutations are lock-exempt (thread-local).
+_UNLOCKED_OK = frozenset({"_DEADLINES"})
 
 #: The shared lock every mutation site must hold (repro._sync).
 STATE_LOCK = "STATE_LOCK"
@@ -249,7 +275,7 @@ def _chain_root(node):
     return node.id if isinstance(node, ast.Name) else None
 
 
-def _mutated_state(stmt):
+def _mutated_state(stmt, table):
     """State names a simple statement mutates (assignment targets and
     mutating method calls)."""
     out = set()
@@ -263,7 +289,7 @@ def _mutated_state(stmt):
         if isinstance(func, ast.Attribute) \
                 and func.attr in _MUTATING_METHODS:
             root = _chain_root(func.value)
-            if root in GLOBAL_STATE:
+            if root in table:
                 out.add(root)
     flat = []
     while targets:
@@ -273,11 +299,11 @@ def _mutated_state(stmt):
         else:
             flat.append(t)
     for t in flat:
-        if isinstance(t, ast.Name) and t.id in GLOBAL_STATE:
+        if isinstance(t, ast.Name) and t.id in table:
             out.add(t.id)
         else:
             root = _chain_root(t)
-            if root in GLOBAL_STATE:
+            if root in table:
                 out.add(root)
     return out
 
@@ -293,7 +319,7 @@ def _holds_lock(with_stmt):
     return False
 
 
-def _owner_unlocked_mutations(tree):
+def _owner_unlocked_mutations(tree, table):
     """Yield ``(var, stmt)`` for in-function mutations of owned state
     outside ``with STATE_LOCK:``.  Module top-level (initialisation)
     assignments are allowed."""
@@ -317,10 +343,58 @@ def _owner_unlocked_mutations(tree):
                     yield from walk(handler.body, locked, in_func)
                 continue
             if in_func and not locked:
-                for var in sorted(_mutated_state(stmt)):
+                for var in sorted(_mutated_state(stmt, table)):
                     yield var, stmt
 
     yield from walk(tree.body, False, False)
+
+
+def _state_discipline(project, table, code, unlocked_ok=frozenset()):
+    """The shared LA015/LA016 scan over one state table.
+
+    Outside its owner module a listed variable may not be *named* at
+    all — not imported, not read, not reached through an attribute
+    chain; callers go through the designated API.  Inside the owner,
+    every in-function mutation must lexically hold
+    ``with STATE_LOCK:`` (module top-level initialisation is exempt,
+    as are the ``unlocked_ok`` thread-local entries).
+    """
+    findings = []
+    for mod in project.modules:
+        p = mod.path.replace(os.sep, "/")
+        owned = {var for var, (suffix, _) in table.items()
+                 if p.endswith(suffix)}
+        foreign = set(table) - owned
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name in foreign:
+                        _, api = table[alias.name]
+                        findings.append(_f(
+                            code,
+                            f"import of global state {alias.name}; go "
+                            f"through {api} instead", mod, node))
+            elif isinstance(node, ast.Name) and node.id in foreign:
+                _, api = table[node.id]
+                findings.append(_f(
+                    code,
+                    f"direct access to global state {node.id}; go "
+                    f"through {api} instead", mod, node))
+            elif isinstance(node, ast.Attribute) \
+                    and node.attr in foreign:
+                _, api = table[node.attr]
+                findings.append(_f(
+                    code,
+                    f"direct access to global state {node.attr}; go "
+                    f"through {api} instead", mod, node))
+        if owned:
+            for var, stmt in _owner_unlocked_mutations(mod.tree, table):
+                if var in owned and var not in unlocked_ok:
+                    findings.append(_f(
+                        code,
+                        f"mutation of {var} outside `with STATE_LOCK:`",
+                        mod, stmt))
+    return findings
 
 
 def check_la015(project: Project):
@@ -330,39 +404,16 @@ def check_la015(project: Project):
     every mutation site must lexically hold ``with STATE_LOCK:`` (the
     shared :data:`repro._sync.STATE_LOCK` RLock); module top-level
     initialisation is exempt."""
-    findings = []
-    for mod in project.modules:
-        p = mod.path.replace(os.sep, "/")
-        owned = {var for var, (suffix, _) in GLOBAL_STATE.items()
-                 if p.endswith(suffix)}
-        foreign = set(GLOBAL_STATE) - owned
-        for node in ast.walk(mod.tree):
-            if isinstance(node, ast.ImportFrom):
-                for alias in node.names:
-                    if alias.name in foreign:
-                        _, api = GLOBAL_STATE[alias.name]
-                        findings.append(_f(
-                            "LA015",
-                            f"import of global state {alias.name}; go "
-                            f"through {api} instead", mod, node))
-            elif isinstance(node, ast.Name) and node.id in foreign:
-                _, api = GLOBAL_STATE[node.id]
-                findings.append(_f(
-                    "LA015",
-                    f"direct access to global state {node.id}; go "
-                    f"through {api} instead", mod, node))
-            elif isinstance(node, ast.Attribute) \
-                    and node.attr in foreign:
-                _, api = GLOBAL_STATE[node.attr]
-                findings.append(_f(
-                    "LA015",
-                    f"direct access to global state {node.attr}; go "
-                    f"through {api} instead", mod, node))
-        if owned:
-            for var, stmt in _owner_unlocked_mutations(mod.tree):
-                if var in owned:
-                    findings.append(_f(
-                        "LA015",
-                        f"mutation of {var} outside `with STATE_LOCK:`",
-                        mod, stmt))
-    return findings
+    return _state_discipline(project, GLOBAL_STATE, "LA015")
+
+
+def check_la016(project: Project):
+    """Resilience-state discipline: the breaker registry, resilience
+    policy, deadline arming and chaos-fault table may only be touched by
+    their owning module, and every owner mutation must lexically hold
+    ``with STATE_LOCK:`` — the same shared RLock LA015 polices, so the
+    resilience layer can never deadlock against (or race) the
+    configuration knobs.  The thread-local deadline stack is exempt from
+    the lock requirement but still closed to foreign access."""
+    return _state_discipline(project, RESILIENCE_STATE, "LA016",
+                             unlocked_ok=_UNLOCKED_OK)

@@ -1,4 +1,4 @@
-"""The lalint rule catalogue (LA001–LA015).
+"""The lalint rule catalogue (LA001–LA016).
 
 Every rule is a function ``check(project) -> list[Finding]`` registered
 in :data:`RULES`.  Rules only inspect the AST model — the analysed code
@@ -613,7 +613,7 @@ def check_la010(project: Project):
 
 
 from .flow import (check_la011, check_la012, check_la013,  # noqa: E402
-                   check_la014, check_la015)
+                   check_la014, check_la015, check_la016)
 
 RULES = [
     ("LA001", "every exit path reports through erinfo", check_la001),
@@ -638,6 +638,8 @@ RULES = [
      check_la014),
     ("LA015", "global policy/backend state behind setters and the lock",
      check_la015),
+    ("LA016", "resilience state owned by repro.resilience under the lock",
+     check_la016),
 ]
 
 

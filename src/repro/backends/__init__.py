@@ -26,7 +26,9 @@ environment variable), a context-manager override
 escape hatch on every ``la_*`` driver (via :func:`backend_aware`).
 When the selected backend cannot serve a routine the call falls back to
 ``reference`` and a :class:`~repro.errors.BackendFallbackWarning` is
-announced once per (backend, routine) pair.
+announced — rate-limited to once per (backend, routine) pair per
+resilience-policy ``warning_window``, with the next announcement after a
+window carrying how many identical warnings were suppressed meanwhile.
 
 Fault injection (:mod:`repro.faults`) hooks into the reference kernels;
 while any fault is armed, :func:`resolve` routes every dispatch to
@@ -45,11 +47,14 @@ import numpy as np
 from .. import faults
 from .._sync import STATE_LOCK
 from ..errors import BackendFallbackWarning
+from ..resilience.config import get_resilience
+from ..resilience.ratelimit import RateLimiter
 
 __all__ = [
     "Backend",
     "KNOWN_BACKENDS",
     "register_backend",
+    "unregister_backend",
     "available_backends",
     "get_backend",
     "get_backend_name",
@@ -70,7 +75,7 @@ KNOWN_BACKENDS = ("reference", "accelerated")
 
 _REGISTRY: dict[str, "Backend"] = {}
 _SELECTED = "reference"
-_ANNOUNCED: set[tuple[str, str]] = set()
+_ANNOUNCED = RateLimiter()
 
 
 class Backend:
@@ -116,6 +121,19 @@ def register_backend(backend, replace=False):
         raise ValueError("backend {!r} already registered"
                          .format(backend.name))
     _REGISTRY[backend.name] = backend
+
+
+def unregister_backend(name):
+    """Remove a registered backend (test scaffolding for synthetic
+    substrates).  ``reference`` cannot be removed; the selection falls
+    back to ``reference`` if it pointed at the removed backend."""
+    global _SELECTED
+    if name == "reference":
+        raise ValueError("the reference backend cannot be unregistered")
+    _REGISTRY.pop(name, None)
+    with STATE_LOCK:
+        if _SELECTED == name:
+            _SELECTED = "reference"
 
 
 def available_backends():
@@ -174,20 +192,22 @@ def use_backend(name):
 
 
 def reset_fallback_announcements():
-    """Forget which (backend, routine) fallbacks were already announced
-    (so tests can assert the warning fires again)."""
-    _ANNOUNCED.clear()
+    """Forget the fallback-warning rate-limit history (so tests can
+    assert the warning fires again immediately)."""
+    _ANNOUNCED.reset()
 
 
 def _announce(name, routine, reason):
-    key = (name, routine)
-    if key in _ANNOUNCED:
+    emit, suppressed = _ANNOUNCED.tick(
+        (name, routine), window=get_resilience().warning_window)
+    if not emit:
         return
-    _ANNOUNCED.add(key)
-    warnings.warn(
-        "backend {!r} cannot serve routine {!r} ({}); falling back to "
-        "the reference kernel".format(name, routine, reason),
-        BackendFallbackWarning, stacklevel=4)
+    message = ("backend {!r} cannot serve routine {!r} ({}); falling "
+               "back to the reference kernel".format(name, routine, reason))
+    if suppressed:
+        message += (" ({} identical warnings suppressed in the last "
+                    "window)".format(suppressed))
+    warnings.warn(message, BackendFallbackWarning, stacklevel=4)
 
 
 def resolve(routine, dtype=None, backend=None):

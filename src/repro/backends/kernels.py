@@ -7,6 +7,14 @@ kernel, so ``from ..backends.kernels import gesv`` behaves exactly like
 the direct substrate import it replaces while honouring the backend
 selection in effect at each call.
 
+Since the resilience subsystem landed, the invocation itself goes
+through :func:`repro.resilience.dispatch.call`, which layers retry,
+accelerated→reference escalation, circuit breaking, and chaos injection
+over the resolved kernel.  The registry's ``resolve`` and
+``get_backend_name`` are handed in as parameters so the resilience
+package never has to import this one (avoiding an import cycle).  The
+reference-served, un-chaosed call keeps a near-zero-overhead fast path.
+
 lalint treats these imports as substrate imports: LA004/LA006 see a
 dispatched call as "the lapack77 call", and LA008 requires driver
 modules to import kernels from here rather than from ``repro.lapack77``.
@@ -17,7 +25,8 @@ from __future__ import annotations
 import numpy as np
 
 from .. import lapack77
-from . import resolve
+from ..resilience import dispatch as _dispatch
+from . import get_backend_name, resolve
 
 
 class KernelProxy:
@@ -33,7 +42,8 @@ class KernelProxy:
             if isinstance(value, np.ndarray):
                 dtype = value.dtype
                 break
-        return resolve(self.routine, dtype)(*args, **kwargs)
+        return _dispatch.call(self.routine, dtype, args, kwargs,
+                              resolve, get_backend_name)
 
     def __repr__(self):
         return "<dispatched lapack77 kernel {!r}>".format(self.routine)

@@ -23,13 +23,20 @@ from ..config import ilaenv
 from ..errors import ALLOC_FAILED, DriverFallbackWarning, Info, erinfo
 from ..faults import alloc_fault
 from ..policy import screen
+from ..resilience import calllog, deadlines
 
 __all__ = ["lsame", "la_ws_gels", "la_ws_gelss", "as_matrix",
            "check_square", "check_rhs", "checked_dtype", "driver_guard"]
 
 
 def _report(srname, linfo, info, exc=None):
-    """Funnel a driver outcome through :func:`repro.errors.erinfo`."""
+    """Funnel a driver outcome through :func:`repro.errors.erinfo`.
+
+    The open resilience call-log frame (if any) is drained onto the Info
+    handle first, so ``info.attempts``/``info.breaker`` are populated
+    even when ``erinfo`` goes on to raise.
+    """
+    calllog.drain_into(info)
     erinfo(linfo, srname, info, exc=exc)
 
 
@@ -40,6 +47,7 @@ def _record_fallback(srname, via, rcond, linfo, info):
     fallback is a warning-class outcome (even the ``n+1``
     singular-to-working-precision verdict) and must not terminate.
     """
+    calllog.drain_into(info)
     detail = f" (RCOND = {rcond:.3e})" if rcond is not None else ""
     warnings.warn(
         f"{srname}: primary factorization failed; solution computed via "
@@ -104,7 +112,15 @@ def driver_guard(srname: str, *args):
     :func:`repro.policy.screen`, or ``(ALLOC_FAILED, None)`` when the
     fault-injection harness simulates a failed workspace allocation for
     this driver.  ``(0, None)`` means proceed.
+
+    The guard also opens the driver's resilience call-log frame (drained
+    back onto the Info handle by ``_report``/``_record_fallback``) and
+    runs the ``"entry"`` deadline checkpoint, which raises
+    :class:`~repro.errors.DeadlineExceeded` when an enclosing
+    ``repro.deadline()`` budget is already spent.
     """
+    calllog.push()
+    deadlines.check(srname, "entry")
     linfo, exc = screen(srname, *args)
     if linfo == 0 and alloc_fault(srname):
         return ALLOC_FAILED, None

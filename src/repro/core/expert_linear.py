@@ -33,6 +33,7 @@ from ..backends.kernels import (gbcon, gbequ, gbrfs, gbtrf, gbtrs, gecon,
                                 pttrs, spcon, sptrf, sptrs, sycon, syrfs,
                                 sytrf, sytrs)
 from ..policy import illcond_event
+from ..resilience import calllog, deadlines
 from ..specs import validate_args
 from .auxmod import as_matrix, driver_guard, lsame
 
@@ -84,6 +85,7 @@ def _rcond_verdict(srname, rcond, n, dtype) -> int:
 
 def _finish(srname, linfo, info, res, exc=None):
     res.info_value = linfo
+    calllog.drain_into(info)
     if linfo > 0 and exc is None:
         # info = n+1 (rcond < eps): LAPACK's expert drivers compute the
         # solution and bounds anyway — a warning-class condition, reported
@@ -150,6 +152,7 @@ def la_gesvx(a: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
         res.rcond = 0.0
         return _finish(srname, linfo, info, res,
                        SingularMatrix(srname, linfo))
+    deadlines.check(srname, "factor", info)
     # Reciprocal pivot growth: max|A| / max|U| (LAPACK's convention).
     umax = float(np.abs(np.triu(res.af)).max()) if n else 0.0
     amax_ = float(np.abs(a).max()) if n else 0.0
@@ -160,8 +163,10 @@ def la_gesvx(a: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
     res.rcond, _ = gecon(res.af, anorm, norm=norm)
     res.rcond = min(res.rcond, 1.0)
     # Solve + refine.
+    deadlines.check(srname, "solve", info)
     x2d = b_work.copy()
     getrs(res.af, res.ipiv, x2d, trans=t)
+    deadlines.check(srname, "refine", info)
     res.ferr, res.berr, _ = gerfs(a, res.af, res.ipiv, b_work, x2d,
                                   trans=t)
     # Undo equilibration on the solution.
@@ -214,12 +219,15 @@ def la_gbsvx(ab: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
         res.rcond = 0.0
         return _finish(srname, linfo, info, res,
                        SingularMatrix(srname, linfo))
+    deadlines.check(srname, "factor", info)
     norm = "1" if t == "N" else "I"
     anorm = langb(norm, ab, kl, ku)
     res.rcond, _ = gbcon(res.af, kl, ku, res.ipiv, anorm, norm=norm)
     res.rcond = min(res.rcond, 1.0)
+    deadlines.check(srname, "solve", info)
     x2d = bmat.astype(ab.dtype, copy=True)
     gbtrs(res.af, kl, ku, res.ipiv, x2d, trans=t)
+    deadlines.check(srname, "refine", info)
     res.ferr, res.berr, _ = gbrfs(ab, res.af, kl, ku, res.ipiv, bmat, x2d,
                                   trans=t)
     res.x = _vector_like(b, x2d, was_vec)
@@ -305,12 +313,15 @@ def la_posvx(a: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
         res.rcond = 0.0
         return _finish(srname, linfo, info, res,
                        NotPositiveDefinite(srname, linfo))
+    deadlines.check(srname, "factor", info)
     hermitian = np.iscomplexobj(a)
     anorm = lanhe("1", a, uplo) if hermitian else lansy("1", a, uplo)
     res.rcond, _ = pocon(res.af, anorm, uplo)
     res.rcond = min(res.rcond, 1.0)
+    deadlines.check(srname, "solve", info)
     x2d = b_work.copy()
     potrs(res.af, x2d, uplo)
+    deadlines.check(srname, "refine", info)
     res.ferr, res.berr, _ = porfs(a, res.af, b_work, x2d, uplo)
     if equed_out == "Y" and res.s is not None:
         x2d *= res.s[:, None]
@@ -463,11 +474,14 @@ def _indef_expert(srname, trf, trs, con, rfs, a, b, x, uplo, af, ipiv,
         res.rcond = 0.0
         return _finish(srname, linfo, info, res,
                        SingularMatrix(srname, linfo))
+    deadlines.check(srname, "factor", info)
     anorm = lanhe("1", a, uplo) if hermitian else lansy("1", a, uplo)
     res.rcond, _ = con(res.af, res.ipiv, anorm, uplo)
     res.rcond = min(res.rcond, 1.0)
+    deadlines.check(srname, "solve", info)
     x2d = bmat.astype(a.dtype, copy=True)
     trs(res.af, res.ipiv, x2d, uplo)
+    deadlines.check(srname, "refine", info)
     res.ferr, res.berr, _ = rfs(a, res.af, res.ipiv, bmat, x2d, uplo)
     res.x = _vector_like(b, x2d, was_vec)
     if x is not None:

@@ -33,6 +33,7 @@ __all__ = [
     "NoConvergence",
     "WorkspaceError",
     "NonFiniteInput",
+    "DeadlineExceeded",
     "NumericalWarning",
     "NonFiniteWarning",
     "IllConditionedWarning",
@@ -43,6 +44,7 @@ __all__ = [
     "ALLOC_FAILED",
     "WORK_REDUCED",
     "NONFINITE",
+    "DEADLINE",
 ]
 
 #: LINFO code used by LAPACK90 when workspace allocation fails.
@@ -53,6 +55,10 @@ WORK_REDUCED = -200
 #: argument *i* contained NaN or Inf entries (screened by
 #: :mod:`repro.policy` in ``"check"`` mode).
 NONFINITE = -1000
+#: Code class for an exceeded :func:`repro.deadline` time budget.  The
+#: class sits below the non-finite band (which only ever reaches
+#: ``NONFINITE - position``) so the three error families stay disjoint.
+DEADLINE = -3000
 
 
 class LinAlgError(Exception):
@@ -146,6 +152,32 @@ class NonFiniteInput(LinAlgError, ValueError):
         super().__init__(srname, info, msg)
 
 
+class DeadlineExceeded(LinAlgError):
+    """A :func:`repro.deadline` time budget ran out mid-solve.
+
+    Unlike every other ``LinAlgError`` this is a *control-flow
+    interruption*, not a status: it is raised even when the caller
+    supplied an ``info=`` handle, because a deadline exists precisely so
+    the caller regains control.  What the driver had established by the
+    time the budget expired travels on :attr:`partial` — an
+    :class:`Info` whose ``value`` is :data:`DEADLINE` and whose
+    ``attempts``/``breaker``/``fallback`` fields hold the resilience
+    telemetry collected so far.
+
+    ``stage`` names the checkpoint that noticed the expiry (``"entry"``,
+    ``"factor"``, ``"solve"``, ``"refine"``).
+    """
+
+    def __init__(self, srname: str, stage: str = "entry",
+                 partial: "Info | None" = None):
+        self.stage = stage
+        self.partial = partial if partial is not None else Info(DEADLINE)
+        super().__init__(
+            srname, DEADLINE,
+            f"{srname}: deadline exceeded at the {stage!r} checkpoint; "
+            f"partial status: {self.partial!r}")
+
+
 class NumericalWarning(RuntimeWarning):
     """Base class for the structured warnings the exception policy emits."""
 
@@ -187,15 +219,23 @@ class Info:
     Beyond the raw code, the handle records graceful-degradation events:
     ``fallback`` names the substitute path a driver took (``None`` when the
     primary path succeeded) and ``rcond`` carries the reciprocal condition
-    estimate when the fallback route computed one.
+    estimate when the fallback route computed one.  The resilience layer
+    (:mod:`repro.resilience`) adds two more telemetry fields: ``attempts``
+    is the per-call kernel attempt trail (a tuple of
+    ``"backend:routine#n:outcome"`` strings — only populated when
+    something beyond a clean first attempt happened) and ``breaker``
+    summarises circuit-breaker involvement
+    (``"accelerated:gesv:open"`` …).
     """
 
-    __slots__ = ("value", "fallback", "rcond")
+    __slots__ = ("value", "fallback", "rcond", "attempts", "breaker")
 
     def __init__(self, value: int = 0):
         self.value = int(value)
         self.fallback: str | None = None
         self.rcond: float | None = None
+        self.attempts: tuple | None = None
+        self.breaker: str | None = None
 
     def __bool__(self) -> bool:
         return self.value != 0
@@ -214,10 +254,14 @@ class Info:
         return NotImplemented
 
     # Equality is by code, so hash by code too (defining __eq__ alone
-    # would have left the class silently unhashable).  The handle is
-    # mutable, so hash-based collections are only safe once a driver has
-    # finished writing to it — the same caveat LAPACK's INTENT(OUT)
-    # arguments carry.
+    # would have left the class silently unhashable).  Equality and hash
+    # deliberately ignore the telemetry fields (fallback, rcond,
+    # attempts, breaker): those depend on which backend happened to be
+    # healthy and how many retries fired — timing-dependent facts that
+    # would make otherwise-identical outcomes compare unequal.  The
+    # handle is mutable, so hash-based collections are only safe once a
+    # driver has finished writing to it — the same caveat LAPACK's
+    # INTENT(OUT) arguments carry.
     def __hash__(self) -> int:
         return hash(self.value)
 
@@ -227,12 +271,18 @@ class Info:
             extras.append(f"fallback={self.fallback!r}")
         if self.rcond is not None:
             extras.append(f"rcond={self.rcond!r}")
+        if self.attempts is not None:
+            extras.append(f"attempts={self.attempts!r}")
+        if self.breaker is not None:
+            extras.append(f"breaker={self.breaker!r}")
         tail = "".join(", " + e for e in extras)
         return f"Info({self.value}{tail})"
 
 
 def _error_for(srname: str, linfo: int) -> LinAlgError:
     """Build the most specific exception class for a raw ``linfo`` code."""
+    if linfo <= DEADLINE:
+        return DeadlineExceeded(srname)
     if linfo <= NONFINITE:
         return NonFiniteInput(srname, NONFINITE - linfo)
     if linfo == ALLOC_FAILED:

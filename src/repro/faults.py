@@ -22,14 +22,39 @@ Three fault kinds are supported, keyed by a lower-cased routine name:
 A fault may be armed with a finite ``count``; it disarms after firing
 that many times.  Hooks are free when nothing is installed: each first
 checks a module-level flag.
+
+A second, independent registry — the **chaos harness** — injects faults
+at the *dispatch seam* (:mod:`repro.backends.kernels`) rather than
+inside the substrate kernels, so the resilience layer's retry ladder and
+circuit breakers can be exercised deterministically against any backend:
+
+* ``flaky_every=k`` — every *k*-th dispatched call of the routine raises
+  a transient :class:`InjectedFault` before the kernel runs;
+* ``fail_next=n`` — the next *n* dispatched calls fail, then the routine
+  is healthy again (the breaker trip/recover shape);
+* ``latency=s`` — sleep *s* seconds before the kernel runs (for
+  deadline testing);
+* ``error="alloc"`` — raise ``MemoryError`` instead of
+  :class:`InjectedFault` (a transient allocation failure).
+
+Chaos faults are keyed ``(routine, backend)`` (``backend=None`` matches
+any) and — unlike the substrate registry above — arming them does *not*
+reroute dispatch to the reference backend: the whole point is to fail
+the backend actually selected.
 """
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 
+from ._sync import STATE_LOCK
+
 __all__ = ["install", "remove", "clear", "injected", "active",
-           "pivot_fault", "alloc_fault", "linfo_fault"]
+           "pivot_fault", "alloc_fault", "linfo_fault",
+           "InjectedFault", "chaos_install", "chaos_remove",
+           "chaos_clear", "chaos_active", "chaos", "chaos_fault",
+           "default_chaos_profile", "CHAOS_DEFAULT_ROUTINES"]
 
 #: Fast-path flag: True only while at least one fault is installed.
 ACTIVE = False
@@ -126,3 +151,139 @@ def linfo_fault(routine: str) -> int | None:
     if not ACTIVE:
         return None
     return _consume(routine.lower(), "linfo")
+
+
+# ---------------------------------------------------------------------
+# The chaos harness (dispatch-seam faults).
+# ---------------------------------------------------------------------
+
+class InjectedFault(RuntimeError):
+    """The transient error the chaos harness raises in place of a kernel
+    call.  Deliberately *not* a :class:`repro.errors.LinAlgError`: the
+    resilience layer treats contract outcomes (singular matrix, …) as
+    verdicts and only retries genuine kernel failures like this one."""
+
+
+#: Fast-path flag: True only while at least one chaos fault is armed.
+CHAOS_ACTIVE = False
+
+_CHAOS: dict[str, dict] = {}
+
+
+def _chaos_sync() -> None:
+    global CHAOS_ACTIVE
+    CHAOS_ACTIVE = bool(_CHAOS)
+
+
+def chaos_install(routine: str, *, flaky_every: int | None = None,
+                  fail_next: int | None = None,
+                  latency: float | None = None,
+                  error: str = "transient",
+                  backend: str | None = None) -> None:
+    """Arm a chaos fault against ``routine`` at the dispatch seam.
+
+    ``backend`` restricts the fault to dispatches served by that backend
+    (``None`` matches any — including the reference rung an escalation
+    lands on).  ``error`` picks the raised class: ``"transient"``
+    (:class:`InjectedFault`) or ``"alloc"`` (``MemoryError``).
+    """
+    if flaky_every is None and fail_next is None and latency is None:
+        raise ValueError("chaos_install() needs one of flaky_every=, "
+                         "fail_next=, latency=")
+    if flaky_every is not None and flaky_every < 1:
+        raise ValueError("flaky_every must be >= 1")
+    if error not in ("transient", "alloc"):
+        raise ValueError(f"error must be 'transient' or 'alloc', "
+                         f"got {error!r}")
+    with STATE_LOCK:
+        _CHAOS[routine.lower()] = {
+            "flaky_every": flaky_every,
+            "fail_next": fail_next,
+            "latency": latency,
+            "error": error,
+            "backend": backend,
+            "calls": 0,
+        }
+        _chaos_sync()
+
+
+def chaos_remove(routine: str) -> None:
+    """Disarm the chaos fault installed against ``routine`` (if any)."""
+    with STATE_LOCK:
+        _CHAOS.pop(routine.lower(), None)
+        _chaos_sync()
+
+
+def chaos_clear() -> None:
+    """Disarm every chaos fault."""
+    with STATE_LOCK:
+        _CHAOS.clear()
+        _chaos_sync()
+
+
+def chaos_active() -> bool:
+    """True while any chaos fault is armed."""
+    return CHAOS_ACTIVE
+
+
+@contextmanager
+def chaos(routine: str, **kwargs):
+    """Context manager: arm a chaos fault for the duration of the block."""
+    chaos_install(routine, **kwargs)
+    try:
+        yield
+    finally:
+        chaos_remove(routine)
+
+
+def chaos_fault(routine: str, backend: str) -> Exception | None:
+    """Consulted by the dispatch seam before each kernel attempt.
+
+    Applies any armed latency (sleeps here) and returns the exception
+    the attempt should raise instead of running the kernel, or ``None``
+    to proceed.  Calls filtered out by a ``backend=`` restriction do not
+    advance the fault's counters.
+    """
+    if not CHAOS_ACTIVE:
+        return None
+    with STATE_LOCK:
+        spec = _CHAOS.get(routine.lower())
+        if spec is None or (spec["backend"] is not None
+                            and spec["backend"] != backend):
+            return None
+        spec["calls"] += 1
+        fire = False
+        if spec["fail_next"] is not None and spec["fail_next"] > 0:
+            spec["fail_next"] -= 1
+            fire = True
+        elif spec["flaky_every"] is not None \
+                and spec["calls"] % spec["flaky_every"] == 0:
+            fire = True
+        latency = spec["latency"]
+        error = spec["error"]
+    if latency:
+        time.sleep(latency)
+    if not fire:
+        return None
+    if error == "alloc":
+        return MemoryError(
+            f"injected transient allocation failure in {routine!r}")
+    return InjectedFault(f"injected transient fault in {routine!r} "
+                         f"(backend {backend!r})")
+
+
+#: Hot kernels the ``REPRO_CHAOS=1`` profile makes intermittently flaky.
+CHAOS_DEFAULT_ROUTINES = (
+    "gesv", "gbsv", "posv", "sysv", "hesv", "getrf", "potrf", "sytrf",
+    "getrs", "potrs", "gels", "syev", "heev", "gesvd", "geev",
+)
+
+
+def default_chaos_profile(every: int = 5) -> None:
+    """Arm the CI chaos profile: every ``every``-th dispatched call of
+    each hot kernel raises a transient fault.  With the default
+    resilience policy (one same-kernel retry) a suite run under this
+    profile must pass through degradation — retries and escalation —
+    rather than crash."""
+    for routine in CHAOS_DEFAULT_ROUTINES:
+        chaos_install(routine, flaky_every=every)

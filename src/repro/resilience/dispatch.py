@@ -1,0 +1,201 @@
+"""The resilient dispatch seam: retries, escalation, breakers, chaos.
+
+:func:`call` is what :class:`repro.backends.kernels.KernelProxy`
+delegates to.  The registry's ``resolve`` and ``get_backend_name`` are
+passed *in* as parameters rather than imported, so this package never
+imports :mod:`repro.backends` at module level (the backends package
+imports :mod:`repro.faults` and the drivers import the backends — a
+top-level import here would close a cycle).
+
+The undeadlined, un-chaosed, reference-served call — the overwhelming
+majority — takes a fast path that adds two flag reads and one name
+compare over the pre-resilience seam.  Everything else goes through
+:func:`_resilient_call`:
+
+1. **Classify.**  ``LinAlgError`` is a contract *verdict* (singular
+   matrix, failed convergence): never retried, counts as breaker
+   success, re-raised as-is.  ``KeyboardInterrupt``/``SystemExit``
+   always propagate.  Anything else is a *transient kernel failure*.
+2. **Retry.**  Transient failures retry the same kernel up to the
+   policy's ``retries`` budget.  Because kernels mutate their array
+   arguments in place, the arrays are snapshotted up front and restored
+   before every re-attempt.
+3. **Escalate.**  When a non-reference rung exhausts its budget, the
+   call escalates to the reference substrate (the accelerated→reference
+   ladder; the drivers' own simple→expert ladder sits above this seam).
+4. **Break.**  Consecutive transient failures trip the pair's circuit
+   breaker (:mod:`repro.resilience.breaker`); an open breaker routes
+   straight to reference with a rate-limited
+   :class:`~repro.errors.BackendFallbackWarning`.
+5. **Record.**  Failures, escalations, and breaker transitions land on
+   the driver's open call-log frame, surfacing as ``info.attempts`` /
+   ``info.breaker``.  Clean first-attempt successes record nothing.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from .. import faults
+from ..errors import BackendFallbackWarning, LinAlgError
+from . import breaker, calllog
+from .config import get_resilience
+from .ratelimit import RateLimiter
+
+__all__ = ["call", "reset_open_warnings"]
+
+_OPEN_WARNINGS = RateLimiter()
+
+#: Lazily-built set of kernel names whose driver specs opt out of the
+#: retry/escalation ladder (e.g. kernels consuming stateful RNGs, where
+#: a re-attempt would observe different inputs).
+_EXEMPT: frozenset | None = None
+
+
+def _exempt_kernels() -> frozenset:
+    global _EXEMPT
+    if _EXEMPT is None:
+        from ..specs import SPECS
+        _EXEMPT = frozenset(
+            spec.kernel for spec in SPECS.values()
+            if spec.breaker_exempt and spec.kernel is not None)
+    return _EXEMPT
+
+
+def reset_open_warnings() -> None:
+    """Forget breaker-open warning history (tests)."""
+    _OPEN_WARNINGS.reset()
+
+
+def call(routine, dtype, args, kwargs, resolve, get_backend_name):
+    """Dispatch one kernel call through the resilience ladder."""
+    if (not faults.CHAOS_ACTIVE and not breaker.TRACKING
+            and get_backend_name() == "reference"):
+        return resolve(routine, dtype)(*args, **kwargs)
+    return _resilient_call(routine, dtype, args, kwargs, resolve,
+                           get_backend_name())
+
+
+def _snapshot(args, kwargs):
+    saved = []
+    for value in args:
+        if isinstance(value, np.ndarray):
+            saved.append((value, value.copy()))
+    for value in kwargs.values():
+        if isinstance(value, np.ndarray):
+            saved.append((value, value.copy()))
+    return saved
+
+
+def _restore(saved):
+    for arr, snap in saved:
+        arr[...] = snap
+
+
+def _warn_open(serving, routine, window):
+    emit, suppressed = _OPEN_WARNINGS.tick((serving, routine),
+                                           window=window)
+    if not emit:
+        return
+    message = ("circuit breaker open for backend {!r} routine {!r}; "
+               "routing to the reference kernel".format(serving, routine))
+    if suppressed:
+        message += (" ({} identical warnings suppressed in the last "
+                    "window)".format(suppressed))
+    warnings.warn(message, BackendFallbackWarning, stacklevel=5)
+
+
+def _resilient_call(routine, dtype, args, kwargs, resolve, selected):
+    reference = resolve(routine, dtype, backend="reference")
+    primary = resolve(routine, dtype)
+    serving = "reference" if primary is reference else selected
+    policy = get_resilience()
+
+    events: list[str] = []
+    disposition = "closed"
+    if serving != "reference":
+        disposition = breaker.admit(serving, routine)
+        if disposition == "open":
+            events.append("open:{}:{}".format(serving, routine))
+            _warn_open(serving, routine, policy.warning_window)
+        elif disposition == "probe":
+            events.append("probe:{}:{}".format(serving, routine))
+
+    if disposition == "open":
+        rungs = [("reference", reference)]
+    elif serving != "reference":
+        rungs = [(serving, primary), ("reference", reference)]
+    else:
+        rungs = [("reference", reference)]
+
+    exempt = routine in _exempt_kernels()
+    retries = 0 if exempt else policy.retries
+    if exempt:
+        rungs = rungs[:1]
+
+    saved = _snapshot(args, kwargs) \
+        if (retries or len(rungs) > 1) and not exempt else []
+
+    noteworthy = bool(events)
+    failures = 0
+    attempt = 0
+    last_exc: BaseException | None = None
+    for rung_backend, kernel in rungs:
+        for _ in range(retries + 1):
+            attempt += 1
+            if attempt > 1:
+                _restore(saved)
+            try:
+                fault = faults.chaos_fault(routine, rung_backend) \
+                    if faults.CHAOS_ACTIVE else None
+                if fault is not None:
+                    raise fault
+                result = kernel(*args, **kwargs)
+            except LinAlgError:
+                # Contract verdict: the kernel worked, the input was the
+                # problem.  Counts as breaker success; never retried.
+                if not exempt:
+                    note = breaker.record_success(rung_backend, routine)
+                    if note:
+                        events.append("closed:{}:{}".format(
+                            rung_backend, routine))
+                        noteworthy = True
+                if noteworthy or failures:
+                    calllog.record("{}:{}#{}:verdict".format(
+                        rung_backend, routine, attempt))
+                    for event in events:
+                        calllog.note(event)
+                raise
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                failures += 1
+                last_exc = exc
+                calllog.record("{}:{}#{}:error={}".format(
+                    rung_backend, routine, attempt, type(exc).__name__))
+                if not exempt:
+                    note = breaker.record_failure(rung_backend, routine)
+                    if note:
+                        events.append("{}:{}:{}".format(
+                            note, rung_backend, routine))
+                continue
+            if not exempt:
+                note = breaker.record_success(rung_backend, routine)
+                if note:
+                    events.append("closed:{}:{}".format(
+                        rung_backend, routine))
+                    noteworthy = True
+            if noteworthy or failures:
+                calllog.record("{}:{}#{}".format(
+                    rung_backend, routine, attempt))
+                for event in events:
+                    calllog.note(event)
+            return result
+
+    # Every rung exhausted: surface the breaker notes, then let the last
+    # transient failure propagate to the caller.
+    for event in events:
+        calllog.note(event)
+    raise last_exc

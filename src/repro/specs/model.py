@@ -104,6 +104,10 @@ class DriverSpec:
     pair: str | None = None         # generic real<->complex partner
     positive_info: str = ""         # meaning of INFO > 0
     warn: str | None = None         # warning-band semantics, if any
+    breaker_exempt: bool = False    # resilience: never retry/escalate
+    # (breaker_exempt marks kernels whose inputs are not replayable —
+    # e.g. they consume a stateful RNG — so a dispatch re-attempt would
+    # observe different arguments than the first try.)
 
     @property
     def srname(self) -> str:

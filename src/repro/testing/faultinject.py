@@ -18,18 +18,28 @@ Typical use::
     bad = fi.inject_nonfinite(a.copy())   # a[0, 0] = NaN
     with exception_policy(nonfinite="check"):
         la_gesv(bad, b)        # -> NonFiniteInput, info = -1001
+
+The chaos harness (dispatch-seam faults driving the resilience layer's
+retries, escalation, and circuit breakers) is re-exported here too::
+
+    with fi.chaos("gesv", fail_next=3, backend="accelerated"):
+        la_gesv(a, b)          # retries, then escalates to reference
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..faults import (active, alloc_fault, clear, injected, install,
-                      linfo_fault, pivot_fault, remove)
+from ..faults import (InjectedFault, active, alloc_fault, chaos,
+                      chaos_active, chaos_clear, chaos_install,
+                      chaos_remove, clear, default_chaos_profile,
+                      injected, install, linfo_fault, pivot_fault, remove)
 
 __all__ = ["install", "remove", "clear", "injected", "active",
            "pivot_fault", "alloc_fault", "linfo_fault",
-           "inject_nonfinite"]
+           "inject_nonfinite", "InjectedFault", "chaos", "chaos_install",
+           "chaos_remove", "chaos_clear", "chaos_active",
+           "default_chaos_profile"]
 
 
 def inject_nonfinite(a: np.ndarray, value: float = np.nan,

@@ -1,18 +1,19 @@
-"""laflow self-tests: LA011–LA015 fire on their seeded fixtures (exact
+"""laflow self-tests: LA011–LA016 fire on their seeded fixtures (exact
 marker lines), stay quiet on the conforming twins, and the owner-module
-lock discipline of LA015 is checked against a synthesized policy owner.
+lock discipline of LA015/LA016 is checked against synthesized owners.
 
 The dataflow fixtures live under ``fixtures/flow/repro/core/`` so the
 spec-bound rules (which only police the core driver package) pick them
-up; the LA015 fixtures sit at the fixtures top level because that rule
-scans every module.
+up; the LA015/LA016 fixtures sit at the fixtures top level because
+those rules scan every module.
 """
 
 import os
 import textwrap
 
 from repro.analysis import Project, run_rules
-from repro.analysis.flow import DriverFlow, check_la015, spec_dim_formulas
+from repro.analysis.flow import (DriverFlow, check_la015, check_la016,
+                                 spec_dim_formulas)
 from repro.analysis.flow import values as V
 from repro.specs.registry import SPECS
 
@@ -117,6 +118,17 @@ def test_la015_fires_on_seeded_violations():
     assert "set_policy()" in messages
 
 
+def test_la016_fires_on_seeded_violations():
+    path = os.path.join(FIXTURES, "bad_la016.py")
+    found = _assert_matches_markers(path, "LA016")
+    messages = " | ".join(f.message for f in found)
+    assert "_BREAKERS" in messages
+    assert "_RESILIENCE" in messages
+    assert "_ARMED" in messages
+    assert "_CHAOS" in messages
+    assert "set_resilience()" in messages
+
+
 def test_bad_flow_fixtures_only_fire_their_own_rule():
     for name, code in [("bad_la011.py", "LA011"),
                        ("bad_la012.py", "LA012"),
@@ -126,6 +138,8 @@ def test_bad_flow_fixtures_only_fire_their_own_rule():
         assert {f.code for f in found} == {code}, name
     found = _findings([os.path.join(FIXTURES, "bad_la015.py")])
     assert {f.code for f in found} == {"LA015"}
+    found = _findings([os.path.join(FIXTURES, "bad_la016.py")])
+    assert {f.code for f in found} == {"LA016"}
 
 
 def test_good_flow_fixtures_are_clean():
@@ -133,6 +147,7 @@ def test_good_flow_fixtures_are_clean():
                  "good_la014.py"):
         assert _findings([_flow_fixture(name)]) == [], name
     assert _findings([os.path.join(FIXTURES, "good_la015.py")]) == []
+    assert _findings([os.path.join(FIXTURES, "good_la016.py")]) == []
 
 
 # -- LA015 owner-module lock discipline -------------------------------
@@ -189,6 +204,71 @@ def test_la015_nested_def_loses_the_lexical_lock(tmp_path):
         """)
     found = check_la015(Project.load([path]))
     assert len(found) == 1
+
+
+# -- LA016 owner-module lock discipline -------------------------------
+
+def _breaker_owner(tmp_path, source):
+    pkg = tmp_path / "repro" / "resilience"
+    pkg.mkdir(parents=True)
+    path = pkg / "breaker.py"
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return str(path)
+
+
+def test_la016_owner_mutation_requires_the_lock(tmp_path):
+    path = _breaker_owner(tmp_path, """\
+        from .._sync import STATE_LOCK
+
+        _BREAKERS = {}              # top-level init: allowed
+
+        def trip(key):
+            _BREAKERS[key] = 1      # unlocked mutation
+
+        def trip_locked(key):
+            with STATE_LOCK:
+                _BREAKERS[key] = 1
+        """)
+    found = check_la016(Project.load([path]))
+    assert len(found) == 1
+    assert "outside `with STATE_LOCK:`" in found[0].message
+    assert found[0].line == 6
+
+
+def test_la016_thread_local_deadline_stack_is_lock_exempt(tmp_path):
+    pkg = tmp_path / "repro" / "resilience"
+    pkg.mkdir(parents=True)
+    path = pkg / "deadlines.py"
+    path.write_text(textwrap.dedent("""\
+        import threading
+
+        _DEADLINES = threading.local()
+
+        def _stack():
+            _DEADLINES.stack = []       # thread-local: no lock needed
+            return _DEADLINES.stack
+        """), encoding="utf-8")
+    assert check_la016(Project.load([str(path)])) == []
+
+
+def test_la016_is_silent_for_la015_state_and_vice_versa(tmp_path):
+    # The two rules police disjoint tables: the policy owner's unlocked
+    # mutation is LA015's business only, and the breaker owner's is
+    # LA016's only.
+    policy = _owner_tree(tmp_path, """\
+        _POLICY = object()
+
+        def set_policy(value):
+            _POLICY.mode = value
+        """)
+    assert check_la016(Project.load([policy])) == []
+    breaker = _breaker_owner(tmp_path, """\
+        _BREAKERS = {}
+
+        def trip(key):
+            _BREAKERS[key] = 1
+        """)
+    assert check_la015(Project.load([breaker])) == []
 
 
 # -- the shipped tree passes the new rules ----------------------------

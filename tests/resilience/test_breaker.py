@@ -1,0 +1,163 @@
+"""Circuit-breaker lifecycle through the real dispatch seam.
+
+The deterministic end-to-end drill the resilience subsystem promises:
+trip a (backend, routine) pair open with injected failures, watch
+dispatch route transparently to the reference substrate with correct
+results, wait out the cooldown, and watch a half-open probe restore the
+accelerated path — every transition visible on Info and healthcheck().
+"""
+
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro import Info, la_gesv
+from repro.errors import BackendFallbackWarning
+from repro.resilience import (breaker, breaker_state, breaker_states,
+                              reset_breakers, reset_open_warnings,
+                              resilience_policy)
+from repro.testing import faultinject as fi
+
+pytestmark = pytest.mark.skipif(
+    "accelerated" not in repro.available_backends(),
+    reason="breaker drill needs a second registered backend")
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    yield
+    fi.chaos_clear()
+    reset_breakers()
+    reset_open_warnings()
+
+
+def _system():
+    a = np.array([[4.0, 1.0, 0.0], [1.0, 3.0, 1.0], [0.0, 1.0, 2.0]])
+    return a, a @ np.array([1.0, -1.0, 2.0])
+
+
+def _solve(**kw):
+    a, b = _system()
+    info = Info()
+    la_gesv(a, b, info=info, **kw)
+    return b, info
+
+
+def test_breaker_full_lifecycle():
+    a0, b0 = _system()
+    x_true = np.array([1.0, -1.0, 2.0])
+    with resilience_policy(retries=0, breaker_threshold=3,
+                           breaker_cooldown=0.05):
+        fi.chaos_install("gesv", fail_next=3, backend="accelerated")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            # Failures 1 and 2: escalation covers, breaker still closed.
+            for _ in range(2):
+                x, info = _solve(backend="accelerated")
+                assert np.allclose(x, x_true)
+                assert info.attempts == (
+                    "accelerated:gesv#1:error=InjectedFault",
+                    "reference:gesv#2")
+                assert info.breaker is None
+            assert breaker_state("accelerated", "gesv") == "closed"
+            # Failure 3 trips the pair open.
+            x, info = _solve(backend="accelerated")
+            assert np.allclose(x, x_true)
+            assert info.breaker == "open:accelerated:gesv"
+            assert breaker_state("accelerated", "gesv") == "open"
+            assert breaker.TRACKING
+            # While open: accelerated is not attempted at all, results
+            # stay correct, and healthcheck sees the open pair.
+            x, info = _solve(backend="accelerated")
+            assert np.allclose(x, x_true)
+            assert info.attempts == ("reference:gesv#1",)
+            assert "accelerated:gesv" in breaker_states()
+            report = repro.healthcheck()
+            assert report["backends"]["reference"]["ok"]
+            # The open-breaker reroute warned exactly once (rate-limited).
+            open_warnings = [w for w in caught
+                             if issubclass(w.category,
+                                           BackendFallbackWarning)
+                             and "circuit breaker open" in str(w.message)]
+            assert len(open_warnings) == 1
+        # Cooldown elapses: half-open, and the next call is the probe.
+        time.sleep(0.06)
+        assert breaker_state("accelerated", "gesv") == "half-open"
+        x, info = _solve(backend="accelerated")
+        assert np.allclose(x, x_true)
+        assert info.attempts == ("accelerated:gesv#1",)
+        assert info.breaker == \
+            "probe:accelerated:gesv;closed:accelerated:gesv"
+        # Recovered: registry empty again, accelerated serving normally.
+        assert breaker_states() == {}
+        assert not breaker.TRACKING
+        x, info = _solve(backend="accelerated")
+        assert np.allclose(x, x_true)
+        assert info.attempts is None
+
+
+def test_failed_probe_reopens_and_restarts_cooldown():
+    with resilience_policy(retries=0, breaker_threshold=2,
+                           breaker_cooldown=0.05):
+        fi.chaos_install("gesv", fail_next=3, backend="accelerated")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            _solve(backend="accelerated")
+            _solve(backend="accelerated")
+            assert breaker_state("accelerated", "gesv") == "open"
+            time.sleep(0.06)
+            # Probe consumes the third injected failure: re-open.
+            x, info = _solve(backend="accelerated")
+        assert np.allclose(x, [1.0, -1.0, 2.0])
+        assert "open:accelerated:gesv" in (info.breaker or "")
+        assert breaker_state("accelerated", "gesv") == "open"
+        # Second cooldown: the next probe is clean and closes it.
+        time.sleep(0.06)
+        _solve(backend="accelerated")
+        assert breaker_states() == {}
+
+
+def test_contract_verdicts_count_as_breaker_success():
+    singular = np.zeros((3, 3))
+    b = np.ones(3)
+    with resilience_policy(retries=0, breaker_threshold=2):
+        for _ in range(3):
+            info = Info()
+            la_gesv(singular.copy(), b.copy(), info=info,
+                    backend="accelerated")
+            assert int(info) > 0
+        # Singular-matrix verdicts never accumulate toward a trip.
+        assert breaker_state("accelerated", "gesv") == "closed"
+        assert breaker_states() == {}
+
+
+def test_retry_budget_absorbs_flaky_kernel_without_tripping():
+    with resilience_policy(retries=1, breaker_threshold=2):
+        fi.chaos_install("gesv", flaky_every=2, backend="accelerated")
+        for _ in range(6):
+            x, info = _solve(backend="accelerated")
+            assert np.allclose(x, [1.0, -1.0, 2.0])
+        # Every failure was followed by an in-rung retry success, so
+        # failures never ran consecutively and the breaker stayed quiet.
+        assert breaker_states() == {}
+
+
+def test_breaker_exempt_routine_is_never_retried():
+    from repro.core.matrix_util import la_lagge
+    from repro.specs import SPECS
+
+    assert SPECS["la_lagge"].breaker_exempt
+    fi.chaos_install("lagge", fail_next=1)
+    a = np.empty((4, 4))
+    with pytest.raises(fi.InjectedFault):
+        la_lagge(a, iseed=42)
+    # No retry consumed RNG state behind the caller's back: the very
+    # next call generates exactly what an undisturbed seed would.
+    fi.chaos_clear()
+    la_lagge(a, iseed=42)
+    expected = np.empty((4, 4))
+    la_lagge(expected, iseed=42)
+    assert np.array_equal(a, expected)

@@ -1,0 +1,137 @@
+"""The chaos harness itself: deterministic seam faults and the CI
+profile's pass-through-degradation guarantee."""
+
+import numpy as np
+import pytest
+
+from repro import Info, la_gesv, la_posv
+from repro.faults import (CHAOS_DEFAULT_ROUTINES, chaos_active,
+                          default_chaos_profile)
+from repro.resilience import reset_breakers, resilience_policy
+from repro.testing import faultinject as fi
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    yield
+    fi.chaos_clear()
+    reset_breakers()
+
+
+def _system(dtype=float):
+    a = np.array([[4.0, 1.0, 0.0], [1.0, 3.0, 1.0], [0.0, 1.0, 2.0]],
+                 dtype=dtype)
+    return a, a @ np.array([1.0, -1.0, 2.0], dtype=dtype)
+
+
+def test_chaos_install_validates_arguments():
+    with pytest.raises(ValueError):
+        fi.chaos_install("gesv")
+    with pytest.raises(ValueError):
+        fi.chaos_install("gesv", flaky_every=0)
+    with pytest.raises(ValueError):
+        fi.chaos_install("gesv", fail_next=1, error="bogus")
+
+
+def test_flaky_every_k_is_deterministic():
+    fi.chaos_install("gesv", flaky_every=3)
+    failures = []
+    with resilience_policy(retries=1):
+        for i in range(6):
+            a, b = _system()
+            info = Info()
+            la_gesv(a, b, info=info)
+            failures.append(info.attempts is not None)
+            assert np.allclose(b, [1.0, -1.0, 2.0])
+    # Calls 1,2 clean; call 3 fires (then its retry is call 4, clean);
+    # calls 5,6 land on counters 6 (fires, retry=7 clean) and 8.
+    assert failures == [False, False, True, False, True, False]
+
+
+def test_alloc_error_class_is_memoryerror():
+    # Reference rung only and zero retries: the injected transient
+    # allocation failure has nowhere to escalate and surfaces as-is.
+    fi.chaos_install("gesv", fail_next=1, error="alloc")
+    with resilience_policy(retries=0):
+        a, b = _system()
+        with pytest.raises(MemoryError):
+            la_gesv(a, b)
+    # With a retry budget the same fault is absorbed transparently.
+    fi.chaos_install("gesv", fail_next=1, error="alloc")
+    with resilience_policy(retries=1):
+        a, b = _system()
+        info = Info()
+        la_gesv(a, b, info=info)
+        assert np.allclose(b, [1.0, -1.0, 2.0])
+        assert "MemoryError" in info.attempts[0]
+
+
+def test_backend_filter_does_not_advance_counters():
+    # A fault pinned to 'accelerated' never fires for reference calls
+    # and, crucially, reference calls do not consume the counter.
+    fi.chaos_install("gesv", fail_next=1, backend="accelerated")
+    for _ in range(3):
+        a, b = _system()
+        info = Info()
+        la_gesv(a, b, info=info, backend="reference")
+        assert info.attempts is None
+        assert np.allclose(b, [1.0, -1.0, 2.0])
+
+
+def test_chaos_context_manager_disarms():
+    with fi.chaos("gesv", fail_next=1):
+        assert chaos_active()
+    assert not chaos_active()
+
+
+def test_default_profile_covers_hot_kernels_and_suite_degrades():
+    default_chaos_profile(every=2)
+    assert chaos_active()
+    assert "gesv" in CHAOS_DEFAULT_ROUTINES
+    assert "potrf" in CHAOS_DEFAULT_ROUTINES
+    # Under the CI profile every second call of each hot kernel fails;
+    # the default retry budget must absorb it transparently.
+    for i in range(4):
+        a, b = _system()
+        la_gesv(a, b)
+        assert np.allclose(b, [1.0, -1.0, 2.0])
+        spd, bs = _system()
+        la_posv(spd, bs)
+        assert np.allclose(bs, [1.0, -1.0, 2.0])
+
+
+def test_transient_failure_escapes_when_budget_and_rungs_exhaust():
+    # Reference rung only, zero retries, persistent fault: the contract
+    # is honest failure, not a wrong answer.
+    fi.chaos_install("gesv", fail_next=10)
+    with resilience_policy(retries=0):
+        a, b = _system()
+        with pytest.raises(fi.InjectedFault):
+            la_gesv(a, b)
+
+
+def test_snapshot_restores_mutated_args_before_escalation():
+    # A kernel that wrecks its in-place operands and then dies: the
+    # escalation rung must see the *original* arrays (snapshot/restore),
+    # or the reference kernel would silently solve the wrong system.
+    from repro.backends import (Backend, register_backend,
+                                unregister_backend)
+
+    def vandal_gesv(a, b):
+        a[...] = 0.0
+        b[...] = -7.0
+        raise RuntimeError("kernel died after mutating its inputs")
+
+    register_backend(Backend("vandal", {"gesv": vandal_gesv}))
+    try:
+        with resilience_policy(retries=1, breaker_threshold=99):
+            a, b = _system()
+            info = Info()
+            la_gesv(a, b, info=info, backend="vandal")
+            assert np.allclose(b, [1.0, -1.0, 2.0])
+            assert info.attempts == (
+                "vandal:gesv#1:error=RuntimeError",
+                "vandal:gesv#2:error=RuntimeError",
+                "reference:gesv#3")
+    finally:
+        unregister_backend("vandal")
