@@ -11,23 +11,27 @@ import json
 import os
 import sys
 
-from .findings import Baseline
+from .findings import Baseline, sarif_log
 from .model import Project
-from .rules import RULES, run_rules
+from .rules import RULES, rule_titles, run_rules
 
 DEFAULT_BASELINE = "lalint.baseline.json"
+
+FORMATS = ("text", "json", "github", "sarif")
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="lalint: static checker for the LAPACK90 wrapper "
-                    "contract (rules LA001-LA015).")
+                    "contract (rules LA001-LA020).")
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to analyse "
                              "(default: src/repro)")
-    parser.add_argument("--format", choices=("text", "json", "github"),
+    parser.add_argument("--format", choices=FORMATS,
                         default="text", help="output format")
+    parser.add_argument("--output", dest="format", choices=FORMATS,
+                        help="alias for --format (e.g. --output sarif)")
     parser.add_argument("--baseline", default=None, metavar="FILE",
                         help=f"baseline file (default: "
                              f"{DEFAULT_BASELINE} when present)")
@@ -93,7 +97,15 @@ def main(argv=None) -> int:
         baseline = Baseline.load(baseline_path)
 
     if args.write_baseline:
-        baseline = Baseline()
+        if restricted:
+            # A restricted run judged only the selected rules: keep the
+            # suppressions of every rule that did not run, or a
+            # --select'ed regeneration would silently unsuppress them.
+            baseline.entries = {
+                fp: entry for fp, entry in baseline.entries.items()
+                if entry.get("code") not in selected}
+        else:
+            baseline = Baseline()
         baseline.absorb(findings)
         baseline.save(baseline_path)
         print(f"lalint: wrote {len(findings)} finding(s) to "
@@ -121,6 +133,9 @@ def main(argv=None) -> int:
             "suppressed": len(suppressed),
             "stale_baseline": stale,
         }, indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        print(json.dumps(sarif_log(new, rule_titles()),
+                         indent=2, sort_keys=True))
     elif args.format == "github":
         for f in new:
             print(f.render_github())

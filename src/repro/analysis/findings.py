@@ -15,7 +15,7 @@ import os
 import re
 from dataclasses import dataclass, field
 
-__all__ = ["Finding", "Baseline"]
+__all__ = ["Finding", "Baseline", "sarif_log"]
 
 _SLUG_RE = re.compile(r"[^a-z0-9]+")
 
@@ -66,6 +66,48 @@ class Finding:
         # GitHub Actions workflow-command annotation format.
         return (f"::error file={self.path},line={self.line},"
                 f"title={self.code}::{self.message}")
+
+
+#: SARIF 2.1.0 schema reference for the emitted log.
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def sarif_log(findings, rule_titles: dict) -> dict:
+    """A SARIF 2.1.0 log for *findings* (GitHub code-scanning format).
+
+    Fingerprints ride along as ``partialFingerprints`` so code-scanning
+    result identity matches the lalint baseline identity: line motion
+    does not resurrect a dismissed alert.
+    """
+    results = []
+    for f in findings:
+        results.append({
+            "ruleId": f.code,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": _relpath(f.path)},
+                    "region": {"startLine": max(1, f.line),
+                               "startColumn": f.col + 1},
+                },
+            }],
+            "partialFingerprints": {"lalint/v1": f.fingerprint},
+        })
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "lalint",
+                "rules": [{"id": code,
+                           "shortDescription": {"text": title}}
+                          for code, title in sorted(rule_titles.items())],
+            }},
+            "results": results,
+        }],
+    }
 
 
 def _relpath(path: str) -> str:

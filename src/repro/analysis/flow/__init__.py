@@ -1,18 +1,25 @@
 """laflow — spec-driven shape/dtype dataflow analysis for lalint.
 
-The package splits into three layers:
+The package splits into four layers:
 
 * :mod:`.values` — the abstract domain (symbolic dimensions, the dtype
-  lattice, array provenance),
+  lattice, array provenance, kernel references),
 * :mod:`.interp` — the symbolic interpreter over one driver body,
-* :mod:`.rules` — the LA011–LA016 checks registered in the main
+* :mod:`.summaries` — the interprocedural layer: kernel effect
+  signatures derived from the spec registry, and memoized helper
+  summaries (dims in, events out) replayed into callers,
+* :mod:`.rules` — the LA011–LA020 checks registered in the main
   lalint catalogue (:mod:`repro.analysis.rules`).
 """
 
-from .interp import DriverFlow, spec_dim_formulas
+from .interp import DriverFlow, FlowInterpreter, spec_dim_formulas
+from .summaries import KernelEffect, SummaryEngine, kernel_effects
 from .rules import (check_la011, check_la012, check_la013, check_la014,
-                    check_la015, check_la016)
+                    check_la015, check_la016, check_la017, check_la018,
+                    check_la019, check_la020)
 
-__all__ = ["DriverFlow", "spec_dim_formulas", "check_la011",
-           "check_la012", "check_la013", "check_la014", "check_la015",
-           "check_la016"]
+__all__ = ["DriverFlow", "FlowInterpreter", "spec_dim_formulas",
+           "KernelEffect", "SummaryEngine", "kernel_effects",
+           "check_la011", "check_la012", "check_la013", "check_la014",
+           "check_la015", "check_la016", "check_la017", "check_la018",
+           "check_la019", "check_la020"]

@@ -8,7 +8,8 @@ argument ``a`` enters as an abstract array of shape ``(rows(a),
 cols(a))`` whose dtype *follows* ``a`` — and the interpreter then walks
 the body tracking allocations, slicing, kernel calls and assignments.
 
-The result is a set of recorded events the LA011–LA014 rules consume:
+The result is a set of recorded events the LA011–LA014 and LA017–LA020
+rules consume:
 
 * ``dim_defs`` — local bindings of spec-declared dimension variables
   (``n = a.shape[0]``) with their resolved symbolic value,
@@ -16,22 +17,32 @@ The result is a set of recorded events the LA011–LA014 rules consume:
 * ``writes`` — in-place stores (``w[:] = ...``, ``_store(z, ...)``)
   with the driver arguments the target may alias,
 * ``sinks`` — substrate/kernel calls (including calls through a
-  helper's kernel-valued parameter) with their abstract arguments.
+  helper's kernel-valued parameter or a kernel-valued local) with
+  their abstract arguments, positional/keyword split, and the set of
+  substrate kernels the callee may resolve to,
+* ``checkpoints`` — ``deadlines.check(srname, stage, ...)`` calls with
+  their stage label.
 
 Interpretation is conservative: branches are walked with forked
 environments and joined, unknown constructs evaluate to bottom, and no
-rule reports anything derived from an unknown value.
+rule reports anything derived from an unknown value.  When a
+:class:`~.summaries.SummaryEngine` is attached, calls to same-module
+helpers and ``core.auxmod`` helpers are interpreted through memoized
+effect summaries instead of evaluating to bottom — their events are
+replayed into the caller at ``depth + 1`` and their return value flows
+back symbolically (see :mod:`.summaries`).
 """
 
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..model import body_statements, call_name
 from . import values as V
 
-__all__ = ["DriverFlow", "Write", "Sink", "spec_dim_formulas"]
+__all__ = ["FlowInterpreter", "DriverFlow", "Write", "Sink",
+           "Checkpoint", "spec_dim_formulas"]
 
 #: NumPy allocation calls with an explicit shape first argument.
 ALLOCATORS = {"zeros", "empty", "ones", "full", "eye", "identity"}
@@ -70,65 +81,58 @@ class Write:
     value: object           # abstract value stored
     node: object            # display position
     via: str                # "slice" | "store" | "aug"
+    depth: int = 0          # 0 = driver body, >0 = inside a summary
 
 
 @dataclass(frozen=True)
 class Sink:
-    """A substrate/kernel call with its abstract arguments."""
+    """A substrate/kernel call with its abstract arguments.
+
+    ``values`` keeps the flat positional-then-keyword value tuple the
+    original LA011–LA014 rules consume; ``args``/``kwargs`` preserve the
+    call structure for slot-aligned rules (LA018/LA019), and ``callees``
+    is the set of substrate kernel names the call may resolve to (empty
+    when the callee is an unresolved callable parameter).
+    """
     callee: str
     values: tuple
     node: object
+    args: tuple = ()
+    kwargs: tuple = ()      # ((name, value), ...)
+    callees: frozenset = frozenset()
+    depth: int = 0
 
 
-class DriverFlow:
-    """Interpret one driver implementation against its spec."""
+@dataclass(frozen=True)
+class Checkpoint:
+    """A ``deadlines.check(srname, stage, ...)`` call."""
+    stage: str | None
+    node: object
+    depth: int = 0
 
-    def __init__(self, impl, spec):
-        self.impl = impl
-        self.spec = spec
+
+class FlowInterpreter:
+    """The spec-agnostic interpreter core over one function body.
+
+    Subclasses (or the summary engine) seed ``env`` and drive
+    :meth:`_exec_block`; events accumulate on the instance.
+    """
+
+    def __init__(self, module, func, substrate=frozenset(),
+                 summaries=None, depth=0):
+        self.module = module
+        self.func = func
+        self.substrate = set(substrate)
+        self.summaries = summaries
+        self.depth = depth
         self.allocs: list[V.AllocSite] = []
         self.writes: list[Write] = []
         self.sinks: list[Sink] = []
+        self.checkpoints: list[Checkpoint] = []
+        self.returns: list = []
         self.dim_defs: list[tuple] = []   # (var, Dim, node)
-        self.spec_dims = spec_dim_formulas(spec)
-
-        pos_to_arg = {a.position: a for a in spec.args}
-        self.param_args = {}
-        params = [a.arg for a in (list(impl.func.args.posonlyargs)
-                                  + list(impl.func.args.args))]
-        for pname in params:
-            arg = pos_to_arg.get(impl.posmap.get(pname))
-            if arg is not None:
-                self.param_args[pname] = arg
-        # Helper parameters with no spec mapping may hold the bound
-        # kernel (``driver(ap, n, ...)``); calls through them are sinks.
-        self.callable_params = {p for p in params
-                                if p not in self.param_args}
-        self.substrate = set(impl.impl_module.substrate_names)
-
-    # -- driving ----------------------------------------------------
-
-    def run(self) -> "DriverFlow":
-        env = {}
-        for pname, arg in self.param_args.items():
-            env[pname] = self._seed(arg)
-        self._exec_block(body_statements(self.impl.func), env)
-        return self
-
-    @staticmethod
-    def _seed(arg):
-        origins = frozenset({arg.name})
-        dtype = V.dt_follows({arg.name})
-        if arg.kind == "matrix":
-            return V.ArrayVal(shape=(V.atom(("rows", arg.name)),
-                                     V.atom(("cols", arg.name))),
-                              dtype=dtype, origins=origins)
-        if arg.kind == "vector":
-            return V.ArrayVal(shape=(V.atom(("len", arg.name)),),
-                              dtype=dtype, origins=origins)
-        if arg.kind == "rhs":
-            return V.ArrayVal(shape=None, dtype=dtype, origins=origins)
-        return V.UNKNOWN
+        self.spec_dims: dict = {}
+        self.callable_params: set = set()
 
     # -- statements -------------------------------------------------
 
@@ -152,7 +156,15 @@ class DriverFlow:
                                              stmt, env, via="aug")
             elif isinstance(stmt.target, ast.Name):
                 env[stmt.target.id] = V.UNKNOWN
-        elif isinstance(stmt, (ast.Expr, ast.Return)):
+            elif isinstance(stmt.target, ast.Attribute) \
+                    and isinstance(stmt.target.value, ast.Name):
+                env[f"{stmt.target.value.id}.{stmt.target.attr}"] \
+                    = V.UNKNOWN
+        elif isinstance(stmt, ast.Return):
+            value = self._eval(stmt.value, env) \
+                if stmt.value is not None else V.UNKNOWN
+            self.returns.append(value)
+        elif isinstance(stmt, ast.Expr):
             if stmt.value is not None:
                 self._eval(stmt.value, env)
         elif isinstance(stmt, ast.If):
@@ -166,10 +178,17 @@ class DriverFlow:
                 self._eval(item.context_expr, env)
             self._exec_block(stmt.body, env)
         elif isinstance(stmt, (ast.For, ast.While)):
-            body_env = self._exec_block(stmt.body, dict(env))
+            fork = dict(env)
+            if isinstance(stmt, ast.For):
+                self._eval(stmt.iter, fork)
+                self._assign(stmt.target, V.UNKNOWN, stmt, fork)
+            else:
+                self._eval(stmt.test, fork)
+            body_env = self._exec_block(stmt.body, fork)
             body_env = self._exec_block(stmt.orelse, body_env)
+            merged = self._merge_envs(env, body_env)
             env.clear()
-            env.update(self._merge_envs(env or body_env, body_env))
+            env.update(merged)
         elif isinstance(stmt, ast.Try):
             pre = dict(env)
             self._exec_block(stmt.body, env)
@@ -206,7 +225,11 @@ class DriverFlow:
         elif isinstance(target, ast.Subscript):
             self._record_subscript_write(target, value, stmt, env,
                                          via="slice")
-        # Attribute targets (``res.x = ...``) carry no caller aliasing.
+        elif isinstance(target, ast.Attribute) \
+                and isinstance(target.value, ast.Name):
+            # ``res.af = ...`` — track the attribute as a pseudo-local
+            # so later reads (``potrf(res.af)``) keep the value.
+            env[f"{target.value.id}.{target.attr}"] = value
 
     def _record_subscript_write(self, target, value, stmt, env, via):
         base = target.value
@@ -216,13 +239,17 @@ class DriverFlow:
         names = held.origins if isinstance(held, V.ArrayVal) \
             else frozenset()
         self.writes.append(Write(names=names, value=value, node=stmt,
-                                 via=via))
+                                 via=via, depth=self.depth))
 
     # -- expressions ------------------------------------------------
 
     def _eval(self, node, env):
         if isinstance(node, ast.Name):
-            return env.get(node.id, V.UNKNOWN)
+            if node.id in env:
+                return env[node.id]
+            if node.id in self.substrate:
+                return V.KernelRef(frozenset({node.id}))
+            return V.UNKNOWN
         if isinstance(node, ast.Constant):
             if isinstance(node.value, int) \
                     and not isinstance(node.value, bool):
@@ -289,6 +316,10 @@ class DriverFlow:
             if node.attr in ("real", "imag"):
                 return V.ArrayVal(shape=val.shape, dtype=val.dtype,
                                   origins=val.origins, allocs=val.allocs)
+        if isinstance(node.value, ast.Name):
+            key = f"{node.value.id}.{node.attr}"
+            if key in env:
+                return env[key]
         return V.UNKNOWN
 
     def _eval_subscript(self, node, env):
@@ -327,6 +358,20 @@ class DriverFlow:
                 site = self._alloc(call, base.shape, dtype)
                 return V.ArrayVal(shape=base.shape, dtype=dtype,
                                   allocs=frozenset({site.index}))
+            return V.UNKNOWN
+
+        # ``deadlines.check(srname, stage, ...)`` — a stage checkpoint.
+        if isinstance(func, ast.Attribute) and func.attr == "check" \
+                and isinstance(func.value, ast.Name) \
+                and func.value.id == "deadlines":
+            stage = None
+            if len(call.args) >= 2 \
+                    and isinstance(call.args[1], ast.Constant) \
+                    and isinstance(call.args[1].value, str):
+                stage = call.args[1].value
+            self._eval_rest(call, env)
+            self.checkpoints.append(Checkpoint(stage=stage, node=call,
+                                               depth=self.depth))
             return V.UNKNOWN
 
         if name in ALLOCATORS:
@@ -379,18 +424,50 @@ class DriverFlow:
             names = target.origins if isinstance(target, V.ArrayVal) \
                 else frozenset()
             self.writes.append(Write(names=names, value=value,
-                                     node=call, via="store"))
+                                     node=call, via="store",
+                                     depth=self.depth))
             return V.merge_values(target, value)
 
-        is_sink = name in self.substrate or (
-            isinstance(func, ast.Name) and func.id in self.callable_params)
+        callees = frozenset()
+        is_sink = False
+        if name is not None and name in self.substrate:
+            is_sink = True
+            callees = frozenset({name})
+        elif isinstance(func, ast.Name):
+            held = env.get(func.id)
+            if isinstance(held, V.KernelRef):
+                is_sink = True
+                callees = held.names
+            elif func.id in self.callable_params:
+                is_sink = True
         if is_sink:
-            vals = [self._eval(a, env) for a in call.args]
-            vals += [self._eval(kw.value, env) for kw in call.keywords
-                     if kw.value is not None]
-            self.sinks.append(Sink(callee=name or "?",
-                                   values=tuple(vals), node=call))
+            argvals = tuple(self._eval(a, env) for a in call.args)
+            kwvals = tuple((kw.arg, self._eval(kw.value, env))
+                           for kw in call.keywords
+                           if kw.value is not None)
+            self.sinks.append(Sink(
+                callee=name or "?",
+                values=argvals + tuple(v for _, v in kwvals),
+                node=call, args=argvals, kwargs=kwvals,
+                callees=callees, depth=self.depth))
             return V.UNKNOWN
+
+        # Interprocedural step: same-module / auxmod helpers resolve
+        # through the summary engine instead of poisoning the env.
+        if self.summaries is not None and isinstance(func, ast.Name) \
+                and not any(kw.arg is None for kw in call.keywords) \
+                and not any(isinstance(a, ast.Starred)
+                            for a in call.args):
+            target = self.summaries.resolve(self.module, func.id)
+            if target is not None:
+                argvals = [self._eval(a, env) for a in call.args]
+                kwvals = {kw.arg: self._eval(kw.value, env)
+                          for kw in call.keywords}
+                result = self.summaries.apply(self, target, argvals,
+                                              kwvals)
+                if result is not self.summaries.NO_SUMMARY:
+                    return result
+                return V.UNKNOWN
 
         self._eval_rest(call, env)
         return V.UNKNOWN
@@ -475,3 +552,57 @@ class DriverFlow:
             d2 = self._eval_dtype(node.orelse, env)
             return d1 if d1 == d2 else V.DT_UNKNOWN
         return V.DT_UNKNOWN
+
+
+class DriverFlow(FlowInterpreter):
+    """Interpret one driver implementation against its spec."""
+
+    def __init__(self, impl, spec, summaries=None):
+        super().__init__(module=impl.impl_module, func=impl.func,
+                         substrate=impl.impl_module.substrate_names,
+                         summaries=summaries, depth=0)
+        self.impl = impl
+        self.spec = spec
+        self.spec_dims = spec_dim_formulas(spec)
+
+        pos_to_arg = {a.position: a for a in spec.args}
+        self.param_args = {}
+        params = [a.arg for a in (list(impl.func.args.posonlyargs)
+                                  + list(impl.func.args.args))]
+        for pname in params:
+            arg = pos_to_arg.get(impl.posmap.get(pname))
+            if arg is not None:
+                self.param_args[pname] = arg
+        # Helper parameters with no spec mapping may hold the bound
+        # kernel (``driver(ap, n, ...)``); calls through them are sinks.
+        self.callable_params = {p for p in params
+                                if p not in self.param_args}
+
+    # -- driving ----------------------------------------------------
+
+    def run(self) -> "DriverFlow":
+        env = {}
+        for pname, arg in self.param_args.items():
+            env[pname] = self._seed(arg)
+        # Delegation sites that pass substrate kernels by name bind the
+        # receiving helper parameter to a kernel reference, so calls
+        # through it resolve to the concrete kernel.
+        for pname, kernel in getattr(self.impl, "callmap", {}).items():
+            env[pname] = V.KernelRef(frozenset({kernel}))
+        self._exec_block(body_statements(self.impl.func), env)
+        return self
+
+    @staticmethod
+    def _seed(arg):
+        origins = frozenset({arg.name})
+        dtype = V.dt_follows({arg.name})
+        if arg.kind == "matrix":
+            return V.ArrayVal(shape=(V.atom(("rows", arg.name)),
+                                     V.atom(("cols", arg.name))),
+                              dtype=dtype, origins=origins)
+        if arg.kind == "vector":
+            return V.ArrayVal(shape=(V.atom(("len", arg.name)),),
+                              dtype=dtype, origins=origins)
+        if arg.kind == "rhs":
+            return V.ArrayVal(shape=None, dtype=dtype, origins=origins)
+        return V.UNKNOWN

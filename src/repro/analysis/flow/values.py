@@ -29,7 +29,7 @@ __all__ = ["Dim", "const", "atom", "add", "sub", "scale", "dim_min",
            "DT_DEFAULT", "DT_INT", "dt_follows", "dt_fixed",
            "is_fixed_inexact", "render_dtype", "FIXED_INEXACT",
            "UNKNOWN", "Unknown", "DimScalar", "ArrayVal", "TupleVal",
-           "AllocSite", "merge_values"]
+           "KernelRef", "AllocSite", "merge_values", "may_overlap"]
 
 #: type alias (documentation only): a Dim is the tuple described above,
 #: or ``None`` for unknown.
@@ -203,6 +203,14 @@ class TupleVal:
     items: tuple = ()
 
 
+@dataclass(frozen=True)
+class KernelRef:
+    """A first-class reference to one or more substrate kernels
+    (``rfs = herfs if hermitian else syrfs``); a call through it is a
+    sink whose callee may be any of ``names``."""
+    names: frozenset
+
+
 def merge_values(v1, v2):
     """Join two abstract values after a branch split."""
     if v1 is v2 or v1 == v2:
@@ -215,4 +223,19 @@ def merge_values(v1, v2):
             dtype=a1.dtype if a1.dtype == a2.dtype else DT_UNKNOWN,
             origins=a1.origins | a2.origins,
             allocs=a1.allocs | a2.allocs)
+    if isinstance(v1, KernelRef) and isinstance(v2, KernelRef):
+        return KernelRef(v1.names | v2.names)
+    if isinstance(v1, TupleVal) and isinstance(v2, TupleVal) \
+            and len(v1.items) == len(v2.items):
+        return TupleVal(tuple(merge_values(a, b)
+                              for a, b in zip(v1.items, v2.items)))
     return UNKNOWN
+
+
+def may_overlap(v1, v2) -> bool:
+    """Whether two abstract arrays may share memory: they can alias a
+    common declared argument, or carry a common allocation site
+    (views/slices keep both provenance sets)."""
+    if not (isinstance(v1, ArrayVal) and isinstance(v2, ArrayVal)):
+        return False
+    return bool(v1.origins & v2.origins) or bool(v1.allocs & v2.allocs)

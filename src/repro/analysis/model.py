@@ -133,6 +133,10 @@ class DriverImpl:
     impl_module: Module
     posmap: dict            # impl param name -> 1-based driver position
     delegated: bool = False
+    callmap: dict = field(default_factory=dict)
+    # callmap: helper param name -> substrate kernel bound at the
+    # delegation site (``_indef_expert(srname, sytrf, sytrs, ...)``),
+    # so laflow can resolve calls through those parameters.
 
 
 def param_positions(func: ast.FunctionDef) -> dict:
@@ -276,9 +280,11 @@ class Project:
                 hmod, hfunc = self.functions[helper]
                 posmap = self._map_call(call, hfunc, own)
                 if posmap is not None:
+                    callmap = self._map_callables(
+                        call, hfunc, mod.substrate_names)
                     return DriverImpl(driver=name, module=mod, func=hfunc,
                                       impl_module=hmod, posmap=posmap,
-                                      delegated=True)
+                                      delegated=True, callmap=callmap)
         return DriverImpl(driver=name, module=mod, func=func,
                           impl_module=mod, posmap=own)
 
@@ -297,6 +303,21 @@ class Project:
                     and kw.value.id in caller_positions:
                 posmap[kw.arg] = caller_positions[kw.value.id]
         return posmap
+
+    @staticmethod
+    def _map_callables(call, hfunc, substrate_names) -> dict:
+        """Map helper params to substrate kernels passed at the site."""
+        hparams = list(hfunc.args.posonlyargs) + list(hfunc.args.args)
+        callmap = {}
+        for i, arg in enumerate(call.args):
+            if i < len(hparams) and isinstance(arg, ast.Name) \
+                    and arg.id in substrate_names:
+                callmap[hparams[i].arg] = arg.id
+        for kw in call.keywords:
+            if kw.arg and isinstance(kw.value, ast.Name) \
+                    and kw.value.id in substrate_names:
+                callmap[kw.arg] = kw.value.id
+        return callmap
 
     # -- reporter classification -----------------------------------
 

@@ -613,7 +613,8 @@ def check_la010(project: Project):
 
 
 from .flow import (check_la011, check_la012, check_la013,  # noqa: E402
-                   check_la014, check_la015, check_la016)
+                   check_la014, check_la015, check_la016, check_la017,
+                   check_la018, check_la019, check_la020)
 
 RULES = [
     ("LA001", "every exit path reports through erinfo", check_la001),
@@ -640,6 +641,14 @@ RULES = [
      check_la015),
     ("LA016", "resilience state owned by repro.resilience under the lock",
      check_la016),
+    ("LA017", "every declared error exit is reachable, none shadowed",
+     check_la017),
+    ("LA018", "no aliased operands into distinct written kernel slots",
+     check_la018),
+    ("LA019", "written kernel operands stay retry-snapshotable",
+     check_la019),
+    ("LA020", "deadline checkpoints between expert driver stages",
+     check_la020),
 ]
 
 
@@ -648,9 +657,12 @@ def rule_titles():
 
 
 def run_rules(project: Project, select=None):
+    """Run the catalogue, honouring *select* exactly: ``None`` means
+    every rule, and an (even empty) set means precisely those codes —
+    an empty selection runs nothing rather than everything."""
     findings = []
     for code, _, check in RULES:
-        if select and code not in select:
+        if select is not None and code not in select:
             continue
         findings.extend(check(project))
     findings.sort(key=lambda f: (f.path, f.line, f.code))

@@ -261,12 +261,15 @@ def la_gtsvx(dl, d, du, b, x=None, trans: str = "N",
         res.rcond = 0.0
         return _finish(srname, linfo, info, res,
                        SingularMatrix(srname, linfo))
+    deadlines.check(srname, "factor", info)
     norm = "1" if t == "N" else "I"
     anorm = langt(norm, dl, d, du)
     res.rcond, _ = gtcon(dlf, df, duf, du2, ipiv, anorm, norm=norm)
     res.rcond = min(res.rcond, 1.0)
+    deadlines.check(srname, "solve", info)
     x2d = bmat.astype(d.dtype, copy=True)
     gttrs(dlf, df, duf, du2, ipiv, x2d, trans=t)
+    deadlines.check(srname, "refine", info)
     res.ferr, res.berr, _ = gtrfs(dl, d, du, dlf, df, duf, du2, ipiv,
                                   bmat, x2d, trans=t)
     res.x = _vector_like(b, x2d, was_vec)
@@ -360,12 +363,15 @@ def la_ppsvx(ap: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
         res.rcond = 0.0
         return _finish(srname, linfo, info, res,
                        NotPositiveDefinite(srname, linfo))
+    deadlines.check(srname, "factor", info)
     hermitian = np.iscomplexobj(ap)
     anorm = lansp("1", ap, n, uplo, hermitian=hermitian)
     res.rcond, _ = ppcon(res.af, anorm, uplo)
     res.rcond = min(res.rcond, 1.0)
+    deadlines.check(srname, "solve", info)
     x2d = bmat.astype(ap.dtype, copy=True)
     pptrs(res.af, x2d, uplo)
+    deadlines.check(srname, "refine", info)
     res.ferr, res.berr, _ = pprfs(ap, res.af, bmat, x2d, uplo)
     res.x = _vector_like(b, x2d, was_vec)
     if x is not None:
@@ -401,12 +407,15 @@ def la_pbsvx(ab: np.ndarray, b: np.ndarray, x: np.ndarray | None = None,
         res.rcond = 0.0
         return _finish(srname, linfo, info, res,
                        NotPositiveDefinite(srname, linfo))
+    deadlines.check(srname, "factor", info)
     hermitian = np.iscomplexobj(ab)
     anorm = lansb("1", ab, n, uplo, hermitian=hermitian)
     res.rcond, _ = pbcon(res.af, anorm, uplo)
     res.rcond = min(res.rcond, 1.0)
+    deadlines.check(srname, "solve", info)
     x2d = bmat.astype(ab.dtype, copy=True)
     pbtrs(res.af, x2d, uplo)
+    deadlines.check(srname, "refine", info)
     res.ferr, res.berr, _ = pbrfs(ab, res.af, bmat, x2d, uplo)
     res.x = _vector_like(b, x2d, was_vec)
     if x is not None:
@@ -438,11 +447,14 @@ def la_ptsvx(d: np.ndarray, e: np.ndarray, b: np.ndarray,
         res.rcond = 0.0
         return _finish(srname, linfo, info, res,
                        NotPositiveDefinite(srname, linfo))
+    deadlines.check(srname, "factor", info)
     anorm = lanst("1", d, np.abs(e))
     res.rcond, _ = ptcon(df, ef, anorm)
     res.rcond = min(res.rcond, 1.0)
+    deadlines.check(srname, "solve", info)
     x2d = bmat.astype(np.result_type(d.dtype, e.dtype), copy=True)
     pttrs(df, ef, x2d)
+    deadlines.check(srname, "refine", info)
     res.ferr, res.berr, _ = ptrfs(d, e, df, ef, bmat, x2d)
     res.x = _vector_like(b, x2d, was_vec)
     if x is not None:
@@ -532,14 +544,17 @@ def _packed_indef_expert(srname, hermitian, ap, b, x, uplo, afp, ipiv,
         res.rcond = 0.0
         return _finish(srname, linfo, info, res,
                        SingularMatrix(srname, linfo))
+    deadlines.check(srname, "factor", info)
     anorm = lansp("1", ap, n, uplo, hermitian=hermitian)
     if hermitian:
         res.rcond, _ = hpcon(res.af, res.ipiv, anorm, uplo)
     else:
         res.rcond, _ = spcon(res.af, res.ipiv, anorm, uplo)
     res.rcond = min(res.rcond, 1.0)
+    deadlines.check(srname, "solve", info)
     x2d = bmat.astype(ap.dtype, copy=True)
     sptrs(res.af, res.ipiv, x2d, uplo, hermitian=hermitian)
+    deadlines.check(srname, "refine", info)
     # Refinement via the dense machinery on the unpacked matrix.
     from ..storage import unpack
     full = unpack(ap, n, uplo=uplo, symmetric=not hermitian,

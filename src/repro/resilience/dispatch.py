@@ -44,7 +44,8 @@ from . import breaker, calllog
 from .config import get_resilience
 from .ratelimit import RateLimiter
 
-__all__ = ["call", "reset_open_warnings"]
+__all__ = ["call", "snapshot_set", "exempt_kernels",
+           "reset_open_warnings"]
 
 _OPEN_WARNINGS = RateLimiter()
 
@@ -54,7 +55,8 @@ _OPEN_WARNINGS = RateLimiter()
 _EXEMPT: frozenset | None = None
 
 
-def _exempt_kernels() -> frozenset:
+def exempt_kernels() -> frozenset:
+    """Kernel names whose specs opt out of retry/escalation."""
     global _EXEMPT
     if _EXEMPT is None:
         from ..specs import SPECS
@@ -62,6 +64,9 @@ def _exempt_kernels() -> frozenset:
             spec.kernel for spec in SPECS.values()
             if spec.breaker_exempt and spec.kernel is not None)
     return _EXEMPT
+
+
+_exempt_kernels = exempt_kernels    # backwards-compatible alias
 
 
 def reset_open_warnings() -> None:
@@ -78,15 +83,21 @@ def call(routine, dtype, args, kwargs, resolve, get_backend_name):
                            get_backend_name())
 
 
+def snapshot_set(args, kwargs) -> list:
+    """The operands the retry machinery snapshots and restores: every
+    ndarray among the positional and keyword arguments, in call order.
+
+    This is the resilience layer's mutation contract — a kernel operand
+    that is written in place but is *not* in this set cannot be rolled
+    back before a re-attempt.  lalint's LA019 verifies the driver side
+    of that contract statically against the spec effect signatures.
+    """
+    return [value for value in list(args) + list(kwargs.values())
+            if isinstance(value, np.ndarray)]
+
+
 def _snapshot(args, kwargs):
-    saved = []
-    for value in args:
-        if isinstance(value, np.ndarray):
-            saved.append((value, value.copy()))
-    for value in kwargs.values():
-        if isinstance(value, np.ndarray):
-            saved.append((value, value.copy()))
-    return saved
+    return [(value, value.copy()) for value in snapshot_set(args, kwargs)]
 
 
 def _restore(saved):

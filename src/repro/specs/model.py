@@ -124,6 +124,21 @@ class DriverSpec:
         """This driver's row of the derived error-exit table."""
         return {a.name: -a.position for a in self.args if a.in_table}
 
+    @property
+    def array_args(self) -> tuple:
+        """Names of the array operands (matrix / rhs / vector kinds)."""
+        return tuple(a.name for a in self.args
+                     if a.kind in ("matrix", "rhs", "vector"))
+
+    @property
+    def written_args(self) -> tuple:
+        """Array operands the driver's kernel may write in place — the
+        read/write half of the effect signature lalint derives per
+        kernel (intent ``inout``/``out`` array arguments)."""
+        return tuple(a.name for a in self.args
+                     if a.kind in ("matrix", "rhs", "vector")
+                     and a.intent in ("inout", "out"))
+
     def arg(self, name: str) -> ArgSpec | None:
         for a in self.args:
             if a.name == name:

@@ -1,0 +1,26 @@
+"""LA018 seeded violation: the right-hand side handed to ``gesv`` is a
+view of the coefficient matrix, so the in-place factorization of ``a``
+scribbles over the operand the kernel is simultaneously solving for."""
+
+import numpy as np
+
+from repro.errors import Info, erinfo
+from repro.backends.kernels import gesv
+from repro.specs import validate_args
+
+__all__ = ["la_gesv"]
+
+
+def la_gesv(a, b, ipiv=None, info=None):
+    srname = "LA_GESV"
+    exc = None
+    linfo = validate_args("la_gesv", a=a, b=b, ipiv=ipiv)
+    if linfo == 0:
+        n = a.shape[0]
+        buf = np.zeros(n, dtype=np.intp)
+        rhs = a[:, :1]
+        _, linfo = gesv(a, rhs)                     # lint: LA018
+        if ipiv is not None:
+            ipiv[:] = buf
+    erinfo(linfo, srname, info, exc=exc)
+    return b

@@ -1,0 +1,25 @@
+"""LA019 seeded violation: a scalar dimension lands in ``gesv``'s
+written ``b`` slot, so ``dispatch.snapshot_set`` has nothing to capture
+and a resilience retry would replay the kernel against mutated state."""
+
+import numpy as np
+
+from repro.errors import Info, erinfo
+from repro.backends.kernels import gesv
+from repro.specs import validate_args
+
+__all__ = ["la_gesv"]
+
+
+def la_gesv(a, b, ipiv=None, info=None):
+    srname = "LA_GESV"
+    exc = None
+    linfo = validate_args("la_gesv", a=a, b=b, ipiv=ipiv)
+    if linfo == 0:
+        n = a.shape[0]
+        buf = np.zeros(n, dtype=np.intp)
+        _, linfo = gesv(a, n)                       # lint: LA019
+        if ipiv is not None:
+            ipiv[:] = buf
+    erinfo(linfo, srname, info, exc=exc)
+    return b

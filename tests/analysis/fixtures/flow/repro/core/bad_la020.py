@@ -1,0 +1,27 @@
+"""LA020 seeded violation: a factor stage followed by a solve stage
+with no ``deadlines.check`` between them, so an armed deadline budget
+is only observed at entry, never before the second expensive phase."""
+
+import numpy as np
+
+from repro.errors import Info, erinfo
+from repro.backends.kernels import getrf, getrs
+from repro.specs import validate_args
+
+__all__ = ["la_gesv"]
+
+
+def la_gesv(a, b, ipiv=None, info=None):
+    srname = "LA_GESV"
+    exc = None
+    linfo = validate_args("la_gesv", a=a, b=b, ipiv=ipiv)
+    if linfo == 0:
+        n = a.shape[0]
+        buf = np.zeros(n, dtype=np.intp)
+        lu, piv, linfo = getrf(a)
+        if linfo == 0:
+            linfo = getrs(lu, piv, b)               # lint: LA020
+        if ipiv is not None:
+            ipiv[:] = buf
+    erinfo(linfo, srname, info, exc=exc)
+    return b

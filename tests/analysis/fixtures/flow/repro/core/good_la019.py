@@ -1,0 +1,27 @@
+"""LA019 clean fixture: arrays fill every written kernel slot, and the
+non-array in ``lagge``'s written slot is fine because the spec marks
+that kernel ``breaker_exempt`` — it is never retried, so the snapshot
+contract does not apply."""
+
+import numpy as np
+
+from repro.errors import Info, erinfo
+from repro.backends.kernels import gesv, lagge
+from repro.specs import validate_args
+
+__all__ = ["la_gesv"]
+
+
+def la_gesv(a, b, ipiv=None, info=None):
+    srname = "LA_GESV"
+    exc = None
+    linfo = validate_args("la_gesv", a=a, b=b, ipiv=ipiv)
+    if linfo == 0:
+        n = a.shape[0]
+        buf = np.zeros(n, dtype=np.intp)
+        lagge(n, d=buf)
+        _, linfo = gesv(a, b)
+        if ipiv is not None:
+            ipiv[:] = buf
+    erinfo(linfo, srname, info, exc=exc)
+    return b

@@ -1,0 +1,28 @@
+"""LA020 clean fixture: the factor -> solve transition is guarded by a
+``deadlines.check`` checkpoint in the driver body."""
+
+import numpy as np
+
+from repro.errors import Info, erinfo
+from repro.backends.kernels import getrf, getrs
+from repro.resilience import deadlines
+from repro.specs import validate_args
+
+__all__ = ["la_gesv"]
+
+
+def la_gesv(a, b, ipiv=None, info=None):
+    srname = "LA_GESV"
+    exc = None
+    linfo = validate_args("la_gesv", a=a, b=b, ipiv=ipiv)
+    if linfo == 0:
+        n = a.shape[0]
+        buf = np.zeros(n, dtype=np.intp)
+        lu, piv, linfo = getrf(a)
+        if linfo == 0:
+            deadlines.check(srname, "solve", info)
+            linfo = getrs(lu, piv, b)
+        if ipiv is not None:
+            ipiv[:] = buf
+    erinfo(linfo, srname, info, exc=exc)
+    return b

@@ -80,8 +80,98 @@ def test_cli_list_rules(capsys):
     out = capsys.readouterr().out
     for code in ("LA001", "LA002", "LA003", "LA004", "LA005", "LA006",
                  "LA007", "LA008", "LA009", "LA010", "LA011", "LA012",
-                 "LA013", "LA014", "LA015"):
+                 "LA013", "LA014", "LA015", "LA016", "LA017", "LA018",
+                 "LA019", "LA020"):
         assert code in out
+
+
+def test_cli_sarif_output_round_trips(capsys):
+    rc = main([BAD, "--no-baseline", "--output", "sarif"])
+    log = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert log["version"] == "2.1.0"
+    (run,) = log["runs"]
+    assert run["tool"]["driver"]["name"] == "lalint"
+    catalogue = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert {"LA001", "LA017", "LA018", "LA019", "LA020"} <= catalogue
+    assert run["results"], "expected results for the seeded fixture"
+    findings = _run(BAD)
+    by_fp = {f.fingerprint: f for f in findings}
+    for result in run["results"]:
+        assert result["ruleId"] == "LA005"
+        assert result["level"] == "error"
+        fp = result["partialFingerprints"]["lalint/v1"]
+        match = by_fp[fp]
+        assert result["message"]["text"] == match.message
+        (loc,) = result["locations"]
+        region = loc["physicalLocation"]["region"]
+        assert region["startLine"] == match.line
+        assert region["startColumn"] == match.col + 1
+        assert loc["physicalLocation"]["artifactLocation"]["uri"] \
+            .startswith("tests/")
+    assert len(run["results"]) == len(findings)
+
+
+def test_cli_sarif_of_a_clean_tree_is_empty_but_valid(capsys):
+    rc = main([CLEAN, "--no-baseline", "--format=sarif"])
+    log = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert log["runs"][0]["results"] == []
+
+
+def test_cli_select_minus_ignore_can_run_nothing(capsys):
+    # --select X --ignore X leaves an *empty* selection: no rules run
+    # and nothing is reported (the empty set must not be mistaken for
+    # "run everything").
+    rc = main([BAD, "--no-baseline", "--select", "LA005",
+               "--ignore", "LA005", "--format=json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert payload["findings"] == []
+
+
+def test_cli_restricted_run_spares_unselected_baseline_codes(tmp_path,
+                                                             capsys):
+    # A baseline entry for a flow rule that did not run (here LA017)
+    # must never be reported stale by a run restricted to other codes.
+    bpath = str(tmp_path / "baseline.json")
+    baseline = Baseline()
+    baseline.entries["deadbeefdeadbeef"] = {
+        "code": "LA017", "context": "la_gesv",
+        "fingerprint": "deadbeefdeadbeef",
+        "message": "synthetic accepted finding", "path": "x.py"}
+    baseline.save(bpath)
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n", encoding="utf-8")
+    for code in ("LA001", "LA018", "LA019", "LA020"):
+        assert main([str(clean), "--baseline", bpath,
+                     "--select", code]) == 0, code
+    # The unrestricted run does judge the entry — and finds it stale.
+    assert main([str(clean), "--baseline", bpath]) == 1
+    capsys.readouterr()
+
+
+def test_cli_restricted_write_baseline_keeps_other_codes(tmp_path,
+                                                         capsys):
+    # Regenerating the baseline under --select only replaces entries
+    # for the rules that ran; foreign suppressions survive verbatim.
+    bpath = str(tmp_path / "baseline.json")
+    baseline = Baseline()
+    baseline.entries["deadbeefdeadbeef"] = {
+        "code": "LA017", "context": "la_gesv",
+        "fingerprint": "deadbeefdeadbeef",
+        "message": "synthetic accepted finding", "path": "x.py"}
+    baseline.save(bpath)
+    assert main([BAD, "--baseline", bpath, "--select", "LA005",
+                 "--write-baseline"]) == 0
+    rewritten = Baseline.load(bpath)
+    codes = {e.get("code") for e in rewritten.entries.values()}
+    assert "LA017" in codes and "LA005" in codes
+    # An unrestricted regeneration starts from scratch.
+    assert main([BAD, "--baseline", bpath, "--write-baseline"]) == 0
+    assert {e.get("code")
+            for e in Baseline.load(bpath).entries.values()} == {"LA005"}
+    capsys.readouterr()
 
 
 def test_cli_ignore_excludes_rules(capsys):

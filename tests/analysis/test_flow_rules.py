@@ -1,25 +1,35 @@
-"""laflow self-tests: LA011–LA016 fire on their seeded fixtures (exact
-marker lines), stay quiet on the conforming twins, and the owner-module
-lock discipline of LA015/LA016 is checked against synthesized owners.
+"""laflow self-tests: LA011–LA020 fire on their seeded fixtures (exact
+marker lines), stay quiet on the conforming twins, the owner-module
+lock discipline of LA015/LA016 is checked against synthesized owners,
+and the interprocedural machinery (summary memoization, helper-call
+value threading, allocation-site remapping, checkpoint replay) is
+exercised against a driver that routes its work through helpers.
 
 The dataflow fixtures live under ``fixtures/flow/repro/core/`` so the
 spec-bound rules (which only police the core driver package) pick them
 up; the LA015/LA016 fixtures sit at the fixtures top level because
-those rules scan every module.
+those rules scan every module.  ``fixtures/flow/repro/lapack77/stub.py``
+is the substrate stub whose ``def`` signatures give the LA018/LA019
+effect signatures their kernel parameter order — the fixtures that need
+effects are loaded together with it.
 """
 
 import os
 import textwrap
 
 from repro.analysis import Project, run_rules
-from repro.analysis.flow import (DriverFlow, check_la015, check_la016,
+from repro.analysis.flow import (DriverFlow, SummaryEngine, check_la015,
+                                 check_la016, kernel_effects,
                                  spec_dim_formulas)
 from repro.analysis.flow import values as V
+from repro.analysis.flow.rules import _classify_check, _shadowed_checks
+from repro.specs.model import ArgSpec, Check, DriverSpec
 from repro.specs.registry import SPECS
 
 HERE = os.path.dirname(os.path.abspath(__file__))
 FIXTURES = os.path.join(HERE, "fixtures")
 FLOW = os.path.join(FIXTURES, "flow", "repro", "core")
+STUB = os.path.join(FIXTURES, "flow", "repro", "lapack77", "stub.py")
 REPO = os.path.dirname(os.path.dirname(HERE))
 
 
@@ -36,8 +46,8 @@ def _marked_lines(path, code):
                       if f"lint: {code}" in line)
 
 
-def _assert_matches_markers(path, code):
-    found = _findings([path], code)
+def _assert_matches_markers(path, code, extra=()):
+    found = _findings([path, *extra], code)
     got = sorted(f.line for f in found)
     want = _marked_lines(path, code)
     assert got == want, f"{code}: findings at {got}, markers at {want}"
@@ -129,12 +139,51 @@ def test_la016_fires_on_seeded_violations():
     assert "set_resilience()" in messages
 
 
+def test_la017_fires_on_seeded_violations():
+    found = _assert_matches_markers(_flow_fixture("bad_la017.py"),
+                                    "LA017")
+    assert "error exit -3" in found[0].message
+    assert "unreachable" in found[0].message
+    assert "ipiv" in found[0].message
+    assert "optlen" in found[0].message
+    assert found[0].context == "la_gesv"
+
+
+def test_la018_fires_on_seeded_violations():
+    found = _assert_matches_markers(_flow_fixture("bad_la018.py"),
+                                    "LA018", extra=[STUB])
+    assert "may overlap" in found[0].message
+    assert "alias a" in found[0].message
+    assert "written in place" in found[0].message
+
+
+def test_la019_fires_on_seeded_violations():
+    found = _assert_matches_markers(_flow_fixture("bad_la019.py"),
+                                    "LA019", extra=[STUB])
+    assert "operand b of kernel gesv" in found[0].message
+    assert "snapshot_set" in found[0].message
+
+
+def test_la020_fires_on_seeded_violations():
+    found = _assert_matches_markers(_flow_fixture("bad_la020.py"),
+                                    "LA020")
+    assert "factor -> solve" in found[0].message
+    assert "deadlines.check" in found[0].message
+    assert "getrf" in found[0].message
+
+
 def test_bad_flow_fixtures_only_fire_their_own_rule():
     for name, code in [("bad_la011.py", "LA011"),
                        ("bad_la012.py", "LA012"),
                        ("bad_la013.py", "LA013"),
-                       ("bad_la014.py", "LA014")]:
+                       ("bad_la014.py", "LA014"),
+                       ("bad_la017.py", "LA017"),
+                       ("bad_la020.py", "LA020")]:
         found = _findings([_flow_fixture(name)])
+        assert {f.code for f in found} == {code}, name
+    for name, code in [("bad_la018.py", "LA018"),
+                       ("bad_la019.py", "LA019")]:
+        found = _findings([_flow_fixture(name), STUB])
         assert {f.code for f in found} == {code}, name
     found = _findings([os.path.join(FIXTURES, "bad_la015.py")])
     assert {f.code for f in found} == {"LA015"}
@@ -146,6 +195,11 @@ def test_good_flow_fixtures_are_clean():
     for name in ("good_la011.py", "good_la012.py", "good_la013.py",
                  "good_la014.py"):
         assert _findings([_flow_fixture(name)]) == [], name
+    # The LA017-LA020 twins load together with the substrate stub so
+    # the effect signatures (and LA006's import audit) see its defs.
+    for name in ("good_la017.py", "good_la018.py", "good_la019.py",
+                 "good_la020.py"):
+        assert _findings([_flow_fixture(name), STUB]) == [], name
     assert _findings([os.path.join(FIXTURES, "good_la015.py")]) == []
     assert _findings([os.path.join(FIXTURES, "good_la016.py")]) == []
 
@@ -269,6 +323,155 @@ def test_la016_is_silent_for_la015_state_and_vice_versa(tmp_path):
             _BREAKERS[key] = 1
         """)
     assert check_la015(Project.load([breaker])) == []
+
+
+# -- interprocedural machinery: summaries, effects, classifier --------
+
+_HELPER_DRIVER = """\
+    import numpy as np
+
+    from repro.errors import Info, erinfo
+    from repro.backends.kernels import gesv
+    from repro.resilience import deadlines
+    from repro.specs import validate_args
+
+    __all__ = ["la_gesv"]
+
+
+    def _pivot_buffer(n):
+        return np.zeros(n, dtype=np.intp)
+
+
+    def _entry_guard(srname, info):
+        deadlines.check(srname, "entry", info)
+
+
+    def la_gesv(a, b, ipiv=None, info=None):
+        srname = "LA_GESV"
+        exc = None
+        linfo = validate_args("la_gesv", a=a, b=b, ipiv=ipiv)
+        if linfo == 0:
+            _entry_guard(srname, info)
+            n = a.shape[0]
+            buf = _pivot_buffer(n)
+            extra = _pivot_buffer(n)
+            _, linfo = gesv(a, b)
+            if ipiv is not None:
+                ipiv[:] = buf
+        erinfo(linfo, srname, info, exc=exc)
+        return b
+    """
+
+
+def _helper_flow(tmp_path):
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    path = pkg / "driver.py"
+    path.write_text(textwrap.dedent(_HELPER_DRIVER), encoding="utf-8")
+    project = Project.load([str(path)])
+    (impl,) = [i for i in project.driver_impls()
+               if i.driver == "la_gesv"]
+    engine = SummaryEngine(project)
+    flow = DriverFlow(impl, SPECS["la_gesv"], summaries=engine).run()
+    return engine, flow
+
+
+def test_summary_memoization_interprets_each_helper_once(tmp_path):
+    engine, flow = _helper_flow(tmp_path)
+    # _pivot_buffer is called twice with the same abstract input (the
+    # spec dimension n) but interpreted once; _entry_guard once.
+    assert engine.computed == 2
+
+
+def test_helper_return_value_threads_into_the_caller(tmp_path):
+    engine, flow = _helper_flow(tmp_path)
+    # Each _pivot_buffer call instantiates a *fresh* caller allocation
+    # site (an allocation per call, even on a memo hit), carrying the
+    # helper's symbolic shape and dtype.
+    assert len(flow.allocs) == 2
+    for site in flow.allocs:
+        assert site.shape == (V.atom(("rows", "a")),)
+        assert site.dtype == V.DT_INT
+    # The first call's return value flows through buf into the
+    # ipiv[:] = buf store with its remapped allocation index.
+    (write,) = [w for w in flow.writes
+                if w.names == frozenset({"ipiv"})]
+    assert isinstance(write.value, V.ArrayVal)
+    assert write.value.allocs == frozenset({flow.allocs[0].index})
+
+
+def test_helper_checkpoints_replay_at_depth_one(tmp_path):
+    engine, flow = _helper_flow(tmp_path)
+    (mark,) = flow.checkpoints
+    assert mark.stage == "entry"
+    assert mark.depth == 1      # LA020 only credits depth-0 checkpoints
+
+
+def test_kernel_effects_derive_from_spec_intents():
+    project = Project.load([STUB])
+    effects = kernel_effects(project, SPECS)
+    gesv = effects["gesv"]
+    assert gesv.params == ("a", "b")
+    assert gesv.arrays == frozenset({"a", "b"})
+    assert gesv.written == frozenset({"a", "b"})
+    lagge = effects["lagge"]
+    assert "a" in lagge.written and "d" not in lagge.written
+    # Slot alignment covers positionals and keywords alike.
+    slots = gesv.slots((1,), (("b", 2),))
+    assert slots == {"a": 1, "b": 2}
+
+
+_LA017_SPEC = DriverSpec(
+    "la_x", "§T", "synthetic classifier subject",
+    args=(ArgSpec("a", 1),
+          ArgSpec("ipiv", 3, kind="vector", required=False,
+                  intent="out")),
+    dims=(("n", "rows2d", "a"),))
+
+
+def test_la017_classifier_mirrors_engine_semantics():
+    spec = _LA017_SPEC
+    every = {"a", "ipiv", "w", "trans"}
+    # A missing optional-length arg enters as None and disarms the
+    # check forever; a missing square arg violates unconditionally.
+    assert _classify_check(Check(-3, "optlen", ("ipiv",), "n"),
+                           spec, {"a"}) == "never"
+    assert _classify_check(Check(-3, "optlen", ("ipiv",), "n"),
+                           spec, every) == "ok"
+    assert _classify_check(Check(-1, "square", ("a",)),
+                           spec, set()) == "always"
+    assert _classify_check(Check(-1, "square", ("a",)),
+                           spec, every) == "ok"
+    # reqlen: one side missing always fires, both missing never does
+    # (the -1 sentinels agree).
+    assert _classify_check(Check(-4, "reqlen", ("w",), "n"),
+                           spec, {"a"}) == "always"
+    assert _classify_check(Check(-4, "reqlen", ("w",), "n"),
+                           spec, set()) == "never"
+    # flag in "first" mode is satisfied by str(None) when "N" is legal.
+    assert _classify_check(
+        Check(-2, "flag", ("trans",),
+              params={"options": ("N", "T"), "mode": "first"}),
+        spec, set()) == "ok"
+    assert _classify_check(
+        Check(-2, "flag", ("uplo",),
+              params={"options": ("U", "L")}),
+        spec, set()) == "always"
+    # lsame(None, 'F') is False: the fact guard never opens.
+    assert _classify_check(Check(-5, "fact_requires", ("fact",)),
+                           spec, set()) == "never"
+
+
+def test_la017_shadowed_checks_detects_duplicates():
+    dup = DriverSpec(
+        "la_x", "§T", "synthetic", args=_LA017_SPEC.args,
+        dims=_LA017_SPEC.dims,
+        checks=(Check(-1, "square", ("a",)),
+                Check(-2, "optlen", ("ipiv",), "n"),
+                Check(-3, "square", ("a",))))
+    ((shadowed, first),) = _shadowed_checks(dup)
+    assert shadowed.code == -3 and first.code == -1
+    assert _shadowed_checks(_LA017_SPEC) == []
 
 
 # -- the shipped tree passes the new rules ----------------------------
