@@ -11,6 +11,11 @@ import pytest
 # so the reference-vs-accelerated perf trajectory accumulates over time.
 BACKEND_RECORDS = {}
 
+# (routine, backend, batch, mode) -> throughput record, filled by
+# test_batch_throughput.py and flushed to BENCH_batch.json: solves/sec
+# of the derived batch_* wrapper vs looping the scalar driver.
+BATCH_RECORDS = {}
+
 
 def record_backend_timing(routine, backend, n, stats):
     BACKEND_RECORDS[(routine, backend)] = {
@@ -24,9 +29,21 @@ def record_backend_timing(routine, backend, n, stats):
     }
 
 
-def pytest_sessionfinish(session, exitstatus):
-    if not BACKEND_RECORDS:
-        return
+def record_batch_timing(routine, backend, batch, n, mode, stats):
+    BATCH_RECORDS[(routine, backend, batch, mode)] = {
+        "routine": routine,
+        "backend": backend,
+        "batch": batch,
+        "n": n,
+        "mode": mode,
+        "min_s": stats.min,
+        "mean_s": stats.mean,
+        "solves_per_s": batch / stats.min,
+        "rounds": stats.rounds,
+    }
+
+
+def _write_backends_report(root):
     rows = [BACKEND_RECORDS[k] for k in sorted(BACKEND_RECORDS)]
     ratios = {}
     for row in rows:
@@ -43,8 +60,40 @@ def pytest_sessionfinish(session, exitstatus):
         "results": rows,
         "speedup_accelerated": ratios,
     }
-    path = pathlib.Path(__file__).resolve().parents[1] / "BENCH_backends.json"
-    path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    (root / "BENCH_backends.json").write_text(
+        json.dumps(out, indent=2, sort_keys=True) + "\n")
+
+
+def _write_batch_report(root):
+    rows = [BATCH_RECORDS[k] for k in sorted(BATCH_RECORDS)]
+    speedups = {}
+    for (routine, backend, batch, mode) in sorted(BATCH_RECORDS):
+        if mode != "batched":
+            continue
+        looped = BATCH_RECORDS.get((routine, backend, batch, "looped"))
+        if looped:
+            batched = BATCH_RECORDS[(routine, backend, batch, "batched")]
+            speedups.setdefault(backend, {})[str(batch)] = (
+                batched["solves_per_s"] / looped["solves_per_s"])
+    out = {
+        "experiment": "XB4-batch",
+        "description": "Throughput (solves/sec, min-time round) of the "
+                       "derived batch_* wrappers over a problem stack "
+                       "vs looping the scalar LA_* driver; speedup = "
+                       "batched/looped per (backend, batch)",
+        "results": rows,
+        "speedup_batched": speedups,
+    }
+    (root / "BENCH_batch.json").write_text(
+        json.dumps(out, indent=2, sort_keys=True) + "\n")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    root = pathlib.Path(__file__).resolve().parents[1]
+    if BACKEND_RECORDS:
+        _write_backends_report(root)
+    if BATCH_RECORDS:
+        _write_batch_report(root)
 
 
 @pytest.fixture

@@ -1,0 +1,104 @@
+"""XB4 — batched drivers vs the per-problem loop.
+
+Throughput (solves/sec) of ``batch_gesv`` over a ``(batch, n, n)``
+stack against looping the scalar ``la_gesv``, at batch ∈ {1, 16, 256}
+on every registered backend.  The batched wrapper amortizes validation
+(one ladder per stack), ERINFO (one verdict) and — on substrates with a
+native ``gesv_stack`` entry — the dispatch-seam crossing itself, so
+throughput must scale with batch while the loop pays full driver
+overhead per problem.  Results land in ``BENCH_batch.json`` (see
+conftest); the floor test pins the acceptance criterion: ≥ 3× at
+batch=256 on the accelerated backend.
+
+The problems are small (n=8) on purpose: that is the regime batched
+interfaces exist for — per-problem overhead rivals the numerical work.
+"""
+
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import backends, la_gesv
+from repro.batch import batch_gesv
+
+from .conftest import record_batch_timing
+
+N = 8
+BATCHES = (1, 16, 256)
+BACKENDS = ("reference", "accelerated")
+
+
+def _stack(rng, batch, n=N):
+    a = rng.standard_normal((batch, n, n)) + n * np.eye(n)
+    b = rng.standard_normal((batch, n, 1))
+    return a, b
+
+
+def _loop_gesv(a, b):
+    for k in range(a.shape[0]):
+        la_gesv(a[k].copy(), b[k].copy())
+
+
+class TestBatchThroughput:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("batch", BATCHES)
+    def test_batched(self, benchmark, rng, backend, batch):
+        if backend not in backends.available_backends():
+            pytest.skip("backend {!r} not registered".format(backend))
+        a, b = _stack(rng, batch)
+        benchmark.extra_info.update(backend=backend, batch=batch,
+                                    mode="batched")
+        with backends.use_backend(backend):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                benchmark(lambda: batch_gesv(a.copy(), b.copy()))
+        if benchmark.stats is not None:
+            record_batch_timing("gesv", backend, batch, N, "batched",
+                                benchmark.stats.stats)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("batch", BATCHES)
+    def test_looped(self, benchmark, rng, backend, batch):
+        if backend not in backends.available_backends():
+            pytest.skip("backend {!r} not registered".format(backend))
+        a, b = _stack(rng, batch)
+        benchmark.extra_info.update(backend=backend, batch=batch,
+                                    mode="looped")
+        with backends.use_backend(backend):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                benchmark(_loop_gesv, a, b)
+        if benchmark.stats is not None:
+            record_batch_timing("gesv", backend, batch, N, "looped",
+                                benchmark.stats.stats)
+
+
+def test_batched_speedup_floor_at_256(rng):
+    """Acceptance floor: at batch=256 on the accelerated backend the
+    derived wrapper must deliver ≥ 3× the looped driver's throughput
+    (measured directly — best of 5 rounds each — so the gate holds even
+    under --benchmark-disable)."""
+    if "accelerated" not in backends.available_backends():
+        pytest.skip("accelerated backend not registered")
+    a, b = _stack(rng, 256)
+
+    def best_of(fn, rounds=5):
+        times = []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    with backends.use_backend("accelerated"):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            batch_gesv(a.copy(), b.copy())       # warm caches/dispatch
+            t_batched = best_of(lambda: batch_gesv(a.copy(), b.copy()))
+            t_looped = best_of(lambda: _loop_gesv(a, b))
+    ratio = t_looped / t_batched
+    assert ratio >= 3.0, (
+        f"batched gesv only {ratio:.2f}x looped at batch=256 "
+        f"({256 / t_batched:,.0f} vs {256 / t_looped:,.0f} solves/s)")

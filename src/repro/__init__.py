@@ -41,8 +41,11 @@ Quickstart (paper Fig. 2, the LAPACK90 interface)::
 
 import os as _os
 
-from . import (backends, blas, config, core, f77, faults, lapack77, policy,
-               resilience, storage, testing)
+from . import (backends, batch, blas, config, core, f77, faults, lapack77,
+               policy, resilience, storage, testing)
+from .batch import BatchInfo
+from .batch import __all__ as _batch_all
+from .batch import *  # noqa: F401,F403 — the derived batch_* wrappers
 from .backends import (available_backends, get_backend_name, set_backend,
                        use_backend)
 from .errors import (BackendFallbackWarning, ComputationalError,
@@ -59,7 +62,7 @@ from .core import __all__ as _core_all
 
 __version__ = "1.0.0"
 
-__all__ = list(_core_all) + [
+__all__ = list(_core_all) + list(_batch_all) + [
     "Info", "LinAlgError", "IllegalArgument", "ComputationalError",
     "SingularMatrix", "NotPositiveDefinite", "NoConvergence",
     "WorkspaceError", "NonFiniteInput", "NumericalWarning",
@@ -70,8 +73,8 @@ __all__ = list(_core_all) + [
     "set_resilience",
     "available_backends", "get_backend_name", "set_backend",
     "use_backend",
-    "backends", "blas", "config", "core", "f77", "faults", "lapack77",
-    "policy", "resilience", "storage", "testing",
+    "backends", "batch", "blas", "config", "core", "f77", "faults",
+    "lapack77", "policy", "resilience", "storage", "testing",
 ]
 
 # CI chaos leg: REPRO_CHAOS=1 arms the default chaos profile before any

@@ -106,6 +106,22 @@ def kernel_effects(project, specs) -> dict:
         effects[spec.kernel] = KernelEffect(
             kernel=spec.kernel, params=params,
             arrays=frozenset(arrays), written=frozenset(written))
+    # Generated batch wrappers call ``<kernel>_stack`` entries that have
+    # no substrate ``def`` (the batched seam synthesizes them at import
+    # time, looping or forwarding per backend).  Their effect signature
+    # is the parent kernel's, lifted slot-for-slot over the batch axis —
+    # derived here from the spec's ``batchable`` opt-in, never written
+    # by hand.
+    for spec in specs.values():
+        if not getattr(spec, "batchable", False) or not spec.kernel:
+            continue
+        eff = effects.get(spec.kernel)
+        if eff is None:
+            continue
+        stacked = spec.kernel + "_stack"
+        effects.setdefault(stacked, KernelEffect(
+            kernel=stacked, params=eff.params,
+            arrays=eff.arrays, written=eff.written))
     return effects
 
 

@@ -1,4 +1,4 @@
-"""The lalint rule catalogue (LA001–LA016).
+"""The lalint rule catalogue (LA001–LA021).
 
 Every rule is a function ``check(project) -> list[Finding]`` registered
 in :data:`RULES`.  Rules only inspect the AST model — the analysed code
@@ -612,6 +612,67 @@ def check_la010(project: Project):
     return findings
 
 
+# ---------------------------------------------------------------------
+# LA021 — batch wrappers come from the generator, not by hand
+# ---------------------------------------------------------------------
+
+#: Calls into the spec engine whose per-problem repetition defeats the
+#: amortized batch mode.
+VALIDATORS = {"validate", "validate_args", "validate_batch"}
+
+
+def _is_batch_home(mod):
+    """The modules allowed to iterate a stack around the spec engine:
+    the batch package (generator, reporting) and its dispatch-seam
+    companion that installs the ``*_stack`` kernels."""
+    p = mod.path.replace(os.sep, "/")
+    return ("/repro/batch/" in p or p.startswith("repro/batch/")
+            or p.endswith("/backends/batched.py")
+            or p == "repro/backends/batched.py")
+
+
+def check_la021(project: Project):
+    """No hand-rolled batch ladders outside the generator.  Batched
+    wrappers are *derived* from the DriverSpec registry
+    (:func:`repro.batch.make_batched`): validation ladders run once on
+    the stack (``validate_batch``), not per problem.  Two shapes are
+    flagged anywhere outside the batch package: a spec-engine validator
+    called inside a ``for``/``while`` body (per-problem re-validation),
+    and a module-level ``batch_*`` function definition (a hand-written
+    wrapper shadowing the generated family)."""
+    findings = []
+    for mod in project.modules:
+        if mod.is_substrate or _is_batch_home(mod):
+            continue
+        flagged = {}
+        for loop in ast.walk(mod.tree):
+            if not isinstance(loop, (ast.For, ast.While,
+                                     ast.AsyncFor)):
+                continue
+            for stmt in loop.body + loop.orelse:
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.Call) \
+                            and call_name(node) in VALIDATORS:
+                        flagged.setdefault(id(node), node)
+        for node in flagged.values():
+            findings.append(_f(
+                "LA021",
+                f"per-problem {call_name(node)} call inside a loop is a "
+                "hand-rolled batch validation ladder; validate the "
+                "whole stack once through validate_batch "
+                "(repro.batch.make_batched)", mod, node))
+        for node in mod.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node.name.startswith("batch_"):
+                findings.append(_f(
+                    "LA021",
+                    f"hand-written batch wrapper {node.name}; batched "
+                    "drivers are derived from the spec registry "
+                    "(repro.batch.make_batched), not written by hand",
+                    mod, node, context=node.name))
+    return findings
+
+
 from .flow import (check_la011, check_la012, check_la013,  # noqa: E402
                    check_la014, check_la015, check_la016, check_la017,
                    check_la018, check_la019, check_la020)
@@ -649,6 +710,8 @@ RULES = [
      check_la019),
     ("LA020", "deadline checkpoints between expert driver stages",
      check_la020),
+    ("LA021", "no hand-rolled batch ladders outside the generator",
+     check_la021),
 ]
 
 

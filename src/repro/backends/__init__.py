@@ -110,6 +110,14 @@ class Backend:
             return None
         return self._table[routine]
 
+    def extend(self, table, dtype_chars=None):
+        """Add (or overwrite) routine entries after registration — the
+        hook :mod:`repro.backends.batched` uses to graft the synthetic
+        ``*_stack`` entry points onto every registered substrate."""
+        self._table.update(table)
+        if dtype_chars:
+            self._dtype_chars.update(dtype_chars)
+
     def __repr__(self):
         return "Backend({!r}, {} routines)".format(self.name,
                                                    len(self._table))
@@ -306,6 +314,9 @@ if _accelerated is not None:
     register_backend(_accelerated)
 
 from . import kernels  # noqa: E402,F401 — dispatching proxies
+from . import batched  # noqa: E402 — synthetic *_stack entry points
+
+batched.install()
 
 _env = os.environ.get("REPRO_BACKEND", "").strip()
 if _env:

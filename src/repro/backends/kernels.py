@@ -34,7 +34,10 @@ class KernelProxy:
 
     def __init__(self, routine):
         self.routine = routine
-        self.__doc__ = getattr(lapack77, routine).__doc__
+        # Synthetic routines (the batched ``*_stack`` entry points) have
+        # no lapack77 counterpart to borrow a docstring from.
+        base = getattr(lapack77, routine, None)
+        self.__doc__ = base.__doc__ if base is not None else None
 
     def __call__(self, *args, **kwargs):
         dtype = None

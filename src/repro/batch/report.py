@@ -1,0 +1,50 @@
+"""Batch-indexed warning reporting.
+
+A warning raised for problem *k* of a batched call must name *k* and
+the originating routine — but a 10⁶-problem stack of NaN inputs must
+not emit 10⁶ warnings.  :func:`warn_batch` therefore rate-limits per
+``(routine, key)`` through the same
+:class:`repro.resilience.ratelimit.RateLimiter` windows the backend
+fallback announcements use (one window per resilience-policy
+``warning_window``), *not* per problem: the first offending problem in
+a window is announced with its index, later identical ones only bump
+the suppressed count reported when the window rolls over.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from ..errors import NumericalWarning
+from ..resilience.config import get_resilience
+from ..resilience.ratelimit import RateLimiter
+
+__all__ = ["warn_batch", "reset_batch_announcements"]
+
+_ANNOUNCED = RateLimiter()
+
+
+def reset_batch_announcements() -> None:
+    """Forget the rate-limit history (tests assert first-fire behaviour)."""
+    _ANNOUNCED.reset()
+
+
+def warn_batch(srname: str, key, index: int, message: str,
+               category=NumericalWarning, stacklevel: int = 3) -> None:
+    """Emit a batch-index-annotated warning, rate-limited per
+    ``(srname, key)``.
+
+    ``key`` identifies the warning class within the routine (e.g.
+    ``("nonfinite", position)`` or ``("fallback", via)``); every problem
+    index shares the same key, so a stack full of the same condition
+    costs one warning per window.
+    """
+    emit, suppressed = _ANNOUNCED.tick(
+        (srname, key), window=get_resilience().warning_window)
+    if not emit:
+        return
+    text = f"{srname}[batch problem {index}]: {message}"
+    if suppressed:
+        text += (f" ({suppressed} identical warnings suppressed in the "
+                 "last window)")
+    warnings.warn(text, category, stacklevel=stacklevel)

@@ -40,6 +40,7 @@ __all__ = [
     "DriverFallbackWarning",
     "BackendFallbackWarning",
     "erinfo",
+    "is_error_code",
     "xerbla",
     "ALLOC_FAILED",
     "WORK_REDUCED",
@@ -279,6 +280,17 @@ class Info:
         return f"Info({self.value}{tail})"
 
 
+def is_error_code(linfo: int) -> bool:
+    """True when *linfo* is error-class under the ``ERINFO`` contract.
+
+    Error-class: positive computational failures, argument errors
+    ``-1 … -99``, the allocation failure ``-100``, and the non-finite /
+    deadline classes at or below ``NONFINITE``.  The warning band
+    ``WORK_REDUCED >= linfo > NONFINITE`` and 0 are not errors.
+    """
+    return linfo > 0 or (0 > linfo > WORK_REDUCED) or linfo <= NONFINITE
+
+
 def _error_for(srname: str, linfo: int) -> LinAlgError:
     """Build the most specific exception class for a raw ``linfo`` code."""
     if linfo <= DEADLINE:
@@ -298,6 +310,7 @@ def erinfo(
     info: Info | None = None,
     istat: int = 0,
     exc: LinAlgError | None = None,
+    batch_index: int | None = None,
 ) -> None:
     """Python rendering of LAPACK90's ``ERINFO`` subroutine.
 
@@ -318,6 +331,11 @@ def erinfo(
         A pre-built specific exception to raise instead of the generic one
         (lets drivers raise :class:`SingularMatrix` etc. while still
         honouring the ``info=`` contract).
+    batch_index
+        For batched wrappers: the index of the problem within the stack
+        that produced ``linfo``.  Recorded on the raised exception as
+        ``exc.batch_index`` and appended to its message, so a failure in
+        problem *k* of a ``batch_*`` call names *k* and the routine.
 
     Notes
     -----
@@ -329,10 +347,13 @@ def erinfo(
     ``-1 … -99``, the allocation failure ``-100``, and the non-finite
     input codes at or below ``NONFINITE`` (``-1000``).
     """
-    is_error = (linfo > 0 or (0 > linfo > WORK_REDUCED)
-                or linfo <= NONFINITE)
-    if is_error and info is None:
-        raise exc if exc is not None else _error_for(srname, linfo)
+    if is_error_code(linfo) and info is None:
+        err = exc if exc is not None else _error_for(srname, linfo)
+        if batch_index is not None:
+            err.batch_index = batch_index
+            err.args = (f"{err.args[0] if err.args else ''}"
+                        f" [batch problem {batch_index}]",)
+        raise err
     if info is not None:
         info.value = int(linfo)
 

@@ -53,8 +53,8 @@ from .errors import (NONFINITE, IllConditionedWarning, NonFiniteInput,
                      NonFiniteWarning)
 
 __all__ = ["ExceptionPolicy", "get_policy", "set_policy",
-           "exception_policy", "screen", "illcond_event", "disnan",
-           "notfinite", "has_nonfinite"]
+           "exception_policy", "screen", "screen_stack", "illcond_event",
+           "disnan", "notfinite", "has_nonfinite"]
 
 _NONFINITE_MODES = ("check", "warn", "propagate")
 _RCOND_MODES = ("warn", "silent")
@@ -162,6 +162,44 @@ def screen(srname: str, *args):
                 "entries; they will propagate through the computation",
                 NonFiniteWarning, stacklevel=3)
     return 0, None
+
+
+def screen_stack(srname: str, batch: int, *args):
+    """Vectorized batch-mode screen: one pass per stacked operand.
+
+    ``args`` are ``(position, stack)`` pairs whose stacks carry a
+    leading batch axis of size *batch*.  Returns ``(codes, warned)``:
+
+    * ``codes`` — int64 array of length *batch*; in ``"check"`` mode
+      problem *k*'s entry is the ``NONFINITE - i`` code of its first
+      offending argument (argument order wins, matching the per-problem
+      :func:`screen` ladder), 0 when clean;
+    * ``warned`` — in ``"warn"`` mode, a list of
+      ``(position, indices)`` pairs naming the offending problems per
+      argument, for the caller to announce batch-indexed (the policy
+      layer does not know the batch wrapper's rate-limit windows).
+
+    ``"propagate"`` mode returns all-zero codes and no warnings, like
+    the scalar screen.
+    """
+    codes = np.zeros(batch, dtype=np.int64)
+    mode = _POLICY.nonfinite
+    if mode == "propagate":
+        return codes, []
+    warned = []
+    for position, stack in args:
+        if not isinstance(stack, np.ndarray) \
+                or stack.dtype.kind not in "fc" or stack.size == 0:
+            continue
+        bad = ~np.all(np.isfinite(stack.reshape(batch, -1)), axis=1)
+        if not bad.any():
+            continue
+        if mode == "check":
+            hit = bad & (codes == 0)
+            codes[hit] = NONFINITE - position
+        else:
+            warned.append((position, np.nonzero(bad)[0]))
+    return codes, warned
 
 
 def illcond_event(srname: str, rcond: float) -> None:

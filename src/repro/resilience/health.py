@@ -28,7 +28,10 @@ def healthcheck() -> dict:
     Returns a report dict::
 
         {"backends": {name: {"ok": bool, "error": str | None,
-                             "residual": float | None}},
+                             "residual": float | None,
+                             "batch": {"ok": bool, "error": str | None,
+                                       "modes": {"gesv": "stack"|"loop",
+                                                 ...}}}},
          "breakers": {"backend:routine": "open" | "half-open" | ...},
          "policy": {"retries": ..., "breaker_threshold": ...,
                     "breaker_cooldown": ..., "warning_window": ...}}
@@ -36,9 +39,15 @@ def healthcheck() -> dict:
     ``breakers`` holds only unhealthy pairs (an empty dict means every
     tracked pair recovered).  The probe solves a fixed well-conditioned
     3×3 system, so ``residual`` should be at round-off level for any
-    correct substrate.
+    correct substrate.  The ``batch`` entry reports the backend's batch
+    capability per batchable kernel — ``"stack"`` when a ``*_stack``
+    entry crosses the dispatch seam once per stack, ``"loop"`` when the
+    derived wrapper loops per problem inside the seam — and probes a
+    2-problem ``batch_gesv`` over the same fixed system.
     """
     from ..backends import available_backends, use_backend
+    from ..backends.batched import batch_capability
+    from ..batch import BatchInfo, batch_gesv
     from ..core.linear_equations import la_gesv
     from ..errors import Info
 
@@ -48,6 +57,7 @@ def healthcheck() -> dict:
     b0 = a0 @ np.array([1.0, -1.0, 2.0])
 
     report: dict = {"backends": {}, "breakers": {}, "policy": {}}
+    capability = batch_capability()
     for name in available_backends():
         entry = {"ok": False, "error": None, "residual": None}
         try:
@@ -63,6 +73,24 @@ def healthcheck() -> dict:
                     int(info), residual)
         except Exception as exc:  # a probe must never take the caller down
             entry["error"] = "{}: {}".format(type(exc).__name__, exc)
+        entry["batch"] = {"ok": False, "error": None,
+                          "modes": capability.get(name, {})}
+        try:
+            binfo = BatchInfo()
+            astack = np.stack([a0, a0])
+            bstack = np.stack([b0, b0])
+            with use_backend(name):
+                xb = batch_gesv(astack, bstack, info=binfo)
+            bres = float(np.max(np.abs(
+                np.einsum("kij,kj->ki", np.stack([a0, a0]), xb)
+                - np.stack([b0, b0]))))
+            entry["batch"]["ok"] = binfo.first_failure < 0 and bres < 1e-10
+            if not entry["batch"]["ok"]:
+                entry["batch"]["error"] = "codes={}, residual={:.3e}".format(
+                    binfo.codes(), bres)
+        except Exception as exc:
+            entry["batch"]["error"] = "{}: {}".format(
+                type(exc).__name__, exc)
         report["backends"][name] = entry
 
     report["breakers"] = breaker.states()

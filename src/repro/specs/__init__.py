@@ -18,13 +18,13 @@ the registry without touching the numerical stack.
 from __future__ import annotations
 
 from .model import ArgSpec, Check, DriverSpec, CHECK_KINDS, DIM_SOURCES
-from .engine import validate, validate_args
+from .engine import validate, validate_args, validate_batch
 from .registry import SPECS, error_exit_codes
 
 __all__ = [
     "ArgSpec", "Check", "DriverSpec", "CHECK_KINDS", "DIM_SOURCES",
     "SPECS", "all_specs", "get_spec", "validate", "validate_args",
-    "error_exit_codes",
+    "validate_batch", "error_exit_codes",
 ]
 
 

@@ -18,8 +18,8 @@ END_MARK = "<!-- END GENERATED CATALOGUE -->"
 
 _HEADER = (
     "| Routine | Calling sequence | Kernel | Backends | Types | "
-    "Purpose |\n"
-    "|---|---|---|---|---|---|\n")
+    "Batched | Purpose |\n"
+    "|---|---|---|---|---|---|---|\n")
 
 
 def _sections():
@@ -40,9 +40,10 @@ def _dtype_cell(spec):
 def _row(spec):
     backends = "reference" if spec.reference_only \
         else "reference, accelerated"
+    batched = f"`batch_{spec.name[3:]}`" if spec.batchable else "—"
     return (f"| `{spec.name}` | `{spec.call_sequence()}` "
             f"| `{spec.kernel}` | {backends} | {_dtype_cell(spec)} "
-            f"| {spec.summary} |\n")
+            f"| {batched} | {spec.summary} |\n")
 
 
 def render_catalogue() -> str:

@@ -22,7 +22,7 @@ import numpy as np
 
 from .model import ArgSpec, Check, DriverSpec
 
-__all__ = ["validate", "validate_args"]
+__all__ = ["validate", "validate_args", "validate_batch"]
 
 
 # -- primitive predicates (auxmod-equivalent) -------------------------
@@ -334,3 +334,55 @@ def validate_args(driver: str, **bound) -> int:
     """Validate *bound* arguments against *driver*'s registered spec."""
     from .registry import SPECS
     return validate(SPECS[driver], bound)
+
+
+# -- amortized batch mode ---------------------------------------------
+
+#: Expected ndim of a *stacked* operand, per argument kind.  A matrix
+#: gains exactly one leading batch axis; an rhs may be a stack of
+#: vectors ``(batch, n)`` or of matrices ``(batch, n, nrhs)``; a vector
+#: stacks to 2-D.
+_STACK_NDIM = {"matrix": (3,), "rhs": (2, 3), "vector": (2,)}
+
+
+def validate_batch(spec: DriverSpec, bound: dict) -> tuple:
+    """Amortized batch-mode validation: ``(code, batch)``.
+
+    The per-problem check ladder is *not* replayed ``batch`` times.
+    Because a stack is one contiguous ndarray, every problem in it has
+    identical trailing shapes and dtype, so the structural screen splits
+    into (a) a stack-level pass over the array operands — present when
+    required, an ndarray, carrying exactly one leading batch axis of a
+    size agreed by all operands — and (b) **one** run of the ordinary
+    :func:`validate` ladder over the problem-0 cross-section, whose
+    verdict then holds for the whole batch.  Per-problem *value* screens
+    (NaN/Inf) stay vectorized in :func:`repro.policy.screen_stack`.
+
+    Returns the first violated check's negative ``LINFO`` code and the
+    batch size (0 when no stacked operand is present or the leading axis
+    is empty; the code is authoritative, the batch only meaningful when
+    the code is 0).
+    """
+    batch = 0
+    stacked = set(spec.batch_stacked)
+    for a in spec.args:
+        if a.name not in stacked:
+            continue
+        val = bound.get(a.name)
+        if val is None:
+            if a.required:
+                return -a.position, 0
+            continue
+        if not isinstance(val, np.ndarray) \
+                or val.ndim not in _STACK_NDIM[a.kind]:
+            return -a.position, 0
+        if batch == 0:
+            batch = val.shape[0]
+        elif val.shape[0] != batch:
+            return -a.position, 0
+    if batch == 0:
+        return 0, 0
+    cross = {name: (val[0] if name in stacked
+                    and isinstance(val, np.ndarray) else val)
+             for name, val in bound.items()}
+    return validate(spec, cross), batch

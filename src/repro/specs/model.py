@@ -108,6 +108,7 @@ class DriverSpec:
     # (breaker_exempt marks kernels whose inputs are not replayable —
     # e.g. they consume a stateful RNG — so a dispatch re-attempt would
     # observe different arguments than the first try.)
+    batchable: bool = False         # repro.batch derives a batch_* wrapper
 
     @property
     def srname(self) -> str:
@@ -138,6 +139,23 @@ class DriverSpec:
         return tuple(a.name for a in self.args
                      if a.kind in ("matrix", "rhs", "vector")
                      and a.intent in ("inout", "out"))
+
+    @property
+    def batch_stacked(self) -> tuple:
+        """Array operands that gain a leading batch axis in the derived
+        ``batch_*`` wrapper — every per-problem array (the batched layer
+        stacks all of them; there is no per-argument opt-out)."""
+        return self.array_args
+
+    @property
+    def batch_broadcast(self) -> tuple:
+        """Arguments shared (broadcast) across the whole batch: option
+        flags and scalars.  The derived wrapper accepts one value and
+        applies it to every problem; a flag's default is the first
+        option in its declared domain (``uplo='U'``, ``jobz='N'``,
+        ``trans='N'`` — matching the parent drivers)."""
+        return tuple(a.name for a in self.args
+                     if a.kind in ("flag", "scalar"))
 
     def arg(self, name: str) -> ArgSpec | None:
         for a in self.args:

@@ -87,7 +87,7 @@ _SPEC_LIST = [
         checks=(C(-1, "square", ("a",)),
                 C(-2, "rhs", ("b",), "n"),
                 C(-3, "optlen", ("ipiv",), "n")),
-        kernel="gesv", reference_only=False,
+        kernel="gesv", reference_only=False, batchable=True,
         positive_info="i: U(i,i) is exactly zero — the factor U is "
         "singular and no solution was computed"),
     DriverSpec(
@@ -125,7 +125,7 @@ _SPEC_LIST = [
         checks=(C(-1, "square", ("a",)),
                 C(-2, "rhs", ("b",), "n"),
                 C(-3, "flag", ("uplo",), params=_UL)),
-        kernel="posv", reference_only=False,
+        kernel="posv", reference_only=False, batchable=True,
         positive_info="i: the leading minor of order i is not positive "
         "definite"),
     DriverSpec(
@@ -174,6 +174,7 @@ _SPEC_LIST = [
                 C(-3, "flag", ("uplo",), params=_UL),
                 C(-4, "optlen", ("ipiv",), "n")),
         kernel="sysv", reference_only=False, pair="la_hesv",
+        batchable=True,
         positive_info="i: D(i,i) is exactly zero — the block diagonal "
         "factor is singular"),
     DriverSpec(
@@ -187,7 +188,7 @@ _SPEC_LIST = [
                 C(-3, "flag", ("uplo",), params=_UL),
                 C(-4, "optlen", ("ipiv",), "n")),
         kernel="hesv", reference_only=False, dtypes="complex",
-        pair="la_sysv",
+        pair="la_sysv", batchable=True,
         positive_info="i: D(i,i) is exactly zero — the block diagonal "
         "factor is singular"),
     DriverSpec(
@@ -404,7 +405,7 @@ _SPEC_LIST = [
         checks=(C(-1, "matrix2d", ("a",)),
                 C(-2, "custom", ("b",), params={"name": "gels_b"}),
                 C(-3, "flag", ("trans",), params=_NTC)),
-        kernel="gels", reference_only=False),
+        kernel="gels", reference_only=False, batchable=True),
     DriverSpec(
         "la_gelsx", _S3, "Rank-deficient least squares via complete "
         "orthogonal factorization",
@@ -466,7 +467,7 @@ _SPEC_LIST = [
                 C(-3, "flag", ("jobz",), params=_NV),
                 C(-4, "flag", ("uplo",), params=_UL)),
         kernel="syev", reference_only=False, dtypes="real",
-        pair="la_heev",
+        pair="la_heev", batchable=True,
         positive_info="i: i off-diagonal elements failed to converge "
         "to zero"),
     DriverSpec(
@@ -481,7 +482,7 @@ _SPEC_LIST = [
                 C(-3, "flag", ("jobz",), params=_NV),
                 C(-4, "flag", ("uplo",), params=_UL)),
         kernel="heev", reference_only=False, dtypes="complex",
-        pair="la_syev",
+        pair="la_syev", batchable=True,
         positive_info="i: i off-diagonal elements failed to converge "
         "to zero"),
     DriverSpec(

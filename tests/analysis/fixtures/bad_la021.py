@@ -1,0 +1,24 @@
+"""Seeded LA021 violations: a hand-written ``batch_*`` wrapper that
+shadows the generated family, plus per-problem spec-engine validation
+ladders inside loops (every other rule must stay quiet — the module
+defines no ``la_*`` drivers)."""
+
+import numpy as np
+
+from repro.specs import SPECS, validate, validate_args
+
+
+def batch_gesv(a, b):                                   # lint: LA021
+    codes = np.zeros(a.shape[0], dtype=np.int64)
+    for k in range(a.shape[0]):
+        codes[k] = validate_args("la_gesv", a=a[k], b=b[k])  # lint: LA021
+    return codes
+
+
+def screen_stack_by_hand(problems):
+    spec = SPECS["la_posv"]
+    out = []
+    while problems:
+        bound = problems.pop()
+        out.append(validate(spec, bound))               # lint: LA021
+    return out

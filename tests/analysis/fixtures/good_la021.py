@@ -1,0 +1,20 @@
+"""LA021 clean fixture: batch work goes through the generated wrappers
+and one amortized ``validate_batch`` pass — no per-problem ladders, no
+hand-written ``batch_*`` defs."""
+
+from repro.batch import BatchInfo, batch_gesv, make_batched
+from repro.specs import SPECS, validate_batch
+
+
+def solve_stack(a, b):
+    info = BatchInfo()
+    x = batch_gesv(a, b, info=info)
+    return x, info.codes()
+
+
+def prevalidate(a, b):
+    return validate_batch(SPECS["la_gesv"], {"a": a, "b": b})
+
+
+def derive_another():
+    return make_batched(SPECS["la_posv"])

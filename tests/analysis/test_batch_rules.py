@@ -1,0 +1,83 @@
+"""LA021 (no hand-rolled batch ladders) and the derived ``*_stack``
+kernel effect summaries that teach laflow the generated batch wrappers.
+"""
+
+import os
+
+from repro.analysis import Project, run_rules
+from repro.analysis.flow.summaries import kernel_effects
+from repro.specs import SPECS
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "fixtures")
+REPO = os.path.dirname(os.path.dirname(HERE))
+SRC = os.path.join(REPO, "src", "repro")
+
+
+def _fixture(*names):
+    return [os.path.join(FIXTURES, n) for n in names]
+
+
+def _findings(paths, code=None):
+    found = run_rules(Project.load(paths))
+    if code is not None:
+        found = [f for f in found if f.code == code]
+    return found
+
+
+def _marked_lines(path, code):
+    with open(path, "r", encoding="utf-8") as fh:
+        return sorted(i for i, line in enumerate(fh, 1)
+                      if f"lint: {code}" in line)
+
+
+def test_la021_fires_on_seeded_violations():
+    paths = _fixture("bad_la021.py")
+    found = _findings(paths, "LA021")
+    got = sorted(f.line for f in found)
+    want = _marked_lines(paths[0], "LA021")
+    assert got == want, f"LA021 findings at {got}, markers at {want}"
+    messages = " | ".join(f.message for f in found)
+    assert "validate_batch" in messages
+    assert "hand-written batch wrapper batch_gesv" in messages
+
+
+def test_la021_bad_fixture_only_fires_la021():
+    found = _findings(_fixture("bad_la021.py"))
+    assert {f.code for f in found} == {"LA021"}
+
+
+def test_la021_clean_fixture_is_quiet():
+    assert _findings(_fixture("good_la021.py"), "LA021") == []
+
+
+def test_shipped_tree_has_no_la021():
+    found = run_rules(Project.load([SRC]), select={"LA021"})
+    assert found == [], "\n".join(f.render() for f in found)
+
+
+def test_stack_kernel_effects_derived_from_parent_specs():
+    """Every batchable spec's ``<kernel>_stack`` entry mirrors the
+    parent kernel's effect signature — laflow learns the generated
+    wrappers without hand-written exemptions."""
+    project = Project.load([SRC])
+    effects = kernel_effects(project, SPECS)
+    batchable = [s for s in SPECS.values() if s.batchable and s.kernel]
+    assert batchable, "registry lost its batchable opt-ins"
+    for spec in batchable:
+        parent = effects.get(spec.kernel)
+        if parent is None:
+            continue
+        stacked = effects[spec.kernel + "_stack"]
+        assert stacked.params == parent.params
+        assert stacked.arrays == parent.arrays
+        assert stacked.written == parent.written
+
+
+def test_stack_effects_not_derived_for_non_batchable():
+    project = Project.load([SRC])
+    effects = kernel_effects(project, SPECS)
+    batch_kernels = {s.kernel for s in SPECS.values() if s.batchable}
+    for kernel in effects:
+        if kernel.endswith("_stack"):
+            assert kernel[:-len("_stack")] in batch_kernels, kernel

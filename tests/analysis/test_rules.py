@@ -126,7 +126,8 @@ def test_bad_fixtures_only_fire_their_own_rule():
     for name, code in [("bad_la001.py", "LA001"), ("bad_la003.py",
                        "LA003"), ("bad_la004.py", "LA004"),
                       ("bad_la005.py", "LA005"), ("bad_la007.py",
-                       "LA007"), ("bad_la008.py", "LA008")]:
+                       "LA007"), ("bad_la008.py", "LA008"),
+                      ("bad_la021.py", "LA021")]:
         found = _findings(_fixture(name))
         assert {f.code for f in found} == {code}, name
 

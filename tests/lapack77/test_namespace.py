@@ -29,5 +29,11 @@ def test_all_leaks_no_submodules():
 
 
 def test_reference_backend_serves_exactly_the_catalogue():
+    # the batched seam grafts one derived <routine>_stack entry per
+    # batchable solver onto every backend; each must shadow a routine
+    # the catalogue itself exports, and nothing else may be added
+    from repro.backends.batched import STACK_ROUTINES
+    assert set(STACK_ROUTINES) <= set(lapack77.__all__)
+    stacked = {r + "_stack" for r in STACK_ROUTINES}
     ref = get_backend("reference")
-    assert ref.routines() == frozenset(lapack77.__all__)
+    assert ref.routines() == frozenset(lapack77.__all__) | stacked
