@@ -16,6 +16,12 @@ BACKEND_RECORDS = {}
 # of the derived batch_* wrapper vs looping the scalar driver.
 BATCH_RECORDS = {}
 
+# measurement name -> record, filled by test_dispatch_overhead.py and
+# flushed to BENCH_dispatch.json: the front door's cached-dispatch
+# overhead vs the direct driver call, the cold probe cost, and the
+# SPD-traffic win from cached-factor reuse.
+DISPATCH_RECORDS = {}
+
 
 def record_backend_timing(routine, backend, n, stats):
     BACKEND_RECORDS[(routine, backend)] = {
@@ -88,12 +94,34 @@ def _write_batch_report(root):
         json.dumps(out, indent=2, sort_keys=True) + "\n")
 
 
+def record_dispatch(name, record):
+    DISPATCH_RECORDS[name] = record
+
+
+def _write_dispatch_report(root):
+    out = {
+        "experiment": "XB5-dispatch",
+        "description": "Front-door auto-dispatch cost: repro.solve with "
+                       "a warm structure cache vs calling the routed "
+                       "driver directly (gate: < 5% overhead on "
+                       "la_gesv-sized traffic), the cold probe cost, "
+                       "and the SPD-traffic win from reusing the "
+                       "cached trial-Cholesky factor",
+        "results": {k: DISPATCH_RECORDS[k]
+                    for k in sorted(DISPATCH_RECORDS)},
+    }
+    (root / "BENCH_dispatch.json").write_text(
+        json.dumps(out, indent=2, sort_keys=True) + "\n")
+
+
 def pytest_sessionfinish(session, exitstatus):
     root = pathlib.Path(__file__).resolve().parents[1]
     if BACKEND_RECORDS:
         _write_backends_report(root)
     if BATCH_RECORDS:
         _write_batch_report(root)
+    if DISPATCH_RECORDS:
+        _write_dispatch_report(root)
 
 
 @pytest.fixture

@@ -59,6 +59,10 @@ from .resilience import (deadline, get_resilience, healthcheck,
                          resilience_policy, set_resilience)
 from .core import *  # noqa: F401,F403 — the Appendix G catalogue
 from .core import __all__ as _core_all
+from . import dispatch_front
+from .dispatch_front import (Explanation, eig, lstsq, solve,
+                             invalidate_structure_cache,
+                             structure_cache_stats)
 
 __version__ = "1.0.0"
 
@@ -73,8 +77,11 @@ __all__ = list(_core_all) + list(_batch_all) + [
     "set_resilience",
     "available_backends", "get_backend_name", "set_backend",
     "use_backend",
-    "backends", "batch", "blas", "config", "core", "f77", "faults",
-    "lapack77", "policy", "resilience", "storage", "testing",
+    "solve", "lstsq", "eig", "Explanation",
+    "invalidate_structure_cache", "structure_cache_stats",
+    "backends", "batch", "blas", "config", "core", "dispatch_front",
+    "f77", "faults", "lapack77", "policy", "resilience", "storage",
+    "testing",
 ]
 
 # CI chaos leg: REPRO_CHAOS=1 arms the default chaos profile before any

@@ -16,10 +16,10 @@ from .interp import DriverFlow, FlowInterpreter, spec_dim_formulas
 from .summaries import KernelEffect, SummaryEngine, kernel_effects
 from .rules import (check_la011, check_la012, check_la013, check_la014,
                     check_la015, check_la016, check_la017, check_la018,
-                    check_la019, check_la020)
+                    check_la019, check_la020, front_door_sites)
 
 __all__ = ["DriverFlow", "FlowInterpreter", "spec_dim_formulas",
            "KernelEffect", "SummaryEngine", "kernel_effects",
            "check_la011", "check_la012", "check_la013", "check_la014",
            "check_la015", "check_la016", "check_la017", "check_la018",
-           "check_la019", "check_la020"]
+           "check_la019", "check_la020", "front_door_sites"]

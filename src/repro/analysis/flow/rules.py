@@ -15,6 +15,14 @@ LA015 the configuration knobs (policy, backend selection, blocking
 configuration), LA016 the resilience registries (circuit breakers,
 resilience policy, deadline arming, the chaos-fault table).
 
+Since the dispatch front door landed, LA017 also covers *borrowed*
+validation ladders: a :mod:`repro.dispatch_front` function that calls
+``validate_args("la_posv", ...)`` by name (the cached-Cholesky
+``potrs`` shortcut does exactly this) is held to the same error-exit
+reachability contract as the driver's own call site — the argument set
+it forwards decides which declared exits stay live through
+``repro.solve``.  :func:`front_door_sites` is the discovery summary.
+
 Like every lalint rule these functions never import the analysed code;
 the spec registry they consult is plain data.
 """
@@ -32,7 +40,7 @@ from .summaries import SummaryEngine, kernel_effects
 
 __all__ = ["check_la011", "check_la012", "check_la013", "check_la014",
            "check_la015", "check_la016", "check_la017", "check_la018",
-           "check_la019", "check_la020"]
+           "check_la019", "check_la020", "front_door_sites"]
 
 _ARRAY_KINDS = {"matrix", "rhs", "vector"}
 _LEN_CHECKS = {"optlen", "reqlen"}
@@ -49,6 +57,53 @@ def _is_core(mod):
     return "/repro/core/" in p or p.startswith("repro/core/")
 
 
+def _is_front_door(mod):
+    p = mod.path.replace(os.sep, "/")
+    return "/repro/dispatch_front/" in p \
+        or p.startswith("repro/dispatch_front/")
+
+
+def front_door_sites(project: Project, specs):
+    """Yield ``(mod, func, driver, spec, calls)`` for dispatch-front
+    functions that borrow a registered driver's validation ladder.
+
+    The front door re-runs the chosen driver's ``validate_args`` ladder
+    before executing a structure-specialised path (the cached-Cholesky
+    ``potrs`` shortcut replays ``la_posv``'s), so a borrowed call site
+    carries the same obligation as the driver's own: every declared
+    error exit must stay emittable from the argument set actually
+    forwarded.  ``calls`` is ``[(node, passed-name-set), ...]``, one
+    entry per ``validate_args("<driver>", ...)`` site in the function;
+    functions with a statically unmappable site (non-constant driver
+    name, extra positionals, keyword splat) are skipped entirely —
+    laflow never guesses.
+    """
+    for mod in project.modules:
+        if not _is_front_door(mod):
+            continue
+        for _, func in sorted(mod.functions.items()):
+            sites: dict = {}
+            mappable = True
+            for node in ast.walk(func):
+                if call_name(node) != "validate_args":
+                    continue
+                first = node.args[0] if node.args else None
+                if len(node.args) != 1 \
+                        or not isinstance(first, ast.Constant) \
+                        or not isinstance(first.value, str) \
+                        or any(kw.arg is None for kw in node.keywords):
+                    mappable = False
+                    break
+                sites.setdefault(first.value, []).append(
+                    (node, {kw.arg for kw in node.keywords}))
+            if not mappable:
+                continue
+            for driver in sorted(sites):
+                spec = specs.get(driver)
+                if spec is not None:
+                    yield mod, func, driver, spec, sites[driver]
+
+
 def _load_specs():
     try:
         from ...specs.registry import SPECS
@@ -61,9 +116,10 @@ def _analysis(project: Project, specs):
     """The project's shared dataflow pass, computed once and cached.
 
     Returns ``{"flows": [(impl, spec, flow), ...], "engine":
-    SummaryEngine, "effects": {kernel: KernelEffect}}``.  All dataflow
-    rules consume this cache, so one ``run_rules`` interprets every
-    driver exactly once no matter how many rules are selected.
+    SummaryEngine, "effects": {kernel: KernelEffect}, "front_door":
+    [(mod, func, driver, spec, calls), ...]}``.  All dataflow rules
+    consume this cache, so one ``run_rules`` interprets every driver
+    exactly once no matter how many rules are selected.
     """
     cache = getattr(project, "_laflow_cache", None)
     if cache is not None:
@@ -79,7 +135,8 @@ def _analysis(project: Project, specs):
         flows.append((impl, spec,
                       DriverFlow(impl, spec, summaries=engine).run()))
     cache = {"flows": flows, "engine": engine,
-             "effects": kernel_effects(project, specs)}
+             "effects": kernel_effects(project, specs),
+             "front_door": list(front_door_sites(project, specs))}
     project._laflow_cache = cache
     return cache
 
@@ -621,7 +678,14 @@ def check_la017(project: Project):
     the statically-known argument set: an argument the driver never
     forwards enters every call as ``None``, so e.g. an ``optlen`` check
     on it is disarmed forever — that error exit is dead code in the
-    documented contract."""
+    documented contract.
+
+    The same classification runs over the dispatch front door's
+    *borrowed* ladders (:func:`front_door_sites`): a
+    ``repro.dispatch_front`` function replaying a driver's
+    ``validate_args`` by name must keep that spec's exits exactly as
+    reachable as the driver itself does, or ``repro.solve`` silently
+    changes the documented error contract on that route."""
     specs = _load_specs()
     if specs is None:
         return []
@@ -671,6 +735,34 @@ def check_la017(project: Project):
                     f"{', '.join(missing)}, so every call returns "
                     f"{check.code} and shadows all later exits",
                     impl.impl_module, node, context=impl.driver))
+                break           # everything after is dead anyway
+    for mod, func, driver, spec, calls in \
+            _analysis(project, specs)["front_door"]:
+        for check in spec.checks:
+            verdicts = {_classify_check(check, spec, passed)
+                        for _, passed in calls}
+            node = calls[0][0]
+            missing = [n for n in _check_inputs(check, spec)
+                       if all(n not in p for _, p in calls)]
+            if verdicts == {"never"}:
+                findings.append(_f(
+                    "LA017",
+                    f"front-door {func.name} borrows the {driver} "
+                    f"ladder but validate_args never receives "
+                    f"{', '.join(missing)}, so error exit {check.code} "
+                    f"({check.kind}) is unreachable on this dispatch "
+                    "route",
+                    mod, node, context=driver))
+            elif verdicts == {"always"}:
+                findings.append(_f(
+                    "LA017",
+                    f"the {check.kind} check for exit {check.code} of "
+                    f"the {driver} ladder always fires in front-door "
+                    f"{func.name}: validate_args omits "
+                    f"{', '.join(missing)}, so every call through this "
+                    f"route returns {check.code} and shadows all later "
+                    "exits",
+                    mod, node, context=driver))
                 break           # everything after is dead anyway
     return findings
 

@@ -1,4 +1,4 @@
-"""The lalint rule catalogue (LA001–LA021).
+"""The lalint rule catalogue (LA001–LA022).
 
 Every rule is a function ``check(project) -> list[Finding]`` registered
 in :data:`RULES`.  Rules only inspect the AST model — the analysed code
@@ -673,6 +673,123 @@ def check_la021(project: Project):
     return findings
 
 
+# ---------------------------------------------------------------------
+# LA022 — routing is derived from DriverSpec metadata, not hand-rolled
+# ---------------------------------------------------------------------
+
+#: The structure vocabulary the routing lattice is defined over.  Kept
+#: as a literal here — rules never import the code under analysis; the
+#: routing tests pin this set against ``repro.specs.routing.STRUCTURES``.
+STRUCTURE_LABELS = frozenset({
+    "diagonal", "triangular", "tridiagonal", "spd", "hpd", "banded",
+    "symmetric", "hermitian", "general",
+})
+
+
+def _is_routing_home(mod):
+    """The one module allowed to relate structure labels to drivers:
+    the derivation home, where the table is *computed* from the
+    registry's ``problem_kind``/``structure`` metadata."""
+    p = mod.path.replace(os.sep, "/")
+    return (p.endswith("/specs/routing.py")
+            or p == "repro/specs/routing.py")
+
+
+def _driver_ref(node):
+    """True when *node* names a driver — ``la_*``/``batch_*`` as a
+    Name, an Attribute, or a string constant."""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+        name = node.value
+    else:
+        return False
+    return name.startswith("la_") or name.startswith("batch_")
+
+
+def _label_constants(node):
+    """Structure-label string constants compared against in *node*
+    (bare constants plus tuple/list element constants)."""
+    out = []
+    nodes = [node]
+    if isinstance(node, (ast.Tuple, ast.List)):
+        nodes = list(node.elts)
+    for n in nodes:
+        if isinstance(n, ast.Constant) and isinstance(n.value, str) \
+                and n.value in STRUCTURE_LABELS:
+            out.append(n.value)
+    return out
+
+
+def _chain_of(node):
+    """The if/elif chain rooted at *node*:
+    ``([(test, body), ...], [chain If nodes])``."""
+    chain, members = [], []
+    while isinstance(node, ast.If):
+        chain.append((node.test, node.body))
+        members.append(node)
+        node = node.orelse[0] \
+            if len(node.orelse) == 1 and isinstance(node.orelse[0],
+                                                    ast.If) else None
+    return chain, members
+
+
+def check_la022(project: Project):
+    """No hand-rolled structure→driver routing ladders.  The front
+    door's routing table is *derived* from the DriverSpec registry's
+    declarative ``problem_kind``/``structure`` metadata
+    (:func:`repro.specs.routing.routing_table`); a driver joins the
+    routing by annotating its spec, never by editing a dispatch site.
+    Two shapes are flagged outside the derivation home: a dict literal
+    keyed by structure labels whose values name drivers, and an
+    ``if``/``elif`` chain comparing against structure-label constants
+    whose branches name drivers."""
+    findings = []
+    for mod in project.modules:
+        if mod.is_substrate or _is_routing_home(mod):
+            continue
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Dict):
+                labels = [k for k in node.keys
+                          if k is not None and _label_constants(k)]
+                routed = [v for v in node.values
+                          if any(_driver_ref(n) for n in ast.walk(v))]
+                if len(labels) >= 2 and routed:
+                    findings.append(_f(
+                        "LA022",
+                        "dict literal maps structure labels to drivers; "
+                        "routing is derived from DriverSpec "
+                        "problem_kind/structure metadata "
+                        "(repro.specs.routing), not written by hand",
+                        mod, node))
+        seen = set()
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.If) or id(node) in seen:
+                continue
+            chain, members = _chain_of(node)
+            seen.update(id(n) for n in members)
+            labelled = [t for t, _ in chain
+                        if any(_label_constants(c)
+                               for c in ast.walk(t)
+                               if isinstance(c, (ast.Constant, ast.Tuple,
+                                                 ast.List)))]
+            routed = any(_driver_ref(n)
+                         for _, body in chain
+                         for stmt in body
+                         for n in ast.walk(stmt))
+            if len(labelled) >= 2 and routed:
+                findings.append(_f(
+                    "LA022",
+                    "if/elif ladder dispatches structure labels to "
+                    "drivers; routing is derived from DriverSpec "
+                    "problem_kind/structure metadata "
+                    "(repro.specs.routing), not written by hand",
+                    mod, node))
+    return findings
+
+
 from .flow import (check_la011, check_la012, check_la013,  # noqa: E402
                    check_la014, check_la015, check_la016, check_la017,
                    check_la018, check_la019, check_la020)
@@ -712,6 +829,8 @@ RULES = [
      check_la020),
     ("LA021", "no hand-rolled batch ladders outside the generator",
      check_la021),
+    ("LA022", "no hand-rolled structure routing outside the derivation",
+     check_la022),
 ]
 
 

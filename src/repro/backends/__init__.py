@@ -65,6 +65,7 @@ __all__ = [
     "driver_kernel",
     "backend_aware",
     "reset_fallback_announcements",
+    "on_backend_switch",
     "BackendFallbackWarning",
 ]
 
@@ -173,6 +174,54 @@ def get_backend_name():
     return _SELECTED
 
 
+#: Callbacks fired after every *effective* backend switch, as
+#: ``hook(previous, selected)``.  The dispatch front end registers its
+#: structure-cache invalidation here; keeping a hook list (instead of a
+#: direct import) avoids a backends -> dispatch_front import cycle.
+_SWITCH_HOOKS: list = []
+
+
+def on_backend_switch(hook):
+    """Register ``hook(previous, selected)`` to run after each effective
+    backend switch; returns ``hook`` (usable as a decorator)."""
+    if hook not in _SWITCH_HOOKS:
+        _SWITCH_HOOKS.append(hook)
+    return hook
+
+
+def _switched(previous, selected, durable):
+    """Post-switch housekeeping, run on every *effective* change.
+
+    The registered switch hooks always fire — the dispatch front end's
+    structure cache must drop factors computed by the departed substrate
+    no matter how briefly the selection changed.  Reopening the departed
+    backend's rate-limited warning windows (so a reroute after the
+    switch re-announces once instead of staying suppressed by pre-switch
+    history) happens only on *durable* switches — a direct
+    :func:`set_backend` or a :func:`use_backend` entry, not the
+    context manager's restore: the per-call ``backend=`` escape hatch
+    round-trips the selection on every driver call, and resetting on
+    each restore would turn one suppressed warning into a flood."""
+    if durable:
+        _ANNOUNCED.reset(where=lambda key: key[0] == previous)
+        from ..resilience import dispatch as _dispatch
+        _dispatch._OPEN_WARNINGS.reset(
+            where=lambda key: key[0] == previous)
+    for hook in list(_SWITCH_HOOKS):
+        hook(previous, selected)
+
+
+def _select(name, durable):
+    global _SELECTED
+    validated = _validate(name)
+    with STATE_LOCK:
+        previous = _SELECTED
+        _SELECTED = validated
+    if previous != validated:
+        _switched(previous, validated, durable)
+    return previous
+
+
 def set_backend(name):
     """Select the process-global backend; returns the previous name.
 
@@ -180,23 +229,28 @@ def set_backend(name):
     Selecting a known-but-unregistered backend (e.g. ``accelerated``
     without SciPy) is allowed: every dispatch then falls back to
     ``reference`` and announces a :class:`BackendFallbackWarning`.
+
+    An *effective* switch (``name`` differs from the current selection)
+    also invalidates per-array caches layered over the seam (the
+    dispatch front end's structure cache) and resets the departed
+    backend's rate-limited warning windows — see :func:`_switched`.
     """
-    global _SELECTED
-    validated = _validate(name)
-    with STATE_LOCK:
-        previous = _SELECTED
-        _SELECTED = validated
-    return previous
+    return _select(name, durable=True)
 
 
 @contextmanager
 def use_backend(name):
-    """Context manager: select ``name`` for the duration of the block."""
-    previous = set_backend(name)
+    """Context manager: select ``name`` for the duration of the block.
+
+    Entering counts as a durable switch (warning windows for the
+    departed backend reopen); the restore on exit runs only the cache-
+    invalidation hooks — see :func:`_switched`.
+    """
+    previous = _select(name, durable=True)
     try:
         yield
     finally:
-        set_backend(previous)
+        _select(previous, durable=False)
 
 
 def reset_fallback_announcements():

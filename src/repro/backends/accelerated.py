@@ -142,6 +142,91 @@ def posv(a, b, uplo="U"):
     return info
 
 
+def posv_stack(a, b, uplo="U"):
+    """Natively batched ``posv``: one seam crossing per SPD stack.
+
+    Mirrors :func:`gesv_stack` — the typed wrapper is resolved once and
+    each ``(n, n)`` / ``(n, nrhs)`` slice runs the very same ``?posv``
+    call as the scalar :func:`posv` adapter (including the NaN-diagonal
+    pivot check and the unsolved-B-on-failure contract), so per-problem
+    factors and info codes stay bit-identical to the scalar path.
+    """
+    n = a.shape[1]
+    if a.shape[2] != n:
+        xerbla("POSV_STACK", 1, "matrices must be square")
+    if b.shape[1] != n:
+        xerbla("POSV_STACK", 2, "dimension mismatch between A and B")
+    if uplo.upper() not in ("U", "L"):
+        xerbla("POSV_STACK", 3, f"uplo={uplo!r}")
+    f = _flavor("posv", a.dtype)
+    lower = uplo.upper() == "L"
+    batch = a.shape[0]
+    infos = np.empty(batch, dtype=np.int64)
+    for k in range(batch):
+        ak = a[k]
+        bk = _as2d(b[k])
+        c, x, info = f(ak, bk, lower=lower)
+        ak[...] = c
+        info = int(info)
+        if info == 0:
+            info = _nan_diag_info(np.diagonal(c).real)
+        if info == 0:
+            bk[...] = x
+        infos[k] = info
+    return infos
+
+
+def gels_stack(a, b, trans="N"):
+    """Natively batched ``gels`` over a least-squares problem stack.
+
+    Same hoisting as :func:`gesv_stack`: one typed-wrapper resolution
+    and one trans validation for the whole ``(batch, m, n)`` stack, with
+    each slice running the scalar adapter's exact ``?gels`` call
+    (complex ``T`` promoted to ``C`` the same way).
+    """
+    t = trans.upper()
+    if t not in ("N", "T", "C"):
+        xerbla("GELS_STACK", 1, f"trans={trans!r}")
+    if np.iscomplexobj(a) and t == "T":
+        t = "C"
+    m, n = a.shape[1], a.shape[2]
+    if b.shape[1] < max(m, n):
+        xerbla("GELS_STACK", 3, "b must have max(m, n) rows")
+    f = _flavor("gels", a.dtype)
+    batch = a.shape[0]
+    infos = np.empty(batch, dtype=np.int64)
+    for k in range(batch):
+        ak = a[k]
+        bk = _as2d(b[k])
+        lqr, x, info = f(ak, bk, trans=t)
+        ak[...] = lqr
+        bk[...] = x
+        infos[k] = info
+    return infos
+
+
+def trtrs(a, b, uplo="U", trans="N", diag="N"):
+    t = trans.upper()
+    if uplo.upper() not in ("U", "L"):
+        xerbla("TRTRS", 1, f"uplo={uplo!r}")
+    if t not in ("N", "T", "C"):
+        xerbla("TRTRS", 2, f"trans={trans!r}")
+    if diag.upper() not in ("N", "U"):
+        xerbla("TRTRS", 3, f"diag={diag!r}")
+    n = a.shape[0]
+    if b.shape[0] != n:
+        xerbla("TRTRS", 5, "dimension mismatch")
+    bm = _as2d(b)
+    x, info = _flavor("trtrs", a.dtype)(
+        a, bm, lower=uplo.upper() == "L",
+        trans={"N": 0, "T": 1, "C": 2}[t],
+        unitdiag=diag.upper() == "U")
+    info = int(info)
+    if info == 0:
+        bm[...] = x
+    return info
+
+
 def potrf(a, uplo="U"):
     if uplo.upper() not in ("U", "L"):
         xerbla("POTRF", 2, f"uplo={uplo!r}")
@@ -311,8 +396,9 @@ _DTYPES = {
     "hesv": "FD",
 }
 
-_ADAPTERS = (gesv, gesv_stack, getrf, getrs, posv, potrf, potrs, sysv,
-             hesv, gtsv, ptsv, gbsv, pbsv, syev, heev, gesvd, gels)
+_ADAPTERS = (gesv, gesv_stack, getrf, getrs, posv, posv_stack, trtrs,
+             potrf, potrs, sysv, hesv, gtsv, ptsv, gbsv, pbsv, syev,
+             heev, gesvd, gels, gels_stack)
 
 
 def build_accelerated_backend():

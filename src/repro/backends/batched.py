@@ -109,11 +109,13 @@ def install():
 def batch_capability():
     """Per-backend batch-serving mode for every batchable driver kernel.
 
-    ``{"reference": {"gesv": "stack", "syev": "loop", ...}, ...}`` —
-    ``"stack"`` means the backend serves a ``<kernel>_stack`` entry (one
-    seam crossing per batch), ``"loop"`` means the derived wrapper loops
-    per problem inside the seam (individual breaker/retry/deadline
-    visibility).
+    ``{"accelerated": {"posv": "native", "gesv": "stack",
+    "syev": "loop", ...}, ...}`` — ``"native"`` means the substrate
+    ships its own stack-forwarding kernel (one substrate call for the
+    whole stack), ``"stack"`` means the grafted loop-mode entry serves
+    it (one *seam* crossing, per-problem base-kernel calls inside),
+    ``"loop"`` means the derived wrapper loops per problem inside the
+    seam (individual breaker/retry/deadline visibility).
     """
     from ..specs import all_specs
     kernels = sorted({s.kernel for s in all_specs()
@@ -121,7 +123,14 @@ def batch_capability():
     report = {}
     for name in available_backends():
         backend = get_backend(name)
-        report[name] = {
-            k: "stack" if backend.supports(k + "_stack") else "loop"
-            for k in kernels}
+        modes = {}
+        for k in kernels:
+            entry = backend.get(k + "_stack")
+            if entry is None:
+                modes[k] = "loop"
+            elif getattr(entry, "loop_mode", False):
+                modes[k] = "stack"
+            else:
+                modes[k] = "native"
+        report[name] = modes
     return report

@@ -37,9 +37,10 @@ from .eigen_expert import (la_syevx, la_heevx, la_spevx, la_hpevx,
 from .generalized_eigen import (la_sygv, la_hegv, la_spgv, la_hpgv,
                                 la_sbgv, la_hbgv, la_gegs, la_gegv,
                                 la_ggsvd)
-from .computational import (la_getrf, la_getrs, la_getri, la_gerfs,
-                            la_geequ, la_potrf, la_sygst, la_hegst,
-                            la_sytrd, la_hetrd, la_orgtr, la_ungtr)
+from .computational import (la_getrf, la_getrs, la_trtrs, la_getri,
+                            la_gerfs, la_geequ, la_potrf, la_sygst,
+                            la_hegst, la_sytrd, la_hetrd, la_orgtr,
+                            la_ungtr)
 from .matrix_util import la_lange, la_lagge
 from .auxmod import lsame, la_ws_gels, la_ws_gelss
 from .precision import SP, DP, wp

@@ -14,13 +14,13 @@ from ..errors import (Info, NoConvergence, SingularMatrix,
 from ..backends import backend_aware
 from ..backends.kernels import (gecon, geequ, gerfs, getrf, getri, getrs,
                                 hegst, hetrd, lange, lanhe, lansy, orgtr,
-                                pocon, potrf, sygst, sytrd, ungtr)
+                                pocon, potrf, sygst, sytrd, trtrs, ungtr)
 from ..specs import validate_args
 from .auxmod import _report, as_matrix
 
-__all__ = ["la_getrf", "la_getrs", "la_getri", "la_gerfs", "la_geequ",
-           "la_potrf", "la_sygst", "la_hegst", "la_sytrd", "la_hetrd",
-           "la_orgtr", "la_ungtr"]
+__all__ = ["la_getrf", "la_getrs", "la_trtrs", "la_getri", "la_gerfs",
+           "la_geequ", "la_potrf", "la_sygst", "la_hegst", "la_sytrd",
+           "la_hetrd", "la_orgtr", "la_ungtr"]
 
 
 @backend_aware
@@ -68,6 +68,31 @@ def la_getrs(a: np.ndarray, ipiv: np.ndarray, b: np.ndarray,
         bmat, _ = as_matrix(b)
         linfo = getrs(a, ipiv, bmat, trans=trans)
     _report(srname, linfo, info)
+    return b
+
+
+@backend_aware
+def la_trtrs(a: np.ndarray, b: np.ndarray, uplo: str = "U",
+             trans: str = "N", diag: str = "N",
+             info: Info | None = None) -> np.ndarray:
+    """Solves a triangular system ``op(A) X = B`` by forward or backward
+    substitution (``CALL LA_TRTRS( A, B, UPLO=uplo, TRANS=trans,
+    DIAG=diag, INFO=info )``).
+
+    Only the ``uplo`` triangle of ``a`` is referenced; a positive
+    ``info = i`` reports an exactly zero ``A(i,i)`` (the solve is not
+    performed then, matching LAPACK).
+    """
+    srname = "LA_TRTRS"
+    exc = None
+    linfo = validate_args("la_trtrs", a=a, b=b, uplo=uplo, trans=trans,
+                          diag=diag)
+    if linfo == 0:
+        bmat, _ = as_matrix(b)
+        linfo = trtrs(a, bmat, uplo=uplo, trans=trans, diag=diag)
+        if linfo > 0:
+            exc = SingularMatrix(srname, linfo)
+    _report(srname, linfo, info, exc)
     return b
 
 

@@ -1,0 +1,145 @@
+"""Per-array structure cache for the dispatch front door.
+
+Probing is cheap but not free (a ``nonzero`` sweep plus, for candidate
+SPD operands, a trial Cholesky).  Iterative codes solve against the
+*same* operand many times, so the front door remembers each array's
+probe verdict and re-routes without re-probing — the acceptance gate in
+``benchmarks/test_dispatch_overhead.py`` holds the cached path under 5%
+overhead versus calling the driver directly.
+
+The cache never holds a strong reference to a user array (that would
+pin arbitrarily large operands alive; note ``np.ndarray`` does not
+support weak references either).  An entry is keyed by ``id(a)`` and
+revalidated on every hit against recorded metadata — shape, dtype,
+writeable flag, base data pointer, strides — plus a sampled
+*fingerprint* of up to 16 elements.  A recycled id or an in-place
+mutation that touches a sampled element therefore reads as a miss and
+the entry is re-probed.  (A mutation that dodges every sampled element
+of a writeable array is undetectable by design — callers doing in-place
+updates between solves should pass ``assume=`` or call
+:func:`invalidate`; the Users' Guide spells this out.)
+
+Backend switches invalidate everything: the retained Cholesky factor
+was computed by the departed substrate, and bit-reproducibility of the
+cached-reuse path is only guaranteed within one backend.  The hook is
+registered on :func:`repro.backends.on_backend_switch` at import time;
+each switch bumps a monotonically increasing *epoch* surfaced (with
+hit/miss counters) through ``repro.resilience.health.healthcheck()``.
+
+All cache state is guarded by the process-wide ``STATE_LOCK``, same as
+the backend selection it is layered over.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._sync import STATE_LOCK
+from ..backends import on_backend_switch
+
+__all__ = ["lookup", "store", "invalidate", "clear", "stats",
+           "fingerprint", "MAX_ENTRIES"]
+
+#: Hard cap on live entries; storing past it evicts the oldest entry
+#: (insertion order), which keeps the cache O(1) for long-running
+#: processes that touch many distinct operands once.
+MAX_ENTRIES = 256
+
+#: Number of elements sampled into the mutation fingerprint.
+_SAMPLES = 16
+
+_ENTRIES: dict = {}  # id(a) -> (metadata tuple, fingerprint, Structure)
+_STATS = {"hits": 0, "misses": 0, "invalidated": 0, "epoch": 0}
+
+
+def fingerprint(a) -> bytes:
+    """Bytes of up to ``_SAMPLES`` evenly spaced elements of ``a``."""
+    if a.size == 0:
+        return b""
+    idx = np.linspace(0, a.size - 1, min(a.size, _SAMPLES), dtype=np.intp)
+    return a.flat[idx].tobytes()
+
+
+def _metadata(a):
+    return (a.shape, a.dtype.str, a.flags.writeable,
+            a.__array_interface__["data"][0], a.strides)
+
+
+def lookup(a):
+    """The cached :class:`~repro.dispatch_front.probe.Structure` for
+    ``a``, or ``None`` after any metadata or fingerprint drift."""
+    key = id(a)
+    with STATE_LOCK:
+        entry = _ENTRIES.get(key)
+        if entry is None:
+            _STATS["misses"] += 1
+            return None
+        meta, prints, structure = entry
+    # Revalidation reads the array outside the lock: the metadata is
+    # immutable tuples and a stale verdict is resolved below.
+    if meta != _metadata(a) or prints != fingerprint(a):
+        with STATE_LOCK:
+            if _ENTRIES.get(key) is entry:
+                del _ENTRIES[key]
+                _STATS["invalidated"] += 1
+            _STATS["misses"] += 1
+        return None
+    with STATE_LOCK:
+        _STATS["hits"] += 1
+    return structure
+
+
+def store(a, structure):
+    """Remember ``structure`` as the probe verdict for ``a``."""
+    meta, prints = _metadata(a), fingerprint(a)
+    with STATE_LOCK:
+        _ENTRIES.pop(id(a), None)
+        while len(_ENTRIES) >= MAX_ENTRIES:
+            del _ENTRIES[next(iter(_ENTRIES))]
+        _ENTRIES[id(a)] = (meta, prints, structure)
+    return structure
+
+
+def invalidate(a=None) -> int:
+    """Drop the entry for ``a`` (or every entry when ``a`` is None);
+    returns how many entries were dropped."""
+    with STATE_LOCK:
+        if a is None:
+            dropped = len(_ENTRIES)
+            _ENTRIES.clear()
+        else:
+            dropped = 1 if _ENTRIES.pop(id(a), None) is not None else 0
+        _STATS["invalidated"] += dropped
+    return dropped
+
+
+def clear() -> int:
+    """Alias for ``invalidate()`` with no argument."""
+    return invalidate()
+
+
+def stats() -> dict:
+    """Snapshot: ``{"entries", "hits", "misses", "invalidated",
+    "epoch"}`` — merged into ``healthcheck()``'s report."""
+    with STATE_LOCK:
+        snapshot = dict(_STATS)
+        snapshot["entries"] = len(_ENTRIES)
+    return snapshot
+
+
+def reset_stats():
+    """Zero the counters (the epoch is preserved) — test scaffolding."""
+    with STATE_LOCK:
+        epoch = _STATS["epoch"]
+        _STATS.update(hits=0, misses=0, invalidated=0, epoch=epoch)
+
+
+@on_backend_switch
+def _on_backend_switch(previous, selected):
+    """Every effective backend switch starts a new cache epoch: cached
+    Cholesky factors belong to the departed substrate."""
+    with STATE_LOCK:
+        dropped = len(_ENTRIES)
+        _ENTRIES.clear()
+        _STATS["invalidated"] += dropped
+        _STATS["epoch"] += 1

@@ -227,9 +227,18 @@ class Info:
     something beyond a clean first attempt happened) and ``breaker``
     summarises circuit-breaker involvement
     (``"accelerated:gesv:open"`` …).
+
+    The dispatch front end (:mod:`repro.dispatch_front`) adds three
+    more: ``structure`` is the probed structure class the routing
+    decision was based on, ``chosen_driver`` names the ``la_*`` /
+    ``batch_*`` wrapper the call was routed to, and ``probe_cost`` is
+    the wall-clock seconds the structure probe took (``0.0`` on a
+    structure-cache hit).  All three stay ``None`` on direct driver
+    calls.
     """
 
-    __slots__ = ("value", "fallback", "rcond", "attempts", "breaker")
+    __slots__ = ("value", "fallback", "rcond", "attempts", "breaker",
+                 "structure", "chosen_driver", "probe_cost")
 
     def __init__(self, value: int = 0):
         self.value = int(value)
@@ -237,6 +246,9 @@ class Info:
         self.rcond: float | None = None
         self.attempts: tuple | None = None
         self.breaker: str | None = None
+        self.structure: str | None = None
+        self.chosen_driver: str | None = None
+        self.probe_cost: float | None = None
 
     def __bool__(self) -> bool:
         return self.value != 0
@@ -276,6 +288,12 @@ class Info:
             extras.append(f"attempts={self.attempts!r}")
         if self.breaker is not None:
             extras.append(f"breaker={self.breaker!r}")
+        if self.structure is not None:
+            extras.append(f"structure={self.structure!r}")
+        if self.chosen_driver is not None:
+            extras.append(f"chosen_driver={self.chosen_driver!r}")
+        if self.probe_cost is not None:
+            extras.append(f"probe_cost={self.probe_cost:.2e}")
         tail = "".join(", " + e for e in extras)
         return f"Info({self.value}{tail})"
 

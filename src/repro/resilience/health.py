@@ -30,9 +30,14 @@ def healthcheck() -> dict:
         {"backends": {name: {"ok": bool, "error": str | None,
                              "residual": float | None,
                              "batch": {"ok": bool, "error": str | None,
-                                       "modes": {"gesv": "stack"|"loop",
+                                       "modes": {"gesv": "native" |
+                                                 "stack" | "loop",
                                                  ...}}}},
          "breakers": {"backend:routine": "open" | "half-open" | ...},
+         "dispatch": {"structure_cache": {"entries": ..., "hits": ...,
+                                          "misses": ...,
+                                          "invalidated": ...,
+                                          "epoch": ...}},
          "policy": {"retries": ..., "breaker_threshold": ...,
                     "breaker_cooldown": ..., "warning_window": ...}}
 
@@ -43,7 +48,9 @@ def healthcheck() -> dict:
     capability per batchable kernel — ``"stack"`` when a ``*_stack``
     entry crosses the dispatch seam once per stack, ``"loop"`` when the
     derived wrapper loops per problem inside the seam — and probes a
-    2-problem ``batch_gesv`` over the same fixed system.
+    2-problem ``batch_gesv`` over the same fixed system.  ``dispatch``
+    surfaces the front door's per-array structure-cache counters
+    (:func:`repro.dispatch_front.cache.stats`).
     """
     from ..backends import available_backends, use_backend
     from ..backends.batched import batch_capability
@@ -94,6 +101,8 @@ def healthcheck() -> dict:
         report["backends"][name] = entry
 
     report["breakers"] = breaker.states()
+    from ..dispatch_front import cache as _structure_cache
+    report["dispatch"] = {"structure_cache": _structure_cache.stats()}
     policy = get_resilience()
     report["policy"] = {
         "retries": policy.retries,

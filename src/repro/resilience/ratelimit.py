@@ -55,7 +55,21 @@ class RateLimiter:
             entry[1] = suppressed + 1
             return False, 0
 
-    def reset(self) -> None:
-        """Forget all keys (the next tick of any key emits again)."""
+    def reset(self, where=None) -> int:
+        """Forget keys (their next tick emits again); returns the count.
+
+        ``where`` is an optional key predicate for selective resets —
+        the backend layer passes ``lambda key: key[0] == departed`` on
+        a backend switch so only the departed substrate's windows
+        reopen, leaving the surviving backend's suppression history
+        intact.
+        """
         with self._lock:
-            self._seen.clear()
+            if where is None:
+                dropped = len(self._seen)
+                self._seen.clear()
+                return dropped
+            stale = [k for k in self._seen if where(k)]
+            for k in stale:
+                del self._seen[k]
+            return len(stale)

@@ -20,11 +20,15 @@ from __future__ import annotations
 from .model import ArgSpec, Check, DriverSpec, CHECK_KINDS, DIM_SOURCES
 from .engine import validate, validate_args, validate_batch
 from .registry import SPECS, error_exit_codes
+from .routing import (STRUCTURES, PROBLEM_KINDS, REFINEMENTS,
+                      refinement_chain, routing_table, candidates, route)
 
 __all__ = [
     "ArgSpec", "Check", "DriverSpec", "CHECK_KINDS", "DIM_SOURCES",
     "SPECS", "all_specs", "get_spec", "validate", "validate_args",
     "validate_batch", "error_exit_codes",
+    "STRUCTURES", "PROBLEM_KINDS", "REFINEMENTS", "refinement_chain",
+    "routing_table", "candidates", "route",
 ]
 
 

@@ -3,7 +3,10 @@
 ``--catalogue`` prints the generated Appendix-G table;
 ``--write-catalogue`` splices it into ``docs/USERS_GUIDE.md`` between
 the GENERATED CATALOGUE markers; ``--check-catalogue`` exits 1 when the
-committed table is stale (the CI guard).
+committed table is stale (the CI guard).  ``--routing`` /
+``--write-routing`` / ``--check-routing`` do the same for the
+structure→driver routing table the dispatch front end derives from the
+registry.
 """
 
 from __future__ import annotations
@@ -12,6 +15,7 @@ import argparse
 import sys
 
 from .catalogue import render_catalogue, splice_guide
+from .routing import render_routing, splice_routing
 
 DEFAULT_GUIDE = "docs/USERS_GUIDE.md"
 
@@ -20,7 +24,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.specs",
         description="Driver-spec registry tooling (Appendix-G catalogue "
-                    "emitter).")
+                    "and routing-table emitters).")
     group = parser.add_mutually_exclusive_group(required=True)
     group.add_argument("--catalogue", action="store_true",
                        help="print the generated catalogue to stdout")
@@ -29,18 +33,25 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--check-catalogue", action="store_true",
                        help="exit 1 when the committed catalogue is "
                             "stale")
+    group.add_argument("--routing", action="store_true",
+                       help="print the generated routing table to "
+                            "stdout")
+    group.add_argument("--write-routing", action="store_true",
+                       help="rewrite the marked routing region of the "
+                            "guide")
+    group.add_argument("--check-routing", action="store_true",
+                       help="exit 1 when the committed routing table "
+                            "is stale")
     parser.add_argument("--guide", default=DEFAULT_GUIDE, metavar="FILE",
                         help=f"guide file to splice "
                              f"(default: {DEFAULT_GUIDE})")
     return parser
 
 
-def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
-    if args.catalogue:
-        sys.stdout.write(render_catalogue())
+def _run(args, what, render, splice, write, regen_flag):
+    if render is not None:
+        sys.stdout.write(render())
         return 0
-
     try:
         with open(args.guide, encoding="utf-8") as fh:
             text = fh.read()
@@ -49,13 +60,13 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 2
     try:
-        fresh = splice_guide(text)
+        fresh = splice(text)
     except ValueError:
-        print(f"repro.specs: {args.guide} lacks the GENERATED "
-              f"CATALOGUE markers", file=sys.stderr)
+        print(f"repro.specs: {args.guide} lacks the {what} markers",
+              file=sys.stderr)
         return 2
 
-    if args.write_catalogue:
+    if write:
         if fresh != text:
             with open(args.guide, "w", encoding="utf-8") as fh:
                 fh.write(fresh)
@@ -64,14 +75,28 @@ def main(argv=None) -> int:
             print(f"repro.specs: {args.guide} already up to date")
         return 0
 
-    # --check-catalogue
     if fresh != text:
-        print(f"repro.specs: the catalogue in {args.guide} is stale — "
-              f"run `python -m repro.specs --write-catalogue`",
+        print(f"repro.specs: the {what} in {args.guide} is stale — "
+              f"run `python -m repro.specs {regen_flag}`",
               file=sys.stderr)
         return 1
-    print(f"repro.specs: {args.guide} catalogue is up to date")
+    print(f"repro.specs: {args.guide} {what} is up to date")
     return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.catalogue:
+        return _run(args, "GENERATED CATALOGUE", render_catalogue,
+                    None, False, "--write-catalogue")
+    if args.routing:
+        return _run(args, "GENERATED ROUTING TABLE", render_routing,
+                    None, False, "--write-routing")
+    if args.write_catalogue or args.check_catalogue:
+        return _run(args, "GENERATED CATALOGUE", None, splice_guide,
+                    args.write_catalogue, "--write-catalogue")
+    return _run(args, "GENERATED ROUTING TABLE", None, splice_routing,
+                args.write_routing, "--write-routing")
 
 
 if __name__ == "__main__":

@@ -109,6 +109,12 @@ class DriverSpec:
     # e.g. they consume a stateful RNG — so a dispatch re-attempt would
     # observe different arguments than the first try.)
     batchable: bool = False         # repro.batch derives a batch_* wrapper
+    problem_kind: str | None = None  # front-door verb: solve | lstsq | eig
+    structure: tuple = ()           # matrix structures this driver is the
+    # preferred route for (labels from repro.specs.routing.STRUCTURES).
+    # The dispatch front end derives its probe->driver routing table
+    # from exactly these two fields — there is no hand-written ladder
+    # anywhere (lalint LA022 forbids one).
 
     @property
     def srname(self) -> str:

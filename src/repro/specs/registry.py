@@ -1,4 +1,4 @@
-"""The declarative registry of all 76 ``la_*`` drivers.
+"""The declarative registry of all 77 ``la_*`` drivers.
 
 Each :class:`~repro.specs.model.DriverSpec` is the single source of
 truth for one wrapper: the Appendix-G catalogue entry, the argument
@@ -88,6 +88,7 @@ _SPEC_LIST = [
                 C(-2, "rhs", ("b",), "n"),
                 C(-3, "optlen", ("ipiv",), "n")),
         kernel="gesv", reference_only=False, batchable=True,
+        problem_kind="solve", structure=("general",),
         positive_info="i: U(i,i) is exactly zero — the factor U is "
         "singular and no solution was computed"),
     DriverSpec(
@@ -102,6 +103,7 @@ _SPEC_LIST = [
                 C(-2, "rhs", ("b",), "n"),
                 C(-4, "optlen", ("ipiv",), "n")),
         kernel="gbsv", reference_only=False,
+        problem_kind="solve", structure=("banded",),
         positive_info="i: U(i,i) is exactly zero — no solution"),
     DriverSpec(
         "la_gtsv", _S1, "General tridiagonal system via Gaussian "
@@ -115,6 +117,7 @@ _SPEC_LIST = [
                 C(-3, "offdiag", ("du",), "n"),
                 C(-4, "rhs", ("b",), "n")),
         kernel="gtsv", reference_only=False,
+        problem_kind="solve", structure=("tridiagonal",),
         positive_info="i: U(i,i) is exactly zero — no solution"),
     DriverSpec(
         "la_posv", _S1, "Symmetric/Hermitian positive definite system "
@@ -126,6 +129,7 @@ _SPEC_LIST = [
                 C(-2, "rhs", ("b",), "n"),
                 C(-3, "flag", ("uplo",), params=_UL)),
         kernel="posv", reference_only=False, batchable=True,
+        problem_kind="solve", structure=("spd", "hpd"),
         positive_info="i: the leading minor of order i is not positive "
         "definite"),
     DriverSpec(
@@ -174,7 +178,7 @@ _SPEC_LIST = [
                 C(-3, "flag", ("uplo",), params=_UL),
                 C(-4, "optlen", ("ipiv",), "n")),
         kernel="sysv", reference_only=False, pair="la_hesv",
-        batchable=True,
+        batchable=True, problem_kind="solve", structure=("symmetric",),
         positive_info="i: D(i,i) is exactly zero — the block diagonal "
         "factor is singular"),
     DriverSpec(
@@ -189,6 +193,7 @@ _SPEC_LIST = [
                 C(-4, "optlen", ("ipiv",), "n")),
         kernel="hesv", reference_only=False, dtypes="complex",
         pair="la_sysv", batchable=True,
+        problem_kind="solve", structure=("hermitian",),
         positive_info="i: D(i,i) is exactly zero — the block diagonal "
         "factor is singular"),
     DriverSpec(
@@ -405,7 +410,8 @@ _SPEC_LIST = [
         checks=(C(-1, "matrix2d", ("a",)),
                 C(-2, "custom", ("b",), params={"name": "gels_b"}),
                 C(-3, "flag", ("trans",), params=_NTC)),
-        kernel="gels", reference_only=False, batchable=True),
+        kernel="gels", reference_only=False, batchable=True,
+        problem_kind="lstsq", structure=("general",)),
     DriverSpec(
         "la_gelsx", _S3, "Rank-deficient least squares via complete "
         "orthogonal factorization",
@@ -468,6 +474,7 @@ _SPEC_LIST = [
                 C(-4, "flag", ("uplo",), params=_UL)),
         kernel="syev", reference_only=False, dtypes="real",
         pair="la_heev", batchable=True,
+        problem_kind="eig", structure=("symmetric",),
         positive_info="i: i off-diagonal elements failed to converge "
         "to zero"),
     DriverSpec(
@@ -483,6 +490,7 @@ _SPEC_LIST = [
                 C(-4, "flag", ("uplo",), params=_UL)),
         kernel="heev", reference_only=False, dtypes="complex",
         pair="la_syev", batchable=True,
+        problem_kind="eig", structure=("hermitian",),
         positive_info="i: i off-diagonal elements failed to converge "
         "to zero"),
     DriverSpec(
@@ -552,6 +560,7 @@ _SPEC_LIST = [
                    "vr:opt:out", "info:info"),
         checks=(C(-1, "square", ("a",)),),
         kernel="geev",
+        problem_kind="eig", structure=("general",),
         positive_info="i: the QR algorithm failed; elements i+1:n of w "
         "contain converged eigenvalues"),
     DriverSpec(
@@ -874,6 +883,24 @@ _SPEC_LIST = [
                 C(-3, "rhs", ("b",), "n"),
                 C(-4, "flag", ("trans",), params=_NTC)),
         kernel="getrs", reference_only=False),
+    DriverSpec(
+        "la_trtrs", _S9, "Solve a triangular system by forward or "
+        "backward substitution",
+        # No in_table args: the driver postdates the frozen pre-refactor
+        # error-exit fixture, which pins only the original hand-written
+        # table rows byte-for-byte.
+        args=_args("a", "b:rhs:inout", "uplo:flag:opt", "trans:flag:opt",
+                   "diag:flag:opt", "info:info"),
+        dims=(("n", "rows2d", "a"),),
+        checks=(C(-1, "square", ("a",)),
+                C(-2, "rhs", ("b",), "n"),
+                C(-3, "flag", ("uplo",), params=_UL),
+                C(-4, "flag", ("trans",), params=_NTC),
+                C(-5, "flag", ("diag",), params={"options": ("N", "U")})),
+        kernel="trtrs", reference_only=False,
+        problem_kind="solve", structure=("triangular",),
+        positive_info="i: A(i,i) is exactly zero — the matrix is "
+        "singular and the solve was not performed"),
     DriverSpec(
         "la_getri", _S9, "Matrix inverse from the LU factorization "
         "(Appendix C listing)",

@@ -1,0 +1,19 @@
+"""Seeded LA022 violations: a hand-written structure→driver routing
+table (dict literal) and an if/elif dispatch ladder over structure
+labels (every other rule must stay quiet — the module defines no
+``la_*`` drivers and runs no spec-engine validators in loops)."""
+
+ROUTES = {                                              # lint: LA022
+    "spd": "la_posv",
+    "symmetric": "la_sysv",
+    "general": "la_gesv",
+}
+
+
+def pick_driver(label, a, b):
+    if label == "spd":                                  # lint: LA022
+        return "la_posv"
+    elif label in ("symmetric", "hermitian"):
+        return "la_sysv"
+    else:
+        return "la_gesv"

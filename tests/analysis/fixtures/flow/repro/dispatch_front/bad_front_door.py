@@ -1,0 +1,20 @@
+"""Seeded front-door LA017 violations: borrowed validation ladders
+that silently change the driver's documented error contract.
+
+``_solve_lu`` replays the la_gesv ladder without ``ipiv`` — the optlen
+check is disarmed forever and exit -3 becomes unreachable on this
+route.  ``_solve_chol`` omits ``b`` from the la_posv ladder — the rhs
+check for exit -2 fires on every call and shadows the later flag exit.
+"""
+
+from repro.specs import validate_args
+
+
+def _solve_lu(a, b):
+    linfo = validate_args("la_gesv", a=a, b=b)          # lint: LA017
+    return linfo
+
+
+def _solve_chol(a, uplo):
+    linfo = validate_args("la_posv", a=a, uplo=uplo)    # lint: LA017
+    return linfo

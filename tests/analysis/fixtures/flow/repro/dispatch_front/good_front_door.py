@@ -1,0 +1,16 @@
+"""Front-door clean fixture: the borrowed la_posv ladder forwards the
+same argument set the driver's own call site passes, so every declared
+exit keeps its reachability through the dispatch route.  A dynamically
+named replay is statically unmappable and therefore skipped, never
+guessed at.
+"""
+
+from repro.specs import validate_args
+
+
+def _solve_chol(a, b, uplo):
+    return validate_args("la_posv", a=a, b=b, uplo=uplo)
+
+
+def _replay(name, **bound):
+    return validate_args(name, **bound)

@@ -1,0 +1,26 @@
+"""LA022 clean fixture: routing goes through the spec-derived table,
+label→label refinement logic is fine anywhere, and kernel-keyed calling
+conventions (the ``_FAMILIES``-style residue) are not routing."""
+
+from repro.specs.routing import route
+
+
+def front_door(kind, label, iscomplex):
+    """Derived routing: allowed everywhere."""
+    return route(kind, label, iscomplex).name
+
+
+def eig_label(label, symmetric, hermitian, iscomplex):
+    """Label→label refinement without driver names: allowed."""
+    if iscomplex and hermitian:
+        return "hermitian"
+    if symmetric:
+        return "symmetric"
+    return label
+
+
+def run_kernel(spec, conventions, operands):
+    """Kernel-keyed calling conventions: keys are kernel stems, not
+    structure labels."""
+    table = {"gesv": conventions.gesv, "posv": conventions.posv}
+    return table[spec.kernel](*operands)

@@ -19,8 +19,8 @@ import textwrap
 
 from repro.analysis import Project, run_rules
 from repro.analysis.flow import (DriverFlow, SummaryEngine, check_la015,
-                                 check_la016, kernel_effects,
-                                 spec_dim_formulas)
+                                 check_la016, front_door_sites,
+                                 kernel_effects, spec_dim_formulas)
 from repro.analysis.flow import values as V
 from repro.analysis.flow.rules import _classify_check, _shadowed_checks
 from repro.specs.model import ArgSpec, Check, DriverSpec
@@ -29,6 +29,7 @@ from repro.specs.registry import SPECS
 HERE = os.path.dirname(os.path.abspath(__file__))
 FIXTURES = os.path.join(HERE, "fixtures")
 FLOW = os.path.join(FIXTURES, "flow", "repro", "core")
+FRONT = os.path.join(FIXTURES, "flow", "repro", "dispatch_front")
 STUB = os.path.join(FIXTURES, "flow", "repro", "lapack77", "stub.py")
 REPO = os.path.dirname(os.path.dirname(HERE))
 
@@ -147,6 +148,58 @@ def test_la017_fires_on_seeded_violations():
     assert "ipiv" in found[0].message
     assert "optlen" in found[0].message
     assert found[0].context == "la_gesv"
+
+
+# -- LA017 over the dispatch front door's borrowed ladders ------------
+
+def test_la017_front_door_fires_on_borrowed_ladder_violations():
+    path = os.path.join(FRONT, "bad_front_door.py")
+    found = _assert_matches_markers(path, "LA017")
+    by_ctx = {f.context: f for f in found}
+    lu = by_ctx["la_gesv"]
+    assert "front-door _solve_lu" in lu.message
+    assert "unreachable" in lu.message
+    assert "ipiv" in lu.message
+    chol = by_ctx["la_posv"]
+    assert "front-door _solve_chol" in chol.message
+    assert "always fires" in chol.message
+    assert "omits b" in chol.message
+    assert "-2" in chol.message
+
+
+def test_la017_front_door_bad_fixture_only_fires_la017():
+    found = _findings([os.path.join(FRONT, "bad_front_door.py")])
+    assert {f.code for f in found} == {"LA017"}
+
+
+def test_la017_front_door_good_fixture_is_quiet():
+    assert _findings([os.path.join(FRONT, "good_front_door.py")]) == []
+
+
+def test_front_door_sites_skips_unmappable_replays():
+    project = Project.load([os.path.join(FRONT,
+                                         "good_front_door.py")])
+    sites = list(front_door_sites(project, SPECS))
+    # _replay's dynamic driver name is statically unmappable and the
+    # whole function is skipped; only the la_posv replay remains.
+    assert [(func.name, driver)
+            for _, func, driver, _, _ in sites] \
+        == [("_solve_chol", "la_posv")]
+    _, _, _, spec, calls = sites[0]
+    assert spec is SPECS["la_posv"]
+    assert calls[0][1] == {"a", "b", "uplo"}
+
+
+def test_shipped_front_door_keeps_every_borrowed_exit_live():
+    """The acceptance seam: the shipped dispatch front borrows at least
+    one validation ladder (the cached-Cholesky la_posv replay) and the
+    full LA017 pass stays empty over it."""
+    src = os.path.join(REPO, "src", "repro")
+    project = Project.load([src])
+    sites = list(front_door_sites(project, SPECS))
+    assert ("la_posv" in {driver for _, _, driver, _, _ in sites})
+    found = [f for f in run_rules(project, select={"LA017"})]
+    assert found == [], "\n".join(f.render() for f in found)
 
 
 def test_la018_fires_on_seeded_violations():

@@ -1,0 +1,64 @@
+"""LA022: the structure→driver routing table is derived from DriverSpec
+metadata (repro.specs.routing), never written by hand."""
+
+import os
+
+from repro.analysis import Project, run_rules
+from repro.analysis.rules import STRUCTURE_LABELS
+from repro.specs.routing import STRUCTURES
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "fixtures")
+REPO = os.path.dirname(os.path.dirname(HERE))
+SRC = os.path.join(REPO, "src", "repro")
+
+
+def _fixture(*names):
+    return [os.path.join(FIXTURES, n) for n in names]
+
+
+def _findings(paths, code=None):
+    found = run_rules(Project.load(paths))
+    if code is not None:
+        found = [f for f in found if f.code == code]
+    return found
+
+
+def _marked_lines(path, code):
+    with open(path, "r", encoding="utf-8") as fh:
+        return sorted(i for i, line in enumerate(fh, 1)
+                      if f"lint: {code}" in line)
+
+
+def test_rule_vocabulary_matches_routing_module():
+    """The lint rule's literal label set (rules never import the code
+    under analysis) must track the routing module's vocabulary."""
+    assert STRUCTURE_LABELS == set(STRUCTURES)
+
+
+def test_la022_fires_on_seeded_violations():
+    paths = _fixture("bad_la022.py")
+    found = _findings(paths, "LA022")
+    got = sorted(f.line for f in found)
+    want = _marked_lines(paths[0], "LA022")
+    assert got == want, f"LA022 findings at {got}, markers at {want}"
+    messages = " | ".join(f.message for f in found)
+    assert "dict literal" in messages
+    assert "if/elif ladder" in messages
+
+
+def test_la022_bad_fixture_only_fires_la022():
+    found = _findings(_fixture("bad_la022.py"))
+    assert {f.code for f in found} == {"LA022"}
+
+
+def test_la022_clean_fixture_is_quiet():
+    assert _findings(_fixture("good_la022.py"), "LA022") == []
+
+
+def test_shipped_tree_has_no_la022():
+    """The acceptance gate: the whole front door ships with an empty
+    LA022 baseline — the dispatch layer itself contains no hand-rolled
+    structure routing."""
+    found = run_rules(Project.load([SRC]), select={"LA022"})
+    assert found == [], "\n".join(f.render() for f in found)

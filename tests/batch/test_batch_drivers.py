@@ -228,10 +228,27 @@ def test_batch_capability_shape():
     caps = batch_capability()
     assert "reference" in caps
     for modes in caps.values():
-        assert modes["gesv"] in ("stack", "loop")
+        assert modes["gesv"] in ("native", "stack", "loop")
         # eigensolvers deliberately stay loop-mode inside the seam
         assert modes["syev"] == "loop"
         assert modes["heev"] == "loop"
+
+
+def test_accelerated_ships_native_stack_entries():
+    """The accelerated substrate registers true stack-forwarding
+    kernels for the solve/lstsq families; the grafted loop-mode entry
+    must not shadow them."""
+    if "accelerated" not in batch_capability():
+        pytest.skip("accelerated backend not registered")
+    modes = batch_capability()["accelerated"]
+    for kernel in ("gesv", "posv", "gels"):
+        assert modes[kernel] == "native", (kernel, modes[kernel])
+    for kernel in ("sysv", "hesv"):
+        assert modes[kernel] == "stack", (kernel, modes[kernel])
+    # reference has no native batched primitive: always the graft
+    assert all(m == "stack" for k, m in
+               batch_capability()["reference"].items()
+               if k not in ("syev", "heev"))
 
 
 def test_healthcheck_reports_batch():
@@ -241,4 +258,4 @@ def test_healthcheck_reports_batch():
         assert set(entry["batch"]) == {"ok", "error", "modes"}
     ref = report["backends"]["reference"]
     assert ref["batch"]["ok"] is True
-    assert ref["batch"]["modes"]["gesv"] in ("stack", "loop")
+    assert ref["batch"]["modes"]["gesv"] in ("native", "stack", "loop")

@@ -43,9 +43,9 @@ CATALOGUE = {
         "la_gegs", "la_gegv", "la_ggsvd",
     ],
     "Some Computational Routines": [
-        "la_getrf", "la_getrs", "la_getri", "la_gerfs", "la_geequ",
-        "la_potrf", "la_sygst", "la_hegst", "la_sytrd", "la_hetrd",
-        "la_orgtr", "la_ungtr",
+        "la_getrf", "la_getrs", "la_trtrs", "la_getri", "la_gerfs",
+        "la_geequ", "la_potrf", "la_sygst", "la_hegst", "la_sytrd",
+        "la_hetrd", "la_orgtr", "la_ungtr",
     ],
     "Matrix Manipulation Routines": [
         "la_lange", "la_lagge",
@@ -69,7 +69,7 @@ def test_routine_exists_and_documented(name):
 
 def test_catalogue_complete():
     assert len(ALL_ROUTINES) == len(set(ALL_ROUTINES))
-    assert len(ALL_ROUTINES) == 76
+    assert len(ALL_ROUTINES) == 77
 
 
 def test_every_driver_reachable_through_package_all():

@@ -39,8 +39,8 @@ class TestCoverage:
         ghosts = sorted(set(SPECS) - set(_core_drivers()))
         assert ghosts == []
 
-    def test_registry_covers_all_76_drivers(self):
-        assert len(SPECS) == 76
+    def test_registry_covers_all_77_drivers(self):
+        assert len(SPECS) == 77
 
 
 class TestSignatures:

@@ -1,0 +1,85 @@
+"""Satellite seam: an *effective* backend switch must reset the
+departed backend's rate-limited warning windows — but only when the
+switch is durable (``set_backend`` or a ``use_backend`` entry).  The
+context manager's restore leg runs on every per-call ``backend=``
+escape hatch, so resetting there would turn one suppressed fallback
+warning into a flood."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import backends, la_gesv
+from repro.backends import Backend, BackendFallbackWarning
+from repro.errors import Info
+
+
+@pytest.fixture
+def ghost_backend():
+    """A registered-but-empty substrate: every dispatch falls back to
+    reference with a rate-limited BackendFallbackWarning."""
+    backends.register_backend(Backend("ghost", {}))
+    backends.reset_fallback_announcements()
+    try:
+        yield "ghost"
+    finally:
+        backends.set_backend("reference")
+        backends.unregister_backend("ghost")
+        backends.reset_fallback_announcements()
+
+
+def _solve_once():
+    a = np.array([[4.0, 1.0], [1.0, 3.0]])
+    b = a @ np.ones(2)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        la_gesv(a, b, info=Info())
+    return [w for w in caught
+            if issubclass(w.category, BackendFallbackWarning)]
+
+
+def test_fallback_warning_is_rate_limited(ghost_backend):
+    backends.set_backend(ghost_backend)
+    assert len(_solve_once()) == 1
+    assert _solve_once() == []          # suppressed within the window
+
+
+def test_durable_switch_reopens_the_departed_window(ghost_backend):
+    backends.set_backend(ghost_backend)
+    assert len(_solve_once()) == 1
+    assert _solve_once() == []
+    # Leaving ghost durably forgets its suppression history: coming
+    # back re-announces exactly once instead of staying silent.
+    backends.set_backend("reference")
+    backends.set_backend(ghost_backend)
+    assert len(_solve_once()) == 1
+    assert _solve_once() == []
+
+
+def test_context_restore_does_not_reopen_windows(ghost_backend):
+    """Two consecutive ``use_backend("ghost")`` blocks: the restore
+    between them is non-durable, so ghost's suppression history
+    survives and the second block stays silent."""
+    with backends.use_backend(ghost_backend):
+        assert len(_solve_once()) == 1
+        assert _solve_once() == []
+    with backends.use_backend(ghost_backend):
+        assert _solve_once() == []
+
+
+def test_per_call_escape_hatch_does_not_flood(ghost_backend):
+    """Repeated per-call ``backend="ghost"`` escapes round-trip the
+    selection on every driver call; the restore leg must not reopen
+    ghost's window, so the fallback announces once, not per call."""
+    a = np.array([[4.0, 1.0], [1.0, 3.0]])
+    announced = 0
+    for _ in range(4):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            la_gesv(a.copy(), a @ np.ones(2), info=Info(),
+                    backend="ghost")
+        announced += sum(
+            issubclass(w.category, BackendFallbackWarning)
+            for w in caught)
+    assert announced == 1

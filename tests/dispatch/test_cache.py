@@ -1,0 +1,118 @@
+"""The per-array structure cache: probe-once semantics, fingerprint
+revalidation on mutation, FIFO bounding, and backend-switch
+invalidation (the satellite-2 seam: a factor computed by the departed
+substrate must never be reused)."""
+
+import numpy as np
+import pytest
+
+from repro import (backends, invalidate_structure_cache, solve,
+                   structure_cache_stats)
+from repro.dispatch_front import cache
+from repro.dispatch_front.probe import probe
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    cache.clear()
+    cache.reset_stats()
+    yield
+    cache.clear()
+
+
+def _spd(n, seed=0):
+    g = np.random.default_rng(seed).standard_normal((n, n))
+    a = g @ g.T + n * np.eye(n)
+    return (a + a.T) / 2
+
+
+def test_repeat_solve_probes_once():
+    a = _spd(6)
+    b = a @ np.arange(1.0, 7.0)
+    solve(a, b)
+    solve(a, b)
+    stats = structure_cache_stats()
+    assert stats["misses"] == 1
+    assert stats["hits"] == 1
+    assert stats["entries"] == 1
+
+
+def test_cache_hit_reports_zero_probe_cost():
+    from repro.errors import Info
+    a = _spd(5, seed=1)
+    b = a @ np.ones(5)
+    first, second = Info(), Info()
+    solve(a, b, info=first)
+    solve(a, b, info=second)
+    assert first.probe_cost > 0.0
+    assert second.probe_cost == 0.0
+    assert first.structure == second.structure == "spd"
+
+
+def test_mutation_is_detected_and_reclassified():
+    a = _spd(4, seed=2)           # 16 elements: fully fingerprinted
+    b = a @ np.ones(4)
+    solve(a, b)
+    assert structure_cache_stats()["entries"] == 1
+    a[0, 1] += 1.0                # break symmetry in place
+    st = cache.lookup(a)
+    assert st is None             # fingerprint drift evicts the entry
+    assert structure_cache_stats()["invalidated"] >= 1
+    from repro.errors import Info
+    info = Info()
+    solve(a, a @ np.ones(4), info=info)
+    assert info.chosen_driver == "la_gesv"
+
+
+def test_store_is_fifo_bounded():
+    keep = []                     # hold references so ids stay unique
+    for k in range(cache.MAX_ENTRIES + 8):
+        a = np.diag(np.full(2, float(k + 1)))
+        keep.append(a)
+        cache.store(a, probe(a))
+    assert structure_cache_stats()["entries"] == cache.MAX_ENTRIES
+    # The oldest entries were evicted, the newest survive.
+    assert cache.lookup(keep[0]) is None
+    assert cache.lookup(keep[-1]) is not None
+
+
+def test_invalidate_one_array_and_all():
+    a, b = _spd(3, seed=3), _spd(3, seed=4)
+    cache.store(a, probe(a))
+    cache.store(b, probe(b))
+    assert invalidate_structure_cache(a) == 1
+    assert structure_cache_stats()["entries"] == 1
+    assert invalidate_structure_cache() == 1
+    assert structure_cache_stats()["entries"] == 0
+
+
+def test_backend_switch_clears_cache_and_bumps_epoch():
+    names = backends.available_backends()
+    if len(names) < 2:
+        pytest.skip("only one backend registered")
+    other = [n for n in names if n != backends.get_backend_name()][0]
+    a = _spd(5, seed=5)
+    cache.store(a, probe(a))
+    epoch = structure_cache_stats()["epoch"]
+    previous = backends.set_backend(other)
+    try:
+        stats = structure_cache_stats()
+        assert stats["entries"] == 0
+        assert stats["epoch"] == epoch + 1
+    finally:
+        backends.set_backend(previous)
+
+
+def test_use_backend_round_trip_also_invalidates():
+    names = backends.available_backends()
+    if len(names) < 2:
+        pytest.skip("only one backend registered")
+    other = [n for n in names if n != backends.get_backend_name()][0]
+    a = _spd(5, seed=6)
+    cache.store(a, probe(a))
+    epoch = structure_cache_stats()["epoch"]
+    with backends.use_backend(other):
+        assert structure_cache_stats()["entries"] == 0
+    # Entry and restore are both effective switches: two epoch bumps,
+    # and anything cached inside the block is dropped on the way out.
+    assert structure_cache_stats()["epoch"] == epoch + 2

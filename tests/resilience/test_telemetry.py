@@ -81,7 +81,7 @@ def test_erinfo_classifies_deadline_band():
 
 def test_healthcheck_reports_backends_policy_and_breakers():
     report = healthcheck()
-    assert set(report) == {"backends", "breakers", "policy"}
+    assert set(report) == {"backends", "breakers", "policy", "dispatch"}
     assert report["backends"]["reference"]["ok"]
     assert report["backends"]["reference"]["residual"] < 1e-10
     assert report["breakers"] == {}
@@ -92,6 +92,10 @@ def test_healthcheck_reports_backends_policy_and_breakers():
         "breaker_cooldown": pol.breaker_cooldown,
         "warning_window": pol.warning_window,
     }
+    # The front door's structure-cache counters ride along.
+    cache = report["dispatch"]["structure_cache"]
+    assert {"entries", "hits", "misses", "invalidated",
+            "epoch"} <= set(cache)
 
 
 def test_healthcheck_surfaces_a_sick_backend_without_raising():
