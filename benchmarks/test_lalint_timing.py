@@ -1,11 +1,12 @@
 """XB6-lalint — wall time of a full lalint sweep over the shipped tree.
 
 The interprocedural pass (helper summaries, kernel effect tables, the
-shared flow cache) must stay cheap enough to run on every CI push: one
-cold end-to-end run — parse, interpret, all twenty rules — is timed and
-recorded to BENCH_lalint.json, and the run must finish well under a
-minute.  The memo numbers ride along so a regression in summary reuse
-shows up as a count, not just as seconds.
+shared flow cache, and the concurrency pass's lockset replay) must stay
+cheap enough to run on every CI push: one cold end-to-end run — parse,
+interpret, all twenty-six rules — is timed and recorded to
+BENCH_lalint.json, and the run must finish well under a minute.  The
+memo numbers ride along so a regression in summary reuse shows up as a
+count, not just as seconds.
 """
 
 import json
@@ -28,16 +29,22 @@ def test_full_lalint_sweep_fits_the_ci_budget():
 
     cache = getattr(project, "_laflow_cache", {})
     engine = cache.get("engine")
+    conc = getattr(project, "_laconc_cache", {})
+    conc_engine = conc.get("engine")
     out = {
         "experiment": "XB6-lalint",
         "description": "One cold lalint sweep of src/repro: parse, "
                        "interpret every driver flow (interprocedural "
-                       "summaries + kernel effects), run LA001-LA020.",
+                       "summaries + kernel effects + the lockset-"
+                       "replaying concurrency pass), run LA001-LA026.",
         "modules": len(project.modules),
         "driver_flows": len(cache.get("flows", ())),
         "kernel_effects": len(cache.get("effects", ())),
         "helper_summaries_computed":
             engine.computed if engine else None,
+        "concurrency_roots": len(conc.get("runs", ())),
+        "concurrency_summaries_computed":
+            conc_engine.computed if conc_engine else None,
         "findings": len(findings),
         "load_s": round(loaded - start, 4),
         "total_s": round(elapsed, 4),

@@ -24,7 +24,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="lalint: static checker for the LAPACK90 wrapper "
-                    "contract (rules LA001-LA022).")
+                    "contract (rules LA001-LA026).")
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to analyse "
                              "(default: src/repro)")

@@ -42,7 +42,8 @@ from ..model import body_statements, call_name
 from . import values as V
 
 __all__ = ["FlowInterpreter", "DriverFlow", "Write", "Sink",
-           "Checkpoint", "spec_dim_formulas"]
+           "Checkpoint", "Access", "Acquire", "Escape", "TLSRef",
+           "LOCKSET", "MUTATORS", "spec_dim_formulas"]
 
 #: NumPy allocation calls with an explicit shape first argument.
 ALLOCATORS = {"zeros", "empty", "ones", "full", "eye", "identity"}
@@ -56,6 +57,17 @@ PASSTHROUGH = {"asarray", "ascontiguousarray", "asfortranarray",
 
 _DIM_ATOMS = {"rows2d": "rows", "cols2d": "cols", "len": "len",
               "tri": "tri"}
+
+#: Reserved environment key holding the current *lockset*: a frozenset
+#: of ``(lock, region)`` pairs.  Living in the environment (rather than
+#: on the interpreter) makes branch joins do the right thing for free —
+#: a lock acquired on only one arm of an ``if`` is dropped at the merge
+#: (must-intersection by lock name; region ids of survivors union).
+LOCKSET = "__lockset__"
+
+#: Container-method names treated as writes to the receiver.
+MUTATORS = {"update", "clear", "pop", "popitem", "setdefault",
+            "append", "extend", "remove", "add", "discard"}
 
 
 def spec_dim_formulas(spec) -> dict:
@@ -111,6 +123,60 @@ class Checkpoint:
     depth: int = 0
 
 
+@dataclass(frozen=True)
+class Access:
+    """One read or write of a guarded name, with the locks held.
+
+    ``node``/``path`` locate the access in the module whose source
+    textually contains it — for accesses replayed out of a helper
+    summary that is the *helper's* file, so reports and pragma lookups
+    land on the real line.  ``site``/``site_path`` name the *first*
+    call expression the access was replayed through (``None`` for a
+    function's own statements) — the line where the guarded module's
+    API was invoked — letting a pragma at that call site cover
+    cross-module check-then-act sequences.
+    """
+    name: str               # guarded name ("_FAULTS", "RateLimiter._seen")
+    kind: str               # "read" | "write"
+    lock: str               # lock the guarded_by registry requires
+    locks: frozenset        # (lock, region) pairs held at the access
+    node: object
+    path: str
+    site: object = None
+    site_path: str = ""
+    depth: int = 0
+
+
+@dataclass(frozen=True)
+class Acquire:
+    """One lock acquisition (``with`` entry or ``.acquire()``) with the
+    set of lock names already held when it happens."""
+    lock: str
+    held: frozenset         # lock names held on entry
+    reentrant: bool
+    node: object
+    path: str
+    site: object = None
+    depth: int = 0
+
+
+@dataclass(frozen=True)
+class Escape:
+    """A thread-local-derived value stored into long-lived state."""
+    source: str             # thread-local name the value came from
+    target: str             # module global / guarded name stored into
+    node: object
+    path: str
+    site: object = None
+    depth: int = 0
+
+
+@dataclass(frozen=True)
+class TLSRef:
+    """Abstract value: derived from thread-local state ``source``."""
+    source: str
+
+
 class FlowInterpreter:
     """The spec-agnostic interpreter core over one function body.
 
@@ -133,6 +199,17 @@ class FlowInterpreter:
         self.dim_defs: list[tuple] = []   # (var, Dim, node)
         self.spec_dims: dict = {}
         self.callable_params: set = set()
+        # Concurrency model — inert defaults: driver flows never set
+        # these, so the lock model costs the dataflow rules nothing.
+        self.guarded: dict = {}          # access key -> (name, lock)
+        self.lock_table: dict = {}       # "STATE_LOCK"/"self._lock" -> id
+        self.reentrant_locks: set = set()
+        self.module_globals: set = set()
+        self.tls_names: set = set()
+        self.accesses: list = []
+        self.acquires: list = []
+        self.escapes: list = []
+        self._regions = 0
 
     # -- statements -------------------------------------------------
 
@@ -151,15 +228,22 @@ class FlowInterpreter:
                          stmt, env)
         elif isinstance(stmt, ast.AugAssign):
             self._eval(stmt.value, env)
+            # An augmented store is one locked RMW at the bytecode-free
+            # level this model cares about: record a single "write" so
+            # ``+= 1`` counters never pair into a split check-then-act.
             if isinstance(stmt.target, ast.Subscript):
                 self._record_subscript_write(stmt.target, V.UNKNOWN,
                                              stmt, env, via="aug")
             elif isinstance(stmt.target, ast.Name):
+                self._record_access(stmt.target.id, "write", stmt, env)
                 env[stmt.target.id] = V.UNKNOWN
             elif isinstance(stmt.target, ast.Attribute) \
                     and isinstance(stmt.target.value, ast.Name):
-                env[f"{stmt.target.value.id}.{stmt.target.attr}"] \
-                    = V.UNKNOWN
+                key = f"{stmt.target.value.id}.{stmt.target.attr}"
+                if not self._record_access(key, "write", stmt, env):
+                    self._record_access(stmt.target.value.id, "write",
+                                        stmt, env)
+                env[key] = V.UNKNOWN
         elif isinstance(stmt, ast.Return):
             value = self._eval(stmt.value, env) \
                 if stmt.value is not None else V.UNKNOWN
@@ -174,9 +258,31 @@ class FlowInterpreter:
             env.clear()
             env.update(self._merge_envs(then_env, else_env))
         elif isinstance(stmt, ast.With):
+            pairs = []
             for item in stmt.items:
-                self._eval(item.context_expr, env)
+                lock = self._lock_id(item.context_expr)
+                if lock is not None:
+                    pairs.append(self._push_lock(lock, env,
+                                                 item.context_expr))
+                else:
+                    self._eval(item.context_expr, env)
             self._exec_block(stmt.body, env)
+            if pairs:
+                env[LOCKSET] = env.get(LOCKSET, frozenset()) \
+                    - frozenset(pairs)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                base = target.value \
+                    if isinstance(target, ast.Subscript) else target
+                if isinstance(target, ast.Subscript):
+                    self._eval(target.slice, env)
+                if isinstance(base, ast.Name):
+                    self._record_access(base.id, "write", stmt, env)
+                elif isinstance(base, ast.Attribute) \
+                        and isinstance(base.value, ast.Name):
+                    self._record_access(
+                        f"{base.value.id}.{base.attr}", "write", stmt,
+                        env)
         elif isinstance(stmt, (ast.For, ast.While)):
             fork = dict(env)
             if isinstance(stmt, ast.For):
@@ -205,12 +311,61 @@ class FlowInterpreter:
     def _merge_envs(e1, e2):
         out = {}
         for key in set(e1) | set(e2):
+            if key == LOCKSET:
+                s1 = e1.get(key, frozenset())
+                s2 = e2.get(key, frozenset())
+                names = {l for l, _ in s1} & {l for l, _ in s2}
+                out[key] = frozenset(p for p in s1 | s2
+                                     if p[0] in names)
+                continue
             out[key] = V.merge_values(e1.get(key, V.UNKNOWN),
                                       e2.get(key, V.UNKNOWN))
         return out
 
+    # -- lock model -------------------------------------------------
+
+    def _lock_id(self, expr):
+        """Lock id for a ``with``/.acquire() context expression."""
+        if isinstance(expr, ast.Name):
+            return self.lock_table.get(expr.id)
+        if isinstance(expr, ast.Attribute) \
+                and isinstance(expr.value, ast.Name):
+            return self.lock_table.get(f"{expr.value.id}.{expr.attr}")
+        return None
+
+    def _push_lock(self, lock, env, node):
+        held = env.get(LOCKSET, frozenset())
+        self.acquires.append(Acquire(
+            lock=lock, held=frozenset(l for l, _ in held),
+            reentrant=lock in self.reentrant_locks, node=node,
+            path=self.module.path, depth=self.depth))
+        self._regions += 1
+        pair = (lock, self._regions)
+        env[LOCKSET] = held | {pair}
+        return pair
+
+    def _record_access(self, key, kind, node, env) -> bool:
+        entry = self.guarded.get(key)
+        if entry is None:
+            return False
+        name, lock = entry
+        self.accesses.append(Access(
+            name=name, kind=kind, lock=lock,
+            locks=env.get(LOCKSET, frozenset()),
+            node=node, path=self.module.path, depth=self.depth))
+        return True
+
+    def _record_escape(self, value, target, node):
+        if isinstance(value, TLSRef):
+            self.escapes.append(Escape(
+                source=value.source, target=target, node=node,
+                path=self.module.path, depth=self.depth))
+
     def _assign(self, target, value, stmt, env):
         if isinstance(target, ast.Name):
+            self._record_access(target.id, "write", stmt, env)
+            if target.id in self.module_globals:
+                self._record_escape(value, target.id, stmt)
             env[target.id] = value
             if target.id in self.spec_dims \
                     and isinstance(value, V.DimScalar):
@@ -229,12 +384,23 @@ class FlowInterpreter:
                 and isinstance(target.value, ast.Name):
             # ``res.af = ...`` — track the attribute as a pseudo-local
             # so later reads (``potrf(res.af)``) keep the value.
-            env[f"{target.value.id}.{target.attr}"] = value
+            key = f"{target.value.id}.{target.attr}"
+            if not self._record_access(key, "write", stmt, env):
+                self._record_access(target.value.id, "write", stmt, env)
+            env[key] = value
 
     def _record_subscript_write(self, target, value, stmt, env, via):
         base = target.value
+        if isinstance(base, ast.Attribute) \
+                and isinstance(base.value, ast.Name):
+            self._record_access(f"{base.value.id}.{base.attr}", "write",
+                                stmt, env)
+            return
         if not isinstance(base, ast.Name):
             return
+        self._record_access(base.id, "write", stmt, env)
+        if base.id in self.module_globals:
+            self._record_escape(value, base.id, stmt)
         held = env.get(base.id, V.UNKNOWN)
         names = held.origins if isinstance(held, V.ArrayVal) \
             else frozenset()
@@ -245,6 +411,9 @@ class FlowInterpreter:
 
     def _eval(self, node, env):
         if isinstance(node, ast.Name):
+            self._record_access(node.id, "read", node, env)
+            if node.id in self.tls_names:
+                return TLSRef(node.id)
             if node.id in env:
                 return env[node.id]
             if node.id in self.substrate:
@@ -302,6 +471,11 @@ class FlowInterpreter:
 
     def _eval_attribute(self, node, env):
         val = self._eval(node.value, env)
+        if isinstance(val, TLSRef):
+            return val
+        if isinstance(node.value, ast.Name):
+            self._record_access(f"{node.value.id}.{node.attr}", "read",
+                                node, env)
         if isinstance(val, V.ArrayVal):
             if node.attr == "shape":
                 if val.shape is None:
@@ -359,6 +533,21 @@ class FlowInterpreter:
                 return V.ArrayVal(shape=base.shape, dtype=dtype,
                                   allocs=frozenset({site.index}))
             return V.UNKNOWN
+
+        # Explicit ``LOCK.acquire()`` / ``LOCK.release()`` — the
+        # non-``with`` half of the lock model (joins at branch merges
+        # are only interesting because these exist).
+        if isinstance(func, ast.Attribute) \
+                and func.attr in ("acquire", "release"):
+            lock = self._lock_id(func.value)
+            if lock is not None:
+                if func.attr == "acquire":
+                    self._push_lock(lock, env, call)
+                else:
+                    held = env.get(LOCKSET, frozenset())
+                    env[LOCKSET] = frozenset(
+                        p for p in held if p[0] != lock)
+                return V.UNKNOWN
 
         # ``deadlines.check(srname, stage, ...)`` — a stage checkpoint.
         if isinstance(func, ast.Attribute) and func.attr == "check" \
@@ -454,22 +643,75 @@ class FlowInterpreter:
 
         # Interprocedural step: same-module / auxmod helpers resolve
         # through the summary engine instead of poisoning the env.
+        clean_call = not any(kw.arg is None for kw in call.keywords) \
+            and not any(isinstance(a, ast.Starred) for a in call.args)
         if self.summaries is not None and isinstance(func, ast.Name) \
-                and not any(kw.arg is None for kw in call.keywords) \
-                and not any(isinstance(a, ast.Starred)
-                            for a in call.args):
+                and clean_call:
             target = self.summaries.resolve(self.module, func.id)
             if target is not None:
-                argvals = [self._eval(a, env) for a in call.args]
-                kwvals = {kw.arg: self._eval(kw.value, env)
-                          for kw in call.keywords}
-                result = self.summaries.apply(self, target, argvals,
-                                              kwvals)
-                if result is not self.summaries.NO_SUMMARY:
-                    return result
-                return V.UNKNOWN
+                return self._apply_summary(call, target, env)
+        # Module-attribute calls (``cache.lookup(a)``) resolve through
+        # the engine's import map when it provides one — the
+        # concurrency pass inlines calls into state-owning modules.
+        if self.summaries is not None \
+                and isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Name) and clean_call:
+            resolve_attr = getattr(self.summaries, "resolve_attr", None)
+            if resolve_attr is not None:
+                target = resolve_attr(self.module, func.value.id,
+                                      func.attr)
+                if target is not None:
+                    return self._apply_summary(call, target, env)
 
-        self._eval_rest(call, env)
+        return self._eval_generic(call, env)
+
+    def _apply_summary(self, call, target, env):
+        argvals = [self._eval(a, env) for a in call.args]
+        kwvals = {kw.arg: self._eval(kw.value, env)
+                  for kw in call.keywords}
+        # Call context for event replay: the caller's lockset (unioned
+        # onto replayed accesses/acquires) and the call node (the
+        # ``site`` stamped on events replayed into a root).
+        self._call_node = call
+        self._call_lockset = env.get(LOCKSET, frozenset())
+        result = self.summaries.apply(self, target, argvals, kwvals)
+        if result is not self.summaries.NO_SUMMARY:
+            return result
+        return V.UNKNOWN
+
+    def _eval_generic(self, call, env):
+        """Evaluate an unmodelled call: arguments for side effects,
+        guarded receivers as reads/writes, thread-local provenance."""
+        func = call.func
+        argvals = [self._eval(a, env) for a in call.args]
+        for kw in call.keywords:
+            if kw.value is not None:
+                self._eval(kw.value, env)
+        if isinstance(func, ast.Name) and func.id == "getattr" \
+                and argvals and isinstance(argvals[0], TLSRef):
+            return argvals[0]
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            recv_key = None
+            if isinstance(base, ast.Name):
+                recv_key = base.id
+            elif isinstance(base, ast.Attribute) \
+                    and isinstance(base.value, ast.Name):
+                recv_key = f"{base.value.id}.{base.attr}"
+            if recv_key is not None:
+                mutating = func.attr in MUTATORS
+                if recv_key in self.guarded:
+                    self._record_access(
+                        recv_key, "write" if mutating else "read",
+                        call, env)
+                if mutating and (recv_key in self.module_globals
+                                 or recv_key in self.guarded):
+                    for v in argvals:
+                        self._record_escape(v, recv_key, call)
+                if recv_key not in self.guarded:
+                    recv = self._eval(base, env)
+                    if isinstance(recv, TLSRef):
+                        return recv
         return V.UNKNOWN
 
     def _eval_rest(self, call, env, skip=0):

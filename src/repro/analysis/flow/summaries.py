@@ -141,6 +141,15 @@ class Summary:
     writes: tuple
     sinks: tuple
     checkpoints: tuple
+    # Concurrency events (empty for plain dataflow summaries).  Access
+    # locksets and acquire held-sets are relative to the helper body;
+    # replay unions the caller's lockset on top and renumbers the
+    # helper's lock regions into fresh caller regions, so a helper that
+    # locks internally stays atomic and one that relies on the caller's
+    # lock inherits it — the interprocedural half of LA023/LA024.
+    accesses: tuple = ()
+    acquires: tuple = ()
+    escapes: tuple = ()
 
 
 def _rewrite(value, remap):
@@ -277,15 +286,73 @@ class SummaryEngine:
         for c in summary.checkpoints:
             caller.checkpoints.append(c.__class__(
                 stage=c.stage, node=c.node, depth=bump + c.depth))
+        if summary.accesses or summary.acquires or summary.escapes:
+            self._replay_concurrency(caller, summary, bump)
         return _rewrite(summary.ret, remap)
 
-    def _compute(self, mod, func, params, canon_args,
-                 canon_kwargs) -> Summary:
+    @staticmethod
+    def _replay_concurrency(caller, summary, bump):
+        """Replay lock-model events into the caller.
+
+        The caller's lockset at the call site joins every replayed
+        access (a helper touching guarded state under the *caller's*
+        lock is fine), helper-local lock regions are renumbered into
+        fresh caller regions, and each event keeps the *first* call
+        expression it was replayed through as its ``site`` — the line
+        where the guarded module's API was invoked — so reports and
+        pragmas can anchor there.
+        """
+        lockset = getattr(caller, "_call_lockset", frozenset())
+        locks_held = frozenset(l for l, _ in lockset)
+        site = getattr(caller, "_call_node", None)
+        site_path = caller.module.path if caller.module is not None else ""
+        rmap: dict = {}
+
+        def region(r):
+            if r not in rmap:
+                caller._regions += 1
+                rmap[r] = caller._regions
+            return rmap[r]
+
+        for a in summary.accesses:
+            caller.accesses.append(a.__class__(
+                name=a.name, kind=a.kind, lock=a.lock,
+                locks=lockset | frozenset((l, region(r))
+                                          for l, r in a.locks),
+                node=a.node, path=a.path,
+                site=a.site if a.site is not None else site,
+                site_path=a.site_path if a.site is not None else site_path,
+                depth=bump + a.depth))
+        for q in summary.acquires:
+            caller.acquires.append(q.__class__(
+                lock=q.lock, held=q.held | locks_held,
+                reentrant=q.reentrant, node=q.node, path=q.path,
+                site=q.site if q.site is not None else site,
+                depth=bump + q.depth))
+        for e in summary.escapes:
+            caller.escapes.append(e.__class__(
+                source=e.source, target=e.target, node=e.node,
+                path=e.path, site=e.site if e.site is not None else site,
+                depth=bump + e.depth))
+
+    def _make_interpreter(self, mod, func):
+        """Build the sub-interpreter a summary is computed with.
+
+        Subclasses (the concurrency engine) override this to install
+        per-module guard/lock configuration; the base engine keeps the
+        lock model inert.
+        """
         from .interp import FlowInterpreter   # cycle: interp hooks us
-        self.computed += 1
         sub = FlowInterpreter(module=mod, func=func,
                               substrate=mod.substrate_names,
                               summaries=self, depth=0)
+        sub.in_summary = True
+        return sub
+
+    def _compute(self, mod, func, params, canon_args,
+                 canon_kwargs) -> Summary:
+        self.computed += 1
+        sub = self._make_interpreter(mod, func)
         env = {p: V.UNKNOWN for p in params}
         for pname, val in zip(params, canon_args):
             env[pname] = val
@@ -300,4 +367,7 @@ class SummaryEngine:
         return Summary(ret=ret, allocs=tuple(sub.allocs),
                        writes=tuple(sub.writes),
                        sinks=tuple(sub.sinks),
-                       checkpoints=tuple(sub.checkpoints))
+                       checkpoints=tuple(sub.checkpoints),
+                       accesses=tuple(sub.accesses),
+                       acquires=tuple(sub.acquires),
+                       escapes=tuple(sub.escapes))

@@ -86,7 +86,14 @@ class Module:
     path: str
     tree: ast.Module
     functions: dict = field(default_factory=dict)   # name -> FunctionDef
+    classes: dict = field(default_factory=dict)     # name -> ClassDef
     imports: dict = field(default_factory=dict)     # name -> module str
+    #: Raw ``from``-import records ``(level, module, name, asname)`` —
+    #: unlike :attr:`imports` these keep the relative level, so the
+    #: concurrency pass can resolve ``from . import cache`` to the
+    #: actual project file instead of guessing by bare name.
+    import_records: list = field(default_factory=list)
+    source_lines: tuple = ()                        # for pragma scans
     all_literal: list | None = None                 # None = absent
     all_dynamic: bool = False
     all_node: ast.AST | None = None
@@ -228,10 +235,13 @@ class Project:
             tree = ast.parse(source, filename=path)
         except SyntaxError:
             return
-        mod = Module(path=path, tree=tree)
+        mod = Module(path=path, tree=tree,
+                     source_lines=tuple(source.splitlines()))
         for node in tree.body:
             if isinstance(node, ast.FunctionDef):
                 mod.functions[node.name] = node
+            elif isinstance(node, ast.ClassDef):
+                mod.classes[node.name] = node
             elif isinstance(node, ast.Assign):
                 for t in node.targets:
                     if isinstance(t, ast.Name) and t.id == "__all__":
@@ -247,6 +257,8 @@ class Project:
                 for alias in node.names:
                     name = alias.asname or alias.name
                     mod.imports[name] = src
+                    mod.import_records.append(
+                        (node.level, src, alias.name, name))
                     parts = src.split(".")
                     # Direct substrate imports and registry-dispatched
                     # proxies (repro.backends.kernels) both count as

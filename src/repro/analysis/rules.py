@@ -792,7 +792,8 @@ def check_la022(project: Project):
 
 from .flow import (check_la011, check_la012, check_la013,  # noqa: E402
                    check_la014, check_la015, check_la016, check_la017,
-                   check_la018, check_la019, check_la020)
+                   check_la018, check_la019, check_la020, check_la023,
+                   check_la024, check_la025, check_la026)
 
 RULES = [
     ("LA001", "every exit path reports through erinfo", check_la001),
@@ -831,6 +832,14 @@ RULES = [
      check_la021),
     ("LA022", "no hand-rolled structure routing outside the derivation",
      check_la022),
+    ("LA023", "guarded state accessed only with its lock held",
+     check_la023),
+    ("LA024", "no check-then-act split across lock regions",
+     check_la024),
+    ("LA025", "lock acquisition order is globally acyclic",
+     check_la025),
+    ("LA026", "thread-local state never escapes into shared containers",
+     check_la026),
 ]
 
 

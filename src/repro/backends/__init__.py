@@ -126,10 +126,11 @@ class Backend:
 
 def register_backend(backend, replace=False):
     """Add ``backend`` to the registry (``replace=True`` to overwrite)."""
-    if backend.name in _REGISTRY and not replace:
-        raise ValueError("backend {!r} already registered"
-                         .format(backend.name))
-    _REGISTRY[backend.name] = backend
+    with STATE_LOCK:
+        if backend.name in _REGISTRY and not replace:
+            raise ValueError("backend {!r} already registered"
+                             .format(backend.name))
+        _REGISTRY[backend.name] = backend
 
 
 def unregister_backend(name):
@@ -139,39 +140,44 @@ def unregister_backend(name):
     global _SELECTED
     if name == "reference":
         raise ValueError("the reference backend cannot be unregistered")
-    _REGISTRY.pop(name, None)
     with STATE_LOCK:
+        _REGISTRY.pop(name, None)
         if _SELECTED == name:
             _SELECTED = "reference"
 
 
 def available_backends():
     """Names of the registered (importable) backends, reference first."""
-    return tuple(sorted(_REGISTRY, key=lambda n: (n != "reference", n)))
+    with STATE_LOCK:
+        names = tuple(_REGISTRY)
+    return tuple(sorted(names, key=lambda n: (n != "reference", n)))
 
 
 def get_backend(name):
     """The registered :class:`Backend` called ``name``."""
-    try:
-        return _REGISTRY[name]
-    except KeyError:
+    with STATE_LOCK:
+        backend = _REGISTRY.get(name)
+    if backend is None:
         raise ValueError("no backend registered under {!r}; available: "
                          "{}".format(name, ", ".join(available_backends())))
+    return backend
 
 
 def _validate(name):
     name = str(name).lower()
-    if name not in KNOWN_BACKENDS and name not in _REGISTRY:
-        raise ValueError(
-            "unknown backend {!r}; known: {}".format(
-                name, ", ".join(sorted(set(KNOWN_BACKENDS) |
-                                       set(_REGISTRY)))))
+    with STATE_LOCK:
+        known = name in KNOWN_BACKENDS or name in _REGISTRY
+        if not known:
+            raise ValueError(
+                "unknown backend {!r}; known: {}".format(
+                    name, ", ".join(sorted(set(KNOWN_BACKENDS) |
+                                           set(_REGISTRY)))))
     return name
 
 
 def get_backend_name():
     """Name of the process-global backend selection."""
-    return _SELECTED
+    return _SELECTED  # laflow: benign-race — atomic snapshot of one name binding
 
 
 #: Callbacks fired after every *effective* backend switch, as
@@ -184,8 +190,9 @@ _SWITCH_HOOKS: list = []
 def on_backend_switch(hook):
     """Register ``hook(previous, selected)`` to run after each effective
     backend switch; returns ``hook`` (usable as a decorator)."""
-    if hook not in _SWITCH_HOOKS:
-        _SWITCH_HOOKS.append(hook)
+    with STATE_LOCK:
+        if hook not in _SWITCH_HOOKS:
+            _SWITCH_HOOKS.append(hook)
     return hook
 
 
@@ -207,7 +214,9 @@ def _switched(previous, selected, durable):
         from ..resilience import dispatch as _dispatch
         _dispatch._OPEN_WARNINGS.reset(
             where=lambda key: key[0] == previous)
-    for hook in list(_SWITCH_HOOKS):
+    with STATE_LOCK:
+        hooks = list(_SWITCH_HOOKS)
+    for hook in hooks:       # outside the lock: hooks may take it
         hook(previous, selected)
 
 
@@ -216,7 +225,7 @@ def _select(name, durable):
     validated = _validate(name)
     with STATE_LOCK:
         previous = _SELECTED
-        _SELECTED = validated
+        _SELECTED = validated  # laflow: atomic-split — each swap is atomic; use_backend's set/restore are deliberately separate swaps
     if previous != validated:
         _switched(previous, validated, durable)
     return previous
@@ -281,15 +290,15 @@ def resolve(routine, dtype=None, backend=None):
     consulted and, when it cannot serve the routine/dtype, the call
     falls back to ``reference`` with a once-per-pair warning.
     """
-    name = _validate(backend) if backend is not None else _SELECTED
-    reference = _REGISTRY["reference"]
+    name = _validate(backend) if backend is not None else _SELECTED  # laflow: benign-race — snapshot read; a racing switch serves the prior backend for one call
+    reference = _REGISTRY["reference"]  # laflow: benign-race — reference entry is registered once at import and never replaced
     if faults.active():
         kernel = reference.get(routine)
         if kernel is None:
             raise LookupError("unknown routine {!r}".format(routine))
         return kernel
     if name != "reference":
-        chosen = _REGISTRY.get(name)
+        chosen = _REGISTRY.get(name)  # laflow: benign-race — snapshot read; Backend objects are immutable once registered
         if chosen is None:
             _announce(name, routine, "backend not registered")
         else:

@@ -62,7 +62,7 @@ _CROSSOVER.update({"getrf": 96, "potrf": 96})
 def _family(name: str) -> str:
     """Strip the precision prefix: ``'SGETRI'`` → ``'getri'``."""
     name = name.lower()
-    if name and name[0] in "sdcz" and name[1:] in _BLOCK_SIZES:
+    if name and name[0] in "sdcz" and name[1:] in _BLOCK_SIZES:  # laflow: benign-race — membership probe against a stable key set; values never leave the dict
         return name[1:]
     return name
 
@@ -82,11 +82,11 @@ def ilaenv(ispec: int, name: str, opts: str = "", n1: int = -1,
     """
     fam = _family(name)
     if ispec == 1:
-        return _BLOCK_SIZES.get(fam, 1)
+        return _BLOCK_SIZES.get(fam, 1)  # laflow: benign-race — single tear-free dict read of an int tuning knob
     if ispec == 2:
-        return _MIN_BLOCK.get(fam, 2)
+        return _MIN_BLOCK.get(fam, 2)  # laflow: benign-race — single tear-free dict read of an int tuning knob
     if ispec == 3:
-        return _CROSSOVER.get(fam, 0)
+        return _CROSSOVER.get(fam, 0)  # laflow: benign-race — single tear-free dict read of an int tuning knob
     # Other ISPEC values exist in LAPACK (environmental enquiries); nothing
     # in this package consults them.
     return -1
@@ -94,7 +94,7 @@ def ilaenv(ispec: int, name: str, opts: str = "", n1: int = -1,
 
 def get_block_size(family: str) -> int:
     """Current block size for a routine family, e.g. ``'getrf'``."""
-    return _BLOCK_SIZES.get(_family(family), 1)
+    return _BLOCK_SIZES.get(_family(family), 1)  # laflow: benign-race — single tear-free dict read of an int tuning knob
 
 
 def set_block_size(family: str, nb: int) -> None:

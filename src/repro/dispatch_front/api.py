@@ -90,7 +90,7 @@ def _classify(a, assume):
     if st is not None:
         return st, True
     st = probe_stack(a) if a.ndim == 3 else probe(a)
-    cache.store(a, st)
+    cache.store(a, st)  # laflow: atomic-split — probing runs unlocked by design; a racing store of the same verdict is idempotent
     return st, False
 
 

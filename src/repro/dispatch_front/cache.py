@@ -70,7 +70,7 @@ def lookup(a):
     ``a``, or ``None`` after any metadata or fingerprint drift."""
     key = id(a)
     with STATE_LOCK:
-        entry = _ENTRIES.get(key)
+        entry = _ENTRIES.get(key)  # laflow: atomic-split — revalidation reads the array outside the lock; the delete region re-checks `is entry` first
         if entry is None:
             _STATS["misses"] += 1
             return None
@@ -79,7 +79,7 @@ def lookup(a):
     # immutable tuples and a stale verdict is resolved below.
     if meta != _metadata(a) or prints != fingerprint(a):
         with STATE_LOCK:
-            if _ENTRIES.get(key) is entry:
+            if _ENTRIES.get(key) is entry:  # laflow: atomic-split — miss path; a racing store of the same operand is idempotent
                 del _ENTRIES[key]
                 _STATS["invalidated"] += 1
             _STATS["misses"] += 1

@@ -79,25 +79,28 @@ def install(routine: str, *, zero_pivot: int | None = None,
     """
     if zero_pivot is None and not alloc and linfo is None:
         raise ValueError("install() needs one of zero_pivot=, alloc=, linfo=")
-    _FAULTS[routine.lower()] = {
-        "zero_pivot": zero_pivot,
-        "alloc": alloc,
-        "linfo": linfo,
-        "count": count,
-    }
-    _sync()
+    with STATE_LOCK:
+        _FAULTS[routine.lower()] = {
+            "zero_pivot": zero_pivot,
+            "alloc": alloc,
+            "linfo": linfo,
+            "count": count,
+        }
+        _sync()
 
 
 def remove(routine: str) -> None:
     """Disarm the fault installed against ``routine`` (if any)."""
-    _FAULTS.pop(routine.lower(), None)
-    _sync()
+    with STATE_LOCK:
+        _FAULTS.pop(routine.lower(), None)
+        _sync()
 
 
 def clear() -> None:
     """Disarm every installed fault."""
-    _FAULTS.clear()
-    _sync()
+    with STATE_LOCK:
+        _FAULTS.clear()
+        _sync()
 
 
 @contextmanager
@@ -112,7 +115,7 @@ def injected(routine: str, **kwargs):
 
 def active() -> bool:
     """True while any fault is armed."""
-    return ACTIVE
+    return ACTIVE  # laflow: benign-race — single boolean, worst case one stale hook consult
 
 
 def _consume(name: str, kind: str):
@@ -130,27 +133,31 @@ def _consume(name: str, kind: str):
 def pivot_fault(routine: str, j: int) -> bool:
     """True when the factorization kernel should force a zero pivot at
     (local) step ``j``."""
-    if not ACTIVE:
+    if not ACTIVE:  # laflow: benign-race — hot-path gate; the locked lookup below re-checks
         return False
-    fault = _FAULTS.get(routine.lower())
-    if fault is None or fault["zero_pivot"] is None or fault["zero_pivot"] != j:
-        return False
-    return _consume(routine.lower(), "zero_pivot") is not None
+    with STATE_LOCK:
+        fault = _FAULTS.get(routine.lower())
+        if fault is None or fault["zero_pivot"] is None \
+                or fault["zero_pivot"] != j:
+            return False
+        return _consume(routine.lower(), "zero_pivot") is not None
 
 
 def alloc_fault(routine: str) -> bool:
     """True when the driver should simulate a failed workspace
     allocation (``LINFO = -100``)."""
-    if not ACTIVE:
+    if not ACTIVE:  # laflow: benign-race — hot-path gate; the locked lookup below re-checks
         return False
-    return _consume(routine.lower(), "alloc") is not None
+    with STATE_LOCK:
+        return _consume(routine.lower(), "alloc") is not None
 
 
 def linfo_fault(routine: str) -> int | None:
     """Forced status code for ``routine``, or ``None``."""
-    if not ACTIVE:
+    if not ACTIVE:  # laflow: benign-race — hot-path gate; the locked lookup below re-checks
         return None
-    return _consume(routine.lower(), "linfo")
+    with STATE_LOCK:
+        return _consume(routine.lower(), "linfo")
 
 
 # ---------------------------------------------------------------------
@@ -223,7 +230,7 @@ def chaos_clear() -> None:
 
 def chaos_active() -> bool:
     """True while any chaos fault is armed."""
-    return CHAOS_ACTIVE
+    return CHAOS_ACTIVE  # laflow: benign-race — single boolean, worst case one stale report
 
 
 @contextmanager
@@ -244,7 +251,7 @@ def chaos_fault(routine: str, backend: str) -> Exception | None:
     to proceed.  Calls filtered out by a ``backend=`` restriction do not
     advance the fault's counters.
     """
-    if not CHAOS_ACTIVE:
+    if not CHAOS_ACTIVE:  # laflow: benign-race — hot-path gate; the locked lookup below re-checks
         return None
     with STATE_LOCK:
         spec = _CHAOS.get(routine.lower())

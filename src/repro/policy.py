@@ -73,7 +73,7 @@ _POLICY = ExceptionPolicy()
 
 def get_policy() -> ExceptionPolicy:
     """The live process-global policy object."""
-    return _POLICY
+    return _POLICY  # laflow: benign-race — stable object identity; knob reads are word-sized and tear-free
 
 
 def set_policy(nonfinite: str | None = None, rcond_guard: str | None = None,
@@ -92,7 +92,7 @@ def set_policy(nonfinite: str | None = None, rcond_guard: str | None = None,
             _POLICY.rcond_guard = rcond_guard
         if fallbacks is not None:
             _POLICY.fallbacks = bool(fallbacks)
-    return _POLICY
+        return _POLICY
 
 
 @contextmanager
@@ -148,7 +148,7 @@ def screen(srname: str, *args):
     the ``NONFINITE - i`` code with a pre-built
     :class:`repro.errors.NonFiniteInput` for ERINFO to raise or store.
     """
-    mode = _POLICY.nonfinite
+    mode = _POLICY.nonfinite  # laflow: benign-race — one tear-free knob read snapshots the mode for this screen
     if mode == "propagate":
         return 0, None
     for position, arr in args:
@@ -183,7 +183,7 @@ def screen_stack(srname: str, batch: int, *args):
     the scalar screen.
     """
     codes = np.zeros(batch, dtype=np.int64)
-    mode = _POLICY.nonfinite
+    mode = _POLICY.nonfinite  # laflow: benign-race — one tear-free knob read snapshots the mode for this screen
     if mode == "propagate":
         return codes, []
     warned = []
@@ -206,7 +206,7 @@ def illcond_event(srname: str, rcond: float) -> None:
     """Report an ill-conditioning verdict (RCOND below machine epsilon)
     per the active policy.  The caller still sets ``info = n+1``; this
     hook only decides whether the condition is also announced."""
-    if _POLICY.rcond_guard == "warn":
+    if _POLICY.rcond_guard == "warn":  # laflow: benign-race — one tear-free knob read; worst case one warning under the departing mode
         warnings.warn(
             f"{srname}: matrix is singular to working precision "
             f"(RCOND = {rcond:.3e}); results carry info = n+1",

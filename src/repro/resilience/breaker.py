@@ -52,7 +52,7 @@ def admit(backend: str, routine: str) -> str:
     call is the single recovery probe), or ``"open"`` (do not call the
     backend; route to reference).
     """
-    if not TRACKING:
+    if not TRACKING:  # laflow: benign-race — hot-path gate; an untracked pair is healthy by definition
         return "closed"
     key = (backend, routine)
     now = time.monotonic()
@@ -81,7 +81,7 @@ def record_failure(backend: str, routine: str) -> str | None:
     with STATE_LOCK:
         entry = _BREAKERS.get(key)
         if entry is None:
-            entry = _BREAKERS[key] = {"failures": 0, "open_since": None,
+            entry = _BREAKERS[key] = {"failures": 0, "open_since": None,  # laflow: atomic-split — each transition is atomic; admit→record deliberately brackets the unlocked kernel call
                                       "probing": False, "probe_at": 0.0}
             _sync()
         if entry["probing"]:
@@ -107,11 +107,11 @@ def record_success(backend: str, routine: str) -> str | None:
     ``"closed"`` when this success closed a probing breaker (worth a
     call-log note), else ``None``.
     """
-    if not TRACKING:
+    if not TRACKING:  # laflow: benign-race — hot-path gate; a pair going untracked mid-call just skips one bookkeeping pop
         return None
     key = (backend, routine)
     with STATE_LOCK:
-        entry = _BREAKERS.pop(key, None)
+        entry = _BREAKERS.pop(key, None)  # laflow: atomic-split — each transition is atomic; admit→record deliberately brackets the unlocked kernel call
         _sync()
         if entry is not None and entry["probing"]:
             return "closed"
@@ -121,7 +121,7 @@ def record_success(backend: str, routine: str) -> str | None:
 def breaker_state(backend: str, routine: str) -> str:
     """The pair's current state: ``"closed"``, ``"open"``, or
     ``"half-open"`` (cooldown elapsed or probe in flight)."""
-    if not TRACKING:
+    if not TRACKING:  # laflow: benign-race — hot-path gate; an untracked pair reports closed correctly
         return "closed"
     now = time.monotonic()
     with STATE_LOCK:
@@ -138,7 +138,7 @@ def states() -> dict[str, str]:
     """Snapshot of every tracked pair, ``"backend:routine" -> state``
     (pairs still closed but accumulating failures report ``"closed"``)."""
     out: dict[str, str] = {}
-    if not TRACKING:
+    if not TRACKING:  # laflow: benign-race — snapshot API; an empty report for a just-tracked pair is a valid snapshot
         return out
     with STATE_LOCK:
         keys = list(_BREAKERS)

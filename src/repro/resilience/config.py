@@ -45,7 +45,7 @@ _RESILIENCE = ResiliencePolicy()
 
 def get_resilience() -> ResiliencePolicy:
     """The live process-global resilience policy object."""
-    return _RESILIENCE
+    return _RESILIENCE  # laflow: benign-race — stable object identity; knob reads are word-sized and tear-free
 
 
 def set_resilience(retries: int | None = None,
@@ -73,7 +73,7 @@ def set_resilience(retries: int | None = None,
             _RESILIENCE.breaker_cooldown = float(breaker_cooldown)
         if warning_window is not None:
             _RESILIENCE.warning_window = float(warning_window)
-    return _RESILIENCE
+        return _RESILIENCE
 
 
 @contextmanager

@@ -68,7 +68,7 @@ def deadline(seconds: float):
 def remaining() -> float | None:
     """Seconds left on the tightest enclosing deadline, or ``None`` when
     no deadline is armed on this thread."""
-    if not _ARMED:
+    if not _ARMED:  # laflow: benign-race — counter gate; this thread's own deadlines are in the thread-local stack checked next
         return None
     stack = _stack()
     if not stack:
@@ -85,7 +85,7 @@ def check(srname: str, stage: str = "entry", info=None) -> None:
     drained into it so the exception's ``partial`` handle carries the
     attempts made before the budget ran out.
     """
-    if not _ARMED:
+    if not _ARMED:  # laflow: benign-race — counter gate; this thread's own deadlines are in the thread-local stack checked next
         return
     stack = _stack()
     if not stack or time.monotonic() < min(stack):

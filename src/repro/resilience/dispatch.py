@@ -58,12 +58,15 @@ _EXEMPT: frozenset | None = None
 def exempt_kernels() -> frozenset:
     """Kernel names whose specs opt out of retry/escalation."""
     global _EXEMPT
-    if _EXEMPT is None:
+    # Deliberately lock-free: importing SPECS under STATE_LOCK could
+    # deadlock against the import lock at first use; the computed set is
+    # deterministic, so racing initialisations agree.
+    if _EXEMPT is None:  # laflow: benign-race — idempotent lazy init; racing builders compute identical sets
         from ..specs import SPECS
-        _EXEMPT = frozenset(
+        _EXEMPT = frozenset(  # laflow: benign-race — idempotent lazy init; racing builders compute identical sets
             spec.kernel for spec in SPECS.values()
             if spec.breaker_exempt and spec.kernel is not None)
-    return _EXEMPT
+    return _EXEMPT  # laflow: benign-race — frozenset snapshot, immutable once built
 
 
 _exempt_kernels = exempt_kernels    # backwards-compatible alias

@@ -1,0 +1,44 @@
+"""Seeded LA024 violations: check-then-act on guarded state split
+across two lock regions, plus a dangling atomic-split pragma on a line
+the analysis never reaches."""
+
+import threading
+
+STATE_LOCK = threading.RLock()
+
+_LAFLOW_GUARDED = {"_CACHE": "STATE_LOCK"}
+
+_CACHE: dict = {}
+
+
+def split_lookup_insert(key, value):
+    with STATE_LOCK:
+        cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    with STATE_LOCK:
+        _CACHE[key] = value  # lint: LA024
+    return value
+
+
+def _check(key):
+    with STATE_LOCK:
+        return key in _CACHE
+
+
+def _act(key, value):
+    with STATE_LOCK:
+        _CACHE[key] = value  # lint: LA024
+
+
+def split_across_helpers(key, value):
+    # Interprocedural split: the check and the act each lock correctly,
+    # but the composition is not atomic (reported at the act's line).
+    if not _check(key):
+        _act(key, value)
+
+
+def dangling_pragma(key):
+    # laflow: atomic-split — suppresses nothing; no guarded access on this line  # lint: LA024
+    with STATE_LOCK:
+        return _CACHE.get(key)

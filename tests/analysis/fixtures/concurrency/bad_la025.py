@@ -1,0 +1,25 @@
+"""Seeded LA025 violations: a lock-order cycle between two plain locks
+and a non-re-entrant self-acquisition."""
+
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+
+
+def a_then_b():
+    with LOCK_A:
+        with LOCK_B:  # lint: LA025
+            return 1
+
+
+def b_then_a():
+    with LOCK_B:
+        with LOCK_A:
+            return 2
+
+
+def self_nest():
+    with LOCK_A:
+        with LOCK_A:  # lint: LA025
+            return 3

@@ -1,0 +1,18 @@
+"""Seeded LA026 violations: values derived from thread-local state
+stored into module globals and long-lived shared containers."""
+
+import threading
+
+_TLS = threading.local()
+
+_SEEN: dict = {}
+_LAST = None
+
+
+def leak_into_global():
+    global _LAST
+    _LAST = _TLS.value  # lint: LA026
+
+
+def leak_into_cache(key):
+    _SEEN[key] = getattr(_TLS, "stack", None)  # lint: LA026

@@ -1,0 +1,58 @@
+"""Conforming twin of ``bad_la023.py``: every guarded access holds the
+lock — lexically, across branch joins, through an acquire/release pair,
+via a summary-propagated caller lockset, or under a justified
+benign-race pragma."""
+
+import threading
+
+STATE_LOCK = threading.RLock()
+
+_LAFLOW_GUARDED = {"_TABLE": "STATE_LOCK", "_COUNT": "STATE_LOCK"}
+
+_TABLE: dict = {}
+_COUNT = 0
+
+
+def read_locked(key):
+    with STATE_LOCK:
+        return _TABLE.get(key)
+
+
+def write_locked(key, value):
+    global _COUNT
+    with STATE_LOCK:
+        _TABLE[key] = value
+        _COUNT += 1
+
+
+def both_arms(flag, key):
+    # The lock is in the lockset on *both* arms, so the merge keeps it.
+    if flag:
+        STATE_LOCK.acquire()
+    else:
+        STATE_LOCK.acquire()
+    value = _TABLE.get(key)
+    STATE_LOCK.release()
+    return value
+
+
+def acquire_release(key):
+    STATE_LOCK.acquire()
+    value = _TABLE.get(key)
+    STATE_LOCK.release()
+    return value
+
+
+def _helper(key):
+    return _TABLE.get(key)
+
+
+def locked_caller(key):
+    # Summary-propagated lockset: the helper relies on — and inherits —
+    # the caller's lock at replay time.
+    with STATE_LOCK:
+        return _helper(key)
+
+
+def fast_path(key):
+    return key in _TABLE  # laflow: benign-race — advisory membership probe; callers re-check under the lock

@@ -1,0 +1,34 @@
+"""Conforming twin of ``bad_la024.py``: the check and the act share one
+lock region, read-modify-write stays single-statement, and the one
+deliberate split carries a justified, load-bearing pragma."""
+
+import threading
+
+STATE_LOCK = threading.RLock()
+
+_LAFLOW_GUARDED = {"_CACHE": "STATE_LOCK"}
+
+_CACHE: dict = {}
+
+
+def atomic_lookup_insert(key, value):
+    with STATE_LOCK:
+        cached = _CACHE.get(key)
+        if cached is None:
+            cached = _CACHE[key] = value
+    return cached
+
+
+def counter_bump(key):
+    with STATE_LOCK:
+        _CACHE[key] = _CACHE.get(key, 0) + 1
+
+
+def justified_split(key, value):
+    with STATE_LOCK:
+        cached = _CACHE.get(key)  # laflow: atomic-split — recomputation between regions is idempotent
+    if cached is not None:
+        return cached
+    with STATE_LOCK:
+        _CACHE[key] = value
+    return value

@@ -1,0 +1,27 @@
+"""Conforming twin of ``bad_la025.py``: one global acquisition order
+(A before B everywhere) and re-entrant nesting of the RLock-backed
+STATE_LOCK — the locked-API-calls-locked-API shape."""
+
+import threading
+
+STATE_LOCK = threading.RLock()
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+
+
+def reentrant_state_lock():
+    with STATE_LOCK:
+        with STATE_LOCK:
+            return 1
+
+
+def consistent_order_one():
+    with LOCK_A:
+        with LOCK_B:
+            return 2
+
+
+def consistent_order_two():
+    with LOCK_A:
+        with LOCK_B:
+            return 3

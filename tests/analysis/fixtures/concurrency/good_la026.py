@@ -1,0 +1,22 @@
+"""Conforming twin of ``bad_la026.py``: thread-local state stays on its
+thread — mutated in place, copied into locals, summarized by value —
+and never parked in a module-level container."""
+
+import threading
+
+_TLS = threading.local()
+
+
+def push(value):
+    stack = getattr(_TLS, "stack", None)
+    if stack is None:
+        stack = _TLS.stack = []
+    stack.append(value)
+    return len(stack)
+
+
+def snapshot():
+    # Copying *out of* thread-local state into a local is fine; only
+    # stores into module-level containers leak across threads.
+    frames = getattr(_TLS, "stack", None)
+    return list(frames or ())

@@ -14,12 +14,14 @@ import numpy as np
 import pytest
 
 from repro import _sync, backends, config, policy
-from repro import exception_policy, la_gesv, set_policy, use_backend
+from repro import exception_policy, la_gesv, set_policy, solve, use_backend
+from repro.dispatch_front import cache
 from repro.errors import Info
 from repro.resilience import (breaker, breaker_state, breaker_states,
                               get_resilience, reset_breakers,
                               reset_open_warnings, resilience_policy,
                               set_resilience)
+from repro.resilience.ratelimit import RateLimiter
 from repro.testing import faultinject as fi
 
 N_THREADS = 8
@@ -287,3 +289,189 @@ def test_resilience_policy_restores_under_contention():
     res = get_resilience()
     assert (res.retries, res.breaker_threshold, res.breaker_cooldown,
             res.warning_window) == (1, 3, 30.0, 60.0)
+
+
+def test_structure_cache_survives_probe_insert_invalidate_races():
+    # The front door's per-array structure cache (LA023's largest
+    # guarded surface) under fire: solver threads probe/hit/store the
+    # same operands, invalidators drop entries wholesale, and backend
+    # flippers bump the epoch (which clears the cache through the
+    # switch hook) — all while every solve must stay correct and every
+    # stats() snapshot internally consistent.
+    errors = []
+    start = threading.Barrier(N_THREADS)
+    rng = np.random.default_rng(7)
+    spd = rng.standard_normal((8, 8))
+    spd = spd @ spd.T + 8 * np.eye(8)
+    gen, rhs = _system(seed=3)
+    cache.clear()
+    cache.reset_stats()
+    epoch0 = cache.stats()["epoch"]
+
+    def solver(seed):
+        start.wait()
+        b = spd.sum(axis=1)
+        for i in range(N_ITER):
+            info = Info()
+            a = spd if i % 2 else gen
+            bb = b if i % 2 else rhs
+            x = solve(a, bb, info=info)
+            if info.value != 0:
+                errors.append(f"solve info={info.value}")
+                return
+            if not np.allclose(a @ x, bb, atol=1e-8):
+                errors.append("front-door residual blew up")
+                return
+
+    def invalidator():
+        start.wait()
+        for i in range(N_ITER):
+            try:
+                if i % 3 == 0:
+                    cache.clear()
+                elif i % 3 == 1:
+                    cache.invalidate(spd)
+                else:
+                    cache.invalidate(gen)
+            except Exception as exc:          # noqa: BLE001
+                errors.append(f"invalidate raised: {exc!r}")
+                return
+
+    def epoch_bumper():
+        start.wait()
+        for i in range(N_ITER):
+            try:
+                with use_backend("accelerated" if i % 2 else "reference"):
+                    pass
+            except Exception as exc:          # noqa: BLE001
+                errors.append(f"backend flip raised: {exc!r}")
+                return
+
+    def stats_reader():
+        start.wait()
+        last_epoch = epoch0
+        for _ in range(N_ITER):
+            st = cache.stats()
+            if st["entries"] < 0 or st["entries"] > cache.MAX_ENTRIES:
+                errors.append(f"entry count out of range: {st}")
+                return
+            if min(st["hits"], st["misses"], st["invalidated"]) < 0:
+                errors.append(f"negative counter: {st}")
+                return
+            if st["epoch"] < last_epoch:
+                errors.append(f"epoch went backwards: {st}")
+                return
+            last_epoch = st["epoch"]
+
+    workers = [threading.Thread(target=solver, args=(s,))
+               for s in range(N_THREADS - 3)]
+    workers += [threading.Thread(target=invalidator),
+                threading.Thread(target=epoch_bumper),
+                threading.Thread(target=stats_reader)]
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join(timeout=120)
+    assert not any(t.is_alive() for t in workers), "cache stress hung"
+    assert errors == []
+    # Quiesced: one more solve repopulates and the counters still add up.
+    x = solve(spd, spd.sum(axis=1))
+    assert np.allclose(spd @ x, spd.sum(axis=1), atol=1e-8)
+    st = cache.stats()
+    assert st["epoch"] >= epoch0
+    assert st["entries"] >= 1
+    cache.clear()
+
+
+def test_fallback_warning_windows_under_concurrent_resets():
+    # The fallback-warning rate limiter (LA023's ``RateLimiter._seen``
+    # attribute guard) with solver threads ticking the same window key
+    # while other threads reopen it.  With a frozen clock a key can only
+    # emit on its first tick or on the tick right after a reset, so
+    # total emissions are bounded by total successful resets + 1.
+    limiter = RateLimiter(window=60.0, clock=lambda: 0.0)
+    emits = []
+    resets = []
+    start = threading.Barrier(6)
+
+    def ticker():
+        start.wait()
+        count = 0
+        for _ in range(N_ITER * 5):
+            emit, suppressed = limiter.tick(("accelerated", "gesv"))
+            if suppressed < 0:
+                emits.append(-10**9)  # poison: impossible accounting
+                return
+            if emit:
+                count += 1
+        emits.append(count)
+
+    def resetter():
+        start.wait()
+        count = 0
+        for _ in range(N_ITER):
+            count += limiter.reset()
+        resets.append(count)
+
+    threads = [threading.Thread(target=ticker) for _ in range(4)]
+    threads += [threading.Thread(target=resetter),
+                threading.Thread(target=resetter)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert not any(t.is_alive() for t in threads), "limiter stress hung"
+    assert len(emits) == 4 and min(emits) >= 0
+    assert sum(emits) <= sum(resets) + 1
+
+
+def test_fallback_warnings_stay_windowed_during_breaker_churn():
+    # End-to-end: accelerated gesv fails every call, so every solve
+    # escalates through the fallback seam and ticks the live warning
+    # window, while a thread keeps calling reset_open_warnings() —
+    # exactly the probe/insert/reset interleaving LA023 polices on
+    # ``_seen``.  Nothing may raise, and every answer must be right.
+    if "accelerated" not in backends.available_backends():
+        pytest.skip("fallback windows need a second backend")
+    errors = []
+    start = threading.Barrier(4)
+
+    def solver(seed):
+        start.wait()
+        a, b = _system(seed=seed)
+        for _ in range(N_ITER):
+            info = Info()
+            x = la_gesv(a.copy(), b.copy(), info=info,
+                        backend="accelerated")
+            if info.value != 0:
+                errors.append(f"solver info={info.value}")
+                return
+            if not np.allclose(a @ x, b, atol=1e-8):
+                errors.append("fallback residual blew up")
+                return
+
+    def window_resetter():
+        start.wait()
+        for _ in range(N_ITER):
+            try:
+                reset_open_warnings()
+            except Exception as exc:          # noqa: BLE001
+                errors.append(f"window reset raised: {exc!r}")
+                return
+
+    with resilience_policy(retries=0, breaker_threshold=10**9,
+                           warning_window=0.0):
+        fi.chaos_install("gesv", flaky_every=1, backend="accelerated")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            workers = [threading.Thread(target=solver, args=(s,))
+                       for s in range(3)]
+            workers += [threading.Thread(target=window_resetter)]
+            for t in workers:
+                t.start()
+            for t in workers:
+                t.join(timeout=120)
+    assert not any(t.is_alive() for t in workers), "window stress hung"
+    assert errors == []
